@@ -1,0 +1,95 @@
+// E12 — robustness to channel loss (fault-injection study).
+//
+// The paper's C-gcast is reliable; this bench measures graceful (or not)
+// degradation when messages are lost uniformly at random, with and without
+// the §VII heartbeat stabilizer: structure consistency after a walk, find
+// success, and the repair traffic spent.
+
+#include "ext/stabilizer.hpp"
+#include "spec/consistency.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vsbench;
+
+struct Outcome {
+  bool consistent;
+  int finds_ok;
+  int finds_total;
+  std::int64_t lost;
+  std::int64_t repairs;
+};
+
+Outcome run(double loss, bool stabilize) {
+  tracking::NetworkConfig cfg;
+  cfg.cgcast.loss_probability = loss;
+  GridNet g = make_grid(27, 3, cfg);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+
+  std::unique_ptr<ext::Stabilizer> stab;
+  if (stabilize) {
+    stab = std::make_unique<ext::Stabilizer>(*g.net, t,
+                                             sim::Duration::millis(400));
+    stab->start();
+  }
+
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 80, 0xE12);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_for(sim::Duration::millis(200));
+  }
+  g.net->run_for(sim::Duration::millis(4000));
+  if (stab) stab->stop();
+  g.net->run_to_quiescence();
+
+  Outcome out{};
+  out.consistent =
+      vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
+  out.lost = g.net->cgcast().lost();
+  out.repairs = stab ? stab->repairs() : 0;
+  Rng rng{0x12E};
+  out.finds_total = 10;
+  for (int i = 0; i < out.finds_total; ++i) {
+    const RegionId origin{static_cast<RegionId::rep_type>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.hierarchy->tiling().num_regions()) - 1))};
+    const FindId f = g.net->start_find(origin, t);
+    g.net->run_to_quiescence();
+    if (g.net->find_result(f).done &&
+        g.net->find_result(f).found_region == walk.back()) {
+      ++out.finds_ok;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsbench;
+  banner("E12: channel-loss fault injection",
+         "claim: under lossy channels the bare protocol degrades (stale\n"
+         "       pointers accumulate) while heartbeat repair restores a\n"
+         "       consistent, serviceable structure.\n"
+         "world: 27x27 base 3; 80-step walk; 10 post-walk finds.");
+
+  stats::Table table({"loss_%", "stabilizer", "msgs_lost", "repair_msgs",
+                      "consistent", "finds_ok/10"});
+  for (const double loss : {0.0, 0.01, 0.03, 0.08}) {
+    for (const bool stabilize : {false, true}) {
+      const Outcome o = run(loss, stabilize);
+      table.add_row({loss * 100.0, std::string(stabilize ? "on" : "off"),
+                     o.lost, o.repairs, std::string(o.consistent ? "yes" : "no"),
+                     std::int64_t{o.finds_ok}});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: loss 0 is perfect either way; with loss > 0 "
+               "the bare run loses consistency and finds, while the "
+               "stabilized run stays serviceable with repair traffic "
+               "scaling with the loss rate.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E14 — self-stabilization convergence (§VII): repair rounds and traffic
+// needed to return to the unique consistent structure, as a function of
+// how much of the network was corrupted.
+//
+// Corruption draws random values from the Figure 2 variable domains for a
+// fraction of all Trackers (the adversarial-start model); the heartbeat
+// stabilizer then ticks until the §IV-C consistency predicate holds.
+
+#include "ext/stabilizer.hpp"
+#include "spec/consistency.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vsbench;
+
+void corrupt_fraction(GridNet& g, TargetId t, double fraction,
+                      std::uint64_t seed) {
+  Rng rng{seed};
+  const auto& h = *g.hierarchy;
+  for (std::size_t ci = 0; ci < h.num_clusters(); ++ci) {
+    if (!rng.chance(fraction)) continue;
+    const ClusterId c{static_cast<ClusterId::rep_type>(ci)};
+    tracking::TrackerSnapshot forced;
+    forced.clust = c;
+    const auto nbrs = h.nbrs(c);
+    const auto maybe_nbr = [&]() {
+      if (nbrs.empty() || rng.chance(0.4)) return ClusterId{};
+      return nbrs[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    };
+    const auto kids = h.children(c);
+    if (!kids.empty() && rng.chance(0.5)) {
+      forced.c = kids[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kids.size()) - 1))];
+    } else if (h.level(c) == 0 && rng.chance(0.3)) {
+      forced.c = c;
+    } else {
+      forced.c = maybe_nbr();
+    }
+    forced.p = rng.chance(0.5) && h.level(c) != h.max_level()
+                   ? h.parent(c)
+                   : maybe_nbr();
+    forced.nbrptup = maybe_nbr();
+    forced.nbrptdown = maybe_nbr();
+    g.net->tracker(c).corrupt_state(t, forced);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace vsbench;
+  banner("E14: self-stabilization convergence (§VII)",
+         "claim: heartbeat repair converges from arbitrary (domain-valid)\n"
+         "       corruption; rounds and traffic scale with the damage.\n"
+         "world: 27x27 base 3; 5 seeds per fraction, worst case reported.");
+
+  stats::Table table({"corrupt_%", "max_ticks_to_consistent",
+                      "max_repair_msgs", "all_converged"});
+  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    int worst_ticks = 0;
+    std::int64_t worst_repairs = 0;
+    bool all_ok = true;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      GridNet g = make_grid(27, 3);
+      const RegionId where = g.at(13, 13);
+      const TargetId t = g.net->add_evader(where);
+      g.net->run_to_quiescence();
+      corrupt_fraction(g, t, fraction, 0xE14 + seed);
+
+      ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
+      bool converged =
+          vs::spec::check_consistent(g.net->snapshot(t), where).ok();
+      int ticks = 0;
+      while (!converged && ticks < 40) {
+        stab.tick_once();
+        g.net->run_to_quiescence();
+        ++ticks;
+        converged =
+            vs::spec::check_consistent(g.net->snapshot(t), where).ok();
+      }
+      all_ok = all_ok && converged;
+      worst_ticks = std::max(worst_ticks, ticks);
+      worst_repairs = std::max(worst_repairs, stab.repairs());
+    }
+    table.add_row({fraction * 100.0, std::int64_t{worst_ticks},
+                   worst_repairs, std::string(all_ok ? "yes" : "no")});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: convergence at every corruption fraction "
+               "(including 100%); repair traffic grows with damage while "
+               "round counts stay small (repairs run in parallel across "
+               "the structure).\n";
+  return 0;
+}

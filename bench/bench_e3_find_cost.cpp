@@ -1,0 +1,48 @@
+// E3 — Theorem 5.2 (grid corollary): a find invoked distance d from the
+// evader costs O(d) work and O(d·(δ+e)) time.
+//
+// Finds are issued from increasing distances on a 243×243 base-3 grid in a
+// consistent state; the work/d and latency/d columns must flatten out
+// (linear regime) rather than grow (which would indicate the quadratic
+// flooding regime) — compare bench_e5's ExpandingRing column.
+
+#include "bench_util.hpp"
+#include "spec/bounds.hpp"
+
+int main() {
+  using namespace vsbench;
+  banner("E3: find cost vs distance (Theorem 5.2, grid corollary)",
+         "claim: find work O(d), find time O(d(δ+e)).\n"
+         "world: 243x243 base 3; evader at centre; δ+e = 2ms.");
+
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  stats::Table table({"d", "find_work", "thm5.2_bound", "work/d", "find_msgs",
+                      "latency_ms", "latency_ms/d"});
+  for (const int d : {1, 2, 4, 8, 16, 32, 64, 100, 120}) {
+    // Average over four directions to smooth head-placement effects.
+    std::int64_t work = 0, msgs = 0, latency_us = 0;
+    const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {1, 1}};
+    for (const auto& dir : dirs) {
+      const FindId f =
+          g.net->start_find(g.at(121 + d * dir[0], 121 + d * dir[1]), t);
+      g.net->run_to_quiescence();
+      const auto& r = g.net->find_result(f);
+      work += r.work;
+      msgs += r.messages;
+      latency_us += r.latency().count();
+    }
+    table.add_row({std::int64_t{d}, work / 4,
+                   vs::spec::find_work_bound(*g.hierarchy, d),
+                   static_cast<double>(work) / 4.0 / d, msgs / 4,
+                   static_cast<double>(latency_us) / 4000.0,
+                   static_cast<double>(latency_us) / 4000.0 / d});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: work/d and latency/d converge to a constant "
+               "(linear in d), no quadratic blow-up.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E6 — the r trade-off in the grid corollary: move work is O(d·r·log_r D),
+// so larger bases mean fewer levels but costlier per-level updates.
+//
+// The same workload runs on comparable worlds (side ≈ 64-81) with base
+// r ∈ {2, 3, 4, 8}; the bench reports move work per step, find work at a
+// fixed distance, and the theory scale r·log_r D for comparison.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vsbench;
+  banner("E6: effect of the grid base r (Theorem 4.9 corollary)",
+         "claim: move work/step tracks r·log_r D — small r favours moves;\n"
+         "       find cost stays O(d) for every r.");
+
+  stats::Table table({"base", "side", "MAX", "r*logD", "move_w/step",
+                      "move/scale", "find_w(d=20)"});
+  struct World {
+    int base;
+    int side;
+  };
+  for (const World w : {World{2, 64}, World{3, 81}, World{4, 64},
+                        World{8, 64}}) {
+    GridNet g = make_grid(w.side, w.base);
+    const int mid = w.side / 2;
+    const RegionId start = g.at(mid, mid);
+    const TargetId t = g.net->add_evader(start);
+    g.net->run_to_quiescence();
+
+    const auto walk = random_walk(g.hierarchy->tiling(), start, 120, 0xE6);
+    const auto work0 = g.net->counters().move_work();
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      g.net->move_evader(t, walk[i]);
+      g.net->run_to_quiescence();
+    }
+    const double per_step =
+        static_cast<double>(g.net->counters().move_work() - work0) /
+        static_cast<double>(walk.size() - 1);
+
+    // One find at distance 20 from the final evader position.
+    const RegionId evader = g.net->evaders().region_of(t);
+    const auto coord = g.hierarchy->grid().coord(evader);
+    const int fx = coord.x >= mid ? coord.x - 20 : coord.x + 20;
+    const FindId f = g.net->start_find(g.at(fx, coord.y), t);
+    g.net->run_to_quiescence();
+
+    const double scale = static_cast<double>(w.base) *
+                         static_cast<double>(g.hierarchy->max_level());
+    table.add_row({std::int64_t{w.base}, std::int64_t{w.side},
+                   std::int64_t{g.hierarchy->max_level()}, scale, per_step,
+                   per_step / scale, g.net->find_result(f).work});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: move/scale roughly constant across bases "
+               "(work ∝ r·log_r D); find work stays O(d) for all r.\n";
+  return 0;
+}

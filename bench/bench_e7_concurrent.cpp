@@ -1,0 +1,81 @@
+// E7 — §VI concurrency: a continuously moving evader with finds in flight.
+//
+// Sweep the evader's dwell time (virtual time between steps) from far
+// below to above the level-0 update round. Reported per dwell: whether the
+// structure is consistent right when movement stops (before drain), find
+// success rate and mean latency for finds injected mid-flight, and move
+// work per step. The paper's claim: above a modest speed threshold,
+// concurrent operation costs the same as the atomic case and finds search
+// at most one extra level.
+
+#include "spec/consistency.hpp"
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vsbench;
+  banner("E7: concurrent moves and finds (§VI)",
+         "claim: above a dwell threshold, concurrent ops match atomic cost\n"
+         "       and finds stay live; below it, structures lag but recover.\n"
+         "world: 27x27 base 3; 120 steps; find every 5 steps; δ+e = 2ms.");
+
+  stats::Table table({"dwell_x(δ+e)", "consistent_at_stop", "find_success",
+                      "find_latency_ms", "move_w/step", "drain_ms"});
+  for (const int dwell_mult : {1, 2, 4, 8, 16, 32, 64}) {
+    GridNet g = make_grid(27, 3);
+    const RegionId start = g.at(13, 13);
+    const TargetId t = g.net->add_evader(start);
+    g.net->run_to_quiescence();
+    const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
+    const auto dwell = de * dwell_mult;
+
+    const auto walk = random_walk(g.hierarchy->tiling(), start, 120,
+                                  0xE7 + static_cast<std::uint64_t>(dwell_mult));
+    Rng rng{0x7E7};
+    std::vector<FindId> finds;
+    const auto work0 = g.net->counters().move_work();
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      g.net->move_evader(t, walk[i]);
+      if (i % 5 == 0) {
+        const RegionId origin{static_cast<RegionId::rep_type>(rng.uniform_int(
+            0,
+            static_cast<std::int64_t>(g.hierarchy->tiling().num_regions()) -
+                1))};
+        finds.push_back(g.net->start_find(origin, t));
+      }
+      g.net->run_for(dwell);
+    }
+    const bool consistent_now =
+        vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
+    const auto stop_time = g.net->now();
+    g.net->run_to_quiescence();
+    const auto drain = g.net->now() - stop_time;
+
+    int done = 0;
+    double latency_ms = 0;
+    for (const FindId f : finds) {
+      const auto& r = g.net->find_result(f);
+      if (r.done) {
+        ++done;
+        latency_ms += static_cast<double>(r.latency().count()) / 1000.0;
+      }
+    }
+    table.add_row(
+        {std::int64_t{dwell_mult}, std::string(consistent_now ? "yes" : "no"),
+         static_cast<double>(done) / static_cast<double>(finds.size()),
+         done ? latency_ms / done : 0.0,
+         static_cast<double>(g.net->counters().move_work() - work0) /
+             static_cast<double>(walk.size() - 1),
+         static_cast<double>(drain.count()) / 1000.0});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: three regimes — (i) dwell ≳ 4·(δ+e): every "
+               "find completes and per-step move work matches the atomic "
+               "cost (§VI's claim); (ii) a large-dwell threshold beyond "
+               "which the structure is consistent the moment movement "
+               "stops; (iii) below the threshold some finds can be lost to "
+               "transiently broken structures (§VII's admitted degradation) "
+               "— and very fast movement *coalesces* updates, lowering "
+               "work/step.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E9 — engineering microbenchmarks (google-benchmark): raw simulator
+// throughput, so the experiment benches' virtual-time measurements can be
+// related to wall-clock cost and regressions in the substrate show up.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace vsbench;
+
+void BM_SchedulerEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    const auto n = state.range(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      sched.schedule_after(sim::Duration::micros(i % 977), [] {});
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_TimerChurn(benchmark::State& state) {
+  sim::Scheduler sched;
+  sim::Timer t(sched, [] {});
+  for (auto _ : state) {
+    t.arm_after(sim::Duration::millis(1));
+    t.disarm();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerChurn);
+
+void BM_HierarchyConstruction(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    hier::GridHierarchy h(side, side, 3);
+    benchmark::DoNotOptimize(h.num_clusters());
+  }
+}
+BENCHMARK(BM_HierarchyConstruction)->Arg(27)->Arg(81)->Arg(243);
+
+void BM_MoveAndQuiesce(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  GridNet g = make_grid(side, 3);
+  const RegionId start = g.at(side / 2, side / 2);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xB3);
+  RegionId cur = start;
+  for (auto _ : state) {
+    cur = mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_events"] = benchmark::Counter(
+      static_cast<double>(g.net->scheduler().events_fired()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MoveAndQuiesce)->Arg(27)->Arg(81)->Arg(243);
+
+void BM_FindRoundTrip(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  for (auto _ : state) {
+    const FindId f = g.net->start_find(g.at(121 + d, 121), t);
+    g.net->run_to_quiescence();
+    benchmark::DoNotOptimize(g.net->find_result(f).done);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindRoundTrip)->Arg(1)->Arg(16)->Arg(100);
+
+void BM_LookAheadSnapshot(benchmark::State& state) {
+  GridNet g = make_grid(81, 3);
+  const TargetId t = g.net->add_evader(g.at(40, 40));
+  g.net->run_to_quiescence();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.net->snapshot(t));
+  }
+}
+BENCHMARK(BM_LookAheadSnapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+#pragma once
+// Shared scaffolding for the experiment benches.
+//
+// Each bench binary regenerates one experiment of DESIGN.md §4 (the
+// paper's quantitative claims) and prints a self-describing series table;
+// EXPERIMENTS.md records the measured shapes against the theory.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "stats/table.hpp"
+#include "tracking/network.hpp"
+
+namespace vsbench {
+
+using namespace vs;
+
+struct GridNet {
+  std::unique_ptr<hier::GridHierarchy> hierarchy;
+  std::unique_ptr<tracking::TrackingNetwork> net;
+
+  [[nodiscard]] RegionId at(int x, int y) const {
+    return hierarchy->grid().region_at(x, y);
+  }
+};
+
+inline GridNet make_grid(int side, int base,
+                         tracking::NetworkConfig cfg = {}) {
+  GridNet g;
+  g.hierarchy = std::make_unique<hier::GridHierarchy>(side, side, base);
+  g.net = std::make_unique<tracking::TrackingNetwork>(*g.hierarchy, cfg);
+  return g;
+}
+
+inline std::vector<RegionId> random_walk(const geo::Tiling& tiling,
+                                         RegionId start, int steps,
+                                         std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<RegionId> walk{start};
+  RegionId cur = start;
+  for (int i = 0; i < steps; ++i) {
+    const auto nbrs = tiling.neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "\n==== " << experiment << " ====\n" << claim << "\n\n";
+}
+
+}  // namespace vsbench

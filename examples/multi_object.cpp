@@ -1,0 +1,69 @@
+// Tracking several mobile objects at once (paper §VII extension).
+//
+// Every Tracker keeps independent pointer state per TargetId, so one VSA
+// network tracks a whole fleet. This example tracks three objects moving
+// with different strategies, then answers interleaved finds for each and
+// prints the per-object structure cost.
+
+#include <iostream>
+
+#include "hier/grid_hierarchy.hpp"
+#include "spec/consistency.hpp"
+#include "tracking/network.hpp"
+#include "vsa/evader.hpp"
+
+int main() {
+  using namespace vs;
+  hier::GridHierarchy hierarchy(27, 27, 3);
+  tracking::TrackingNetwork net(hierarchy, tracking::NetworkConfig{});
+  const auto& grid = hierarchy.grid();
+
+  const TargetId walker = net.add_evader(grid.region_at(3, 3));
+  const TargetId commuter = net.add_evader(grid.region_at(13, 13));
+  const TargetId sleeper = net.add_evader(grid.region_at(24, 22));
+  net.run_to_quiescence();
+
+  vsa::RandomWalkMover walk(hierarchy.tiling(), 0xF00D);
+  vsa::WaypointMover commute(grid, 0xCAFE);
+
+  RegionId walker_at = grid.region_at(3, 3);
+  RegionId commuter_at = grid.region_at(13, 13);
+  for (int step = 0; step < 40; ++step) {
+    walker_at = walk.next(walker_at);
+    net.move_evader(walker, walker_at);
+    commuter_at = commute.next(commuter_at);
+    net.move_evader(commuter, commuter_at);
+    net.run_to_quiescence();  // sleeper never moves
+  }
+  std::cout << "after 40 steps each: walker at "
+            << hierarchy.tiling().describe(walker_at) << ", commuter at "
+            << hierarchy.tiling().describe(commuter_at)
+            << ", sleeper never moved\n";
+
+  // Interleaved finds for all three from one corner.
+  const RegionId origin = grid.region_at(0, 26);
+  const FindId f1 = net.start_find(origin, walker);
+  const FindId f2 = net.start_find(origin, commuter);
+  const FindId f3 = net.start_find(origin, sleeper);
+  net.run_to_quiescence();
+  for (const auto& [name, f] :
+       {std::pair{"walker", f1}, {"commuter", f2}, {"sleeper", f3}}) {
+    const auto& r = net.find_result(f);
+    std::cout << "find(" << name << ") → "
+              << hierarchy.tiling().describe(r.found_region) << " in "
+              << r.latency() << ", " << r.work << " hop-work\n";
+  }
+
+  // Each object's structure is independently a consistent tracking path.
+  bool all_ok = true;
+  for (const auto& [name, t, at] :
+       {std::tuple{"walker", walker, walker_at},
+        {"commuter", commuter, commuter_at},
+        {"sleeper", sleeper, grid.region_at(24, 22)}}) {
+    const bool ok = spec::check_consistent(net.snapshot(t), at).ok();
+    std::cout << name << " structure consistent: " << (ok ? "yes" : "NO")
+              << "\n";
+    all_ok = all_ok && ok;
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Pursuer-evader games on VINESTALK (paper §VII, cf. [5], [15]).
+//
+// Two evaders random-walk over a 27x27 world while two pursuers hunt them.
+// A command center (a data-repository VSA in the paper's sketch) assigns
+// each pursuer to the nearest uncaught evader so pursuits do not overlap;
+// pursuers repeatedly issue finds through the tracking structure and step
+// toward each answer at twice the evader speed.
+
+#include <iostream>
+
+#include "ext/pursuit.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "tracking/network.hpp"
+#include "vsa/evader.hpp"
+
+int main() {
+  using namespace vs;
+  hier::GridHierarchy hierarchy(27, 27, 3);
+  tracking::TrackingNetwork net(hierarchy, tracking::NetworkConfig{});
+
+  const TargetId rabbit = net.add_evader(hierarchy.grid().region_at(4, 22));
+  const TargetId fox = net.add_evader(hierarchy.grid().region_at(22, 4));
+  net.run_to_quiescence();
+
+  vsa::RandomWalkMover rabbit_moves(hierarchy.tiling(), 2024);
+  vsa::RandomWalkMover fox_moves(hierarchy.tiling(), 2025);
+
+  ext::PursuitConfig cfg;
+  cfg.pursuer_speed = 2;
+  ext::PursuitCoordinator coordinator(net, hierarchy, cfg);
+  coordinator.add_pursuer(hierarchy.grid().region_at(13, 13));
+  coordinator.add_pursuer(hierarchy.grid().region_at(0, 0));
+  coordinator.add_target(rabbit, &rabbit_moves);
+  coordinator.add_target(fox, &fox_moves);
+
+  std::cout << "two pursuers (speed 2) vs two random-walking evaders "
+               "(speed 1), 27x27 world\n";
+  const auto outcome = coordinator.run();
+
+  std::cout << (outcome.all_caught ? "all evaders overtaken"
+                                   : "pursuit round limit reached")
+            << " after " << outcome.rounds << " rounds ("
+            << outcome.elapsed << " of virtual time)\n";
+  for (std::size_t i = 0; i < outcome.caught_round.size(); ++i) {
+    std::cout << "  target " << i << " caught in round "
+              << outcome.caught_round[i] << "\n";
+  }
+  std::cout << "find traffic: " << outcome.find_messages << " messages, "
+            << outcome.find_work << " hop-work\n";
+  return outcome.all_caught ? 0 : 1;
+}

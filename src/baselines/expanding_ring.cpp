@@ -1,0 +1,60 @@
+#include "baselines/expanding_ring.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "geo/grid_tiling.hpp"
+
+namespace vs::baselines {
+
+ExpandingRingSearch::ExpandingRingSearch(const geo::Tiling& tiling)
+    : tiling_(&tiling) {}
+
+void ExpandingRingSearch::init(RegionId start) {
+  VS_REQUIRE(!evader_.valid(), "init called twice");
+  evader_ = start;
+}
+
+OpCost ExpandingRingSearch::move(RegionId to) {
+  VS_REQUIRE(tiling_->are_neighbors(evader_, to), "non-neighbour move");
+  evader_ = to;
+  return OpCost{};  // no structure to maintain
+}
+
+std::int64_t ExpandingRingSearch::regions_within(RegionId from,
+                                                 int radius) const {
+  // Closed-form disc area on the grid (Chebyshev balls are clipped
+  // rectangles); generic tilings fall back to a scan.
+  if (const auto* grid = dynamic_cast<const geo::GridTiling*>(tiling_)) {
+    const geo::Coord c = grid->coord(from);
+    const std::int64_t w = std::min(grid->width() - 1, c.x + radius) -
+                           std::max(0, c.x - radius) + 1;
+    const std::int64_t h = std::min(grid->height() - 1, c.y + radius) -
+                           std::max(0, c.y - radius) + 1;
+    return w * h;
+  }
+  std::int64_t count = 0;
+  for (const RegionId v : tiling_->all_regions()) {
+    if (tiling_->distance(from, v) <= radius) ++count;
+  }
+  return count;
+}
+
+OpCost ExpandingRingSearch::find(RegionId from) {
+  const int d = tiling_->distance(from, evader_);
+  OpCost cost;
+  // Rings of doubling radius; each attempt floods its disc (one message
+  // handled per region) and the responses race back.
+  int radius = 1;
+  while (true) {
+    const std::int64_t flooded = regions_within(from, radius);
+    cost.work += flooded;
+    cost.messages += flooded;
+    cost.time += 2 * radius;  // flood out + answer back
+    if (radius >= d) break;
+    radius = std::min(radius * 2, tiling_->diameter());
+  }
+  return cost;
+}
+
+}  // namespace vs::baselines

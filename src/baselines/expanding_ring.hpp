@@ -1,0 +1,34 @@
+#pragma once
+// Structure-free expanding-ring search baseline.
+//
+// No tracking structure is maintained (moves are free). A find floods
+// queries over rings of doubling radius around the querier until the ring
+// covers the evader; every region inside the final radius handles one
+// message, so a find at distance d costs Θ(d²) work on the grid — the
+// trade-off anchor showing why maintained structures pay for themselves
+// (cf. the non-hierarchical pursuer-evader schemes [5]).
+
+#include "baselines/location_service.hpp"
+#include "geo/tiling.hpp"
+
+namespace vs::baselines {
+
+class ExpandingRingSearch final : public LocationService {
+ public:
+  explicit ExpandingRingSearch(const geo::Tiling& tiling);
+
+  [[nodiscard]] std::string name() const override { return "ExpandingRing"; }
+  void init(RegionId start) override;
+  OpCost move(RegionId to) override;
+  [[nodiscard]] OpCost find(RegionId from) override;
+  [[nodiscard]] RegionId evader_region() const override { return evader_; }
+
+ private:
+  /// Number of regions within hop distance r of `from` (flood footprint).
+  [[nodiscard]] std::int64_t regions_within(RegionId from, int radius) const;
+
+  const geo::Tiling* tiling_;
+  RegionId evader_{};
+};
+
+}  // namespace vs::baselines

@@ -1,0 +1,2 @@
+// LocationService is an interface; this TU anchors the vtable-less target.
+#include "baselines/location_service.hpp"

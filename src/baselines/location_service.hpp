@@ -1,0 +1,60 @@
+#pragma once
+// Baseline location services VINESTALK is compared against.
+//
+// The paper's Introduction positions VINESTALK against directory-based
+// schemes: central/home-region directories (move and find both pay O(D)),
+// tree/hierarchical directories with LCA-climbing updates (GLS-like, the
+// schemes of [11]/[14], which suffer the dithering problem), and
+// structure-free search (expanding ring, O(d²) find). STALK-without-
+// lateral-links is the fourth comparator; it is the real DES system with
+// NetworkConfig::lateral_links = false rather than a model here.
+//
+// These baselines are *idealised analytic models* — no timers, no message
+// loss, instantaneous bookkeeping — charging only the unavoidable
+// communication: work = hop distance per message, time = (δ+e)-units ×
+// hop distance along the critical path. Idealisation favours the
+// baselines, making VINESTALK's measured wins conservative (documented in
+// DESIGN.md).
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace vs::baselines {
+
+/// Cost of one operation. `time` is in (δ+e)·hop units (the same latency
+/// scale the DES uses), `work` in message-hops.
+struct OpCost {
+  std::int64_t work{0};
+  std::int64_t messages{0};
+  std::int64_t time{0};
+
+  OpCost& operator+=(const OpCost& o) {
+    work += o.work;
+    messages += o.messages;
+    time += o.time;
+    return *this;
+  }
+};
+
+class LocationService {
+ public:
+  virtual ~LocationService() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Place the evader initially.
+  virtual void init(RegionId start) = 0;
+
+  /// The evader moved to a neighbouring region; returns the update cost.
+  virtual OpCost move(RegionId to) = 0;
+
+  /// Locate the evader from `from`; returns the cost of the query, which
+  /// must end at the evader's current region.
+  [[nodiscard]] virtual OpCost find(RegionId from) = 0;
+
+  [[nodiscard]] virtual RegionId evader_region() const = 0;
+};
+
+}  // namespace vs::baselines

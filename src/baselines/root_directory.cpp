@@ -1,0 +1,33 @@
+#include "baselines/root_directory.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::baselines {
+
+RootDirectory::RootDirectory(const hier::ClusterHierarchy& hierarchy)
+    : hier_(&hierarchy), directory_(hierarchy.head(hierarchy.root())) {}
+
+void RootDirectory::init(RegionId start) {
+  VS_REQUIRE(!evader_.valid(), "init called twice");
+  evader_ = start;
+}
+
+OpCost RootDirectory::move(RegionId to) {
+  VS_REQUIRE(hier_->tiling().are_neighbors(evader_, to), "non-neighbour move");
+  evader_ = to;
+  // One update message from the evader's region to the directory.
+  const auto d =
+      static_cast<std::int64_t>(hier_->tiling().distance(to, directory_));
+  return OpCost{d, 1, d};
+}
+
+OpCost RootDirectory::find(RegionId from) {
+  // Query to the directory, then delivery to the evader's region.
+  const auto& t = hier_->tiling();
+  const auto up = static_cast<std::int64_t>(t.distance(from, directory_));
+  const auto down =
+      static_cast<std::int64_t>(t.distance(directory_, evader_));
+  return OpCost{up + down, 2, up + down};
+}
+
+}  // namespace vs::baselines

@@ -1,0 +1,31 @@
+#pragma once
+// Central (home-region) directory baseline.
+//
+// A single directory at the network root's head region stores the evader's
+// exact region. Every move sends an update to the directory; every find
+// queries the directory and then contacts the evader. Both operations cost
+// Θ(D) regardless of locality — the non-scalable scheme hierarchies are
+// meant to beat (cf. the paper's discussion of [5]).
+
+#include "baselines/location_service.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::baselines {
+
+class RootDirectory final : public LocationService {
+ public:
+  explicit RootDirectory(const hier::ClusterHierarchy& hierarchy);
+
+  [[nodiscard]] std::string name() const override { return "RootDirectory"; }
+  void init(RegionId start) override;
+  OpCost move(RegionId to) override;
+  [[nodiscard]] OpCost find(RegionId from) override;
+  [[nodiscard]] RegionId evader_region() const override { return evader_; }
+
+ private:
+  const hier::ClusterHierarchy* hier_;
+  RegionId directory_;  // head region of the level-MAX cluster
+  RegionId evader_{};
+};
+
+}  // namespace vs::baselines

@@ -1,0 +1,73 @@
+#include "baselines/tree_directory.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vs::baselines {
+
+TreeDirectory::TreeDirectory(const hier::ClusterHierarchy& hierarchy)
+    : hier_(&hierarchy) {}
+
+void TreeDirectory::init(RegionId start) {
+  VS_REQUIRE(!evader_.valid(), "init called twice");
+  evader_ = start;
+}
+
+Level TreeDirectory::lca_level(RegionId a, RegionId b) const {
+  for (Level l = 0; l <= hier_->max_level(); ++l) {
+    if (hier_->cluster_of(a, l) == hier_->cluster_of(b, l)) return l;
+  }
+  VS_REQUIRE(false, "no common cluster at level MAX");
+  return hier_->max_level();
+}
+
+std::int64_t TreeDirectory::link_cost(RegionId u, Level l) const {
+  const RegionId lo = hier_->head(hier_->cluster_of(u, l));
+  const RegionId hi = hier_->head(hier_->cluster_of(u, l + 1));
+  return std::max<std::int64_t>(1, hier_->tiling().distance(lo, hi));
+}
+
+OpCost TreeDirectory::move(RegionId to) {
+  VS_REQUIRE(hier_->tiling().are_neighbors(evader_, to), "non-neighbour move");
+  const RegionId from = evader_;
+  const Level lca = lca_level(from, to);
+  OpCost cost;
+  // Install the new branch and tear down the old one: one message per
+  // level up to the LCA on each side. Update messages climb head-to-head;
+  // the two branches proceed in parallel, so time is the longer climb.
+  std::int64_t new_time = 0;
+  std::int64_t old_time = 0;
+  for (Level l = 0; l < lca; ++l) {
+    const std::int64_t up_new = link_cost(to, l);
+    const std::int64_t up_old = link_cost(from, l);
+    cost.work += up_new + up_old;
+    cost.messages += 2;
+    new_time += up_new;
+    old_time += up_old;
+  }
+  cost.time = std::max(new_time, old_time);
+  evader_ = to;
+  return cost;
+}
+
+OpCost TreeDirectory::find(RegionId from) {
+  OpCost cost;
+  // Climb through the querier's own clusterheads until a cluster shared
+  // with the evader is reached.
+  const Level lca = lca_level(from, evader_);
+  for (Level l = 0; l < lca; ++l) {
+    cost.work += link_cost(from, l);
+    cost.time += link_cost(from, l);
+    ++cost.messages;
+  }
+  // Trace the chain down to the evader's region.
+  for (Level l = lca; l > 0; --l) {
+    cost.work += link_cost(evader_, l - 1);
+    cost.time += link_cost(evader_, l - 1);
+    ++cost.messages;
+  }
+  return cost;
+}
+
+}  // namespace vs::baselines

@@ -1,0 +1,44 @@
+#pragma once
+// Hierarchical pointer-chain directory with LCA-climbing updates.
+//
+// The clusterhead of each cluster containing the evader stores which child
+// cluster the evader is in, forming a root-to-leaf pointer chain — the
+// classical tree-based location scheme (cf. [11], and the per-level
+// location servers of GLS [14]). On a move the chain is repaired up to the
+// lowest common ancestor of the old and new regions: every pointer below
+// the LCA is rewritten (new branch) and deleted (old branch). Because the
+// LCA of two *adjacent* regions can be the root, the scheme dithers: an
+// evader oscillating across a high-level boundary pays Θ(D) per step —
+// exactly the failure mode VINESTALK's lateral links remove.
+//
+// Finds climb from the querier through its own iterated clusterheads until
+// a head on the evader's chain is reached (guaranteed at latest at the
+// LCA of querier and evader), then trace the chain down.
+
+#include "baselines/location_service.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::baselines {
+
+class TreeDirectory final : public LocationService {
+ public:
+  explicit TreeDirectory(const hier::ClusterHierarchy& hierarchy);
+
+  [[nodiscard]] std::string name() const override { return "TreeDirectory"; }
+  void init(RegionId start) override;
+  OpCost move(RegionId to) override;
+  [[nodiscard]] OpCost find(RegionId from) override;
+  [[nodiscard]] RegionId evader_region() const override { return evader_; }
+
+ private:
+  /// Lowest level l with cluster(a, l) == cluster(b, l).
+  [[nodiscard]] Level lca_level(RegionId a, RegionId b) const;
+  /// Hop distance between the heads of the evader-chain clusters at
+  /// levels l and l+1 for region u.
+  [[nodiscard]] std::int64_t link_cost(RegionId u, Level l) const;
+
+  const hier::ClusterHierarchy* hier_;
+  RegionId evader_{};
+};
+
+}  // namespace vs::baselines

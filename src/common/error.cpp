@@ -1,0 +1,13 @@
+#include "common/error.hpp"
+
+namespace vs::detail {
+
+void raise_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace vs::detail

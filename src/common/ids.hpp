@@ -1,0 +1,71 @@
+#pragma once
+// Strong identifier types shared across the library.
+//
+// The paper works with three kinds of names: region identifiers drawn from
+// an ordered set U, cluster identifiers C, and hierarchy levels L. We give
+// each its own type so that a region can never silently be used where a
+// cluster is expected. Identifiers are dense small integers assigned by the
+// tiling / hierarchy that owns them, which keeps lookups array-based.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace vs {
+
+/// CRTP-free strong integer id. `Tag` distinguishes unrelated id spaces.
+template <class Tag, class Rep = std::int32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  /// Sentinel used for "no id" (the paper's ⊥ where an id is optional).
+  static constexpr StrongId invalid() { return StrongId{Rep{-1}}; }
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "⊥";
+    return os << id.value();
+  }
+
+ private:
+  Rep value_{-1};
+};
+
+struct RegionTag {};
+struct ClusterTag {};
+struct TargetTag {};
+struct FindTag {};
+struct ClientTag {};
+
+/// A tile of the deployment space (element of U).
+using RegionId = StrongId<RegionTag>;
+/// A cluster of regions at some level of the hierarchy (element of C).
+using ClusterId = StrongId<ClusterTag>;
+/// A tracked mobile object (single-object tracking uses TargetId{0}).
+using TargetId = StrongId<TargetTag>;
+/// One outstanding find operation.
+using FindId = StrongId<FindTag, std::int64_t>;
+/// A physical/client node.
+using ClientId = StrongId<ClientTag>;
+
+/// Hierarchy level; level 0 holds singleton region clusters, level MAX the
+/// unique top cluster.
+using Level = std::int32_t;
+
+}  // namespace vs
+
+template <class Tag, class Rep>
+struct std::hash<vs::StrongId<Tag, Rep>> {
+  std::size_t operator()(vs::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

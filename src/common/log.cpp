@@ -1,0 +1,29 @@
+#include "common/log.hpp"
+
+namespace vs {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+constexpr std::string_view name_of(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  std::cerr << "[" << name_of(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace vs

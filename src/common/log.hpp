@@ -1,0 +1,39 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The simulator is deterministic; a trace of what happened at which virtual
+// time is the main debugging tool. Logging is compiled in but off by
+// default; tests and examples flip the level.
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace vs {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Process-wide log threshold (single-threaded simulator; plain global).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}  // namespace detail
+
+}  // namespace vs
+
+#define VS_LOG(level, ...)                                       \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::vs::log_level())) {                   \
+      ::std::ostringstream vs_log_os_;                           \
+      vs_log_os_ << __VA_ARGS__;                                 \
+      ::vs::detail::log_line(level, vs_log_os_.str());           \
+    }                                                            \
+  } while (false)
+
+#define VS_TRACE(...) VS_LOG(::vs::LogLevel::kTrace, __VA_ARGS__)
+#define VS_DEBUG(...) VS_LOG(::vs::LogLevel::kDebug, __VA_ARGS__)
+#define VS_INFO(...) VS_LOG(::vs::LogLevel::kInfo, __VA_ARGS__)
+#define VS_WARN(...) VS_LOG(::vs::LogLevel::kWarn, __VA_ARGS__)

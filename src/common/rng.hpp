@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Simulation runs must be exactly reproducible from a seed, across
+// platforms, so we carry our own xoshiro256** generator (public domain
+// algorithm by Blackman & Vigna) seeded through splitmix64 rather than rely
+// on implementation-defined std::default_random_engine behaviour.
+// Distribution helpers avoid std::uniform_int_distribution for the same
+// reason (its output is implementation-defined).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vs {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash-mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with portable, reproducible output.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <class T>
+  const T& pick(std::span<const T> items) {
+    VS_REQUIRE(!items.empty(), "pick from empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <class T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Fisher–Yates shuffle (reproducible, unlike std::shuffle across stdlibs).
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vs

@@ -1,0 +1,137 @@
+#include "ext/pursuit.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace vs::ext {
+
+PursuitCoordinator::PursuitCoordinator(tracking::TrackingNetwork& net,
+                                       const hier::GridHierarchy& hierarchy,
+                                       PursuitConfig config)
+    : net_(&net), hier_(&hierarchy), config_(config) {
+  VS_REQUIRE(config.pursuer_speed >= 1, "pursuer speed must be >= 1");
+}
+
+void PursuitCoordinator::add_pursuer(RegionId start) {
+  pursuers_.push_back(Pursuer{start, std::nullopt});
+}
+
+void PursuitCoordinator::add_target(TargetId target, vsa::Mover* mover) {
+  targets_.push_back(
+      Target{target, mover, false, net_->evaders().region_of(target)});
+}
+
+void PursuitCoordinator::assign() {
+  // Command center: repeatedly match the closest (pursuer, uncaught
+  // target) pair, so pursuers spread over distinct targets when possible.
+  for (auto& p : pursuers_) p.assigned.reset();
+  std::vector<bool> pursuer_used(pursuers_.size(), false);
+  std::vector<bool> target_used(targets_.size(), false);
+  const auto& t = hier_->tiling();
+  const std::size_t live = static_cast<std::size_t>(std::count_if(
+      targets_.begin(), targets_.end(), [](const Target& x) { return !x.caught; }));
+  const std::size_t pairs = std::min(pursuers_.size(), live);
+  for (std::size_t round = 0; round < pairs; ++round) {
+    int best = std::numeric_limits<int>::max();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < pursuers_.size(); ++i) {
+      if (pursuer_used[i]) continue;
+      for (std::size_t j = 0; j < targets_.size(); ++j) {
+        if (target_used[j] || targets_[j].caught) continue;
+        const int d = t.distance(pursuers_[i].pos, targets_[j].last_seen);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    pursuer_used[bi] = true;
+    target_used[bj] = true;
+    pursuers_[bi].assigned = targets_[bj].id;
+  }
+  // Leftover pursuers double up on the nearest uncaught target.
+  for (std::size_t i = 0; i < pursuers_.size(); ++i) {
+    if (pursuers_[i].assigned) continue;
+    int best = std::numeric_limits<int>::max();
+    for (const auto& target : targets_) {
+      if (target.caught) continue;
+      const int d = t.distance(pursuers_[i].pos, target.last_seen);
+      if (d < best) {
+        best = d;
+        pursuers_[i].assigned = target.id;
+      }
+    }
+  }
+}
+
+RegionId PursuitCoordinator::step_toward(RegionId from, RegionId goal,
+                                         int speed) {
+  const auto& grid = hier_->grid();
+  geo::Coord at = grid.coord(from);
+  const geo::Coord g = grid.coord(goal);
+  for (int s = 0; s < speed && (at.x != g.x || at.y != g.y); ++s) {
+    at.x += g.x == at.x ? 0 : (g.x > at.x ? 1 : -1);
+    at.y += g.y == at.y ? 0 : (g.y > at.y ? 1 : -1);
+  }
+  return grid.region_at(at);
+}
+
+PursuitOutcome PursuitCoordinator::run() {
+  VS_REQUIRE(!pursuers_.empty() && !targets_.empty(),
+             "need pursuers and targets");
+  PursuitOutcome out;
+  out.caught_round.assign(targets_.size(), -1);
+  const sim::TimePoint start = net_->now();
+  auto& counters = net_->counters();
+  const std::int64_t msgs0 = counters.find_messages();
+  const std::int64_t work0 = counters.find_work();
+
+  assign();
+  for (int round = 0; round < config_.max_rounds; ++round) {
+    out.rounds = round + 1;
+    // Evaders move one step.
+    for (auto& target : targets_) {
+      if (target.caught || target.mover == nullptr) continue;
+      const RegionId cur = net_->evaders().region_of(target.id);
+      net_->move_evader(target.id, target.mover->next(cur));
+    }
+    // Let tracking updates propagate for the round duration.
+    net_->run_for(config_.round);
+
+    // Pursuers query their assigned target and step toward the answer.
+    bool caught_any = false;
+    for (auto& p : pursuers_) {
+      if (!p.assigned) continue;
+      auto* target = &*std::find_if(
+          targets_.begin(), targets_.end(),
+          [&](const Target& x) { return x.id == *p.assigned; });
+      if (target->caught) continue;
+      const FindId f = net_->start_find(p.pos, target->id);
+      net_->run_for(config_.round);
+      const auto& r = net_->find_result(f);
+      if (r.done) target->last_seen = r.found_region;
+      p.pos = step_toward(p.pos, target->last_seen, config_.pursuer_speed);
+      if (p.pos == net_->evaders().region_of(target->id)) {
+        target->caught = true;
+        caught_any = true;
+        out.caught_round[static_cast<std::size_t>(
+            target - targets_.data())] = round;
+      }
+    }
+    if (caught_any) assign();
+    if (std::all_of(targets_.begin(), targets_.end(),
+                    [](const Target& x) { return x.caught; })) {
+      out.all_caught = true;
+      break;
+    }
+  }
+  out.elapsed = net_->now() - start;
+  out.find_messages = counters.find_messages() - msgs0;
+  out.find_work = counters.find_work() - work0;
+  return out;
+}
+
+}  // namespace vs::ext

@@ -1,0 +1,86 @@
+#pragma once
+// Coordinated multi-finder pursuit (paper §VII).
+//
+// The paper proposes letting tracking VSAs feed data-repository VSAs
+// acting as command centers that direct finders to targets "to eliminate
+// as much overlap in pursuit as possible" (cf. [15]). This extension
+// implements that loop on top of multi-target VINESTALK:
+//   - several evaders are tracked concurrently (Tracker state is keyed by
+//     TargetId);
+//   - pursuers periodically issue finds for their assigned target and step
+//     toward the reported region (greedy Chebyshev steps on the grid);
+//   - a command center assigns pursuers to targets by greedy min-distance
+//     matching, recomputed whenever a target is caught.
+// A pursuit ends when every evader shares a region with some pursuer.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "tracking/network.hpp"
+#include "vsa/evader.hpp"
+
+namespace vs::ext {
+
+struct PursuitConfig {
+  /// Pursuer speed: regions stepped per evader step.
+  int pursuer_speed = 2;
+  /// Virtual time between rounds (evader step + pursuer finds/steps).
+  sim::Duration round = sim::Duration::millis(200);
+  /// Safety cap.
+  int max_rounds = 20000;
+  std::uint64_t seed = 7;
+};
+
+struct PursuitOutcome {
+  bool all_caught = false;
+  int rounds = 0;
+  sim::Duration elapsed = sim::Duration::zero();
+  std::int64_t find_messages = 0;
+  std::int64_t find_work = 0;
+  /// Round at which each target was caught (-1 if never).
+  std::vector<int> caught_round;
+};
+
+class PursuitCoordinator {
+ public:
+  /// `net` must be built over a GridHierarchy (greedy steps use
+  /// coordinates). Targets must already be registered in the network.
+  PursuitCoordinator(tracking::TrackingNetwork& net,
+                     const hier::GridHierarchy& hierarchy,
+                     PursuitConfig config);
+
+  void add_pursuer(RegionId start);
+  /// Registers an evader to be pursued, with its movement strategy
+  /// (`mover` may be null for a stationary target).
+  void add_target(TargetId target, vsa::Mover* mover);
+
+  /// Runs rounds until capture or the round cap.
+  PursuitOutcome run();
+
+ private:
+  struct Pursuer {
+    RegionId pos{};
+    std::optional<TargetId> assigned;
+  };
+  struct Target {
+    TargetId id{};
+    vsa::Mover* mover = nullptr;
+    bool caught = false;
+    /// Last find answer the command center holds for this target.
+    RegionId last_seen{};
+  };
+
+  void assign();  // greedy min-distance matching at the command center
+  [[nodiscard]] RegionId step_toward(RegionId from, RegionId goal, int speed);
+
+  tracking::TrackingNetwork* net_;
+  const hier::GridHierarchy* hier_;
+  PursuitConfig config_;
+  std::vector<Pursuer> pursuers_;
+  std::vector<Target> targets_;
+};
+
+}  // namespace vs::ext

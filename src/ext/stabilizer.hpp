@@ -1,0 +1,62 @@
+#pragma once
+// Heartbeat-style repair of the tracking structure (paper §VII).
+//
+// The paper sketches making VINESTALK self-stabilizing "mainly through
+// heartbeats", as in STALK. This extension implements the repair loop: a
+// periodic tick detects the damage VSA failures/restarts leave behind —
+// a reset process forgets its pointers, so the path breaks and neighbours
+// hold stale secondary pointers — and repairs it *with ordinary protocol
+// messages*, exactly the messages the distributed heartbeat exchange would
+// trigger:
+//   - a parent whose child no longer points back receives a shrink from
+//     that child (deadwood cleanup);
+//   - a child whose parent no longer points back re-sends its grow
+//     (re-attachment; the grow terminates where the path is intact);
+//   - the evader's level-0 cluster re-receives the client grow if its
+//     self pointer was lost (detection refresh);
+//   - stale secondary pointers receive the missing shrinkUpd.
+// Detection uses the simulator's global view in place of per-link
+// heartbeat timers; the repair traffic, costs and handler behaviour are
+// the real protocol's (documented substitution, DESIGN.md).
+
+#include <cstdint>
+
+#include "sim/timer.hpp"
+#include "tracking/network.hpp"
+
+namespace vs::ext {
+
+class Stabilizer {
+ public:
+  /// Repairs the structure for `target` every `period`. The period should
+  /// comfortably exceed the move-update time at the top level, so that
+  /// in-flight updates of a healthy run are never mistaken for damage
+  /// (the tick skips entirely while move messages are in transit).
+  Stabilizer(tracking::TrackingNetwork& net, TargetId target,
+             sim::Duration period);
+
+  /// Starts the periodic tick.
+  void start();
+  /// Stops ticking (lets the scheduler drain).
+  void stop();
+
+  /// One detection/repair pass; exposed for deterministic tests.
+  /// Returns the number of repair messages injected.
+  int tick_once();
+
+  [[nodiscard]] std::int64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::int64_t ticks() const { return ticks_; }
+
+ private:
+  void on_tick();
+
+  tracking::TrackingNetwork* net_;
+  TargetId target_;
+  sim::Duration period_;
+  sim::Timer timer_;
+  bool running_ = false;
+  std::int64_t repairs_{0};
+  std::int64_t ticks_{0};
+};
+
+}  // namespace vs::ext

@@ -1,0 +1,40 @@
+#include "geo/strip_tiling.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace vs::geo {
+
+StripTiling::StripTiling(int length) : length_(length) {
+  VS_REQUIRE(length >= 2, "strip needs at least two regions");
+  nbr_offset_.resize(num_regions() + 1, 0);
+  nbr_flat_.reserve(2 * num_regions());
+  std::size_t off = 0;
+  for (int i = 0; i < length_; ++i) {
+    nbr_offset_[static_cast<std::size_t>(i)] = off;
+    if (i > 0) {
+      nbr_flat_.emplace_back(i - 1);
+      ++off;
+    }
+    if (i + 1 < length_) {
+      nbr_flat_.emplace_back(i + 1);
+      ++off;
+    }
+  }
+  nbr_offset_[num_regions()] = off;
+}
+
+std::span<const RegionId> StripTiling::neighbors(RegionId u) const {
+  check_region(u);
+  const auto i = static_cast<std::size_t>(u.value());
+  return {nbr_flat_.data() + nbr_offset_[i], nbr_offset_[i + 1] - nbr_offset_[i]};
+}
+
+int StripTiling::distance(RegionId u, RegionId v) const {
+  check_region(u);
+  check_region(v);
+  return std::abs(u.value() - v.value());
+}
+
+}  // namespace vs::geo

@@ -1,0 +1,35 @@
+#pragma once
+// One-dimensional strip tiling.
+//
+// N unit regions in a row; regions are neighbours iff adjacent. Exists to
+// exercise the generality of the hierarchy abstraction (the paper's cluster
+// model is not grid-specific) and to make small, hand-checkable test
+// scenarios: distances and paths are trivial to reason about on a line.
+
+#include <vector>
+
+#include "geo/tiling.hpp"
+
+namespace vs::geo {
+
+class StripTiling final : public Tiling {
+ public:
+  /// Requires length >= 2.
+  explicit StripTiling(int length);
+
+  [[nodiscard]] int length() const { return length_; }
+
+  [[nodiscard]] std::size_t num_regions() const override {
+    return static_cast<std::size_t>(length_);
+  }
+  [[nodiscard]] std::span<const RegionId> neighbors(RegionId u) const override;
+  [[nodiscard]] int distance(RegionId u, RegionId v) const override;
+  [[nodiscard]] int diameter() const override { return length_ - 1; }
+
+ private:
+  int length_;
+  std::vector<std::size_t> nbr_offset_;
+  std::vector<RegionId> nbr_flat_;
+};
+
+}  // namespace vs::geo

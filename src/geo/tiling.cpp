@@ -1,0 +1,55 @@
+#include "geo/tiling.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace vs::geo {
+
+std::string Tiling::describe(RegionId u) const {
+  return "region " + std::to_string(u.value());
+}
+
+bool Tiling::are_neighbors(RegionId u, RegionId v) const {
+  if (u == v) return false;
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+std::vector<RegionId> Tiling::all_regions() const {
+  std::vector<RegionId> out;
+  out.reserve(num_regions());
+  for (std::size_t i = 0; i < num_regions(); ++i) {
+    out.emplace_back(static_cast<RegionId::rep_type>(i));
+  }
+  return out;
+}
+
+std::vector<int> Tiling::bfs_distances(RegionId source) const {
+  check_region(source);
+  std::vector<int> dist(num_regions(), -1);
+  std::deque<RegionId> frontier;
+  dist[static_cast<std::size_t>(source.value())] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const RegionId u = frontier.front();
+    frontier.pop_front();
+    const int du = dist[static_cast<std::size_t>(u.value())];
+    for (const RegionId v : neighbors(u)) {
+      auto& dv = dist[static_cast<std::size_t>(v.value())];
+      if (dv < 0) {
+        dv = du + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+void Tiling::check_region(RegionId u) const {
+  VS_REQUIRE(u.valid() && static_cast<std::size_t>(u.value()) < num_regions(),
+             "region id " << u << " out of range [0, " << num_regions() << ")");
+}
+
+}  // namespace vs::geo

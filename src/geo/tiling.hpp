@@ -1,0 +1,55 @@
+#pragma once
+// Network tiling (paper §II-A).
+//
+// The deployment space is divided into connected regions with unique ids
+// from an ordered set U; regions are neighbours iff they share boundary
+// points; the distance between regions is hop distance in the neighbour
+// graph; the network diameter D is the maximum such distance.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace vs::geo {
+
+/// Abstract tiling of the deployment space.
+///
+/// Implementations must provide a connected neighbour graph over the dense
+/// region-id space [0, num_regions()). `distance` must equal hop distance
+/// in that graph (checked against BFS by the test suite).
+class Tiling {
+ public:
+  virtual ~Tiling() = default;
+
+  [[nodiscard]] virtual std::size_t num_regions() const = 0;
+
+  /// Regions sharing a boundary with `u` (the paper's `nbr` relation);
+  /// never contains `u` itself.
+  [[nodiscard]] virtual std::span<const RegionId> neighbors(RegionId u) const = 0;
+
+  /// Hop distance between regions in the neighbour graph.
+  [[nodiscard]] virtual int distance(RegionId u, RegionId v) const = 0;
+
+  /// Network diameter D = max pairwise distance.
+  [[nodiscard]] virtual int diameter() const = 0;
+
+  /// Human-readable region description (coordinates where meaningful).
+  [[nodiscard]] virtual std::string describe(RegionId u) const;
+
+  /// True iff u and v are distinct neighbours.
+  [[nodiscard]] bool are_neighbors(RegionId u, RegionId v) const;
+
+  /// All region ids, in id order.
+  [[nodiscard]] std::vector<RegionId> all_regions() const;
+
+  /// Reference hop-distance by breadth-first search (O(V+E)); used by the
+  /// validator to cross-check analytic `distance` implementations.
+  [[nodiscard]] std::vector<int> bfs_distances(RegionId source) const;
+
+ protected:
+  void check_region(RegionId u) const;
+};
+
+}  // namespace vs::geo

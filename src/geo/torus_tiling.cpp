@@ -1,0 +1,73 @@
+#include "geo/torus_tiling.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace vs::geo {
+
+namespace {
+int wrap(int v, int side) {
+  const int m = v % side;
+  return m < 0 ? m + side : m;
+}
+}  // namespace
+
+TorusTiling::TorusTiling(int side) : side_(side) {
+  VS_REQUIRE(side >= 3, "torus side must be >= 3");
+  nbr_offset_.resize(num_regions() + 1, 0);
+  nbr_flat_.reserve(num_regions() * 8);
+  std::size_t off = 0;
+  for (int y = 0; y < side_; ++y) {
+    for (int x = 0; x < side_; ++x) {
+      nbr_offset_[static_cast<std::size_t>(y) * static_cast<std::size_t>(side_) +
+                  static_cast<std::size_t>(x)] = off;
+      // Deduplicate (side 3: two wrap directions can name one region).
+      std::set<RegionId> nbrs;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const RegionId v = region_at(x + dx, y + dy);
+          if (v != region_at(x, y)) nbrs.insert(v);
+        }
+      }
+      for (const RegionId v : nbrs) {
+        nbr_flat_.push_back(v);
+        ++off;
+      }
+    }
+  }
+  nbr_offset_[num_regions()] = off;
+}
+
+std::span<const RegionId> TorusTiling::neighbors(RegionId u) const {
+  check_region(u);
+  const auto i = static_cast<std::size_t>(u.value());
+  return {nbr_flat_.data() + nbr_offset_[i], nbr_offset_[i + 1] - nbr_offset_[i]};
+}
+
+int TorusTiling::distance(RegionId u, RegionId v) const {
+  const Coord a = coord(u);
+  const Coord b = coord(v);
+  const int dx = std::abs(a.x - b.x);
+  const int dy = std::abs(a.y - b.y);
+  return std::max(std::min(dx, side_ - dx), std::min(dy, side_ - dy));
+}
+
+std::string TorusTiling::describe(RegionId u) const {
+  const Coord c = coord(u);
+  return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")~torus";
+}
+
+Coord TorusTiling::coord(RegionId u) const {
+  check_region(u);
+  return Coord{u.value() % side_, u.value() / side_};
+}
+
+RegionId TorusTiling::region_at(int x, int y) const {
+  return RegionId{wrap(y, side_) * side_ + wrap(x, side_)};
+}
+
+}  // namespace vs::geo

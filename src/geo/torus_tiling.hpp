@@ -1,0 +1,40 @@
+#pragma once
+// Toroidal grid tiling: a side×side king-graph with wrap-around edges.
+//
+// Models boundary-free deployments (every region is interior, every
+// cluster has the full neighbour count). Hop distance is wrap-Chebyshev:
+// max over axes of min(|Δ|, side − |Δ|). The wrap seam between columns
+// side−1 and 0 crosses *every* hierarchy level's block boundary, which
+// makes the torus a natural adversarial geometry for dithering tests.
+
+#include <vector>
+
+#include "geo/grid_tiling.hpp"
+
+namespace vs::geo {
+
+class TorusTiling final : public Tiling {
+ public:
+  /// Requires side >= 3 (so a region is not its own wrap-neighbour).
+  explicit TorusTiling(int side);
+
+  [[nodiscard]] int side() const { return side_; }
+
+  [[nodiscard]] std::size_t num_regions() const override {
+    return static_cast<std::size_t>(side_) * static_cast<std::size_t>(side_);
+  }
+  [[nodiscard]] std::span<const RegionId> neighbors(RegionId u) const override;
+  [[nodiscard]] int distance(RegionId u, RegionId v) const override;
+  [[nodiscard]] int diameter() const override { return side_ / 2; }
+  [[nodiscard]] std::string describe(RegionId u) const override;
+
+  [[nodiscard]] Coord coord(RegionId u) const;
+  [[nodiscard]] RegionId region_at(int x, int y) const;  // wraps modulo side
+
+ private:
+  int side_;
+  std::vector<std::size_t> nbr_offset_;
+  std::vector<RegionId> nbr_flat_;
+};
+
+}  // namespace vs::geo

@@ -1,0 +1,110 @@
+#include "hier/grid_hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vs::hier {
+
+namespace {
+
+/// Smallest MAX >= 1 with base^MAX >= side (= ⌈log_base(D+1)⌉ for D = side-1).
+Level levels_needed(int side, int base) {
+  Level l = 1;
+  std::int64_t span = base;
+  while (span < side) {
+    span *= base;
+    ++l;
+  }
+  return l;
+}
+
+std::int64_t ipow(std::int64_t b, Level e) {
+  std::int64_t r = 1;
+  for (Level i = 0; i < e; ++i) r *= b;
+  return r;
+}
+
+}  // namespace
+
+GridHierarchy::GridHierarchy(int width, int height, int base, HeadPolicy policy,
+                             std::uint64_t head_seed)
+    : grid_(width, height), base_(base) {
+  VS_REQUIRE(base >= 2, "grid hierarchy base must be >= 2, got " << base);
+  const int side = std::max(width, height);
+  VS_REQUIRE(side >= 2, "world must span at least 2 regions");
+  const Level max_level = levels_needed(side, base);
+
+  // Per-level block assignment: region (x, y) belongs to block
+  // (x / base^l, y / base^l).
+  std::vector<LevelAssignment> levels(static_cast<std::size_t>(max_level) + 1);
+  for (Level l = 0; l <= max_level; ++l) {
+    const std::int64_t block = ipow(base, l);
+    const int blocks_x =
+        static_cast<int>((width + block - 1) / block);  // ceil division
+    auto& assign = levels[static_cast<std::size_t>(l)].cluster_index_of_region;
+    assign.resize(grid_.num_regions());
+    for (std::size_t u = 0; u < grid_.num_regions(); ++u) {
+      const geo::Coord c =
+          grid_.coord(RegionId{static_cast<RegionId::rep_type>(u)});
+      const auto bx = static_cast<int>(c.x / block);
+      const auto by = static_cast<int>(c.y / block);
+      assign[u] = by * blocks_x + bx;
+    }
+  }
+
+  Rng rng{head_seed};
+  const auto pick_head = [&](std::span<const RegionId> mem,
+                             Level l) -> RegionId {
+    if (l == 0 || mem.size() == 1) return mem.front();
+    switch (policy) {
+      case HeadPolicy::kMinRegion:
+        return mem.front();
+      case HeadPolicy::kRandom:
+        return mem[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(mem.size()) - 1))];
+      case HeadPolicy::kCenter:
+        break;
+    }
+    // Member nearest the centroid of the block's bounding box.
+    int min_x = width, max_x = -1, min_y = height, max_y = -1;
+    for (const RegionId u : mem) {
+      const geo::Coord c = grid_.coord(u);
+      min_x = std::min(min_x, c.x);
+      max_x = std::max(max_x, c.x);
+      min_y = std::min(min_y, c.y);
+      max_y = std::max(max_y, c.y);
+    }
+    const double cx = (min_x + max_x) / 2.0;
+    const double cy = (min_y + max_y) / 2.0;
+    RegionId best = mem.front();
+    double best_d = 1e30;
+    for (const RegionId u : mem) {
+      const geo::Coord c = grid_.coord(u);
+      const double d =
+          std::max(std::abs(c.x - cx), std::abs(c.y - cy));
+      if (d < best_d) {
+        best_d = d;
+        best = u;
+      }
+    }
+    return best;
+  };
+
+  build(grid_, levels, pick_head);
+
+  // Paper's analytic geometry functions for the base-r grid.
+  std::vector<std::int64_t> n, p, q, omega;
+  for (Level l = 0; l <= max_level; ++l) {
+    const std::int64_t rl = ipow(base, l);
+    n.push_back(2 * rl - 1);
+    p.push_back(rl * base - 1);
+    q.push_back(rl);
+    omega.push_back(8);
+  }
+  set_geometry(std::move(n), std::move(p), std::move(q), std::move(omega));
+}
+
+}  // namespace vs::hier

@@ -1,0 +1,46 @@
+#pragma once
+// Base-r grid hierarchy — the paper's §II-B example.
+//
+// Level-l clusters are axis-aligned r^l × r^l blocks of regions (clipped at
+// the world boundary). The paper's parameters:
+//   MAX  = ⌈log_r(D + 1)⌉        (one top block covers the world)
+//   n(l) = 2·r^l − 1             (max distance into a neighbouring cluster)
+//   p(l) = r^{l+1} − 1           (max distance within the parent)
+//   q(l) = r^l                   (coverage radius of cluster ∪ neighbours)
+//   ω(l) = 8                     (king-graph block adjacency)
+// These are *declared* here and *verified* against the definitions by
+// hier::Validator in the test suite, including on clipped (non-power) grids.
+
+#include <cstdint>
+
+#include "geo/grid_tiling.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::hier {
+
+/// Clusterhead placement rule. The paper allows any member ("Any region in
+/// a cluster can be the clusterhead"); the choice affects only constants in
+/// the work bounds, which bench_grid_base explores.
+enum class HeadPolicy {
+  kCenter,     // member nearest the block centre (default; balanced constants)
+  kMinRegion,  // lowest region id (deterministic corner)
+  kRandom,     // uniform member, seeded
+};
+
+class GridHierarchy final : public ClusterHierarchy {
+ public:
+  /// Builds the base-`base` hierarchy over a width×height grid.
+  /// Requires base >= 2 and max(width, height) >= 2.
+  GridHierarchy(int width, int height, int base,
+                HeadPolicy policy = HeadPolicy::kCenter,
+                std::uint64_t head_seed = 1);
+
+  [[nodiscard]] const geo::GridTiling& grid() const { return grid_; }
+  [[nodiscard]] int base() const { return base_; }
+
+ private:
+  geo::GridTiling grid_;
+  int base_;
+};
+
+}  // namespace vs::hier

@@ -1,0 +1,29 @@
+#pragma once
+// Base-r hierarchy over a 1-D strip tiling.
+//
+// Level-l clusters are aligned runs of r^l consecutive regions. Exercises
+// the non-grid generality of the cluster model: ω(l) = 2, and geometry
+// bounds are the 1-D analogues n(l) = 2r^l − 1, p(l) = r^{l+1} − 1,
+// q(l) = r^l.
+
+#include <cstdint>
+
+#include "geo/strip_tiling.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::hier {
+
+class StripHierarchy final : public ClusterHierarchy {
+ public:
+  /// Requires base >= 2 and length >= 2.
+  StripHierarchy(int length, int base);
+
+  [[nodiscard]] const geo::StripTiling& strip() const { return strip_; }
+  [[nodiscard]] int base() const { return base_; }
+
+ private:
+  geo::StripTiling strip_;
+  int base_;
+};
+
+}  // namespace vs::hier

@@ -1,0 +1,30 @@
+#pragma once
+// Base-r hierarchy over a toroidal grid.
+//
+// Requires side = r^MAX exactly, so aligned r^l × r^l blocks tile the
+// torus evenly and nest. Every block has the full 8 neighbours (wrapping),
+// so ω(l) = 8 and the boundary between columns side−1 and 0 is a
+// top-level boundary. Geometry bounds are the grid values clipped at the
+// torus diameter: n(l) = min(2r^l − 1, ⌊side/2⌋), p(l) = min(r^{l+1} − 1,
+// ⌊side/2⌋), q(l) = r^l.
+
+#include "geo/torus_tiling.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::hier {
+
+class TorusHierarchy final : public ClusterHierarchy {
+ public:
+  /// Requires base >= 2 and side an exact power of base (side = base^MAX,
+  /// MAX >= 1), side >= 3.
+  TorusHierarchy(int side, int base);
+
+  [[nodiscard]] const geo::TorusTiling& torus() const { return torus_; }
+  [[nodiscard]] int base() const { return base_; }
+
+ private:
+  geo::TorusTiling torus_;
+  int base_;
+};
+
+}  // namespace vs::hier

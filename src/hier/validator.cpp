@@ -1,0 +1,307 @@
+#include "hier/validator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace vs::hier {
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& v : violations) os << v << '\n';
+  return os.str();
+}
+
+void Validator::add(ValidationReport& report, std::string msg) const {
+  if (report.violations.size() < max_violations_) {
+    report.violations.push_back(std::move(msg));
+  }
+}
+
+ValidationReport Validator::validate_all() const {
+  ValidationReport report;
+  check_structure(report);
+  check_geometry_bounds(report);
+  check_derived_inequalities(report);
+  check_proximity(report);
+  return report;
+}
+
+void Validator::check_structure(ValidationReport& report) const {
+  const auto& h = *h_;
+  const auto& t = h.tiling();
+  const Level max = h.max_level();
+
+  if (max <= 0) add(report, "MAX must be > 0");
+
+  // Requirement 2: exactly one level-MAX cluster.
+  if (h.clusters_at(max).size() != 1) {
+    add(report, "level MAX has " + std::to_string(h.clusters_at(max).size()) +
+                    " clusters, want 1");
+  }
+
+  // Requirement 3: each region is the only member of its level-0 cluster.
+  for (const RegionId u : t.all_regions()) {
+    const ClusterId c0 = h.cluster_of(u, 0);
+    const auto mem = h.members(c0);
+    if (mem.size() != 1 || mem.front() != u) {
+      add(report, "level-0 cluster of region " + std::to_string(u.value()) +
+                      " is not the singleton {region}");
+    }
+  }
+
+  for (Level l = 0; l <= max; ++l) {
+    std::size_t covered = 0;
+    for (const ClusterId c : h.clusters_at(l)) {
+      // Requirement 1: each cluster belongs to exactly one level.
+      if (h.level(c) != l) {
+        add(report, "cluster " + std::to_string(c.value()) +
+                        " listed at level " + std::to_string(l) +
+                        " but reports level " + std::to_string(h.level(c)));
+      }
+      // Requirement 6: head is a member.
+      const auto mem = h.members(c);
+      if (std::find(mem.begin(), mem.end(), h.head(c)) == mem.end()) {
+        add(report,
+            "head of cluster " + std::to_string(c.value()) + " not a member");
+      }
+      // cluster() must be consistent with members() (requirement 4 —
+      // distinct same-level clusters don't overlap — follows since
+      // cluster_of is a function and members() round-trips through it).
+      for (const RegionId u : mem) {
+        if (h.cluster_of(u, l) != c) {
+          add(report, "cluster_of(members) round-trip failed for cluster " +
+                          std::to_string(c.value()));
+        }
+      }
+      covered += mem.size();
+      // Requirement 5 + parent/children consistency.
+      if (l != max) {
+        const ClusterId par = h.parent(c);
+        if (!par.valid() || h.level(par) != l + 1) {
+          add(report, "cluster " + std::to_string(c.value()) +
+                          " lacks a level-(l+1) parent");
+          continue;
+        }
+        const auto pm = h.members(par);
+        for (const RegionId u : mem) {
+          if (std::find(pm.begin(), pm.end(), u) == pm.end()) {
+            add(report, "member of cluster " + std::to_string(c.value()) +
+                            " missing from parent (requirement 5)");
+            break;
+          }
+        }
+        const auto kids = h.children(par);
+        if (std::find(kids.begin(), kids.end(), c) == kids.end()) {
+          add(report, "cluster " + std::to_string(c.value()) +
+                          " not in its parent's children()");
+        }
+      }
+      // nbrs(): symmetric, same level, excludes self, matches definition.
+      for (const ClusterId b : h.nbrs(c)) {
+        if (b == c) add(report, "cluster is its own neighbour");
+        if (h.level(b) != l) add(report, "cross-level cluster neighbour");
+        if (!h.are_cluster_neighbors(b, c)) {
+          add(report, "cluster neighbour relation not symmetric");
+        }
+      }
+    }
+    // `cluster` total + requirement 4: per level, clusters partition regions.
+    if (covered != t.num_regions()) {
+      add(report, "level " + std::to_string(l) + " clusters cover " +
+                      std::to_string(covered) + " of " +
+                      std::to_string(t.num_regions()) + " regions");
+    }
+  }
+
+  // nbrs() must equal the derived definition: share a region boundary.
+  for (const RegionId u : t.all_regions()) {
+    for (const RegionId v : t.neighbors(u)) {
+      for (Level l = 0; l <= max; ++l) {
+        const ClusterId cu = h.cluster_of(u, l);
+        const ClusterId cv = h.cluster_of(v, l);
+        if (cu != cv && !h.are_cluster_neighbors(cu, cv)) {
+          add(report, "adjacent regions in non-neighbouring level-" +
+                          std::to_string(l) + " clusters");
+        }
+      }
+    }
+  }
+}
+
+void Validator::check_geometry_bounds(ValidationReport& report) const {
+  const auto& h = *h_;
+  const auto& t = h.tiling();
+  const Level max = h.max_level();
+
+  for (Level l = 0; l <= max; ++l) {
+    for (const ClusterId c : h.clusters_at(l)) {
+      // Assumption 2: at most ω(l) neighbours.
+      if (static_cast<std::int64_t>(h.nbrs(c).size()) > h.omega(l)) {
+        add(report, "cluster " + std::to_string(c.value()) + " has " +
+                        std::to_string(h.nbrs(c).size()) +
+                        " neighbours > omega(" + std::to_string(l) + ")=" +
+                        std::to_string(h.omega(l)));
+      }
+      if (l == max) continue;
+      // Assumption 3: members within n(l) of any neighbour's members.
+      for (const ClusterId b : h.nbrs(c)) {
+        if (b < c) continue;  // unordered pair once
+        for (const RegionId u : h.members(c)) {
+          for (const RegionId v : h.members(b)) {
+            if (t.distance(u, v) > h.n(l)) {
+              add(report, "n(" + std::to_string(l) + ")=" +
+                              std::to_string(h.n(l)) + " violated: dist=" +
+                              std::to_string(t.distance(u, v)));
+            }
+          }
+        }
+      }
+      // Assumption 4: members within p(l) of the parent's members.
+      const auto pm = h.members(h.parent(c));
+      for (const RegionId u : h.members(c)) {
+        for (const RegionId v : pm) {
+          if (t.distance(u, v) > h.p(l)) {
+            add(report, "p(" + std::to_string(l) + ")=" +
+                            std::to_string(h.p(l)) + " violated: dist=" +
+                            std::to_string(t.distance(u, v)));
+          }
+        }
+      }
+    }
+  }
+
+  // Assumption 5: any region within q(l) of a level-l cluster is in it or a
+  // neighbour. Checked over all region pairs.
+  for (const RegionId u : t.all_regions()) {
+    for (const RegionId v : t.all_regions()) {
+      const int d = t.distance(u, v);
+      for (Level l = 0; l <= max; ++l) {
+        if (d > h.q(l)) continue;
+        const ClusterId cu = h.cluster_of(u, l);
+        const ClusterId cv = h.cluster_of(v, l);
+        if (cu != cv && !h.are_cluster_neighbors(cu, cv)) {
+          add(report, "q(" + std::to_string(l) + ")=" + std::to_string(h.q(l)) +
+                          " violated for regions " + std::to_string(u.value()) +
+                          "," + std::to_string(v.value()) + " at dist " +
+                          std::to_string(d));
+        }
+      }
+    }
+  }
+}
+
+void Validator::check_derived_inequalities(ValidationReport& report) const {
+  const auto& h = *h_;
+  const Level max = h.max_level();
+  if (h.q(0) != 1) add(report, "q(0) must be 1, got " + std::to_string(h.q(0)));
+  for (Level l = 0; l <= max; ++l) {
+    if (h.q(l) > h.n(l)) {
+      add(report, "q(l) <= n(l) violated at level " + std::to_string(l));
+    }
+    if (l >= 1 && 2 * h.q(l - 1) > h.q(l)) {
+      add(report, "2q(l-1) <= q(l) violated at level " + std::to_string(l));
+    }
+    if (l + 1 <= max) {
+      if (h.n(l) > h.n(l + 1)) {
+        add(report, "n not monotone at level " + std::to_string(l));
+      }
+      if (h.p(l) > h.p(l + 1)) {
+        add(report, "p not monotone at level " + std::to_string(l));
+      }
+      if (h.p(l) > h.n(l + 1)) {
+        add(report, "p(l) <= n(l+1) violated at level " + std::to_string(l));
+      }
+    }
+  }
+}
+
+void Validator::check_proximity(ValidationReport& report) const {
+  const auto& h = *h_;
+  const auto& t = h.tiling();
+  const Level max = h.max_level();
+
+  // For each chain top c_l, compute the per-level down-sets D_j of clusters
+  // reachable by the paper's chain rule, then require every region
+  // neighbouring a chain member to stay within {c_l} ∪ nbrs(c_l) at level l.
+  for (Level l = 0; l <= max; ++l) {
+    for (const ClusterId top : h.clusters_at(l)) {
+      std::set<ClusterId> allowed{top};
+      for (const ClusterId b : h.nbrs(top)) allowed.insert(b);
+
+      std::set<ClusterId> down{top};
+      for (Level j = l; j >= 0; --j) {
+        // Check every cluster in the current down-set.
+        for (const ClusterId ck : down) {
+          for (const RegionId w : h.members(ck)) {
+            for (const RegionId v : t.neighbors(w)) {
+              const ClusterId cv = h.cluster_of(v, l);
+              if (!allowed.contains(cv)) {
+                add(report,
+                    "proximity violated: chain from top cluster " +
+                        std::to_string(top.value()) + " (level " +
+                        std::to_string(l) + ") reaches level-" +
+                        std::to_string(j) + " cluster " +
+                        std::to_string(ck.value()) +
+                        " with an escaping neighbour region " +
+                        std::to_string(v.value()));
+                if (report.violations.size() >= max_violations_) return;
+              }
+            }
+          }
+        }
+        if (j == 0) break;
+        // Descend: c_{j-1} qualifies iff its parent, or a neighbour's
+        // parent, is in D_j.
+        std::set<ClusterId> next;
+        for (const ClusterId c : h.clusters_at(j - 1)) {
+          bool in = down.contains(h.parent(c));
+          if (!in) {
+            for (const ClusterId b : h.nbrs(c)) {
+              if (down.contains(h.parent(b))) {
+                in = true;
+                break;
+              }
+            }
+          }
+          if (in) next.insert(c);
+        }
+        down = std::move(next);
+      }
+    }
+  }
+}
+
+ValidationReport Validator::validate_tiling(const geo::Tiling& t) {
+  ValidationReport report;
+  const auto add = [&](std::string msg) {
+    if (report.violations.size() < 16) report.violations.push_back(std::move(msg));
+  };
+
+  for (const RegionId u : t.all_regions()) {
+    const auto nbrs = t.neighbors(u);
+    for (const RegionId v : nbrs) {
+      if (v == u) add("region is its own neighbour");
+      if (!t.are_neighbors(v, u)) add("neighbour relation not symmetric");
+    }
+    // Analytic distance must equal BFS hop distance (and imply diameter).
+    const auto bfs = t.bfs_distances(u);
+    for (const RegionId v : t.all_regions()) {
+      const int d = bfs[static_cast<std::size_t>(v.value())];
+      if (d < 0) {
+        add("tiling not connected");
+        return report;
+      }
+      if (d != t.distance(u, v)) {
+        add("distance(" + std::to_string(u.value()) + "," +
+            std::to_string(v.value()) + ")=" +
+            std::to_string(t.distance(u, v)) + " but BFS says " +
+            std::to_string(d));
+      }
+      if (d > t.diameter()) add("pair exceeds declared diameter");
+    }
+  }
+  return report;
+}
+
+}  // namespace vs::hier

@@ -1,0 +1,55 @@
+#pragma once
+// Brute-force checker for the cluster-hierarchy axioms of §II-B.
+//
+// The hierarchy constructors *declare* geometry functions n, p, q, ω; the
+// tracking algorithm's timer inequality and the work/time theorems are
+// sound only if the declared values actually satisfy the paper's
+// assumptions. This validator checks every structural requirement (1-6),
+// every geometry assumption (proximity, ω, n, p, q), and the derived
+// inequalities, directly against the definitions. It is O(R²·MAX)-ish and
+// intended for the test suite on small-to-medium worlds.
+
+#include <string>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+
+namespace vs::hier {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// All violations joined by newlines (gtest failure message helper).
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Validator {
+ public:
+  explicit Validator(const ClusterHierarchy& h, std::size_t max_violations = 16)
+      : h_(&h), max_violations_(max_violations) {}
+
+  /// Runs every check below.
+  [[nodiscard]] ValidationReport validate_all() const;
+
+  /// Structural requirements 1-6 of §II-B.
+  void check_structure(ValidationReport& report) const;
+  /// Geometry assumption 1 (proximity).
+  void check_proximity(ValidationReport& report) const;
+  /// Geometry assumptions 2-5 (ω, n, p, q bounds).
+  void check_geometry_bounds(ValidationReport& report) const;
+  /// Derived relations: q(0)=1, q(l)≤n(l), 2q(l−1)≤q(l), monotone n/p,
+  /// p(l)≤n(l+1).
+  void check_derived_inequalities(ValidationReport& report) const;
+
+  /// Cross-checks the tiling's analytic `distance` against BFS and its
+  /// neighbour relation for symmetry/irreflexivity.
+  static ValidationReport validate_tiling(const geo::Tiling& t);
+
+ private:
+  void add(ValidationReport& report, std::string msg) const;
+
+  const ClusterHierarchy* h_;
+  std::size_t max_violations_;
+};
+
+}  // namespace vs::hier

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::sim {
+
+EventId EventQueue::push(TimePoint when, Action action) {
+  VS_REQUIRE(!when.is_never(), "cannot schedule an event at ∞");
+  VS_REQUIRE(static_cast<bool>(action), "empty event action");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  actions_.emplace(seq, std::move(action));
+  ++live_count_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  const auto erased = actions_.erase(id.value());
+  if (erased != 0) --live_count_;
+  return erased != 0;
+}
+
+void EventQueue::skim() const {
+  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  skim();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() const {
+  skim();
+  VS_REQUIRE(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().when;
+}
+
+EventQueue::Action EventQueue::pop(TimePoint& when) {
+  skim();
+  VS_REQUIRE(!heap_.empty(), "pop on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = actions_.find(top.seq);
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_count_;
+  when = top.when;
+  return action;
+}
+
+}  // namespace vs::sim

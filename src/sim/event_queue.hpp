@@ -1,0 +1,77 @@
+#pragma once
+// Pending-event set for the discrete-event scheduler.
+//
+// Ordering is (time, sequence-number): two events at the same instant fire
+// in the order they were scheduled, which makes every run reproducible.
+// Cancellation is O(1) by tombstoning; tombstones are skimmed off at pop.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vs::sim {
+
+/// Handle to a scheduled event, usable for cancellation.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  [[nodiscard]] constexpr std::uint64_t value() const { return seq_; }
+  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  std::uint64_t seq_{0};  // 0 = "no event"
+};
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `action` at absolute time `when`. Requires !when.is_never().
+  EventId push(TimePoint when, Action action);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Remove and return the earliest live event's action.
+  /// Requires !empty(). Also reports the event's time via `when`.
+  Action pop(TimePoint& when);
+
+  /// Number of live events (O(1); maintained incrementally).
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    // Heap entries are indices into actions_ so the comparator stays cheap
+    // and copy-free.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skim() const;  // drop cancelled entries off the top
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_map<std::uint64_t, Action> actions_;
+  std::uint64_t next_seq_{1};
+  std::size_t live_count_{0};
+};
+
+}  // namespace vs::sim

@@ -1,0 +1,53 @@
+#include "sim/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::sim {
+
+EventId Scheduler::schedule_after(Duration delay, Action action) {
+  VS_REQUIRE(delay >= Duration::zero(),
+             "negative delay " << delay << " at " << now_);
+  return queue_.push(now_ + delay, std::move(action));
+}
+
+EventId Scheduler::schedule_at(TimePoint when, Action action) {
+  VS_REQUIRE(when >= now_, "scheduling into the past: " << when << " < " << now_);
+  return queue_.push(when, std::move(action));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  TimePoint when;
+  Action action = queue_.pop(when);
+  VS_DCHECK(when >= now_, "event queue time went backwards");
+  now_ = when;
+  ++events_fired_;
+  action();
+  return true;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (step()) {
+    ++fired;
+    VS_REQUIRE(fired <= max_events,
+               "event budget exhausted (" << max_events
+                                          << " events) — model not quiescing?");
+  }
+  return fired;
+}
+
+std::uint64_t Scheduler::run_until(TimePoint deadline,
+                                   std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+    ++fired;
+    VS_REQUIRE(fired <= max_events,
+               "event budget exhausted before deadline " << deadline);
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace vs::sim

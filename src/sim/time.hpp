@@ -1,0 +1,99 @@
+#pragma once
+// Virtual time for the timed-automata simulation.
+//
+// The VSA layer (paper §II-C) is a *timed* model: message latencies are
+// exact multiples of (δ + e), and the Tracker automaton's correctness rests
+// on the timer inequality (1), so time arithmetic must be exact. We use
+// integer microseconds, not floating point, to keep schedules deterministic
+// and comparisons exact.
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace vs::sim {
+
+/// A span of virtual time, in integer microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration micros(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration millis(std::int64_t n) { return Duration{n * 1000}; }
+  static constexpr Duration seconds(std::int64_t n) {
+    return Duration{n * 1000000};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return micros_; }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(micros_) * 1e-6;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.micros_ + b.micros_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration{a.micros_ * k};
+  }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) {
+    return a * k;
+  }
+  constexpr Duration& operator+=(Duration b) {
+    micros_ += b.micros_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Duration, Duration) = default;
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.micros_ << "us";
+  }
+
+ private:
+  std::int64_t micros_{0};
+};
+
+/// An instant of virtual time. `never()` plays the role of the paper's
+/// timer value ∞.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr TimePoint zero() { return TimePoint{0}; }
+  static constexpr TimePoint never() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return micros_; }
+  [[nodiscard]] constexpr bool is_never() const {
+    return micros_ == std::numeric_limits<std::int64_t>::max();
+  }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) {
+    return TimePoint{t.micros_ + d.count()};
+  }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration{a.micros_ - b.micros_};
+  }
+
+  friend constexpr bool operator==(TimePoint, TimePoint) = default;
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    if (t.is_never()) return os << "∞";
+    return os << "t=" << t.micros_ << "us";
+  }
+
+ private:
+  std::int64_t micros_{0};
+};
+
+}  // namespace vs::sim

@@ -1,0 +1,2 @@
+// Timer is header-only; this TU anchors the target.
+#include "sim/timer.hpp"

@@ -1,0 +1,64 @@
+#pragma once
+// TIOA-style resettable timer.
+//
+// Figure 2's Tracker keeps a state variable `timer ∈ R, initially ∞`; an
+// output action is enabled when `now = timer`. This class reproduces those
+// semantics on the scheduler: `arm(t)` sets the variable, `disarm()` resets
+// it to ∞, and the callback fires exactly when virtual time reaches the
+// armed deadline (re-arming cancels the previous deadline, as assignment to
+// the TIOA variable would).
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace vs::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `callback` fires when the armed deadline is reached.
+  Timer(Scheduler& sched, Callback callback)
+      : sched_(&sched), callback_(std::move(callback)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { disarm(); }
+
+  /// Set the timer variable to `deadline` (replacing any earlier value).
+  void arm(TimePoint deadline) {
+    disarm();
+    if (deadline.is_never()) return;
+    deadline_ = deadline;
+    event_ = sched_->schedule_at(deadline, [this] {
+      event_ = EventId{};
+      deadline_ = TimePoint::never();
+      callback_();
+    });
+  }
+
+  /// Arm `delay` from the scheduler's current time.
+  void arm_after(Duration delay) { arm(sched_->now() + delay); }
+
+  /// Reset the timer variable to ∞.
+  void disarm() {
+    if (event_.valid()) sched_->cancel(event_);
+    event_ = EventId{};
+    deadline_ = TimePoint::never();
+  }
+
+  /// Current value of the timer variable (∞ when disarmed).
+  [[nodiscard]] TimePoint deadline() const { return deadline_; }
+  [[nodiscard]] bool armed() const { return !deadline_.is_never(); }
+
+ private:
+  Scheduler* sched_;
+  Callback callback_;
+  EventId event_{};
+  TimePoint deadline_ = TimePoint::never();
+};
+
+}  // namespace vs::sim

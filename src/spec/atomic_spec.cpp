@@ -1,0 +1,70 @@
+#include "spec/atomic_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::spec {
+
+using tracking::SystemSnapshot;
+using tracking::TrackerSnapshot;
+using tracking::TransitMsg;
+using vsa::MsgType;
+
+namespace {
+
+IdealState empty_state(const hier::ClusterHierarchy& h) {
+  IdealState state(h.num_clusters());
+  for (std::size_t c = 0; c < h.num_clusters(); ++c) {
+    state[c].clust = ClusterId{static_cast<ClusterId::rep_type>(c)};
+  }
+  return state;
+}
+
+}  // namespace
+
+AtomicSpec::AtomicSpec(const hier::ClusterHierarchy& hierarchy,
+                       bool lateral_links)
+    : hier_(&hierarchy),
+      lateral_links_(lateral_links),
+      state_(empty_state(hierarchy)) {}
+
+void AtomicSpec::init(RegionId start) {
+  VS_REQUIRE(!where_.valid(), "init() must be the first move");
+  // The move input puts a grow (from the level-0 cluster to itself) in
+  // transit; lookAhead then yields init(c0) (Lemma 4.6).
+  SystemSnapshot snap;
+  snap.hier = hier_;
+  snap.trackers = state_;
+  const ClusterId c0 = hier_->cluster_of(start, 0);
+  snap.in_transit.push_back(TransitMsg{MsgType::kGrow, c0, c0});
+  state_ = look_ahead(snap, lateral_links_);
+  where_ = start;
+}
+
+void AtomicSpec::apply_move(RegionId to) {
+  VS_REQUIRE(where_.valid(), "apply_move before init");
+  VS_REQUIRE(hier_->tiling().are_neighbors(where_, to),
+             "atomicMove requires a neighbouring region");
+  // Move inputs put a grow at the new and a shrink at the old level-0
+  // cluster in transit; lookAhead yields atomicMove (Lemma 4.7).
+  SystemSnapshot snap;
+  snap.hier = hier_;
+  snap.trackers = state_;
+  const ClusterId new_c0 = hier_->cluster_of(to, 0);
+  const ClusterId old_c0 = hier_->cluster_of(where_, 0);
+  snap.in_transit.push_back(TransitMsg{MsgType::kGrow, new_c0, new_c0});
+  snap.in_transit.push_back(TransitMsg{MsgType::kShrink, old_c0, old_c0});
+  state_ = look_ahead(snap, lateral_links_);
+  where_ = to;
+}
+
+IdealState AtomicSpec::move_seq(const hier::ClusterHierarchy& hierarchy,
+                                const std::vector<RegionId>& seq,
+                                bool lateral_links) {
+  VS_REQUIRE(!seq.empty(), "move sequence must contain the initial region");
+  AtomicSpec spec(hierarchy, lateral_links);
+  spec.init(seq.front());
+  for (std::size_t i = 1; i < seq.size(); ++i) spec.apply_move(seq[i]);
+  return spec.state();
+}
+
+}  // namespace vs::spec

@@ -1,0 +1,49 @@
+#pragma once
+// Executable atomic-move specification (§IV-C terminology).
+//
+// init(c0) produces the consistent state whose tracking path is a vertical
+// growth from c0 to level MAX; atomicMove maps a consistent state and a
+// neighbouring relocation to the next consistent state; atomicMoveSeq
+// folds a whole move sequence. Per Lemmas 4.6/4.7 these coincide with
+// lookAhead applied right after the corresponding move inputs, which is
+// exactly how this class computes them — one code path shared with the
+// Figure 3 implementation.
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hier/hierarchy.hpp"
+#include "spec/look_ahead.hpp"
+
+namespace vs::spec {
+
+class AtomicSpec {
+ public:
+  /// `lateral_links` must match the implementation variant being specified.
+  explicit AtomicSpec(const hier::ClusterHierarchy& hierarchy,
+                      bool lateral_links = true);
+
+  /// Applies init(cluster(start, 0)): the first move input.
+  void init(RegionId start);
+
+  /// Applies atomicMove with the new location. Requires init() first and
+  /// `to` neighbouring the current region.
+  void apply_move(RegionId to);
+
+  /// Folds init + moves (atomicMoveSeq). The sequence must start at the
+  /// initial placement and step across neighbouring regions.
+  static IdealState move_seq(const hier::ClusterHierarchy& hierarchy,
+                             const std::vector<RegionId>& seq,
+                             bool lateral_links = true);
+
+  [[nodiscard]] const IdealState& state() const { return state_; }
+  [[nodiscard]] RegionId evader_region() const { return where_; }
+
+ private:
+  const hier::ClusterHierarchy* hier_;
+  bool lateral_links_;
+  IdealState state_;
+  RegionId where_{};
+};
+
+}  // namespace vs::spec

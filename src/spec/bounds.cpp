@@ -1,0 +1,66 @@
+#include "spec/bounds.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::spec {
+
+double move_work_bound_per_step(const hier::ClusterHierarchy& h) {
+  double sum = static_cast<double>(h.omega(0));
+  for (Level j = 1; j <= h.max_level(); ++j) {
+    sum += static_cast<double>(h.n(j)) * (1.0 + static_cast<double>(h.omega(j))) /
+           static_cast<double>(h.q(j - 1));
+  }
+  return sum;
+}
+
+double move_time_bound_per_step(const hier::ClusterHierarchy& h,
+                                const tracking::TimerPolicy& timers,
+                                sim::Duration delta_plus_e) {
+  VS_REQUIRE(static_cast<bool>(timers.shrink), "timer policy unset");
+  double sum = static_cast<double>(timers.shrink(0).count());
+  for (Level j = 1; j <= h.max_level(); ++j) {
+    const double s_j = j < h.max_level()
+                           ? static_cast<double>(timers.shrink(j).count())
+                           : 0.0;  // no timer at MAX
+    const double term =
+        s_j + static_cast<double>(delta_plus_e.count()) *
+                  static_cast<double>(h.n(j));
+    sum += term / static_cast<double>(h.q(j - 1));
+  }
+  return sum;
+}
+
+Level find_level(const hier::ClusterHierarchy& h, int d) {
+  VS_REQUIRE(d >= 0, "negative distance");
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    if (h.q(l) >= d) return l;
+  }
+  return h.max_level();
+}
+
+double find_work_bound(const hier::ClusterHierarchy& h, int d) {
+  const Level l = find_level(h, d);
+  double sum = 0;
+  for (Level j = 0; j <= l; ++j) {
+    sum += (1.0 + static_cast<double>(h.omega(j))) *
+           static_cast<double>(h.n(j));
+  }
+  return sum;
+}
+
+double find_time_bound(const hier::ClusterHierarchy& h, int d,
+                       sim::Duration delta_plus_e) {
+  const Level l = find_level(h, d);
+  double hops = static_cast<double>(h.n(l));
+  for (Level j = 0; j < l; ++j) {
+    hops += static_cast<double>(h.p(j)) + static_cast<double>(h.n(j));
+  }
+  // The search phase additionally waits out one neighbour round trip per
+  // level (the 2(δ+e)n(j) nbrtimeouts of §V's proof sketch).
+  for (Level j = 0; j <= l; ++j) {
+    hops += 2.0 * static_cast<double>(h.n(j));
+  }
+  return hops * static_cast<double>(delta_plus_e.count());
+}
+
+}  // namespace vs::spec

@@ -1,0 +1,47 @@
+#pragma once
+// The paper's complexity bounds as evaluatable formulas.
+//
+// Theorem 4.9 (move): updates for moves totalling distance d cost
+// amortised work
+//     O(d · [ω(0) + Σ_{j=1..MAX} n(j)(1 + ω(j)) / q(j−1)])
+// and amortised time
+//     O(d · [s(0) + Σ_{j=1..MAX} (s(j) + (δ+e)·n(j)) / q(j−1)]).
+//
+// Theorem 5.2 (find): a find from distance d costs work
+//     O(Σ_{j=0..l} (1 + ω(j))·n(j))
+// and time O((δ+e)·(n(l) + Σ_{j<l} (p(j) + n(j)))), where l is the lowest
+// level with d ≤ q(l).
+//
+// Benches and tests evaluate these sums for the actual hierarchy in use
+// and compare measured cost against them — the reproduction's "theory
+// lines".
+
+#include <cstdint>
+
+#include "hier/hierarchy.hpp"
+#include "sim/time.hpp"
+#include "tracking/config.hpp"
+
+namespace vs::spec {
+
+/// Theorem 4.9's amortised work-per-unit-distance sum.
+[[nodiscard]] double move_work_bound_per_step(const hier::ClusterHierarchy& h);
+
+/// Theorem 4.9's amortised time-per-unit-distance sum (in microseconds),
+/// for the given timer policy and latency constants.
+[[nodiscard]] double move_time_bound_per_step(
+    const hier::ClusterHierarchy& h, const tracking::TimerPolicy& timers,
+    sim::Duration delta_plus_e);
+
+/// The lowest level l with d ≤ q(l) (the search-phase ceiling of
+/// Theorem 5.1/5.2).
+[[nodiscard]] Level find_level(const hier::ClusterHierarchy& h, int d);
+
+/// Theorem 5.2's find-work sum for a find from distance d.
+[[nodiscard]] double find_work_bound(const hier::ClusterHierarchy& h, int d);
+
+/// Theorem 5.2's find-time bound (microseconds) for distance d.
+[[nodiscard]] double find_time_bound(const hier::ClusterHierarchy& h, int d,
+                                     sim::Duration delta_plus_e);
+
+}  // namespace vs::spec

@@ -1,0 +1,174 @@
+#include "spec/consistency.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vs::spec {
+
+using tracking::TrackerSnapshot;
+
+std::string ConsistencyReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& v : violations) os << v << '\n';
+  return os.str();
+}
+
+namespace {
+
+std::size_t idx(ClusterId c) { return static_cast<std::size_t>(c.value()); }
+
+bool contains(std::span<const ClusterId> xs, ClusterId x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+void report(ConsistencyReport& r, std::string msg) {
+  if (r.violations.size() < 32) r.violations.push_back(std::move(msg));
+}
+
+std::string cname(ClusterId c) {
+  return c.valid() ? std::to_string(c.value()) : std::string("⊥");
+}
+
+}  // namespace
+
+std::vector<ClusterId> extract_path(const hier::ClusterHierarchy& h,
+                                    const IdealState& state) {
+  std::vector<ClusterId> path;
+  ClusterId cur = h.root();
+  path.push_back(cur);
+  while (true) {
+    const ClusterId next = state[idx(cur)].c;
+    if (!next.valid() || next == cur) break;
+    if (state[idx(next)].p != cur) break;  // broken back-link
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+ConsistencyReport check_consistent_state(const hier::ClusterHierarchy& h,
+                                         const IdealState& state,
+                                         RegionId evader_region) {
+  ConsistencyReport r;
+  VS_REQUIRE(state.size() == h.num_clusters(), "state size mismatch");
+
+  // Condition 1: one tracking path.
+  r.path = extract_path(h, state);
+  const ClusterId evader_c0 = h.cluster_of(evader_region, 0);
+  {
+    const ClusterId last = r.path.back();
+    if (h.level(last) != 0 || state[idx(last)].c != last) {
+      report(r, "path from root does not terminate in a level-0 self "
+                "pointer (ends at cluster " +
+                    cname(last) + ")");
+    } else if (last != evader_c0) {
+      report(r, "path terminates at cluster " + cname(last) +
+                    " but the evader is at cluster " + cname(evader_c0));
+    }
+  }
+  // Path-segment structure (conditions 2-4 of the definition).
+  for (std::size_t i = 0; i < r.path.size(); ++i) {
+    const ClusterId ck = r.path[i];
+    const TrackerSnapshot& s = state[idx(ck)];
+    const bool is_terminal = i + 1 == r.path.size();
+    const bool level0 = h.level(ck) == 0;
+    if (i == 0) {
+      if (s.p.valid()) report(r, "root has non-⊥ p");
+      if (s.c.valid() && !contains(h.children(ck), s.c)) {
+        report(r, "root c must be a child or ⊥");
+      }
+      continue;
+    }
+    if (s.p == h.parent(ck)) {
+      // Condition 4: vertical connection.
+      const bool ok =
+          !s.c.valid() || contains(h.children(ck), s.c) ||
+          contains(h.nbrs(ck), s.c) || (is_terminal && level0 && s.c == ck);
+      if (!ok) {
+        report(r, "cluster " + cname(ck) +
+                      " (p=parent) has ill-typed c=" + cname(s.c));
+      }
+    } else if (contains(h.nbrs(ck), s.p)) {
+      // Condition 3: lateral connection — c must be vertical below.
+      const bool ok = !s.c.valid() || contains(h.children(ck), s.c) ||
+                      (is_terminal && level0 && s.c == ck);
+      if (!ok) {
+        report(r, "cluster " + cname(ck) +
+                      " (lateral p) has ill-typed c=" + cname(s.c));
+      }
+    } else {
+      report(r, "cluster " + cname(ck) + " has p=" + cname(s.p) +
+                    " that is neither parent nor neighbour");
+    }
+  }
+
+  // Condition 2: every off-path cluster has c = p = ⊥.
+  std::vector<bool> on_path(state.size(), false);
+  for (const ClusterId c : r.path) on_path[idx(c)] = true;
+  for (const TrackerSnapshot& s : state) {
+    if (on_path[idx(s.clust)]) continue;
+    if (s.c.valid() || s.p.valid()) {
+      report(r, "off-path cluster " + cname(s.clust) + " has c=" +
+                    cname(s.c) + ", p=" + cname(s.p));
+    }
+  }
+
+  // Conditions 3-4 (secondary pointers, both directions of the iff).
+  for (const TrackerSnapshot& s : state) {
+    const ClusterId ck = s.clust;
+    ClusterId want_up, want_down;
+    int up_count = 0, down_count = 0;
+    for (const ClusterId cn : h.nbrs(ck)) {
+      const TrackerSnapshot& ns = state[idx(cn)];
+      if (h.level(cn) != h.max_level() && ns.p == h.parent(cn) &&
+          ns.p.valid()) {
+        want_up = cn;
+        ++up_count;
+      }
+      if (ns.p.valid() && contains(h.nbrs(cn), ns.p)) {
+        want_down = cn;
+        ++down_count;
+      }
+    }
+    if (up_count > 1) {
+      report(r, "cluster " + cname(ck) +
+                    " has several parent-connected neighbours — nbrptup "
+                    "cannot satisfy the iff");
+    } else if ((up_count == 1 && s.nbrptup != want_up) ||
+               (up_count == 0 && s.nbrptup.valid())) {
+      report(r, "cluster " + cname(ck) + " nbrptup=" + cname(s.nbrptup) +
+                    " but definition wants " +
+                    (up_count ? cname(want_up) : "⊥"));
+    }
+    if (down_count > 1) {
+      report(r, "cluster " + cname(ck) +
+                    " has several laterally-connected neighbours — "
+                    "nbrptdown cannot satisfy the iff");
+    } else if ((down_count == 1 && s.nbrptdown != want_down) ||
+               (down_count == 0 && s.nbrptdown.valid())) {
+      report(r, "cluster " + cname(ck) + " nbrptdown=" + cname(s.nbrptdown) +
+                    " but definition wants " +
+                    (down_count ? cname(want_down) : "⊥"));
+    }
+  }
+
+  return r;
+}
+
+ConsistencyReport check_consistent(const tracking::SystemSnapshot& snap,
+                                   RegionId evader_region) {
+  VS_REQUIRE(snap.hier != nullptr, "snapshot lacks hierarchy");
+  ConsistencyReport r =
+      check_consistent_state(*snap.hier, snap.trackers, evader_region);
+  // Condition 5: no move-related messages in transit or queued.
+  if (!snap.in_transit.empty()) {
+    report(r, "condition 5 violated: " +
+                  std::to_string(snap.in_transit.size()) +
+                  " move message(s) in transit");
+  }
+  return r;
+}
+
+}  // namespace vs::spec

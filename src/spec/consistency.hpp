@@ -1,0 +1,45 @@
+#pragma once
+// Consistent-state and tracking-path predicates (§IV-C terminology).
+//
+// A consistent state has exactly one tracking path (a rooted pointer chain
+// from the level-MAX cluster to the evader's level-0 cluster satisfying the
+// path-segment structure rules), ⊥ pointers everywhere off the path,
+// secondary pointers agreeing *exactly* (iff) with the path's shape, and no
+// move-related messages in transit. The tracking service's steady states —
+// and atomicMove's outputs — are consistent states; the test suite asserts
+// both.
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "spec/look_ahead.hpp"
+#include "tracking/snapshot.hpp"
+
+namespace vs::spec {
+
+struct ConsistencyReport {
+  std::vector<std::string> violations;
+  /// The extracted tracking path, root first, when one exists.
+  std::vector<ClusterId> path;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks the full consistent-state definition against a live snapshot
+/// (pointer state + in-transit move messages) and the evader's region.
+[[nodiscard]] ConsistencyReport check_consistent(
+    const tracking::SystemSnapshot& snap, RegionId evader_region);
+
+/// Same check on an IdealState (no message channel — condition 5 is
+/// vacuous), e.g. on atomic-spec outputs.
+[[nodiscard]] ConsistencyReport check_consistent_state(
+    const hier::ClusterHierarchy& hierarchy, const IdealState& state,
+    RegionId evader_region);
+
+/// Extracts the pointer chain from the root, following c pointers; stops at
+/// the first broken back-link. Root first.
+[[nodiscard]] std::vector<ClusterId> extract_path(
+    const hier::ClusterHierarchy& hierarchy, const IdealState& state);
+
+}  // namespace vs::spec

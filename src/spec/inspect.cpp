@@ -1,0 +1,54 @@
+#include "spec/inspect.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "spec/consistency.hpp"
+#include "stats/counters.hpp"
+
+namespace vs::spec {
+
+std::string render_structure(const tracking::SystemSnapshot& snap) {
+  VS_REQUIRE(snap.hier != nullptr, "snapshot lacks hierarchy");
+  const hier::ClusterHierarchy& h = *snap.hier;
+  std::ostringstream os;
+
+  const auto path = extract_path(h, snap.trackers);
+  os << "tracking path (root first):\n";
+  for (const ClusterId c : path) {
+    const auto& s = snap.at(c);
+    os << "  cluster " << c << "  level " << h.level(c) << "  head "
+       << h.tiling().describe(h.head(c)) << "  c=" << s.c << " p=" << s.p;
+    if (s.p.valid() && h.level(c) != h.max_level() &&
+        s.p != h.parent(c)) {
+      os << "  [lateral]";
+    }
+    os << '\n';
+  }
+
+  bool any = false;
+  for (const auto& s : snap.trackers) {
+    const bool on_path =
+        std::find(path.begin(), path.end(), s.clust) != path.end();
+    if (on_path) continue;
+    if (s.c.valid() || s.p.valid()) {
+      if (!any) {
+        os << "off-path state:\n";
+        any = true;
+      }
+      os << "  cluster " << s.clust << "  level " << h.level(s.clust)
+         << "  c=" << s.c << " p=" << s.p << '\n';
+    }
+  }
+
+  if (!snap.in_transit.empty()) {
+    os << "in transit:\n";
+    for (const auto& m : snap.in_transit) {
+      os << "  " << stats::to_string(m.type) << " " << m.from << " → "
+         << m.to << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vs::spec

@@ -1,0 +1,16 @@
+#pragma once
+// Human-readable rendering of the tracking structure — the debugging view
+// of a snapshot: the path from the root with levels and hosts, every
+// cluster holding state, and the move messages in flight.
+
+#include <string>
+
+#include "tracking/snapshot.hpp"
+
+namespace vs::spec {
+
+/// Multi-line description of the structure for one target.
+[[nodiscard]] std::string render_structure(
+    const tracking::SystemSnapshot& snap);
+
+}  // namespace vs::spec

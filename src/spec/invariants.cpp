@@ -1,0 +1,101 @@
+#include "spec/invariants.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "spec/look_ahead.hpp"
+
+namespace vs::spec {
+
+using tracking::SystemSnapshot;
+using vsa::Message;
+using vsa::MsgType;
+
+InvariantMonitor::InvariantMonitor(tracking::TrackingNetwork& net,
+                                   TargetId target, bool check_every_change)
+    : net_(&net), target_(target) {
+  net.cgcast().add_send_observer([this](const Message& m, ClusterId from,
+                                        ClusterId to, Level level,
+                                        std::int64_t /*hops*/) {
+    if (m.target != target_ || m.type != MsgType::kGrow) return;
+    if (!from.valid()) return;  // client grow, never lateral
+    const auto& h = net_->hierarchy();
+    if (h.are_cluster_neighbors(from, to)) {
+      ++lateral_total_;
+      const auto count = ++lateral_this_move_[level];
+      if (count > 1) {
+        record("Lemma 4.2 violated: " + std::to_string(count) +
+               " lateral grows at level " + std::to_string(level) +
+               " within one move");
+      }
+      // Lemma 4.3 at send time: the lateral target must be connected via
+      // its hierarchy parent.
+      const auto ts = net_->tracker(to).state(target_);
+      if (ts.p != h.parent(to)) {
+        record("Lemma 4.3 violated at send: lateral grow " +
+               std::to_string(from.value()) + " → " +
+               std::to_string(to.value()) + " but target p is not parent");
+      }
+    }
+  });
+  if (check_every_change) {
+    net.set_state_change_hook(
+        [this](ClusterId, TargetId t) {
+          if (t == target_) check_now();
+        });
+  }
+}
+
+void InvariantMonitor::on_move() { lateral_this_move_.clear(); }
+
+void InvariantMonitor::check_now() {
+  const SystemSnapshot snap = net_->snapshot(target_);
+  const auto& h = *snap.hier;
+
+  // Lemma 4.1.
+  std::int64_t grow_fronts = 0;
+  std::int64_t shrink_fronts = 0;
+  for (const auto& t : snap.trackers) {
+    if (h.level(t.clust) == h.max_level()) continue;
+    if (t.c.valid() && !t.p.valid()) ++grow_fronts;
+    if (!t.c.valid() && t.p.valid()) ++shrink_fronts;
+  }
+  for (const auto& m : snap.in_transit) {
+    if (m.type == MsgType::kGrow) ++grow_fronts;
+    if (m.type == MsgType::kShrink) ++shrink_fronts;
+  }
+  if (grow_fronts > 1) {
+    record("Lemma 4.1 violated: " + std::to_string(grow_fronts) +
+           " grow fronts at " + std::to_string(net_->now().count()) + "us");
+  }
+  if (shrink_fronts > 1) {
+    record("Lemma 4.1 violated: " + std::to_string(shrink_fronts) +
+           " shrink fronts at " + std::to_string(net_->now().count()) + "us");
+  }
+
+  // Lemma 4.3 for in-transit lateral grows.
+  for (const auto& m : snap.in_transit) {
+    if (m.type != MsgType::kGrow) continue;
+    if (!m.from.valid() || m.from == m.to) continue;  // client grow
+    if (!h.are_cluster_neighbors(m.from, m.to)) continue;
+    const auto& ts = snap.at(m.to);
+    if (ts.p != h.parent(m.to)) {
+      record("Lemma 4.3 violated in transit: lateral grow " +
+             std::to_string(m.from.value()) + " → " +
+             std::to_string(m.to.value()) + " but target p is not parent");
+    }
+  }
+}
+
+void InvariantMonitor::record(std::string msg) {
+  VS_WARN("invariant: " << msg);
+  if (violations_.size() < 64) violations_.push_back(std::move(msg));
+}
+
+std::string InvariantMonitor::to_string() const {
+  std::ostringstream os;
+  for (const auto& v : violations_) os << v << '\n';
+  return os.str();
+}
+
+}  // namespace vs::spec

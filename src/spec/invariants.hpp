@@ -1,0 +1,58 @@
+#pragma once
+// Runtime monitors for Lemmas 4.1–4.3.
+//
+// Attached to a TrackingNetwork, the monitor observes every C-gcast send
+// and every tracker state change, and checks:
+//   Lemma 4.1 — at most one grow front (in-transit grow messages plus
+//     below-MAX processes with c≠⊥ ∧ p=⊥) and at most one shrink front;
+//   Lemma 4.2 — per move, at most one lateral grow per level;
+//   Lemma 4.3 — every in-transit lateral grow targets a process whose
+//     p equals its hierarchy parent.
+// Violations are recorded (and optionally thrown); tests run whole
+// executions under the monitor and assert it stays clean.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "tracking/network.hpp"
+
+namespace vs::spec {
+
+class InvariantMonitor {
+ public:
+  /// Subscribes to the network's send observer and state-change hook.
+  /// `check_every_change` additionally re-checks Lemmas 4.1/4.3 on every
+  /// pointer-state change (O(#clusters) each — test-sized worlds only).
+  InvariantMonitor(tracking::TrackingNetwork& net, TargetId target,
+                   bool check_every_change = true);
+
+  /// Resets the per-move lateral-grow counters; call when a move is issued.
+  void on_move();
+
+  /// Runs the Lemma 4.1 and 4.3 checks against the current snapshot.
+  void check_now();
+
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Total lateral grow sends observed (Lemma 4.2 statistics; also the
+  /// dithering benches' "lateral usage" metric).
+  [[nodiscard]] std::int64_t lateral_grows() const { return lateral_total_; }
+
+ private:
+  void record(std::string msg);
+
+  tracking::TrackingNetwork* net_;
+  TargetId target_;
+  std::map<Level, std::int64_t> lateral_this_move_;
+  std::int64_t lateral_total_{0};
+  std::vector<std::string> violations_;
+};
+
+}  // namespace vs::spec

@@ -1,0 +1,146 @@
+#include "spec/look_ahead.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vs::spec {
+
+using tracking::SystemSnapshot;
+using tracking::TrackerSnapshot;
+using vsa::MsgType;
+
+namespace {
+
+std::size_t idx(ClusterId c) { return static_cast<std::size_t>(c.value()); }
+
+/// The unique process matching the predicate below level MAX, or invalid.
+ClusterId unique_front(const IdealState& state,
+                       const hier::ClusterHierarchy& h, bool grow_front) {
+  ClusterId found;
+  for (const TrackerSnapshot& t : state) {
+    if (h.level(t.clust) == h.max_level()) continue;
+    const bool match = grow_front ? (t.c.valid() && !t.p.valid())
+                                  : (!t.c.valid() && t.p.valid());
+    if (match) {
+      VS_REQUIRE(!found.valid(),
+                 "lookAhead: multiple " << (grow_front ? "grow" : "shrink")
+                                        << " fronts (clusters " << found
+                                        << " and " << t.clust
+                                        << ") — Lemma 4.1 violated");
+      found = t.clust;
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+IdealState look_ahead(const SystemSnapshot& snap, bool lateral_links) {
+  VS_REQUIRE(snap.hier != nullptr, "snapshot lacks hierarchy");
+  const hier::ClusterHierarchy& h = *snap.hier;
+  IdealState state = snap.trackers;
+
+  // Deliver pending growNbr, growPar, then grow messages (Figure 3 order).
+  for (const auto& m : snap.in_transit) {
+    if (m.type == MsgType::kGrowNbr) state[idx(m.to)].nbrptdown = m.from;
+  }
+  for (const auto& m : snap.in_transit) {
+    if (m.type == MsgType::kGrowPar) state[idx(m.to)].nbrptup = m.from;
+  }
+  for (const auto& m : snap.in_transit) {
+    if (m.type == MsgType::kGrow) state[idx(m.to)].c = m.from;
+  }
+
+  // Propagate the grow front to the old path / level MAX.
+  if (ClusterId clust = unique_front(state, h, /*grow_front=*/true);
+      clust.valid()) {
+    while (!state[idx(clust)].p.valid() && h.level(clust) != h.max_level()) {
+      TrackerSnapshot& s = state[idx(clust)];
+      if (lateral_links && s.nbrptup.valid()) {
+        s.p = s.nbrptup;
+        for (const ClusterId b : h.nbrs(clust)) {
+          state[idx(b)].nbrptdown = clust;
+        }
+      } else {
+        s.p = h.parent(clust);
+        for (const ClusterId b : h.nbrs(clust)) {
+          state[idx(b)].nbrptup = clust;
+        }
+      }
+      state[idx(s.p)].c = clust;
+      clust = s.p;
+    }
+  }
+
+  // Deliver pending shrinkUpd, then shrink messages.
+  for (const auto& m : snap.in_transit) {
+    if (m.type != MsgType::kShrinkUpd) continue;
+    TrackerSnapshot& t = state[idx(m.to)];
+    if (t.nbrptup == m.from) t.nbrptup = ClusterId::invalid();
+    if (t.nbrptdown == m.from) t.nbrptdown = ClusterId::invalid();
+  }
+  for (const auto& m : snap.in_transit) {
+    if (m.type != MsgType::kShrink) continue;
+    TrackerSnapshot& t = state[idx(m.to)];
+    if (t.c == m.from) t.c = ClusterId::invalid();
+  }
+
+  // Propagate the shrink front up the deserted branch.
+  if (ClusterId clust = unique_front(state, h, /*grow_front=*/false);
+      clust.valid()) {
+    while (state[idx(clust)].p.valid() && h.level(clust) != h.max_level()) {
+      for (const ClusterId b : h.nbrs(clust)) {
+        TrackerSnapshot& t = state[idx(b)];
+        if (t.nbrptup == clust) t.nbrptup = ClusterId::invalid();
+        if (t.nbrptdown == clust) t.nbrptdown = ClusterId::invalid();
+      }
+      TrackerSnapshot& s = state[idx(clust)];
+      if (state[idx(s.p)].c == clust) {
+        clust = s.p;
+        TrackerSnapshot& up = state[idx(clust)];
+        state[idx(up.c)].p = ClusterId::invalid();
+        up.c = ClusterId::invalid();
+      } else {
+        s.p = ClusterId::invalid();
+      }
+    }
+  }
+
+  return state;
+}
+
+bool equal_states(const IdealState& a, const IdealState& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].c != b[i].c || a[i].p != b[i].p ||
+        a[i].nbrptup != b[i].nbrptup || a[i].nbrptdown != b[i].nbrptdown) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string diff_states(const IdealState& a, const IdealState& b,
+                        std::size_t max_lines) {
+  std::ostringstream os;
+  if (a.size() != b.size()) {
+    os << "state sizes differ: " << a.size() << " vs " << b.size() << '\n';
+    return os.str();
+  }
+  std::size_t lines = 0;
+  for (std::size_t i = 0; i < a.size() && lines < max_lines; ++i) {
+    if (a[i].c == b[i].c && a[i].p == b[i].p &&
+        a[i].nbrptup == b[i].nbrptup && a[i].nbrptdown == b[i].nbrptdown) {
+      continue;
+    }
+    os << "cluster " << i << ": (c=" << a[i].c << ",p=" << a[i].p
+       << ",up=" << a[i].nbrptup << ",down=" << a[i].nbrptdown << ") vs (c="
+       << b[i].c << ",p=" << b[i].p << ",up=" << b[i].nbrptup
+       << ",down=" << b[i].nbrptdown << ")\n";
+    ++lines;
+  }
+  return os.str();
+}
+
+}  // namespace vs::spec

@@ -1,0 +1,38 @@
+#pragma once
+// lookAhead — Figure 3, verbatim.
+//
+// Maps a system state (pointer values plus in-transit move messages) to the
+// "future state" in which all outstanding grow-related updates have been
+// applied, followed by the shrink-related ones. Theorem 4.8 states that at
+// any point of an execution with atomic moves, lookAhead of the live state
+// equals atomicMoveSeq of the move history; the test suite checks exactly
+// that, using this function on TrackingNetwork snapshots.
+
+#include <vector>
+
+#include "tracking/snapshot.hpp"
+
+namespace vs::spec {
+
+/// Pointer state of the whole system, indexed by cluster id (the result of
+/// lookAhead and the state representation of the atomic spec).
+using IdealState = std::vector<tracking::TrackerSnapshot>;
+
+/// Figure 3. `lateral_links` selects the grow-propagation rule variant
+/// (false mirrors the NoLateral baseline, which always climbs to the
+/// hierarchy parent).
+///
+/// Requires the snapshot to satisfy Lemma 4.1 (at most one grow front and
+/// one shrink front below MAX after message application); throws vs::Error
+/// otherwise — concurrent-move states are outside lookAhead's domain.
+[[nodiscard]] IdealState look_ahead(const tracking::SystemSnapshot& snap,
+                                    bool lateral_links = true);
+
+/// True iff the two states agree on every pointer of every cluster.
+[[nodiscard]] bool equal_states(const IdealState& a, const IdealState& b);
+
+/// Human-readable diff of the first `max_lines` disagreeing clusters.
+[[nodiscard]] std::string diff_states(const IdealState& a, const IdealState& b,
+                                      std::size_t max_lines = 12);
+
+}  // namespace vs::spec

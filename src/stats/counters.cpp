@@ -1,0 +1,137 @@
+#include "stats/counters.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace vs::stats {
+
+std::string_view to_string(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kGrow: return "grow";
+    case MsgKind::kGrowNbr: return "growNbr";
+    case MsgKind::kGrowPar: return "growPar";
+    case MsgKind::kShrink: return "shrink";
+    case MsgKind::kShrinkUpd: return "shrinkUpd";
+    case MsgKind::kFind: return "find";
+    case MsgKind::kFindQuery: return "findQuery";
+    case MsgKind::kFindAck: return "findAck";
+    case MsgKind::kFound: return "found";
+    case MsgKind::kClient: return "client";
+    case MsgKind::kCount: break;
+  }
+  return "?";
+}
+
+bool is_move_kind(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kGrow:
+    case MsgKind::kGrowNbr:
+    case MsgKind::kGrowPar:
+    case MsgKind::kShrink:
+    case MsgKind::kShrinkUpd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+WorkCounters::WorkCounters(Level max_level)
+    : max_level_(max_level),
+      msgs_by_level_(static_cast<std::size_t>(max_level) + 1, 0),
+      work_by_level_(static_cast<std::size_t>(max_level) + 1, 0) {
+  VS_REQUIRE(max_level >= 0, "negative max level");
+}
+
+void WorkCounters::record(MsgKind kind, Level level, std::int64_t hops) {
+  VS_REQUIRE(kind != MsgKind::kCount, "bad kind");
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  VS_REQUIRE(hops >= 0, "negative hop count");
+  const auto k = static_cast<std::size_t>(kind);
+  ++msgs_by_kind_[k];
+  work_by_kind_[k] += hops;
+  ++msgs_by_level_[static_cast<std::size_t>(level)];
+  work_by_level_[static_cast<std::size_t>(level)] += hops;
+}
+
+std::int64_t WorkCounters::messages(MsgKind kind) const {
+  return msgs_by_kind_[static_cast<std::size_t>(kind)];
+}
+std::int64_t WorkCounters::work(MsgKind kind) const {
+  return work_by_kind_[static_cast<std::size_t>(kind)];
+}
+std::int64_t WorkCounters::messages_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return msgs_by_level_[static_cast<std::size_t>(level)];
+}
+std::int64_t WorkCounters::work_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return work_by_level_[static_cast<std::size_t>(level)];
+}
+
+std::int64_t WorkCounters::total_messages() const {
+  return std::accumulate(msgs_by_kind_.begin(), msgs_by_kind_.end(),
+                         std::int64_t{0});
+}
+std::int64_t WorkCounters::total_work() const {
+  return std::accumulate(work_by_kind_.begin(), work_by_kind_.end(),
+                         std::int64_t{0});
+}
+
+std::int64_t WorkCounters::move_work() const {
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (is_move_kind(static_cast<MsgKind>(k))) sum += work_by_kind_[k];
+  }
+  return sum;
+}
+std::int64_t WorkCounters::find_work() const {
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    const auto kind = static_cast<MsgKind>(k);
+    if (!is_move_kind(kind) && kind != MsgKind::kClient) {
+      sum += work_by_kind_[k];
+    }
+  }
+  return sum;
+}
+std::int64_t WorkCounters::move_messages() const {
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (is_move_kind(static_cast<MsgKind>(k))) sum += msgs_by_kind_[k];
+  }
+  return sum;
+}
+std::int64_t WorkCounters::find_messages() const {
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    const auto kind = static_cast<MsgKind>(k);
+    if (!is_move_kind(kind) && kind != MsgKind::kClient) {
+      sum += msgs_by_kind_[k];
+    }
+  }
+  return sum;
+}
+
+void WorkCounters::reset() {
+  msgs_by_kind_.fill(0);
+  work_by_kind_.fill(0);
+  std::fill(msgs_by_level_.begin(), msgs_by_level_.end(), 0);
+  std::fill(work_by_level_.begin(), work_by_level_.end(), 0);
+}
+
+WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
+  VS_REQUIRE(max_level_ == earlier.max_level_, "mismatched counter shapes");
+  WorkCounters d(max_level_);
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    d.msgs_by_kind_[k] = msgs_by_kind_[k] - earlier.msgs_by_kind_[k];
+    d.work_by_kind_[k] = work_by_kind_[k] - earlier.work_by_kind_[k];
+  }
+  for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
+    d.msgs_by_level_[l] = msgs_by_level_[l] - earlier.msgs_by_level_[l];
+    d.work_by_level_[l] = work_by_level_[l] - earlier.work_by_level_[l];
+  }
+  return d;
+}
+
+}  // namespace vs::stats

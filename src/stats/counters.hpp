@@ -1,0 +1,78 @@
+#pragma once
+// Work accounting for the tracking service.
+//
+// The paper measures cost in *work* — communication, where a message
+// between two processes costs the distance it travels — and *time* —
+// virtual latency. Counters are kept per message kind and per hierarchy
+// level so benches can decompose the Theorem 4.9 / 5.2 sums.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace vs::stats {
+
+/// Message kinds of the Tracker signature (Figure 2) plus client traffic.
+enum class MsgKind : std::uint8_t {
+  kGrow = 0,
+  kGrowNbr,
+  kGrowPar,
+  kShrink,
+  kShrinkUpd,
+  kFind,
+  kFindQuery,
+  kFindAck,
+  kFound,
+  kClient,  // client <-> level-0 VSA traffic
+  kCount,
+};
+
+[[nodiscard]] std::string_view to_string(MsgKind kind);
+
+/// True for kinds that belong to tracking-structure maintenance (the
+/// "move work" of Theorem 4.9), false for find-phase kinds (Theorem 5.2).
+[[nodiscard]] bool is_move_kind(MsgKind kind);
+
+class WorkCounters {
+ public:
+  explicit WorkCounters(Level max_level);
+
+  /// Record one message of `kind` sent at hierarchy level `level` that
+  /// travels `hops` region-hops.
+  void record(MsgKind kind, Level level, std::int64_t hops);
+
+  [[nodiscard]] std::int64_t messages(MsgKind kind) const;
+  [[nodiscard]] std::int64_t work(MsgKind kind) const;
+  [[nodiscard]] std::int64_t messages_at_level(Level level) const;
+  [[nodiscard]] std::int64_t work_at_level(Level level) const;
+
+  /// Totals across kinds.
+  [[nodiscard]] std::int64_t total_messages() const;
+  [[nodiscard]] std::int64_t total_work() const;
+  /// Totals restricted to move-maintenance / find kinds.
+  [[nodiscard]] std::int64_t move_work() const;
+  [[nodiscard]] std::int64_t find_work() const;
+  [[nodiscard]] std::int64_t move_messages() const;
+  [[nodiscard]] std::int64_t find_messages() const;
+
+  void reset();
+
+  /// Difference helper: *this - other (counters taken at two instants).
+  [[nodiscard]] WorkCounters delta_since(const WorkCounters& earlier) const;
+
+  [[nodiscard]] Level max_level() const { return max_level_; }
+
+ private:
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(MsgKind::kCount);
+  Level max_level_;
+  std::array<std::int64_t, kKinds> msgs_by_kind_{};
+  std::array<std::int64_t, kKinds> work_by_kind_{};
+  std::vector<std::int64_t> msgs_by_level_;
+  std::vector<std::int64_t> work_by_level_;
+};
+
+}  // namespace vs::stats

@@ -1,0 +1,80 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace vs::stats {
+
+void Summary::add(double x) {
+  values_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const {
+  VS_REQUIRE(!values_.empty(), "mean of empty summary");
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  VS_REQUIRE(!values_.empty(), "min of empty summary");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  VS_REQUIRE(!values_.empty(), "max of empty summary");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const {
+  VS_REQUIRE(!values_.empty(), "stddev of empty summary");
+  const double m = mean();
+  const double var =
+      sum_sq_ / static_cast<double>(values_.size()) - m * m;
+  return std::sqrt(std::max(0.0, var));
+}
+
+double Summary::percentile(double p) const {
+  VS_REQUIRE(!values_.empty(), "percentile of empty summary");
+  VS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+  const std::size_t i = rank == 0 ? 0 : rank - 1;
+  return values_[std::min(i, values_.size() - 1)];
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  VS_REQUIRE(x.size() == y.size() && x.size() >= 2,
+             "need >= 2 paired points for a fit");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  VS_REQUIRE(denom != 0.0, "degenerate x values in fit");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace vs::stats

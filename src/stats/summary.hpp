@@ -1,0 +1,39 @@
+#pragma once
+// Small numeric summary helpers for benches and tests.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vs::stats {
+
+/// Streaming summary of a sample of doubles.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0, 100]; nearest-rank percentile. Requires count() > 0.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Ordinary least squares fit y = a + b·x. Returns {a, b, r²}.
+struct LinearFit {
+  double intercept{0};
+  double slope{0};
+  double r_squared{0};
+};
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+}  // namespace vs::stats

@@ -1,0 +1,77 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace vs::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  VS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  VS_REQUIRE(cells.size() == headers_.size(),
+             "row has " << cells.size() << " cells, want " << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  const double d = std::get<double>(cell);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", d);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  const auto pad = [&](const std::string& s, std::size_t w) {
+    std::string out(w - s.size(), ' ');
+    return out + s;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "  " : "") << pad(headers_[c], widths[c]);
+  }
+  os << '\n';
+  for (const auto& row : rendered) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << pad(row[c], widths[c]);
+    }
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c ? "," : "") << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << render(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace vs::stats

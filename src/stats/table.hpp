@@ -1,0 +1,37 @@
+#pragma once
+// Aligned text tables for bench output.
+//
+// Benches print paper-style series ("work per unit distance vs d") both as
+// aligned text for reading and optionally CSV for plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vs::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  using Cell = std::variant<std::string, std::int64_t, double>;
+  /// Appends a row; must match the header count.
+  void add_row(std::vector<Cell> cells);
+
+  /// Aligned fixed-width text rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] static std::string render(const Cell& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace vs::stats

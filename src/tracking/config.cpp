@@ -1,0 +1,36 @@
+#include "tracking/config.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::tracking {
+
+TimerPolicy TimerPolicy::paper_default(const hier::ClusterHierarchy& h,
+                                       const vsa::CGcastConfig& cg) {
+  const sim::Duration de = cg.delta + cg.e;
+  TimerPolicy policy;
+  policy.grow = [de](Level) { return de; };
+  policy.shrink = [de, &h](Level l) { return de + de * (h.n(l) + 1); };
+  return policy;
+}
+
+void validate_timer_policy(const TimerPolicy& policy,
+                           const hier::ClusterHierarchy& h,
+                           const vsa::CGcastConfig& cg) {
+  VS_REQUIRE(static_cast<bool>(policy.grow) && static_cast<bool>(policy.shrink),
+             "timer policy has unset functions");
+  const sim::Duration de = cg.delta + cg.e;
+  sim::Duration slack_sum = sim::Duration::zero();
+  for (Level l = 0; l < h.max_level(); ++l) {
+    const sim::Duration g = policy.grow(l);
+    const sim::Duration s = policy.shrink(l);
+    VS_REQUIRE(g >= sim::Duration::zero(), "g(" << l << ") negative");
+    VS_REQUIRE(s > g, "s(" << l << ") must exceed g(" << l << ")");
+    slack_sum += s - g;
+    VS_REQUIRE(slack_sum > de * h.n(l),
+               "timer inequality (1) violated at level "
+                   << l << ": Σ slack " << slack_sum << " ≤ (δ+e)·n(l) "
+                   << de * h.n(l));
+  }
+}
+
+}  // namespace vs::tracking

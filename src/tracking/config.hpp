@@ -1,0 +1,48 @@
+#pragma once
+// Tracker configuration: grow/shrink timers and feature switches.
+//
+// Figure 2's Tracker is parameterised by timer functions
+// g, s : L − {MAX} → R subject to the paper's inequality (1):
+//
+//     Σ_{j=0..l} [s(j) − g(j)]  >  (δ + e) · n(l)    for every l < MAX,
+//
+// which guarantees that shrinks are slow enough never to catch a
+// concurrent grow (Lemma 4.3). The default policy makes each level's slack
+// alone satisfy its own inequality: s(l) = g(l) + (δ+e)·(n(l)+1); on the
+// base-r grid this is the geometric s(l) ≈ s·r^l form assumed by the
+// corollary of Theorem 4.9.
+
+#include <functional>
+
+#include "hier/hierarchy.hpp"
+#include "sim/time.hpp"
+#include "vsa/cgcast.hpp"
+
+namespace vs::tracking {
+
+struct TimerPolicy {
+  /// g(l): delay from grow receipt to forwarding the grow upward.
+  std::function<sim::Duration(Level)> grow;
+  /// s(l): delay from shrink receipt to forwarding the shrink upward.
+  std::function<sim::Duration(Level)> shrink;
+
+  /// The default policy above, built from the hierarchy's n(l) and the
+  /// C-gcast latency constants.
+  static TimerPolicy paper_default(const hier::ClusterHierarchy& h,
+                                   const vsa::CGcastConfig& cg);
+};
+
+/// Throws vs::Error if the policy violates inequality (1) (or is
+/// non-positive) for the given hierarchy and latency constants.
+void validate_timer_policy(const TimerPolicy& policy,
+                           const hier::ClusterHierarchy& h,
+                           const vsa::CGcastConfig& cg);
+
+struct TrackerConfig {
+  /// Allow lateral links (the paper's dithering fix). Disabling yields the
+  /// STALK-style baseline that always connects to the hierarchy parent.
+  bool lateral_links = true;
+  TimerPolicy timers;
+};
+
+}  // namespace vs::tracking

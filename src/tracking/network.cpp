@@ -1,0 +1,217 @@
+#include "tracking/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vs::tracking {
+
+TrackingNetwork::TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
+                                 NetworkConfig config)
+    : hier_(&hierarchy),
+      config_(std::move(config)),
+      counters_(hierarchy.max_level()),
+      evaders_(hierarchy.tiling()) {
+  tracker_config_.lateral_links = config_.lateral_links;
+  tracker_config_.timers =
+      config_.timers ? *config_.timers
+                     : TimerPolicy::paper_default(hierarchy, config_.cgcast);
+  validate_timer_policy(tracker_config_.timers, hierarchy, config_.cgcast);
+
+  cgcast_ = std::make_unique<vsa::CGcast>(sched_, hierarchy, config_.cgcast,
+                                          counters_);
+
+  if (config_.model_vsa_failures) {
+    directory_ = std::make_unique<vsa::VsaDirectory>(
+        sched_, hierarchy.tiling().num_regions(), config_.t_restart);
+  }
+
+  clients_ = std::make_unique<vsa::ClientPopulation>(*cgcast_, hierarchy,
+                                                     directory_.get());
+  clients_->populate_uniform(config_.clients_per_region);
+
+  evaders_.set_move_hook([this](TargetId t, RegionId from, RegionId to) {
+    clients_->on_evader_move(t, from, to);
+  });
+
+  trackers_.reserve(hierarchy.num_clusters());
+  for (std::size_t c = 0; c < hierarchy.num_clusters(); ++c) {
+    trackers_.push_back(std::make_unique<Tracker>(
+        sched_, hierarchy, *cgcast_, tracker_config_,
+        ClusterId{static_cast<ClusterId::rep_type>(c)}));
+  }
+
+  // Replica placement (§VII): the head plus members spread evenly across
+  // the cluster, capped by cluster size (level-0 clusters are singletons).
+  VS_REQUIRE(config_.head_replicas >= 1, "head_replicas must be >= 1");
+  replicas_.resize(hierarchy.num_clusters());
+  hosted_.resize(hierarchy.tiling().num_regions());
+  for (std::size_t c = 0; c < hierarchy.num_clusters(); ++c) {
+    const ClusterId id{static_cast<ClusterId::rep_type>(c)};
+    auto& reps = replicas_[c];
+    reps.push_back(hierarchy.head(id));
+    const auto members = hierarchy.members(id);
+    const auto want = static_cast<std::size_t>(config_.head_replicas);
+    for (std::size_t k = 0; reps.size() < want && k < members.size(); ++k) {
+      // Even spread over the member list.
+      const std::size_t i = k * members.size() / want;
+      const RegionId candidate = members[i];
+      if (std::find(reps.begin(), reps.end(), candidate) == reps.end()) {
+        reps.push_back(candidate);
+      }
+    }
+    for (const RegionId r : reps) {
+      hosted_[static_cast<std::size_t>(r.value())].push_back(id);
+    }
+  }
+
+  cgcast_->set_tracker_sink(
+      [this](ClusterId dest, const vsa::Message& m) { dispatch(dest, m); });
+  cgcast_->set_client_sink([this](RegionId region, const vsa::Message& m) {
+    clients_->on_broadcast(region, m);
+  });
+  clients_->set_found_output(
+      [this](FindId f, TargetId t, RegionId region, ClientId by) {
+        on_found_output(f, t, region, by);
+      });
+
+  if (config_.head_replicas > 1) {
+    cgcast_->set_replicas(
+        [this](ClusterId c) { return replicas_of(c); });
+  }
+
+  if (directory_) {
+    cgcast_->set_vsa_alive(
+        [this](RegionId u) { return directory_->alive(u); });
+    directory_->set_on_fail([this](RegionId u) {
+      // A process loses its state only when its last hosting replica
+      // fails (§VII: limited sets of VSA failures are survivable).
+      for (const ClusterId c : hosted_at(u)) {
+        bool any_alive = false;
+        for (const RegionId r : replicas_of(c)) {
+          if (directory_->alive(r)) {
+            any_alive = true;
+            break;
+          }
+        }
+        if (!any_alive) tracker(c).reset();
+      }
+    });
+    // Restart is from the initial (empty) state; reset on fail suffices.
+  }
+
+  // Per-find accounting.
+  cgcast_->add_send_observer([this](const vsa::Message& m, ClusterId, ClusterId,
+                                    Level level, std::int64_t hops) {
+    if (!m.find_id.valid()) return;
+    const auto it = finds_.find(m.find_id);
+    if (it == finds_.end()) return;
+    ++it->second.messages;
+    it->second.work += hops;
+    if (m.type == vsa::MsgType::kFindQuery) {
+      it->second.max_search_level =
+          std::max(it->second.max_search_level, level);
+    }
+  });
+}
+
+Tracker& TrackingNetwork::tracker(ClusterId c) {
+  VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < trackers_.size(),
+             "cluster " << c << " out of range");
+  return *trackers_[static_cast<std::size_t>(c.value())];
+}
+
+void TrackingNetwork::dispatch(ClusterId dest, const vsa::Message& m) {
+  tracker(dest).on_message(m);
+}
+
+TargetId TrackingNetwork::add_evader(RegionId start) {
+  return evaders_.add_evader(start);
+}
+
+void TrackingNetwork::move_evader(TargetId target, RegionId to) {
+  evaders_.move(target, to);
+}
+
+void TrackingNetwork::move_and_quiesce(TargetId target, RegionId to) {
+  move_evader(target, to);
+  run_to_quiescence();
+}
+
+FindId TrackingNetwork::start_find(RegionId from, TargetId target) {
+  const FindId f{next_find_++};
+  FindResult r;
+  r.id = f;
+  r.target = target;
+  r.origin = from;
+  r.issued = sched_.now();
+  finds_.emplace(f, r);
+  clients_->inject_find(from, target, f);
+  return f;
+}
+
+const FindResult& TrackingNetwork::find_result(FindId f) const {
+  const auto it = finds_.find(f);
+  VS_REQUIRE(it != finds_.end(), "unknown find " << f);
+  return it->second;
+}
+
+void TrackingNetwork::on_found_output(FindId f, TargetId t, RegionId region,
+                                      ClientId /*by*/) {
+  const auto it = finds_.find(f);
+  VS_REQUIRE(it != finds_.end(), "found output for unknown find " << f);
+  VS_REQUIRE(it->second.target == t, "found output target mismatch");
+  if (it->second.done) return;  // several believing clients may answer
+  it->second.done = true;
+  it->second.found_region = region;
+  it->second.completed = sched_.now();
+}
+
+std::uint64_t TrackingNetwork::run_to_quiescence() { return sched_.run(); }
+
+std::uint64_t TrackingNetwork::run_until(sim::TimePoint deadline) {
+  return sched_.run_until(deadline);
+}
+
+std::uint64_t TrackingNetwork::run_for(sim::Duration d) {
+  return sched_.run_until(sched_.now() + d);
+}
+
+void TrackingNetwork::fail_vsa(RegionId u) {
+  VS_REQUIRE(directory_ != nullptr,
+             "fail_vsa requires NetworkConfig::model_vsa_failures");
+  directory_->fail(u);
+}
+
+SystemSnapshot TrackingNetwork::snapshot(TargetId target) const {
+  SystemSnapshot snap;
+  snap.hier = hier_;
+  snap.target = target;
+  snap.trackers.reserve(trackers_.size());
+  for (const auto& tr : trackers_) snap.trackers.push_back(tr->state(target));
+  for (const auto& in : cgcast_->in_transit()) {
+    if (in.msg.target != target) continue;
+    if (!stats::is_move_kind(in.msg.type)) continue;
+    snap.in_transit.push_back(
+        TransitMsg{in.msg.type, in.msg.from_cluster, in.to});
+  }
+  return snap;
+}
+
+std::span<const ClusterId> TrackingNetwork::hosted_at(RegionId u) const {
+  VS_REQUIRE(u.valid() && static_cast<std::size_t>(u.value()) < hosted_.size(),
+             "region " << u << " out of range");
+  return hosted_[static_cast<std::size_t>(u.value())];
+}
+
+std::span<const RegionId> TrackingNetwork::replicas_of(ClusterId c) const {
+  VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < replicas_.size(),
+             "cluster " << c << " out of range");
+  return replicas_[static_cast<std::size_t>(c.value())];
+}
+
+void TrackingNetwork::set_state_change_hook(Tracker::StateChangeHook hook) {
+  for (const auto& tr : trackers_) tr->set_state_change_hook(hook);
+}
+
+}  // namespace vs::tracking

@@ -1,0 +1,146 @@
+#pragma once
+// TrackingNetwork — the assembled VINESTALK system.
+//
+// Owns the scheduler, the C-gcast service, the VSA directory, the client
+// population, the evader model, and one Tracker per cluster, wired exactly
+// as §III-B prescribes: clients broadcast detections to their level-0
+// VSAs; Trackers maintain the tracking path; finds are injected at client
+// regions and complete with a client found output at the evader's region.
+//
+// This is the facade downstream code uses: examples, benches, the spec
+// checkers and the baselines all drive a TrackingNetwork.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hier/hierarchy.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+#include "tracking/config.hpp"
+#include "tracking/snapshot.hpp"
+#include "tracking/tracker.hpp"
+#include "vsa/cgcast.hpp"
+#include "vsa/client.hpp"
+#include "vsa/directory.hpp"
+#include "vsa/evader.hpp"
+
+namespace vs::tracking {
+
+struct NetworkConfig {
+  vsa::CGcastConfig cgcast;
+  /// Lateral links on/off (off = STALK-style baseline).
+  bool lateral_links = true;
+  /// Timer policy; defaults to TimerPolicy::paper_default when unset.
+  std::optional<TimerPolicy> timers;
+  int clients_per_region = 1;
+  /// Model VSA failures (client-presence-driven liveness + fault
+  /// injection). Off: every VSA is assumed alive, the paper's correctness
+  /// assumption.
+  bool model_vsa_failures = false;
+  sim::Duration t_restart = sim::Duration::millis(50);
+  /// §VII "multiple heads per cluster": each cluster's process is jointly
+  /// hosted by up to this many member regions (capped by cluster size).
+  /// Messages pay the sum of hop distances to all replicas (the quorum
+  /// overhead) and the process state survives while any replica's VSA is
+  /// alive. 1 = the paper's base algorithm.
+  int head_replicas = 1;
+};
+
+/// Outcome record of one find operation.
+struct FindResult {
+  FindId id{};
+  TargetId target{};
+  RegionId origin{};
+  sim::TimePoint issued = sim::TimePoint::never();
+  bool done = false;
+  RegionId found_region{};
+  sim::TimePoint completed = sim::TimePoint::never();
+  /// find/findQuery/findAck/found messages and hop-work attributable to
+  /// this find.
+  std::int64_t messages = 0;
+  std::int64_t work = 0;
+  /// Highest hierarchy level at which the search phase queried neighbours
+  /// (-1 if the path was met before any query round). Theorem 5.2: at most
+  /// the minimum l with d ≤ q(l) in the atomic case.
+  Level max_search_level = -1;
+
+  [[nodiscard]] sim::Duration latency() const { return completed - issued; }
+};
+
+class TrackingNetwork {
+ public:
+  TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
+                  NetworkConfig config);
+
+  // Component access.
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const hier::ClusterHierarchy& hierarchy() const {
+    return *hier_;
+  }
+  [[nodiscard]] stats::WorkCounters& counters() { return counters_; }
+  [[nodiscard]] vsa::CGcast& cgcast() { return *cgcast_; }
+  [[nodiscard]] vsa::ClientPopulation& clients() { return *clients_; }
+  [[nodiscard]] vsa::EvaderModel& evaders() { return evaders_; }
+  /// Null unless model_vsa_failures.
+  [[nodiscard]] vsa::VsaDirectory* directory() { return directory_.get(); }
+  [[nodiscard]] Tracker& tracker(ClusterId c);
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  // Evader control.
+  TargetId add_evader(RegionId start);
+  void move_evader(TargetId target, RegionId to);
+  /// Move, then run the scheduler dry (Theorem 4.5: updates terminate).
+  void move_and_quiesce(TargetId target, RegionId to);
+
+  // Finds.
+  FindId start_find(RegionId from, TargetId target);
+  [[nodiscard]] const FindResult& find_result(FindId f) const;
+
+  // Execution.
+  std::uint64_t run_to_quiescence();
+  std::uint64_t run_until(sim::TimePoint deadline);
+  std::uint64_t run_for(sim::Duration d);
+  [[nodiscard]] sim::TimePoint now() const { return sched_.now(); }
+
+  /// Fault injection (requires model_vsa_failures).
+  void fail_vsa(RegionId u);
+
+  /// Pointer state + in-transit move messages for one target (input to the
+  /// spec module).
+  [[nodiscard]] SystemSnapshot snapshot(TargetId target) const;
+
+  /// Clusters hosted at a region's VSA (clusters with a replica at `u`).
+  [[nodiscard]] std::span<const ClusterId> hosted_at(RegionId u) const;
+
+  /// The regions jointly hosting a cluster's process (== {head} unless
+  /// head_replicas > 1).
+  [[nodiscard]] std::span<const RegionId> replicas_of(ClusterId c) const;
+
+  /// Hook invoked on every tracker pointer-state change (monitors).
+  void set_state_change_hook(Tracker::StateChangeHook hook);
+
+ private:
+  void dispatch(ClusterId dest, const vsa::Message& m);
+  void on_found_output(FindId f, TargetId t, RegionId region, ClientId by);
+
+  const hier::ClusterHierarchy* hier_;
+  NetworkConfig config_;
+  sim::Scheduler sched_;
+  stats::WorkCounters counters_;
+  TrackerConfig tracker_config_;
+  std::unique_ptr<vsa::CGcast> cgcast_;
+  std::unique_ptr<vsa::VsaDirectory> directory_;
+  std::unique_ptr<vsa::ClientPopulation> clients_;
+  vsa::EvaderModel evaders_;
+  std::vector<std::unique_ptr<Tracker>> trackers_;  // by cluster id
+  std::vector<std::vector<ClusterId>> hosted_;      // by region id
+  std::vector<std::vector<RegionId>> replicas_;     // by cluster id
+  std::map<FindId, FindResult> finds_;
+  FindId::rep_type next_find_{1};
+};
+
+}  // namespace vs::tracking

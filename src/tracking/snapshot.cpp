@@ -1,0 +1,19 @@
+#include "tracking/snapshot.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::tracking {
+
+const TrackerSnapshot& SystemSnapshot::at(ClusterId c) const {
+  VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < trackers.size(),
+             "cluster " << c << " out of snapshot range");
+  return trackers[static_cast<std::size_t>(c.value())];
+}
+
+TrackerSnapshot& SystemSnapshot::at(ClusterId c) {
+  VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < trackers.size(),
+             "cluster " << c << " out of snapshot range");
+  return trackers[static_cast<std::size_t>(c.value())];
+}
+
+}  // namespace vs::tracking

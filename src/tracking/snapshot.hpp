@@ -1,0 +1,47 @@
+#pragma once
+// Snapshots of the distributed tracking state.
+//
+// The spec module evaluates Figure 3's lookAhead and the consistent-state
+// predicate over these: per-cluster pointer values plus the move-related
+// messages currently in transit, all for one target.
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hier/hierarchy.hpp"
+#include "vsa/messages.hpp"
+
+namespace vs::tracking {
+
+/// Pointer state of one Tracker process (Figure 2's state variables;
+/// invalid ids encode ⊥).
+struct TrackerSnapshot {
+  ClusterId clust{};
+  ClusterId c{};
+  ClusterId p{};
+  ClusterId nbrptup{};
+  ClusterId nbrptdown{};
+};
+
+/// A move-related message in flight. For client-originated grows/shrinks
+/// `from` equals the destination level-0 cluster (Figure 2's cid).
+struct TransitMsg {
+  vsa::MsgType type{};
+  ClusterId from{};
+  ClusterId to{};
+};
+
+struct SystemSnapshot {
+  const hier::ClusterHierarchy* hier = nullptr;
+  TargetId target{};
+  /// Indexed by cluster id value; covers every cluster.
+  std::vector<TrackerSnapshot> trackers;
+  /// grow/growNbr/growPar/shrink/shrinkUpd messages in transit for
+  /// `target`, in send order.
+  std::vector<TransitMsg> in_transit;
+
+  [[nodiscard]] const TrackerSnapshot& at(ClusterId c) const;
+  [[nodiscard]] TrackerSnapshot& at(ClusterId c);
+};
+
+}  // namespace vs::tracking

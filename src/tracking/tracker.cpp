@@ -1,0 +1,372 @@
+#include "tracking/tracker.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace vs::tracking {
+
+using vsa::Message;
+using vsa::MsgType;
+
+Tracker::Tracker(sim::Scheduler& sched,
+                 const hier::ClusterHierarchy& hierarchy, vsa::CGcast& cgcast,
+                 const TrackerConfig& config, ClusterId clust)
+    : sched_(&sched),
+      hier_(&hierarchy),
+      cgcast_(&cgcast),
+      config_(&config),
+      clust_(clust),
+      lvl_(hierarchy.level(clust)) {}
+
+Tracker::PerTarget& Tracker::target_state(TargetId t) {
+  auto it = targets_.find(t);
+  if (it == targets_.end()) {
+    it = targets_.emplace(t, PerTarget{}).first;
+    it->second.timer = std::make_unique<sim::Timer>(
+        *sched_, [this, t] { on_timer(t); });
+  }
+  return it->second;
+}
+
+Tracker::PerFind& Tracker::find_state(FindId f) {
+  auto it = finds_.find(f);
+  if (it == finds_.end()) {
+    it = finds_.emplace(f, PerFind{}).first;
+    it->second.nbrtimeout = std::make_unique<sim::Timer>(
+        *sched_, [this, f] { on_nbrtimeout(f); });
+  }
+  return it->second;
+}
+
+void Tracker::reset() {
+  targets_.clear();  // destroys timers, disarming them
+  finds_.clear();
+}
+
+void Tracker::corrupt_state(TargetId target, const TrackerSnapshot& forced) {
+  PerTarget& s = target_state(target);
+  s.c = forced.c;
+  s.p = forced.p;
+  s.nbrptup = forced.nbrptup;
+  s.nbrptdown = forced.nbrptdown;
+  s.timer->disarm();
+  notify_state_change(target);
+}
+
+TrackerSnapshot Tracker::state(TargetId target) const {
+  TrackerSnapshot s;
+  s.clust = clust_;
+  const auto it = targets_.find(target);
+  if (it != targets_.end()) {
+    s.c = it->second.c;
+    s.p = it->second.p;
+    s.nbrptup = it->second.nbrptup;
+    s.nbrptdown = it->second.nbrptdown;
+  }
+  return s;
+}
+
+bool Tracker::timer_armed(TargetId target) const {
+  const auto it = targets_.find(target);
+  return it != targets_.end() && it->second.timer->armed();
+}
+
+void Tracker::nudge_timer(TargetId target) {
+  if (timer_armed(target)) return;
+  on_timer(target);
+}
+
+std::vector<TargetId> Tracker::active_targets() const {
+  std::vector<TargetId> out;
+  for (const auto& [t, s] : targets_) {
+    if (s.c.valid() || s.p.valid() || s.nbrptup.valid() ||
+        s.nbrptdown.valid() || s.timer->armed()) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+bool Tracker::finding(FindId find) const {
+  const auto it = finds_.find(find);
+  return it != finds_.end() && it->second.finding;
+}
+
+void Tracker::send(ClusterId to, MsgType type, TargetId target, FindId find,
+                   ClusterId ack_pointer) {
+  Message m;
+  m.type = type;
+  m.from_cluster = clust_;
+  m.target = target;
+  m.find_id = find;
+  m.ack_pointer = ack_pointer;
+  cgcast_->send(clust_, to, m);
+}
+
+void Tracker::notify_state_change(TargetId t) {
+  if (state_hook_) state_hook_(clust_, t);
+}
+
+void Tracker::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kGrow: on_grow(m); return;
+    case MsgType::kGrowPar: on_grow_par(m); return;
+    case MsgType::kGrowNbr: on_grow_nbr(m); return;
+    case MsgType::kShrink: on_shrink(m); return;
+    case MsgType::kShrinkUpd: on_shrink_upd(m); return;
+    case MsgType::kFind: on_find(m); return;
+    case MsgType::kFindQuery: on_find_query(m); return;
+    case MsgType::kFindAck: on_find_ack(m); return;
+    case MsgType::kFound: on_found(m); return;
+    default:
+      VS_REQUIRE(false, "tracker received unexpected message " << m);
+  }
+}
+
+// --- Move-related actions -------------------------------------------------
+
+// Input cTOBrcv(⟨grow, cid⟩): arm the grow timer if the process was idle
+// (c = p = ⊥, below MAX), then point c at the sender unconditionally.
+void Tracker::on_grow(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  if (!s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level()) {
+    s.timer->arm_after(config_->timers.grow(lvl_));
+  }
+  s.c = m.from_cluster;
+  notify_state_change(m.target);
+  advance_finds_of(m.target);
+}
+
+// Input cTOBrcv(⟨growPar, cid⟩): the neighbour cid joined the path via its
+// hierarchy parent.
+void Tracker::on_grow_par(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  s.nbrptup = m.from_cluster;
+  notify_state_change(m.target);
+  advance_finds_of(m.target);
+}
+
+// Input cTOBrcv(⟨growNbr, cid⟩): the neighbour cid joined via a lateral
+// link.
+void Tracker::on_grow_nbr(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  s.nbrptdown = m.from_cluster;
+  notify_state_change(m.target);
+  advance_finds_of(m.target);
+}
+
+// Input cTOBrcv(⟨shrink, cid⟩): clean only deadwood — ignore unless c still
+// points at the sender.
+void Tracker::on_shrink(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  if (s.c != m.from_cluster) return;
+  s.c = ClusterId::invalid();
+  if (lvl_ != hier_->max_level()) {
+    s.timer->arm_after(config_->timers.shrink(lvl_));
+  }
+  notify_state_change(m.target);
+}
+
+// Input cTOBrcv(⟨shrinkUpd, cid⟩): drop secondary pointers to the departed
+// neighbour.
+void Tracker::on_shrink_upd(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  bool changed = false;
+  if (s.nbrptup == m.from_cluster) {
+    s.nbrptup = ClusterId::invalid();
+    changed = true;
+  }
+  if (s.nbrptdown == m.from_cluster) {
+    s.nbrptdown = ClusterId::invalid();
+    changed = true;
+  }
+  if (changed) {
+    notify_state_change(m.target);
+    advance_finds_of(m.target);
+  }
+}
+
+// Timer expiry: the two timer-gated outputs of Figure 2.
+void Tracker::on_timer(TargetId t) {
+  PerTarget& s = target_state(t);
+  if (s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level()) {
+    // Output cTOBsend(⟨grow, clust⟩, par): extend the tracking path. Use a
+    // lateral link if a neighbour advertises a parent-connected position.
+    ClusterId par;
+    const bool lateral = config_->lateral_links && s.nbrptup.valid();
+    par = lateral ? s.nbrptup : hier_->parent(clust_);
+    s.p = par;
+    send(par, MsgType::kGrow, t);
+    const MsgType note = lateral ? MsgType::kGrowNbr : MsgType::kGrowPar;
+    for (const ClusterId b : hier_->nbrs(clust_)) send(b, note, t);
+    notify_state_change(t);
+    advance_finds_of(t);
+  } else if (!s.c.valid() && s.p.valid()) {
+    // Output cTOBsend(⟨shrink, clust⟩, p): retire from the deserted branch.
+    send(s.p, MsgType::kShrink, t);
+    s.p = ClusterId::invalid();
+    for (const ClusterId b : hier_->nbrs(clust_)) {
+      send(b, MsgType::kShrinkUpd, t);
+    }
+    notify_state_change(t);
+    advance_finds_of(t);
+  }
+  // Otherwise both a grow and a shrink passed through while the timer
+  // counted down; no output is enabled (the new path connected here).
+}
+
+// --- Find-related actions -------------------------------------------------
+
+// Input cTOBrcv(⟨find, cid⟩): enter the search/trace phase.
+void Tracker::on_find(const Message& m) {
+  PerFind& pf = find_state(m.find_id);
+  pf.finding = true;
+  pf.target = m.target;
+  pf.queried = false;
+  pf.nbrtimeout->disarm();  // nbrtimeout ← ∞
+  try_advance_find(m.find_id);
+}
+
+void Tracker::advance_finds_of(TargetId t) {
+  // Collect first: try_advance_find may mutate finds_ entries.
+  std::vector<FindId> active;
+  for (const auto& [f, pf] : finds_) {
+    if (pf.finding && pf.target == t) active.push_back(f);
+  }
+  for (const FindId f : active) try_advance_find(f);
+}
+
+void Tracker::try_advance_find(FindId f) {
+  PerFind& pf = find_state(f);
+  if (!pf.finding) return;
+  PerTarget& ts = target_state(pf.target);
+
+  if (ts.c == clust_) {
+    // Output cTOBsend(⟨found, clust⟩, clust): the object is here (level-0
+    // self pointer). Broadcast found locally and to neighbour clusters.
+    emit_found(f, pf.target);
+    pf.finding = false;
+    return;
+  }
+  if (ts.c.valid()) {
+    // Trace: forward the find down (or across a lateral link) via c.
+    send(ts.c, MsgType::kFind, pf.target, f);
+    pf.finding = false;
+    return;
+  }
+  // Search phase: c = ⊥.
+  if (ts.nbrptdown.valid()) {
+    send(ts.nbrptdown, MsgType::kFind, pf.target, f);
+    pf.finding = false;
+    return;
+  }
+  if (ts.nbrptup.valid() && ts.nbrptup != ts.p) {
+    send(ts.nbrptup, MsgType::kFind, pf.target, f);
+    pf.finding = false;
+    return;
+  }
+  // nbrptup ∈ {⊥, p}: query the neighbours once per find receipt
+  // (Figure 2's internal findquery, guarded by nbrtimeout).
+  if (!pf.queried) issue_find_query(f, pf, ts);
+}
+
+void Tracker::issue_find_query(FindId f, PerFind& pf, PerTarget& ts) {
+  pf.queried = true;
+  const sim::Duration roundtrip =
+      2 * hier_->n(lvl_) * (cgcast_->config().delta + cgcast_->config().e);
+  pf.nbrtimeout->arm_after(roundtrip);
+  for (const ClusterId b : hier_->nbrs(clust_)) {
+    if (b == ts.p) continue;  // Figure 2: nbrs(clust) − {p}
+    send(b, MsgType::kFindQuery, pf.target, f);
+  }
+}
+
+// Input cTOBrcv(⟨findQuery, cid⟩): answer with the best pointer we hold.
+void Tracker::on_find_query(const Message& m) {
+  PerTarget& s = target_state(m.target);
+  ClusterId x;
+  if (s.c.valid()) {
+    x = s.c;
+  } else if (s.nbrptdown.valid()) {
+    x = s.nbrptdown;
+  } else if (s.nbrptup.valid()) {
+    x = s.nbrptup;
+  } else {
+    return;  // nothing to offer; stay silent
+  }
+  send(m.from_cluster, MsgType::kFindAck, m.target, m.find_id, x);
+}
+
+// Input cTOBrcv(⟨findAck, dest⟩): follow the advertised pointer if this
+// find is still searching here and no better pointer appeared meanwhile.
+void Tracker::on_find_ack(const Message& m) {
+  PerFind& pf = find_state(m.find_id);
+  if (!pf.finding) return;
+  PerTarget& ts = target_state(pf.target);
+  const bool still_searching = !ts.c.valid() && !ts.nbrptdown.valid() &&
+                               (!ts.nbrptup.valid() || ts.nbrptup == ts.p);
+  if (!still_searching) return;  // a state change will route the find
+  if (m.ack_pointer == clust_) return;  // dest ∉ {clust}
+  pf.nbrtimeout->disarm();
+  send(m.ack_pointer, MsgType::kFind, pf.target, m.find_id);
+  pf.finding = false;
+}
+
+// nbrtimeout expiry: no neighbour answered in time — escalate.
+void Tracker::on_nbrtimeout(FindId f) {
+  PerFind& pf = find_state(f);
+  if (!pf.finding) return;
+  PerTarget& ts = target_state(pf.target);
+  const bool still_searching = !ts.c.valid() && !ts.nbrptdown.valid() &&
+                               (!ts.nbrptup.valid() || ts.nbrptup == ts.p);
+  if (!still_searching) {
+    try_advance_find(f);
+    return;
+  }
+  ClusterId dest;
+  if (!ts.nbrptup.valid()) {
+    dest = lvl_ == hier_->max_level() ? ClusterId::invalid()
+                                      : hier_->parent(clust_);
+  } else {
+    dest = ts.nbrptup;  // nbrptup = p case of Figure 2's timeout branch
+  }
+  if (!dest.valid()) {
+    // Root transiently off the path mid-move: reissue the query a bounded
+    // number of times (liveness completion, see header note). Beyond the
+    // cap the find goes quiet, exactly as Figure 2's disabled output —
+    // any later pointer change re-awakens it via try_advance_find.
+    if (pf.root_retries < kMaxRootRetries) {
+      ++pf.root_retries;
+      pf.queried = false;
+      try_advance_find(f);
+    }
+    return;
+  }
+  send(dest, MsgType::kFind, pf.target, f);
+  pf.finding = false;
+}
+
+void Tracker::emit_found(FindId f, TargetId t) {
+  Message m;
+  m.type = MsgType::kFound;
+  m.from_cluster = clust_;
+  m.target = t;
+  m.find_id = f;
+  cgcast_->broadcast_to_clients(clust_, m);
+  // Figure 2 also queues ⟨j, found⟩ for every neighbour cluster; receiving
+  // trackers relay to their own regions' clients so clients "in that and
+  // neighboring regions" observe the found.
+  for (const ClusterId b : hier_->nbrs(clust_)) {
+    send(b, MsgType::kFound, t, f);
+  }
+}
+
+// A relayed found at a (level-0) neighbour cluster: re-broadcast locally.
+void Tracker::on_found(const Message& m) {
+  if (lvl_ != 0) return;  // found relays only occur at level 0
+  Message out = m;
+  out.from_cluster = clust_;
+  cgcast_->broadcast_to_clients(clust_, out);
+}
+
+}  // namespace vs::tracking

@@ -1,0 +1,155 @@
+#include "vsa/cgcast.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace vs::vsa {
+
+CGcast::CGcast(sim::Scheduler& sched, const hier::ClusterHierarchy& hierarchy,
+               CGcastConfig config, stats::WorkCounters& counters)
+    : sched_(&sched),
+      hier_(&hierarchy),
+      config_(config),
+      counters_(&counters),
+      loss_rng_(config.loss_seed) {
+  VS_REQUIRE(config.delta > sim::Duration::zero(), "delta must be positive");
+  VS_REQUIRE(config.e >= sim::Duration::zero(), "e must be non-negative");
+  VS_REQUIRE(config.loss_probability >= 0.0 && config.loss_probability < 1.0,
+             "loss probability must be in [0, 1)");
+}
+
+bool CGcast::lose_message() {
+  if (config_.loss_probability <= 0.0) return false;
+  if (!loss_rng_.chance(config_.loss_probability)) return false;
+  ++lost_;
+  return true;
+}
+
+void CGcast::add_send_observer(SendObserver obs) {
+  observers_.push_back(std::move(obs));
+}
+
+void CGcast::notify_observers(const Message& m, ClusterId from, ClusterId to,
+                              Level level, std::int64_t hops) {
+  for (const auto& obs : observers_) obs(m, from, to, level, hops);
+}
+
+sim::Duration CGcast::vsa_delay(ClusterId from, ClusterId to) const {
+  const auto& h = *hier_;
+  const Level l = h.level(from);
+  const sim::Duration de = config_.delta + config_.e;
+  if (l != h.max_level() && h.parent(from) == to) {
+    return de * h.p(l);  // rule (b), child → parent
+  }
+  if (h.level(to) != h.max_level() && h.parent(to) == from) {
+    return de * h.p(h.level(to));  // rule (b), parent → child
+  }
+  if (h.are_cluster_neighbors(from, to)) {
+    return de * h.n(l);  // rule (a)
+  }
+  // Rule (c): within two neighbour hops — a neighbour's neighbour or a
+  // neighbour's child (the findAck-pointer chases of §V). Anything further
+  // is outside C-gcast's contract and indicates an algorithm bug.
+  for (const ClusterId b : h.nbrs(from)) {
+    const bool reaches = h.are_cluster_neighbors(b, to) ||
+                         (h.level(to) == l - 1 && h.parent(to) == b) ||
+                         b == to;
+    if (reaches) {
+      return de * (2 * h.n(std::max(l, h.level(to))));
+    }
+  }
+  VS_REQUIRE(false, "C-gcast send outside two-hop locality: cluster "
+                        << from << " (level " << l << ") → cluster " << to
+                        << " (level " << h.level(to) << ")");
+  return de;  // unreachable
+}
+
+std::int64_t CGcast::work_to(ClusterId from, ClusterId to) const {
+  if (!replicas_) return hier_->head_distance(from, to);
+  const RegionId origin = hier_->head(from);
+  std::int64_t sum = 0;
+  for (const RegionId r : replicas_(to)) {
+    sum += hier_->tiling().distance(origin, r);
+  }
+  return sum;
+}
+
+bool CGcast::process_alive(ClusterId to) const {
+  if (!replicas_) return vsa_alive_at(hier_->head(to));
+  for (const RegionId r : replicas_(to)) {
+    if (vsa_alive_at(r)) return true;
+  }
+  return false;
+}
+
+void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
+  VS_REQUIRE(from.valid() && to.valid() && from != to,
+             "bad VSA send " << from << " → " << to);
+  const auto& h = *hier_;
+  const Level l = h.level(from);
+  const sim::Duration delay = vsa_delay(from, to);
+  const std::int64_t hops = work_to(from, to);
+  counters_->record(m.type, l, hops);
+  notify_observers(m, from, to, l, hops);
+  if (lose_message()) return;  // vanished in flight (fault injection)
+
+  const std::uint64_t key = next_key_++;
+  in_flight_.emplace(key,
+                     InTransit{m, from, to, sched_->now() + delay});
+  sched_->schedule_after(delay,
+                         [this, key, to, m] { deliver_to_tracker(key, to, m); });
+}
+
+void CGcast::send_from_client(RegionId at, const Message& m) {
+  const auto& h = *hier_;
+  const ClusterId dest = h.cluster_of(at, 0);
+  counters_->record(m.type, 0, 1);
+  notify_observers(m, ClusterId::invalid(), dest, 0, 1);
+  if (lose_message()) return;
+  const std::uint64_t key = next_key_++;
+  in_flight_.emplace(
+      key, InTransit{m, ClusterId::invalid(), dest,
+                     sched_->now() + config_.delta});  // rule (e)
+  sched_->schedule_after(config_.delta, [this, key, dest, m] {
+    deliver_to_tracker(key, dest, m);
+  });
+}
+
+void CGcast::broadcast_to_clients(ClusterId from_level0, const Message& m) {
+  const auto& h = *hier_;
+  VS_REQUIRE(h.level(from_level0) == 0, "client broadcast from non-level-0");
+  const RegionId region = h.members(from_level0).front();
+  counters_->record(m.type, 0, 1);
+  notify_observers(m, from_level0, ClusterId::invalid(), 0, 1);
+  sched_->schedule_after(config_.delta + config_.e, [this, region, m] {
+    if (client_sink_) client_sink_(region, m);  // rule (d)
+  });
+}
+
+void CGcast::deliver_to_tracker(std::uint64_t key, ClusterId to,
+                                const Message& m) {
+  in_flight_.erase(key);
+  if (!process_alive(to)) {
+    ++dropped_;
+    VS_TRACE("drop " << m << " → cluster " << to
+                     << " (no alive hosting VSA)");
+    return;
+  }
+  VS_REQUIRE(static_cast<bool>(tracker_sink_), "no tracker sink installed");
+  tracker_sink_(to, m);
+}
+
+bool CGcast::vsa_alive_at(RegionId region) const {
+  return !alive_ || alive_(region);
+}
+
+std::vector<CGcast::InTransit> CGcast::in_transit() const {
+  std::vector<InTransit> out;
+  out.reserve(in_flight_.size());
+  for (const auto& [key, msg] : in_flight_) out.push_back(msg);
+  return out;
+}
+
+}  // namespace vs::vsa

@@ -1,0 +1,143 @@
+#pragma once
+// Cluster geocast service C-gcast (paper §II-C.3).
+//
+// Connects cluster processes (Tracker subautomata hosted on VSAs) to each
+// other and to clients, with the paper's deterministic latencies:
+//   (a) level-l cluster → neighbouring cluster:            (δ+e)·n(l)
+//   (b) level-l cluster → parent, or parent → child:       (δ+e)·p(child l)
+//   (c) level-l cluster → neighbour-of-neighbour:          (δ+e)·2n(l)
+//   (d) level-0 cluster → own/neighbour region clients:    δ+e
+//   (e) client → own region's level-0 cluster:             δ
+// δ is the physical broadcast delay; e bounds how far a VSA emulation may
+// lag real time. Work is accounted per message as the hop distance between
+// the communicating cluster heads (1 for client↔VSA messages).
+//
+// A message addressed to a cluster whose head-region VSA is failed at
+// delivery time is dropped, matching the emulation semantics (a failed VSA
+// performs no steps). In-transit messages are introspectable so the spec
+// module can evaluate Figure 3's lookAhead on live snapshots.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hier/hierarchy.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+#include "vsa/messages.hpp"
+
+namespace vs::vsa {
+
+struct CGcastConfig {
+  /// Max physical broadcast delay δ.
+  sim::Duration delta = sim::Duration::millis(1);
+  /// Max VSA emulation lag e.
+  sim::Duration e = sim::Duration::millis(1);
+  /// Fault injection: probability that a VSA→VSA or client→VSA message is
+  /// lost in flight. The paper's C-gcast is reliable (0.0, the default);
+  /// non-zero rates exercise the §VII recovery machinery.
+  double loss_probability = 0.0;
+  /// Seed for the loss process (losses are reproducible).
+  std::uint64_t loss_seed = 0x10555;
+};
+
+class CGcast {
+ public:
+  CGcast(sim::Scheduler& sched, const hier::ClusterHierarchy& hierarchy,
+         CGcastConfig config, stats::WorkCounters& counters);
+
+  /// Delivery of a message to the Tracker process for cluster `dest`.
+  using TrackerSink = std::function<void(ClusterId dest, const Message&)>;
+  /// Delivery of a level-0 broadcast to the clients in `region`.
+  using ClientSink = std::function<void(RegionId region, const Message&)>;
+  /// Liveness oracle for the VSA hosted at a region (default: always alive).
+  using AliveFn = std::function<bool(RegionId)>;
+  /// Replica oracle (§VII "multiple heads per cluster"): the regions
+  /// jointly hosting a cluster's process. When set, a message costs the
+  /// sum of hop distances to every replica (the quorum-contact overhead)
+  /// and is dropped only if *no* replica's VSA is alive.
+  using ReplicaFn = std::function<std::span<const RegionId>(ClusterId)>;
+  /// Observes every accepted send (for per-find accounting and monitors).
+  using SendObserver = std::function<void(const Message&, ClusterId from,
+                                          ClusterId to, Level level,
+                                          std::int64_t hops)>;
+
+  void set_tracker_sink(TrackerSink sink) { tracker_sink_ = std::move(sink); }
+  void set_client_sink(ClientSink sink) { client_sink_ = std::move(sink); }
+  void set_vsa_alive(AliveFn alive) { alive_ = std::move(alive); }
+  void set_replicas(ReplicaFn replicas) { replicas_ = std::move(replicas); }
+  void add_send_observer(SendObserver obs);
+
+  /// cTOBsend from the process of cluster `from` to the process of cluster
+  /// `to`. `to` must be the parent, a child, a neighbour, or within two
+  /// neighbour hops (neighbour-of-neighbour / child-of-neighbour) of
+  /// `from` — anything else is a protocol error and throws.
+  void send(ClusterId from, ClusterId to, const Message& m);
+
+  /// cTOBsend from a client at region `at` to its region's level-0 cluster
+  /// (rule (e), delay δ).
+  void send_from_client(RegionId at, const Message& m);
+
+  /// Broadcast from a level-0 cluster process to the clients of its own
+  /// region (rule (d), delay δ+e). Neighbour regions' clients are reached
+  /// by the tracker relaying `found` to neighbour clusters (Figure 2's
+  /// sendq entries), which re-broadcast locally.
+  void broadcast_to_clients(ClusterId from_level0, const Message& m);
+
+  /// Latency the service would assign to a VSA→VSA message (exposed for
+  /// tests of the delay model).
+  [[nodiscard]] sim::Duration vsa_delay(ClusterId from, ClusterId to) const;
+
+  struct InTransit {
+    Message msg;
+    ClusterId from;  // invalid for client-originated messages
+    ClusterId to;    // destination cluster (invalid for client broadcasts)
+    sim::TimePoint deliver_at;
+  };
+  /// All VSA→VSA and client→VSA messages currently in flight, in
+  /// deterministic (send order) sequence.
+  [[nodiscard]] std::vector<InTransit> in_transit() const;
+
+  /// Messages dropped because the destination VSA was failed at delivery.
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+  /// Messages lost to injected channel faults (loss_probability).
+  [[nodiscard]] std::int64_t lost() const { return lost_; }
+
+  [[nodiscard]] const CGcastConfig& config() const { return config_; }
+  [[nodiscard]] const hier::ClusterHierarchy& hierarchy() const {
+    return *hier_;
+  }
+
+ private:
+  void deliver_to_tracker(std::uint64_t key, ClusterId to, const Message& m);
+  [[nodiscard]] bool vsa_alive_at(RegionId region) const;
+  /// Hop-work of a message to `to`'s process (summed over replicas).
+  [[nodiscard]] std::int64_t work_to(ClusterId from, ClusterId to) const;
+  /// True iff some host of `to`'s process is alive.
+  [[nodiscard]] bool process_alive(ClusterId to) const;
+  void notify_observers(const Message& m, ClusterId from, ClusterId to,
+                        Level level, std::int64_t hops);
+
+  sim::Scheduler* sched_;
+  const hier::ClusterHierarchy* hier_;
+  CGcastConfig config_;
+  stats::WorkCounters* counters_;
+  TrackerSink tracker_sink_;
+  ClientSink client_sink_;
+  AliveFn alive_;
+  ReplicaFn replicas_;
+  std::vector<SendObserver> observers_;
+
+  std::map<std::uint64_t, InTransit> in_flight_;  // key: send sequence
+  std::uint64_t next_key_{1};
+  std::int64_t dropped_{0};
+  std::int64_t lost_{0};
+  Rng loss_rng_;
+  /// True if the message should be lost (consumes randomness only when
+  /// loss injection is enabled, keeping default runs byte-identical).
+  [[nodiscard]] bool lose_message();
+};
+
+}  // namespace vs::vsa

@@ -1,0 +1,83 @@
+#pragma once
+// Client automata (paper §II-C.1, §III-A, §IV-A).
+//
+// Clients are the physical nodes. For tracking they do three things:
+//  - on a `move` GPS input (evader entered their region) they send a grow
+//    to their region's level-0 cluster; on `left`, a shrink;
+//  - on an external `find` input they forward a find to the level-0
+//    cluster;
+//  - on receiving a `found` broadcast, a client whose last GPS input
+//    indicated evader presence performs the found output.
+// Clients can fail/restart and move between regions; their presence also
+// drives VSA liveness via the VsaDirectory.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "vsa/cgcast.hpp"
+#include "vsa/directory.hpp"
+#include "vsa/messages.hpp"
+
+namespace vs::vsa {
+
+struct Client {
+  ClientId id{};
+  RegionId region{};
+  bool alive = true;
+  /// Per-target: did this client's last move/left input indicate the
+  /// evader is in its region?
+  std::map<TargetId, bool> believes_here;
+};
+
+class ClientPopulation {
+ public:
+  /// `directory` may be null when VSA failures are not modelled.
+  ClientPopulation(CGcast& cgcast, const hier::ClusterHierarchy& hierarchy,
+                   VsaDirectory* directory);
+
+  /// Populates every region with `per_region` clients.
+  void populate_uniform(int per_region);
+
+  ClientId add_client(RegionId region);
+  void kill_client(ClientId id);
+  void restart_client(ClientId id);
+  /// Relocates the client (client mobility; affects VSA liveness only).
+  void move_client(ClientId id, RegionId to);
+
+  [[nodiscard]] const Client& client(ClientId id) const;
+  [[nodiscard]] std::size_t alive_clients_in(RegionId region) const;
+
+  /// GPS-service hook: the evader for `target` moved from → to. Issues
+  /// `left` inputs at `from` and `move` inputs at `to`; clients react with
+  /// shrink/grow sends (delay δ via C-gcast). Either region id may be
+  /// invalid (initial placement / final disappearance).
+  void on_evader_move(TargetId target, RegionId from, RegionId to);
+
+  /// External find input delivered to a client in `region`; it forwards a
+  /// find message to its level-0 cluster. Requires an alive client there.
+  void inject_find(RegionId region, TargetId target, FindId find_id);
+
+  /// C-gcast client sink: a level-0 broadcast arrived at `region`.
+  void on_broadcast(RegionId region, const Message& m);
+
+  /// Invoked when a believing client performs the found output.
+  using FoundOutput =
+      std::function<void(FindId, TargetId, RegionId, ClientId)>;
+  void set_found_output(FoundOutput cb) { found_output_ = std::move(cb); }
+
+ private:
+  void notify_presence(RegionId region);
+  std::vector<ClientId>& clients_at(RegionId region);
+
+  CGcast* cgcast_;
+  const hier::ClusterHierarchy* hier_;
+  VsaDirectory* directory_;
+  std::vector<Client> clients_;
+  std::vector<std::vector<ClientId>> by_region_;
+  FoundOutput found_output_;
+};
+
+}  // namespace vs::vsa

@@ -1,0 +1,63 @@
+#include "vsa/directory.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace vs::vsa {
+
+VsaDirectory::VsaDirectory(sim::Scheduler& sched, std::size_t num_regions,
+                           sim::Duration t_restart)
+    : sched_(&sched), t_restart_(t_restart), state_(num_regions) {
+  VS_REQUIRE(t_restart >= sim::Duration::zero(), "negative t_restart");
+}
+
+VsaDirectory::RegionState& VsaDirectory::state_of(RegionId u) {
+  VS_REQUIRE(u.valid() && static_cast<std::size_t>(u.value()) < state_.size(),
+             "region " << u << " out of range");
+  return state_[static_cast<std::size_t>(u.value())];
+}
+
+bool VsaDirectory::alive(RegionId u) const {
+  return const_cast<VsaDirectory*>(this)->state_of(u).alive;
+}
+
+void VsaDirectory::fail(RegionId u) {
+  RegionState& s = state_of(u);
+  if (!s.alive) return;
+  s.alive = false;
+  ++failures_;
+  VS_DEBUG("VSA at region " << u << " failed at " << sched_->now());
+  if (on_fail_) on_fail_(u);
+  maybe_schedule_restart(u);
+}
+
+void VsaDirectory::set_clients_present(RegionId u, bool present) {
+  RegionState& s = state_of(u);
+  if (s.clients_present == present) return;
+  s.clients_present = present;
+  if (!present) {
+    // Presence lapse aborts any pending restart and fails a live VSA.
+    if (s.restart_timer) s.restart_timer->disarm();
+    fail(u);
+  } else {
+    maybe_schedule_restart(u);
+  }
+}
+
+void VsaDirectory::maybe_schedule_restart(RegionId u) {
+  RegionState& s = state_of(u);
+  if (s.alive || !s.clients_present) return;
+  if (!s.restart_timer) {
+    s.restart_timer = std::make_unique<sim::Timer>(*sched_, [this, u] {
+      RegionState& rs = state_of(u);
+      if (rs.alive || !rs.clients_present) return;
+      rs.alive = true;
+      ++restarts_;
+      VS_DEBUG("VSA at region " << u << " restarted at " << sched_->now());
+      if (on_restart_) on_restart_(u);
+    });
+  }
+  s.restart_timer->arm_after(t_restart_);
+}
+
+}  // namespace vs::vsa

@@ -1,0 +1,70 @@
+#pragma once
+// VSA liveness directory (paper §II-C.2 failure semantics).
+//
+// A VSA is emulated by the clients in its region: a clientless region's
+// VSA is failed; a failed VSA restarts (from its initial state) once some
+// clients stay in the region for t_restart. The directory tracks per-region
+// liveness, drives the restart rule from client-presence notifications, and
+// invokes callbacks so the tracking layer can wipe / reinitialise the
+// Tracker subautomata hosted at that region.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+
+namespace vs::vsa {
+
+class VsaDirectory {
+ public:
+  using Callback = std::function<void(RegionId)>;
+
+  VsaDirectory(sim::Scheduler& sched, std::size_t num_regions,
+               sim::Duration t_restart);
+
+  [[nodiscard]] bool alive(RegionId u) const;
+  [[nodiscard]] std::size_t num_regions() const { return state_.size(); }
+
+  /// Fault injection: fail the VSA at `u` now (as if its emulators all
+  /// crashed). If clients are present, the restart clock starts
+  /// immediately.
+  void fail(RegionId u);
+
+  /// Client-presence notification. Transitions:
+  ///  - present → absent: the VSA fails (no emulators);
+  ///  - absent → present on a failed VSA: restart clock starts; the VSA
+  ///    restarts after t_restart of uninterrupted presence.
+  void set_clients_present(RegionId u, bool present);
+
+  /// Invoked when a VSA fails (tracking layer drops its state).
+  void set_on_fail(Callback cb) { on_fail_ = std::move(cb); }
+  /// Invoked when a VSA restarts from its initial state.
+  void set_on_restart(Callback cb) { on_restart_ = std::move(cb); }
+
+  [[nodiscard]] std::int64_t failures() const { return failures_; }
+  [[nodiscard]] std::int64_t restarts() const { return restarts_; }
+
+ private:
+  struct RegionState {
+    bool alive = true;
+    bool clients_present = true;
+    std::unique_ptr<sim::Timer> restart_timer;
+  };
+
+  RegionState& state_of(RegionId u);
+  void maybe_schedule_restart(RegionId u);
+
+  sim::Scheduler* sched_;
+  sim::Duration t_restart_;
+  std::vector<RegionState> state_;
+  Callback on_fail_;
+  Callback on_restart_;
+  std::int64_t failures_{0};
+  std::int64_t restarts_{0};
+};
+
+}  // namespace vs::vsa

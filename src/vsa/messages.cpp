@@ -1,0 +1,13 @@
+#include "vsa/messages.hpp"
+
+namespace vs::vsa {
+
+std::ostream& operator<<(std::ostream& os, const Message& m) {
+  os << stats::to_string(m.type) << "(from=" << m.from_cluster
+     << ",tgt=" << m.target;
+  if (m.find_id.valid()) os << ",find=" << m.find_id;
+  if (m.ack_pointer.valid()) os << ",x=" << m.ack_pointer;
+  return os << ")";
+}
+
+}  // namespace vs::vsa

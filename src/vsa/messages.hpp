@@ -1,0 +1,41 @@
+#pragma once
+// Messages of the Tracker signature (Figure 2) and client traffic.
+//
+// Every tracker-to-tracker message carries the sending cluster (the `cid`
+// of Figure 2's handlers) and the target it concerns; find-phase messages
+// additionally carry the find's identity and, for findAck, the advertised
+// pointer x.
+
+#include <ostream>
+
+#include "common/ids.hpp"
+#include "stats/counters.hpp"
+
+namespace vs::vsa {
+
+/// Wire message kinds; mirrors Figure 2's message set.
+using MsgType = stats::MsgKind;
+
+struct Message {
+  MsgType type{MsgType::kGrow};
+  /// Figure 2's `cid`: the cluster the message is "from" (for client-sent
+  /// grow/shrink at level 0 this is the level-0 cluster itself).
+  ClusterId from_cluster{};
+  /// Which mobile object this concerns (TargetId{0} for single-object).
+  TargetId target{TargetId{0}};
+  /// Identity of the find operation (find/findQuery/findAck/found only).
+  FindId find_id{};
+  /// findAck payload x: a cluster on, or holding a secondary pointer to,
+  /// the tracking path.
+  ClusterId ack_pointer{};
+
+  friend std::ostream& operator<<(std::ostream& os, const Message& m);
+};
+
+/// Inputs a client receives from the GPS/evader model (§III-A).
+enum class ClientInput {
+  kMove,  // evader entered the client's region
+  kLeft,  // evader left the client's region
+};
+
+}  // namespace vs::vsa

@@ -1,0 +1,161 @@
+// Baseline location-service tests: the comparators must show exactly the
+// qualitative behaviours the paper argues against (central bottleneck,
+// dithering, quadratic search), and the NoLateral DES variant must remain
+// a *correct* tracking service (just an expensive one).
+
+#include <gtest/gtest.h>
+
+#include "baselines/expanding_ring.hpp"
+#include "baselines/root_directory.hpp"
+#include "baselines/tree_directory.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using baselines::ExpandingRingSearch;
+using baselines::OpCost;
+using baselines::RootDirectory;
+using baselines::TreeDirectory;
+
+TEST(RootDirectoryBaseline, MoveCostIsDistanceToRoot) {
+  hier::GridHierarchy h(27, 27, 3);
+  RootDirectory dir(h);
+  const RegionId root_head = h.head(h.root());
+  dir.init(h.grid().region_at(0, 0));
+  const OpCost c = dir.move(h.grid().region_at(1, 0));
+  EXPECT_EQ(c.work, h.tiling().distance(h.grid().region_at(1, 0), root_head));
+  EXPECT_EQ(c.messages, 1);
+}
+
+TEST(RootDirectoryBaseline, FindGoesThroughTheRoot) {
+  hier::GridHierarchy h(27, 27, 3);
+  RootDirectory dir(h);
+  dir.init(h.grid().region_at(0, 0));
+  // Querier right next to the evader still pays the full round trip.
+  const OpCost c = dir.find(h.grid().region_at(1, 1));
+  const RegionId root_head = h.head(h.root());
+  EXPECT_EQ(c.work,
+            h.tiling().distance(h.grid().region_at(1, 1), root_head) +
+                h.tiling().distance(root_head, h.grid().region_at(0, 0)));
+  EXPECT_GT(c.work, 20);  // non-local despite d = 1
+}
+
+TEST(TreeDirectoryBaseline, LocalMoveWithinLeafClusterIsCheap) {
+  hier::GridHierarchy h(27, 27, 3);
+  TreeDirectory dir(h);
+  dir.init(h.grid().region_at(0, 0));
+  // (0,0) → (1,0) stays within the same level-1 cluster: only the level-0
+  // pointer changes.
+  const OpCost c = dir.move(h.grid().region_at(1, 0));
+  EXPECT_LE(c.work, 6);
+}
+
+TEST(TreeDirectoryBaseline, BoundaryMoveDithers) {
+  hier::GridHierarchy h(27, 27, 3);
+  TreeDirectory dir(h);
+  // x = 8|9 crosses the level-2 boundary; the LCA is level 3 (the root).
+  dir.init(h.grid().region_at(8, 13));
+  const OpCost over = dir.move(h.grid().region_at(9, 13));
+  const OpCost back = dir.move(h.grid().region_at(8, 13));
+  // Each crossing rewrites pointers up to the root — many times the cost
+  // of a same-leaf-cluster step.
+  TreeDirectory local(h);
+  local.init(h.grid().region_at(0, 0));
+  const OpCost cheap = local.move(h.grid().region_at(1, 0));
+  EXPECT_GT(over.work, 3 * cheap.work);
+  EXPECT_GT(back.work, 3 * cheap.work);
+  EXPECT_GT(over.work, 12);  // Θ(D) scale on the 27-grid
+}
+
+TEST(TreeDirectoryBaseline, FindEndsAtEvader) {
+  hier::GridHierarchy h(27, 27, 3);
+  TreeDirectory dir(h);
+  dir.init(h.grid().region_at(20, 20));
+  const OpCost near = dir.find(h.grid().region_at(21, 21));
+  const OpCost far = dir.find(h.grid().region_at(0, 0));
+  EXPECT_LT(near.work, far.work);
+  EXPECT_EQ(dir.evader_region(), h.grid().region_at(20, 20));
+}
+
+TEST(ExpandingRingBaseline, MovesAreFree) {
+  geo::GridTiling grid(27, 27);
+  ExpandingRingSearch ring(grid);
+  ring.init(grid.region_at(5, 5));
+  const OpCost c = ring.move(grid.region_at(6, 5));
+  EXPECT_EQ(c.work, 0);
+  EXPECT_EQ(c.messages, 0);
+}
+
+TEST(ExpandingRingBaseline, FindWorkIsQuadraticInDistance) {
+  geo::GridTiling grid(101, 101);
+  ExpandingRingSearch ring(grid);
+  ring.init(grid.region_at(50, 50));
+  const OpCost d5 = ring.find(grid.region_at(55, 50));
+  const OpCost d40 = ring.find(grid.region_at(90, 50));
+  // 8× the distance must cost on the order of 64× the work (within the
+  // doubling-schedule slack) — decisively super-linear.
+  EXPECT_GT(static_cast<double>(d40.work) / static_cast<double>(d5.work), 16.0);
+}
+
+TEST(ExpandingRingBaseline, GridClosedFormMatchesGenericScan) {
+  // The grid fast path and the generic O(R) scan must agree.
+  geo::GridTiling grid(15, 11);
+  ExpandingRingSearch ring(grid);
+  ring.init(grid.region_at(14, 10));
+  const OpCost fast = ring.find(grid.region_at(2, 3));
+  std::int64_t expected = 0;
+  int radius = 1;
+  const int d = grid.distance(grid.region_at(2, 3), grid.region_at(14, 10));
+  while (true) {
+    std::int64_t count = 0;
+    for (const RegionId v : grid.all_regions()) {
+      if (grid.distance(grid.region_at(2, 3), v) <= radius) ++count;
+    }
+    expected += count;
+    if (radius >= d) break;
+    radius = std::min(radius * 2, grid.diameter());
+  }
+  EXPECT_EQ(fast.work, expected);
+}
+
+TEST(NoLateralBaseline, RemainsACorrectTrackingService) {
+  tracking::NetworkConfig cfg;
+  cfg.lateral_links = false;
+  GridNet g = make_grid(27, 3, cfg);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  spec::AtomicSpec spec(*g.hierarchy, /*lateral_links=*/false);
+  spec.init(start);
+
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xD17);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    spec.apply_move(walk[i]);
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  const auto snap = g.net->snapshot(t);
+  EXPECT_TRUE(spec::equal_states(snap.trackers, spec.state()))
+      << spec::diff_states(snap.trackers, spec.state());
+  const auto report = spec::check_consistent(snap, walk.back());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  const FindId f = g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).found_region, walk.back());
+}
+
+TEST(Baselines, MoveRejectsTeleports) {
+  hier::GridHierarchy h(9, 9, 3);
+  RootDirectory dir(h);
+  dir.init(h.grid().region_at(0, 0));
+  EXPECT_THROW(dir.move(h.grid().region_at(5, 5)), vs::Error);
+  TreeDirectory tree(h);
+  tree.init(h.grid().region_at(0, 0));
+  EXPECT_THROW(tree.move(h.grid().region_at(5, 5)), vs::Error);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,146 @@
+// Measured cost vs. the paper's bound formulas (spec/bounds.hpp): the
+// reproduction's quantitative teeth. Work/time for moves and finds must
+// stay below a small constant times the evaluated Theorem 4.9 / 5.2 sums.
+
+#include <gtest/gtest.h>
+
+#include "hier/torus_hierarchy.hpp"
+#include "spec/bounds.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(Bounds, FormulasOnTheGridMatchHandComputation) {
+  hier::GridHierarchy h(27, 27, 3);  // MAX = 3
+  // ω(0) + Σ_{j=1..3} n(j)(1+ω(j))/q(j−1)
+  //  = 8 + 5·9/1 + 17·9/3 + 53·9/9 = 8 + 45 + 51 + 53 = 157.
+  EXPECT_NEAR(spec::move_work_bound_per_step(h), 157.0, 1e-9);
+  // Find from d = 4 → l = 2 (q(1)=3 < 4 ≤ q(2)=9):
+  // Σ_{j=0..2} (1+ω)n = 9·(1 + 5 + 17) = 207.
+  EXPECT_EQ(spec::find_level(h, 4), 2);
+  EXPECT_NEAR(spec::find_work_bound(h, 4), 207.0, 1e-9);
+}
+
+TEST(Bounds, FindLevelEdges) {
+  hier::GridHierarchy h(27, 27, 3);
+  EXPECT_EQ(spec::find_level(h, 0), 0);
+  EXPECT_EQ(spec::find_level(h, 1), 0);   // q(0) = 1
+  EXPECT_EQ(spec::find_level(h, 2), 1);
+  EXPECT_EQ(spec::find_level(h, 3), 1);   // q(1) = 3
+  EXPECT_EQ(spec::find_level(h, 9), 2);
+  EXPECT_EQ(spec::find_level(h, 26), 3);  // beyond q(2), capped at MAX
+}
+
+TEST(Bounds, MeasuredMoveWorkIsWithinTheTheoremSum) {
+  GridNet g = make_grid(81, 3);
+  const double bound = spec::move_work_bound_per_step(*g.hierarchy);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 300, 0xB0B);
+  const auto work0 = g.net->counters().move_work();
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  const double per_step =
+      static_cast<double>(g.net->counters().move_work() - work0) / 300.0;
+  // The theorem sum is the worst case; measured must be below it.
+  EXPECT_LT(per_step, bound);
+  // ... and the bound is not absurdly loose for this workload either.
+  EXPECT_GT(per_step, bound / 50.0);
+}
+
+TEST(Bounds, MeasuredMoveTimeIsWithinTheTheoremSum) {
+  GridNet g = make_grid(81, 3);
+  const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
+  const auto timers =
+      tracking::TimerPolicy::paper_default(*g.hierarchy, g.net->config().cgcast);
+  const double bound_us =
+      spec::move_time_bound_per_step(*g.hierarchy, timers, de);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto t0 = g.net->now();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 300, 0xB1B);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  const double per_step_us =
+      static_cast<double>((g.net->now() - t0).count()) / 300.0;
+  EXPECT_LT(per_step_us, bound_us);
+}
+
+TEST(Bounds, MeasuredFindWorkIsWithinTheTheoremSum) {
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  // The theorem's sum covers search + trace; delivery adds an O(1) term
+  // the sum omits: the client injection hop and the found broadcast to the
+  // ω(0) neighbouring regions.
+  const double delivery =
+      2.0 + 2.0 * static_cast<double>(g.hierarchy->omega(0));
+  for (const int d : {1, 3, 9, 27, 81, 120}) {
+    const FindId f = g.net->start_find(g.at(121 - d, 121), t);
+    g.net->run_to_quiescence();
+    const auto& r = g.net->find_result(f);
+    ASSERT_TRUE(r.done);
+    const double bound = spec::find_work_bound(*g.hierarchy, d) + delivery;
+    EXPECT_LT(static_cast<double>(r.work), bound)
+        << "d = " << d << ": measured " << r.work << " vs bound " << bound;
+  }
+}
+
+TEST(Bounds, MeasuredFindTimeIsWithinTheTheoremSum) {
+  GridNet g = make_grid(243, 3);
+  const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  for (const int d : {1, 9, 81}) {
+    const FindId f = g.net->start_find(g.at(121, 121 - d), t);
+    g.net->run_to_quiescence();
+    const auto& r = g.net->find_result(f);
+    ASSERT_TRUE(r.done);
+    const double bound_us = spec::find_time_bound(*g.hierarchy, d, de);
+    EXPECT_LT(static_cast<double>(r.latency().count()), bound_us)
+        << "d = " << d;
+  }
+}
+
+TEST(Bounds, HoldOnStripAndTorusToo) {
+  {
+    hier::StripHierarchy h(81, 3);
+    tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+    const TargetId t = net.add_evader(RegionId{40});
+    net.run_to_quiescence();
+    const double bound = spec::move_work_bound_per_step(h);
+    const auto work0 = net.counters().move_work();
+    for (int i = 1; i <= 30; ++i) {
+      net.move_evader(t, RegionId{i % 2 == 1 ? 41 : 40});
+      net.run_to_quiescence();
+    }
+    EXPECT_LT(static_cast<double>(net.counters().move_work() - work0) / 30.0,
+              bound);
+  }
+  {
+    hier::TorusHierarchy h(27, 3);
+    tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+    const RegionId start = h.torus().region_at(0, 0);
+    const TargetId t = net.add_evader(start);
+    net.run_to_quiescence();
+    const double bound = spec::move_work_bound_per_step(h);
+    const auto walk = random_walk(h.tiling(), start, 60, 0xB2B);
+    const auto work0 = net.counters().move_work();
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      net.move_evader(t, walk[i]);
+      net.run_to_quiescence();
+    }
+    EXPECT_LT(static_cast<double>(net.counters().move_work() - work0) / 60.0,
+              bound);
+  }
+}
+
+}  // namespace
+}  // namespace vstest

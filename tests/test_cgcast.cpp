@@ -1,0 +1,189 @@
+// Unit tests for the C-gcast service (paper §II-C.3): the exact latency
+// rules (a)-(e), work accounting, in-transit introspection, drop-on-failed
+// VSA, and locality enforcement.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+#include "vsa/cgcast.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::ClusterId;
+using vs::Level;
+using vs::RegionId;
+using vs::hier::GridHierarchy;
+using vs::sim::Duration;
+using vs::sim::Scheduler;
+using vs::stats::MsgKind;
+using vs::stats::WorkCounters;
+using vs::vsa::CGcast;
+using vs::vsa::CGcastConfig;
+using vs::vsa::Message;
+
+struct Fixture {
+  GridHierarchy hier{27, 27, 3};
+  Scheduler sched;
+  WorkCounters counters{hier.max_level()};
+  CGcastConfig cfg{Duration::millis(1), Duration::millis(1)};
+  CGcast cg{sched, hier, cfg, counters};
+
+  ClusterId at(int x, int y, Level l) {
+    return hier.cluster_of(hier.grid().region_at(x, y), l);
+  }
+};
+
+TEST(CGcast, NeighborDelayIsRuleA) {
+  Fixture f;
+  // Two adjacent level-1 clusters: delay (δ+e)·n(1) = 2ms · 5.
+  EXPECT_EQ(f.cg.vsa_delay(f.at(4, 4, 1), f.at(7, 4, 1)),
+            Duration::millis(2) * 5);
+  // Level 0: n(0) = 1.
+  EXPECT_EQ(f.cg.vsa_delay(f.at(4, 4, 0), f.at(5, 4, 0)),
+            Duration::millis(2));
+}
+
+TEST(CGcast, ParentChildDelayIsRuleB) {
+  Fixture f;
+  const ClusterId child = f.at(4, 4, 1);
+  const ClusterId parent = f.hier.parent(child);
+  // p(1) = 8 in base 3.
+  EXPECT_EQ(f.cg.vsa_delay(child, parent), Duration::millis(2) * 8);
+  EXPECT_EQ(f.cg.vsa_delay(parent, child), Duration::millis(2) * 8);
+  // Level-0 child: p(0) = 2.
+  const ClusterId leaf = f.at(4, 4, 0);
+  EXPECT_EQ(f.cg.vsa_delay(leaf, f.hier.parent(leaf)), Duration::millis(2) * 2);
+}
+
+TEST(CGcast, NeighborOfNeighborDelayIsRuleC) {
+  Fixture f;
+  // Level-1 clusters two blocks apart: 2·n(1) = 10.
+  EXPECT_EQ(f.cg.vsa_delay(f.at(4, 4, 1), f.at(10, 4, 1)),
+            Duration::millis(2) * 10);
+}
+
+TEST(CGcast, ChildOfNeighborIsWithinTwoHops) {
+  Fixture f;
+  // Level-1 cluster to a level-0 child of its neighbour (the findAck
+  // pointer chase): treated like rule (c) at the higher level.
+  const ClusterId from = f.at(4, 4, 1);
+  const ClusterId to = f.at(7, 4, 0);  // inside neighbouring level-1 block
+  EXPECT_EQ(f.cg.vsa_delay(from, to), Duration::millis(2) * 10);
+}
+
+TEST(CGcast, NonLocalSendIsAProtocolError) {
+  Fixture f;
+  Message m;
+  m.type = MsgKind::kGrow;
+  m.from_cluster = f.at(0, 0, 0);
+  // (0,0) level 0 → (20,20) level 0 is far outside two hops.
+  EXPECT_THROW(f.cg.send(f.at(0, 0, 0), f.at(20, 20, 0), m), vs::Error);
+}
+
+TEST(CGcast, ClientSendDelayIsDeltaAndDeliveryWorks) {
+  Fixture f;
+  ClusterId got;
+  f.cg.set_tracker_sink([&](ClusterId dest, const Message&) { got = dest; });
+  Message m;
+  m.type = MsgKind::kGrow;
+  const RegionId r = f.hier.grid().region_at(3, 3);
+  m.from_cluster = f.hier.cluster_of(r, 0);
+  f.cg.send_from_client(r, m);
+  EXPECT_EQ(f.cg.in_transit().size(), 1u);
+  f.sched.run();
+  EXPECT_EQ(f.sched.now().count(), Duration::millis(1).count());  // δ
+  EXPECT_EQ(got, f.hier.cluster_of(r, 0));
+  EXPECT_TRUE(f.cg.in_transit().empty());
+}
+
+TEST(CGcast, BroadcastToClientsDelayIsDeltaPlusE) {
+  Fixture f;
+  RegionId got;
+  f.cg.set_client_sink([&](RegionId region, const Message&) { got = region; });
+  Message m;
+  m.type = MsgKind::kFound;
+  const ClusterId c0 = f.at(5, 5, 0);
+  m.from_cluster = c0;
+  f.cg.broadcast_to_clients(c0, m);
+  f.sched.run();
+  EXPECT_EQ(f.sched.now().count(), Duration::millis(2).count());  // δ+e
+  EXPECT_EQ(got, f.hier.grid().region_at(5, 5));
+}
+
+TEST(CGcast, WorkEqualsHeadDistance) {
+  Fixture f;
+  f.cg.set_tracker_sink([](ClusterId, const Message&) {});
+  const ClusterId a = f.at(4, 4, 1);
+  const ClusterId b = f.at(7, 4, 1);
+  Message m;
+  m.type = MsgKind::kGrow;
+  m.from_cluster = a;
+  f.cg.send(a, b, m);
+  EXPECT_EQ(f.counters.messages(MsgKind::kGrow), 1);
+  EXPECT_EQ(f.counters.work(MsgKind::kGrow), f.hier.head_distance(a, b));
+  EXPECT_EQ(f.counters.messages_at_level(1), 1);
+  f.sched.run();
+}
+
+TEST(CGcast, DropsToFailedVsa) {
+  Fixture f;
+  int delivered = 0;
+  f.cg.set_tracker_sink([&](ClusterId, const Message&) { ++delivered; });
+  const ClusterId b = f.at(7, 4, 1);
+  f.cg.set_vsa_alive([&](RegionId u) { return u != f.hier.head(b); });
+  Message m;
+  m.type = MsgKind::kGrow;
+  m.from_cluster = f.at(4, 4, 1);
+  f.cg.send(f.at(4, 4, 1), b, m);
+  f.sched.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(f.cg.dropped(), 1);
+}
+
+TEST(CGcast, ObserverSeesEverySend) {
+  Fixture f;
+  f.cg.set_tracker_sink([](ClusterId, const Message&) {});
+  int observed = 0;
+  f.cg.add_send_observer([&](const Message&, ClusterId, ClusterId, Level,
+                             std::int64_t) { ++observed; });
+  Message m;
+  m.type = MsgKind::kShrink;
+  m.from_cluster = f.at(4, 4, 1);
+  f.cg.send(f.at(4, 4, 1), f.at(7, 4, 1), m);
+  f.cg.send_from_client(f.hier.grid().region_at(0, 0), m);
+  EXPECT_EQ(observed, 2);
+  f.sched.run();
+}
+
+TEST(CGcast, InTransitReportsDeliveryTime) {
+  Fixture f;
+  f.cg.set_tracker_sink([](ClusterId, const Message&) {});
+  Message m;
+  m.type = MsgKind::kGrowPar;
+  m.from_cluster = f.at(4, 4, 1);
+  f.cg.send(f.at(4, 4, 1), f.at(7, 4, 1), m);
+  const auto in_flight = f.cg.in_transit();
+  ASSERT_EQ(in_flight.size(), 1u);
+  EXPECT_EQ(in_flight[0].deliver_at.count(), (Duration::millis(2) * 5).count());
+  EXPECT_EQ(in_flight[0].from, f.at(4, 4, 1));
+  EXPECT_EQ(in_flight[0].to, f.at(7, 4, 1));
+  f.sched.run();
+}
+
+TEST(CGcast, RejectsSelfSendAndBadConfig) {
+  Fixture f;
+  Message m;
+  m.type = MsgKind::kGrow;
+  EXPECT_THROW(f.cg.send(f.at(1, 1, 1), f.at(1, 1, 1), m), vs::Error);
+  Scheduler s2;
+  WorkCounters c2{2};
+  EXPECT_THROW(CGcast(s2, f.hier, CGcastConfig{Duration::zero(), Duration::zero()}, c2),
+               vs::Error);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,76 @@
+// Exhaustive contract sweep of the C-gcast latency rules: for every
+// parent/child pair and every neighbour pair at every level of a 27-grid,
+// the assigned delay must equal the §II-C.3 formula exactly.
+
+#include <gtest/gtest.h>
+
+#include "hier/grid_hierarchy.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+#include "vsa/cgcast.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::ClusterId;
+using vs::Level;
+using vs::hier::GridHierarchy;
+using vs::sim::Duration;
+
+struct Sweep {
+  GridHierarchy h{27, 27, 3};
+  vs::sim::Scheduler sched;
+  vs::stats::WorkCounters counters{h.max_level()};
+  vs::vsa::CGcastConfig cfg;
+  vs::vsa::CGcast cg{sched, h, cfg, counters};
+  Duration de = cfg.delta + cfg.e;
+};
+
+TEST(CGcastSweep, EveryNeighborPairUsesRuleA) {
+  Sweep s;
+  for (Level l = 0; l < s.h.max_level(); ++l) {
+    for (const ClusterId c : s.h.clusters_at(l)) {
+      for (const ClusterId b : s.h.nbrs(c)) {
+        ASSERT_EQ(s.cg.vsa_delay(c, b), s.de * s.h.n(l))
+            << "level " << l << " clusters " << c << " → " << b;
+      }
+    }
+  }
+}
+
+TEST(CGcastSweep, EveryParentChildPairUsesRuleB) {
+  Sweep s;
+  for (Level l = 0; l < s.h.max_level(); ++l) {
+    for (const ClusterId c : s.h.clusters_at(l)) {
+      const ClusterId par = s.h.parent(c);
+      ASSERT_EQ(s.cg.vsa_delay(c, par), s.de * s.h.p(l)) << "up from " << c;
+      ASSERT_EQ(s.cg.vsa_delay(par, c), s.de * s.h.p(l)) << "down to " << c;
+    }
+  }
+}
+
+TEST(CGcastSweep, EveryNeighborOfNeighborUsesRuleC) {
+  Sweep s;
+  // Sample: all level-1 two-hop pairs.
+  for (const ClusterId c : s.h.clusters_at(1)) {
+    for (const ClusterId b : s.h.nbrs(c)) {
+      for (const ClusterId bb : s.h.nbrs(b)) {
+        if (bb == c || s.h.are_cluster_neighbors(c, bb)) continue;
+        ASSERT_EQ(s.cg.vsa_delay(c, bb), s.de * (2 * s.h.n(1)))
+            << c << " → " << bb;
+      }
+    }
+  }
+}
+
+TEST(CGcastSweep, DelaysAreSymmetricWithinARelationshipClass) {
+  Sweep s;
+  for (const ClusterId c : s.h.clusters_at(2)) {
+    for (const ClusterId b : s.h.nbrs(c)) {
+      EXPECT_EQ(s.cg.vsa_delay(c, b), s.cg.vsa_delay(b, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vstest

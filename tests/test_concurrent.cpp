@@ -1,0 +1,146 @@
+// Concurrent operation tests (paper §VI): the evader relocates before
+// updates complete, finds run while the structure is in motion, and under
+// a dwell-time (speed) restriction everything still converges and finds
+// stay live.
+
+#include <gtest/gtest.h>
+
+#include "spec/consistency.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using spec::check_consistent;
+
+// Time for one level-0 update round with the default timers/latencies; the
+// dwell times below are expressed as multiples of this.
+sim::Duration base_step(const GridNet& g) {
+  const auto cfg = g.net->config().cgcast;
+  return cfg.delta + cfg.e;
+}
+
+TEST(Concurrent, FastWalkConvergesAfterItStops) {
+  GridNet g = make_grid(27, 3);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+
+  // Move every 12·(δ+e): far less than a full top-level update
+  // (which needs s(2) ≈ 2·n(2) = 34 units), so updates overlap.
+  const auto dwell = base_step(g) * 12;
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xFA57);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  const auto report = check_consistent(g.net->snapshot(t), walk.back());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Concurrent, VeryFastDashConvergesAfterItStops) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(0, 0));
+  g.net->run_to_quiescence();
+  // Move every 3·(δ+e) — faster than even level-0 shrink timers.
+  const auto dwell = base_step(g) * 3;
+  for (int i = 1; i < 27; ++i) {
+    g.net->move_evader(t, g.at(i, i));
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  const auto report = check_consistent(g.net->snapshot(t), g.at(26, 26));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Concurrent, FindDuringMovesStillCompletesAtTrueRegion) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(5, 5));
+  g.net->run_to_quiescence();
+
+  // Launch a find, then keep the evader moving while it is serviced; it
+  // must eventually produce a found at the region the evader occupies at
+  // found time (which here is its final region once movement stops).
+  const FindId f = g.net->start_find(g.at(25, 25), t);
+  const auto dwell = base_step(g) * 10;
+  for (int i = 1; i <= 6; ++i) {
+    g.net->move_evader(t, g.at(5 + i, 5));
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  const auto& r = g.net->find_result(f);
+  ASSERT_TRUE(r.done);
+  EXPECT_EQ(r.found_region, g.at(11, 5));
+}
+
+TEST(Concurrent, ManyFindsDuringContinuousMotionAllComplete) {
+  GridNet g = make_grid(27, 3);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+
+  const auto dwell = base_step(g) * 20;
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 40, 0xF1);
+  std::vector<FindId> finds;
+  Rng rng{0x99};
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    if (i % 4 == 0) {
+      const RegionId origin{static_cast<RegionId::rep_type>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.hierarchy->tiling().num_regions()) - 1))};
+      finds.push_back(g.net->start_find(origin, t));
+    }
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  for (const FindId f : finds) {
+    EXPECT_TRUE(g.net->find_result(f).done) << "find " << f.value();
+  }
+}
+
+TEST(Concurrent, DitheringDuringFindDoesNotLoseIt) {
+  GridNet g = make_grid(27, 3);
+  const RegionId a = g.at(13, 13);
+  const RegionId b = g.at(14, 13);
+  const TargetId t = g.net->add_evader(a);
+  g.net->run_to_quiescence();
+  const FindId f = g.net->start_find(g.at(0, 0), t);
+  const auto dwell = base_step(g) * 8;
+  RegionId cur = a;
+  for (int i = 0; i < 10; ++i) {
+    cur = cur == a ? b : a;
+    g.net->move_evader(t, cur);
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  EXPECT_TRUE(g.net->find_result(f).done);
+}
+
+// Dwell-time sweep: above a modest threshold, concurrent moves keep the
+// final state consistent (the §VI claim, tested empirically; the benches
+// chart the full threshold curve).
+class DwellSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DwellSweep, ConvergesToConsistency) {
+  const int multiple = GetParam();
+  GridNet g = make_grid(9, 3);
+  const RegionId start = g.at(4, 4);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto dwell = base_step(g) * multiple;
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 50,
+                                static_cast<std::uint64_t>(42 + multiple));
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_for(dwell);
+  }
+  g.net->run_to_quiescence();
+  const auto report = check_consistent(g.net->snapshot(t), walk.back());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Dwell, DwellSweep, ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,193 @@
+// Deep branch coverage: lookAhead's propagation variants, C-gcast delays
+// on non-grid hierarchies, per-level counter attribution, find re-routing
+// after state changes — the corners the broad property sweeps pass through
+// without isolating.
+
+#include <gtest/gtest.h>
+
+#include "hier/strip_hierarchy.hpp"
+#include "hier/torus_hierarchy.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "spec/look_ahead.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using tracking::SystemSnapshot;
+using tracking::TransitMsg;
+using vsa::MsgType;
+
+TEST(LookAheadBranches, ShrinkStopsWhereNewPathConnected) {
+  // Build a consistent path, then synthesize a shrink whose branch ends at
+  // a cluster whose parent's c points elsewhere — the `else clust.p ← ⊥`
+  // branch of Figure 3's shrink loop.
+  hier::GridHierarchy h(9, 9, 3);
+  spec::AtomicSpec oracle(h);
+  oracle.init(h.grid().region_at(0, 0));
+  oracle.apply_move(h.grid().region_at(1, 0));  // likely lateral at level 0
+
+  // Take the consistent state; manually plant a deadwood branch: an
+  // off-path level-0 cluster pointing up to its level-1 parent whose c
+  // points at the real path instead.
+  SystemSnapshot snap;
+  snap.hier = &h;
+  snap.trackers = oracle.state();
+  const ClusterId stray = h.cluster_of(h.grid().region_at(1, 1), 0);
+  snap.trackers[static_cast<std::size_t>(stray.value())].p = h.parent(stray);
+  // (parent's c is unchanged — points at the true path or ⊥.)
+  const auto ideal = spec::look_ahead(snap);
+  // The stray p must be wiped, and nothing else disturbed.
+  EXPECT_FALSE(ideal[static_cast<std::size_t>(stray.value())].p.valid());
+  EXPECT_TRUE(
+      spec::check_consistent_state(h, ideal, h.grid().region_at(1, 0)).ok());
+}
+
+TEST(LookAheadBranches, NoFrontsMeansPureMessageApplication) {
+  hier::GridHierarchy h(9, 9, 3);
+  spec::AtomicSpec oracle(h);
+  oracle.init(h.grid().region_at(4, 4));
+  SystemSnapshot snap;
+  snap.hier = &h;
+  snap.trackers = oracle.state();
+  // Only a growPar notification in flight: applied, nothing propagates.
+  const ClusterId a = h.cluster_of(h.grid().region_at(4, 4), 0);
+  const ClusterId b = h.cluster_of(h.grid().region_at(5, 5), 0);
+  snap.in_transit.push_back(TransitMsg{MsgType::kGrowPar, a, b});
+  const auto ideal = spec::look_ahead(snap);
+  EXPECT_EQ(ideal[static_cast<std::size_t>(b.value())].nbrptup, a);
+}
+
+TEST(LookAheadBranches, NoLateralPropagationIgnoresNbrptup) {
+  // With lateral_links = false the grow must climb to the parent even when
+  // a lateral candidate is advertised.
+  hier::GridHierarchy h(9, 9, 3);
+  spec::AtomicSpec oracle(h, /*lateral_links=*/false);
+  oracle.init(h.grid().region_at(2, 2));
+  oracle.apply_move(h.grid().region_at(3, 2));  // crosses the level-1 edge
+  // Every on-path p must be a hierarchy parent.
+  const auto path = spec::extract_path(h, oracle.state());
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto& s = oracle.state()[static_cast<std::size_t>(path[i].value())];
+    EXPECT_EQ(s.p, h.parent(path[i]));
+  }
+}
+
+TEST(CGcastDelaysOffGrid, StripAndTorusUseTheirGeometry) {
+  {
+    hier::StripHierarchy h(27, 3);
+    sim::Scheduler sched;
+    stats::WorkCounters counters(h.max_level());
+    vsa::CGcastConfig cfg;
+    vsa::CGcast cg(sched, h, cfg, counters);
+    // Level-1 neighbours on the strip: n(1) = 5 → 2ms·5.
+    const ClusterId a = h.cluster_of(RegionId{4}, 1);
+    const ClusterId b = h.cluster_of(RegionId{7}, 1);
+    EXPECT_EQ(cg.vsa_delay(a, b), sim::Duration::millis(2) * 5);
+    // Child→parent: p(1) = 8.
+    EXPECT_EQ(cg.vsa_delay(a, h.parent(a)), sim::Duration::millis(2) * 8);
+  }
+  {
+    hier::TorusHierarchy h(9, 3);
+    sim::Scheduler sched;
+    stats::WorkCounters counters(h.max_level());
+    vsa::CGcastConfig cfg;
+    vsa::CGcast cg(sched, h, cfg, counters);
+    // Wrap-adjacent level-1 blocks are plain neighbours: n(1) = 5.
+    const ClusterId a = h.cluster_of(h.torus().region_at(0, 4), 1);
+    const ClusterId b = h.cluster_of(h.torus().region_at(8, 4), 1);
+    EXPECT_EQ(cg.vsa_delay(a, b), sim::Duration::millis(2) * 5);
+  }
+}
+
+TEST(CountersPerLevel, MoveTrafficLandsOnTheRightLevels) {
+  GridNet g = make_grid(27, 3);
+  g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  // The initial vertical growth touches every level below MAX with sends.
+  for (Level l = 0; l < g.hierarchy->max_level(); ++l) {
+    EXPECT_GT(g.net->counters().messages_at_level(l), 0) << "level " << l;
+  }
+  // Level-MAX processes never send (no parent, no neighbours).
+  EXPECT_EQ(g.net->counters().messages_at_level(g.hierarchy->max_level()), 0);
+}
+
+TEST(FindRerouting, GrowArrivalRedirectsAWaitingFind) {
+  // A find waiting out its neighbour-query timeout at a cluster gets
+  // re-routed the moment a grow lands there (try_advance_find on state
+  // change) instead of waiting for the timeout.
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(20, 20));
+  g.net->run_to_quiescence();
+  // Start a find far away, then immediately move the evader toward it;
+  // the find completes at the evader's final region.
+  const FindId f = g.net->start_find(g.at(2, 2), t);
+  g.net->move_evader(t, g.at(19, 19));
+  g.net->run_to_quiescence();
+  const auto& r = g.net->find_result(f);
+  ASSERT_TRUE(r.done);
+  EXPECT_EQ(r.found_region, g.at(19, 19));
+}
+
+TEST(FindRerouting, FindStartedBeforeFirstMoveEventuallyCompletes) {
+  // The service spec requires the first move to precede the first find;
+  // our implementation is benign anyway when the grow is merely *in
+  // flight*: the find parks and the detection wakes it.
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(4, 4));
+  // No quiescence: the client grow is still in flight.
+  const FindId f = g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  EXPECT_TRUE(g.net->find_result(f).done);
+  EXPECT_EQ(g.net->find_result(f).found_region, g.at(4, 4));
+}
+
+TEST(SnapshotFiltering, OnlyMoveKindsAndMatchingTarget) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t1 = g.net->add_evader(g.at(1, 1));
+  const TargetId t2 = g.net->add_evader(g.at(7, 7));
+  // Both clients' grows in flight plus a find for t2.
+  g.net->start_find(g.at(0, 0), t2);
+  const auto snap1 = g.net->snapshot(t1);
+  for (const auto& m : snap1.in_transit) {
+    EXPECT_TRUE(stats::is_move_kind(m.type));
+  }
+  EXPECT_EQ(snap1.in_transit.size(), 1u);  // t1's grow only
+  g.net->run_to_quiescence();
+}
+
+TEST(ActiveTargets, TimerOnlyStateCounts) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(4, 4));
+  // Step just past the grow delivery: c set and timer armed.
+  g.net->scheduler().step();
+  const ClusterId c0 = g.hierarchy->cluster_of(g.at(4, 4), 0);
+  const auto active = g.net->tracker(c0).active_targets();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active.front(), t);
+  g.net->run_to_quiescence();
+}
+
+TEST(WorkAccounting, ReplicaSumMatchesByHand) {
+  tracking::NetworkConfig cfg;
+  cfg.head_replicas = 2;
+  GridNet g = make_grid(27, 3, cfg);
+  const ClusterId c1 = g.hierarchy->cluster_of(g.at(4, 4), 1);
+  const ClusterId c1n = g.hierarchy->cluster_of(g.at(7, 4), 1);
+  const auto reps = g.net->replicas_of(c1n);
+  std::int64_t expect = 0;
+  for (const RegionId r : reps) {
+    expect += g.hierarchy->tiling().distance(g.hierarchy->head(c1), r);
+  }
+  const auto before = g.net->counters().work(stats::MsgKind::kGrowNbr);
+  vsa::Message m;
+  m.type = MsgType::kGrowNbr;
+  m.from_cluster = c1;
+  g.net->cgcast().send(c1, c1n, m);
+  EXPECT_EQ(g.net->counters().work(stats::MsgKind::kGrowNbr) - before, expect);
+  g.net->run_to_quiescence();
+}
+
+}  // namespace
+}  // namespace vstest

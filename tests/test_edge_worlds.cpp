@@ -1,0 +1,139 @@
+// Edge-case worlds and movement patterns: minimal grids, world borders and
+// corners, degenerate strips, non-square and clipped worlds — places where
+// off-by-one errors in block clipping, neighbour sets, or boundary q(l)
+// coverage would surface.
+
+#include <gtest/gtest.h>
+
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "tracking/network.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(EdgeWorlds, SmallestGridTracksAndFinds) {
+  GridNet g = make_grid(2, 2);  // 2x2 world, MAX = 1
+  ASSERT_EQ(g.hierarchy->max_level(), 1);
+  const TargetId t = g.net->add_evader(g.at(0, 0));
+  g.net->run_to_quiescence();
+  // Visit every region.
+  for (const auto& [x, y] : {std::pair{1, 0}, {1, 1}, {0, 1}, {0, 0}}) {
+    g.net->move_and_quiesce(t, g.at(x, y));
+    const auto report = spec::check_consistent(g.net->snapshot(t), g.at(x, y));
+    ASSERT_TRUE(report.ok()) << report.to_string();
+  }
+  const FindId f = g.net->start_find(g.at(1, 1), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).found_region, g.at(0, 0));
+}
+
+TEST(EdgeWorlds, FullPerimeterWalkStaysConsistent) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(0, 0));
+  g.net->run_to_quiescence();
+  spec::AtomicSpec spec(*g.hierarchy);
+  spec.init(g.at(0, 0));
+  // Clockwise around the border: corners have only 3 neighbours.
+  std::vector<RegionId> path;
+  for (int x = 1; x < 9; ++x) path.push_back(g.at(x, 0));
+  for (int y = 1; y < 9; ++y) path.push_back(g.at(8, y));
+  for (int x = 7; x >= 0; --x) path.push_back(g.at(x, 8));
+  for (int y = 7; y >= 1; --y) path.push_back(g.at(0, y));
+  for (const RegionId r : path) {
+    spec.apply_move(r);
+    g.net->move_and_quiesce(t, r);
+    ASSERT_TRUE(spec::equal_states(g.net->snapshot(t).trackers, spec.state()))
+        << "at region " << r;
+  }
+}
+
+TEST(EdgeWorlds, CornerToCornerDiagonalDash) {
+  GridNet g = make_grid(10, 3);  // clipped world: 10 is not a power of 3
+  const TargetId t = g.net->add_evader(g.at(0, 0));
+  g.net->run_to_quiescence();
+  for (int i = 1; i < 10; ++i) g.net->move_and_quiesce(t, g.at(i, i));
+  const auto report = spec::check_consistent(g.net->snapshot(t), g.at(9, 9));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const FindId f = g.net->start_find(g.at(0, 9), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).found_region, g.at(9, 9));
+}
+
+TEST(EdgeWorlds, NonSquareWorldWalk) {
+  hier::GridHierarchy h(21, 6, 3);  // wide and short, clipped blocks
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const RegionId start = h.grid().region_at(0, 3);
+  const TargetId t = net.add_evader(start);
+  net.run_to_quiescence();
+  spec::AtomicSpec spec(h);
+  spec.init(start);
+  const auto walk = random_walk(h.tiling(), start, 60, 0xED6E);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    spec.apply_move(walk[i]);
+    net.move_evader(t, walk[i]);
+    net.run_to_quiescence();
+  }
+  EXPECT_TRUE(spec::equal_states(net.snapshot(t).trackers, spec.state()));
+}
+
+TEST(EdgeWorlds, MinimalStripWorks) {
+  hier::StripHierarchy h(2, 2);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const TargetId t = net.add_evader(RegionId{0});
+  net.run_to_quiescence();
+  net.move_evader(t, RegionId{1});
+  net.run_to_quiescence();
+  const auto report = spec::check_consistent(net.snapshot(t), RegionId{1});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const FindId f = net.start_find(RegionId{0}, t);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.find_result(f).found_region, RegionId{1});
+}
+
+TEST(EdgeWorlds, EvaderReturningToStartRepeatedly) {
+  // A tight square loop crossing a level-1 corner point: the worst case
+  // for secondary pointer churn (all four regions neighbour one another).
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(2, 2));
+  g.net->run_to_quiescence();
+  spec::AtomicSpec spec(*g.hierarchy);
+  spec.init(g.at(2, 2));
+  const RegionId loop[4] = {g.at(3, 2), g.at(3, 3), g.at(2, 3), g.at(2, 2)};
+  for (int round = 0; round < 6; ++round) {
+    for (const RegionId r : loop) {
+      spec.apply_move(r);
+      g.net->move_and_quiesce(t, r);
+      ASSERT_TRUE(
+          spec::equal_states(g.net->snapshot(t).trackers, spec.state()))
+          << "round " << round << " region " << r;
+    }
+  }
+}
+
+TEST(EdgeWorlds, FindsFromAllFourCornersOfClippedWorld) {
+  GridNet g = make_grid(11, 3);
+  const TargetId t = g.net->add_evader(g.at(5, 5));
+  g.net->run_to_quiescence();
+  for (const auto& [x, y] :
+       {std::pair{0, 0}, {10, 0}, {0, 10}, {10, 10}}) {
+    const FindId f = g.net->start_find(g.at(x, y), t);
+    g.net->run_to_quiescence();
+    ASSERT_TRUE(g.net->find_result(f).done) << "(" << x << "," << y << ")";
+    EXPECT_EQ(g.net->find_result(f).found_region, g.at(5, 5));
+  }
+}
+
+TEST(EdgeWorlds, LongThinWorldFindAcrossFullDiameter) {
+  hier::GridHierarchy h(50, 2, 4);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const TargetId t = net.add_evader(h.grid().region_at(49, 1));
+  net.run_to_quiescence();
+  const FindId f = net.start_find(h.grid().region_at(0, 0), t);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.find_result(f).found_region, h.grid().region_at(49, 1));
+}
+
+}  // namespace
+}  // namespace vstest

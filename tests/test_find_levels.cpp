@@ -1,0 +1,97 @@
+// Search-phase level bounds (Theorem 5.2's structure): a find at distance
+// d meets the tracking path by the minimum level l with d ≤ q(l), so its
+// neighbour-query rounds never exceed that level in the atomic case — and
+// go at most one level higher under concurrent movement (§VI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+Level min_level_with_q_at_least(const hier::ClusterHierarchy& h, int d) {
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    if (h.q(l) >= d) return l;
+  }
+  return h.max_level();
+}
+
+TEST(FindLevels, SearchStopsAtTheTheorem51Level) {
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  for (const int d : {1, 2, 3, 5, 9, 10, 27, 30, 81, 100}) {
+    const FindId f = g.net->start_find(g.at(121 + d, 121), t);
+    g.net->run_to_quiescence();
+    const auto& r = g.net->find_result(f);
+    ASSERT_TRUE(r.done);
+    const Level bound = min_level_with_q_at_least(*g.hierarchy, d);
+    EXPECT_LE(r.max_search_level, bound)
+        << "d = " << d << ": searched to level " << r.max_search_level
+        << " but q(" << bound << ") = " << g.hierarchy->q(bound)
+        << " already covers it";
+  }
+}
+
+TEST(FindLevels, AdjacentFindNeedsNoHighQueries) {
+  GridNet g = make_grid(27, 3);
+  const RegionId where = g.at(20, 20);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  const FindId f = g.net->start_find(g.at(21, 20), t);
+  g.net->run_to_quiescence();
+  // d = 1 = q(0): the level-0 query round suffices.
+  EXPECT_LE(g.net->find_result(f).max_search_level, 0);
+}
+
+TEST(FindLevels, NoQueriesWhenLaunchedOnThePath) {
+  GridNet g = make_grid(27, 3);
+  const RegionId where = g.at(20, 20);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  // A find at the evader's own region traces immediately.
+  const FindId f = g.net->start_find(where, t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).max_search_level, -1);
+}
+
+TEST(FindLevels, ConcurrentMotionAddsAtMostOneLevelTypically) {
+  // §VI: with adequate dwell, the search goes at worst one level above
+  // the atomic bound. Empirical check across many finds.
+  GridNet g = make_grid(81, 3);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
+
+  Rng rng{0x11E};
+  RegionId cur = start;
+  int violations = 0, total = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto nbrs = g.hierarchy->tiling().neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    const int d = 1 + static_cast<int>(rng.uniform_int(0, 20));
+    const auto cc = g.hierarchy->grid().coord(cur);
+    const int ox = cc.x >= 40 ? std::max(0, cc.x - d) : std::min(80, cc.x + d);
+    const FindId f = g.net->start_find(g.at(ox, cc.y), t);
+    g.net->move_evader(t, cur);
+    g.net->run_for(de * 30);
+    g.net->run_to_quiescence();
+    const auto& r = g.net->find_result(f);
+    ASSERT_TRUE(r.done);
+    ++total;
+    const Level bound = min_level_with_q_at_least(
+        *g.hierarchy, g.hierarchy->tiling().distance(r.origin, cur));
+    if (r.max_search_level > bound + 1) ++violations;
+  }
+  EXPECT_EQ(violations, 0) << "of " << total << " concurrent finds";
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,122 @@
+// Unit tests for tilings (paper §II-A model).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "geo/grid_tiling.hpp"
+#include "geo/strip_tiling.hpp"
+#include "hier/validator.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::RegionId;
+using vs::geo::Coord;
+using vs::geo::GridTiling;
+using vs::geo::StripTiling;
+
+TEST(GridTiling, CoordinateRoundTrip) {
+  GridTiling g(5, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      const RegionId r = g.region_at(x, y);
+      EXPECT_EQ(g.coord(r), (Coord{x, y}));
+    }
+  }
+}
+
+TEST(GridTiling, InteriorRegionHasEightNeighbors) {
+  GridTiling g(5, 5);
+  EXPECT_EQ(g.neighbors(g.region_at(2, 2)).size(), 8u);
+}
+
+TEST(GridTiling, CornerHasThreeNeighbors) {
+  GridTiling g(5, 5);
+  for (const auto& [x, y] : {std::pair{0, 0}, {4, 0}, {0, 4}, {4, 4}}) {
+    EXPECT_EQ(g.neighbors(g.region_at(x, y)).size(), 3u);
+  }
+}
+
+TEST(GridTiling, EdgeHasFiveNeighbors) {
+  GridTiling g(5, 5);
+  EXPECT_EQ(g.neighbors(g.region_at(2, 0)).size(), 5u);
+  EXPECT_EQ(g.neighbors(g.region_at(0, 2)).size(), 5u);
+}
+
+TEST(GridTiling, DiagonalsAreNeighbors) {
+  GridTiling g(3, 3);
+  EXPECT_TRUE(g.are_neighbors(g.region_at(0, 0), g.region_at(1, 1)));
+  EXPECT_FALSE(g.are_neighbors(g.region_at(0, 0), g.region_at(2, 2)));
+  EXPECT_FALSE(g.are_neighbors(g.region_at(1, 1), g.region_at(1, 1)));
+}
+
+TEST(GridTiling, DistanceIsChebyshev) {
+  GridTiling g(10, 10);
+  EXPECT_EQ(g.distance(g.region_at(0, 0), g.region_at(3, 7)), 7);
+  EXPECT_EQ(g.distance(g.region_at(2, 2), g.region_at(5, 4)), 3);
+  EXPECT_EQ(g.distance(g.region_at(4, 4), g.region_at(4, 4)), 0);
+}
+
+TEST(GridTiling, DiameterMatchesDefinition) {
+  EXPECT_EQ(GridTiling(10, 4).diameter(), 9);
+  EXPECT_EQ(GridTiling(4, 10).diameter(), 9);
+  EXPECT_EQ(GridTiling(7, 7).diameter(), 6);
+}
+
+TEST(GridTiling, AnalyticDistanceMatchesBfs) {
+  GridTiling g(8, 6);
+  const auto report = vs::hier::Validator::validate_tiling(g);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(GridTiling, RejectsDegenerate) {
+  EXPECT_THROW(GridTiling(0, 5), vs::Error);
+  EXPECT_THROW(GridTiling(1, 1), vs::Error);
+  GridTiling g(3, 3);
+  EXPECT_THROW(std::ignore = g.region_at(3, 0), vs::Error);
+  EXPECT_THROW(std::ignore = g.coord(RegionId{100}), vs::Error);
+}
+
+TEST(GridTiling, DescribeShowsCoordinates) {
+  GridTiling g(4, 4);
+  EXPECT_EQ(g.describe(g.region_at(2, 3)), "(2,3)");
+}
+
+TEST(StripTiling, NeighborsAreAdjacent) {
+  StripTiling s(5);
+  EXPECT_EQ(s.neighbors(RegionId{0}).size(), 1u);
+  EXPECT_EQ(s.neighbors(RegionId{2}).size(), 2u);
+  EXPECT_EQ(s.neighbors(RegionId{4}).size(), 1u);
+  EXPECT_TRUE(s.are_neighbors(RegionId{1}, RegionId{2}));
+  EXPECT_FALSE(s.are_neighbors(RegionId{1}, RegionId{3}));
+}
+
+TEST(StripTiling, DistanceAndDiameter) {
+  StripTiling s(9);
+  EXPECT_EQ(s.distance(RegionId{1}, RegionId{7}), 6);
+  EXPECT_EQ(s.diameter(), 8);
+  const auto report = vs::hier::Validator::validate_tiling(s);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Tiling, BfsDistancesFromCorner) {
+  GridTiling g(4, 4);
+  const auto dist = g.bfs_distances(g.region_at(0, 0));
+  EXPECT_EQ(dist[static_cast<std::size_t>(g.region_at(3, 3).value())], 3);
+  EXPECT_EQ(dist[static_cast<std::size_t>(g.region_at(0, 0).value())], 0);
+}
+
+TEST(Tiling, AllRegionsEnumeratesDensely) {
+  GridTiling g(3, 2);
+  const auto all = g.all_regions();
+  ASSERT_EQ(all.size(), 6u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].value(), static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,174 @@
+// Unit tests for the cluster hierarchy structure (paper §II-B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "hier/strip_hierarchy.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::ClusterId;
+using vs::Level;
+using vs::RegionId;
+using vs::hier::GridHierarchy;
+using vs::hier::HeadPolicy;
+using vs::hier::StripHierarchy;
+
+TEST(GridHierarchy, MaxLevelMatchesPaperFormula) {
+  // MAX = ⌈log_r(D + 1)⌉ with D = side − 1.
+  EXPECT_EQ(GridHierarchy(9, 9, 3).max_level(), 2);
+  EXPECT_EQ(GridHierarchy(27, 27, 3).max_level(), 3);
+  EXPECT_EQ(GridHierarchy(10, 10, 3).max_level(), 3);  // clipped world
+  EXPECT_EQ(GridHierarchy(8, 8, 2).max_level(), 3);
+  EXPECT_EQ(GridHierarchy(2, 2, 2).max_level(), 1);
+  EXPECT_EQ(GridHierarchy(16, 4, 4).max_level(), 2);
+}
+
+TEST(GridHierarchy, LevelZeroClustersAreSingletons) {
+  GridHierarchy h(6, 6, 2);
+  for (const RegionId u : h.tiling().all_regions()) {
+    const ClusterId c = h.cluster_of(u, 0);
+    ASSERT_EQ(h.members(c).size(), 1u);
+    EXPECT_EQ(h.members(c).front(), u);
+    EXPECT_EQ(h.head(c), u);
+    EXPECT_EQ(h.level(c), 0);
+  }
+}
+
+TEST(GridHierarchy, RootCoversEverything) {
+  GridHierarchy h(9, 9, 3);
+  EXPECT_EQ(h.clusters_at(h.max_level()).size(), 1u);
+  EXPECT_EQ(h.members(h.root()).size(), h.tiling().num_regions());
+  EXPECT_FALSE(h.parent(h.root()).valid());
+  EXPECT_TRUE(h.nbrs(h.root()).empty());
+}
+
+TEST(GridHierarchy, BlockAssignment) {
+  GridHierarchy h(9, 9, 3);
+  const auto& g = h.grid();
+  // Level-1 blocks are 3×3: (0..2, 0..2) together, (3, 0) elsewhere.
+  EXPECT_EQ(h.cluster_of(g.region_at(0, 0), 1),
+            h.cluster_of(g.region_at(2, 2), 1));
+  EXPECT_NE(h.cluster_of(g.region_at(2, 2), 1),
+            h.cluster_of(g.region_at(3, 2), 1));
+  EXPECT_EQ(h.clusters_at(1).size(), 9u);
+}
+
+TEST(GridHierarchy, ParentChildRoundTrip) {
+  GridHierarchy h(27, 27, 3);
+  for (Level l = 0; l < h.max_level(); ++l) {
+    for (const ClusterId c : h.clusters_at(l)) {
+      const ClusterId par = h.parent(c);
+      ASSERT_TRUE(par.valid());
+      EXPECT_EQ(h.level(par), l + 1);
+      const auto kids = h.children(par);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), c), kids.end());
+    }
+  }
+}
+
+TEST(GridHierarchy, InteriorClusterHasEightNeighbors) {
+  GridHierarchy h(27, 27, 3);
+  const ClusterId mid = h.cluster_of(h.grid().region_at(13, 13), 1);
+  EXPECT_EQ(h.nbrs(mid).size(), 8u);
+}
+
+TEST(GridHierarchy, GeometryFunctionValues) {
+  GridHierarchy h(27, 27, 3);
+  EXPECT_EQ(h.n(0), 1);
+  EXPECT_EQ(h.n(1), 5);
+  EXPECT_EQ(h.n(2), 17);
+  EXPECT_EQ(h.p(0), 2);
+  EXPECT_EQ(h.p(1), 8);
+  EXPECT_EQ(h.q(0), 1);
+  EXPECT_EQ(h.q(1), 3);
+  EXPECT_EQ(h.q(2), 9);
+  EXPECT_EQ(h.omega(1), 8);
+}
+
+TEST(GridHierarchy, HeadPolicies) {
+  GridHierarchy center(9, 9, 3, HeadPolicy::kCenter);
+  GridHierarchy corner(9, 9, 3, HeadPolicy::kMinRegion);
+  const ClusterId c1 = center.cluster_of(center.grid().region_at(4, 4), 1);
+  EXPECT_EQ(center.head(c1), center.grid().region_at(4, 4));
+  const ClusterId c2 = corner.cluster_of(corner.grid().region_at(4, 4), 1);
+  EXPECT_EQ(corner.head(c2), corner.grid().region_at(3, 3));
+  // Random heads are members and deterministic per seed.
+  GridHierarchy r1(9, 9, 3, HeadPolicy::kRandom, 42);
+  GridHierarchy r2(9, 9, 3, HeadPolicy::kRandom, 42);
+  for (const ClusterId c : r1.clusters_at(1)) {
+    EXPECT_EQ(r1.head(c), r2.head(c));
+    const auto mem = r1.members(c);
+    EXPECT_NE(std::find(mem.begin(), mem.end(), r1.head(c)), mem.end());
+  }
+}
+
+TEST(GridHierarchy, ClusterNeighborsMatchRegionAdjacency) {
+  GridHierarchy h(12, 12, 2);
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    for (const RegionId u : h.tiling().all_regions()) {
+      for (const RegionId v : h.tiling().neighbors(u)) {
+        const ClusterId cu = h.cluster_of(u, l);
+        const ClusterId cv = h.cluster_of(v, l);
+        if (cu != cv) {
+          EXPECT_TRUE(h.are_cluster_neighbors(cu, cv));
+          EXPECT_TRUE(h.are_cluster_neighbors(cv, cu));
+        }
+      }
+    }
+  }
+}
+
+TEST(GridHierarchy, HeadDistanceIsTilingDistanceOfHeads) {
+  GridHierarchy h(9, 9, 3);
+  const ClusterId a = h.cluster_of(h.grid().region_at(0, 0), 1);
+  const ClusterId b = h.cluster_of(h.grid().region_at(8, 8), 1);
+  EXPECT_EQ(h.head_distance(a, b),
+            h.tiling().distance(h.head(a), h.head(b)));
+}
+
+TEST(GridHierarchy, RejectsBadParameters) {
+  EXPECT_THROW(GridHierarchy(9, 9, 1), vs::Error);
+  EXPECT_THROW(GridHierarchy(1, 1, 2), vs::Error);
+}
+
+TEST(GridHierarchy, RangeChecks) {
+  GridHierarchy h(9, 9, 3);
+  EXPECT_THROW(std::ignore = h.cluster_of(RegionId{0}, 99), vs::Error);
+  EXPECT_THROW(std::ignore = h.cluster_of(RegionId{10000}, 0), vs::Error);
+  EXPECT_THROW(std::ignore = h.level(ClusterId{100000}), vs::Error);
+  EXPECT_THROW(std::ignore = h.n(-1), vs::Error);
+}
+
+TEST(StripHierarchy, Structure) {
+  StripHierarchy h(27, 3);
+  EXPECT_EQ(h.max_level(), 3);
+  EXPECT_EQ(h.clusters_at(1).size(), 9u);
+  EXPECT_EQ(h.omega(1), 2);
+  // Interior level-1 cluster has exactly two neighbours.
+  const ClusterId mid = h.cluster_of(RegionId{13}, 1);
+  EXPECT_EQ(h.nbrs(mid).size(), 2u);
+  // Head is the middle member.
+  EXPECT_EQ(h.head(mid), RegionId{13});
+}
+
+TEST(DenseIdSpace, ClustersAreDenseAndLevelMajor) {
+  GridHierarchy h(9, 9, 3);
+  std::set<ClusterId::rep_type> seen;
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    for (const ClusterId c : h.clusters_at(l)) seen.insert(c.value());
+  }
+  EXPECT_EQ(seen.size(), h.num_clusters());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(),
+            static_cast<ClusterId::rep_type>(h.num_clusters()) - 1);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,61 @@
+// Unit tests for strong id types.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/ids.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::ClusterId;
+using vs::RegionId;
+
+TEST(Ids, DefaultIsInvalid) {
+  RegionId r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r, RegionId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  RegionId r{42};
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(RegionId{1}, RegionId{2});
+  EXPECT_GT(RegionId{5}, RegionId{2});
+  EXPECT_EQ(RegionId{3}, RegionId{3});
+  EXPECT_NE(RegionId{3}, RegionId{4});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<RegionId, ClusterId>);
+  static_assert(!std::is_convertible_v<RegionId, ClusterId>);
+}
+
+TEST(Ids, StreamingShowsBottomForInvalid) {
+  std::ostringstream os;
+  os << RegionId::invalid() << " " << RegionId{7};
+  EXPECT_EQ(os.str(), "⊥ 7");
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<RegionId> set;
+  set.insert(RegionId{1});
+  set.insert(RegionId{2});
+  set.insert(RegionId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(RegionId{2}));
+}
+
+TEST(Ids, FindIdUses64Bits) {
+  vs::FindId f{(std::int64_t{1} << 40) + 5};
+  EXPECT_EQ(f.value(), (std::int64_t{1} << 40) + 5);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,90 @@
+// Runtime verification of Lemmas 4.1–4.3 via the invariant monitor, over
+// random walks, boundary-crossing walks, and dithering adversaries.
+
+#include <gtest/gtest.h>
+
+#include "spec/invariants.hpp"
+#include "util.hpp"
+#include "vsa/evader.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(Lemmas, CleanOnRandomWalk) {
+  GridNet g = make_grid(27, 3);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  spec::InvariantMonitor monitor(*g.net, t);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 80, 0xC0FFEE);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    monitor.on_move();
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  EXPECT_TRUE(monitor.ok()) << monitor.to_string();
+}
+
+TEST(Lemmas, CleanOnStraightDash) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(0, 13));
+  spec::InvariantMonitor monitor(*g.net, t);
+  g.net->run_to_quiescence();
+  for (int x = 1; x < 27; ++x) {
+    monitor.on_move();
+    g.net->move_and_quiesce(t, g.at(x, 13));
+  }
+  EXPECT_TRUE(monitor.ok()) << monitor.to_string();
+}
+
+TEST(Lemmas, CleanUnderDithering) {
+  // The adversarial case the lemmas were designed around: oscillation
+  // across the highest-level boundary.
+  GridNet g = make_grid(27, 3);
+  const RegionId a = g.at(13, 13);
+  const RegionId b = g.at(14, 13);
+  const TargetId t = g.net->add_evader(a);
+  spec::InvariantMonitor monitor(*g.net, t);
+  g.net->run_to_quiescence();
+  vsa::DitherMover mover(a, b);
+  RegionId cur = a;
+  for (int i = 0; i < 60; ++i) {
+    monitor.on_move();
+    cur = mover.next(cur);
+    g.net->move_and_quiesce(t, cur);
+  }
+  EXPECT_TRUE(monitor.ok()) << monitor.to_string();
+}
+
+TEST(Lemmas, LateralGrowsAreUsedAcrossBoundaries) {
+  // Sanity that the monitored walk actually exercises lateral links (the
+  // lemma checks would be vacuous otherwise).
+  GridNet g = make_grid(27, 3);
+  const RegionId a = g.at(8, 8);   // level-2 boundary at x = 8|9
+  const RegionId b = g.at(9, 8);
+  const TargetId t = g.net->add_evader(a);
+  spec::InvariantMonitor monitor(*g.net, t);
+  g.net->run_to_quiescence();
+  monitor.on_move();
+  g.net->move_and_quiesce(t, b);
+  EXPECT_GT(monitor.lateral_grows(), 0);
+  EXPECT_TRUE(monitor.ok()) << monitor.to_string();
+}
+
+TEST(Lemmas, NoLateralVariantNeverSendsLateralGrows) {
+  tracking::NetworkConfig cfg;
+  cfg.lateral_links = false;
+  GridNet g = make_grid(27, 3, cfg);
+  const TargetId t = g.net->add_evader(g.at(8, 8));
+  spec::InvariantMonitor monitor(*g.net, t);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), g.at(8, 8), 50, 5);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    monitor.on_move();
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  EXPECT_EQ(monitor.lateral_grows(), 0);
+  EXPECT_TRUE(monitor.ok()) << monitor.to_string();
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,97 @@
+// Multi-object tracking tests (paper §VII extension): several evaders are
+// tracked by independent per-target structures over the same Trackers, and
+// finds route to the right object.
+
+#include <gtest/gtest.h>
+
+#include "spec/consistency.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(MultiTarget, TwoEvadersHaveIndependentConsistentPaths) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t1 = g.net->add_evader(g.at(3, 3));
+  const TargetId t2 = g.net->add_evader(g.at(22, 20));
+  g.net->run_to_quiescence();
+
+  const auto r1 = spec::check_consistent(g.net->snapshot(t1), g.at(3, 3));
+  EXPECT_TRUE(r1.ok()) << r1.to_string();
+  const auto r2 = spec::check_consistent(g.net->snapshot(t2), g.at(22, 20));
+  EXPECT_TRUE(r2.ok()) << r2.to_string();
+}
+
+TEST(MultiTarget, FindsRouteToTheRequestedTarget) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t1 = g.net->add_evader(g.at(2, 2));
+  const TargetId t2 = g.net->add_evader(g.at(24, 24));
+  g.net->run_to_quiescence();
+
+  const FindId f1 = g.net->start_find(g.at(13, 13), t1);
+  const FindId f2 = g.net->start_find(g.at(13, 13), t2);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f1).found_region, g.at(2, 2));
+  EXPECT_EQ(g.net->find_result(f2).found_region, g.at(24, 24));
+}
+
+TEST(MultiTarget, MovingOneEvaderLeavesTheOtherUntouched) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t1 = g.net->add_evader(g.at(3, 3));
+  const TargetId t2 = g.net->add_evader(g.at(22, 20));
+  g.net->run_to_quiescence();
+  const auto before = g.net->snapshot(t2).trackers;
+
+  const auto walk = random_walk(g.hierarchy->tiling(), g.at(3, 3), 30, 11);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t1, walk[i]);
+  }
+  // Target 2's structure is bit-identical.
+  const auto after = g.net->snapshot(t2).trackers;
+  EXPECT_TRUE(spec::equal_states(before, after))
+      << spec::diff_states(before, after);
+  // And target 1 is still consistent.
+  const auto r1 = spec::check_consistent(g.net->snapshot(t1), walk.back());
+  EXPECT_TRUE(r1.ok()) << r1.to_string();
+}
+
+TEST(MultiTarget, CrossingEvadersKeepSeparateStructures) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t1 = g.net->add_evader(g.at(0, 4));
+  const TargetId t2 = g.net->add_evader(g.at(8, 4));
+  g.net->run_to_quiescence();
+  // Walk them through each other along the same row.
+  for (int i = 1; i < 9; ++i) {
+    g.net->move_and_quiesce(t1, g.at(i, 4));
+    g.net->move_and_quiesce(t2, g.at(8 - i, 4));
+  }
+  const auto r1 = spec::check_consistent(g.net->snapshot(t1), g.at(8, 4));
+  EXPECT_TRUE(r1.ok()) << r1.to_string();
+  const auto r2 = spec::check_consistent(g.net->snapshot(t2), g.at(0, 4));
+  EXPECT_TRUE(r2.ok()) << r2.to_string();
+  // Both can still be found from the same origin.
+  const FindId f1 = g.net->start_find(g.at(4, 0), t1);
+  const FindId f2 = g.net->start_find(g.at(4, 0), t2);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f1).found_region, g.at(8, 4));
+  EXPECT_EQ(g.net->find_result(f2).found_region, g.at(0, 4));
+}
+
+TEST(MultiTarget, EightEvadersAllFindable) {
+  GridNet g = make_grid(27, 3);
+  std::vector<TargetId> targets;
+  std::vector<RegionId> homes;
+  for (int i = 0; i < 8; ++i) {
+    homes.push_back(g.at(3 * i + 1, 26 - 3 * i));
+    targets.push_back(g.net->add_evader(homes.back()));
+  }
+  g.net->run_to_quiescence();
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const FindId f = g.net->start_find(g.at(13, 13), targets[i]);
+    g.net->run_to_quiescence();
+    EXPECT_EQ(g.net->find_result(f).found_region, homes[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vstest

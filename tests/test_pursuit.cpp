@@ -1,0 +1,91 @@
+// Coordinated pursuit tests (paper §VII multi-finder extension).
+
+#include <gtest/gtest.h>
+
+#include "ext/pursuit.hpp"
+#include "util.hpp"
+#include "vsa/evader.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(Pursuit, CatchesAStationaryTarget) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(20, 20));
+  g.net->run_to_quiescence();
+
+  ext::PursuitCoordinator coord(*g.net, *g.hierarchy, ext::PursuitConfig{});
+  coord.add_pursuer(g.at(2, 2));
+  coord.add_target(t, nullptr);
+  const auto outcome = coord.run();
+  EXPECT_TRUE(outcome.all_caught);
+  EXPECT_GT(outcome.find_messages, 0);
+}
+
+TEST(Pursuit, FasterPursuerCatchesAMovingTarget) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(20, 20));
+  g.net->run_to_quiescence();
+
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 3);
+  ext::PursuitConfig cfg;
+  cfg.pursuer_speed = 2;  // strictly faster than the evader
+  ext::PursuitCoordinator coord(*g.net, *g.hierarchy, cfg);
+  coord.add_pursuer(g.at(2, 2));
+  coord.add_target(t, &mover);
+  const auto outcome = coord.run();
+  EXPECT_TRUE(outcome.all_caught);
+}
+
+TEST(Pursuit, TwoPursuersSplitTwoTargets) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t1 = g.net->add_evader(g.at(3, 24));
+  const TargetId t2 = g.net->add_evader(g.at(24, 3));
+  g.net->run_to_quiescence();
+
+  ext::PursuitConfig cfg;
+  cfg.pursuer_speed = 3;
+  ext::PursuitCoordinator coord(*g.net, *g.hierarchy, cfg);
+  coord.add_pursuer(g.at(0, 26));  // near t1
+  coord.add_pursuer(g.at(26, 0));  // near t2
+  coord.add_target(t1, nullptr);
+  coord.add_target(t2, nullptr);
+  const auto outcome = coord.run();
+  ASSERT_TRUE(outcome.all_caught);
+  // Min-distance matching should catch both quickly (each pursuer takes
+  // its nearby target rather than crossing the world).
+  EXPECT_LE(outcome.rounds, 12);
+}
+
+TEST(Pursuit, MorePursuersThanTargetsDoubleUp) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  ext::PursuitConfig cfg;
+  cfg.pursuer_speed = 2;
+  ext::PursuitCoordinator coord(*g.net, *g.hierarchy, cfg);
+  coord.add_pursuer(g.at(0, 0));
+  coord.add_pursuer(g.at(26, 26));
+  coord.add_target(t, nullptr);
+  const auto outcome = coord.run();
+  EXPECT_TRUE(outcome.all_caught);
+}
+
+TEST(Pursuit, ReportsCaptureRounds) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(8, 8));
+  g.net->run_to_quiescence();
+  ext::PursuitConfig cfg;
+  cfg.pursuer_speed = 4;
+  ext::PursuitCoordinator coord(*g.net, *g.hierarchy, cfg);
+  coord.add_pursuer(g.at(0, 0));
+  coord.add_target(t, nullptr);
+  const auto outcome = coord.run();
+  ASSERT_TRUE(outcome.all_caught);
+  ASSERT_EQ(outcome.caught_round.size(), 1u);
+  EXPECT_GE(outcome.caught_round[0], 0);
+  EXPECT_LT(outcome.caught_round[0], outcome.rounds);
+}
+
+}  // namespace
+}  // namespace vstest

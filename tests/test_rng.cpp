@@ -1,0 +1,124 @@
+// Unit tests for the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::Rng;
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng{8};
+  std::map<std::int64_t, int> histogram;
+  for (int i = 0; i < 5000; ++i) ++histogram[rng.uniform_int(0, 7)];
+  ASSERT_EQ(histogram.size(), 8u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GT(count, 400) << "value " << value << " undersampled";
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{9};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds) {
+  Rng rng{10};
+  EXPECT_THROW(rng.uniform_int(3, 2), vs::Error);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng{11};
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng{12};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(Rng, PickIsUniformish) {
+  Rng rng{13};
+  const std::vector<int> items{10, 20, 30};
+  std::map<int, int> histogram;
+  for (int i = 0; i < 3000; ++i) ++histogram[rng.pick(items)];
+  EXPECT_EQ(histogram.size(), 3u);
+  for (const auto& [item, count] : histogram) EXPECT_GT(count, 700);
+}
+
+TEST(Rng, PickEmptyThrows) {
+  Rng rng{14};
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), vs::Error);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{15};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(Rng, SplitYieldsIndependentStream) {
+  Rng a{16};
+  Rng child = a.split();
+  // Child diverges from parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Splitmix64KnownValue) {
+  // First output for state 0 (reference value from the splitmix64 paper
+  // implementation).
+  std::uint64_t s = 0;
+  EXPECT_EQ(vs::splitmix64(s), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,168 @@
+// Self-stabilization property tests (paper §VII): starting from an
+// *arbitrary* state — every Tracker's pointers corrupted to random values
+// within their Figure 2 type domains (the self-stabilization notion of an
+// adversarial start), the heartbeat repair loop converges back to the
+// unique consistent tracking structure, after which the service works.
+
+#include <gtest/gtest.h>
+
+#include "ext/stabilizer.hpp"
+#include "spec/consistency.hpp"
+#include "spec/inspect.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+/// Corrupts `fraction` of the clusters with uniform values from the TIOA
+/// variable domains (c ∈ children ∪ nbrs ∪ {clust, ⊥},
+/// p ∈ nbrs ∪ {parent, ⊥}, secondaries ∈ nbrs ∪ {⊥}).
+void corrupt(GridNet& g, TargetId t, double fraction, std::uint64_t seed) {
+  Rng rng{seed};
+  const auto& h = *g.hierarchy;
+  for (std::size_t ci = 0; ci < h.num_clusters(); ++ci) {
+    if (!rng.chance(fraction)) continue;
+    const ClusterId c{static_cast<ClusterId::rep_type>(ci)};
+    tracking::TrackerSnapshot forced;
+    forced.clust = c;
+    const auto pick_or_invalid = [&](std::span<const ClusterId> options,
+                                     ClusterId extra) {
+      const auto n = static_cast<std::int64_t>(options.size()) +
+                     (extra.valid() ? 1 : 0) + 1;  // +1 for ⊥
+      const auto i = rng.uniform_int(0, n - 1);
+      if (i < static_cast<std::int64_t>(options.size())) {
+        return options[static_cast<std::size_t>(i)];
+      }
+      if (extra.valid() && i == static_cast<std::int64_t>(options.size())) {
+        return extra;
+      }
+      return ClusterId::invalid();
+    };
+    // c from children ∪ nbrs ∪ {self}: bias toward children/nbrs.
+    if (rng.chance(0.5)) {
+      forced.c = pick_or_invalid(h.children(c), h.level(c) == 0 ? c
+                                                                : ClusterId{});
+      if (!forced.c.valid() && !h.nbrs(c).empty() && rng.chance(0.5)) {
+        forced.c = rng.pick(std::vector<ClusterId>(h.nbrs(c).begin(),
+                                                   h.nbrs(c).end()));
+      }
+    }
+    forced.p = pick_or_invalid(
+        h.nbrs(c),
+        h.level(c) == h.max_level() ? ClusterId{} : h.parent(c));
+    forced.nbrptup = pick_or_invalid(h.nbrs(c), ClusterId{});
+    forced.nbrptdown = pick_or_invalid(h.nbrs(c), ClusterId{});
+    g.net->tracker(c).corrupt_state(t, forced);
+  }
+}
+
+class SelfStabilization : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelfStabilization, ConvergesFromArbitraryCorruption) {
+  const std::uint64_t seed = GetParam();
+  GridNet g = make_grid(9, 3);
+  const RegionId where = g.at(4, 4);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  corrupt(g, t, /*fraction=*/0.5, seed);
+  ASSERT_FALSE(spec::check_consistent(g.net->snapshot(t), where).ok());
+
+  ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
+  bool converged = false;
+  for (int tick = 0; tick < 25 && !converged; ++tick) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+    converged = spec::check_consistent(g.net->snapshot(t), where).ok();
+  }
+  EXPECT_TRUE(converged) << spec::render_structure(g.net->snapshot(t));
+
+  if (converged) {
+    const FindId f = g.net->start_find(g.at(0, 0), t);
+    g.net->run_to_quiescence();
+    EXPECT_EQ(g.net->find_result(f).found_region, where);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfStabilization,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SelfStabilizationCases, PointerCycleIsDissolved) {
+  GridNet g = make_grid(9, 3);
+  const RegionId where = g.at(0, 0);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  // Hand-build a 2-cycle between two off-path level-1 neighbours: each is
+  // the other's p and c — locally indistinguishable from healthy state.
+  const ClusterId a = g.hierarchy->cluster_of(g.at(6, 6), 1);
+  const ClusterId b = g.hierarchy->cluster_of(g.at(6, 3), 1);
+  ASSERT_TRUE(g.hierarchy->are_cluster_neighbors(a, b));
+  tracking::TrackerSnapshot sa;
+  sa.clust = a;
+  sa.c = b;
+  sa.p = b;
+  g.net->tracker(a).corrupt_state(t, sa);
+  tracking::TrackerSnapshot sb;
+  sb.clust = b;
+  sb.c = a;
+  sb.p = a;
+  g.net->tracker(b).corrupt_state(t, sb);
+  ASSERT_FALSE(spec::check_consistent(g.net->snapshot(t), where).ok());
+
+  ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
+  for (int tick = 0; tick < 6; ++tick) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), where);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SelfStabilizationCases, FullWipeRebuildsFromDetection) {
+  GridNet g = make_grid(27, 3);
+  const RegionId where = g.at(13, 20);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  // Wipe everything — as if every VSA restarted at once.
+  for (std::size_t c = 0; c < g.hierarchy->num_clusters(); ++c) {
+    g.net->tracker(ClusterId{static_cast<ClusterId::rep_type>(c)}).reset();
+  }
+  ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
+  for (int tick = 0; tick < 4; ++tick) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), where);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SelfStabilizationCases, CorruptionDuringMovementStillConverges) {
+  GridNet g = make_grid(9, 3);
+  const RegionId start = g.at(4, 4);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  ext::Stabilizer stab(*g.net, t, sim::Duration::millis(300));
+  stab.start();
+
+  Rng rng{0x5E1F};
+  RegionId cur = start;
+  for (int i = 0; i < 30; ++i) {
+    const auto nbrs = g.hierarchy->tiling().neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    g.net->move_evader(t, cur);
+    if (i % 10 == 5) corrupt(g, t, 0.2, 0xC0 + static_cast<std::uint64_t>(i));
+    // run_for, not run_to_quiescence: the periodic stabilizer keeps
+    // re-arming its timer, so the scheduler never drains while it runs.
+    g.net->run_for(sim::Duration::millis(350));
+  }
+  g.net->run_for(sim::Duration::millis(3000));
+  stab.stop();
+  g.net->run_to_quiescence();
+  const auto report = spec::check_consistent(g.net->snapshot(t), cur);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace vstest

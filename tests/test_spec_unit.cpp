@@ -1,0 +1,181 @@
+// Unit tests for the executable specification itself: lookAhead (Fig. 3),
+// init/atomicMove (§IV-C), and the consistency predicate — including the
+// structural properties the atomicMove definition promises (shared prefix,
+// vertical new segment).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "spec/look_ahead.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using spec::AtomicSpec;
+using spec::IdealState;
+using spec::check_consistent_state;
+using spec::extract_path;
+using spec::look_ahead;
+
+TEST(SpecUnit, InitBuildsVerticalGrowth) {
+  hier::GridHierarchy h(27, 27, 3);
+  AtomicSpec spec(h);
+  const RegionId c0 = h.grid().region_at(5, 7);
+  spec.init(c0);
+  const auto path = extract_path(h, spec.state());
+  ASSERT_EQ(path.size(), static_cast<std::size_t>(h.max_level()) + 1);
+  // Vertical: each path element is the hierarchy ancestor of the region.
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Level l = h.max_level() - static_cast<Level>(i);
+    EXPECT_EQ(path[i], h.cluster_of(c0, l));
+  }
+  const auto report = check_consistent_state(h, spec.state(), c0);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(SpecUnit, AtomicMovePreservesConsistency) {
+  hier::GridHierarchy h(27, 27, 3);
+  AtomicSpec spec(h);
+  RegionId cur = h.grid().region_at(13, 13);
+  spec.init(cur);
+  const auto walk = random_walk(h.tiling(), cur, 60, 0xE5);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    spec.apply_move(walk[i]);
+    const auto report = check_consistent_state(h, spec.state(), walk[i]);
+    ASSERT_TRUE(report.ok()) << "move " << i << ":\n" << report.to_string();
+  }
+}
+
+TEST(SpecUnit, AtomicMoveSharesPrefixWithOldPath) {
+  hier::GridHierarchy h(27, 27, 3);
+  AtomicSpec spec(h);
+  const RegionId a = h.grid().region_at(10, 10);
+  spec.init(a);
+  const auto old_path = extract_path(h, spec.state());
+  spec.apply_move(h.grid().region_at(11, 10));
+  const auto new_path = extract_path(h, spec.state());
+  // Definition: old and new paths share a prefix from the root.
+  std::size_t shared = 0;
+  while (shared < old_path.size() && shared < new_path.size() &&
+         old_path[shared] == new_path[shared]) {
+    ++shared;
+  }
+  EXPECT_GE(shared, 1u);  // at least the root
+  // Below the junction, the new tail is disjoint from the old tail.
+  for (std::size_t i = shared; i < new_path.size(); ++i) {
+    EXPECT_EQ(std::find(old_path.begin() + static_cast<std::ptrdiff_t>(shared),
+                        old_path.end(), new_path[i]),
+              old_path.end());
+  }
+}
+
+TEST(SpecUnit, MoveSeqEqualsIncrementalApplication) {
+  hier::GridHierarchy h(9, 9, 3);
+  const auto walk = random_walk(h.tiling(), h.grid().region_at(4, 4), 25, 3);
+  AtomicSpec inc(h);
+  inc.init(walk.front());
+  for (std::size_t i = 1; i < walk.size(); ++i) inc.apply_move(walk[i]);
+  const IdealState folded = AtomicSpec::move_seq(h, walk);
+  EXPECT_TRUE(spec::equal_states(inc.state(), folded));
+}
+
+TEST(SpecUnit, LookAheadIsIdentityOnConsistentStates) {
+  hier::GridHierarchy h(9, 9, 3);
+  AtomicSpec spec(h);
+  spec.init(h.grid().region_at(2, 6));
+  spec.apply_move(h.grid().region_at(3, 6));
+  tracking::SystemSnapshot snap;
+  snap.hier = &h;
+  snap.trackers = spec.state();
+  EXPECT_TRUE(spec::equal_states(look_ahead(snap), spec.state()));
+}
+
+TEST(SpecUnit, LookAheadRejectsMultipleFronts) {
+  hier::GridHierarchy h(9, 9, 3);
+  AtomicSpec spec(h);
+  spec.init(h.grid().region_at(0, 0));
+  tracking::SystemSnapshot snap;
+  snap.hier = &h;
+  snap.trackers = spec.state();
+  // Forge two grow fronts below MAX (Lemma 4.1 violation).
+  snap.trackers[static_cast<std::size_t>(
+                    h.cluster_of(h.grid().region_at(7, 7), 0).value())]
+      .c = h.cluster_of(h.grid().region_at(7, 7), 0);
+  snap.trackers[static_cast<std::size_t>(
+                    h.cluster_of(h.grid().region_at(7, 0), 0).value())]
+      .c = h.cluster_of(h.grid().region_at(7, 0), 0);
+  EXPECT_THROW(std::ignore = look_ahead(snap), vs::Error);
+}
+
+TEST(SpecUnit, EqualAndDiffStates) {
+  hier::GridHierarchy h(9, 9, 3);
+  AtomicSpec a(h), b(h);
+  a.init(h.grid().region_at(1, 1));
+  b.init(h.grid().region_at(1, 1));
+  EXPECT_TRUE(spec::equal_states(a.state(), b.state()));
+  b.apply_move(h.grid().region_at(2, 1));
+  EXPECT_FALSE(spec::equal_states(a.state(), b.state()));
+  EXPECT_FALSE(spec::diff_states(a.state(), b.state()).empty());
+}
+
+TEST(SpecUnit, ConsistencyCatchesBrokenStates) {
+  hier::GridHierarchy h(9, 9, 3);
+  AtomicSpec spec(h);
+  const RegionId c0 = h.grid().region_at(4, 4);
+  spec.init(c0);
+
+  {  // Wrong terminal region.
+    const auto report =
+        check_consistent_state(h, spec.state(), h.grid().region_at(0, 0));
+    EXPECT_FALSE(report.ok());
+  }
+  {  // Off-path garbage pointer.
+    IdealState broken = spec.state();
+    broken[static_cast<std::size_t>(
+               h.cluster_of(h.grid().region_at(8, 8), 0).value())]
+        .p = h.cluster_of(h.grid().region_at(8, 8), 1);
+    EXPECT_FALSE(check_consistent_state(h, broken, c0).ok());
+  }
+  {  // Missing secondary pointer at a neighbour of the path.
+    IdealState broken = spec.state();
+    const ClusterId l0 = h.cluster_of(c0, 0);
+    const ClusterId nbr = h.nbrs(l0).front();
+    broken[static_cast<std::size_t>(nbr.value())].nbrptup =
+        ClusterId::invalid();
+    EXPECT_FALSE(check_consistent_state(h, broken, c0).ok());
+  }
+  {  // Severed path link.
+    IdealState broken = spec.state();
+    broken[static_cast<std::size_t>(h.root().value())].c =
+        ClusterId::invalid();
+    EXPECT_FALSE(check_consistent_state(h, broken, c0).ok());
+  }
+}
+
+TEST(SpecUnit, InitTwiceAndMoveBeforeInitThrow) {
+  hier::GridHierarchy h(9, 9, 3);
+  AtomicSpec spec(h);
+  EXPECT_THROW(spec.apply_move(h.grid().region_at(1, 0)), vs::Error);
+  spec.init(h.grid().region_at(0, 0));
+  EXPECT_THROW(spec.init(h.grid().region_at(0, 0)), vs::Error);
+  EXPECT_THROW(spec.apply_move(h.grid().region_at(5, 5)), vs::Error);
+}
+
+TEST(SpecUnit, StripHierarchySpecWorksToo) {
+  hier::StripHierarchy h(27, 3);
+  AtomicSpec spec(h);
+  spec.init(RegionId{13});
+  for (int r = 14; r < 20; ++r) {
+    spec.apply_move(RegionId{r});
+    const auto report = check_consistent_state(h, spec.state(), RegionId{r});
+    ASSERT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,145 @@
+// VSA failure/restart recovery tests (paper §VII self-stabilization
+// direction, via the ext::Stabilizer heartbeat-repair loop).
+
+#include <gtest/gtest.h>
+
+#include "ext/stabilizer.hpp"
+#include "spec/consistency.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+tracking::NetworkConfig failure_cfg() {
+  tracking::NetworkConfig cfg;
+  cfg.model_vsa_failures = true;
+  cfg.t_restart = sim::Duration::millis(4);
+  return cfg;
+}
+
+// Repair period: comfortably larger than any single repair wave.
+constexpr auto kPeriod = sim::Duration::millis(500);
+
+TEST(Stabilizer, NoFailuresMeansNoRepairs) {
+  GridNet g = make_grid(9, 3, failure_cfg());
+  const TargetId t = g.net->add_evader(g.at(4, 4));
+  g.net->run_to_quiescence();
+  ext::Stabilizer stab(*g.net, t, kPeriod);
+  EXPECT_EQ(stab.tick_once(), 0);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(stab.repairs(), 0);
+}
+
+TEST(Stabilizer, RepairsMidPathVsaReset) {
+  GridNet g = make_grid(27, 3, failure_cfg());
+  const RegionId where = g.at(13, 13);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  // Fail the VSA hosting the evader's level-1 cluster process.
+  const ClusterId c1 = g.hierarchy->cluster_of(where, 1);
+  g.net->fail_vsa(g.hierarchy->head(c1));
+  g.net->run_to_quiescence();  // restart happens (clients present)
+  ASSERT_TRUE(g.net->directory()->alive(g.hierarchy->head(c1)));
+  // The path is now broken at c1 (its state was wiped).
+  ASSERT_FALSE(spec::check_consistent(g.net->snapshot(t), where).ok());
+
+  ext::Stabilizer stab(*g.net, t, kPeriod);
+  for (int i = 0; i < 4; ++i) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), where);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  const FindId f = g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).found_region, where);
+}
+
+TEST(Stabilizer, RepairsEvaderLeafReset) {
+  GridNet g = make_grid(27, 3, failure_cfg());
+  const RegionId where = g.at(5, 20);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  g.net->fail_vsa(where);  // hosts the evader's level-0 cluster
+  g.net->run_to_quiescence();
+  ext::Stabilizer stab(*g.net, t, kPeriod);
+  for (int i = 0; i < 4; ++i) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), where);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Stabilizer, RepairsMultipleSimultaneousFailures) {
+  GridNet g = make_grid(27, 3, failure_cfg());
+  const RegionId where = g.at(13, 13);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  // Wipe the whole hosting chain: level-0, level-1, level-2 heads.
+  for (Level l = 0; l < g.hierarchy->max_level(); ++l) {
+    g.net->fail_vsa(g.hierarchy->head(g.hierarchy->cluster_of(where, l)));
+  }
+  g.net->run_to_quiescence();
+
+  ext::Stabilizer stab(*g.net, t, kPeriod);
+  for (int i = 0; i < 6; ++i) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), where);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Stabilizer, PeriodicModeRecoversDuringMovement) {
+  GridNet g = make_grid(27, 3, failure_cfg());
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+
+  ext::Stabilizer stab(*g.net, t, kPeriod);
+  stab.start();
+
+  Rng rng{0x5AB};
+  RegionId cur = start;
+  for (int i = 0; i < 30; ++i) {
+    const auto nbrs = g.hierarchy->tiling().neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    g.net->move_evader(t, cur);
+    if (i % 7 == 3) {
+      // Periodically knock out the VSA hosting the current level-1 process.
+      g.net->fail_vsa(g.hierarchy->head(g.hierarchy->cluster_of(cur, 1)));
+    }
+    g.net->run_for(sim::Duration::millis(300));
+  }
+  // Let movement stop and several repair periods elapse.
+  g.net->run_for(kPeriod * 6);
+  stab.stop();
+  g.net->run_to_quiescence();
+
+  const auto report = spec::check_consistent(g.net->snapshot(t), cur);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  const FindId f = g.net->start_find(g.at(26, 0), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f).found_region, cur);
+}
+
+TEST(Stabilizer, DroppedMessagesAreCounted) {
+  GridNet g = make_grid(9, 3, failure_cfg());
+  const TargetId t = g.net->add_evader(g.at(4, 4));
+  g.net->run_to_quiescence();
+  // Fail a level-1 head, then move so updates try to reach it.
+  const ClusterId c1 = g.hierarchy->cluster_of(g.at(4, 4), 1);
+  g.net->fail_vsa(g.hierarchy->head(c1));
+  g.net->move_evader(t, g.at(5, 4));
+  g.net->run_to_quiescence();
+  EXPECT_GT(g.net->cgcast().dropped(), 0);
+}
+
+}  // namespace
+}  // namespace vstest

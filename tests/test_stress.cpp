@@ -1,0 +1,122 @@
+// Stress scenarios combining every moving part: continuous motion,
+// concurrent finds, VSA failures with the stabilizer, several targets —
+// asserting the service-level guarantees (§III-A) survive the combination.
+
+#include <gtest/gtest.h>
+
+#include "ext/stabilizer.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(Stress, EverythingAtOnce) {
+  tracking::NetworkConfig cfg;
+  cfg.model_vsa_failures = true;
+  cfg.t_restart = sim::Duration::millis(6);
+  GridNet g = make_grid(27, 3, cfg);
+
+  const RegionId s1 = g.at(5, 5);
+  const RegionId s2 = g.at(21, 21);
+  const TargetId t1 = g.net->add_evader(s1);
+  const TargetId t2 = g.net->add_evader(s2);
+  g.net->run_to_quiescence();
+
+  ext::Stabilizer stab1(*g.net, t1, sim::Duration::millis(400));
+  ext::Stabilizer stab2(*g.net, t2, sim::Duration::millis(400));
+  stab1.start();
+  stab2.start();
+
+  Rng rng{0x57E55};
+  RegionId c1 = s1, c2 = s2;
+  std::vector<FindId> finds;
+  for (int i = 0; i < 120; ++i) {
+    // Both targets step.
+    const auto n1 = g.hierarchy->tiling().neighbors(c1);
+    c1 = n1[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n1.size()) - 1))];
+    g.net->move_evader(t1, c1);
+    const auto n2 = g.hierarchy->tiling().neighbors(c2);
+    c2 = n2[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n2.size()) - 1))];
+    g.net->move_evader(t2, c2);
+    // Periodic finds for both targets from random regions.
+    if (i % 6 == 2) {
+      const RegionId origin{static_cast<RegionId::rep_type>(rng.uniform_int(
+          0, static_cast<std::int64_t>(g.hierarchy->tiling().num_regions()) -
+                 1))};
+      finds.push_back(g.net->start_find(origin, i % 12 == 2 ? t1 : t2));
+    }
+    // Periodic VSA failures along either chain.
+    if (i % 9 == 4) {
+      const RegionId at = i % 18 == 4 ? c1 : c2;
+      const Level l =
+          static_cast<Level>(rng.uniform_int(0, g.hierarchy->max_level() - 1));
+      g.net->fail_vsa(g.hierarchy->head(g.hierarchy->cluster_of(at, l)));
+    }
+    g.net->run_for(sim::Duration::millis(150));
+  }
+  // Settle: movement stops, several repair periods pass, then drain.
+  g.net->run_for(sim::Duration::millis(4000));
+  stab1.stop();
+  stab2.stop();
+  g.net->run_to_quiescence();
+
+  // Both structures must be consistent again and serviceable.
+  const auto r1 = spec::check_consistent(g.net->snapshot(t1), c1);
+  EXPECT_TRUE(r1.ok()) << r1.to_string();
+  const auto r2 = spec::check_consistent(g.net->snapshot(t2), c2);
+  EXPECT_TRUE(r2.ok()) << r2.to_string();
+
+  const FindId f1 = g.net->start_find(g.at(0, 26), t1);
+  const FindId f2 = g.net->start_find(g.at(26, 0), t2);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->find_result(f1).found_region, c1);
+  EXPECT_EQ(g.net->find_result(f2).found_region, c2);
+}
+
+TEST(Stress, ThousandStepWalkWithSpotChecks) {
+  GridNet g = make_grid(81, 3);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  spec::AtomicSpec oracle(*g.hierarchy);
+  oracle.init(start);
+
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 1000, 0x1000);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    oracle.apply_move(walk[i]);
+    g.net->move_and_quiesce(t, walk[i]);
+    if (i % 100 == 0) {
+      ASSERT_TRUE(
+          spec::equal_states(g.net->snapshot(t).trackers, oracle.state()))
+          << "step " << i;
+    }
+  }
+  const auto report = spec::check_consistent(g.net->snapshot(t), walk.back());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Stress, HundredConcurrentFinds) {
+  GridNet g = make_grid(27, 3);
+  const RegionId where = g.at(13, 13);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  Rng rng{0xF1D5};
+  std::vector<FindId> finds;
+  for (int i = 0; i < 100; ++i) {
+    const RegionId origin{static_cast<RegionId::rep_type>(rng.uniform_int(
+        0, static_cast<std::int64_t>(g.hierarchy->tiling().num_regions()) - 1))};
+    finds.push_back(g.net->start_find(origin, t));
+  }
+  g.net->run_to_quiescence();
+  for (const FindId f : finds) {
+    ASSERT_TRUE(g.net->find_result(f).done);
+    EXPECT_EQ(g.net->find_result(f).found_region, where);
+  }
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,92 @@
+// Timer-policy tests: the paper's inequality (1) is validated at network
+// construction, the default policy satisfies it on every hierarchy we
+// build, and violating policies are rejected.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tracking/config.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using tracking::TimerPolicy;
+using tracking::validate_timer_policy;
+
+TEST(TimerPolicy, DefaultSatisfiesInequalityOnGrids) {
+  for (const auto& [side, base] :
+       {std::pair{9, 3}, {27, 3}, {16, 2}, {25, 5}, {81, 3}}) {
+    hier::GridHierarchy h(side, side, base);
+    vsa::CGcastConfig cg;
+    const TimerPolicy policy = TimerPolicy::paper_default(h, cg);
+    EXPECT_NO_THROW(validate_timer_policy(policy, h, cg))
+        << side << " base " << base;
+  }
+}
+
+TEST(TimerPolicy, DefaultSatisfiesInequalityOnStrips) {
+  hier::StripHierarchy h(81, 3);
+  vsa::CGcastConfig cg;
+  EXPECT_NO_THROW(
+      validate_timer_policy(TimerPolicy::paper_default(h, cg), h, cg));
+}
+
+TEST(TimerPolicy, RejectsShrinkNotExceedingGrow) {
+  hier::GridHierarchy h(9, 9, 3);
+  vsa::CGcastConfig cg;
+  TimerPolicy bad;
+  bad.grow = [](Level) { return sim::Duration::millis(5); };
+  bad.shrink = [](Level) { return sim::Duration::millis(5); };
+  EXPECT_THROW(validate_timer_policy(bad, h, cg), vs::Error);
+}
+
+TEST(TimerPolicy, RejectsInsufficientSlack) {
+  hier::GridHierarchy h(27, 27, 3);
+  vsa::CGcastConfig cg;  // δ+e = 2ms
+  TimerPolicy thin;
+  thin.grow = [](Level) { return sim::Duration::millis(1); };
+  // Slack of 2ms per level: Σ slack at level 1 is 4ms < (δ+e)·n(1) = 10ms.
+  thin.shrink = [](Level) { return sim::Duration::millis(3); };
+  EXPECT_THROW(validate_timer_policy(thin, h, cg), vs::Error);
+}
+
+TEST(TimerPolicy, RejectsUnsetFunctions) {
+  hier::GridHierarchy h(9, 9, 3);
+  vsa::CGcastConfig cg;
+  TimerPolicy empty;
+  EXPECT_THROW(validate_timer_policy(empty, h, cg), vs::Error);
+}
+
+TEST(TimerPolicy, NetworkConstructionValidates) {
+  hier::GridHierarchy h(9, 9, 3);
+  tracking::NetworkConfig cfg;
+  TimerPolicy bad;
+  bad.grow = [](Level) { return sim::Duration::millis(2); };
+  bad.shrink = [](Level) { return sim::Duration::millis(1); };
+  cfg.timers = bad;
+  EXPECT_THROW(tracking::TrackingNetwork(h, cfg), vs::Error);
+}
+
+TEST(TimerPolicy, CustomValidPolicyWorksEndToEnd) {
+  hier::GridHierarchy h(9, 9, 3);
+  vsa::CGcastConfig cg;
+  tracking::NetworkConfig cfg;
+  TimerPolicy slow;  // much slower shrinks than the default — still valid
+  slow.grow = [](Level) { return sim::Duration::millis(1); };
+  slow.shrink = [&h, cg](Level l) {
+    return sim::Duration::millis(1) + (cg.delta + cg.e) * (3 * h.n(l) + 5);
+  };
+  cfg.timers = slow;
+  tracking::TrackingNetwork net(h, cfg);
+  const TargetId t = net.add_evader(h.grid().region_at(4, 4));
+  net.run_to_quiescence();
+  net.move_evader(t, h.grid().region_at(5, 5));
+  net.run_to_quiescence();
+  const FindId f = net.start_find(h.grid().region_at(0, 0), t);
+  net.run_to_quiescence();
+  EXPECT_EQ(net.find_result(f).found_region, h.grid().region_at(5, 5));
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,171 @@
+// Toroidal world tests: wrap-around tiling semantics, hierarchy axioms on
+// a boundary-free geometry, and VINESTALK across the wrap seam — which is
+// a *top-level* cluster boundary, the harshest dithering spot there is.
+
+#include <gtest/gtest.h>
+
+#include "geo/torus_tiling.hpp"
+#include "hier/torus_hierarchy.hpp"
+#include "hier/validator.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/consistency.hpp"
+#include "tracking/network.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using geo::TorusTiling;
+using hier::TorusHierarchy;
+
+TEST(TorusTiling, EveryRegionHasEightNeighbors) {
+  TorusTiling t(9);
+  for (const RegionId u : t.all_regions()) {
+    EXPECT_EQ(t.neighbors(u).size(), 8u) << t.describe(u);
+  }
+}
+
+TEST(TorusTiling, WrapAdjacency) {
+  TorusTiling t(9);
+  EXPECT_TRUE(t.are_neighbors(t.region_at(0, 4), t.region_at(8, 4)));
+  EXPECT_TRUE(t.are_neighbors(t.region_at(0, 0), t.region_at(8, 8)));
+  EXPECT_FALSE(t.are_neighbors(t.region_at(0, 0), t.region_at(7, 0)));
+}
+
+TEST(TorusTiling, WrapDistance) {
+  TorusTiling t(9);
+  EXPECT_EQ(t.distance(t.region_at(0, 0), t.region_at(8, 0)), 1);
+  EXPECT_EQ(t.distance(t.region_at(0, 0), t.region_at(4, 4)), 4);
+  EXPECT_EQ(t.distance(t.region_at(1, 1), t.region_at(6, 1)), 4);  // wraps
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(TorusTiling, DistanceMatchesBfs) {
+  for (const int side : {3, 4, 8, 9}) {
+    TorusTiling t(side);
+    const auto report = hier::Validator::validate_tiling(t);
+    EXPECT_TRUE(report.ok()) << "side " << side << ":\n" << report.to_string();
+  }
+}
+
+TEST(TorusTiling, RegionAtWrapsModulo) {
+  TorusTiling t(5);
+  EXPECT_EQ(t.region_at(-1, 0), t.region_at(4, 0));
+  EXPECT_EQ(t.region_at(5, 7), t.region_at(0, 2));
+}
+
+TEST(TorusHierarchy, AxiomsHold) {
+  for (const auto& [side, base] :
+       {std::pair{8, 2}, {9, 3}, {27, 3}, {16, 4}, {16, 2}}) {
+    TorusHierarchy h(side, base);
+    const auto report = hier::Validator(h).validate_all();
+    EXPECT_TRUE(report.ok())
+        << "torus " << side << " base " << base << ":\n" << report.to_string();
+  }
+}
+
+TEST(TorusHierarchy, RejectsNonPowerSides) {
+  EXPECT_THROW(TorusHierarchy(10, 3), vs::Error);
+  EXPECT_THROW(TorusHierarchy(12, 2), vs::Error);
+}
+
+TEST(TorusHierarchy, EveryClusterHasEightNeighborsBelowTop) {
+  TorusHierarchy h(27, 3);
+  for (Level l = 0; l < h.max_level(); ++l) {
+    for (const ClusterId c : h.clusters_at(l)) {
+      // Boundary-free world: the full king neighbourhood everywhere —
+      // except at MAX−1 where distinct wrap directions can reach the same
+      // block (e.g. base 2), so "≤ 8 and ≥ 3".
+      EXPECT_LE(h.nbrs(c).size(), 8u);
+      EXPECT_GE(h.nbrs(c).size(), 3u);
+    }
+  }
+  // Below the top two levels of a 27-torus, exactly 8.
+  for (const ClusterId c : h.clusters_at(0)) {
+    EXPECT_EQ(h.nbrs(c).size(), 8u);
+  }
+}
+
+TEST(TorusTracking, WalkAcrossTheSeamMatchesSpec) {
+  TorusHierarchy h(27, 3);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const RegionId start = h.torus().region_at(26, 13);
+  const TargetId t = net.add_evader(start);
+  net.run_to_quiescence();
+  spec::AtomicSpec oracle(h);
+  oracle.init(start);
+
+  // March straight through the wrap seam twice.
+  RegionId cur = start;
+  for (int i = 0; i < 8; ++i) {
+    const auto c = h.torus().coord(cur);
+    cur = h.torus().region_at(c.x + 1, c.y);  // wraps 26 → 0
+    oracle.apply_move(cur);
+    net.move_evader(t, cur);
+    net.run_to_quiescence();
+    ASSERT_TRUE(spec::equal_states(net.snapshot(t).trackers, oracle.state()))
+        << "step " << i << "\n"
+        << spec::diff_states(net.snapshot(t).trackers, oracle.state());
+  }
+  const auto report = spec::check_consistent(net.snapshot(t), cur);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(TorusTracking, RandomWalkConsistency) {
+  TorusHierarchy h(9, 3);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const RegionId start = h.torus().region_at(0, 0);
+  const TargetId t = net.add_evader(start);
+  net.run_to_quiescence();
+  spec::AtomicSpec oracle(h);
+  oracle.init(start);
+  const auto walk = random_walk(h.tiling(), start, 80, 0x70E5);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    oracle.apply_move(walk[i]);
+    net.move_evader(t, walk[i]);
+    net.run_to_quiescence();
+  }
+  EXPECT_TRUE(spec::equal_states(net.snapshot(t).trackers, oracle.state()));
+}
+
+TEST(TorusTracking, SeamDitheringIsConstantPerStep) {
+  // Oscillating across the wrap seam crosses the *top-level* boundary
+  // every step; with lateral links this must stay O(1).
+  TorusHierarchy h(27, 3);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const RegionId a = h.torus().region_at(26, 13);
+  const RegionId b = h.torus().region_at(0, 13);
+  const TargetId t = net.add_evader(a);
+  net.run_to_quiescence();
+  const auto work0 = net.counters().move_work();
+  RegionId cur = a;
+  for (int i = 0; i < 40; ++i) {
+    cur = cur == a ? b : a;
+    net.move_evader(t, cur);
+    net.run_to_quiescence();
+  }
+  const double per_step =
+      static_cast<double>(net.counters().move_work() - work0) / 40;
+  EXPECT_LT(per_step, 40.0);
+}
+
+TEST(TorusTracking, FindsWrapAroundTheShortWay) {
+  TorusHierarchy h(27, 3);
+  tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+  const RegionId where = h.torus().region_at(1, 13);
+  const TargetId t = net.add_evader(where);
+  net.run_to_quiescence();
+  // Origin two steps the "wrong" side of the seam: wrap distance 3.
+  const FindId f = net.start_find(h.torus().region_at(25, 13), t);
+  net.run_to_quiescence();
+  const auto& r = net.find_result(f);
+  ASSERT_TRUE(r.done);
+  EXPECT_EQ(r.found_region, where);
+  // Locality: far cheaper than a diameter-scale find.
+  const FindId far = net.start_find(h.torus().region_at(14, 0), t);
+  net.run_to_quiescence();
+  EXPECT_LT(r.work, net.find_result(far).work);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,139 @@
+// Axiom validation of the hierarchies against the §II-B definitions.
+//
+// The declared geometry functions n, p, q, ω and the proximity property are
+// *assumptions* of every theorem in the paper; here they are brute-force
+// verified for grid hierarchies across bases, sizes (including clipped,
+// non-power-of-base worlds) and head policies, and for strip hierarchies.
+
+#include <gtest/gtest.h>
+
+#include "hier/grid_hierarchy.hpp"
+#include "hier/strip_hierarchy.hpp"
+#include "hier/validator.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::hier::GridHierarchy;
+using vs::hier::HeadPolicy;
+using vs::hier::StripHierarchy;
+using vs::hier::Validator;
+
+struct GridParam {
+  int width;
+  int height;
+  int base;
+};
+
+class GridAxioms : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(GridAxioms, AllAxiomsHold) {
+  const GridParam param = GetParam();
+  GridHierarchy h(param.width, param.height, param.base);
+  const auto report = Validator(h).validate_all();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GridAxioms,
+    ::testing::Values(GridParam{4, 4, 2}, GridParam{8, 8, 2},
+                      GridParam{9, 9, 3}, GridParam{16, 16, 4},
+                      GridParam{27, 27, 3}, GridParam{6, 6, 2},
+                      GridParam{7, 5, 2},   // clipped, non-square
+                      GridParam{10, 10, 3},  // clipped
+                      GridParam{12, 9, 3},   // clipped, non-square
+                      GridParam{25, 25, 5}, GridParam{5, 17, 4},
+                      GridParam{2, 2, 2}),
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      return std::to_string(param_info.param.width) + "x" +
+             std::to_string(param_info.param.height) + "_base" +
+             std::to_string(param_info.param.base);
+    });
+
+TEST(GridAxiomsHeads, HoldUnderEveryHeadPolicy) {
+  for (const HeadPolicy policy :
+       {HeadPolicy::kCenter, HeadPolicy::kMinRegion, HeadPolicy::kRandom}) {
+    GridHierarchy h(9, 9, 3, policy, 99);
+    const auto report = Validator(h).validate_all();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+TEST(StripAxioms, HoldForSeveralSizes) {
+  for (const auto& [len, base] : {std::pair{8, 2}, {27, 3}, {20, 3}, {16, 4}}) {
+    StripHierarchy h(len, base);
+    const auto report = Validator(h).validate_all();
+    EXPECT_TRUE(report.ok())
+        << "strip " << len << " base " << base << ":\n" << report.to_string();
+  }
+}
+
+// A deliberately broken hierarchy: q values inflated beyond the truth.
+// The validator must notice (guards against a vacuous validator).
+class BrokenGeometry final : public vs::hier::ClusterHierarchy {
+ public:
+  BrokenGeometry() : grid_(9, 9) {
+    std::vector<LevelAssignment> levels(3);
+    for (vs::Level l = 0; l <= 2; ++l) {
+      const int block = l == 0 ? 1 : (l == 1 ? 3 : 9);
+      auto& assign = levels[static_cast<std::size_t>(l)].cluster_index_of_region;
+      assign.resize(grid_.num_regions());
+      for (std::size_t u = 0; u < grid_.num_regions(); ++u) {
+        const auto c = grid_.coord(vs::RegionId{static_cast<int>(u)});
+        assign[u] = (c.y / block) * ((8 / block) + 1) + (c.x / block);
+      }
+    }
+    build(grid_, levels,
+          [](std::span<const vs::RegionId> mem, vs::Level) { return mem.front(); });
+    // q(1) claimed as 8 although only 3 is true.
+    set_geometry({1, 5, 17}, {2, 8, 26}, {1, 8, 9}, {8, 8, 8});
+  }
+
+ private:
+  vs::geo::GridTiling grid_;
+};
+
+TEST(ValidatorNegative, DetectsInflatedQ) {
+  BrokenGeometry h;
+  vs::hier::ValidationReport report;
+  Validator v(h);
+  v.check_geometry_bounds(report);
+  EXPECT_FALSE(report.ok());
+  bool mentions_q = false;
+  for (const auto& msg : report.violations) {
+    if (msg.find("q(1)") != std::string::npos) mentions_q = true;
+  }
+  EXPECT_TRUE(mentions_q) << report.to_string();
+}
+
+TEST(ValidatorNegative, DetectsBrokenDerivedInequalities) {
+  BrokenGeometry h;  // q(1)=8 > n(1)=5 also breaks q ≤ n
+  vs::hier::ValidationReport report;
+  Validator(h).check_derived_inequalities(report);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidatorStructure, PassesForWellFormed) {
+  GridHierarchy h(9, 9, 3);
+  vs::hier::ValidationReport report;
+  Validator(h).check_structure(report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidatorProximity, PassesForGridAndStrip) {
+  {
+    GridHierarchy h(9, 9, 3);
+    vs::hier::ValidationReport report;
+    Validator(h).check_proximity(report);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+  {
+    StripHierarchy h(16, 2);
+    vs::hier::ValidationReport report;
+    Validator(h).check_proximity(report);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace vstest

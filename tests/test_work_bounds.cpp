@@ -1,0 +1,168 @@
+// Empirical checks of the paper's quantitative claims:
+//   Theorem 4.9 (grid corollary): amortised move work O(d·r·log_r D);
+//   Theorem 5.2 (grid corollary): find work O(d), time O(d(δ+e));
+//   §IV-B: lateral links bound dithering work by a constant per step.
+// The benches chart the full curves; these tests pin the asymptotic shape
+// with explicit constant-factor envelopes so regressions fail loudly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util.hpp"
+#include "vsa/evader.hpp"
+
+namespace vstest {
+namespace {
+
+TEST(WorkBounds, MoveWorkPerStepIsLogarithmicInD) {
+  // Random-walk 200 steps on an 81×81 base-3 grid (MAX = 4) and check the
+  // amortised move work per step against C·r·log_r(D).
+  GridNet g = make_grid(81, 3);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto work0 = g.net->counters().move_work();
+
+  const int steps = 200;
+  const auto walk = random_walk(g.hierarchy->tiling(), start, steps, 0xAB);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  const auto per_step =
+      static_cast<double>(g.net->counters().move_work() - work0) / steps;
+  // r·log_r(D+1) = 3·4 = 12; the constant covers ω(l)=8 notifications.
+  EXPECT_LT(per_step, 30.0 * 12.0);
+  EXPECT_GT(per_step, 1.0);  // it does pay something
+}
+
+TEST(WorkBounds, MoveWorkScalesLikeLogDiameter) {
+  // Same straight-line 20-step dash in three world sizes; per-step work
+  // must grow roughly like log D (factor ≈ 1 per extra level), nowhere
+  // near linearly in D.
+  double per_step[3] = {0, 0, 0};
+  const int sides[3] = {27, 81, 243};
+  for (int k = 0; k < 3; ++k) {
+    GridNet g = make_grid(sides[k], 3);
+    const int mid = sides[k] / 2;
+    const TargetId t = g.net->add_evader(g.at(mid - 10, mid));
+    g.net->run_to_quiescence();
+    const auto work0 = g.net->counters().move_work();
+    for (int i = 1; i <= 20; ++i) {
+      g.net->move_and_quiesce(t, g.at(mid - 10 + i, mid));
+    }
+    per_step[k] = static_cast<double>(g.net->counters().move_work() - work0) / 20;
+  }
+  // 27 → 243 is a 9× diameter increase but only MAX 3 → 5: work should
+  // grow by far less than 3× (log ratio 5/3 ≈ 1.7 plus constants).
+  EXPECT_LT(per_step[2] / per_step[0], 3.5)
+      << per_step[0] << " " << per_step[1] << " " << per_step[2];
+  EXPECT_GE(per_step[2], per_step[0] * 0.8);
+}
+
+TEST(WorkBounds, FindWorkIsLinearInDistance) {
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+
+  std::vector<double> xs, ys;
+  for (const int d : {2, 4, 8, 16, 32, 64, 100}) {
+    const FindId f = g.net->start_find(g.at(121 + d, 121), t);
+    g.net->run_to_quiescence();
+    xs.push_back(d);
+    ys.push_back(static_cast<double>(g.net->find_result(f).work));
+  }
+  // Doubling d from 16 to 32 and 32 to 64 must scale work by < 4 (rules
+  // out the quadratic flooding regime) and overall growth must be bounded
+  // by a generous linear envelope.
+  EXPECT_LT(ys[4] / ys[3], 4.0);
+  EXPECT_LT(ys[5] / ys[4], 4.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_LT(ys[i], 220.0 * xs[i] + 400.0) << "d = " << xs[i];
+  }
+}
+
+TEST(WorkBounds, FindTimeIsLinearInDistance) {
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
+
+  for (const int d : {4, 16, 64}) {
+    const FindId f = g.net->start_find(g.at(121 + d, 121), t);
+    g.net->run_to_quiescence();
+    const auto latency = g.net->find_result(f).latency();
+    // Theorem 5.2 grid corollary: O(d(δ+e)); constant covers the query
+    // round-trips 2ω(l)n(l) and the trace.
+    EXPECT_LT(latency.count(), (de * (40 * d + 40)).count()) << "d = " << d;
+  }
+}
+
+TEST(WorkBounds, DitheringIsConstantPerStepWithLateralLinks) {
+  // Oscillate across the top-level boundary of a 243-grid (x = 80|81 is a
+  // level-4 boundary). With lateral links the amortised per-step work must
+  // stay flat — far below the Θ(D) a tree scheme pays.
+  GridNet g = make_grid(243, 3);
+  const RegionId a = g.at(80, 100);
+  const RegionId b = g.at(81, 100);
+  const TargetId t = g.net->add_evader(a);
+  g.net->run_to_quiescence();
+  const auto work0 = g.net->counters().move_work();
+  vsa::DitherMover mover(a, b);
+  RegionId cur = a;
+  const int steps = 100;
+  for (int i = 0; i < steps; ++i) {
+    cur = mover.next(cur);
+    g.net->move_and_quiesce(t, cur);
+  }
+  const auto per_step =
+      static_cast<double>(g.net->counters().move_work() - work0) / steps;
+  EXPECT_LT(per_step, 60.0);  // D = 242; tree dithering would be ≳ 150/step
+}
+
+TEST(WorkBounds, NoLateralVariantPaysTheDitheringPenalty) {
+  // The same oscillation without lateral links must cost dramatically
+  // more — this is the paper's §IV-B motivation made measurable.
+  tracking::NetworkConfig with;
+  tracking::NetworkConfig without;
+  without.lateral_links = false;
+  double per_step[2];
+  int k = 0;
+  for (const auto* cfg : {&with, &without}) {
+    GridNet g = make_grid(81, 3, *cfg);
+    const RegionId a = g.at(26, 40);  // level-3 boundary at x = 26|27
+    const RegionId b = g.at(27, 40);
+    const TargetId t = g.net->add_evader(a);
+    g.net->run_to_quiescence();
+    const auto work0 = g.net->counters().move_work();
+    RegionId cur = a;
+    for (int i = 0; i < 60; ++i) {
+      cur = cur == a ? b : a;
+      g.net->move_and_quiesce(t, cur);
+    }
+    per_step[k++] =
+        static_cast<double>(g.net->counters().move_work() - work0) / 60;
+  }
+  EXPECT_GT(per_step[1], 2.5 * per_step[0])
+      << "lateral " << per_step[0] << " vs none " << per_step[1];
+}
+
+TEST(WorkBounds, FindTimeMonotonicallyReasonable) {
+  // Near finds must be much cheaper than far finds (locality, §V).
+  GridNet g = make_grid(243, 3);
+  const RegionId where = g.at(121, 121);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  const FindId near = g.net->start_find(g.at(122, 121), t);
+  g.net->run_to_quiescence();
+  const FindId far = g.net->start_find(g.at(240, 121), t);
+  g.net->run_to_quiescence();
+  EXPECT_LT(g.net->find_result(near).work * 5, g.net->find_result(far).work);
+  EXPECT_LT(g.net->find_result(near).latency().count(),
+            g.net->find_result(far).latency().count());
+}
+
+}  // namespace
+}  // namespace vstest

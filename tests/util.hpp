@@ -1,0 +1,51 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "hier/strip_hierarchy.hpp"
+#include "tracking/network.hpp"
+
+namespace vstest {
+
+using namespace vs;  // tests read better unqualified
+
+/// A grid world with its tracking network (hierarchy owns the tiling).
+struct GridNet {
+  std::unique_ptr<hier::GridHierarchy> hierarchy;
+  std::unique_ptr<tracking::TrackingNetwork> net;
+
+  [[nodiscard]] RegionId at(int x, int y) const {
+    return hierarchy->grid().region_at(x, y);
+  }
+};
+
+inline GridNet make_grid(int side, int base,
+                         tracking::NetworkConfig cfg = {}) {
+  GridNet g;
+  g.hierarchy = std::make_unique<hier::GridHierarchy>(side, side, base);
+  g.net = std::make_unique<tracking::TrackingNetwork>(*g.hierarchy, cfg);
+  return g;
+}
+
+/// Neighbour-stepping random walk of `steps` moves starting at `start`
+/// (returned sequence includes the start, so it has steps+1 entries).
+inline std::vector<RegionId> random_walk(const geo::Tiling& tiling,
+                                         RegionId start, int steps,
+                                         std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<RegionId> walk{start};
+  RegionId cur = start;
+  for (int i = 0; i < steps; ++i) {
+    const auto nbrs = tiling.neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+}  // namespace vstest

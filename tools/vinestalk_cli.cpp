@@ -1,0 +1,177 @@
+// vinestalk_cli — scriptable driver for a VINESTALK world.
+//
+// Reads commands from stdin (one per line; '#' starts a comment) and
+// prints results to stdout, making interactive exploration and shell-based
+// smoke tests possible without writing C++:
+//
+//   world <side> <base>        build a grid world (must come first)
+//   evader <x> <y>             place a new evader (prints its target id)
+//   move <target> <x> <y>      relocate an evader (neighbouring region)
+//   walk <target> <steps> <seed>  random-walk an evader
+//   find <x> <y> <target>      run a find and print the result
+//   fail <x> <y>               fail the VSA at a region (enables failures)
+//   tick <target>              one stabilizer repair pass
+//   show <target>              render the tracking structure
+//   check <target>             consistency verdict for the structure
+//   stats                      work counters so far
+//   quit
+//
+// Example:
+//   printf 'world 27 3\nevader 20 6\nfind 0 26 0\nstats\n' | vinestalk_cli
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "ext/stabilizer.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "spec/consistency.hpp"
+#include "spec/inspect.hpp"
+#include "tracking/network.hpp"
+#include "vsa/evader.hpp"
+
+namespace {
+
+using namespace vs;
+
+class Cli {
+ public:
+  int run(std::istream& in, std::ostream& out) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::istringstream ss(line);
+      std::string cmd;
+      if (!(ss >> cmd)) continue;
+      try {
+        if (!dispatch(cmd, ss, out)) return 0;  // quit
+      } catch (const Error& e) {
+        out << "error: " << e.what() << "\n";
+      }
+    }
+    return 0;
+  }
+
+ private:
+  bool dispatch(const std::string& cmd, std::istringstream& ss,
+                std::ostream& out) {
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "world") {
+      int side = 0, base = 0;
+      ss >> side >> base;
+      hierarchy_ = std::make_unique<hier::GridHierarchy>(side, side, base);
+      tracking::NetworkConfig cfg;
+      cfg.model_vsa_failures = true;
+      cfg.t_restart = sim::Duration::millis(5);
+      net_ = std::make_unique<tracking::TrackingNetwork>(*hierarchy_, cfg);
+      out << "world " << side << "x" << side << " base " << base << ", MAX "
+          << hierarchy_->max_level() << ", " << hierarchy_->num_clusters()
+          << " clusters\n";
+      return true;
+    }
+    VS_REQUIRE(net_ != nullptr, "run `world <side> <base>` first");
+    if (cmd == "evader") {
+      const TargetId t = net_->add_evader(region(ss));
+      net_->run_to_quiescence();
+      out << "evader " << t.value() << " placed\n";
+    } else if (cmd == "move") {
+      const TargetId t = target(ss);
+      net_->move_evader(t, region(ss));
+      net_->run_to_quiescence();
+      out << "evader " << t.value() << " now at "
+          << hierarchy_->tiling().describe(net_->evaders().region_of(t))
+          << "\n";
+    } else if (cmd == "walk") {
+      const TargetId t = target(ss);
+      int steps = 0;
+      std::uint64_t seed = 0;
+      ss >> steps >> seed;
+      vsa::RandomWalkMover mover(hierarchy_->tiling(), seed);
+      RegionId cur = net_->evaders().region_of(t);
+      for (int i = 0; i < steps; ++i) {
+        cur = mover.next(cur);
+        net_->move_evader(t, cur);
+        net_->run_to_quiescence();
+      }
+      out << "walked " << steps << " steps to "
+          << hierarchy_->tiling().describe(cur) << "\n";
+    } else if (cmd == "find") {
+      const RegionId from = region(ss);
+      const TargetId t = target(ss);
+      const FindId f = net_->start_find(from, t);
+      net_->run_to_quiescence();
+      const auto& r = net_->find_result(f);
+      if (r.done) {
+        out << "found at " << hierarchy_->tiling().describe(r.found_region)
+            << " in " << r.latency() << " (" << r.work << " hop-work, "
+            << r.messages << " messages)\n";
+      } else {
+        out << "find did not complete\n";
+      }
+    } else if (cmd == "fail") {
+      const RegionId u = region(ss);
+      net_->fail_vsa(u);
+      out << "failed VSA at " << hierarchy_->tiling().describe(u) << "\n";
+    } else if (cmd == "tick") {
+      const TargetId t = target(ss);
+      auto& stab = stabilizer(t);
+      const int injected = stab.tick_once();
+      net_->run_to_quiescence();
+      out << "stabilizer injected " << injected << " repair message(s)\n";
+    } else if (cmd == "show") {
+      out << spec::render_structure(net_->snapshot(target(ss)));
+    } else if (cmd == "check") {
+      const TargetId t = target(ss);
+      const auto report = spec::check_consistent(
+          net_->snapshot(t), net_->evaders().region_of(t));
+      out << (report.ok() ? "consistent\n" : report.to_string());
+    } else if (cmd == "stats") {
+      const auto& c = net_->counters();
+      out << "moves: " << c.move_messages() << " messages, " << c.move_work()
+          << " hop-work; finds: " << c.find_messages() << " messages, "
+          << c.find_work() << " hop-work; virtual time " << net_->now()
+          << "\n";
+    } else {
+      out << "unknown command: " << cmd << "\n";
+    }
+    return true;
+  }
+
+  RegionId region(std::istringstream& ss) {
+    int x = -1, y = -1;
+    ss >> x >> y;
+    return hierarchy_->grid().region_at(x, y);
+  }
+
+  TargetId target(std::istringstream& ss) {
+    int t = -1;
+    ss >> t;
+    return TargetId{t};
+  }
+
+  ext::Stabilizer& stabilizer(TargetId t) {
+    auto it = stabilizers_.find(t);
+    if (it == stabilizers_.end()) {
+      it = stabilizers_
+               .emplace(t, std::make_unique<ext::Stabilizer>(
+                               *net_, t, sim::Duration::millis(500)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  std::unique_ptr<hier::GridHierarchy> hierarchy_;
+  std::unique_ptr<tracking::TrackingNetwork> net_;
+  std::map<TargetId, std::unique_ptr<ext::Stabilizer>> stabilizers_;
+};
+
+}  // namespace
+
+int main() {
+  Cli cli;
+  return cli.run(std::cin, std::cout);
+}
