@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_level_profile.dir/bench_e13_level_profile.cpp.o"
+  "CMakeFiles/bench_e13_level_profile.dir/bench_e13_level_profile.cpp.o.d"
+  "bench_e13_level_profile"
+  "bench_e13_level_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_level_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

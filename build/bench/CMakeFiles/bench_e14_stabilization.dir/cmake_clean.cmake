@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_stabilization.dir/bench_e14_stabilization.cpp.o"
+  "CMakeFiles/bench_e14_stabilization.dir/bench_e14_stabilization.cpp.o.d"
+  "bench_e14_stabilization"
+  "bench_e14_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

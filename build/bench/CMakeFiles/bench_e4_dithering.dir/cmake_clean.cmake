@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_dithering.dir/bench_e4_dithering.cpp.o"
+  "CMakeFiles/bench_e4_dithering.dir/bench_e4_dithering.cpp.o.d"
+  "bench_e4_dithering"
+  "bench_e4_dithering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_dithering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_grid_base.dir/bench_e6_grid_base.cpp.o"
+  "CMakeFiles/bench_e6_grid_base.dir/bench_e6_grid_base.cpp.o.d"
+  "bench_e6_grid_base"
+  "bench_e6_grid_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_grid_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_failures.dir/bench_e8_failures.cpp.o"
+  "CMakeFiles/bench_e8_failures.dir/bench_e8_failures.cpp.o.d"
+  "bench_e8_failures"
+  "bench_e8_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

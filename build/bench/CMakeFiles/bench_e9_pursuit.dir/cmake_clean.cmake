@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_pursuit.dir/bench_e9_pursuit.cpp.o"
+  "CMakeFiles/bench_e9_pursuit.dir/bench_e9_pursuit.cpp.o.d"
+  "bench_e9_pursuit"
+  "bench_e9_pursuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_pursuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_world.dir/custom_world.cpp.o"
+  "CMakeFiles/example_custom_world.dir/custom_world.cpp.o.d"
+  "example_custom_world"
+  "example_custom_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

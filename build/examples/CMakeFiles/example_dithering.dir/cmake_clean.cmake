@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dithering.dir/dithering.cpp.o"
+  "CMakeFiles/example_dithering.dir/dithering.cpp.o.d"
+  "example_dithering"
+  "example_dithering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dithering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

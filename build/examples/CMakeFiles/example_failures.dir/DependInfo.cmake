@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failures.cpp" "examples/CMakeFiles/example_failures.dir/failures.cpp.o" "gcc" "examples/CMakeFiles/example_failures.dir/failures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/vs_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ext/CMakeFiles/vs_ext.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/vs_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/vs_vsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/vs_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

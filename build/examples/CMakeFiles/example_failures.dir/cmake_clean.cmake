@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failures.dir/failures.cpp.o"
+  "CMakeFiles/example_failures.dir/failures.cpp.o.d"
+  "example_failures"
+  "example_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

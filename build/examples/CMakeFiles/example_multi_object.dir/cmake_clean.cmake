@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_object.dir/multi_object.cpp.o"
+  "CMakeFiles/example_multi_object.dir/multi_object.cpp.o.d"
+  "example_multi_object"
+  "example_multi_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pursuit.dir/pursuit.cpp.o"
+  "CMakeFiles/example_pursuit.dir/pursuit.cpp.o.d"
+  "example_pursuit"
+  "example_pursuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pursuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

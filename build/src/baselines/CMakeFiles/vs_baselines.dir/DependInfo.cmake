@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/expanding_ring.cpp" "src/baselines/CMakeFiles/vs_baselines.dir/expanding_ring.cpp.o" "gcc" "src/baselines/CMakeFiles/vs_baselines.dir/expanding_ring.cpp.o.d"
+  "/root/repo/src/baselines/location_service.cpp" "src/baselines/CMakeFiles/vs_baselines.dir/location_service.cpp.o" "gcc" "src/baselines/CMakeFiles/vs_baselines.dir/location_service.cpp.o.d"
+  "/root/repo/src/baselines/root_directory.cpp" "src/baselines/CMakeFiles/vs_baselines.dir/root_directory.cpp.o" "gcc" "src/baselines/CMakeFiles/vs_baselines.dir/root_directory.cpp.o.d"
+  "/root/repo/src/baselines/tree_directory.cpp" "src/baselines/CMakeFiles/vs_baselines.dir/tree_directory.cpp.o" "gcc" "src/baselines/CMakeFiles/vs_baselines.dir/tree_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/vs_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/vs_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/vs_vsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_baselines.dir/expanding_ring.cpp.o"
+  "CMakeFiles/vs_baselines.dir/expanding_ring.cpp.o.d"
+  "CMakeFiles/vs_baselines.dir/location_service.cpp.o"
+  "CMakeFiles/vs_baselines.dir/location_service.cpp.o.d"
+  "CMakeFiles/vs_baselines.dir/root_directory.cpp.o"
+  "CMakeFiles/vs_baselines.dir/root_directory.cpp.o.d"
+  "CMakeFiles/vs_baselines.dir/tree_directory.cpp.o"
+  "CMakeFiles/vs_baselines.dir/tree_directory.cpp.o.d"
+  "libvs_baselines.a"
+  "libvs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

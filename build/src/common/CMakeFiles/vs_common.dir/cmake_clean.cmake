@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_common.dir/error.cpp.o"
+  "CMakeFiles/vs_common.dir/error.cpp.o.d"
+  "CMakeFiles/vs_common.dir/log.cpp.o"
+  "CMakeFiles/vs_common.dir/log.cpp.o.d"
+  "CMakeFiles/vs_common.dir/rng.cpp.o"
+  "CMakeFiles/vs_common.dir/rng.cpp.o.d"
+  "libvs_common.a"
+  "libvs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_ext.dir/pursuit.cpp.o"
+  "CMakeFiles/vs_ext.dir/pursuit.cpp.o.d"
+  "CMakeFiles/vs_ext.dir/stabilizer.cpp.o"
+  "CMakeFiles/vs_ext.dir/stabilizer.cpp.o.d"
+  "libvs_ext.a"
+  "libvs_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

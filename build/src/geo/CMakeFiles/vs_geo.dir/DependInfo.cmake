@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid_tiling.cpp" "src/geo/CMakeFiles/vs_geo.dir/grid_tiling.cpp.o" "gcc" "src/geo/CMakeFiles/vs_geo.dir/grid_tiling.cpp.o.d"
+  "/root/repo/src/geo/strip_tiling.cpp" "src/geo/CMakeFiles/vs_geo.dir/strip_tiling.cpp.o" "gcc" "src/geo/CMakeFiles/vs_geo.dir/strip_tiling.cpp.o.d"
+  "/root/repo/src/geo/tiling.cpp" "src/geo/CMakeFiles/vs_geo.dir/tiling.cpp.o" "gcc" "src/geo/CMakeFiles/vs_geo.dir/tiling.cpp.o.d"
+  "/root/repo/src/geo/torus_tiling.cpp" "src/geo/CMakeFiles/vs_geo.dir/torus_tiling.cpp.o" "gcc" "src/geo/CMakeFiles/vs_geo.dir/torus_tiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_geo.dir/grid_tiling.cpp.o"
+  "CMakeFiles/vs_geo.dir/grid_tiling.cpp.o.d"
+  "CMakeFiles/vs_geo.dir/strip_tiling.cpp.o"
+  "CMakeFiles/vs_geo.dir/strip_tiling.cpp.o.d"
+  "CMakeFiles/vs_geo.dir/tiling.cpp.o"
+  "CMakeFiles/vs_geo.dir/tiling.cpp.o.d"
+  "CMakeFiles/vs_geo.dir/torus_tiling.cpp.o"
+  "CMakeFiles/vs_geo.dir/torus_tiling.cpp.o.d"
+  "libvs_geo.a"
+  "libvs_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

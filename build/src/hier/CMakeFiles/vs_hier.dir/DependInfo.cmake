@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/grid_hierarchy.cpp" "src/hier/CMakeFiles/vs_hier.dir/grid_hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/vs_hier.dir/grid_hierarchy.cpp.o.d"
+  "/root/repo/src/hier/hierarchy.cpp" "src/hier/CMakeFiles/vs_hier.dir/hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/vs_hier.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/hier/strip_hierarchy.cpp" "src/hier/CMakeFiles/vs_hier.dir/strip_hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/vs_hier.dir/strip_hierarchy.cpp.o.d"
+  "/root/repo/src/hier/torus_hierarchy.cpp" "src/hier/CMakeFiles/vs_hier.dir/torus_hierarchy.cpp.o" "gcc" "src/hier/CMakeFiles/vs_hier.dir/torus_hierarchy.cpp.o.d"
+  "/root/repo/src/hier/validator.cpp" "src/hier/CMakeFiles/vs_hier.dir/validator.cpp.o" "gcc" "src/hier/CMakeFiles/vs_hier.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_hier.dir/grid_hierarchy.cpp.o"
+  "CMakeFiles/vs_hier.dir/grid_hierarchy.cpp.o.d"
+  "CMakeFiles/vs_hier.dir/hierarchy.cpp.o"
+  "CMakeFiles/vs_hier.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/vs_hier.dir/strip_hierarchy.cpp.o"
+  "CMakeFiles/vs_hier.dir/strip_hierarchy.cpp.o.d"
+  "CMakeFiles/vs_hier.dir/torus_hierarchy.cpp.o"
+  "CMakeFiles/vs_hier.dir/torus_hierarchy.cpp.o.d"
+  "CMakeFiles/vs_hier.dir/validator.cpp.o"
+  "CMakeFiles/vs_hier.dir/validator.cpp.o.d"
+  "libvs_hier.a"
+  "libvs_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vs_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vs_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/vs_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vs_sim.dir/timer.cpp.o"
+  "CMakeFiles/vs_sim.dir/timer.cpp.o.d"
+  "libvs_sim.a"
+  "libvs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/atomic_spec.cpp" "src/spec/CMakeFiles/vs_spec.dir/atomic_spec.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/atomic_spec.cpp.o.d"
+  "/root/repo/src/spec/bounds.cpp" "src/spec/CMakeFiles/vs_spec.dir/bounds.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/bounds.cpp.o.d"
+  "/root/repo/src/spec/consistency.cpp" "src/spec/CMakeFiles/vs_spec.dir/consistency.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/consistency.cpp.o.d"
+  "/root/repo/src/spec/inspect.cpp" "src/spec/CMakeFiles/vs_spec.dir/inspect.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/inspect.cpp.o.d"
+  "/root/repo/src/spec/invariants.cpp" "src/spec/CMakeFiles/vs_spec.dir/invariants.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/invariants.cpp.o.d"
+  "/root/repo/src/spec/look_ahead.cpp" "src/spec/CMakeFiles/vs_spec.dir/look_ahead.cpp.o" "gcc" "src/spec/CMakeFiles/vs_spec.dir/look_ahead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/vs_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/vs_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/vs_vsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

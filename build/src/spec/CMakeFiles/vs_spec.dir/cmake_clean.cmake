@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_spec.dir/atomic_spec.cpp.o"
+  "CMakeFiles/vs_spec.dir/atomic_spec.cpp.o.d"
+  "CMakeFiles/vs_spec.dir/bounds.cpp.o"
+  "CMakeFiles/vs_spec.dir/bounds.cpp.o.d"
+  "CMakeFiles/vs_spec.dir/consistency.cpp.o"
+  "CMakeFiles/vs_spec.dir/consistency.cpp.o.d"
+  "CMakeFiles/vs_spec.dir/inspect.cpp.o"
+  "CMakeFiles/vs_spec.dir/inspect.cpp.o.d"
+  "CMakeFiles/vs_spec.dir/invariants.cpp.o"
+  "CMakeFiles/vs_spec.dir/invariants.cpp.o.d"
+  "CMakeFiles/vs_spec.dir/look_ahead.cpp.o"
+  "CMakeFiles/vs_spec.dir/look_ahead.cpp.o.d"
+  "libvs_spec.a"
+  "libvs_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvs_spec.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_stats.dir/counters.cpp.o"
+  "CMakeFiles/vs_stats.dir/counters.cpp.o.d"
+  "CMakeFiles/vs_stats.dir/summary.cpp.o"
+  "CMakeFiles/vs_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/vs_stats.dir/table.cpp.o"
+  "CMakeFiles/vs_stats.dir/table.cpp.o.d"
+  "libvs_stats.a"
+  "libvs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

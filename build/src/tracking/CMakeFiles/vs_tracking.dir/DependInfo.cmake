@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/config.cpp" "src/tracking/CMakeFiles/vs_tracking.dir/config.cpp.o" "gcc" "src/tracking/CMakeFiles/vs_tracking.dir/config.cpp.o.d"
+  "/root/repo/src/tracking/network.cpp" "src/tracking/CMakeFiles/vs_tracking.dir/network.cpp.o" "gcc" "src/tracking/CMakeFiles/vs_tracking.dir/network.cpp.o.d"
+  "/root/repo/src/tracking/snapshot.cpp" "src/tracking/CMakeFiles/vs_tracking.dir/snapshot.cpp.o" "gcc" "src/tracking/CMakeFiles/vs_tracking.dir/snapshot.cpp.o.d"
+  "/root/repo/src/tracking/tracker.cpp" "src/tracking/CMakeFiles/vs_tracking.dir/tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/vs_tracking.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/vs_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/vs_vsa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

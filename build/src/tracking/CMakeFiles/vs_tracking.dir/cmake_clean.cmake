@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_tracking.dir/config.cpp.o"
+  "CMakeFiles/vs_tracking.dir/config.cpp.o.d"
+  "CMakeFiles/vs_tracking.dir/network.cpp.o"
+  "CMakeFiles/vs_tracking.dir/network.cpp.o.d"
+  "CMakeFiles/vs_tracking.dir/snapshot.cpp.o"
+  "CMakeFiles/vs_tracking.dir/snapshot.cpp.o.d"
+  "CMakeFiles/vs_tracking.dir/tracker.cpp.o"
+  "CMakeFiles/vs_tracking.dir/tracker.cpp.o.d"
+  "libvs_tracking.a"
+  "libvs_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

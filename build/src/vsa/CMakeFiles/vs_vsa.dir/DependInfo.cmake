@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsa/cgcast.cpp" "src/vsa/CMakeFiles/vs_vsa.dir/cgcast.cpp.o" "gcc" "src/vsa/CMakeFiles/vs_vsa.dir/cgcast.cpp.o.d"
+  "/root/repo/src/vsa/client.cpp" "src/vsa/CMakeFiles/vs_vsa.dir/client.cpp.o" "gcc" "src/vsa/CMakeFiles/vs_vsa.dir/client.cpp.o.d"
+  "/root/repo/src/vsa/directory.cpp" "src/vsa/CMakeFiles/vs_vsa.dir/directory.cpp.o" "gcc" "src/vsa/CMakeFiles/vs_vsa.dir/directory.cpp.o.d"
+  "/root/repo/src/vsa/evader.cpp" "src/vsa/CMakeFiles/vs_vsa.dir/evader.cpp.o" "gcc" "src/vsa/CMakeFiles/vs_vsa.dir/evader.cpp.o.d"
+  "/root/repo/src/vsa/messages.cpp" "src/vsa/CMakeFiles/vs_vsa.dir/messages.cpp.o" "gcc" "src/vsa/CMakeFiles/vs_vsa.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/vs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/vs_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vs_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vs_vsa.dir/cgcast.cpp.o"
+  "CMakeFiles/vs_vsa.dir/cgcast.cpp.o.d"
+  "CMakeFiles/vs_vsa.dir/client.cpp.o"
+  "CMakeFiles/vs_vsa.dir/client.cpp.o.d"
+  "CMakeFiles/vs_vsa.dir/directory.cpp.o"
+  "CMakeFiles/vs_vsa.dir/directory.cpp.o.d"
+  "CMakeFiles/vs_vsa.dir/evader.cpp.o"
+  "CMakeFiles/vs_vsa.dir/evader.cpp.o.d"
+  "CMakeFiles/vs_vsa.dir/messages.cpp.o"
+  "CMakeFiles/vs_vsa.dir/messages.cpp.o.d"
+  "libvs_vsa.a"
+  "libvs_vsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vs_vsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_moves.dir/test_atomic_moves.cpp.o"
+  "CMakeFiles/test_atomic_moves.dir/test_atomic_moves.cpp.o.d"
+  "test_atomic_moves"
+  "test_atomic_moves.pdb"
+  "test_atomic_moves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgcast.dir/test_cgcast.cpp.o"
+  "CMakeFiles/test_cgcast.dir/test_cgcast.cpp.o.d"
+  "test_cgcast"
+  "test_cgcast.pdb"
+  "test_cgcast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

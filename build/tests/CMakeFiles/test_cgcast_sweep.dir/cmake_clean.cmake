@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cgcast_sweep.dir/test_cgcast_sweep.cpp.o"
+  "CMakeFiles/test_cgcast_sweep.dir/test_cgcast_sweep.cpp.o.d"
+  "test_cgcast_sweep"
+  "test_cgcast_sweep.pdb"
+  "test_cgcast_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cgcast_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

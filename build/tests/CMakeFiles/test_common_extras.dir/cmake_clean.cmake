@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common_extras.dir/test_common_extras.cpp.o"
+  "CMakeFiles/test_common_extras.dir/test_common_extras.cpp.o.d"
+  "test_common_extras"
+  "test_common_extras.pdb"
+  "test_common_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

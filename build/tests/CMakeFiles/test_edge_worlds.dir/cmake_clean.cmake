@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_worlds.dir/test_edge_worlds.cpp.o"
+  "CMakeFiles/test_edge_worlds.dir/test_edge_worlds.cpp.o.d"
+  "test_edge_worlds"
+  "test_edge_worlds.pdb"
+  "test_edge_worlds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_worlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

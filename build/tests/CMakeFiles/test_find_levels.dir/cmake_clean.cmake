@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_find_levels.dir/test_find_levels.cpp.o"
+  "CMakeFiles/test_find_levels.dir/test_find_levels.cpp.o.d"
+  "test_find_levels"
+  "test_find_levels.pdb"
+  "test_find_levels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_find_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_finds.dir/test_finds.cpp.o"
+  "CMakeFiles/test_finds.dir/test_finds.cpp.o.d"
+  "test_finds"
+  "test_finds.pdb"
+  "test_finds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_finds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_finds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_target.dir/test_multi_target.cpp.o"
+  "CMakeFiles/test_multi_target.dir/test_multi_target.cpp.o.d"
+  "test_multi_target"
+  "test_multi_target.pdb"
+  "test_multi_target[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pursuit.dir/test_pursuit.cpp.o"
+  "CMakeFiles/test_pursuit.dir/test_pursuit.cpp.o.d"
+  "test_pursuit"
+  "test_pursuit.pdb"
+  "test_pursuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pursuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_self_stabilization.dir/test_self_stabilization.cpp.o"
+  "CMakeFiles/test_self_stabilization.dir/test_self_stabilization.cpp.o.d"
+  "test_self_stabilization"
+  "test_self_stabilization.pdb"
+  "test_self_stabilization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_self_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

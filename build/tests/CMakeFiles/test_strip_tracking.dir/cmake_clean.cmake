@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strip_tracking.dir/test_strip_tracking.cpp.o"
+  "CMakeFiles/test_strip_tracking.dir/test_strip_tracking.cpp.o.d"
+  "test_strip_tracking"
+  "test_strip_tracking.pdb"
+  "test_strip_tracking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strip_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timer_policy.dir/test_timer_policy.cpp.o"
+  "CMakeFiles/test_timer_policy.dir/test_timer_policy.cpp.o.d"
+  "test_timer_policy"
+  "test_timer_policy.pdb"
+  "test_timer_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracker_unit.dir/test_tracker_unit.cpp.o"
+  "CMakeFiles/test_tracker_unit.dir/test_tracker_unit.cpp.o.d"
+  "test_tracker_unit"
+  "test_tracker_unit.pdb"
+  "test_tracker_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracker_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

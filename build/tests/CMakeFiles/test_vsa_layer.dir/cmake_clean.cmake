@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsa_layer.dir/test_vsa_layer.cpp.o"
+  "CMakeFiles/test_vsa_layer.dir/test_vsa_layer.cpp.o.d"
+  "test_vsa_layer"
+  "test_vsa_layer.pdb"
+  "test_vsa_layer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsa_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

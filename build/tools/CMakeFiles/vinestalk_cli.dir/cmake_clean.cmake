@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vinestalk_cli.dir/vinestalk_cli.cpp.o"
+  "CMakeFiles/vinestalk_cli.dir/vinestalk_cli.cpp.o.d"
+  "vinestalk_cli"
+  "vinestalk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vinestalk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
