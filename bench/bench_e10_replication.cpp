@@ -2,81 +2,107 @@
 // cluster processes buys failure resilience for a constant-factor work
 // overhead.
 //
-// For k replicas per cluster: (a) overhead — move work per step on a
-// failure-free random walk, relative to k = 1; (b) resilience — random
-// VSA failures are injected during a walk (no stabilizer running) and the
-// structure's consistency plus a final find are checked.
+// For k replicas per cluster (one independent trial per k): (a) overhead —
+// move work per step on a failure-free random walk, relative to k = 1;
+// (b) resilience — random VSA failures are injected during a walk (no
+// stabilizer running) and the structure's consistency plus a final find
+// are checked. The overhead column is normalised against the k = 1 row
+// after the parallel sweep joins.
+
+#include <array>
 
 #include "spec/consistency.hpp"
 
 #include "bench_util.hpp"
 
-int main() {
+namespace {
+
+using namespace vsbench;
+
+struct TrialResult {
+  double per_step = 0;
+  bool consistent = false;
+  bool find_ok = false;
+};
+
+TrialResult run_trial(int k) {
+  TrialResult out;
+  // (a) overhead, failure-free.
+  {
+    tracking::NetworkConfig cfg;
+    cfg.head_replicas = k;
+    GridNet g = make_grid(27, 3, cfg);
+    const RegionId start = g.at(13, 13);
+    const TargetId t = g.net->add_evader(start);
+    g.net->run_to_quiescence();
+    const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xEA);
+    const auto work0 = g.net->counters().move_work();
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      g.net->move_and_quiesce(t, walk[i]);
+    }
+    out.per_step =
+        static_cast<double>(g.net->counters().move_work() - work0) /
+        static_cast<double>(walk.size() - 1);
+  }
+
+  // (b) resilience under primary-head failures.
+  {
+    tracking::NetworkConfig cfg;
+    cfg.head_replicas = k;
+    cfg.model_vsa_failures = true;
+    cfg.t_restart = sim::Duration::millis(400);  // slow restarts: holes last
+    GridNet g = make_grid(27, 3, cfg);
+    const RegionId start = g.at(13, 13);
+    const TargetId t = g.net->add_evader(start);
+    g.net->run_to_quiescence();
+    Rng rng{0xEB};
+    const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xEC);
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      g.net->move_evader(t, walk[i]);
+      if (i % 5 == 0) {
+        const Level l = static_cast<Level>(
+            rng.uniform_int(1, g.hierarchy->max_level() - 1));
+        g.net->fail_vsa(
+            g.hierarchy->head(g.hierarchy->cluster_of(walk[i], l)));
+      }
+      g.net->run_for(sim::Duration::millis(100));
+    }
+    g.net->run_to_quiescence();
+    out.consistent =
+        vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
+    const FindId f = g.net->start_find(g.at(0, 0), t);
+    g.net->run_to_quiescence();
+    out.find_ok = g.net->find_result(f).done &&
+                  g.net->find_result(f).found_region == walk.back();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E10: replicated clusterheads (§VII quorum extension)",
          "claim: k-replication survives any failure pattern that leaves one\n"
          "       replica per cluster alive, at a constant-factor work "
          "overhead.\nworld: 27x27 base 3; 60-step walk; one random chain-VSA "
          "failure\nevery 5 steps; no stabilizer.");
 
+  constexpr std::array<int, 4> kReplicas{1, 2, 3, 5};
+  const auto results = sweep(opt, kReplicas.size(), [&](std::size_t trial) {
+    return run_trial(kReplicas[trial]);
+  });
+
   stats::Table table({"replicas", "move_w/step", "overhead_vs_k1",
                       "consistent_after_failures", "find_ok"});
-  double base_work = 0;
-  for (const int k : {1, 2, 3, 5}) {
-    // (a) overhead, failure-free.
-    double per_step = 0;
-    {
-      tracking::NetworkConfig cfg;
-      cfg.head_replicas = k;
-      GridNet g = make_grid(27, 3, cfg);
-      const RegionId start = g.at(13, 13);
-      const TargetId t = g.net->add_evader(start);
-      g.net->run_to_quiescence();
-      const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xEA);
-      const auto work0 = g.net->counters().move_work();
-      for (std::size_t i = 1; i < walk.size(); ++i) {
-        g.net->move_and_quiesce(t, walk[i]);
-      }
-      per_step = static_cast<double>(g.net->counters().move_work() - work0) /
-                 static_cast<double>(walk.size() - 1);
-      if (k == 1) base_work = per_step;
-    }
-
-    // (b) resilience under primary-head failures.
-    bool consistent = false, find_ok = false;
-    {
-      tracking::NetworkConfig cfg;
-      cfg.head_replicas = k;
-      cfg.model_vsa_failures = true;
-      cfg.t_restart = sim::Duration::millis(400);  // slow restarts: holes last
-      GridNet g = make_grid(27, 3, cfg);
-      const RegionId start = g.at(13, 13);
-      const TargetId t = g.net->add_evader(start);
-      g.net->run_to_quiescence();
-      Rng rng{0xEB};
-      const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xEC);
-      for (std::size_t i = 1; i < walk.size(); ++i) {
-        g.net->move_evader(t, walk[i]);
-        if (i % 5 == 0) {
-          const Level l = static_cast<Level>(
-              rng.uniform_int(1, g.hierarchy->max_level() - 1));
-          g.net->fail_vsa(
-              g.hierarchy->head(g.hierarchy->cluster_of(walk[i], l)));
-        }
-        g.net->run_for(sim::Duration::millis(100));
-      }
-      g.net->run_to_quiescence();
-      consistent =
-          vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
-      const FindId f = g.net->start_find(g.at(0, 0), t);
-      g.net->run_to_quiescence();
-      find_ok = g.net->find_result(f).done &&
-                g.net->find_result(f).found_region == walk.back();
-    }
-
-    table.add_row({std::int64_t{k}, per_step, per_step / base_work,
-                   std::string(consistent ? "yes" : "no"),
-                   std::string(find_ok ? "yes" : "no")});
+  const double base_work = results.front().per_step;
+  for (std::size_t i = 0; i < kReplicas.size(); ++i) {
+    const TrialResult& r = results[i];
+    table.add_row({std::int64_t{kReplicas[i]}, r.per_step,
+                   r.per_step / base_work,
+                   std::string(r.consistent ? "yes" : "no"),
+                   std::string(r.find_ok ? "yes" : "no")});
   }
   table.print(std::cout);
   std::cout << "\nshape check: overhead grows roughly linearly in k (quorum "

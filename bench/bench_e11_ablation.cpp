@@ -4,6 +4,9 @@
 //  (b) timer policy: inequality (1) fixes a *minimum* shrink slack; extra
 //      slack trades update latency for tolerance (and changes nothing
 //      else — work is timer-independent).
+// Each policy / slack multiple is an independent trial.
+
+#include <array>
 
 #include "hier/grid_hierarchy.hpp"
 
@@ -42,8 +45,9 @@ RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E11: design-choice ablations",
          "(a) clusterhead placement moves the message-distance constants;\n"
          "(b) shrink-timer slack trades settle latency, not work.\n"
@@ -51,29 +55,38 @@ int main() {
 
   std::cout << "-- (a) head placement --\n";
   {
-    stats::Table table(
-        {"policy", "move_w/step", "settle_ms/step", "find_work"});
     struct Named {
       const char* name;
       hier::HeadPolicy policy;
     };
-    for (const Named n : {Named{"center", hier::HeadPolicy::kCenter},
-                          Named{"min-corner", hier::HeadPolicy::kMinRegion},
-                          Named{"random", hier::HeadPolicy::kRandom}}) {
+    constexpr std::array<Named, 3> kPolicies{
+        Named{"center", hier::HeadPolicy::kCenter},
+        Named{"min-corner", hier::HeadPolicy::kMinRegion},
+        Named{"random", hier::HeadPolicy::kRandom}};
+    stats::Table table(
+        {"policy", "move_w/step", "settle_ms/step", "find_work"});
+    const auto rows = sweep(opt, kPolicies.size(), [&](std::size_t trial) {
+      const Named n = kPolicies[trial];
       hier::GridHierarchy h(81, 81, 3, n.policy, 17);
       const RunStats s = run(h, tracking::NetworkConfig{});
-      table.add_row({std::string(n.name), s.move_work_per_step,
-                     s.settle_ms_per_step, s.find_work});
-    }
+      return std::vector<stats::Table::Cell>{
+          std::string(n.name), s.move_work_per_step, s.settle_ms_per_step,
+          s.find_work};
+    });
+    for (const auto& row : rows) table.add_row(row);
     table.print(std::cout);
   }
 
   std::cout << "\n-- (b) shrink-timer slack (× the paper-default) --\n";
   {
+    constexpr std::array<int, 3> kSlacks{1, 2, 4};
     stats::Table table(
         {"slack_multiple", "move_w/step", "settle_ms/step", "find_work"});
-    hier::GridHierarchy h(81, 81, 3);
-    for (const int mult : {1, 2, 4}) {
+    const auto rows = sweep(opt, kSlacks.size(), [&](std::size_t trial) {
+      const int mult = kSlacks[trial];
+      // Per-trial hierarchy: the timer lambdas below capture it, and
+      // trials must not share captured state across threads.
+      hier::GridHierarchy h(81, 81, 3);
       tracking::NetworkConfig cfg;
       tracking::TimerPolicy timers;
       const auto de = cfg.cgcast.delta + cfg.cgcast.e;
@@ -83,9 +96,11 @@ int main() {
       };
       cfg.timers = timers;
       const RunStats s = run(h, std::move(cfg));
-      table.add_row({std::int64_t{mult}, s.move_work_per_step,
-                     s.settle_ms_per_step, s.find_work});
-    }
+      return std::vector<stats::Table::Cell>{
+          std::int64_t{mult}, s.move_work_per_step, s.settle_ms_per_step,
+          s.find_work};
+    });
+    for (const auto& row : rows) table.add_row(row);
     table.print(std::cout);
   }
 

@@ -3,7 +3,10 @@
 // The paper's C-gcast is reliable; this bench measures graceful (or not)
 // degradation when messages are lost uniformly at random, with and without
 // the §VII heartbeat stabilizer: structure consistency after a walk, find
-// success, and the repair traffic spent.
+// success, and the repair traffic spent. Each (loss rate, stabilizer)
+// combination is an independent trial.
+
+#include <array>
 
 #include "ext/stabilizer.hpp"
 #include "spec/consistency.hpp"
@@ -68,24 +71,29 @@ Outcome run(double loss, bool stabilize) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E12: channel-loss fault injection",
          "claim: under lossy channels the bare protocol degrades (stale\n"
          "       pointers accumulate) while heartbeat repair restores a\n"
          "       consistent, serviceable structure.\n"
          "world: 27x27 base 3; 80-step walk; 10 post-walk finds.");
 
+  constexpr std::array<double, 4> kLoss{0.0, 0.01, 0.03, 0.08};
   stats::Table table({"loss_%", "stabilizer", "msgs_lost", "repair_msgs",
                       "consistent", "finds_ok/10"});
-  for (const double loss : {0.0, 0.01, 0.03, 0.08}) {
-    for (const bool stabilize : {false, true}) {
-      const Outcome o = run(loss, stabilize);
-      table.add_row({loss * 100.0, std::string(stabilize ? "on" : "off"),
-                     o.lost, o.repairs, std::string(o.consistent ? "yes" : "no"),
-                     std::int64_t{o.finds_ok}});
-    }
-  }
+  // Trial 2i: loss[i] without stabilizer; trial 2i+1: with.
+  const auto rows = sweep(opt, kLoss.size() * 2, [&](std::size_t trial) {
+    const double loss = kLoss[trial / 2];
+    const bool stabilize = trial % 2 == 1;
+    const Outcome o = run(loss, stabilize);
+    return std::vector<stats::Table::Cell>{
+        loss * 100.0, std::string(stabilize ? "on" : "off"), o.lost,
+        o.repairs, std::string(o.consistent ? "yes" : "no"),
+        std::int64_t{o.finds_ok}};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: loss 0 is perfect either way; with loss > 0 "
                "the bare run loses consistency and finds, while the "

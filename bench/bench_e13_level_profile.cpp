@@ -1,59 +1,81 @@
 // E13 — the per-level anatomy of Theorem 4.9: a level-l pointer updates at
 // most once every q(l−1) steps, so per-step message counts at level l must
 // fall off like 1/q(l−1) — the geometric decay that makes the total
-// O(r·log_r D) instead of O(D).
+// O(r·log_r D) instead of O(D). The two traffic patterns (random walk,
+// waypoint) are independent trials run concurrently.
+
+#include <string>
 
 #include "bench_util.hpp"
 
-int main() {
+namespace {
+
+using namespace vsbench;
+
+struct Profile {
+  std::string heading;
+  stats::Table table;
+};
+
+Profile run_profile(bool directed) {
+  GridNet g = make_grid(243, 3);
+  const RegionId start = g.at(121, 121);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+
+  const auto& h = *g.hierarchy;
+  std::vector<std::int64_t> msgs_before, work_before;
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    msgs_before.push_back(g.net->counters().messages_at_level(l));
+    work_before.push_back(g.net->counters().work_at_level(l));
+  }
+
+  const int steps = 1200;
+  vsa::RandomWalkMover walk_mover(h.tiling(), 0xE13);
+  vsa::WaypointMover way_mover(g.hierarchy->grid(), 0xE13);
+  RegionId cur = start;
+  for (int i = 0; i < steps; ++i) {
+    cur = directed ? way_mover.next(cur) : walk_mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+
+  Profile p{directed ? "-- waypoint (directed travel) --"
+                     : "-- random walk (meandering) --",
+            stats::Table({"level", "q(l-1)", "msgs/step", "work/step",
+                          "msgs*q(l-1)/step"})};
+  for (Level l = 0; l <= h.max_level(); ++l) {
+    const double msgs =
+        static_cast<double>(g.net->counters().messages_at_level(l) -
+                            msgs_before[static_cast<std::size_t>(l)]) /
+        steps;
+    const double work =
+        static_cast<double>(g.net->counters().work_at_level(l) -
+                            work_before[static_cast<std::size_t>(l)]) /
+        steps;
+    const std::int64_t q_below = l == 0 ? 1 : h.q(l - 1);
+    p.table.add_row({std::int64_t{l}, q_below, msgs, work,
+                     msgs * static_cast<double>(q_below)});
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E13: per-level update profile (Theorem 4.9's amortisation)",
          "claim: move messages at level l per unit distance decay like\n"
          "       1/q(l−1): each level filters all but boundary crossings.\n"
          "world: 243x243 base 3; 1200 steps; random-walk vs waypoint traffic.");
 
-  for (const bool directed : {false, true}) {
-    GridNet g = make_grid(243, 3);
-    const RegionId start = g.at(121, 121);
-    const TargetId t = g.net->add_evader(start);
-    g.net->run_to_quiescence();
-
-    const auto& h = *g.hierarchy;
-    std::vector<std::int64_t> msgs_before, work_before;
-    for (Level l = 0; l <= h.max_level(); ++l) {
-      msgs_before.push_back(g.net->counters().messages_at_level(l));
-      work_before.push_back(g.net->counters().work_at_level(l));
-    }
-
-    const int steps = 1200;
-    vsa::RandomWalkMover walk_mover(h.tiling(), 0xE13);
-    vsa::WaypointMover way_mover(g.hierarchy->grid(), 0xE13);
-    RegionId cur = start;
-    for (int i = 0; i < steps; ++i) {
-      cur = directed ? way_mover.next(cur) : walk_mover.next(cur);
-      g.net->move_evader(t, cur);
-      g.net->run_to_quiescence();
-    }
-
-    std::cout << (directed ? "-- waypoint (directed travel) --"
-                           : "-- random walk (meandering) --")
-              << "\n";
-    stats::Table table({"level", "q(l-1)", "msgs/step", "work/step",
-                        "msgs*q(l-1)/step"});
-    for (Level l = 0; l <= h.max_level(); ++l) {
-      const double msgs =
-          static_cast<double>(g.net->counters().messages_at_level(l) -
-                              msgs_before[static_cast<std::size_t>(l)]) /
-          steps;
-      const double work =
-          static_cast<double>(g.net->counters().work_at_level(l) -
-                              work_before[static_cast<std::size_t>(l)]) /
-          steps;
-      const std::int64_t q_below = l == 0 ? 1 : h.q(l - 1);
-      table.add_row({std::int64_t{l}, q_below, msgs, work,
-                     msgs * static_cast<double>(q_below)});
-    }
-    table.print(std::cout);
+  const auto profiles = sweep(opt, 2, [](std::size_t trial) {
+    return run_profile(/*directed=*/trial == 1);
+  });
+  for (const auto& p : profiles) {
+    std::cout << p.heading << "\n";
+    p.table.print(std::cout);
     std::cout << "\n";
   }
   std::cout << "shape check: msgs/step decays at least as fast as the "

@@ -5,6 +5,11 @@
 // Corruption draws random values from the Figure 2 variable domains for a
 // fraction of all Trackers (the adversarial-start model); the heartbeat
 // stabilizer then ticks until the §IV-C consistency predicate holds.
+// Every (fraction, seed) pair is an independent trial — 25 worlds run
+// concurrently — and the per-fraction worst case is folded at join.
+
+#include <algorithm>
+#include <array>
 
 #include "ext/stabilizer.hpp"
 #include "spec/consistency.hpp"
@@ -48,44 +53,65 @@ void corrupt_fraction(GridNet& g, TargetId t, double fraction,
   }
 }
 
+struct TrialResult {
+  int ticks = 0;
+  std::int64_t repairs = 0;
+  bool converged = false;
+};
+
+TrialResult run_trial(double fraction, std::uint64_t seed) {
+  GridNet g = make_grid(27, 3);
+  const RegionId where = g.at(13, 13);
+  const TargetId t = g.net->add_evader(where);
+  g.net->run_to_quiescence();
+  corrupt_fraction(g, t, fraction, 0xE14 + seed);
+
+  ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
+  TrialResult out;
+  out.converged = vs::spec::check_consistent(g.net->snapshot(t), where).ok();
+  while (!out.converged && out.ticks < 40) {
+    stab.tick_once();
+    g.net->run_to_quiescence();
+    ++out.ticks;
+    out.converged =
+        vs::spec::check_consistent(g.net->snapshot(t), where).ok();
+  }
+  out.repairs = stab.repairs();
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E14: self-stabilization convergence (§VII)",
          "claim: heartbeat repair converges from arbitrary (domain-valid)\n"
          "       corruption; rounds and traffic scale with the damage.\n"
          "world: 27x27 base 3; 5 seeds per fraction, worst case reported.");
 
+  constexpr std::array<double, 5> kFractions{0.1, 0.25, 0.5, 0.75, 1.0};
+  constexpr std::size_t kSeeds = 5;
+  const auto results =
+      sweep(opt, kFractions.size() * kSeeds, [&](std::size_t trial) {
+        const double fraction = kFractions[trial / kSeeds];
+        const std::uint64_t seed = trial % kSeeds + 1;
+        return run_trial(fraction, seed);
+      });
+
   stats::Table table({"corrupt_%", "max_ticks_to_consistent",
                       "max_repair_msgs", "all_converged"});
-  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+  for (std::size_t fi = 0; fi < kFractions.size(); ++fi) {
     int worst_ticks = 0;
     std::int64_t worst_repairs = 0;
     bool all_ok = true;
-    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      GridNet g = make_grid(27, 3);
-      const RegionId where = g.at(13, 13);
-      const TargetId t = g.net->add_evader(where);
-      g.net->run_to_quiescence();
-      corrupt_fraction(g, t, fraction, 0xE14 + seed);
-
-      ext::Stabilizer stab(*g.net, t, sim::Duration::millis(500));
-      bool converged =
-          vs::spec::check_consistent(g.net->snapshot(t), where).ok();
-      int ticks = 0;
-      while (!converged && ticks < 40) {
-        stab.tick_once();
-        g.net->run_to_quiescence();
-        ++ticks;
-        converged =
-            vs::spec::check_consistent(g.net->snapshot(t), where).ok();
-      }
-      all_ok = all_ok && converged;
-      worst_ticks = std::max(worst_ticks, ticks);
-      worst_repairs = std::max(worst_repairs, stab.repairs());
+    for (std::size_t s = 0; s < kSeeds; ++s) {
+      const TrialResult& r = results[fi * kSeeds + s];
+      all_ok = all_ok && r.converged;
+      worst_ticks = std::max(worst_ticks, r.ticks);
+      worst_repairs = std::max(worst_repairs, r.repairs);
     }
-    table.add_row({fraction * 100.0, std::int64_t{worst_ticks},
+    table.add_row({kFractions[fi] * 100.0, std::int64_t{worst_ticks},
                    worst_repairs, std::string(all_ok ? "yes" : "no")});
   }
   table.print(std::cout);

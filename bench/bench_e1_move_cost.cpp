@@ -6,6 +6,7 @@
 // count, and virtual time are reported per unit distance. The per-distance
 // columns must stay flat (amortised O(1)·r·log_r D per step), near the
 // printed theory scale r·log_r(D+1) = 3·5 = 15 times a small constant.
+// The two evader worlds are independent trials and run concurrently.
 
 #include "bench_util.hpp"
 #include "spec/bounds.hpp"
@@ -15,8 +16,8 @@ namespace {
 
 using namespace vsbench;
 
-void run_series(const char* label, vsa::Mover& mover, GridNet& g,
-                TargetId t, RegionId start) {
+stats::Table run_series(const char* label, vsa::Mover& mover, GridNet& g,
+                        TargetId t, RegionId start) {
   const double bound = vs::spec::move_work_bound_per_step(*g.hierarchy);
   stats::Table table({"evader", "steps(d)", "move_work", "work/d",
                       "thm4.9_bound", "msgs/d", "virtual_ms/d"});
@@ -41,32 +42,32 @@ void run_series(const char* label, vsa::Mover& mover, GridNet& g,
          static_cast<double>(g.net->counters().move_messages() - msgs0) / d,
          static_cast<double>((g.net->now() - t0).count()) / d / 1000.0});
   }
-  table.print(std::cout);
-  std::cout << '\n';
+  return table;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = parse_bench_args(argc, argv);
   banner("E1: amortised move cost (Theorem 4.9, grid corollary)",
          "claim: work/d and time/d are O(r·log_r D) — flat in d.\n"
          "world: 243x243 base 3, D = 242, MAX = 5, r·log_r(D+1) = 15.");
 
-  {
+  const auto tables = sweep(opt, 2, [](std::size_t trial) {
     GridNet g = make_grid(243, 3);
     const RegionId start = g.at(121, 121);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
-    vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1A);
-    run_series("random-walk", mover, g, t, start);
-  }
-  {
-    GridNet g = make_grid(243, 3);
-    const RegionId start = g.at(121, 121);
-    const TargetId t = g.net->add_evader(start);
-    g.net->run_to_quiescence();
+    if (trial == 0) {
+      vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1A);
+      return run_series("random-walk", mover, g, t, start);
+    }
     vsa::WaypointMover mover(g.hierarchy->grid(), 0xE1B);
-    run_series("waypoint", mover, g, t, start);
+    return run_series("waypoint", mover, g, t, start);
+  });
+  for (const auto& table : tables) {
+    table.print(std::cout);
+    std::cout << '\n';
   }
 
   std::cout << "shape check: work/d flat (amortised), modest multiple of "

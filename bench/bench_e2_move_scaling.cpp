@@ -3,21 +3,27 @@
 // diameter), not like D.
 //
 // The same 60-step random walk (same seed ⇒ same offsets) runs at the
-// centre of worlds of side 9..243; the per-step work column should grow by
-// a roughly constant increment per row (each row adds one level), and the
-// work/(r·log_r D) column should stay near-constant.
+// centre of worlds of side 9..243 — one independent trial per world size —
+// and the per-step work column should grow by a roughly constant increment
+// per row (each row adds one level), while the work/(r·log_r D) column
+// stays near-constant.
+
+#include <array>
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E2: move cost vs network diameter (Theorem 4.9)",
          "claim: per-step move work ∝ log D for a fixed walk.\n"
          "series: side 9..243 base 3; same relative 60-step walk.");
 
+  constexpr std::array<int, 4> kSides{9, 27, 81, 243};
   stats::Table table({"side", "D", "MAX", "work/step", "msgs/step",
                       "work/step/(r*logD)"});
-  for (const int side : {9, 27, 81, 243}) {
+  const auto rows = sweep(opt, kSides.size(), [&](std::size_t trial) {
+    const int side = kSides[trial];
     GridNet g = make_grid(side, 3);
     const int mid = side / 2;
     const RegionId start = g.at(mid, mid);
@@ -38,14 +44,14 @@ int main() {
         static_cast<double>(g.net->counters().move_work() - work0) / steps;
     const double scale =
         3.0 * static_cast<double>(g.hierarchy->max_level());  // r·log_r(D+1)
-    table.add_row({std::int64_t{side},
-                   std::int64_t{g.hierarchy->tiling().diameter()},
-                   std::int64_t{g.hierarchy->max_level()}, per_step,
-                   static_cast<double>(g.net->counters().move_messages() -
-                                       msgs0) /
-                       steps,
-                   per_step / scale});
-  }
+    return std::vector<stats::Table::Cell>{
+        std::int64_t{side}, std::int64_t{g.hierarchy->tiling().diameter()},
+        std::int64_t{g.hierarchy->max_level()}, per_step,
+        static_cast<double>(g.net->counters().move_messages() - msgs0) /
+            steps,
+        per_step / scale};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: work/step is bounded by a small multiple of "
                "r·log_r D and *saturates* as D grows — a 60-step walk "

@@ -2,27 +2,33 @@
 // evader costs O(d) work and O(d·(δ+e)) time.
 //
 // Finds are issued from increasing distances on a 243×243 base-3 grid in a
-// consistent state; the work/d and latency/d columns must flatten out
-// (linear regime) rather than grow (which would indicate the quadratic
-// flooding regime) — compare bench_e5's ExpandingRing column.
+// consistent state; each distance is an independent trial (fresh quiesced
+// world — the structure is identical in each, so rows match the serial
+// run). The work/d and latency/d columns must flatten out (linear regime)
+// rather than grow (which would indicate the quadratic flooding regime) —
+// compare bench_e5's ExpandingRing column.
+
+#include <array>
 
 #include "bench_util.hpp"
 #include "spec/bounds.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E3: find cost vs distance (Theorem 5.2, grid corollary)",
          "claim: find work O(d), find time O(d(δ+e)).\n"
          "world: 243x243 base 3; evader at centre; δ+e = 2ms.");
 
-  GridNet g = make_grid(243, 3);
-  const RegionId where = g.at(121, 121);
-  const TargetId t = g.net->add_evader(where);
-  g.net->run_to_quiescence();
-
+  constexpr std::array<int, 9> kDistances{1, 2, 4, 8, 16, 32, 64, 100, 120};
   stats::Table table({"d", "find_work", "thm5.2_bound", "work/d", "find_msgs",
                       "latency_ms", "latency_ms/d"});
-  for (const int d : {1, 2, 4, 8, 16, 32, 64, 100, 120}) {
+  const auto rows = sweep(opt, kDistances.size(), [&](std::size_t trial) {
+    const int d = kDistances[trial];
+    GridNet g = make_grid(243, 3);
+    const RegionId where = g.at(121, 121);
+    const TargetId t = g.net->add_evader(where);
+    g.net->run_to_quiescence();
     // Average over four directions to smooth head-placement effects.
     std::int64_t work = 0, msgs = 0, latency_us = 0;
     const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {1, 1}};
@@ -35,12 +41,14 @@ int main() {
       msgs += r.messages;
       latency_us += r.latency().count();
     }
-    table.add_row({std::int64_t{d}, work / 4,
-                   vs::spec::find_work_bound(*g.hierarchy, d),
-                   static_cast<double>(work) / 4.0 / d, msgs / 4,
-                   static_cast<double>(latency_us) / 4000.0,
-                   static_cast<double>(latency_us) / 4000.0 / d});
-  }
+    return std::vector<stats::Table::Cell>{
+        std::int64_t{d}, work / 4,
+        vs::spec::find_work_bound(*g.hierarchy, d),
+        static_cast<double>(work) / 4.0 / d, msgs / 4,
+        static_cast<double>(latency_us) / 4000.0,
+        static_cast<double>(latency_us) / 4000.0 / d};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: work/d and latency/d converge to a constant "
                "(linear in d), no quadratic blow-up.\n";

@@ -5,7 +5,10 @@
 //
 // For every boundary level k of an 81×81 base-3 grid, 60 oscillation steps
 // are run under (a) VINESTALK, (b) the NoLateral variant (STALK-restricted,
-// same DES), and (c) the TreeDirectory analytic baseline.
+// same DES), and (c) the TreeDirectory analytic baseline. Each boundary
+// level is one independent trial.
+
+#include <array>
 
 #include "baselines/tree_directory.hpp"
 #include "bench_util.hpp"
@@ -49,8 +52,9 @@ double tree_dither_cost(const hier::GridHierarchy& h, int boundary_x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E4: dithering across level-k boundaries (§IV-B)",
          "claim: lateral links make boundary oscillation O(1)/step;\n"
          "       parent-only schemes pay work growing with the boundary "
@@ -58,21 +62,25 @@ int main() {
 
   const int side = 81;
   const int steps = 60;
-  hier::GridHierarchy h(side, side, 3);
+  const hier::GridHierarchy h(side, side, 3);
 
   stats::Table table({"boundary_level", "x", "vinestalk_w/step",
                       "no_lateral_w/step", "tree_dir_w/step",
                       "no_lateral/vinestalk"});
   // x = 39 is a level-1 boundary (3 | 39, 9 ∤ 39), x = 36 level-2,
   // x = 27 level-3 — the highest interior boundary of an 81-world.
-  const int boundaries[3][2] = {{1, 39}, {2, 36}, {3, 27}};
-  for (const auto& [k, x] : boundaries) {
+  constexpr std::array<std::array<int, 2>, 3> kBoundaries{
+      {{1, 39}, {2, 36}, {3, 27}}};
+  const auto rows = sweep(opt, kBoundaries.size(), [&](std::size_t trial) {
+    const auto [k, x] = kBoundaries[trial];
     const double vine = des_dither_cost(true, side, x, steps);
     const double no_lat = des_dither_cost(false, side, x, steps);
     const double tree = tree_dither_cost(h, x, side, steps);
-    table.add_row({std::int64_t{k}, std::int64_t{x}, vine, no_lat, tree,
-                   no_lat / vine});
-  }
+    return std::vector<stats::Table::Cell>{std::int64_t{k}, std::int64_t{x},
+                                           vine, no_lat, tree,
+                                           no_lat / vine};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: vinestalk column flat in k; no_lateral and "
                "tree_dir grow with k (Θ(3^k)).\n";

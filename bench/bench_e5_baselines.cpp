@@ -7,6 +7,11 @@
 // ExpandingRing is unbeatable on moves but pays Θ(d²) finds — VINESTALK is
 // the only scheme cheap on both sides, and the find-heavy column shows the
 // crossover where structure maintenance pays for itself.
+//
+// The three regime-(a) mixes and the regime-(b) adversarial workload are
+// four independent trials run concurrently.
+
+#include <array>
 
 #include "baselines/expanding_ring.hpp"
 #include "baselines/root_directory.hpp"
@@ -77,12 +82,14 @@ Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w) {
   return c;
 }
 
-}  // namespace
+stats::Table mix_table() {
+  return stats::Table(
+      {"find_every", "scheme", "move_work", "find_work", "total_work"});
+}
 
-namespace {
-
-void run_mix(const hier::GridHierarchy& h, const Workload& w,
-             std::int64_t key, stats::Table& table) {
+stats::Table run_mix(const hier::GridHierarchy& h, const Workload& w,
+                     std::int64_t key) {
+  stats::Table table = mix_table();
   const Cost vine = run_vinestalk(h, w);
   table.add_row({key, std::string("VINESTALK"), vine.move_work,
                  vine.find_work, vine.total()});
@@ -98,12 +105,33 @@ void run_mix(const hier::GridHierarchy& h, const Workload& w,
   const Cost gc = run_model(ring, w);
   table.add_row({key, std::string("ExpandingRing"), gc.move_work,
                  gc.find_work, gc.total()});
+  return table;
+}
+
+stats::Table run_adversarial() {
+  hier::GridHierarchy h(243, 243, 3);
+  Workload w;
+  const RegionId a = h.grid().region_at(80, 121);
+  const RegionId b = h.grid().region_at(81, 121);
+  w.walk.push_back(a);
+  Rng rng{0xE5B};
+  for (int i = 1; i <= 120; ++i) w.walk.push_back(i % 2 == 1 ? b : a);
+  w.find_after.assign(w.walk.size(), 0);
+  for (std::size_t i = 3; i < w.walk.size(); i += 3) {
+    w.find_after[i] = 1;
+    // Origin within distance 5, on the far side of the boundary.
+    w.find_from.push_back(h.grid().region_at(
+        76 + static_cast<int>(rng.uniform_int(0, 3)),
+        119 + static_cast<int>(rng.uniform_int(0, 4))));
+  }
+  return run_mix(h, w, 3);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E5: mixed workloads vs baselines (§I comparison)",
          "Two regimes. (a) benign: small world, random walk, random finds —\n"
          "idealised baselines (1 msg/op, no notifications, no timers) can\n"
@@ -113,45 +141,30 @@ int main() {
          "TreeDirectory dithers, RootDirectory pays Θ(D)/op and\n"
          "ExpandingRing explodes with find density.");
 
-  {
-    std::cout << "-- regime (a): 81x81, 120-step random walk, random-origin "
-                 "finds --\n";
+  constexpr std::array<int, 3> kFindEvery{10, 3, 1};
+  // Trials 0-2: regime (a) mixes. Trial 3: the regime (b) workload.
+  auto tables = sweep(opt, kFindEvery.size() + 1, [&](std::size_t trial) {
+    if (trial == kFindEvery.size()) return run_adversarial();
+    const int find_every = kFindEvery[trial];
     hier::GridHierarchy h(81, 81, 3);
-    stats::Table table({"find_every", "scheme", "move_work", "find_work",
-                        "total_work"});
-    for (const int find_every : {10, 3, 1}) {
-      const Workload w = make_workload(
-          h.tiling(), h.grid().region_at(40, 40), 120, find_every,
-          0xE5 + static_cast<std::uint64_t>(find_every));
-      run_mix(h, w, find_every, table);
-    }
-    table.print(std::cout);
-  }
+    const Workload w = make_workload(
+        h.tiling(), h.grid().region_at(40, 40), 120, find_every,
+        0xE5 + static_cast<std::uint64_t>(find_every));
+    return run_mix(h, w, find_every);
+  });
 
-  {
-    std::cout << "\n-- regime (b): 243x243, dithering across the level-4 "
-                 "boundary (x = 80|81),\n   finds every 3 steps from ≤ 5 "
-                 "regions away (across the same boundary) --\n";
-    hier::GridHierarchy h(243, 243, 3);
-    Workload w;
-    const RegionId a = h.grid().region_at(80, 121);
-    const RegionId b = h.grid().region_at(81, 121);
-    w.walk.push_back(a);
-    Rng rng{0xE5B};
-    for (int i = 1; i <= 120; ++i) w.walk.push_back(i % 2 == 1 ? b : a);
-    w.find_after.assign(w.walk.size(), 0);
-    for (std::size_t i = 3; i < w.walk.size(); i += 3) {
-      w.find_after[i] = 1;
-      // Origin within distance 5, on the far side of the boundary.
-      w.find_from.push_back(h.grid().region_at(
-          76 + static_cast<int>(rng.uniform_int(0, 3)),
-          119 + static_cast<int>(rng.uniform_int(0, 4))));
-    }
-    stats::Table table({"find_every", "scheme", "move_work", "find_work",
-                        "total_work"});
-    run_mix(h, w, 3, table);
-    table.print(std::cout);
+  std::cout << "-- regime (a): 81x81, 120-step random walk, random-origin "
+               "finds --\n";
+  stats::Table regime_a = mix_table();
+  for (std::size_t i = 0; i < kFindEvery.size(); ++i) {
+    regime_a.append(std::move(tables[i]));
   }
+  regime_a.print(std::cout);
+
+  std::cout << "\n-- regime (b): 243x243, dithering across the level-4 "
+               "boundary (x = 80|81),\n   finds every 3 steps from ≤ 5 "
+               "regions away (across the same boundary) --\n";
+  tables.back().print(std::cout);
 
   std::cout << "\nshape check: in regime (b) VINESTALK's total is the "
                "smallest by a wide margin — locality under dithering is "

@@ -2,25 +2,31 @@
 // so larger bases mean fewer levels but costlier per-level updates.
 //
 // The same workload runs on comparable worlds (side ≈ 64-81) with base
-// r ∈ {2, 3, 4, 8}; the bench reports move work per step, find work at a
-// fixed distance, and the theory scale r·log_r D for comparison.
+// r ∈ {2, 3, 4, 8} — one independent trial per base; the bench reports
+// move work per step, find work at a fixed distance, and the theory scale
+// r·log_r D for comparison.
+
+#include <array>
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E6: effect of the grid base r (Theorem 4.9 corollary)",
          "claim: move work/step tracks r·log_r D — small r favours moves;\n"
          "       find cost stays O(d) for every r.");
 
-  stats::Table table({"base", "side", "MAX", "r*logD", "move_w/step",
-                      "move/scale", "find_w(d=20)"});
   struct World {
     int base;
     int side;
   };
-  for (const World w : {World{2, 64}, World{3, 81}, World{4, 64},
-                        World{8, 64}}) {
+  constexpr std::array<World, 4> kWorlds{
+      World{2, 64}, World{3, 81}, World{4, 64}, World{8, 64}};
+  stats::Table table({"base", "side", "MAX", "r*logD", "move_w/step",
+                      "move/scale", "find_w(d=20)"});
+  const auto rows = sweep(opt, kWorlds.size(), [&](std::size_t trial) {
+    const World w = kWorlds[trial];
     GridNet g = make_grid(w.side, w.base);
     const int mid = w.side / 2;
     const RegionId start = g.at(mid, mid);
@@ -46,10 +52,12 @@ int main() {
 
     const double scale = static_cast<double>(w.base) *
                          static_cast<double>(g.hierarchy->max_level());
-    table.add_row({std::int64_t{w.base}, std::int64_t{w.side},
-                   std::int64_t{g.hierarchy->max_level()}, scale, per_step,
-                   per_step / scale, g.net->find_result(f).work});
-  }
+    return std::vector<stats::Table::Cell>{
+        std::int64_t{w.base}, std::int64_t{w.side},
+        std::int64_t{g.hierarchy->max_level()}, scale, per_step,
+        per_step / scale, g.net->find_result(f).work};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: move/scale roughly constant across bases "
                "(work ∝ r·log_r D); find work stays O(d) for all r.\n";

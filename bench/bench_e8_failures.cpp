@@ -1,28 +1,33 @@
 // E8a — §VII robustness: VSA failures/restarts with the heartbeat-style
 // stabilizer.
 //
-// Per failure rate: random VSAs are failed during a random walk (clients
-// stay, so each VSA restarts from its initial state after t_restart,
-// leaving holes in the tracking structure). The stabilizer ticks
-// periodically. Reported: repair messages injected, message drops, find
-// success after the dust settles, and whether the final state is a
-// consistent tracking structure.
+// Per failure rate (one independent trial each): random VSAs are failed
+// during a random walk (clients stay, so each VSA restarts from its
+// initial state after t_restart, leaving holes in the tracking structure).
+// The stabilizer ticks periodically. Reported: repair messages injected,
+// message drops, find success after the dust settles, and whether the
+// final state is a consistent tracking structure.
+
+#include <array>
 
 #include "ext/stabilizer.hpp"
 #include "spec/consistency.hpp"
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E8a: VSA failures + stabilizer (§VII self-stabilization sketch)",
          "claim: heartbeat-style repair restores a consistent structure\n"
          "       after arbitrary VSA resets, at cost ∝ damage.\n"
          "world: 27x27 base 3; 80-step walk; t_restart = 4ms.");
 
+  constexpr std::array<int, 5> kFailEvery{0, 20, 10, 5, 2};
   stats::Table table({"fail_every_n_steps", "failures", "drops",
                       "repair_msgs", "consistent_at_end", "find_ok"});
-  for (const int fail_every : {0, 20, 10, 5, 2}) {
+  const auto rows = sweep(opt, kFailEvery.size(), [&](std::size_t trial) {
+    const int fail_every = kFailEvery[trial];
     tracking::NetworkConfig cfg;
     cfg.model_vsa_failures = true;
     cfg.t_restart = sim::Duration::millis(4);
@@ -61,11 +66,13 @@ int main() {
         g.net->find_result(f).done &&
         g.net->find_result(f).found_region == walk.back();
 
-    table.add_row({std::int64_t{fail_every},
-                   g.net->directory()->failures(), g.net->cgcast().dropped(),
-                   stab.repairs(), std::string(consistent ? "yes" : "no"),
-                   std::string(find_ok ? "yes" : "no")});
-  }
+    return std::vector<stats::Table::Cell>{
+        std::int64_t{fail_every}, g.net->directory()->failures(),
+        g.net->cgcast().dropped(), stab.repairs(),
+        std::string(consistent ? "yes" : "no"),
+        std::string(find_ok ? "yes" : "no")};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: find_ok = yes at every failure rate; repair "
                "traffic scales with the number of failures.\n";

@@ -1,11 +1,13 @@
 // E8b — §VII coordinated pursuit: command-center assignment of finders to
 // targets "to eliminate as much overlap in pursuit as possible".
 //
-// Sweep (pursuers × evaders) on a 27×27 world; evaders random-walk,
-// pursuers move 2 regions per round using VINESTALK finds. Reported:
-// rounds until all evaders are overtaken and total find traffic. The
-// coordinated column should beat the naive all-chase-first policy when
-// targets outnumber one.
+// Sweep (pursuers × evaders) on a 27×27 world — one independent trial per
+// scenario; evaders random-walk, pursuers move 2 regions per round using
+// VINESTALK finds. Reported: rounds until all evaders are overtaken and
+// total find traffic. The coordinated column should beat the naive
+// all-chase-first policy when targets outnumber one.
+
+#include <array>
 
 #include "ext/pursuit.hpp"
 #include "vsa/evader.hpp"
@@ -60,23 +62,29 @@ ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vsbench;
+  const auto opt = parse_bench_args(argc, argv);
   banner("E8b: coordinated multi-finder pursuit (§VII)",
          "claim: multiple evaders are tracked concurrently; command-center\n"
          "       min-distance assignment overtakes all targets in bounded "
          "rounds.\nworld: 27x27 base 3; pursuer speed 2, evader speed 1.");
 
+  constexpr std::array<Scenario, 5> kScenarios{
+      Scenario{1, 1}, Scenario{2, 1}, Scenario{2, 2}, Scenario{3, 2},
+      Scenario{4, 4}};
   stats::Table table({"pursuers", "evaders", "caught", "rounds",
                       "find_msgs", "find_work"});
-  for (const Scenario sc : {Scenario{1, 1}, Scenario{2, 1}, Scenario{2, 2},
-                            Scenario{3, 2}, Scenario{4, 4}}) {
+  const auto rows = sweep(opt, kScenarios.size(), [&](std::size_t trial) {
+    const Scenario sc = kScenarios[trial];
     const auto outcome = run_scenario(sc, /*coordinated=*/true);
-    table.add_row({std::int64_t{sc.pursuers}, std::int64_t{sc.evaders},
-                   std::string(outcome.all_caught ? "all" : "some"),
-                   std::int64_t{outcome.rounds}, outcome.find_messages,
-                   outcome.find_work});
-  }
+    return std::vector<stats::Table::Cell>{
+        std::int64_t{sc.pursuers}, std::int64_t{sc.evaders},
+        std::string(outcome.all_caught ? "all" : "some"),
+        std::int64_t{outcome.rounds}, outcome.find_messages,
+        outcome.find_work};
+  });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
   std::cout << "\nshape check: all targets caught; rounds shrink as the "
                "pursuer:evader ratio grows.\n";

@@ -1,8 +1,22 @@
 // E9 — engineering microbenchmarks (google-benchmark): raw simulator
 // throughput, so the experiment benches' virtual-time measurements can be
 // related to wall-clock cost and regressions in the substrate show up.
+//
+// Besides the google-benchmark suite, this binary emits a machine-readable
+// BENCH_sched.json (see write_sched_json below) capturing the scheduler
+// hot path's events/sec, heap-allocations per event, and the trial-pool's
+// per-thread scaling — the perf trajectory future PRs regress against.
+//
+//   bench_micro                      # full google-benchmark suite + JSON
+//   bench_micro --sched-json-only    # skip the suite, just write the JSON
+//   bench_micro --sched-json=FILE    # choose the JSON path
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "sim/scheduler.hpp"
@@ -10,6 +24,34 @@
 namespace {
 
 using namespace vsbench;
+
+// A self-rescheduling event chain: steady-state push/pop traffic with a
+// live queue, the shape of real protocol timers. The capture (reference +
+// two integers) fits EventAction's inline buffer, as all simulator events
+// must.
+struct Chain {
+  sim::Scheduler& sched;
+  std::uint64_t left;
+  std::uint64_t jitter;
+  void operator()() {
+    if (--left > 0) {
+      sched.schedule_after(sim::Duration::micros(
+                               static_cast<std::int64_t>(jitter % 977 + 1)),
+                           Chain{sched, left, jitter * 6364136223846793005ULL + 1});
+    }
+  }
+};
+
+std::uint64_t run_chains(std::uint64_t total_events) {
+  sim::Scheduler sched;
+  constexpr std::uint64_t kChains = 64;
+  for (std::uint64_t c = 0; c < kChains; ++c) {
+    sched.schedule_after(sim::Duration::micros(static_cast<std::int64_t>(c)),
+                         Chain{sched, total_events / kChains, c + 1});
+  }
+  sched.run();
+  return sched.events_fired();
+}
 
 void BM_SchedulerEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -24,6 +66,34 @@ void BM_SchedulerEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerEventThroughput)->Arg(1000)->Arg(100000);
 
+void BM_SchedulerSteadyState(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_chains(static_cast<std::uint64_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["heap_fallbacks"] = benchmark::Counter(
+      static_cast<double>(sim::EventAction::heap_fallbacks()));
+}
+BENCHMARK(BM_SchedulerSteadyState)->Arg(100000);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Arm-then-cancel traffic (the Timer::arm/disarm pattern): every
+  // iteration recycles a slot through the free list and leaves one
+  // tombstone for the heap to skim.
+  sim::EventQueue q;
+  const auto anchor = q.push(sim::TimePoint{1u << 30}, [] {});
+  (void)anchor;
+  for (auto _ : state) {
+    const auto id = q.push(sim::TimePoint{1000}, [] {});
+    q.cancel(id);
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["slot_capacity"] =
+      benchmark::Counter(static_cast<double>(q.slot_capacity()));
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 void BM_TimerChurn(benchmark::State& state) {
   sim::Scheduler sched;
   sim::Timer t(sched, [] {});
@@ -34,6 +104,31 @@ void BM_TimerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TimerChurn);
+
+void BM_TrialPoolSweep(benchmark::State& state) {
+  // Eight small but real simulation worlds per iteration, sharded over
+  // the given number of threads (deterministic merge by trial index).
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    runner::TrialPool pool(jobs);
+    const auto fired = pool.run(8, [](std::size_t trial) {
+      GridNet g = make_grid(27, 3);
+      const RegionId start = g.at(13, 13);
+      const TargetId t = g.net->add_evader(start);
+      g.net->run_to_quiescence();
+      const auto walk = random_walk(g.hierarchy->tiling(), start, 20,
+                                    runner::trial_seed(0xB3, trial));
+      for (std::size_t i = 1; i < walk.size(); ++i) {
+        g.net->move_evader(t, walk[i]);
+        g.net->run_to_quiescence();
+      }
+      return g.net->scheduler().events_fired();
+    });
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_TrialPoolSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_HierarchyConstruction(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));
@@ -89,6 +184,112 @@ void BM_LookAheadSnapshot(benchmark::State& state) {
 }
 BENCHMARK(BM_LookAheadSnapshot);
 
+// ---------------------------------------------------------------------------
+// BENCH_sched.json: the scheduler perf trajectory, machine-readable.
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ScalingPoint {
+  int jobs;
+  std::uint64_t events;
+  double seconds;
+};
+
+bool write_sched_json(const std::string& path) {
+  constexpr std::uint64_t kSerialEvents = 2'000'000;
+  constexpr std::uint64_t kTrialEvents = 500'000;
+  constexpr std::size_t kTrials = 8;
+
+  // Serial hot path: best of three reps, with the heap-fallback delta
+  // (must stay 0: every scheduled callable fits the inline buffer).
+  double best = 1e100;
+  std::uint64_t fired = 0;
+  const auto fallbacks0 = sim::EventAction::heap_fallbacks();
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fired = run_chains(kSerialEvents);
+    best = std::min(best, seconds_since(t0));
+  }
+  const double fallbacks_per_event =
+      static_cast<double>(sim::EventAction::heap_fallbacks() - fallbacks0) /
+      (3.0 * static_cast<double>(fired));
+
+  // Trial-pool scaling: the same 8-world sweep at 1, 2, 4 threads.
+  std::vector<ScalingPoint> scaling;
+  for (const int jobs : {1, 2, 4}) {
+    runner::TrialPool pool(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto counts = pool.run(
+        kTrials, [](std::size_t) { return run_chains(kTrialEvents); });
+    std::uint64_t total = 0;
+    for (const auto c : counts) total += c;
+    scaling.push_back({jobs, total, seconds_since(t0)});
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"scheduler_hot_path\",\n");
+  std::fprintf(f, "  \"inline_buffer_bytes\": %zu,\n",
+               sim::EventAction::kInlineSize);
+  std::fprintf(f, "  \"serial\": {\n");
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(fired));
+  std::fprintf(f, "    \"seconds\": %.6f,\n", best);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n",
+               static_cast<double>(fired) / best);
+  std::fprintf(f, "    \"heap_fallbacks_per_event\": %.6f\n",
+               fallbacks_per_event);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scaling\": [\n");
+  const double base = scaling.front().seconds;
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& p = scaling[i];
+    std::fprintf(f,
+                 "    {\"jobs\": %d, \"events\": %llu, \"seconds\": %.6f, "
+                 "\"events_per_sec\": %.0f, \"speedup_vs_jobs1\": %.3f}%s\n",
+                 p.jobs, static_cast<unsigned long long>(p.events), p.seconds,
+                 static_cast<double>(p.events) / p.seconds, base / p.seconds,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json_only = false;
+  std::string json_path = "BENCH_sched.json";
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sched-json-only") {
+      json_only = true;
+    } else if (arg.rfind("--sched-json=", 0) == 0) {
+      json_path = arg.substr(13);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (!json_only) {
+    int bench_argc = static_cast<int>(bench_args.size());
+    benchmark::Initialize(&bench_argc, bench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_args.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return write_sched_json(json_path) ? 0 : 1;
+}

@@ -4,7 +4,13 @@
 // Each bench binary regenerates one experiment of DESIGN.md §4 (the
 // paper's quantitative claims) and prints a self-describing series table;
 // EXPERIMENTS.md records the measured shapes against the theory.
+//
+// Sweeps run through runner::TrialPool: every configuration (seed, grid
+// side, evader model, …) is an independent simulation world executed on
+// its own thread, and results merge deterministically in trial-index
+// order — the printed tables are byte-identical for every --jobs value.
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -12,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "runner/trial_pool.hpp"
 #include "stats/table.hpp"
 #include "tracking/network.hpp"
 
@@ -49,6 +56,46 @@ inline std::vector<RegionId> random_walk(const geo::Tiling& tiling,
     walk.push_back(cur);
   }
   return walk;
+}
+
+/// Command-line options shared by every bench binary.
+struct BenchOptions {
+  int jobs = 0;  // 0 = runner::default_jobs() (hardware concurrency)
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+      opt.jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0] << " [--jobs N]\n"
+                << "  --jobs N  worker threads for the trial sweep "
+                   "(default: hardware concurrency; output is identical "
+                   "for every N)\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+  if (opt.jobs < 0) {
+    std::cerr << "--jobs must be >= 1 (0 means auto), got " << opt.jobs
+              << "\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Run `n` independent trials through a TrialPool and return their results
+/// in trial-index order (deterministic for any --jobs).
+template <class Fn>
+auto sweep(const BenchOptions& opt, std::size_t n, Fn&& fn) {
+  runner::TrialPool pool(opt.jobs);
+  return pool.run(n, std::forward<Fn>(fn));
 }
 
 inline void banner(const std::string& experiment, const std::string& claim) {

@@ -1,9 +1,11 @@
 #include "common/log.hpp"
 
+#include <atomic>
+
 namespace vs {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 
 constexpr std::string_view name_of(LogLevel level) {
   switch (level) {
@@ -17,8 +19,10 @@ constexpr std::string_view name_of(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {

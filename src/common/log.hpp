@@ -13,7 +13,9 @@ namespace vs {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 
-/// Process-wide log threshold (single-threaded simulator; plain global).
+/// Process-wide log threshold. Each simulation world is single-threaded,
+/// but the trial pool runs many worlds concurrently, so the threshold is a
+/// relaxed atomic (a read per suppressed log line; no ordering needed).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -8,21 +8,37 @@ EventId EventQueue::push(TimePoint when, Action action) {
   VS_REQUIRE(!when.is_never(), "cannot schedule an event at ∞");
   VS_REQUIRE(static_cast<bool>(action), "empty event action");
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  actions_.emplace(seq, std::move(action));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.seq = seq;
+  heap_.push(Entry{when, seq, slot});
   ++live_count_;
-  return EventId{seq};
+  return EventId{seq, slot};
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id.valid()) return false;
-  const auto erased = actions_.erase(id.value());
-  if (erased != 0) --live_count_;
-  return erased != 0;
+  if (!id.valid() || id.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[id.slot_];
+  if (s.seq != id.seq_) return false;  // already fired or cancelled
+  s.action.reset();
+  s.seq = 0;
+  free_slots_.push_back(id.slot_);
+  --live_count_;
+  return true;
 }
 
 void EventQueue::skim() const {
-  while (!heap_.empty() && !actions_.contains(heap_.top().seq)) {
+  // A heap entry whose slot generation moved on is a tombstone: the event
+  // was cancelled (and its slot possibly reused by a later event).
+  while (!heap_.empty() && slots_[heap_.top().slot].seq != heap_.top().seq) {
     heap_.pop();
   }
 }
@@ -43,9 +59,10 @@ EventQueue::Action EventQueue::pop(TimePoint& when) {
   VS_REQUIRE(!heap_.empty(), "pop on empty queue");
   const Entry top = heap_.top();
   heap_.pop();
-  auto it = actions_.find(top.seq);
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  Slot& s = slots_[top.slot];
+  Action action = std::move(s.action);  // move leaves the slot action empty
+  s.seq = 0;
+  free_slots_.push_back(top.slot);
   --live_count_;
   when = top.when;
   return action;

@@ -4,33 +4,45 @@
 // Ordering is (time, sequence-number): two events at the same instant fire
 // in the order they were scheduled, which makes every run reproducible.
 // Cancellation is O(1) by tombstoning; tombstones are skimmed off at pop.
+//
+// Hot-path layout: the heap holds small (time, seq, slot) entries; the
+// callables live in a slot vector indexed by those entries, with freed
+// slots recycled through a free list. A heap entry is stale exactly when
+// its slot's generation (`seq`) no longer matches, so cancel is one array
+// write and pop is one array read — no per-event hash lookups, and no
+// per-event allocations thanks to EventAction's inline buffer.
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace vs::sim {
+
+class EventQueue;
 
 /// Handle to a scheduled event, usable for cancellation.
 class EventId {
  public:
   constexpr EventId() = default;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
   [[nodiscard]] constexpr std::uint64_t value() const { return seq_; }
   [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
   friend constexpr bool operator==(EventId, EventId) = default;
 
  private:
+  friend class EventQueue;
+  constexpr EventId(std::uint64_t seq, std::uint32_t slot)
+      : seq_(seq), slot_(slot) {}
+
   std::uint64_t seq_{0};  // 0 = "no event"
+  std::uint32_t slot_{0};
 };
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = EventAction;
 
   /// Schedule `action` at absolute time `when`. Requires !when.is_never().
   EventId push(TimePoint when, Action action);
@@ -52,12 +64,16 @@ class EventQueue {
   /// Number of live events (O(1); maintained incrementally).
   [[nodiscard]] std::size_t size() const { return live_count_; }
 
+  /// High-water mark of action slots ever allocated — stays at the peak
+  /// number of simultaneously pending events because freed slots are
+  /// recycled (observable in tests and the slot-reuse microbenchmark).
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
  private:
   struct Entry {
     TimePoint when;
     std::uint64_t seq;
-    // Heap entries are indices into actions_ so the comparator stays cheap
-    // and copy-free.
+    std::uint32_t slot;  // index into slots_; stale iff generation mismatch
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -65,11 +81,16 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Action action;
+    std::uint64_t seq{0};  // generation of the occupying event; 0 = free
+  };
 
   void skim() const;  // drop cancelled entries off the top
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::unordered_map<std::uint64_t, Action> actions_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_{1};
   std::size_t live_count_{0};
 };

@@ -134,4 +134,16 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
   return d;
 }
 
+void WorkCounters::accumulate(const WorkCounters& other) {
+  VS_REQUIRE(max_level_ == other.max_level_, "mismatched counter shapes");
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    msgs_by_kind_[k] += other.msgs_by_kind_[k];
+    work_by_kind_[k] += other.work_by_kind_[k];
+  }
+  for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
+    msgs_by_level_[l] += other.msgs_by_level_[l];
+    work_by_level_[l] += other.work_by_level_[l];
+  }
+}
+
 }  // namespace vs::stats

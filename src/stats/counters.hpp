@@ -63,6 +63,10 @@ class WorkCounters {
   /// Difference helper: *this - other (counters taken at two instants).
   [[nodiscard]] WorkCounters delta_since(const WorkCounters& earlier) const;
 
+  /// Element-wise sum: fold another trial's counters into this one (the
+  /// deterministic join step of a parallel sweep). Requires equal shapes.
+  void accumulate(const WorkCounters& other);
+
   [[nodiscard]] Level max_level() const { return max_level_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -16,6 +17,19 @@ void Table::add_row(std::vector<Cell> cells) {
   VS_REQUIRE(cells.size() == headers_.size(),
              "row has " << cells.size() << " cells, want " << headers_.size());
   rows_.push_back(std::move(cells));
+}
+
+void Table::append(Table other) {
+  VS_REQUIRE(other.headers_ == headers_,
+             "appending a table with different headers");
+  rows_.reserve(rows_.size() + other.rows_.size());
+  for (auto& row : other.rows_) rows_.push_back(std::move(row));
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
 }
 
 std::string Table::render(const Cell& cell) {

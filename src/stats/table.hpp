@@ -20,6 +20,15 @@ class Table {
   /// Appends a row; must match the header count.
   void add_row(std::vector<Cell> cells);
 
+  /// Appends every row of `other` (same headers required). This is the
+  /// merge step for parallel sweeps: each trial fills a local table, and
+  /// the runner appends them in trial-index order at join.
+  void append(Table other);
+
+  /// Renders the whole table (headers + aligned rows) to a string —
+  /// convenient for byte-identical determinism assertions.
+  [[nodiscard]] std::string to_string() const;
+
   /// Aligned fixed-width text rendering.
   void print(std::ostream& os) const;
   /// Comma-separated rendering.

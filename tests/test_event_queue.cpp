@@ -1,0 +1,151 @@
+// Edge-case tests for the slot-vector event queue and its inline-buffer
+// callable: tombstone skimming, same-instant ordering, slot recycling,
+// and EventAction's small-buffer/heap split. Complements the basic
+// EventQueue coverage in test_sim.cpp.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::sim::EventAction;
+using vs::sim::EventId;
+using vs::sim::EventQueue;
+using vs::sim::TimePoint;
+
+TEST(EventQueueEdge, CancelThenPopSkimsTombstones) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.push(TimePoint{10}, [&] { order.push_back(1); });
+  const EventId b = q.push(TimePoint{20}, [&] { order.push_back(2); });
+  const EventId c = q.push(TimePoint{30}, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.size(), 2u);
+
+  TimePoint when;
+  while (!q.empty()) q.pop(when)();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(when.count(), 30);
+
+  // Cancelling fired or already-cancelled events is a harmless no-op.
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_FALSE(q.cancel(b));
+  EXPECT_FALSE(q.cancel(c));
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueueEdge, CancelEverythingEmptiesTheQueue) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(q.push(TimePoint{i + 1}, [] {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueEdge, SameInstantTieBreakSurvivesCancellation) {
+  // Five events at one instant; cancelling the middle one must not
+  // perturb the scheduling-order tie-break of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::array<EventId, 5> ids{};
+  for (int i = 0; i < 5; ++i) {
+    ids[static_cast<std::size_t>(i)] =
+        q.push(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_TRUE(q.cancel(ids[2]));
+  TimePoint when;
+  while (!q.empty()) q.pop(when)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(EventQueueEdge, SlotIndicesAreRecycled) {
+  // Arm/cancel churn (the Timer pattern) must reuse freed slots, not
+  // grow the slot vector: capacity stays at the peak live count.
+  EventQueue q;
+  (void)q.push(TimePoint{1'000'000}, [] {});  // anchor keeps q non-empty
+  for (int i = 0; i < 1000; ++i) {
+    const EventId id = q.push(TimePoint{10}, [] {});
+    EXPECT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LE(q.slot_capacity(), 2u);
+}
+
+TEST(EventQueueEdge, StaleIdForReusedSlotDoesNotCancelNewEvent) {
+  // After a slot is recycled, the old EventId's generation no longer
+  // matches: cancelling it must not kill the slot's new occupant.
+  EventQueue q;
+  const EventId old_id = q.push(TimePoint{10}, [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  bool fired = false;
+  (void)q.push(TimePoint{20}, [&] { fired = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  TimePoint when;
+  q.pop(when)();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventActionTest, SmallCallablesStayInline) {
+  int hits = 0;
+  EventAction a{[&hits] { ++hits; }};
+  EXPECT_TRUE(static_cast<bool>(a));
+  EXPECT_TRUE(a.is_inline());
+  a();
+  EXPECT_EQ(hits, 1);
+
+  // Captures up to the inline budget stay allocation-free too.
+  std::array<std::uint64_t, 5> payload{1, 2, 3, 4, 5};
+  std::uint64_t sum = 0;
+  static_assert(sizeof(payload) + sizeof(&sum) <= EventAction::kInlineSize);
+  EventAction b{[payload, &sum] {
+    for (const auto v : payload) sum += v;
+  }};
+  EXPECT_TRUE(b.is_inline());
+  b();
+  EXPECT_EQ(sum, 15u);
+}
+
+TEST(EventActionTest, OversizeCallablesFallBackToHeapAndCount) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kInlineSize
+  big[15] = 7;
+  const auto before = EventAction::heap_fallbacks();
+  std::uint64_t seen = 0;
+  EventAction a{[big, &seen] { seen = big[15]; }};
+  EXPECT_FALSE(a.is_inline());
+  EXPECT_EQ(EventAction::heap_fallbacks(), before + 1);
+  a();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventActionTest, MoveTransfersTheCallable) {
+  int hits = 0;
+  EventAction a{[&hits] { ++hits; }};
+  EventAction b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  EventAction c;
+  EXPECT_FALSE(static_cast<bool>(c));
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(hits, 2);
+  c.reset();
+  EXPECT_FALSE(static_cast<bool>(c));
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,115 @@
+// Tests for the trial-execution pool: the merged result of a sweep must
+// be bit-identical at every job count (trial seeds derive from the trial
+// index, never thread identity; results merge in index order), and a
+// failing trial's exception must surface deterministically.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runner/trial_pool.hpp"
+#include "stats/table.hpp"
+
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+using vs::runner::TrialPool;
+using vs::runner::default_jobs;
+using vs::runner::trial_seed;
+
+TEST(TrialSeed, DeterministicAndWellSpread) {
+  EXPECT_EQ(trial_seed(0xB3, 4), trial_seed(0xB3, 4));
+  std::vector<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 64; ++i) {
+    seen.push_back(trial_seed(0xB3, i));
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]) << "collision at trials " << i << "," << j;
+    }
+  }
+  EXPECT_NE(trial_seed(0xB3, 0), trial_seed(0xB4, 0));
+}
+
+TEST(TrialPoolTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(default_jobs(), 1);
+  EXPECT_GE(TrialPool{}.jobs(), 1);
+  EXPECT_EQ(TrialPool{3}.jobs(), 3);
+}
+
+TEST(TrialPoolTest, ResultsArriveInTrialIndexOrder) {
+  TrialPool pool(8);
+  const auto out =
+      pool.run(23, [](std::size_t trial) { return trial * 10; });
+  ASSERT_EQ(out.size(), 23u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 10);
+}
+
+TEST(TrialPoolTest, SupportsNonDefaultConstructibleResults) {
+  struct Row {
+    std::size_t trial;
+    explicit Row(std::size_t t) : trial(t) {}
+  };
+  TrialPool pool(4);
+  const auto out = pool.run(7, [](std::size_t t) { return Row{t}; });
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[6].trial, 6u);
+}
+
+TEST(TrialPoolTest, LowestIndexExceptionWins) {
+  // Trials 2 and 5 both throw; regardless of which worker hits its error
+  // first in wall-clock time, the caller must see trial 2's exception.
+  for (const int jobs : {1, 3, 8}) {
+    TrialPool pool(jobs);
+    try {
+      pool.run(8, [](std::size_t trial) -> int {
+        if (trial == 2 || trial == 5) {
+          throw std::runtime_error("trial " + std::to_string(trial));
+        }
+        return 0;
+      });
+      FAIL() << "expected an exception at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 2") << "jobs=" << jobs;
+    }
+  }
+}
+
+// The headline guarantee: a real simulation sweep produces a merged table
+// that is byte-identical at every job count, including oversubscribed
+// ones (8 workers on however many cores this machine has).
+TEST(TrialPoolTest, SweepTableIdenticalAcrossJobCounts) {
+  const auto run_sweep = [](int jobs) {
+    TrialPool pool(jobs);
+    const auto rows = pool.run(6, [](std::size_t trial) {
+      GridNet g = make_grid(9, 3);
+      const RegionId start = g.at(4, 4);
+      const TargetId t = g.net->add_evader(start);
+      g.net->run_to_quiescence();
+      const auto walk = random_walk(g.hierarchy->tiling(), start, 25,
+                                    trial_seed(0x5EED, trial));
+      for (std::size_t i = 1; i < walk.size(); ++i) {
+        g.net->move_evader(t, walk[i]);
+        g.net->run_to_quiescence();
+      }
+      return std::vector<stats::Table::Cell>{
+          static_cast<std::int64_t>(trial), g.net->counters().move_work(),
+          g.net->counters().move_messages(),
+          static_cast<std::int64_t>(g.net->scheduler().events_fired())};
+    });
+    stats::Table table({"trial", "work", "msgs", "events"});
+    for (const auto& row : rows) table.add_row(row);
+    return table.to_string();
+  };
+
+  const std::string serial = run_sweep(1);
+  EXPECT_EQ(run_sweep(2), serial);
+  EXPECT_EQ(run_sweep(8), serial);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Pre-merge check: a plain build + full test suite, then a ThreadSanitizer
+# build exercising the concurrency surface (the trial pool and the atomics
+# in the logging/counter paths) with more workers than trials need.
+#
+#   tools/check.sh            # both stages
+#   tools/check.sh --plain    # stage 1 only
+#   tools/check.sh --tsan     # stage 2 only
+#
+# Build trees: build-check/ (plain) and build-tsan/ (TSan); both are
+# separate from the default build/ so this never dirties a dev tree.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+stage="${1:-all}"
+
+run_plain() {
+  echo "== stage 1: plain build + ctest =="
+  cmake -B "$root/build-check" -S "$root" > /dev/null
+  cmake --build "$root/build-check" -j "$jobs"
+  ctest --test-dir "$root/build-check" --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  echo "== stage 2: ThreadSanitizer =="
+  cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
+  cmake --build "$root/build-tsan" -j "$jobs" \
+    --target test_concurrent test_runner bench_e2_move_scaling
+  "$root/build-tsan/tests/test_concurrent"
+  "$root/build-tsan/tests/test_runner"
+  "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
+  echo "TSan stage clean (zero reports would have aborted the run)."
+}
+
+case "$stage" in
+  all) run_plain; run_tsan ;;
+  --plain) run_plain ;;
+  --tsan) run_tsan ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan]" >&2; exit 2 ;;
+esac
+echo "check.sh: all stages passed"

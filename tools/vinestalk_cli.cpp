@@ -13,12 +13,21 @@
 //   tick <target>              one stabilizer repair pass
 //   show <target>              render the tracking structure
 //   check <target>             consistency verdict for the structure
+//   sweep <trials> <steps> <seed>  run <trials> independent walk worlds
+//                              (same side/base) on the --jobs thread pool;
+//                              output is identical for every --jobs value
 //   stats                      work counters so far
 //   quit
+//
+// The binary takes `--jobs N` (default: hardware concurrency) for the
+// sweep command's trial pool. Per-trial randomness derives from the trial
+// index (runner::trial_seed), never from thread identity, so the merged
+// table is bit-identical at any job count.
 //
 // Example:
 //   printf 'world 27 3\nevader 20 6\nfind 0 26 0\nstats\n' | vinestalk_cli
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -28,8 +37,10 @@
 #include "common/error.hpp"
 #include "ext/stabilizer.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "runner/trial_pool.hpp"
 #include "spec/consistency.hpp"
 #include "spec/inspect.hpp"
+#include "stats/table.hpp"
 #include "tracking/network.hpp"
 #include "vsa/evader.hpp"
 
@@ -39,6 +50,8 @@ using namespace vs;
 
 class Cli {
  public:
+  explicit Cli(int jobs) : jobs_(jobs) {}
+
   int run(std::istream& in, std::ostream& out) {
     std::string line;
     while (std::getline(in, line)) {
@@ -63,6 +76,8 @@ class Cli {
     if (cmd == "world") {
       int side = 0, base = 0;
       ss >> side >> base;
+      side_ = side;
+      base_ = base;
       hierarchy_ = std::make_unique<hier::GridHierarchy>(side, side, base);
       tracking::NetworkConfig cfg;
       cfg.model_vsa_failures = true;
@@ -129,6 +144,12 @@ class Cli {
       const auto report = spec::check_consistent(
           net_->snapshot(t), net_->evaders().region_of(t));
       out << (report.ok() ? "consistent\n" : report.to_string());
+    } else if (cmd == "sweep") {
+      int trials = 0, steps = 0;
+      std::uint64_t seed = 0;
+      ss >> trials >> steps >> seed;
+      VS_REQUIRE(trials > 0 && steps > 0, "sweep needs trials > 0, steps > 0");
+      run_sweep(trials, steps, seed, out);
     } else if (cmd == "stats") {
       const auto& c = net_->counters();
       out << "moves: " << c.move_messages() << " messages, " << c.move_work()
@@ -139,6 +160,53 @@ class Cli {
       out << "unknown command: " << cmd << "\n";
     }
     return true;
+  }
+
+  // Run `trials` independent worlds (same side/base as the current one),
+  // each walking a fresh evader from the centre with an index-derived
+  // seed, on the trial pool; merge per-trial counters in index order.
+  void run_sweep(int trials, int steps, std::uint64_t seed,
+                 std::ostream& out) {
+    const int side = side_;
+    const int base = base_;
+    runner::TrialPool pool(jobs_);
+    struct TrialRow {
+      std::int64_t move_work;
+      std::int64_t move_msgs;
+      std::int64_t virtual_us;
+    };
+    const auto rows = pool.run(
+        static_cast<std::size_t>(trials), [&](std::size_t trial) {
+          hier::GridHierarchy h(side, side, base);
+          tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
+          const RegionId start = h.grid().region_at(side / 2, side / 2);
+          const TargetId t = net.add_evader(start);
+          net.run_to_quiescence();
+          vsa::RandomWalkMover mover(h.tiling(),
+                                     runner::trial_seed(seed, trial));
+          RegionId cur = start;
+          for (int i = 0; i < steps; ++i) {
+            cur = mover.next(cur);
+            net.move_evader(t, cur);
+            net.run_to_quiescence();
+          }
+          return TrialRow{net.counters().move_work(),
+                          net.counters().move_messages(),
+                          net.now().count()};
+        });
+    stats::Table table({"trial", "move_work", "move_msgs", "virtual_ms"});
+    std::int64_t total_work = 0, total_msgs = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      total_work += rows[i].move_work;
+      total_msgs += rows[i].move_msgs;
+      table.add_row({static_cast<std::int64_t>(i), rows[i].move_work,
+                     rows[i].move_msgs,
+                     static_cast<double>(rows[i].virtual_us) / 1000.0});
+    }
+    table.print(out);
+    out << "sweep total: " << total_work << " hop-work, " << total_msgs
+        << " messages over " << trials << " trials x " << steps
+        << " steps\n";
   }
 
   RegionId region(std::istringstream& ss) {
@@ -164,6 +232,9 @@ class Cli {
     return *it->second;
   }
 
+  int jobs_;
+  int side_ = 0;
+  int base_ = 0;
   std::unique_ptr<hier::GridHierarchy> hierarchy_;
   std::unique_ptr<tracking::TrackingNetwork> net_;
   std::map<TargetId, std::unique_ptr<ext::Stabilizer>> stabilizers_;
@@ -171,7 +242,30 @@ class Cli {
 
 }  // namespace
 
-int main() {
-  Cli cli;
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0 = runner::default_jobs() (hardware concurrency)
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: vinestalk_cli [--jobs N] < script\n"
+                   "commands on stdin; see the header of this source file.\n"
+                   "--jobs N sets the sweep command's thread count "
+                   "(default: hardware concurrency; sweep output is "
+                   "identical for every N).\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+  if (jobs < 0) {
+    std::cerr << "--jobs must be >= 1 (0 means auto), got " << jobs << "\n";
+    return 2;
+  }
+  Cli cli(jobs);
   return cli.run(std::cin, std::cout);
 }
