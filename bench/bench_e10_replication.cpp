@@ -25,7 +25,7 @@ struct TrialResult {
   bool find_ok = false;
 };
 
-TrialResult run_trial(int k) {
+TrialResult run_trial(int k, BenchObs* obs, std::size_t trial) {
   TrialResult out;
   // (a) overhead, failure-free.
   {
@@ -74,6 +74,7 @@ TrialResult run_trial(int k) {
     g.net->run_to_quiescence();
     out.find_ok = g.net->find_result(f).done &&
                   g.net->find_result(f).found_region == walk.back();
+    if (obs != nullptr) obs->record(trial, *g.net);
   }
   return out;
 }
@@ -90,8 +91,9 @@ int main(int argc, char** argv) {
          "failure\nevery 5 steps; no stabilizer.");
 
   constexpr std::array<int, 4> kReplicas{1, 2, 3, 5};
+  BenchObs obs("e10_replication", kReplicas.size());
   const auto results = sweep(opt, kReplicas.size(), [&](std::size_t trial) {
-    return run_trial(kReplicas[trial]);
+    return run_trial(kReplicas[trial], &obs, trial);
   });
 
   stats::Table table({"replicas", "move_w/step", "overhead_vs_k1",
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
                    std::string(r.find_ok ? "yes" : "no")});
   }
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: overhead grows roughly linearly in k (quorum "
                "contact cost); with k ≥ 2 the injected primary failures no "
                "longer destroy state, so the structure stays consistent and "

@@ -22,7 +22,8 @@ struct RunStats {
   std::int64_t find_work;
 };
 
-RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg) {
+RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg,
+             BenchObs& obs, std::size_t trial) {
   tracking::TrackingNetwork net(h, std::move(cfg));
   const RegionId start = h.grid().region_at(40, 40);
   const TargetId t = net.add_evader(start);
@@ -37,6 +38,7 @@ RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg) {
   const double steps = static_cast<double>(walk.size() - 1);
   const FindId f = net.start_find(h.grid().region_at(10, 10), t);
   net.run_to_quiescence();
+  obs.record(trial, net);
   return RunStats{
       static_cast<double>(net.counters().move_work() - work0) / steps,
       static_cast<double>((net.now() - t0).count()) / steps / 1000.0,
@@ -53,6 +55,9 @@ int main(int argc, char** argv) {
          "(b) shrink-timer slack trades settle latency, not work.\n"
          "world: 81x81 base 3; same 120-step walk everywhere.");
 
+  // Trials 0-2: the three head policies; trials 3-5: the slack multiples.
+  BenchObs obs("e11_ablation", 6);
+
   std::cout << "-- (a) head placement --\n";
   {
     struct Named {
@@ -68,7 +73,7 @@ int main(int argc, char** argv) {
     const auto rows = sweep(opt, kPolicies.size(), [&](std::size_t trial) {
       const Named n = kPolicies[trial];
       hier::GridHierarchy h(81, 81, 3, n.policy, 17);
-      const RunStats s = run(h, tracking::NetworkConfig{});
+      const RunStats s = run(h, tracking::NetworkConfig{}, obs, trial);
       return std::vector<stats::Table::Cell>{
           std::string(n.name), s.move_work_per_step, s.settle_ms_per_step,
           s.find_work};
@@ -95,7 +100,7 @@ int main(int argc, char** argv) {
         return de + de * (mult * (h.n(l) + 1));
       };
       cfg.timers = timers;
-      const RunStats s = run(h, std::move(cfg));
+      const RunStats s = run(h, std::move(cfg), obs, 3 + trial);
       return std::vector<stats::Table::Cell>{
           std::int64_t{mult}, s.move_work_per_step, s.settle_ms_per_step,
           s.find_work};
@@ -103,6 +108,7 @@ int main(int argc, char** argv) {
     for (const auto& row : rows) table.add_row(row);
     table.print(std::cout);
   }
+  obs.maybe_write(opt);
 
   std::cout << "\nshape check: (a) centre heads minimise per-step work "
                "(shorter head-to-head hops); corner and random placement "

@@ -25,7 +25,7 @@ struct Outcome {
   std::int64_t repairs;
 };
 
-Outcome run(double loss, bool stabilize) {
+Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial) {
   tracking::NetworkConfig cfg;
   cfg.cgcast.loss_probability = loss;
   GridNet g = make_grid(27, 3, cfg);
@@ -66,6 +66,7 @@ Outcome run(double loss, bool stabilize) {
       ++out.finds_ok;
     }
   }
+  obs.record(trial, *g.net);
   return out;
 }
 
@@ -84,10 +85,11 @@ int main(int argc, char** argv) {
   stats::Table table({"loss_%", "stabilizer", "msgs_lost", "repair_msgs",
                       "consistent", "finds_ok/10"});
   // Trial 2i: loss[i] without stabilizer; trial 2i+1: with.
+  BenchObs obs("e12_message_loss", kLoss.size() * 2);
   const auto rows = sweep(opt, kLoss.size() * 2, [&](std::size_t trial) {
     const double loss = kLoss[trial / 2];
     const bool stabilize = trial % 2 == 1;
-    const Outcome o = run(loss, stabilize);
+    const Outcome o = run(loss, stabilize, obs, trial);
     return std::vector<stats::Table::Cell>{
         loss * 100.0, std::string(stabilize ? "on" : "off"), o.lost,
         o.repairs, std::string(o.consistent ? "yes" : "no"),
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: loss 0 is perfect either way; with loss > 0 "
                "the bare run loses consistency and finds, while the "
                "stabilized run stays serviceable with repair traffic "

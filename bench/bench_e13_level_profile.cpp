@@ -17,7 +17,7 @@ struct Profile {
   stats::Table table;
 };
 
-Profile run_profile(bool directed) {
+Profile run_profile(bool directed, BenchObs& obs, std::size_t trial) {
   GridNet g = make_grid(243, 3);
   const RegionId start = g.at(121, 121);
   const TargetId t = g.net->add_evader(start);
@@ -57,6 +57,7 @@ Profile run_profile(bool directed) {
     p.table.add_row({std::int64_t{l}, q_below, msgs, work,
                      msgs * static_cast<double>(q_below)});
   }
+  obs.record(trial, *g.net);
   return p;
 }
 
@@ -70,14 +71,16 @@ int main(int argc, char** argv) {
          "       1/q(l−1): each level filters all but boundary crossings.\n"
          "world: 243x243 base 3; 1200 steps; random-walk vs waypoint traffic.");
 
-  const auto profiles = sweep(opt, 2, [](std::size_t trial) {
-    return run_profile(/*directed=*/trial == 1);
+  BenchObs obs("e13_level_profile", 2);
+  const auto profiles = sweep(opt, 2, [&](std::size_t trial) {
+    return run_profile(/*directed=*/trial == 1, obs, trial);
   });
   for (const auto& p : profiles) {
     std::cout << p.heading << "\n";
     p.table.print(std::cout);
     std::cout << "\n";
   }
+  obs.maybe_write(opt);
   std::cout << "shape check: msgs/step decays at least as fast as the "
                "adversarial 1/q(l−1) bound; directed travel (waypoint) "
                "tracks the bound (normalised column flat-ish), a meandering "

@@ -59,7 +59,8 @@ struct TrialResult {
   bool converged = false;
 };
 
-TrialResult run_trial(double fraction, std::uint64_t seed) {
+TrialResult run_trial(double fraction, std::uint64_t seed, BenchObs& obs,
+                      std::size_t trial) {
   GridNet g = make_grid(27, 3);
   const RegionId where = g.at(13, 13);
   const TargetId t = g.net->add_evader(where);
@@ -77,6 +78,7 @@ TrialResult run_trial(double fraction, std::uint64_t seed) {
         vs::spec::check_consistent(g.net->snapshot(t), where).ok();
   }
   out.repairs = stab.repairs();
+  obs.record(trial, *g.net);
   return out;
 }
 
@@ -92,11 +94,12 @@ int main(int argc, char** argv) {
 
   constexpr std::array<double, 5> kFractions{0.1, 0.25, 0.5, 0.75, 1.0};
   constexpr std::size_t kSeeds = 5;
+  BenchObs obs("e14_stabilization", kFractions.size() * kSeeds);
   const auto results =
       sweep(opt, kFractions.size() * kSeeds, [&](std::size_t trial) {
         const double fraction = kFractions[trial / kSeeds];
         const std::uint64_t seed = trial % kSeeds + 1;
-        return run_trial(fraction, seed);
+        return run_trial(fraction, seed, obs, trial);
       });
 
   stats::Table table({"corrupt_%", "max_ticks_to_consistent",
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
                    worst_repairs, std::string(all_ok ? "yes" : "no")});
   }
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: convergence at every corruption fraction "
                "(including 100%); repair traffic grows with damage while "
                "round counts stay small (repairs run in parallel across "

@@ -53,22 +53,28 @@ int main(int argc, char** argv) {
          "claim: work/d and time/d are O(r·log_r D) — flat in d.\n"
          "world: 243x243 base 3, D = 242, MAX = 5, r·log_r(D+1) = 15.");
 
-  const auto tables = sweep(opt, 2, [](std::size_t trial) {
+  BenchObs obs("e1_move_cost", 2);
+  const auto tables = sweep(opt, 2, [&obs](std::size_t trial) {
     GridNet g = make_grid(243, 3);
     const RegionId start = g.at(121, 121);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
-    if (trial == 0) {
-      vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1A);
-      return run_series("random-walk", mover, g, t, start);
-    }
-    vsa::WaypointMover mover(g.hierarchy->grid(), 0xE1B);
-    return run_series("waypoint", mover, g, t, start);
+    stats::Table table = [&] {
+      if (trial == 0) {
+        vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1A);
+        return run_series("random-walk", mover, g, t, start);
+      }
+      vsa::WaypointMover mover(g.hierarchy->grid(), 0xE1B);
+      return run_series("waypoint", mover, g, t, start);
+    }();
+    obs.record(trial, *g.net);
+    return table;
   });
   for (const auto& table : tables) {
     table.print(std::cout);
     std::cout << '\n';
   }
+  obs.maybe_write(opt);
 
   std::cout << "shape check: work/d flat (amortised), modest multiple of "
                "r·log_r D = 15.\n";

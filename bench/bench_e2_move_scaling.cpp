@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   constexpr std::array<int, 4> kSides{9, 27, 81, 243};
   stats::Table table({"side", "D", "MAX", "work/step", "msgs/step",
                       "work/step/(r*logD)"});
+  BenchObs obs("e2_move_scaling", kSides.size());
   const auto rows = sweep(opt, kSides.size(), [&](std::size_t trial) {
     const int side = kSides[trial];
     GridNet g = make_grid(side, 3);
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
         static_cast<double>(g.net->counters().move_work() - work0) / steps;
     const double scale =
         3.0 * static_cast<double>(g.hierarchy->max_level());  // r·log_r(D+1)
+    obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{side}, std::int64_t{g.hierarchy->tiling().diameter()},
         std::int64_t{g.hierarchy->max_level()}, per_step,
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: work/step is bounded by a small multiple of "
                "r·log_r D and *saturates* as D grows — a 60-step walk "
                "rarely crosses high-level boundaries, so per-step work "

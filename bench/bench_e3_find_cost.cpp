@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   constexpr std::array<int, 9> kDistances{1, 2, 4, 8, 16, 32, 64, 100, 120};
   stats::Table table({"d", "find_work", "thm5.2_bound", "work/d", "find_msgs",
                       "latency_ms", "latency_ms/d"});
+  BenchObs obs("e3_find_cost", kDistances.size());
   const auto rows = sweep(opt, kDistances.size(), [&](std::size_t trial) {
     const int d = kDistances[trial];
     GridNet g = make_grid(243, 3);
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
       msgs += r.messages;
       latency_us += r.latency().count();
     }
+    obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{d}, work / 4,
         vs::spec::find_work_bound(*g.hierarchy, d),
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: work/d and latency/d converge to a constant "
                "(linear in d), no quadratic blow-up.\n";
   return 0;

@@ -17,7 +17,8 @@ namespace {
 
 using namespace vsbench;
 
-double des_dither_cost(bool lateral, int side, int boundary_x, int steps) {
+double des_dither_cost(bool lateral, int side, int boundary_x, int steps,
+                       BenchObs* obs = nullptr, std::size_t trial = 0) {
   tracking::NetworkConfig cfg;
   cfg.lateral_links = lateral;
   GridNet g = make_grid(side, 3, cfg);
@@ -32,6 +33,7 @@ double des_dither_cost(bool lateral, int side, int boundary_x, int steps) {
     g.net->move_evader(t, cur);
     g.net->run_to_quiescence();
   }
+  if (obs != nullptr) obs->record(trial, *g.net);
   return static_cast<double>(g.net->counters().move_work() - work0) / steps;
 }
 
@@ -71,9 +73,10 @@ int main(int argc, char** argv) {
   // x = 27 level-3 — the highest interior boundary of an 81-world.
   constexpr std::array<std::array<int, 2>, 3> kBoundaries{
       {{1, 39}, {2, 36}, {3, 27}}};
+  BenchObs obs("e4_dithering", kBoundaries.size());
   const auto rows = sweep(opt, kBoundaries.size(), [&](std::size_t trial) {
     const auto [k, x] = kBoundaries[trial];
-    const double vine = des_dither_cost(true, side, x, steps);
+    const double vine = des_dither_cost(true, side, x, steps, &obs, trial);
     const double no_lat = des_dither_cost(false, side, x, steps);
     const double tree = tree_dither_cost(h, x, side, steps);
     return std::vector<stats::Table::Cell>{std::int64_t{k}, std::int64_t{x},
@@ -82,6 +85,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: vinestalk column flat in k; no_lateral and "
                "tree_dir grow with k (Θ(3^k)).\n";
   return 0;

@@ -63,7 +63,8 @@ Cost run_model(vs::baselines::LocationService& svc, const Workload& w) {
   return c;
 }
 
-Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w) {
+Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w,
+                   BenchObs* obs, std::size_t trial) {
   tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
   const TargetId t = net.add_evader(w.walk.front());
   net.run_to_quiescence();
@@ -76,6 +77,7 @@ Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w) {
       net.run_to_quiescence();
     }
   }
+  if (obs != nullptr) obs->record(trial, net);
   Cost c;
   c.move_work = static_cast<double>(net.counters().move_work());
   c.find_work = static_cast<double>(net.counters().find_work());
@@ -88,9 +90,9 @@ stats::Table mix_table() {
 }
 
 stats::Table run_mix(const hier::GridHierarchy& h, const Workload& w,
-                     std::int64_t key) {
+                     std::int64_t key, BenchObs* obs, std::size_t trial) {
   stats::Table table = mix_table();
-  const Cost vine = run_vinestalk(h, w);
+  const Cost vine = run_vinestalk(h, w, obs, trial);
   table.add_row({key, std::string("VINESTALK"), vine.move_work,
                  vine.find_work, vine.total()});
   baselines::TreeDirectory tree(h);
@@ -108,7 +110,7 @@ stats::Table run_mix(const hier::GridHierarchy& h, const Workload& w,
   return table;
 }
 
-stats::Table run_adversarial() {
+stats::Table run_adversarial(BenchObs* obs, std::size_t trial) {
   hier::GridHierarchy h(243, 243, 3);
   Workload w;
   const RegionId a = h.grid().region_at(80, 121);
@@ -124,7 +126,7 @@ stats::Table run_adversarial() {
         76 + static_cast<int>(rng.uniform_int(0, 3)),
         119 + static_cast<int>(rng.uniform_int(0, 4))));
   }
-  return run_mix(h, w, 3);
+  return run_mix(h, w, 3, obs, trial);
 }
 
 }  // namespace
@@ -143,14 +145,15 @@ int main(int argc, char** argv) {
 
   constexpr std::array<int, 3> kFindEvery{10, 3, 1};
   // Trials 0-2: regime (a) mixes. Trial 3: the regime (b) workload.
+  BenchObs obs("e5_baselines", kFindEvery.size() + 1);
   auto tables = sweep(opt, kFindEvery.size() + 1, [&](std::size_t trial) {
-    if (trial == kFindEvery.size()) return run_adversarial();
+    if (trial == kFindEvery.size()) return run_adversarial(&obs, trial);
     const int find_every = kFindEvery[trial];
     hier::GridHierarchy h(81, 81, 3);
     const Workload w = make_workload(
         h.tiling(), h.grid().region_at(40, 40), 120, find_every,
         0xE5 + static_cast<std::uint64_t>(find_every));
-    return run_mix(h, w, find_every);
+    return run_mix(h, w, find_every, &obs, trial);
   });
 
   std::cout << "-- regime (a): 81x81, 120-step random walk, random-origin "
@@ -165,6 +168,7 @@ int main(int argc, char** argv) {
                "boundary (x = 80|81),\n   finds every 3 steps from ≤ 5 "
                "regions away (across the same boundary) --\n";
   tables.back().print(std::cout);
+  obs.maybe_write(opt);
 
   std::cout << "\nshape check: in regime (b) VINESTALK's total is the "
                "smallest by a wide margin — locality under dithering is "

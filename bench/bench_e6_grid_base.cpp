@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       World{2, 64}, World{3, 81}, World{4, 64}, World{8, 64}};
   stats::Table table({"base", "side", "MAX", "r*logD", "move_w/step",
                       "move/scale", "find_w(d=20)"});
+  BenchObs obs("e6_grid_base", kWorlds.size());
   const auto rows = sweep(opt, kWorlds.size(), [&](std::size_t trial) {
     const World w = kWorlds[trial];
     GridNet g = make_grid(w.side, w.base);
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
 
     const double scale = static_cast<double>(w.base) *
                          static_cast<double>(g.hierarchy->max_level());
+    obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{w.base}, std::int64_t{w.side},
         std::int64_t{g.hierarchy->max_level()}, scale, per_step,
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: move/scale roughly constant across bases "
                "(work ∝ r·log_r D); find work stays O(d) for all r.\n";
   return 0;

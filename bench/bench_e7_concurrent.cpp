@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   constexpr std::array<int, 7> kDwells{1, 2, 4, 8, 16, 32, 64};
   stats::Table table({"dwell_x(δ+e)", "consistent_at_stop", "find_success",
                       "find_latency_ms", "move_w/step", "drain_ms"});
+  BenchObs obs("e7_concurrent", kDwells.size());
   const auto rows = sweep(opt, kDwells.size(), [&](std::size_t trial) {
     const int dwell_mult = kDwells[trial];
     GridNet g = make_grid(27, 3);
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
         latency_ms += static_cast<double>(r.latency().count()) / 1000.0;
       }
     }
+    obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{dwell_mult}, std::string(consistent_now ? "yes" : "no"),
         static_cast<double>(done) / static_cast<double>(finds.size()),
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: three regimes — (i) dwell ≳ 4·(δ+e): every "
                "find completes and per-step move work matches the atomic "
                "cost (§VI's claim); (ii) a large-dwell threshold beyond "

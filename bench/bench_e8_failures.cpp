@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   constexpr std::array<int, 5> kFailEvery{0, 20, 10, 5, 2};
   stats::Table table({"fail_every_n_steps", "failures", "drops",
                       "repair_msgs", "consistent_at_end", "find_ok"});
+  BenchObs obs("e8_failures", kFailEvery.size());
   const auto rows = sweep(opt, kFailEvery.size(), [&](std::size_t trial) {
     const int fail_every = kFailEvery[trial];
     tracking::NetworkConfig cfg;
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
         g.net->find_result(f).done &&
         g.net->find_result(f).found_region == walk.back();
 
+    obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{fail_every}, g.net->directory()->failures(),
         g.net->cgcast().dropped(), stab.repairs(),
@@ -74,6 +76,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: find_ok = yes at every failure rate; repair "
                "traffic scales with the number of failures.\n";
   return 0;

@@ -23,7 +23,9 @@ struct Scenario {
   int evaders;
 };
 
-ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated) {
+ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated,
+                                 BenchObs* obs = nullptr,
+                                 std::size_t trial = 0) {
   GridNet g = make_grid(27, 3);
   std::vector<TargetId> targets;
   std::vector<std::unique_ptr<vsa::RandomWalkMover>> movers;
@@ -57,7 +59,9 @@ ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated) {
       coord.add_target(targets[i - 1], movers[i - 1].get());
     }
   }
-  return coord.run();
+  ext::PursuitOutcome outcome = coord.run();
+  if (obs != nullptr) obs->record(trial, *g.net);
+  return outcome;
 }
 
 }  // namespace
@@ -75,9 +79,10 @@ int main(int argc, char** argv) {
       Scenario{4, 4}};
   stats::Table table({"pursuers", "evaders", "caught", "rounds",
                       "find_msgs", "find_work"});
+  BenchObs obs("e9_pursuit", kScenarios.size());
   const auto rows = sweep(opt, kScenarios.size(), [&](std::size_t trial) {
     const Scenario sc = kScenarios[trial];
-    const auto outcome = run_scenario(sc, /*coordinated=*/true);
+    const auto outcome = run_scenario(sc, /*coordinated=*/true, &obs, trial);
     return std::vector<stats::Table::Cell>{
         std::int64_t{sc.pursuers}, std::int64_t{sc.evaders},
         std::string(outcome.all_caught ? "all" : "some"),
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
   });
   for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
+  obs.maybe_write(opt);
   std::cout << "\nshape check: all targets caught; rounds shrink as the "
                "pursuer:evader ratio grows.\n";
   return 0;

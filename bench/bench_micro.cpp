@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 
 namespace {
@@ -53,6 +54,56 @@ std::uint64_t run_chains(std::uint64_t total_events) {
   return sched.events_fired();
 }
 
+// The same chain with a record point in the event body — the exact gate
+// pattern the protocol layers use (see vsa::CGcast::record). With the
+// recorder disabled this measures the pointer-test-plus-bool-load cost of
+// an idle record point; enabled, the full 56-byte append; compiled out
+// (-DVINESTALK_TRACE=OFF), the gate is dead code and the numbers must
+// match the plain chain. The extra pointer keeps the capture at 32 bytes,
+// still inside EventAction's inline buffer.
+struct TracedChain {
+  sim::Scheduler& sched;
+  obs::TraceRecorder* trace;
+  std::uint64_t left;
+  std::uint64_t jitter;
+  void operator()() {
+    if (obs::kTraceCompiled && trace != nullptr && trace->enabled()) {
+      trace->append(obs::TraceEvent{
+          .time_us = sched.now().count(),
+          .seq = sched.current_seq(),
+          .cause = sched.current_cause(),
+          .find = -1,
+          .a = -1,
+          .b = -1,
+          .target = -1,
+          .arg = 0,
+          .level = -1,
+          .kind = static_cast<std::uint8_t>(obs::TraceKind::kTimerFire),
+          .msg = obs::kNoMsg,
+          .extra = 0});
+    }
+    if (--left > 0) {
+      sched.schedule_after(
+          sim::Duration::micros(static_cast<std::int64_t>(jitter % 977 + 1)),
+          TracedChain{sched, trace, left,
+                      jitter * 6364136223846793005ULL + 1});
+    }
+  }
+};
+
+std::uint64_t run_traced_chains(std::uint64_t total_events,
+                                obs::TraceRecorder& trace) {
+  sim::Scheduler sched;
+  constexpr std::uint64_t kChains = 64;
+  for (std::uint64_t c = 0; c < kChains; ++c) {
+    sched.schedule_after(
+        sim::Duration::micros(static_cast<std::int64_t>(c)),
+        TracedChain{sched, &trace, total_events / kChains, c + 1});
+  }
+  sched.run();
+  return sched.events_fired();
+}
+
 void BM_SchedulerEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Scheduler sched;
@@ -75,6 +126,25 @@ void BM_SchedulerSteadyState(benchmark::State& state) {
       static_cast<double>(sim::EventAction::heap_fallbacks()));
 }
 BENCHMARK(BM_SchedulerSteadyState)->Arg(100000);
+
+void BM_SchedulerSteadyStateTraced(benchmark::State& state) {
+  // Arg 0: tracing runtime-disabled (idle gate); arg 1: enabled (full
+  // append). With VINESTALK_TRACE=OFF both collapse to the plain chain.
+  obs::TraceRecorder trace;
+  trace.set_enabled(state.range(1) != 0);
+  for (auto _ : state) {
+    trace.clear();
+    trace.set_enabled(state.range(1) != 0);
+    benchmark::DoNotOptimize(
+        run_traced_chains(static_cast<std::uint64_t>(state.range(0)), trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["trace_events"] =
+      benchmark::Counter(static_cast<double>(trace.size()));
+}
+BENCHMARK(BM_SchedulerSteadyStateTraced)
+    ->Args({100000, 0})
+    ->Args({100000, 1});
 
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // Arm-then-cancel traffic (the Timer::arm/disarm pattern): every
@@ -217,6 +287,29 @@ bool write_sched_json(const std::string& path) {
       static_cast<double>(sim::EventAction::heap_fallbacks() - fallbacks0) /
       (3.0 * static_cast<double>(fired));
 
+  // Tracing overhead on the identical chain workload, best of three:
+  // runtime-disabled measures the idle record-point gate, enabled the full
+  // 56-byte append. With tracing compiled out both gates are dead code and
+  // the numbers must sit within noise of the plain serial figure.
+  obs::TraceRecorder trace;
+  double best_off = 1e100;
+  double best_on = 1e100;
+  std::uint64_t traced_fired = 0;
+  std::size_t trace_records = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    trace.clear();
+    trace.set_enabled(false);
+    auto t0 = std::chrono::steady_clock::now();
+    traced_fired = run_traced_chains(kSerialEvents, trace);
+    best_off = std::min(best_off, seconds_since(t0));
+    trace.clear();
+    trace.set_enabled(true);
+    t0 = std::chrono::steady_clock::now();
+    run_traced_chains(kSerialEvents, trace);
+    best_on = std::min(best_on, seconds_since(t0));
+    trace_records = trace.size();
+  }
+
   // Trial-pool scaling: the same 8-world sweep at 1, 2, 4 threads.
   std::vector<ScalingPoint> scaling;
   for (const int jobs : {1, 2, 4}) {
@@ -246,6 +339,23 @@ bool write_sched_json(const std::string& path) {
                static_cast<double>(fired) / best);
   std::fprintf(f, "    \"heap_fallbacks_per_event\": %.6f\n",
                fallbacks_per_event);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"trace\": {\n");
+  std::fprintf(f, "    \"compiled\": %s,\n",
+               vs::obs::kTraceCompiled ? "true" : "false");
+  std::fprintf(f, "    \"events\": %llu,\n",
+               static_cast<unsigned long long>(traced_fired));
+  std::fprintf(f, "    \"disabled_seconds\": %.6f,\n", best_off);
+  std::fprintf(f, "    \"disabled_events_per_sec\": %.0f,\n",
+               static_cast<double>(traced_fired) / best_off);
+  std::fprintf(f, "    \"disabled_slowdown_vs_serial\": %.3f,\n",
+               best_off / best);
+  std::fprintf(f, "    \"enabled_seconds\": %.6f,\n", best_on);
+  std::fprintf(f, "    \"enabled_events_per_sec\": %.0f,\n",
+               static_cast<double>(traced_fired) / best_on);
+  std::fprintf(f, "    \"enabled_slowdown_vs_serial\": %.3f,\n",
+               best_on / best);
+  std::fprintf(f, "    \"enabled_trace_records\": %zu\n", trace_records);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scaling\": [\n");
   const double base = scaling.front().seconds;

@@ -11,13 +11,17 @@
 // order — the printed tables are byte-identical for every --jobs value.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "obs/metrics.hpp"
 #include "runner/trial_pool.hpp"
 #include "stats/table.hpp"
 #include "tracking/network.hpp"
@@ -61,6 +65,9 @@ inline std::vector<RegionId> random_walk(const geo::Tiling& tiling,
 /// Command-line options shared by every bench binary.
 struct BenchOptions {
   int jobs = 0;  // 0 = runner::default_jobs() (hardware concurrency)
+  /// --obs-json=FILE: write the bench's observability artifact (per-trial
+  /// WorkCounters + merged MetricsRegistry) as JSON. Empty = off.
+  std::string obs_json;
 };
 
 inline BenchOptions parse_bench_args(int argc, char** argv) {
@@ -71,11 +78,18 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opt.jobs = std::atoi(argv[++i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       opt.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--obs-json" && i + 1 < argc) {
+      opt.obs_json = argv[++i];
+    } else if (arg.rfind("--obs-json=", 0) == 0) {
+      opt.obs_json = arg.substr(11);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--jobs N]\n"
+      std::cout << "usage: " << argv[0] << " [--jobs N] [--obs-json FILE]\n"
                 << "  --jobs N  worker threads for the trial sweep "
                    "(default: hardware concurrency; output is identical "
-                   "for every N)\n";
+                   "for every N)\n"
+                   "  --obs-json FILE  write per-trial work counters and the "
+                   "merged metrics registry as JSON (deterministic for "
+                   "every --jobs)\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -97,6 +111,64 @@ auto sweep(const BenchOptions& opt, std::size_t n, Fn&& fn) {
   runner::TrialPool pool(opt.jobs);
   return pool.run(n, std::forward<Fn>(fn));
 }
+
+/// The bench observability artifact: one slot per trial, filled from the
+/// pool threads (distinct indices — race-free; TrialPool's join provides
+/// the happens-before for write()). write() renders every trial's counters
+/// through stats::WorkCounters::to_json — the single counter-JSON emitter,
+/// no bench hand-formats counters — plus the trial-index-order merge of
+/// the per-trial metrics registries. Byte-identical for every --jobs.
+class BenchObs {
+ public:
+  BenchObs(std::string bench, std::size_t trials)
+      : bench_(std::move(bench)), counters_(trials), metrics_(trials) {}
+
+  /// Record trial `trial`'s outputs (call once per trial, from its thread).
+  void record(std::size_t trial, const stats::WorkCounters& counters,
+              obs::MetricsRegistry metrics = {}) {
+    counters_[trial].emplace(counters);
+    metrics_[trial] = std::move(metrics);
+  }
+  /// Convenience: a whole world's counters + exported metrics.
+  void record(std::size_t trial, tracking::TrackingNetwork& net) {
+    record(trial, net.counters(), net.export_metrics());
+  }
+
+  void write(std::ostream& os) const {
+    os << "{\n  \"bench\": \"" << bench_ << "\",\n";
+    os << "  \"trials\": " << counters_.size() << ",\n";
+    os << "  \"counters\": [";
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ");
+      if (counters_[i].has_value()) {
+        counters_[i]->to_json(os, 4);
+      } else {
+        os << "null";
+      }
+    }
+    os << "\n  ],\n";
+    os << "  \"metrics\": ";
+    runner::merge_metrics(metrics_).to_json(os, 2);
+    os << "\n}\n";
+  }
+
+  /// Write to --obs-json if set; silent no-op otherwise.
+  void maybe_write(const BenchOptions& opt) const {
+    if (opt.obs_json.empty()) return;
+    std::ofstream os(opt.obs_json);
+    if (!os) {
+      std::cerr << "cannot write " << opt.obs_json << "\n";
+      std::exit(1);
+    }
+    write(os);
+    std::cout << "wrote " << opt.obs_json << "\n";
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::optional<stats::WorkCounters>> counters_;
+  std::vector<obs::MetricsRegistry> metrics_;
+};
 
 inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "\n==== " << experiment << " ====\n" << claim << "\n\n";

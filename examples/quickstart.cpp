@@ -7,15 +7,21 @@
 //      updates to the distributed tracking path;
 //   4. inject a find from any region; it completes with a found output at
 //      the evader's region.
+//
+// Set VS_TRACE=<path> to record the whole run as a VSTRACE1 trace file and
+// inspect it offline:  vinestalk_trace summary <path>   (or spans/check).
 
+#include <cstdlib>
 #include <iostream>
 
 #include "hier/grid_hierarchy.hpp"
+#include "obs/trace_io.hpp"
 #include "spec/consistency.hpp"
 #include "tracking/network.hpp"
 
 int main() {
   using namespace vs;
+  const char* trace_path = std::getenv("VS_TRACE");
 
   // A 27x27 world of unit regions, clustered into a base-3 grid hierarchy
   // (levels 0..3, one top-level cluster).
@@ -27,6 +33,7 @@ int main() {
   // The tracking network wires up one VSA per region, one Tracker per
   // cluster, the C-gcast service, and one client per region.
   tracking::TrackingNetwork net(hierarchy, tracking::NetworkConfig{});
+  if (trace_path != nullptr) net.set_tracing(true);
 
   // Drop the evader at (20, 6). Clients there broadcast the detection; the
   // tracking path grows from the region's level-0 cluster to the root.
@@ -61,6 +68,12 @@ int main() {
   std::cout << "consistent state: " << (report.ok() ? "yes" : "NO") << "; path ";
   for (const ClusterId c : report.path) {
     std::cout << c << (c == report.path.back() ? "\n" : " → ");
+  }
+
+  if (trace_path != nullptr) {
+    obs::write_trace_file(trace_path, net.trace());
+    std::cout << "trace: " << net.trace().size() << " events → " << trace_path
+              << " (find id " << find.value() << ")\n";
   }
   return report.ok() ? 0 : 1;
 }

@@ -1,11 +1,22 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <mutex>
+#include <string>
 
 namespace vs {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+thread_local int t_trial = -1;
+thread_local const void* t_clock_ctx = nullptr;
+thread_local LogClock t_clock_fn = nullptr;
+
+std::mutex& writer_mutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 constexpr std::string_view name_of(LogLevel level) {
   switch (level) {
@@ -24,9 +35,47 @@ void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
+void set_log_trial(int trial) { t_trial = trial; }
+int log_trial() { return t_trial; }
+
+void set_log_clock(const void* ctx, LogClock fn) {
+  t_clock_ctx = ctx;
+  t_clock_fn = fn;
+}
+
+void clear_log_clock(const void* ctx) {
+  if (t_clock_ctx != ctx) return;  // a newer world took over this thread
+  t_clock_ctx = nullptr;
+  t_clock_fn = nullptr;
+}
+
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
-  std::cerr << "[" << name_of(level) << "] " << msg << '\n';
+  // Assemble the complete line, then emit it in one write under the
+  // process-wide writer mutex — the no-interleaving guarantee.
+  std::string line;
+  line.reserve(msg.size() + 48);
+  line += '[';
+  line += name_of(level);
+  line += "] ";
+  if (t_trial >= 0 || t_clock_fn != nullptr) {
+    line += "[";
+    if (t_trial >= 0) {
+      line += "trial ";
+      line += std::to_string(t_trial);
+      if (t_clock_fn != nullptr) line += " | ";
+    }
+    if (t_clock_fn != nullptr) {
+      line += "t=";
+      line += std::to_string(t_clock_fn(t_clock_ctx));
+      line += "us";
+    }
+    line += "] ";
+  }
+  line += msg;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(writer_mutex());
+  std::cerr << line;
 }
 }  // namespace detail
 

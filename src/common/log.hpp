@@ -1,10 +1,17 @@
 #pragma once
-// Minimal leveled logging to stderr.
+// Minimal leveled logging to stderr, through a single writer.
 //
 // The simulator is deterministic; a trace of what happened at which virtual
 // time is the main debugging tool. Logging is compiled in but off by
 // default; tests and examples flip the level.
+//
+// Single-writer guarantee: log_line assembles the complete line first and
+// emits it under one process-wide mutex, so lines from concurrent
+// trial-pool worlds never interleave mid-line. Each line carries the
+// thread's trial index and the virtual time of the world it is driving
+// (when a clock probe is installed): "[INFO ] [trial 3 | t=12000us] msg".
 
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -18,6 +25,19 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
 /// relaxed atomic (a read per suppressed log line; no ordering needed).
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Per-thread trial index prefixed to log lines (-1 = none). TrialPool
+/// sets it around each trial; anything the trial logs is attributable.
+void set_log_trial(int trial);
+[[nodiscard]] int log_trial();
+
+/// Per-thread virtual-clock probe: returns the driving world's now() in
+/// microseconds. Type-erased so common/ needs no sim dependency.
+using LogClock = std::int64_t (*)(const void* ctx);
+void set_log_clock(const void* ctx, LogClock fn);
+/// Uninstalls the probe only if `ctx` is the one installed — worlds may
+/// destruct in any order, and a stale clear must not drop a live probe.
+void clear_log_clock(const void* ctx);
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);

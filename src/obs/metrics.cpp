@@ -1,0 +1,157 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace vs::obs {
+
+Histogram::Histogram(std::span<const std::int64_t> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1, 0) {
+  VS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+             "histogram bounds must be ascending");
+}
+
+void Histogram::record(std::int64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 && bounds_.empty()) {
+    *this = other;
+    return;
+  }
+  VS_REQUIRE(bounds_ == other.bounds_, "histogram bucket layouts differ");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::to_json(std::ostream& os) const {
+  os << "{\"count\": " << count_ << ", \"sum\": " << sum_
+     << ", \"min\": " << min_ << ", \"max\": " << max_ << ", \"buckets\": [";
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"le\": ";
+    if (i < bounds_.size()) {
+      os << bounds_[i];
+    } else {
+      os << "\"inf\"";
+    }
+    os << ", \"count\": " << buckets_[i] << "}";
+  }
+  os << "]}";
+}
+
+void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::int64_t> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(bounds)).first;
+  } else {
+    VS_REQUIRE(std::equal(bounds.begin(), bounds.end(),
+                          it->second.bounds().begin(),
+                          it->second.bounds().end()),
+               "histogram " << name << " re-declared with different bounds");
+  }
+  return it->second;
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) add(name, v);
+  for (const auto& [name, v] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauges_.emplace(name, v);
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void MetricsRegistry::to_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  const std::string pad4 = pad2 + "  ";
+  os << "{\n" << pad2 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    os << (first ? "\n" : ",\n") << pad4 << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "},\n";
+  os << pad2 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    os << (first ? "\n" : ",\n") << pad4 << "\"" << name << "\": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "},\n";
+  os << pad2 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << pad4 << "\"" << name << "\": ";
+    h.to_json(os);
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad2) << "}\n" << pad << "}";
+}
+
+}  // namespace vs::obs

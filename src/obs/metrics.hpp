@@ -1,0 +1,88 @@
+#pragma once
+// Named counters, gauges, and histograms with a deterministic merge.
+//
+// Every metric value here derives from simulation state (virtual time,
+// message counts), never from wall-clock or thread identity, so per-trial
+// registries merged in trial-index order produce byte-identical JSON for
+// every --jobs value. Merge semantics: counters and histogram buckets sum,
+// gauges keep the maximum — all commutative, so the index-order convention
+// is a determinism guarantee rather than a correctness requirement.
+//
+// Registries are name-keyed (sorted maps) so to_json output is stable and
+// two registries merge by name without a shared registration sequence.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vs::obs {
+
+/// Fixed-bound histogram: counts of values v ≤ bound per bucket, plus an
+/// implicit +inf bucket, with running count/sum/min/max.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::span<const std::int64_t> bounds);
+
+  void record(std::int64_t value);
+  /// Requires identical bucket bounds.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::int64_t min() const { return min_; }
+  [[nodiscard]] std::int64_t max() const { return max_; }
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::int64_t>& buckets() const {
+    return buckets_;
+  }
+
+  void to_json(std::ostream& os) const;
+
+ private:
+  std::vector<std::int64_t> bounds_;   // ascending, upper-inclusive
+  std::vector<std::int64_t> buckets_;  // bounds_.size() + 1
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to a counter (created at 0 on first use).
+  void add(std::string_view name, std::int64_t delta = 1);
+  /// Set a gauge (merge keeps the maximum across trials).
+  void set_gauge(std::string_view name, std::int64_t value);
+  /// Histogram accessor; `bounds` fixes the bucket layout on first use and
+  /// must match on later calls.
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::int64_t> bounds);
+
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Fold another registry in (the TrialPool join step — call in
+  /// trial-index order for deterministic artifacts).
+  void merge(const MetricsRegistry& other);
+
+  void to_json(std::ostream& os, int indent = 0) const;
+
+ private:
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace vs::obs

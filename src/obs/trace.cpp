@@ -1,0 +1,43 @@
+#include "obs/trace.hpp"
+
+namespace vs::obs {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kClientSend: return "clientSend";
+    case TraceKind::kBroadcast: return "broadcast";
+    case TraceKind::kDeliver: return "deliver";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kLost: return "lost";
+    case TraceKind::kTimerFire: return "timerFire";
+    case TraceKind::kFindTimeout: return "findTimeout";
+    case TraceKind::kFindIssued: return "findIssued";
+    case TraceKind::kFoundOutput: return "foundOutput";
+  }
+  return "?";
+}
+
+void TraceRecorder::new_segment() {
+  segments_.push_back(std::make_unique<Segment>());
+  seg_fill_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const std::size_t n =
+        i + 1 == segments_.size() ? seg_fill_ : kSegmentEvents;
+    const Segment& seg = *segments_[i];
+    out.insert(out.end(), seg.events, seg.events + n);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  segments_.clear();
+  seg_fill_ = 0;
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,89 @@
+#include "obs/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+
+template <class T>
+void put(std::ostream& os, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  VS_REQUIRE(is.good(), "truncated trace stream");
+  return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const std::vector<WorldTrace>& worlds) {
+  os.write(kMagic, sizeof kMagic);
+  put<std::uint32_t>(os, kTraceFormatVersion);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(worlds.size()));
+  for (const WorldTrace& w : worlds) {
+    put<std::uint32_t>(os, w.world);
+    put<std::uint32_t>(os, 0);  // reserved
+    put<std::uint64_t>(os, static_cast<std::uint64_t>(w.events.size()));
+    os.write(reinterpret_cast<const char*>(w.events.data()),
+             static_cast<std::streamsize>(w.events.size() *
+                                          sizeof(TraceEvent)));
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<WorldTrace>& worlds) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  VS_REQUIRE(os.good(), "cannot open trace file for writing: " << path);
+  write_trace(os, worlds);
+  VS_REQUIRE(os.good(), "write failed for trace file: " << path);
+}
+
+void write_trace_file(const std::string& path, const TraceRecorder& recorder) {
+  write_trace_file(path, {WorldTrace{0, recorder.events()}});
+}
+
+std::vector<WorldTrace> read_trace(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  VS_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof magic) == 0,
+             "not a VSTRACE1 trace file");
+  const auto version = get<std::uint32_t>(is);
+  VS_REQUIRE(version == kTraceFormatVersion,
+             "unsupported trace format version " << version);
+  const auto world_count = get<std::uint32_t>(is);
+  std::vector<WorldTrace> worlds;
+  worlds.reserve(world_count);
+  for (std::uint32_t i = 0; i < world_count; ++i) {
+    WorldTrace w;
+    w.world = get<std::uint32_t>(is);
+    (void)get<std::uint32_t>(is);  // reserved
+    const auto count = get<std::uint64_t>(is);
+    w.events.resize(count);
+    is.read(reinterpret_cast<char*>(w.events.data()),
+            static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+    VS_REQUIRE(is.good(), "truncated trace stream (world " << w.world << ")");
+    worlds.push_back(std::move(w));
+  }
+  return worlds;
+}
+
+std::vector<WorldTrace> read_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  VS_REQUIRE(is.good(), "cannot open trace file: " << path);
+  return read_trace(is);
+}
+
+}  // namespace vs::obs

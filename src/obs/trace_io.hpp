@@ -1,0 +1,44 @@
+#pragma once
+// Trace file format: the bench/CLI artifact the vinestalk_trace tool reads.
+//
+// Layout (all integers little-endian native, the build's own byte order —
+// traces are run artifacts like BENCH_*.json, not an interchange format):
+//
+//   bytes 0..7   magic "VSTRACE1"
+//   u32          format version (kTraceFormatVersion)
+//   u32          world count
+//   per world:   u32 world index, u32 reserved(0), u64 event count,
+//                count × TraceEvent (raw 56-byte records)
+//
+// A multi-trial sweep writes one world section per trial, in trial-index
+// order; because every TraceEvent derives from world-local state only, the
+// file is byte-identical for every --jobs value (pinned by tests).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vs::obs {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// One world's (trial's) events, tagged with its trial index.
+struct WorldTrace {
+  std::uint32_t world = 0;
+  std::vector<TraceEvent> events;
+};
+
+void write_trace(std::ostream& os, const std::vector<WorldTrace>& worlds);
+void write_trace_file(const std::string& path,
+                      const std::vector<WorldTrace>& worlds);
+/// Single-world convenience (quickstart, the CLI's `trace` command).
+void write_trace_file(const std::string& path, const TraceRecorder& recorder);
+
+/// Throws vs::Error on bad magic/version/truncation.
+[[nodiscard]] std::vector<WorldTrace> read_trace(std::istream& is);
+[[nodiscard]] std::vector<WorldTrace> read_trace_file(const std::string& path);
+
+}  // namespace vs::obs

@@ -1,0 +1,282 @@
+#include "obs/trace_query.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "stats/counters.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+constexpr std::size_t kKindSlots = 16;  // > max TraceKind value
+
+bool is_find_msg(std::uint8_t msg) {
+  switch (static_cast<stats::MsgKind>(msg)) {
+    case stats::MsgKind::kFind:
+    case stats::MsgKind::kFindQuery:
+    case stats::MsgKind::kFindAck:
+    case stats::MsgKind::kFound:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_find_phase(const TraceEvent& e) {
+  const auto k = static_cast<TraceKind>(e.kind);
+  return k == TraceKind::kFindIssued || k == TraceKind::kFoundOutput ||
+         k == TraceKind::kFindTimeout ||
+         (e.msg != kNoMsg && is_find_msg(e.msg));
+}
+
+std::string_view msg_name(std::uint8_t msg) {
+  if (msg == kNoMsg) return "-";
+  return stats::to_string(static_cast<stats::MsgKind>(msg));
+}
+
+}  // namespace
+
+TraceSummary summarize(const WorldTrace& w) {
+  TraceSummary s;
+  s.world = w.world;
+  s.events = w.events.size();
+  s.by_kind.assign(kKindSlots, 0);
+  s.sends_by_msg.assign(static_cast<std::size_t>(stats::MsgKind::kCount), 0);
+  bool first = true;
+  for (const TraceEvent& e : w.events) {
+    if (first) {
+      s.first_us = e.time_us;
+      first = false;
+    }
+    s.last_us = e.time_us;
+    if (e.kind < kKindSlots) ++s.by_kind[e.kind];
+    const auto kind = static_cast<TraceKind>(e.kind);
+    if ((kind == TraceKind::kSend || kind == TraceKind::kClientSend) &&
+        e.msg < s.sends_by_msg.size()) {
+      ++s.sends_by_msg[e.msg];
+    }
+    if (kind == TraceKind::kFindIssued) ++s.finds_issued;
+    if (kind == TraceKind::kFoundOutput) ++s.finds_completed;
+    s.max_level = std::max(s.max_level, e.level);
+  }
+  return s;
+}
+
+FindSpan find_span(const WorldTrace& w, std::int64_t find_id) {
+  FindSpan span;
+  span.find = find_id;
+  // Contexts (scheduler seqs) that recorded at least one event, any kind —
+  // a find's causal parent may be a move-phase context (e.g. the grow
+  // delivery that armed a timer the find later rides through).
+  std::unordered_set<std::uint64_t> seen_ctx;
+  std::unordered_set<std::uint64_t> span_causes;
+  bool connected = true;
+  for (const TraceEvent& e : w.events) {
+    if (e.find == find_id) {
+      const auto kind = static_cast<TraceKind>(e.kind);
+      if (kind == TraceKind::kFindIssued) span.issued = true;
+      if (kind == TraceKind::kFoundOutput) span.found = true;
+      // A find-phase record fired inside context e.seq; that context was
+      // scheduled by e.cause. External injections (cause 0) are roots.
+      if (e.cause != 0 && seen_ctx.find(e.cause) == seen_ctx.end()) {
+        connected = false;
+      }
+      span.events.push_back(e);
+      span_causes.insert(e.cause);
+    }
+    if (e.seq != 0) seen_ctx.insert(e.seq);
+  }
+  span.causally_connected = connected && !span.events.empty();
+  return span;
+}
+
+std::vector<std::int64_t> find_ids(const WorldTrace& w) {
+  std::set<std::int64_t> ids;
+  for (const TraceEvent& e : w.events) {
+    if (e.find >= 0) ids.insert(e.find);
+  }
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<TraceEvent> timeline(const WorldTrace& w, int level) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : w.events) {
+    if (e.level == level) out.push_back(e);
+  }
+  return out;
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "check: OK\n";
+    return os.str();
+  }
+  os << "check: " << violations.size() << " violation(s)\n";
+  for (const std::string& v : violations) os << "  " << v << "\n";
+  return os.str();
+}
+
+CheckReport check_trace(const WorldTrace& w) {
+  CheckReport report;
+  const auto flag = [&](const std::string& what) {
+    report.violations.push_back("world " + std::to_string(w.world) + ": " +
+                                what);
+  };
+
+  std::int64_t prev_time = 0;
+  std::unordered_set<std::uint64_t> seen_ctx;
+  // Per-target high-water grow level (Lemma 4.1/4.3) and grow-seen set per
+  // level (Lemma 4.2/4.4).
+  std::map<std::int32_t, std::int16_t> grow_high;
+  std::set<std::pair<std::int32_t, std::int16_t>> grow_seen;
+  std::set<std::int64_t> issued, completed, queried, acked;
+  std::vector<std::size_t> sends(static_cast<std::size_t>(
+                                     stats::MsgKind::kCount),
+                                 0),
+      delivers(sends);
+
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    const TraceEvent& e = w.events[i];
+    const auto kind = static_cast<TraceKind>(e.kind);
+
+    if (e.time_us < prev_time) {
+      flag("record " + std::to_string(i) + ": virtual time went backwards (" +
+           std::to_string(e.time_us) + "us after " +
+           std::to_string(prev_time) + "us)");
+    }
+    prev_time = std::max(prev_time, e.time_us);
+
+    if (is_find_phase(e) && e.cause != 0 &&
+        seen_ctx.find(e.cause) == seen_ctx.end()) {
+      flag("record " + std::to_string(i) + ": find-phase event (" +
+           std::string(to_string(kind)) +
+           ") caused by unrecorded context seq=" + std::to_string(e.cause));
+    }
+    if (e.seq != 0) seen_ctx.insert(e.seq);
+
+    const bool is_send =
+        kind == TraceKind::kSend || kind == TraceKind::kClientSend;
+    if (is_send && e.msg < sends.size()) ++sends[e.msg];
+    if (kind == TraceKind::kDeliver && e.msg < delivers.size()) {
+      ++delivers[e.msg];
+    }
+
+    if (is_send && e.msg == static_cast<std::uint8_t>(stats::MsgKind::kGrow)) {
+      auto [it, inserted] = grow_high.emplace(e.target, e.level);
+      if (!inserted) {
+        if (e.level > it->second + 1) {
+          flag("record " + std::to_string(i) + ": grow for target " +
+               std::to_string(e.target) + " at level " +
+               std::to_string(e.level) + " skips levels (previous max " +
+               std::to_string(it->second) + ") — violates Lemma 4.1");
+        }
+        it->second = std::max(it->second, e.level);
+      } else if (e.level > 0) {
+        flag("record " + std::to_string(i) + ": first grow for target " +
+             std::to_string(e.target) + " at level " +
+             std::to_string(e.level) + " (> 0) — violates Lemma 4.1");
+      }
+      grow_seen.insert({e.target, e.level});
+    }
+    if (is_send &&
+        e.msg == static_cast<std::uint8_t>(stats::MsgKind::kShrink) &&
+        grow_seen.find({e.target, e.level}) == grow_seen.end()) {
+      flag("record " + std::to_string(i) + ": shrink for target " +
+           std::to_string(e.target) + " at level " + std::to_string(e.level) +
+           " with no earlier grow at that level — violates Lemma 4.2");
+    }
+
+    if (kind == TraceKind::kFindIssued) issued.insert(e.find);
+    if (kind == TraceKind::kFoundOutput) {
+      if (issued.find(e.find) == issued.end()) {
+        flag("record " + std::to_string(i) + ": found output for find " +
+             std::to_string(e.find) + " that was never issued");
+      }
+      completed.insert(e.find);
+    }
+    if (is_send &&
+        e.msg == static_cast<std::uint8_t>(stats::MsgKind::kFindQuery)) {
+      queried.insert(e.find);
+    }
+    if (is_send &&
+        e.msg == static_cast<std::uint8_t>(stats::MsgKind::kFindAck)) {
+      if (queried.find(e.find) == queried.end()) {
+        flag("record " + std::to_string(i) + ": findAck for find " +
+             std::to_string(e.find) + " with no earlier findQuery");
+      }
+      acked.insert(e.find);
+    }
+  }
+
+  for (std::size_t m = 0; m < sends.size(); ++m) {
+    if (delivers[m] > sends[m]) {
+      flag(std::string(stats::to_string(static_cast<stats::MsgKind>(m))) +
+           ": " + std::to_string(delivers[m]) + " deliveries but only " +
+           std::to_string(sends[m]) + " sends");
+    }
+  }
+  for (const std::int64_t f : issued) {
+    if (completed.find(f) == completed.end()) {
+      flag("find " + std::to_string(f) +
+           " was issued but never completed within the trace");
+    }
+  }
+  return report;
+}
+
+CheckReport check_trace(const std::vector<WorldTrace>& worlds) {
+  CheckReport all;
+  for (const WorldTrace& w : worlds) {
+    CheckReport r = check_trace(w);
+    all.violations.insert(all.violations.end(), r.violations.begin(),
+                          r.violations.end());
+  }
+  return all;
+}
+
+std::string format_event(const TraceEvent& e) {
+  std::ostringstream os;
+  const auto kind = static_cast<TraceKind>(e.kind);
+  os << "t=" << e.time_us << "us seq=" << e.seq << " cause=" << e.cause << " "
+     << to_string(kind);
+  if (e.msg != kNoMsg) os << "/" << msg_name(e.msg);
+  if (e.level >= 0) os << " L" << e.level;
+  switch (kind) {
+    case TraceKind::kSend:
+    case TraceKind::kLost:
+      os << " " << e.a << "→" << e.b << " hops=" << e.arg;
+      break;
+    case TraceKind::kClientSend:
+      os << " region " << e.a << " → cluster " << e.b;
+      break;
+    case TraceKind::kBroadcast:
+      os << " cluster " << e.a << " → region " << e.b;
+      break;
+    case TraceKind::kDeliver:
+    case TraceKind::kDrop:
+      os << " " << e.a << "→" << e.b;
+      break;
+    case TraceKind::kTimerFire:
+      os << " cluster " << e.a
+         << (e.arg == 1 ? " grow" : e.arg == 2 ? " shrink" : " idle");
+      break;
+    case TraceKind::kFindTimeout:
+      os << " cluster " << e.a;
+      break;
+    case TraceKind::kFindIssued:
+    case TraceKind::kFoundOutput:
+      os << " region " << e.a;
+      break;
+  }
+  if (e.target >= 0) os << " target=" << e.target;
+  if (e.find >= 0) os << " find=" << e.find;
+  if (e.extra != 0) os << " x=" << e.extra;
+  return os.str();
+}
+
+}  // namespace vs::obs

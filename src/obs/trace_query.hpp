@@ -1,0 +1,82 @@
+#pragma once
+// Offline trace interpretation: summaries, causal span reconstruction,
+// per-level timelines, and invariant replay ("check").
+//
+// These are the reader half of the observability layer — pure functions
+// over recorded WorldTrace data, shared by the vinestalk_trace tool and
+// the trace tests. Nothing here touches a live simulation.
+//
+// The `check` pass replays structural consequences of the paper's update
+// and find lemmas against a trace:
+//  * Lemma 4.1/4.3 (updates climb one level per step): a grow send for a
+//    target never appears more than one level above every earlier grow;
+//  * Lemma 4.2/4.4 (shrinks trail the path they clean): a shrink send at
+//    level l needs an earlier grow send at level l for the same target;
+//  * two-phase find (§V): findAck only answers an earlier findQuery of the
+//    same find, found outputs only follow an issued find, and every
+//    issued find completes within a quiesced trace;
+//  * execution sanity: virtual time never decreases, find-phase causal
+//    links resolve to recorded contexts, and per message kind no more
+//    deliveries happen than sends.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+
+namespace vs::obs {
+
+/// Aggregate shape of one world's trace.
+struct TraceSummary {
+  std::uint32_t world = 0;
+  std::size_t events = 0;
+  std::int64_t first_us = 0;
+  std::int64_t last_us = 0;
+  /// Counts indexed by TraceKind value (index 0 unused).
+  std::vector<std::size_t> by_kind;
+  /// Counts of kSend/kClientSend records per stats::MsgKind value.
+  std::vector<std::size_t> sends_by_msg;
+  std::size_t finds_issued = 0;
+  std::size_t finds_completed = 0;
+  std::int16_t max_level = -1;
+};
+
+[[nodiscard]] TraceSummary summarize(const WorldTrace& w);
+
+/// The causal span of one find: every record carrying its FindId, in
+/// record order, plus the verdict whether the chain is complete — issued,
+/// answered, and causally connected (each find-phase record's scheduling
+/// context resolves to an earlier record of the same world).
+struct FindSpan {
+  std::int64_t find = -1;
+  std::vector<TraceEvent> events;
+  bool issued = false;
+  bool found = false;
+  bool causally_connected = false;
+  [[nodiscard]] bool complete() const {
+    return issued && found && causally_connected;
+  }
+};
+
+[[nodiscard]] FindSpan find_span(const WorldTrace& w, std::int64_t find_id);
+
+/// FindIds observed in a world, ascending.
+[[nodiscard]] std::vector<std::int64_t> find_ids(const WorldTrace& w);
+
+/// Records at one hierarchy level, in record (time) order.
+[[nodiscard]] std::vector<TraceEvent> timeline(const WorldTrace& w, int level);
+
+struct CheckReport {
+  std::vector<std::string> violations;
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] CheckReport check_trace(const WorldTrace& w);
+[[nodiscard]] CheckReport check_trace(const std::vector<WorldTrace>& worlds);
+
+/// One-line human rendering of a record (the tool's list format).
+[[nodiscard]] std::string format_event(const TraceEvent& e);
+
+}  // namespace vs::obs

@@ -21,6 +21,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_io.hpp"
 
 namespace vs::runner {
 
@@ -58,12 +61,14 @@ class TrialPool {
         std::min(n, static_cast<std::size_t>(jobs_));
     const auto shard = [&](std::size_t w) {
       for (std::size_t i = w; i < n; i += workers) {
+        set_log_trial(static_cast<int>(i));  // attribute this trial's logs
         try {
           slots[i].emplace(fn(i));
         } catch (...) {
           errors[i] = std::current_exception();
         }
       }
+      set_log_trial(-1);
     };
     if (workers <= 1) {
       shard(0);
@@ -88,5 +93,19 @@ class TrialPool {
  private:
   int jobs_;
 };
+
+/// Join step for per-trial metrics: fold `parts` — already in trial-index
+/// order, exactly as TrialPool::run returns them — into one registry.
+/// Merge semantics are commutative (obs/metrics.hpp), but folding in index
+/// order keeps the artifact byte-identical for every --jobs value even if
+/// that ever changes.
+[[nodiscard]] obs::MetricsRegistry merge_metrics(
+    const std::vector<obs::MetricsRegistry>& parts);
+
+/// Join step for per-trial traces: label each trial's events with its
+/// index and concatenate in trial-index order — the multi-world layout
+/// obs::write_trace serialises.
+[[nodiscard]] std::vector<obs::WorldTrace> merge_traces(
+    std::vector<std::vector<obs::TraceEvent>> parts);
 
 }  // namespace vs::runner

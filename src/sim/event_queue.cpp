@@ -4,7 +4,7 @@
 
 namespace vs::sim {
 
-EventId EventQueue::push(TimePoint when, Action action) {
+EventId EventQueue::push(TimePoint when, Action action, std::uint64_t cause) {
   VS_REQUIRE(!when.is_never(), "cannot schedule an event at ∞");
   VS_REQUIRE(static_cast<bool>(action), "empty event action");
   const std::uint64_t seq = next_seq_++;
@@ -19,6 +19,7 @@ EventId EventQueue::push(TimePoint when, Action action) {
   Slot& s = slots_[slot];
   s.action = std::move(action);
   s.seq = seq;
+  s.cause = cause;
   heap_.push(Entry{when, seq, slot});
   ++live_count_;
   return EventId{seq, slot};
@@ -55,17 +56,22 @@ TimePoint EventQueue::next_time() const {
 }
 
 EventQueue::Action EventQueue::pop(TimePoint& when) {
+  Popped p = pop();
+  when = p.when;
+  return std::move(p.action);
+}
+
+EventQueue::Popped EventQueue::pop() {
   skim();
   VS_REQUIRE(!heap_.empty(), "pop on empty queue");
   const Entry top = heap_.top();
   heap_.pop();
   Slot& s = slots_[top.slot];
-  Action action = std::move(s.action);  // move leaves the slot action empty
+  Popped p{std::move(s.action), top.when, top.seq, s.cause};
   s.seq = 0;
   free_slots_.push_back(top.slot);
   --live_count_;
-  when = top.when;
-  return action;
+  return p;
 }
 
 }  // namespace vs::sim

@@ -45,7 +45,10 @@ class EventQueue {
   using Action = EventAction;
 
   /// Schedule `action` at absolute time `when`. Requires !when.is_never().
-  EventId push(TimePoint when, Action action);
+  /// `cause` is the sequence number of the event being fired when this one
+  /// was scheduled (0 = scheduled from outside any event) — the causal
+  /// edge the observability layer reconstructs spans from.
+  EventId push(TimePoint when, Action action, std::uint64_t cause = 0);
 
   /// Cancel a previously scheduled event. Cancelling an already-fired or
   /// already-cancelled event is a harmless no-op (returns false).
@@ -60,6 +63,16 @@ class EventQueue {
   /// Remove and return the earliest live event's action.
   /// Requires !empty(). Also reports the event's time via `when`.
   Action pop(TimePoint& when);
+
+  /// Earliest live event with its identity and causal parent (the
+  /// scheduler's step path). Requires !empty().
+  struct Popped {
+    Action action;
+    TimePoint when;
+    std::uint64_t seq;
+    std::uint64_t cause;
+  };
+  Popped pop();
 
   /// Number of live events (O(1); maintained incrementally).
   [[nodiscard]] std::size_t size() const { return live_count_; }
@@ -83,7 +96,8 @@ class EventQueue {
   };
   struct Slot {
     Action action;
-    std::uint64_t seq{0};  // generation of the occupying event; 0 = free
+    std::uint64_t seq{0};    // generation of the occupying event; 0 = free
+    std::uint64_t cause{0};  // seq of the event that scheduled this one
   };
 
   void skim() const;  // drop cancelled entries off the top

@@ -7,22 +7,29 @@ namespace vs::sim {
 EventId Scheduler::schedule_after(Duration delay, Action action) {
   VS_REQUIRE(delay >= Duration::zero(),
              "negative delay " << delay << " at " << now_);
-  return queue_.push(now_ + delay, std::move(action));
+  return queue_.push(now_ + delay, std::move(action), current_seq_);
 }
 
 EventId Scheduler::schedule_at(TimePoint when, Action action) {
   VS_REQUIRE(when >= now_, "scheduling into the past: " << when << " < " << now_);
-  return queue_.push(when, std::move(action));
+  return queue_.push(when, std::move(action), current_seq_);
 }
 
 bool Scheduler::step() {
   if (queue_.empty()) return false;
-  TimePoint when;
-  Action action = queue_.pop(when);
-  VS_DCHECK(when >= now_, "event queue time went backwards");
-  now_ = when;
+  EventQueue::Popped p = queue_.pop();
+  VS_DCHECK(p.when >= now_, "event queue time went backwards");
+  now_ = p.when;
   ++events_fired_;
-  action();
+  // Save/restore so a nested run() inside an action (rare, but legal in
+  // tests) doesn't clobber the outer firing context.
+  const std::uint64_t saved_seq = current_seq_;
+  const std::uint64_t saved_cause = current_cause_;
+  current_seq_ = p.seq;
+  current_cause_ = p.cause;
+  p.action();
+  current_seq_ = saved_seq;
+  current_cause_ = saved_cause;
   return true;
 }
 

@@ -50,12 +50,23 @@ class Scheduler {
   /// Total events fired over the scheduler's lifetime.
   [[nodiscard]] std::uint64_t events_fired() const { return events_fired_; }
 
+  /// Identity (queue sequence number) of the event currently firing, or 0
+  /// when called from outside any event. Anything scheduled while an event
+  /// fires records this as its causal parent, so a find's whole message
+  /// cascade chains back to the action that issued it.
+  [[nodiscard]] std::uint64_t current_seq() const { return current_seq_; }
+
+  /// Causal parent of the event currently firing (0 at a chain root).
+  [[nodiscard]] std::uint64_t current_cause() const { return current_cause_; }
+
   static constexpr std::uint64_t kDefaultEventBudget = 200'000'000;
 
  private:
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();
   std::uint64_t events_fired_{0};
+  std::uint64_t current_seq_{0};
+  std::uint64_t current_cause_{0};
 };
 
 }  // namespace vs::sim

@@ -1,6 +1,8 @@
 #include "stats/counters.hpp"
 
 #include <numeric>
+#include <ostream>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -132,6 +134,36 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
     d.work_by_level_[l] = work_by_level_[l] - earlier.work_by_level_[l];
   }
   return d;
+}
+
+void WorkCounters::to_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string in2(static_cast<std::size_t>(indent) + 4, ' ');
+  os << "{\n";
+  os << in << "\"total\": {\"messages\": " << total_messages()
+     << ", \"work\": " << total_work() << ", \"move_work\": " << move_work()
+     << ", \"find_work\": " << find_work() << "},\n";
+  os << in << "\"by_kind\": {";
+  bool first = true;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    if (msgs_by_kind_[k] == 0 && work_by_kind_[k] == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\n"
+       << in2 << "\"" << to_string(static_cast<MsgKind>(k))
+       << "\": {\"messages\": " << msgs_by_kind_[k]
+       << ", \"work\": " << work_by_kind_[k] << "}";
+  }
+  os << (first ? "" : "\n" + in) << "},\n";
+  os << in << "\"by_level\": [";
+  for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
+    if (l != 0) os << ",";
+    os << "\n"
+       << in2 << "{\"level\": " << l << ", \"messages\": " << msgs_by_level_[l]
+       << ", \"work\": " << work_by_level_[l] << "}";
+  }
+  os << "\n" << in << "]\n" << pad << "}";
 }
 
 void WorkCounters::accumulate(const WorkCounters& other) {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <string_view>
 #include <vector>
 
@@ -68,6 +69,13 @@ class WorkCounters {
   void accumulate(const WorkCounters& other);
 
   [[nodiscard]] Level max_level() const { return max_level_; }
+
+  /// JSON emitter — the single artifact schema every bench and tool uses
+  /// (no hand-formatted counter dumps). Shape:
+  ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N},
+  ///    "by_kind": {"grow": {"messages": N, "work": N}, ...},  // non-zero only
+  ///    "by_level": [{"level": 0, "messages": N, "work": N}, ...]}
+  void to_json(std::ostream& os, int indent = 0) const;
 
  private:
   static constexpr std::size_t kKinds =

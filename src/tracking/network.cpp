@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace vs::tracking {
 
@@ -100,6 +101,18 @@ TrackingNetwork::TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
     // Restart is from the initial (empty) state; reset on fail suffices.
   }
 
+  // Observability: one recorder per world, shared by the message service
+  // and every cluster process. Recording is off until set_tracing(true).
+  cgcast_->set_trace_recorder(&trace_);
+  for (const auto& tr : trackers_) tr->set_trace_recorder(&trace_);
+
+  // Stamp this thread's log lines with this world's virtual clock (the
+  // newest world on a thread wins; the destructor's identity-guarded clear
+  // keeps out-of-order teardown safe).
+  set_log_clock(this, [](const void* ctx) {
+    return static_cast<const TrackingNetwork*>(ctx)->sched_.now().count();
+  });
+
   // Per-find accounting.
   cgcast_->add_send_observer([this](const vsa::Message& m, ClusterId, ClusterId,
                                     Level level, std::int64_t hops) {
@@ -114,6 +127,8 @@ TrackingNetwork::TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
     }
   });
 }
+
+TrackingNetwork::~TrackingNetwork() { clear_log_clock(this); }
 
 Tracker& TrackingNetwork::tracker(ClusterId c) {
   VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < trackers_.size(),
@@ -138,6 +153,24 @@ void TrackingNetwork::move_and_quiesce(TargetId target, RegionId to) {
   run_to_quiescence();
 }
 
+void TrackingNetwork::record(obs::TraceKind kind, FindId f, TargetId t,
+                             RegionId region) {
+  trace_.append(obs::TraceEvent{
+      .time_us = sched_.now().count(),
+      .seq = sched_.current_seq(),
+      .cause = sched_.current_cause(),
+      .find = f.valid() ? f.value() : -1,
+      .a = region.valid() ? region.value() : -1,
+      .b = -1,
+      .target = t.valid() ? t.value() : -1,
+      .arg = 0,
+      .level = -1,
+      .kind = static_cast<std::uint8_t>(kind),
+      .msg = obs::kNoMsg,
+      .extra = 0,
+  });
+}
+
 FindId TrackingNetwork::start_find(RegionId from, TargetId target) {
   const FindId f{next_find_++};
   FindResult r;
@@ -146,6 +179,9 @@ FindId TrackingNetwork::start_find(RegionId from, TargetId target) {
   r.origin = from;
   r.issued = sched_.now();
   finds_.emplace(f, r);
+  if (obs::kTraceCompiled && trace_.enabled()) {
+    record(obs::TraceKind::kFindIssued, f, target, from);
+  }
   clients_->inject_find(from, target, f);
   return f;
 }
@@ -165,6 +201,35 @@ void TrackingNetwork::on_found_output(FindId f, TargetId t, RegionId region,
   it->second.done = true;
   it->second.found_region = region;
   it->second.completed = sched_.now();
+  if (obs::kTraceCompiled && trace_.enabled()) {
+    record(obs::TraceKind::kFoundOutput, f, t, region);
+  }
+}
+
+obs::MetricsRegistry TrackingNetwork::export_metrics() const {
+  obs::MetricsRegistry m;
+  m.add("sched.events_fired",
+        static_cast<std::int64_t>(sched_.events_fired()));
+  m.add("cgcast.msgs_total", counters_.total_messages());
+  m.add("cgcast.work_total", counters_.total_work());
+  m.add("cgcast.dropped", cgcast_->dropped());
+  m.add("cgcast.lost", cgcast_->lost());
+  m.add("trace.events", static_cast<std::int64_t>(trace_.size()));
+  m.set_gauge("sched.virtual_time_us", sched_.now().count());
+  // Find latency in δ units-ish buckets: powers of two of milliseconds.
+  static constexpr std::int64_t kLatencyBounds[] = {
+      1'000, 2'000, 4'000, 8'000, 16'000, 32'000, 64'000, 128'000,
+      256'000, 512'000, 1'024'000};
+  for (const auto& [id, fr] : finds_) {
+    m.add("find.issued");
+    if (!fr.done) continue;
+    m.add("find.completed");
+    m.add("find.messages", fr.messages);
+    m.add("find.work", fr.work);
+    m.histogram("find.latency_us", kLatencyBounds)
+        .record(fr.latency().count());
+  }
+  return m;
 }
 
 std::uint64_t TrackingNetwork::run_to_quiescence() { return sched_.run(); }

@@ -18,6 +18,8 @@
 
 #include "common/ids.hpp"
 #include "hier/hierarchy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/counters.hpp"
 #include "tracking/config.hpp"
@@ -75,6 +77,10 @@ class TrackingNetwork {
  public:
   TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
                   NetworkConfig config);
+  ~TrackingNetwork();
+
+  TrackingNetwork(const TrackingNetwork&) = delete;
+  TrackingNetwork& operator=(const TrackingNetwork&) = delete;
 
   // Component access.
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
@@ -89,6 +95,17 @@ class TrackingNetwork {
   [[nodiscard]] vsa::VsaDirectory* directory() { return directory_.get(); }
   [[nodiscard]] Tracker& tracker(ClusterId c);
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  // Observability. The recorder is wired through C-gcast and every Tracker
+  // at construction; recording stays off until set_tracing(true).
+  [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
+  void set_tracing(bool on) { trace_.set_enabled(on); }
+
+  /// Deterministic run metrics (events fired, message/work totals, drops,
+  /// find outcomes and latency histogram), rebuilt from live state on each
+  /// call. TrialPool merges these across worlds in trial-index order.
+  [[nodiscard]] obs::MetricsRegistry export_metrics() const;
 
   // Evader control.
   TargetId add_evader(RegionId start);
@@ -126,6 +143,7 @@ class TrackingNetwork {
  private:
   void dispatch(ClusterId dest, const vsa::Message& m);
   void on_found_output(FindId f, TargetId t, RegionId region, ClientId by);
+  void record(obs::TraceKind kind, FindId f, TargetId t, RegionId region);
 
   const hier::ClusterHierarchy* hier_;
   NetworkConfig config_;
@@ -141,6 +159,7 @@ class TrackingNetwork {
   std::vector<std::vector<RegionId>> replicas_;     // by cluster id
   std::map<FindId, FindResult> finds_;
   FindId::rep_type next_find_{1};
+  obs::TraceRecorder trace_;
 };
 
 }  // namespace vs::tracking

@@ -187,8 +187,33 @@ void Tracker::on_shrink_upd(const Message& m) {
 }
 
 // Timer expiry: the two timer-gated outputs of Figure 2.
+void Tracker::record(obs::TraceKind kind, TargetId target, FindId find,
+                     std::int32_t arg) {
+  trace_->append(obs::TraceEvent{
+      .time_us = sched_->now().count(),
+      .seq = sched_->current_seq(),
+      .cause = sched_->current_cause(),
+      .find = find.valid() ? find.value() : -1,
+      .a = clust_.value(),
+      .b = -1,
+      .target = target.valid() ? target.value() : -1,
+      .arg = arg,
+      .level = static_cast<std::int16_t>(lvl_),
+      .kind = static_cast<std::uint8_t>(kind),
+      .msg = obs::kNoMsg,
+      .extra = 0,
+  });
+}
+
 void Tracker::on_timer(TargetId t) {
   PerTarget& s = target_state(t);
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    const std::int32_t branch =
+        s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level() ? 1
+        : !s.c.valid() && s.p.valid()                             ? 2
+                                                                  : 0;
+    record(obs::TraceKind::kTimerFire, t, FindId{}, branch);
+  }
   if (s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level()) {
     // Output cTOBsend(⟨grow, clust⟩, par): extend the tracking path. Use a
     // lateral link if a neighbour advertises a parent-connected position.
@@ -316,6 +341,9 @@ void Tracker::on_find_ack(const Message& m) {
 void Tracker::on_nbrtimeout(FindId f) {
   PerFind& pf = find_state(f);
   if (!pf.finding) return;
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    record(obs::TraceKind::kFindTimeout, pf.target, f, 0);
+  }
   PerTarget& ts = target_state(pf.target);
   const bool still_searching = !ts.c.valid() && !ts.nbrptdown.valid() &&
                                (!ts.nbrptup.valid() || ts.nbrptup == ts.p);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
 #include "tracking/config.hpp"
@@ -80,6 +81,11 @@ class Tracker {
     state_hook_ = std::move(hook);
   }
 
+  /// Attach the world's trace recorder (nullptr detaches); not owned.
+  /// Records the local, non-message actions — timer expiries and find
+  /// timeouts — that message records alone cannot reconstruct.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct PerTarget {
     ClusterId c{};
@@ -131,6 +137,8 @@ class Tracker {
   void send(ClusterId to, vsa::MsgType type, TargetId target,
             FindId find = FindId{}, ClusterId ack_pointer = ClusterId{});
   void notify_state_change(TargetId t);
+  void record(obs::TraceKind kind, TargetId target, FindId find,
+              std::int32_t arg);
 
   sim::Scheduler* sched_;
   const hier::ClusterHierarchy* hier_;
@@ -142,6 +150,7 @@ class Tracker {
   std::map<TargetId, PerTarget> targets_;
   std::map<FindId, PerFind> finds_;
   StateChangeHook state_hook_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace vs::tracking

@@ -36,6 +36,24 @@ void CGcast::notify_observers(const Message& m, ClusterId from, ClusterId to,
   for (const auto& obs : observers_) obs(m, from, to, level, hops);
 }
 
+void CGcast::record(obs::TraceKind kind, const Message& m, std::int32_t a,
+                    std::int32_t b, Level level, std::int32_t arg) {
+  trace_->append(obs::TraceEvent{
+      .time_us = sched_->now().count(),
+      .seq = sched_->current_seq(),
+      .cause = sched_->current_cause(),
+      .find = m.find_id.valid() ? m.find_id.value() : -1,
+      .a = a,
+      .b = b,
+      .target = m.target.valid() ? m.target.value() : -1,
+      .arg = arg,
+      .level = static_cast<std::int16_t>(level),
+      .kind = static_cast<std::uint8_t>(kind),
+      .msg = static_cast<std::uint8_t>(m.type),
+      .extra = m.ack_pointer.valid() ? m.ack_pointer.value() : 0,
+  });
+}
+
 sim::Duration CGcast::vsa_delay(ClusterId from, ClusterId to) const {
   const auto& h = *hier_;
   const Level l = h.level(from);
@@ -93,7 +111,16 @@ void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
   const std::int64_t hops = work_to(from, to);
   counters_->record(m.type, l, hops);
   notify_observers(m, from, to, l, hops);
-  if (lose_message()) return;  // vanished in flight (fault injection)
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    record(obs::TraceKind::kSend, m, from.value(), to.value(), l,
+           static_cast<std::int32_t>(hops));
+  }
+  if (lose_message()) {  // vanished in flight (fault injection)
+    if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+      record(obs::TraceKind::kLost, m, from.value(), to.value(), l, 0);
+    }
+    return;
+  }
 
   const std::uint64_t key = next_key_++;
   in_flight_.emplace(key,
@@ -107,7 +134,15 @@ void CGcast::send_from_client(RegionId at, const Message& m) {
   const ClusterId dest = h.cluster_of(at, 0);
   counters_->record(m.type, 0, 1);
   notify_observers(m, ClusterId::invalid(), dest, 0, 1);
-  if (lose_message()) return;
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    record(obs::TraceKind::kClientSend, m, at.value(), dest.value(), 0, 1);
+  }
+  if (lose_message()) {
+    if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+      record(obs::TraceKind::kLost, m, at.value(), dest.value(), 0, 0);
+    }
+    return;
+  }
   const std::uint64_t key = next_key_++;
   in_flight_.emplace(
       key, InTransit{m, ClusterId::invalid(), dest,
@@ -123,6 +158,10 @@ void CGcast::broadcast_to_clients(ClusterId from_level0, const Message& m) {
   const RegionId region = h.members(from_level0).front();
   counters_->record(m.type, 0, 1);
   notify_observers(m, from_level0, ClusterId::invalid(), 0, 1);
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    record(obs::TraceKind::kBroadcast, m, from_level0.value(), region.value(),
+           0, 1);
+  }
   sched_->schedule_after(config_.delta + config_.e, [this, region, m] {
     if (client_sink_) client_sink_(region, m);  // rule (d)
   });
@@ -130,12 +169,24 @@ void CGcast::broadcast_to_clients(ClusterId from_level0, const Message& m) {
 
 void CGcast::deliver_to_tracker(std::uint64_t key, ClusterId to,
                                 const Message& m) {
-  in_flight_.erase(key);
+  ClusterId from = ClusterId::invalid();
+  if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+    from = it->second.from;
+    in_flight_.erase(it);
+  }
   if (!process_alive(to)) {
     ++dropped_;
+    if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+      record(obs::TraceKind::kDrop, m, from.valid() ? from.value() : -1,
+             to.value(), hier_->level(to), 0);
+    }
     VS_TRACE("drop " << m << " → cluster " << to
                      << " (no alive hosting VSA)");
     return;
+  }
+  if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
+    record(obs::TraceKind::kDeliver, m, from.valid() ? from.value() : -1,
+           to.value(), hier_->level(to), 0);
   }
   VS_REQUIRE(static_cast<bool>(tracker_sink_), "no tracker sink installed");
   tracker_sink_(to, m);

@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "hier/hierarchy.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/counters.hpp"
 #include "vsa/messages.hpp"
@@ -69,6 +70,10 @@ class CGcast {
   void set_vsa_alive(AliveFn alive) { alive_ = std::move(alive); }
   void set_replicas(ReplicaFn replicas) { replicas_ = std::move(replicas); }
   void add_send_observer(SendObserver obs);
+
+  /// Attach the world's trace recorder (nullptr detaches). The recorder
+  /// must outlive the service; CGcast never owns it.
+  void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// cTOBsend from the process of cluster `from` to the process of cluster
   /// `to`. `to` must be the parent, a child, a neighbour, or within two
@@ -119,6 +124,11 @@ class CGcast {
   [[nodiscard]] bool process_alive(ClusterId to) const;
   void notify_observers(const Message& m, ClusterId from, ClusterId to,
                         Level level, std::int64_t hops);
+  /// Append one message-shaped trace record. Callers gate on
+  /// obs::kTraceCompiled && trace_ && trace_->enabled() so the disabled
+  /// path stays a pointer test and the OFF build deletes the call.
+  void record(obs::TraceKind kind, const Message& m, std::int32_t a,
+              std::int32_t b, Level level, std::int32_t arg);
 
   sim::Scheduler* sched_;
   const hier::ClusterHierarchy* hier_;
@@ -129,6 +139,7 @@ class CGcast {
   AliveFn alive_;
   ReplicaFn replicas_;
   std::vector<SendObserver> observers_;
+  obs::TraceRecorder* trace_ = nullptr;
 
   std::map<std::uint64_t, InTransit> in_flight_;  // key: send sequence
   std::uint64_t next_key_{1};

@@ -1,0 +1,326 @@
+// Observability layer: trace determinism across --jobs, causal span
+// completeness for a scripted find, disabled-mode zero overhead, the
+// Lemma replay of check_trace on hand-crafted violating traces (both the
+// library and the vinestalk_trace binary), and metrics-merge determinism.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_query.hpp"
+#include "runner/trial_pool.hpp"
+#include "stats/counters.hpp"
+#include "util.hpp"
+
+namespace vstest {
+namespace {
+
+#ifndef VS_TRACE_TOOL_PATH
+#error "VS_TRACE_TOOL_PATH must be defined by the build"
+#endif
+
+// One traced world: setup, short walk, one long-distance find, quiesced.
+std::vector<obs::TraceEvent> traced_trial(std::size_t trial) {
+  GridNet g = make_grid(27, 3);
+  g.net->set_tracing(true);
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 15,
+                                runner::trial_seed(0x0B5, trial));
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_to_quiescence();
+  }
+  g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  return g.net->trace().events();
+}
+
+std::string trace_bytes_at_jobs(int jobs) {
+  runner::TrialPool pool(jobs);
+  auto parts = pool.run(4, traced_trial);
+  const auto worlds = runner::merge_traces(std::move(parts));
+  std::ostringstream os;
+  obs::write_trace(os, worlds);
+  return os.str();
+}
+
+TEST(TraceDeterminism, ByteIdenticalAcrossJobs) {
+  const std::string serial = trace_bytes_at_jobs(1);
+  EXPECT_EQ(serial, trace_bytes_at_jobs(2));
+  EXPECT_EQ(serial, trace_bytes_at_jobs(8));
+  if (obs::kTraceCompiled) {
+    // The file must actually contain events, not be vacuously equal.
+    std::istringstream is(serial);
+    const auto worlds = obs::read_trace(is);
+    ASSERT_EQ(worlds.size(), 4u);
+    for (const auto& w : worlds) EXPECT_FALSE(w.events.empty());
+  }
+}
+
+TEST(TraceSpan, ScriptedFindIsCompleteCausalChain) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  GridNet g = make_grid(27, 3);
+  g.net->set_tracing(true);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  const FindId f = g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  ASSERT_TRUE(g.net->find_result(f).done);
+
+  const obs::WorldTrace w{0, g.net->trace().events()};
+  const obs::FindSpan span = obs::find_span(w, f.value());
+  EXPECT_TRUE(span.issued);
+  EXPECT_TRUE(span.found);
+  EXPECT_TRUE(span.causally_connected);
+  EXPECT_TRUE(span.complete());
+  EXPECT_GT(span.events.size(), 2u);
+
+  // The full trace replays clean: every lemma check passes on real data.
+  const obs::CheckReport report = obs::check_trace(w);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  const obs::TraceSummary s = obs::summarize(w);
+  EXPECT_EQ(s.finds_issued, 1u);
+  EXPECT_EQ(s.finds_completed, 1u);
+  EXPECT_EQ(s.events, w.events.size());
+  EXPECT_EQ(obs::find_ids(w), std::vector<std::int64_t>{f.value()});
+}
+
+TEST(TraceOverhead, DisabledModeAllocatesNothing) {
+  GridNet g = make_grid(27, 3);  // tracing stays off
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 10, 0x0FF);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_to_quiescence();
+  }
+  g.net->start_find(g.at(0, 0), t);
+  g.net->run_to_quiescence();
+  EXPECT_EQ(g.net->trace().segments_allocated(), 0u);
+  EXPECT_EQ(g.net->trace().size(), 0u);
+  EXPECT_TRUE(g.net->trace().empty());
+}
+
+// ---------------------------------------------------------------------------
+// check_trace on hand-crafted traces.
+
+obs::TraceEvent event(obs::TraceKind kind, std::int64_t time_us,
+                      std::int16_t level = -1, std::uint8_t msg = obs::kNoMsg,
+                      std::int32_t target = -1, std::int64_t find = -1) {
+  return obs::TraceEvent{.time_us = time_us,
+                         .seq = 0,
+                         .cause = 0,
+                         .find = find,
+                         .a = 0,
+                         .b = 1,
+                         .target = target,
+                         .arg = 0,
+                         .level = level,
+                         .kind = static_cast<std::uint8_t>(kind),
+                         .msg = msg,
+                         .extra = 0};
+}
+
+constexpr std::uint8_t kGrow =
+    static_cast<std::uint8_t>(stats::MsgKind::kGrow);
+constexpr std::uint8_t kShrink =
+    static_cast<std::uint8_t>(stats::MsgKind::kShrink);
+constexpr std::uint8_t kFindQuery =
+    static_cast<std::uint8_t>(stats::MsgKind::kFindQuery);
+constexpr std::uint8_t kFindAck =
+    static_cast<std::uint8_t>(stats::MsgKind::kFindAck);
+
+TEST(TraceCheck, CleanHandCraftedTracePasses) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, /*target=*/7),
+              event(obs::TraceKind::kSend, 10, 1, kGrow, 7),
+              event(obs::TraceKind::kSend, 20, 1, kShrink, 7)};
+  EXPECT_TRUE(obs::check_trace(w).ok());
+}
+
+TEST(TraceCheck, GrowLevelSkipViolatesLemma41) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7),
+              event(obs::TraceKind::kSend, 10, 2, kGrow, 7)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 1u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("Lemma 4.1"), std::string::npos);
+}
+
+TEST(TraceCheck, FirstGrowAboveLevelZeroViolatesLemma41) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 1, kGrow, 7)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 1u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("Lemma 4.1"), std::string::npos);
+}
+
+TEST(TraceCheck, ShrinkWithoutGrowViolatesLemma42) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7),
+              event(obs::TraceKind::kSend, 10, 1, kShrink, 7)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 1u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("Lemma 4.2"), std::string::npos);
+}
+
+TEST(TraceCheck, FindAckWithoutQueryIsFlagged) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kFindIssued, 0, -1, obs::kNoMsg, 7, 3),
+              event(obs::TraceKind::kSend, 10, 0, kFindAck, 7, 3),
+              event(obs::TraceKind::kFoundOutput, 20, -1, obs::kNoMsg, 7, 3)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 1u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("findQuery"), std::string::npos);
+}
+
+TEST(TraceCheck, FoundWithoutIssueAndIssueWithoutFoundAreFlagged) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kFindIssued, 0, -1, obs::kNoMsg, 7, 3),
+              event(obs::TraceKind::kFoundOutput, 10, -1, obs::kNoMsg, 7, 4)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 2u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("never issued"), std::string::npos);
+  EXPECT_NE(report.violations[1].find("never completed"), std::string::npos);
+}
+
+TEST(TraceCheck, TimeBackwardsAndExcessDeliveriesAreFlagged) {
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 100, 0, kGrow, 7),
+              event(obs::TraceKind::kDeliver, 50, 0, kGrow, 7),
+              event(obs::TraceKind::kDeliver, 110, 0, kGrow, 7)};
+  const auto report = obs::check_trace(w);
+  ASSERT_EQ(report.violations.size(), 2u) << report.to_string();
+  EXPECT_NE(report.violations[0].find("backwards"), std::string::npos);
+  EXPECT_NE(report.violations[1].find("deliveries"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The vinestalk_trace binary end to end.
+
+std::string run_tool(const std::string& args, int* exit_code) {
+  const std::string cmd = std::string(VS_TRACE_TOOL_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string out;
+  std::array<char, 256> buf{};
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int status = pclose(pipe);
+  *exit_code = status >= 256 ? status / 256 : status;  // WEXITSTATUS
+  return out;
+}
+
+TEST(TraceTool, CheckFlagsHandCraftedViolation) {
+  const std::string path = ::testing::TempDir() + "vs_bad_trace.bin";
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7),
+              event(obs::TraceKind::kSend, 10, 2, kGrow, 7)};
+  obs::write_trace_file(path, {w});
+
+  int code = 0;
+  const std::string out = run_tool("check " + path, &code);
+  EXPECT_EQ(code, 2) << out;
+  EXPECT_NE(out.find("Lemma 4.1"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTool, CheckAndSummaryAcceptCleanTrace) {
+  const std::string path = ::testing::TempDir() + "vs_good_trace.bin";
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7),
+              event(obs::TraceKind::kSend, 10, 1, kGrow, 7)};
+  obs::write_trace_file(path, {w});
+
+  int code = 1;
+  const std::string out = run_tool("check " + path, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("check: OK"), std::string::npos) << out;
+
+  const std::string summary = run_tool("summary " + path, &code);
+  EXPECT_EQ(code, 0) << summary;
+  EXPECT_NE(summary.find("events"), std::string::npos) << summary;
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(Metrics, MergeIsCommutativeAndJsonStable) {
+  constexpr std::array<std::int64_t, 3> kBounds{10, 100, 1000};
+  obs::MetricsRegistry a;
+  a.add("msgs", 5);
+  a.set_gauge("time_us", 400);
+  a.histogram("lat", kBounds).record(7);
+  a.histogram("lat", kBounds).record(5000);
+  obs::MetricsRegistry b;
+  b.add("msgs", 3);
+  b.add("drops", 1);
+  b.set_gauge("time_us", 900);
+  b.histogram("lat", kBounds).record(50);
+
+  obs::MetricsRegistry ab = a;
+  ab.merge(b);
+  obs::MetricsRegistry ba = b;
+  ba.merge(a);
+
+  std::ostringstream os_ab, os_ba;
+  ab.to_json(os_ab);
+  ba.to_json(os_ba);
+  EXPECT_EQ(os_ab.str(), os_ba.str());
+
+  EXPECT_EQ(ab.counter("msgs"), 8);
+  EXPECT_EQ(ab.counter("drops"), 1);
+  EXPECT_EQ(ab.gauge("time_us"), 900);
+  const obs::Histogram* h = ab.find_histogram("lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_EQ(h->sum(), 7 + 5000 + 50);
+  EXPECT_EQ(h->buckets().back(), 1);  // the 5000 overflow
+}
+
+TEST(Metrics, ExportedNetworkMetricsAreDeterministic) {
+  const auto run = [] {
+    GridNet g = make_grid(27, 3);
+    const TargetId t = g.net->add_evader(g.at(13, 13));
+    g.net->run_to_quiescence();
+    g.net->start_find(g.at(0, 0), t);
+    g.net->run_to_quiescence();
+    std::ostringstream os;
+    g.net->export_metrics().to_json(os);
+    return os.str();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("find.completed"), std::string::npos);
+  EXPECT_NE(first.find("sched.events_fired"), std::string::npos);
+}
+
+TEST(Metrics, PoolMergeMatchesSerialFold) {
+  runner::TrialPool pool(4);
+  auto parts = pool.run(6, [](std::size_t trial) {
+    obs::MetricsRegistry m;
+    m.add("trials");
+    m.add("value", static_cast<std::int64_t>(trial));
+    m.set_gauge("max_trial", static_cast<std::int64_t>(trial));
+    return m;
+  });
+  const obs::MetricsRegistry merged = runner::merge_metrics(parts);
+  EXPECT_EQ(merged.counter("trials"), 6);
+  EXPECT_EQ(merged.counter("value"), 0 + 1 + 2 + 3 + 4 + 5);
+  EXPECT_EQ(merged.gauge("max_trial"), 5);
+}
+
+}  // namespace
+}  // namespace vstest

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Pre-merge check: a plain build + full test suite, then a ThreadSanitizer
-# build exercising the concurrency surface (the trial pool and the atomics
-# in the logging/counter paths) with more workers than trials need.
+# Pre-merge check: a plain build + full test suite (tracing compiled in,
+# with a traced quickstart run gated by `vinestalk_trace check`), then a
+# ThreadSanitizer build exercising the concurrency surface (the trial
+# pool, the single-writer log, and the observability merge paths) with
+# more workers than trials need, then a tracing-compiled-out build
+# proving every record point is optional dead code.
 #
-#   tools/check.sh            # both stages
-#   tools/check.sh --plain    # stage 1 only
-#   tools/check.sh --tsan     # stage 2 only
+#   tools/check.sh              # all stages
+#   tools/check.sh --plain      # stage 1 only
+#   tools/check.sh --tsan       # stage 2 only
+#   tools/check.sh --no-trace   # stage 3 only
 #
-# Build trees: build-check/ (plain) and build-tsan/ (TSan); both are
-# separate from the default build/ so this never dirties a dev tree.
+# Build trees: build-check/ (plain), build-tsan/ (TSan), and
+# build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
+# build/ so this never dirties a dev tree.
 
 set -euo pipefail
 
@@ -17,27 +22,47 @@ jobs="${JOBS:-$(nproc)}"
 stage="${1:-all}"
 
 run_plain() {
-  echo "== stage 1: plain build + ctest =="
-  cmake -B "$root/build-check" -S "$root" > /dev/null
+  echo "== stage 1: plain build (tracing on) + ctest + trace check =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
   cmake --build "$root/build-check" -j "$jobs"
   ctest --test-dir "$root/build-check" --output-on-failure -j "$jobs"
+  # A traced end-to-end run must replay clean against the paper's lemmas.
+  local trace
+  trace="$(mktemp /tmp/vs_quickstart_trace.XXXXXX)"
+  VS_TRACE="$trace" "$root/build-check/examples/example_quickstart" > /dev/null
+  "$root/build-check/tools/vinestalk_trace" check "$trace"
+  "$root/build-check/tools/vinestalk_trace" summary "$trace" > /dev/null
+  rm -f "$trace"
 }
 
 run_tsan() {
   echo "== stage 2: ThreadSanitizer =="
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
-    --target test_concurrent test_runner bench_e2_move_scaling
+    --target test_concurrent test_runner test_obs bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
+  "$root/build-tsan/tests/test_obs"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
 
+run_notrace() {
+  echo "== stage 3: tracing compiled out (-DVINESTALK_TRACE=OFF) =="
+  cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
+  cmake --build "$root/build-notrace" -j "$jobs" \
+    --target test_obs test_sim example_quickstart
+  "$root/build-notrace/tests/test_obs"
+  "$root/build-notrace/tests/test_sim"
+  "$root/build-notrace/examples/example_quickstart" > /dev/null
+  echo "Compiled-out stage clean (record points are dead code)."
+}
+
 case "$stage" in
-  all) run_plain; run_tsan ;;
+  all) run_plain; run_tsan; run_notrace ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan]" >&2; exit 2 ;;
+  --no-trace) run_notrace ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace]" >&2; exit 2 ;;
 esac
 echo "check.sh: all stages passed"

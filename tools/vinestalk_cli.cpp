@@ -17,6 +17,12 @@
 //                              (same side/base) on the --jobs thread pool;
 //                              output is identical for every --jobs value
 //   stats                      work counters so far
+//   trace on|off               toggle structured tracing for this world
+//                              (enable before placing evaders if the trace
+//                              is meant to pass `vinestalk_trace check` —
+//                              mid-run traces start mid-protocol)
+//   trace dump <path>          write recorded events as a VSTRACE1 file
+//                              (read it back with vinestalk_trace)
 //   quit
 //
 // The binary takes `--jobs N` (default: hardware concurrency) for the
@@ -37,6 +43,7 @@
 #include "common/error.hpp"
 #include "ext/stabilizer.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "obs/trace_io.hpp"
 #include "runner/trial_pool.hpp"
 #include "spec/consistency.hpp"
 #include "spec/inspect.hpp"
@@ -150,6 +157,27 @@ class Cli {
       ss >> trials >> steps >> seed;
       VS_REQUIRE(trials > 0 && steps > 0, "sweep needs trials > 0, steps > 0");
       run_sweep(trials, steps, seed, out);
+    } else if (cmd == "trace") {
+      std::string sub;
+      ss >> sub;
+      if (sub == "on") {
+        VS_REQUIRE(obs::kTraceCompiled,
+                   "tracing compiled out (rebuild with -DVINESTALK_TRACE=ON)");
+        net_->set_tracing(true);
+        out << "tracing on\n";
+      } else if (sub == "off") {
+        net_->set_tracing(false);
+        out << "tracing off\n";
+      } else if (sub == "dump") {
+        std::string path;
+        ss >> path;
+        VS_REQUIRE(!path.empty(), "trace dump needs a path");
+        obs::write_trace_file(path, net_->trace());
+        out << "wrote " << net_->trace().size() << " events to " << path
+            << "\n";
+      } else {
+        out << "usage: trace on|off|dump <path>\n";
+      }
     } else if (cmd == "stats") {
       const auto& c = net_->counters();
       out << "moves: " << c.move_messages() << " messages, " << c.move_work()

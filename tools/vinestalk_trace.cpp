@@ -1,0 +1,146 @@
+// vinestalk_trace — offline reader for VSTRACE1 trace files.
+//
+// Commands:
+//   summary <file>              aggregate shape of every world
+//   spans <file> <find-id>      causal span of one find (all worlds holding it)
+//   timeline <file> --level N   records at one hierarchy level
+//   check <file>                replay the trace through the spec invariants
+//
+// Exit status: 0 on success; 1 on usage/IO errors; 2 when `check` finds
+// violations (so scripts can gate on it, see tools/check.sh).
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_query.hpp"
+#include "stats/counters.hpp"
+
+namespace {
+
+using vs::obs::TraceEvent;
+using vs::obs::TraceKind;
+using vs::obs::WorldTrace;
+
+int usage() {
+  std::cerr << "usage: vinestalk_trace <command> <trace-file> [args]\n"
+               "  summary <file>             per-world aggregate counts\n"
+               "  spans <file> <find-id>     causal span of one find\n"
+               "  timeline <file> --level N  records at hierarchy level N\n"
+               "  check <file>               replay spec invariants "
+               "(exit 2 on violation)\n";
+  return 1;
+}
+
+void print_summary(const WorldTrace& w) {
+  const vs::obs::TraceSummary s = vs::obs::summarize(w);
+  std::cout << "world " << s.world << ": " << s.events << " events";
+  if (s.events != 0) {
+    std::cout << ", t=[" << s.first_us << "us, " << s.last_us << "us]";
+  }
+  std::cout << "\n  finds: " << s.finds_issued << " issued, "
+            << s.finds_completed << " completed; max level " << s.max_level
+            << "\n";
+  for (std::size_t k = 0; k < s.by_kind.size(); ++k) {
+    if (s.by_kind[k] == 0) continue;
+    std::cout << "  " << vs::obs::to_string(static_cast<TraceKind>(k)) << ": "
+              << s.by_kind[k] << "\n";
+  }
+  for (std::size_t m = 0; m < s.sends_by_msg.size(); ++m) {
+    if (s.sends_by_msg[m] == 0) continue;
+    std::cout << "  send[" << vs::stats::to_string(
+                     static_cast<vs::stats::MsgKind>(m))
+              << "]: " << s.sends_by_msg[m] << "\n";
+  }
+}
+
+int cmd_summary(const std::vector<WorldTrace>& worlds) {
+  std::cout << worlds.size() << " world(s)\n";
+  for (const auto& w : worlds) print_summary(w);
+  return 0;
+}
+
+int cmd_spans(const std::vector<WorldTrace>& worlds, std::int64_t find_id) {
+  bool seen = false;
+  for (const auto& w : worlds) {
+    const vs::obs::FindSpan span = vs::obs::find_span(w, find_id);
+    if (span.events.empty()) continue;
+    seen = true;
+    std::cout << "world " << w.world << ", find " << find_id << ": "
+              << span.events.size() << " events, "
+              << (span.complete() ? "complete" : "incomplete")
+              << " (issued=" << span.issued << " found=" << span.found
+              << " causally_connected=" << span.causally_connected << ")\n";
+    for (const TraceEvent& e : span.events) {
+      std::cout << "  " << vs::obs::format_event(e) << "\n";
+    }
+  }
+  if (!seen) {
+    std::cout << "find " << find_id << " not present in any world\n";
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::vector<WorldTrace>& worlds, int level) {
+  for (const auto& w : worlds) {
+    const std::vector<TraceEvent> events = vs::obs::timeline(w, level);
+    std::cout << "world " << w.world << ", level " << level << ": "
+              << events.size() << " events\n";
+    for (const TraceEvent& e : events) {
+      std::cout << "  " << vs::obs::format_event(e) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_check(const std::vector<WorldTrace>& worlds) {
+  const vs::obs::CheckReport report = vs::obs::check_trace(worlds);
+  std::cout << report.to_string();
+  return report.ok() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  std::vector<WorldTrace> worlds;
+  try {
+    worlds = vs::obs::read_trace_file(path);
+  } catch (const vs::Error& e) {
+    std::cerr << "vinestalk_trace: " << e.what() << "\n";
+    return 1;
+  }
+
+  try {
+    if (command == "summary") {
+      return cmd_summary(worlds);
+    }
+    if (command == "spans") {
+      if (argc < 4) return usage();
+      return cmd_spans(worlds, std::stoll(argv[3]));
+    }
+    if (command == "timeline") {
+      int level = -1;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--level") == 0 && i + 1 < argc) {
+          level = std::stoi(argv[++i]);
+        }
+      }
+      if (level < 0) return usage();
+      return cmd_timeline(worlds, level);
+    }
+    if (command == "check") {
+      return cmd_check(worlds);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "vinestalk_trace: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
