@@ -25,7 +25,8 @@ struct TrialResult {
   bool find_ok = false;
 };
 
-TrialResult run_trial(int k, BenchObs* obs, std::size_t trial) {
+TrialResult run_trial(int k, BenchObs* obs, std::size_t trial,
+                      BenchMonitor* mon = nullptr) {
   TrialResult out;
   // (a) overhead, failure-free.
   {
@@ -35,6 +36,12 @@ TrialResult run_trial(int k, BenchObs* obs, std::size_t trial) {
     const RegionId start = g.at(13, 13);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    // The failure-free overhead world is the monitored one; part (b)
+    // deliberately smashes state (no stabilizer), so it stays unwatched.
+    const auto wd = mon != nullptr
+                        ? mon->attach(*g.net, t,
+                                      walk_scenario(27, 3, start, 60, 0xEA))
+                        : nullptr;
     const auto walk = random_walk(g.hierarchy->tiling(), start, 60, 0xEA);
     const auto work0 = g.net->counters().move_work();
     for (std::size_t i = 1; i < walk.size(); ++i) {
@@ -43,6 +50,7 @@ TrialResult run_trial(int k, BenchObs* obs, std::size_t trial) {
     out.per_step =
         static_cast<double>(g.net->counters().move_work() - work0) /
         static_cast<double>(walk.size() - 1);
+    if (mon != nullptr) mon->finish(trial, wd.get());
   }
 
   // (b) resilience under primary-head failures.
@@ -92,8 +100,9 @@ int main(int argc, char** argv) {
 
   constexpr std::array<int, 4> kReplicas{1, 2, 3, 5};
   BenchObs obs("e10_replication", kReplicas.size());
+  BenchMonitor mon("e10_replication", opt, kReplicas.size());
   const auto results = sweep(opt, kReplicas.size(), [&](std::size_t trial) {
-    return run_trial(kReplicas[trial], &obs, trial);
+    return run_trial(kReplicas[trial], &obs, trial, &mon);
   });
 
   stats::Table table({"replicas", "move_w/step", "overhead_vs_k1",
@@ -112,5 +121,5 @@ int main(int argc, char** argv) {
                "contact cost); with k ≥ 2 the injected primary failures no "
                "longer destroy state, so the structure stays consistent and "
                "findable without any repair protocol.\n";
-  return 0;
+  return mon.report();
 }

@@ -23,11 +23,12 @@ struct RunStats {
 };
 
 RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg,
-             BenchObs& obs, std::size_t trial) {
+             BenchObs& obs, std::size_t trial, BenchMonitor* mon = nullptr) {
   tracking::TrackingNetwork net(h, std::move(cfg));
   const RegionId start = h.grid().region_at(40, 40);
   const TargetId t = net.add_evader(start);
   net.run_to_quiescence();
+  const auto wd = mon != nullptr ? mon->attach(net, t) : nullptr;
   const auto walk = random_walk(h.tiling(), start, 120, 0xAB1A);
   const auto work0 = net.counters().move_work();
   const auto t0 = net.now();
@@ -38,6 +39,7 @@ RunStats run(const hier::GridHierarchy& h, tracking::NetworkConfig cfg,
   const double steps = static_cast<double>(walk.size() - 1);
   const FindId f = net.start_find(h.grid().region_at(10, 10), t);
   net.run_to_quiescence();
+  if (mon != nullptr) mon->finish(trial, wd.get());
   obs.record(trial, net);
   return RunStats{
       static_cast<double>(net.counters().move_work() - work0) / steps,
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
 
   // Trials 0-2: the three head policies; trials 3-5: the slack multiples.
   BenchObs obs("e11_ablation", 6);
+  BenchMonitor mon("e11_ablation", opt, 6);
 
   std::cout << "-- (a) head placement --\n";
   {
@@ -73,7 +76,8 @@ int main(int argc, char** argv) {
     const auto rows = sweep(opt, kPolicies.size(), [&](std::size_t trial) {
       const Named n = kPolicies[trial];
       hier::GridHierarchy h(81, 81, 3, n.policy, 17);
-      const RunStats s = run(h, tracking::NetworkConfig{}, obs, trial);
+      const RunStats s =
+          run(h, tracking::NetworkConfig{}, obs, trial, &mon);
       return std::vector<stats::Table::Cell>{
           std::string(n.name), s.move_work_per_step, s.settle_ms_per_step,
           s.find_work};
@@ -100,7 +104,7 @@ int main(int argc, char** argv) {
         return de + de * (mult * (h.n(l) + 1));
       };
       cfg.timers = timers;
-      const RunStats s = run(h, std::move(cfg), obs, 3 + trial);
+      const RunStats s = run(h, std::move(cfg), obs, 3 + trial, &mon);
       return std::vector<stats::Table::Cell>{
           std::int64_t{mult}, s.move_work_per_step, s.settle_ms_per_step,
           s.find_work};
@@ -115,5 +119,5 @@ int main(int argc, char** argv) {
                "only scale constants. (b) work per step is identical across "
                "slack multiples — timers gate *when* shrinks run, not what "
                "runs — while settle time grows with the slack.\n";
-  return 0;
+  return mon.report();
 }

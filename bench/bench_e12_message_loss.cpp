@@ -25,13 +25,17 @@ struct Outcome {
   std::int64_t repairs;
 };
 
-Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial) {
+Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial,
+            BenchMonitor* mon = nullptr) {
   tracking::NetworkConfig cfg;
   cfg.cgcast.loss_probability = loss;
   GridNet g = make_grid(27, 3, cfg);
   const RegionId start = g.at(13, 13);
   const TargetId t = g.net->add_evader(start);
   g.net->run_to_quiescence();
+  // Lossy channels can legitimately strand stale pointers; under --monitor
+  // the bare (unstabilized) lossy trials are expected to report violations.
+  const auto wd = mon != nullptr ? mon->attach(*g.net, t) : nullptr;
 
   std::unique_ptr<ext::Stabilizer> stab;
   if (stabilize) {
@@ -66,6 +70,7 @@ Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial) {
       ++out.finds_ok;
     }
   }
+  if (mon != nullptr) mon->finish(trial, wd.get());
   obs.record(trial, *g.net);
   return out;
 }
@@ -86,10 +91,11 @@ int main(int argc, char** argv) {
                       "consistent", "finds_ok/10"});
   // Trial 2i: loss[i] without stabilizer; trial 2i+1: with.
   BenchObs obs("e12_message_loss", kLoss.size() * 2);
+  BenchMonitor mon("e12_message_loss", opt, kLoss.size() * 2);
   const auto rows = sweep(opt, kLoss.size() * 2, [&](std::size_t trial) {
     const double loss = kLoss[trial / 2];
     const bool stabilize = trial % 2 == 1;
-    const Outcome o = run(loss, stabilize, obs, trial);
+    const Outcome o = run(loss, stabilize, obs, trial, &mon);
     return std::vector<stats::Table::Cell>{
         loss * 100.0, std::string(stabilize ? "on" : "off"), o.lost,
         o.repairs, std::string(o.consistent ? "yes" : "no"),
@@ -102,5 +108,5 @@ int main(int argc, char** argv) {
                "the bare run loses consistency and finds, while the "
                "stabilized run stays serviceable with repair traffic "
                "scaling with the loss rate.\n";
-  return 0;
+  return mon.report();
 }

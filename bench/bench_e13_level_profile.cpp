@@ -17,11 +17,13 @@ struct Profile {
   stats::Table table;
 };
 
-Profile run_profile(bool directed, BenchObs& obs, std::size_t trial) {
+Profile run_profile(bool directed, BenchObs& obs, std::size_t trial,
+                    BenchMonitor* mon = nullptr) {
   GridNet g = make_grid(243, 3);
   const RegionId start = g.at(121, 121);
   const TargetId t = g.net->add_evader(start);
   g.net->run_to_quiescence();
+  const auto wd = mon != nullptr ? mon->attach(*g.net, t) : nullptr;
 
   const auto& h = *g.hierarchy;
   std::vector<std::int64_t> msgs_before, work_before;
@@ -57,6 +59,7 @@ Profile run_profile(bool directed, BenchObs& obs, std::size_t trial) {
     p.table.add_row({std::int64_t{l}, q_below, msgs, work,
                      msgs * static_cast<double>(q_below)});
   }
+  if (mon != nullptr) mon->finish(trial, wd.get());
   obs.record(trial, *g.net);
   return p;
 }
@@ -72,8 +75,9 @@ int main(int argc, char** argv) {
          "world: 243x243 base 3; 1200 steps; random-walk vs waypoint traffic.");
 
   BenchObs obs("e13_level_profile", 2);
+  BenchMonitor mon("e13_level_profile", opt, 2);
   const auto profiles = sweep(opt, 2, [&](std::size_t trial) {
-    return run_profile(/*directed=*/trial == 1, obs, trial);
+    return run_profile(/*directed=*/trial == 1, obs, trial, &mon);
   });
   for (const auto& p : profiles) {
     std::cout << p.heading << "\n";
@@ -87,5 +91,5 @@ int main(int argc, char** argv) {
                "random walk decays faster still — high levels update only "
                "on genuine long-range displacement, which is Theorem 4.9's "
                "amortisation at work.\n";
-  return 0;
+  return mon.report();
 }

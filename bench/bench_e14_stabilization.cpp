@@ -60,7 +60,7 @@ struct TrialResult {
 };
 
 TrialResult run_trial(double fraction, std::uint64_t seed, BenchObs& obs,
-                      std::size_t trial) {
+                      std::size_t trial, BenchMonitor* mon = nullptr) {
   GridNet g = make_grid(27, 3);
   const RegionId where = g.at(13, 13);
   const TargetId t = g.net->add_evader(where);
@@ -78,6 +78,14 @@ TrialResult run_trial(double fraction, std::uint64_t seed, BenchObs& obs,
         vs::spec::check_consistent(g.net->snapshot(t), where).ok();
   }
   out.repairs = stab.repairs();
+  // The corruption phase is *supposed* to violate the invariants; attach
+  // the watchdog only after convergence to certify the repaired structure
+  // passes every predicate (an unconverged world would just re-report the
+  // seeded damage).
+  if (mon != nullptr && out.converged) {
+    const auto wd = mon->attach(*g.net, t);
+    mon->finish(trial, wd.get());
+  }
   obs.record(trial, *g.net);
   return out;
 }
@@ -95,11 +103,12 @@ int main(int argc, char** argv) {
   constexpr std::array<double, 5> kFractions{0.1, 0.25, 0.5, 0.75, 1.0};
   constexpr std::size_t kSeeds = 5;
   BenchObs obs("e14_stabilization", kFractions.size() * kSeeds);
+  BenchMonitor mon("e14_stabilization", opt, kFractions.size() * kSeeds);
   const auto results =
       sweep(opt, kFractions.size() * kSeeds, [&](std::size_t trial) {
         const double fraction = kFractions[trial / kSeeds];
         const std::uint64_t seed = trial % kSeeds + 1;
-        return run_trial(fraction, seed, obs, trial);
+        return run_trial(fraction, seed, obs, trial, &mon);
       });
 
   stats::Table table({"corrupt_%", "max_ticks_to_consistent",
@@ -123,5 +132,5 @@ int main(int argc, char** argv) {
                "(including 100%); repair traffic grows with damage while "
                "round counts stay small (repairs run in parallel across "
                "the structure).\n";
-  return 0;
+  return mon.report();
 }

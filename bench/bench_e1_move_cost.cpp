@@ -54,11 +54,13 @@ int main(int argc, char** argv) {
          "world: 243x243 base 3, D = 242, MAX = 5, r·log_r(D+1) = 15.");
 
   BenchObs obs("e1_move_cost", 2);
-  const auto tables = sweep(opt, 2, [&obs](std::size_t trial) {
+  BenchMonitor mon("e1_move_cost", opt, 2);
+  const auto tables = sweep(opt, 2, [&obs, &mon](std::size_t trial) {
     GridNet g = make_grid(243, 3);
     const RegionId start = g.at(121, 121);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    const auto wd = mon.attach(*g.net, t);
     stats::Table table = [&] {
       if (trial == 0) {
         vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1A);
@@ -67,6 +69,7 @@ int main(int argc, char** argv) {
       vsa::WaypointMover mover(g.hierarchy->grid(), 0xE1B);
       return run_series("waypoint", mover, g, t, start);
     }();
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return table;
   });
@@ -78,5 +81,5 @@ int main(int argc, char** argv) {
 
   std::cout << "shape check: work/d flat (amortised), modest multiple of "
                "r·log_r D = 15.\n";
-  return 0;
+  return mon.report();
 }

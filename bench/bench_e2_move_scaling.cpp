@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   stats::Table table({"side", "D", "MAX", "work/step", "msgs/step",
                       "work/step/(r*logD)"});
   BenchObs obs("e2_move_scaling", kSides.size());
+  BenchMonitor mon("e2_move_scaling", opt, kSides.size());
   const auto rows = sweep(opt, kSides.size(), [&](std::size_t trial) {
     const int side = kSides[trial];
     GridNet g = make_grid(side, 3);
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
     const RegionId start = g.at(mid, mid);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    const auto wd =
+        mon.attach(*g.net, t, walk_scenario(side, 3, start, 60, 0xE2));
     // Same seed: identical step directions at every size (clamped worlds
     // differ only if the walk hits a border, which it cannot from the
     // centre in 60 steps for side >= 9... it can for side 9; acceptable).
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
         static_cast<double>(g.net->counters().move_work() - work0) / steps;
     const double scale =
         3.0 * static_cast<double>(g.hierarchy->max_level());  // r·log_r(D+1)
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{side}, std::int64_t{g.hierarchy->tiling().diameter()},
@@ -61,5 +65,5 @@ int main(int argc, char** argv) {
                "rarely crosses high-level boundaries, so per-step work "
                "depends on distance travelled, not on network size "
                "(the locality Theorem 4.9 promises).\n";
-  return 0;
+  return mon.report();
 }

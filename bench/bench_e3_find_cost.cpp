@@ -24,12 +24,14 @@ int main(int argc, char** argv) {
   stats::Table table({"d", "find_work", "thm5.2_bound", "work/d", "find_msgs",
                       "latency_ms", "latency_ms/d"});
   BenchObs obs("e3_find_cost", kDistances.size());
+  BenchMonitor mon("e3_find_cost", opt, kDistances.size());
   const auto rows = sweep(opt, kDistances.size(), [&](std::size_t trial) {
     const int d = kDistances[trial];
     GridNet g = make_grid(243, 3);
     const RegionId where = g.at(121, 121);
     const TargetId t = g.net->add_evader(where);
     g.net->run_to_quiescence();
+    const auto wd = mon.attach(*g.net, t);
     // Average over four directions to smooth head-placement effects.
     std::int64_t work = 0, msgs = 0, latency_us = 0;
     const int dirs[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {1, 1}};
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
       msgs += r.messages;
       latency_us += r.latency().count();
     }
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{d}, work / 4,
@@ -55,5 +58,5 @@ int main(int argc, char** argv) {
   obs.maybe_write(opt);
   std::cout << "\nshape check: work/d and latency/d converge to a constant "
                "(linear in d), no quadratic blow-up.\n";
-  return 0;
+  return mon.report();
 }

@@ -18,7 +18,8 @@ namespace {
 using namespace vsbench;
 
 double des_dither_cost(bool lateral, int side, int boundary_x, int steps,
-                       BenchObs* obs = nullptr, std::size_t trial = 0) {
+                       BenchObs* obs = nullptr, std::size_t trial = 0,
+                       BenchMonitor* mon = nullptr) {
   tracking::NetworkConfig cfg;
   cfg.lateral_links = lateral;
   GridNet g = make_grid(side, 3, cfg);
@@ -26,6 +27,7 @@ double des_dither_cost(bool lateral, int side, int boundary_x, int steps,
   const RegionId b = g.at(boundary_x, side / 2);
   const TargetId t = g.net->add_evader(a);
   g.net->run_to_quiescence();
+  const auto wd = mon != nullptr ? mon->attach(*g.net, t) : nullptr;
   const auto work0 = g.net->counters().move_work();
   RegionId cur = a;
   for (int i = 0; i < steps; ++i) {
@@ -33,6 +35,7 @@ double des_dither_cost(bool lateral, int side, int boundary_x, int steps,
     g.net->move_evader(t, cur);
     g.net->run_to_quiescence();
   }
+  if (mon != nullptr) mon->finish(trial, wd.get());
   if (obs != nullptr) obs->record(trial, *g.net);
   return static_cast<double>(g.net->counters().move_work() - work0) / steps;
 }
@@ -74,9 +77,11 @@ int main(int argc, char** argv) {
   constexpr std::array<std::array<int, 2>, 3> kBoundaries{
       {{1, 39}, {2, 36}, {3, 27}}};
   BenchObs obs("e4_dithering", kBoundaries.size());
+  BenchMonitor mon("e4_dithering", opt, kBoundaries.size());
   const auto rows = sweep(opt, kBoundaries.size(), [&](std::size_t trial) {
     const auto [k, x] = kBoundaries[trial];
-    const double vine = des_dither_cost(true, side, x, steps, &obs, trial);
+    const double vine =
+        des_dither_cost(true, side, x, steps, &obs, trial, &mon);
     const double no_lat = des_dither_cost(false, side, x, steps);
     const double tree = tree_dither_cost(h, x, side, steps);
     return std::vector<stats::Table::Cell>{std::int64_t{k}, std::int64_t{x},
@@ -88,5 +93,5 @@ int main(int argc, char** argv) {
   obs.maybe_write(opt);
   std::cout << "\nshape check: vinestalk column flat in k; no_lateral and "
                "tree_dir grow with k (Θ(3^k)).\n";
-  return 0;
+  return mon.report();
 }

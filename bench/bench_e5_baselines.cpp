@@ -64,10 +64,12 @@ Cost run_model(vs::baselines::LocationService& svc, const Workload& w) {
 }
 
 Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w,
-                   BenchObs* obs, std::size_t trial) {
+                   BenchObs* obs, std::size_t trial,
+                   BenchMonitor* mon = nullptr) {
   tracking::TrackingNetwork net(h, tracking::NetworkConfig{});
   const TargetId t = net.add_evader(w.walk.front());
   net.run_to_quiescence();
+  const auto wd = mon != nullptr ? mon->attach(net, t) : nullptr;
   std::size_t next_find = 0;
   for (std::size_t i = 1; i < w.walk.size(); ++i) {
     net.move_evader(t, w.walk[i]);
@@ -77,6 +79,7 @@ Cost run_vinestalk(const hier::GridHierarchy& h, const Workload& w,
       net.run_to_quiescence();
     }
   }
+  if (mon != nullptr) mon->finish(trial, wd.get());
   if (obs != nullptr) obs->record(trial, net);
   Cost c;
   c.move_work = static_cast<double>(net.counters().move_work());
@@ -90,9 +93,10 @@ stats::Table mix_table() {
 }
 
 stats::Table run_mix(const hier::GridHierarchy& h, const Workload& w,
-                     std::int64_t key, BenchObs* obs, std::size_t trial) {
+                     std::int64_t key, BenchObs* obs, std::size_t trial,
+                     BenchMonitor* mon = nullptr) {
   stats::Table table = mix_table();
-  const Cost vine = run_vinestalk(h, w, obs, trial);
+  const Cost vine = run_vinestalk(h, w, obs, trial, mon);
   table.add_row({key, std::string("VINESTALK"), vine.move_work,
                  vine.find_work, vine.total()});
   baselines::TreeDirectory tree(h);
@@ -110,7 +114,8 @@ stats::Table run_mix(const hier::GridHierarchy& h, const Workload& w,
   return table;
 }
 
-stats::Table run_adversarial(BenchObs* obs, std::size_t trial) {
+stats::Table run_adversarial(BenchObs* obs, std::size_t trial,
+                             BenchMonitor* mon) {
   hier::GridHierarchy h(243, 243, 3);
   Workload w;
   const RegionId a = h.grid().region_at(80, 121);
@@ -126,7 +131,7 @@ stats::Table run_adversarial(BenchObs* obs, std::size_t trial) {
         76 + static_cast<int>(rng.uniform_int(0, 3)),
         119 + static_cast<int>(rng.uniform_int(0, 4))));
   }
-  return run_mix(h, w, 3, obs, trial);
+  return run_mix(h, w, 3, obs, trial, mon);
 }
 
 }  // namespace
@@ -146,14 +151,17 @@ int main(int argc, char** argv) {
   constexpr std::array<int, 3> kFindEvery{10, 3, 1};
   // Trials 0-2: regime (a) mixes. Trial 3: the regime (b) workload.
   BenchObs obs("e5_baselines", kFindEvery.size() + 1);
+  BenchMonitor mon("e5_baselines", opt, kFindEvery.size() + 1);
   auto tables = sweep(opt, kFindEvery.size() + 1, [&](std::size_t trial) {
-    if (trial == kFindEvery.size()) return run_adversarial(&obs, trial);
+    if (trial == kFindEvery.size()) {
+      return run_adversarial(&obs, trial, &mon);
+    }
     const int find_every = kFindEvery[trial];
     hier::GridHierarchy h(81, 81, 3);
     const Workload w = make_workload(
         h.tiling(), h.grid().region_at(40, 40), 120, find_every,
         0xE5 + static_cast<std::uint64_t>(find_every));
-    return run_mix(h, w, find_every, &obs, trial);
+    return run_mix(h, w, find_every, &obs, trial, &mon);
   });
 
   std::cout << "-- regime (a): 81x81, 120-step random walk, random-origin "
@@ -175,5 +183,5 @@ int main(int argc, char** argv) {
                "the paper's core claim; in regime (a) the idealised "
                "directories' head start reflects their free bookkeeping, "
                "not better asymptotics.\n";
-  return 0;
+  return mon.report();
 }

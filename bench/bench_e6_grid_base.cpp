@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   stats::Table table({"base", "side", "MAX", "r*logD", "move_w/step",
                       "move/scale", "find_w(d=20)"});
   BenchObs obs("e6_grid_base", kWorlds.size());
+  BenchMonitor mon("e6_grid_base", opt, kWorlds.size());
   const auto rows = sweep(opt, kWorlds.size(), [&](std::size_t trial) {
     const World w = kWorlds[trial];
     GridNet g = make_grid(w.side, w.base);
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
     const RegionId start = g.at(mid, mid);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    const auto wd =
+        mon.attach(*g.net, t, walk_scenario(w.side, w.base, start, 120, 0xE6));
 
     const auto walk = random_walk(g.hierarchy->tiling(), start, 120, 0xE6);
     const auto work0 = g.net->counters().move_work();
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
 
     const double scale = static_cast<double>(w.base) *
                          static_cast<double>(g.hierarchy->max_level());
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{w.base}, std::int64_t{w.side},
@@ -64,5 +68,5 @@ int main(int argc, char** argv) {
   obs.maybe_write(opt);
   std::cout << "\nshape check: move/scale roughly constant across bases "
                "(work ∝ r·log_r D); find work stays O(d) for all r.\n";
-  return 0;
+  return mon.report();
 }

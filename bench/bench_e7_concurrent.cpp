@@ -26,12 +26,14 @@ int main(int argc, char** argv) {
   stats::Table table({"dwell_x(δ+e)", "consistent_at_stop", "find_success",
                       "find_latency_ms", "move_w/step", "drain_ms"});
   BenchObs obs("e7_concurrent", kDwells.size());
+  BenchMonitor mon("e7_concurrent", opt, kDwells.size());
   const auto rows = sweep(opt, kDwells.size(), [&](std::size_t trial) {
     const int dwell_mult = kDwells[trial];
     GridNet g = make_grid(27, 3);
     const RegionId start = g.at(13, 13);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    const auto wd = mon.attach(*g.net, t);
     const auto de = g.net->config().cgcast.delta + g.net->config().cgcast.e;
     const auto dwell = de * dwell_mult;
 
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
         latency_ms += static_cast<double>(r.latency().count()) / 1000.0;
       }
     }
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{dwell_mult}, std::string(consistent_now ? "yes" : "no"),
@@ -86,5 +89,5 @@ int main(int argc, char** argv) {
                "transiently broken structures (§VII's admitted degradation) "
                "— and very fast movement *coalesces* updates, lowering "
                "work/step.\n";
-  return 0;
+  return mon.report();
 }

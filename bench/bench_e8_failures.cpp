@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   stats::Table table({"fail_every_n_steps", "failures", "drops",
                       "repair_msgs", "consistent_at_end", "find_ok"});
   BenchObs obs("e8_failures", kFailEvery.size());
+  BenchMonitor mon("e8_failures", opt, kFailEvery.size());
   const auto rows = sweep(opt, kFailEvery.size(), [&](std::size_t trial) {
     const int fail_every = kFailEvery[trial];
     tracking::NetworkConfig cfg;
@@ -36,6 +37,10 @@ int main(int argc, char** argv) {
     const RegionId start = g.at(13, 13);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
+    // Failure injection is not replayable from a ScenarioSpec; attach with
+    // the default (non-replayable) scenario. Violations while VSAs are down
+    // are expected at high failure rates — the monitor documents them.
+    const auto wd = mon.attach(*g.net, t);
 
     ext::Stabilizer stab(*g.net, t, sim::Duration::millis(400));
     stab.start();
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
         g.net->find_result(f).done &&
         g.net->find_result(f).found_region == walk.back();
 
+    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{fail_every}, g.net->directory()->failures(),
@@ -79,5 +85,5 @@ int main(int argc, char** argv) {
   obs.maybe_write(opt);
   std::cout << "\nshape check: find_ok = yes at every failure rate; repair "
                "traffic scales with the number of failures.\n";
-  return 0;
+  return mon.report();
 }

@@ -25,7 +25,8 @@ struct Scenario {
 
 ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated,
                                  BenchObs* obs = nullptr,
-                                 std::size_t trial = 0) {
+                                 std::size_t trial = 0,
+                                 BenchMonitor* mon = nullptr) {
   GridNet g = make_grid(27, 3);
   std::vector<TargetId> targets;
   std::vector<std::unique_ptr<vsa::RandomWalkMover>> movers;
@@ -38,6 +39,9 @@ ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated,
         g.hierarchy->tiling(), 0x31 + static_cast<std::uint64_t>(i)));
   }
   g.net->run_to_quiescence();
+  // Multi-evader world: the watchdog tracks the first target's chain.
+  const auto wd =
+      mon != nullptr ? mon->attach(*g.net, targets.front()) : nullptr;
 
   ext::PursuitConfig cfg;
   cfg.pursuer_speed = 2;
@@ -60,6 +64,7 @@ ext::PursuitOutcome run_scenario(const Scenario& sc, bool coordinated,
     }
   }
   ext::PursuitOutcome outcome = coord.run();
+  if (mon != nullptr) mon->finish(trial, wd.get());
   if (obs != nullptr) obs->record(trial, *g.net);
   return outcome;
 }
@@ -80,9 +85,11 @@ int main(int argc, char** argv) {
   stats::Table table({"pursuers", "evaders", "caught", "rounds",
                       "find_msgs", "find_work"});
   BenchObs obs("e9_pursuit", kScenarios.size());
+  BenchMonitor mon("e9_pursuit", opt, kScenarios.size());
   const auto rows = sweep(opt, kScenarios.size(), [&](std::size_t trial) {
     const Scenario sc = kScenarios[trial];
-    const auto outcome = run_scenario(sc, /*coordinated=*/true, &obs, trial);
+    const auto outcome =
+        run_scenario(sc, /*coordinated=*/true, &obs, trial, &mon);
     return std::vector<stats::Table::Cell>{
         std::int64_t{sc.pursuers}, std::int64_t{sc.evaders},
         std::string(outcome.all_caught ? "all" : "some"),
@@ -94,5 +101,5 @@ int main(int argc, char** argv) {
   obs.maybe_write(opt);
   std::cout << "\nshape check: all targets caught; rounds shrink as the "
                "pursuer:evader ratio grows.\n";
-  return 0;
+  return mon.report();
 }

@@ -229,6 +229,72 @@ void BM_MoveAndQuiesce(benchmark::State& state) {
 }
 BENCHMARK(BM_MoveAndQuiesce)->Arg(27)->Arg(81)->Arg(243);
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// One trial of the watchdog-overhead workload: a 400-step random walk with
+// full quiescence per step (the E1 shape, small world), run unmonitored
+// (sel 0), under the cadence watchdog at 1000us (sel 1), or under
+// every-change checking (sel 2). Unmonitored, the only residue of the
+// watchdog machinery on this path is the scheduler's null post-step-hook
+// test — the acceptance gate for "monitor off costs nothing".
+struct WatchedWalkResult {
+  double seconds = 0;
+  std::int64_t checks = 0;
+  std::int64_t violations = 0;
+  std::uint64_t events = 0;
+};
+
+WatchedWalkResult run_watched_walk(int sel, int steps = 400) {
+  GridNet g = make_grid(81, 3);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  std::unique_ptr<obs::Watchdog> wd;
+  if (sel > 0) {
+    obs::WatchdogConfig cfg;
+    cfg.mode =
+        sel == 1 ? obs::WatchMode::kCadence : obs::WatchMode::kEveryChange;
+    cfg.cadence = sim::Duration::micros(1000);
+    cfg.source = "bench_micro";
+    wd = std::make_unique<obs::Watchdog>(*g.net, t, cfg);
+  }
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xB7);
+  RegionId cur = start;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    cur = mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+  WatchedWalkResult out;
+  out.seconds = seconds_since(t0);
+  out.events = g.net->scheduler().events_fired();
+  if (wd) {
+    wd->check_now();
+    out.checks = wd->checks_run();
+    out.violations = wd->violations_seen();
+  }
+  return out;
+}
+
+void BM_MoveAndQuiesceWatched(benchmark::State& state) {
+  // Arg: 0 = off, 1 = cadence 1000us, 2 = every-change.
+  const int sel = static_cast<int>(state.range(0));
+  std::int64_t checks = 0;
+  for (auto _ : state) {
+    const WatchedWalkResult r = run_watched_walk(sel, 100);
+    checks = r.checks;
+    benchmark::DoNotOptimize(r.events);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.counters["invariant_checks"] =
+      benchmark::Counter(static_cast<double>(checks));
+}
+BENCHMARK(BM_MoveAndQuiesceWatched)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_FindRoundTrip(benchmark::State& state) {
   const int d = static_cast<int>(state.range(0));
   GridNet g = make_grid(243, 3);
@@ -256,11 +322,6 @@ BENCHMARK(BM_LookAheadSnapshot);
 
 // ---------------------------------------------------------------------------
 // BENCH_sched.json: the scheduler perf trajectory, machine-readable.
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 struct ScalingPoint {
   int jobs;
@@ -310,6 +371,22 @@ bool write_sched_json(const std::string& path) {
     trace_records = trace.size();
   }
 
+  // Watchdog overhead on a real move-quiesce walk (81x81, 400 steps),
+  // best of three per mode: off (the null post-step-hook branch), cadence
+  // 1000us of virtual time, and every-change. The off column is the
+  // monitored-path-disabled figure the ≤2% acceptance gate reads; the
+  // cadence column is the recommended always-on production setting.
+  WatchedWalkResult walk_off, walk_cadence, walk_every;
+  walk_off.seconds = walk_cadence.seconds = walk_every.seconds = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int sel = 0; sel < 3; ++sel) {
+      const WatchedWalkResult r = run_watched_walk(sel);
+      WatchedWalkResult& best_r =
+          sel == 0 ? walk_off : (sel == 1 ? walk_cadence : walk_every);
+      if (r.seconds < best_r.seconds) best_r = r;
+    }
+  }
+
   // Trial-pool scaling: the same 8-world sweep at 1, 2, 4 threads.
   std::vector<ScalingPoint> scaling;
   for (const int jobs : {1, 2, 4}) {
@@ -356,6 +433,28 @@ bool write_sched_json(const std::string& path) {
   std::fprintf(f, "    \"enabled_slowdown_vs_serial\": %.3f,\n",
                best_on / best);
   std::fprintf(f, "    \"enabled_trace_records\": %zu\n", trace_records);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"watchdog\": {\n");
+  std::fprintf(f, "    \"walk_steps\": 400,\n");
+  std::fprintf(f, "    \"off_seconds\": %.6f,\n", walk_off.seconds);
+  std::fprintf(f, "    \"off_events\": %llu,\n",
+               static_cast<unsigned long long>(walk_off.events));
+  std::fprintf(f, "    \"cadence_us\": 1000,\n");
+  std::fprintf(f, "    \"cadence_seconds\": %.6f,\n", walk_cadence.seconds);
+  std::fprintf(f, "    \"cadence_checks\": %lld,\n",
+               static_cast<long long>(walk_cadence.checks));
+  std::fprintf(f, "    \"cadence_slowdown_vs_off\": %.3f,\n",
+               walk_cadence.seconds / walk_off.seconds);
+  std::fprintf(f, "    \"every_change_seconds\": %.6f,\n",
+               walk_every.seconds);
+  std::fprintf(f, "    \"every_change_checks\": %lld,\n",
+               static_cast<long long>(walk_every.checks));
+  std::fprintf(f, "    \"every_change_slowdown_vs_off\": %.3f,\n",
+               walk_every.seconds / walk_off.seconds);
+  std::fprintf(f, "    \"violations\": %lld\n",
+               static_cast<long long>(walk_off.violations +
+                                      walk_cadence.violations +
+                                      walk_every.violations));
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scaling\": [\n");
   const double base = scaling.front().seconds;

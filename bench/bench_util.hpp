@@ -22,6 +22,8 @@
 #include "common/rng.hpp"
 #include "hier/grid_hierarchy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor/incident.hpp"
+#include "obs/monitor/watchdog.hpp"
 #include "runner/trial_pool.hpp"
 #include "stats/table.hpp"
 #include "tracking/network.hpp"
@@ -68,6 +70,13 @@ struct BenchOptions {
   /// --obs-json=FILE: write the bench's observability artifact (per-trial
   /// WorkCounters + merged MetricsRegistry) as JSON. Empty = off.
   std::string obs_json;
+  /// --monitor[=every|<us>]: run every trial under the live invariant
+  /// watchdog (obs::Watchdog). kOff = no watchdog constructed at all.
+  obs::WatchMode monitor = obs::WatchMode::kOff;
+  std::int64_t monitor_cadence_us = 10'000;
+  /// --incident-dir=DIR: where captured incident bundles land (requires
+  /// --monitor). Empty = report only, don't write bundles.
+  std::string incident_dir;
 };
 
 inline BenchOptions parse_bench_args(int argc, char** argv) {
@@ -82,14 +91,37 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opt.obs_json = argv[++i];
     } else if (arg.rfind("--obs-json=", 0) == 0) {
       opt.obs_json = arg.substr(11);
+    } else if (arg == "--monitor" || arg.rfind("--monitor=", 0) == 0) {
+      const std::string spec =
+          arg == "--monitor" ? std::string{} : arg.substr(10);
+      try {
+        const obs::WatchdogConfig cfg = obs::parse_watch_spec(spec);
+        opt.monitor = cfg.mode;
+        opt.monitor_cadence_us = cfg.cadence.count();
+      } catch (const Error& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
+    } else if (arg == "--incident-dir" && i + 1 < argc) {
+      opt.incident_dir = argv[++i];
+    } else if (arg.rfind("--incident-dir=", 0) == 0) {
+      opt.incident_dir = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0] << " [--jobs N] [--obs-json FILE]\n"
+      std::cout << "usage: " << argv[0]
+                << " [--jobs N] [--obs-json FILE] [--monitor[=every|US]] "
+                   "[--incident-dir DIR]\n"
                 << "  --jobs N  worker threads for the trial sweep "
                    "(default: hardware concurrency; output is identical "
                    "for every N)\n"
                    "  --obs-json FILE  write per-trial work counters and the "
                    "merged metrics registry as JSON (deterministic for "
-                   "every --jobs)\n";
+                   "every --jobs)\n"
+                   "  --monitor[=every|US]  run each trial under the live "
+                   "invariant watchdog (default: 10000us cadence; 'every' "
+                   "checks on each state change); nonzero exit on "
+                   "violations\n"
+                   "  --incident-dir DIR  write captured incident bundles "
+                   "(*.vsi) into DIR for vinestalk_trace incident\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -168,6 +200,111 @@ class BenchObs {
   std::string bench_;
   std::vector<std::optional<stats::WorkCounters>> counters_;
   std::vector<obs::MetricsRegistry> metrics_;
+};
+
+/// Canonical ScenarioSpec for the common bench shape (grid world + seeded
+/// random walk); embedding it makes every incident a bench trial captures
+/// replayable via `vinestalk_trace incident --replay`.
+inline obs::ScenarioSpec walk_scenario(int side, int base, RegionId start,
+                                       int steps, std::uint64_t seed,
+                                       bool lateral_links = true) {
+  obs::ScenarioSpec s;
+  s.side = side;
+  s.base = base;
+  s.lateral_links = lateral_links;
+  s.start_region = start.value();
+  s.steps = steps;
+  s.seed = seed;
+  return s;
+}
+
+/// Per-trial watchdog wiring for the benches, same slot-per-trial shape as
+/// BenchObs (pool threads write distinct indices; the join publishes).
+/// Usage in a trial lambda:
+///   auto wd = mon.attach(*g.net, target, scenario);
+///   ... drive the world ...
+///   mon.finish(trial, wd.get());
+/// and after the sweep: `return mon.report();` (0 when clean/off).
+class BenchMonitor {
+ public:
+  BenchMonitor(std::string bench, const BenchOptions& opt, std::size_t trials)
+      : bench_(std::move(bench)),
+        opt_(&opt),
+        incidents_(trials),
+        violations_(trials, 0) {}
+
+  [[nodiscard]] bool enabled() const {
+    return opt_->monitor != obs::WatchMode::kOff;
+  }
+
+  /// Null when monitoring is off — the trial then runs the unmonitored
+  /// hot path (a single untaken branch at each scheduler step).
+  [[nodiscard]] std::unique_ptr<obs::Watchdog> attach(
+      tracking::TrackingNetwork& net, TargetId target,
+      obs::ScenarioSpec scenario = {}) const {
+    if (!enabled()) return nullptr;
+    obs::WatchdogConfig cfg;
+    cfg.mode = opt_->monitor;
+    cfg.cadence = sim::Duration::micros(opt_->monitor_cadence_us);
+    cfg.source = bench_;
+    return std::make_unique<obs::Watchdog>(net, target, cfg,
+                                           std::move(scenario));
+  }
+
+  /// Final check + harvest (call once per trial, from its thread, before
+  /// the watchdog dies).
+  void finish(std::size_t trial, obs::Watchdog* wd) {
+    if (wd == nullptr) return;
+    wd->check_now();
+    violations_[trial] = wd->violations_seen();
+    incidents_[trial] = wd->incidents();
+  }
+
+  /// Prints the monitor verdict, writes bundles to --incident-dir in
+  /// trial-index order (deterministic names and bytes for every --jobs),
+  /// and returns the process exit contribution (1 on any violation).
+  int report() const {
+    if (!enabled()) return 0;
+    std::int64_t total = 0;
+    std::size_t bundles = 0;
+    for (std::size_t trial = 0; trial < incidents_.size(); ++trial) {
+      total += violations_[trial];
+      for (std::size_t k = 0; k < incidents_[trial].size(); ++k) {
+        const obs::IncidentBundle& b = incidents_[trial][k];
+        std::cout << "monitor: trial " << trial << " VIOLATION "
+                  << b.violation.predicate << " at " << b.violation.time_us
+                  << "us\n";
+        if (!opt_->incident_dir.empty()) {
+          const std::string path = opt_->incident_dir + "/incident_" +
+                                   bench_ + "_" + std::to_string(trial) +
+                                   "_" + std::to_string(k) + ".vsi";
+          obs::write_incident_file(path, b);
+          std::cout << "monitor: bundle written to " << path << "\n";
+          ++bundles;
+        }
+      }
+    }
+    if (total == 0) {
+      std::cout << "monitor: all " << incidents_.size()
+                << " trial(s) clean (" << (opt_->monitor == obs::WatchMode::kEveryChange
+                                               ? std::string("every-change")
+                                               : "cadence " +
+                                                     std::to_string(
+                                                         opt_->monitor_cadence_us) +
+                                                     "us")
+                << ")\n";
+      return 0;
+    }
+    std::cout << "monitor: " << total << " violation(s), " << bundles
+              << " bundle(s) written\n";
+    return 1;
+  }
+
+ private:
+  std::string bench_;
+  const BenchOptions* opt_;
+  std::vector<std::vector<obs::IncidentBundle>> incidents_;
+  std::vector<std::int64_t> violations_;
 };
 
 inline void banner(const std::string& experiment, const std::string& claim) {

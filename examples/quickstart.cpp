@@ -10,11 +10,16 @@
 //
 // Set VS_TRACE=<path> to record the whole run as a VSTRACE1 trace file and
 // inspect it offline:  vinestalk_trace summary <path>   (or spans/check).
+// Set VS_MONITOR=every or VS_MONITOR=<cadence-us> to run the whole thing
+// under the live invariant watchdog; any violation makes the exit status
+// nonzero.
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "hier/grid_hierarchy.hpp"
+#include "obs/monitor/watchdog.hpp"
 #include "obs/trace_io.hpp"
 #include "spec/consistency.hpp"
 #include "tracking/network.hpp"
@@ -22,6 +27,7 @@
 int main() {
   using namespace vs;
   const char* trace_path = std::getenv("VS_TRACE");
+  const char* monitor_spec = std::getenv("VS_MONITOR");
 
   // A 27x27 world of unit regions, clustered into a base-3 grid hierarchy
   // (levels 0..3, one top-level cluster).
@@ -40,6 +46,17 @@ int main() {
   const RegionId start = hierarchy.grid().region_at(20, 6);
   const TargetId evader = net.add_evader(start);
   net.run_to_quiescence();
+
+  // Optional: watch the run live. The watchdog re-checks Lemmas 4.1–4.3,
+  // the consistent-state predicate and lookAhead agreement as the
+  // simulation executes, keeping a ring of recent events for incidents.
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (monitor_spec != nullptr) {
+    obs::WatchdogConfig wcfg = obs::parse_watch_spec(monitor_spec);
+    wcfg.source = "quickstart";
+    watchdog = std::make_unique<obs::Watchdog>(net, evader, wcfg);
+    std::cout << "watchdog: " << obs::to_string(wcfg.mode) << " mode\n";
+  }
   std::cout << "evader placed at " << hierarchy.tiling().describe(start)
             << "; initial path built ("
             << net.counters().move_messages() << " messages)\n";
@@ -74,6 +91,12 @@ int main() {
     obs::write_trace_file(trace_path, net.trace());
     std::cout << "trace: " << net.trace().size() << " events → " << trace_path
               << " (find id " << find.value() << ")\n";
+  }
+  if (watchdog != nullptr) {
+    watchdog->check_now();
+    std::cout << "watchdog: " << watchdog->checks_run() << " checks, "
+              << watchdog->violations_seen() << " violations\n";
+    if (!watchdog->ok()) return 1;
   }
   return report.ok() ? 0 : 1;
 }

@@ -1,0 +1,99 @@
+#include "obs/chrome_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "stats/counters.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+// tid 0 is the level-less lane; level l maps to tid 1+l.
+int lane_of(const TraceEvent& e) { return e.level < 0 ? 0 : 1 + e.level; }
+
+std::string slice_name(const TraceEvent& e) {
+  std::string name(to_string(static_cast<TraceKind>(e.kind)));
+  if (e.msg != kNoMsg &&
+      e.msg < static_cast<std::uint8_t>(stats::MsgKind::kCount)) {
+    name += ':';
+    name += stats::to_string(static_cast<stats::MsgKind>(e.msg));
+  }
+  return name;
+}
+
+void emit_meta(std::ostream& os, bool& first, std::uint32_t pid, int tid,
+               const char* what, const std::string& name) {
+  os << (first ? "\n  " : ",\n  ") << "{\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":" << tid << ",\"name\":\"" << what
+     << "\",\"args\":{\"name\":\"" << name << "\"}}";
+  first = false;
+}
+
+void emit_slice(std::ostream& os, bool& first, std::uint32_t pid,
+                const TraceEvent& e) {
+  os << (first ? "\n  " : ",\n  ") << "{\"ph\":\"X\",\"pid\":" << pid
+     << ",\"tid\":" << lane_of(e) << ",\"ts\":" << e.time_us
+     << ",\"dur\":1,\"name\":\"" << slice_name(e) << "\",\"args\":{"
+     << "\"seq\":" << e.seq << ",\"cause\":" << e.cause
+     << ",\"target\":" << e.target << ",\"find\":" << e.find
+     << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"arg\":" << e.arg
+     << ",\"extra\":" << e.extra << "}}";
+  first = false;
+}
+
+}  // namespace
+
+ChromeExportStats write_chrome_trace(std::ostream& os,
+                                     const std::vector<WorldTrace>& worlds) {
+  ChromeExportStats stats;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t flow_id = 0;
+  for (const WorldTrace& w : worlds) {
+    emit_meta(os, first, w.world, 0, "process_name",
+              "world " + std::to_string(w.world));
+    emit_meta(os, first, w.world, 0, "thread_name", "finds+clients");
+    int max_lane = 0;
+    for (const TraceEvent& e : w.events) {
+      max_lane = std::max(max_lane, lane_of(e));
+    }
+    for (int lane = 1; lane <= max_lane; ++lane) {
+      emit_meta(os, first, w.world, lane, "thread_name",
+                "L" + std::to_string(lane - 1) + " grow/shrink/find");
+    }
+    // First record of each scheduler context, for flow anchoring: a record
+    // with cause C chains back to the earliest record made while event C
+    // fired.
+    std::map<std::uint64_t, const TraceEvent*> context_start;
+    for (const TraceEvent& e : w.events) {
+      if (e.seq != 0) context_start.try_emplace(e.seq, &e);
+    }
+    for (const TraceEvent& e : w.events) {
+      emit_slice(os, first, w.world, e);
+      ++stats.slices;
+      if (e.cause == 0 || e.cause == e.seq) continue;
+      const auto it = context_start.find(e.cause);
+      if (it == context_start.end() || it->second == &e) continue;
+      const TraceEvent& parent = *it->second;
+      if (parent.time_us > e.time_us) continue;  // never draw backwards
+      ++flow_id;
+      os << ",\n  {\"ph\":\"s\",\"id\":" << flow_id
+         << ",\"pid\":" << w.world << ",\"tid\":" << lane_of(parent)
+         << ",\"ts\":" << parent.time_us
+         << ",\"cat\":\"causal\",\"name\":\"sched\"}";
+      os << ",\n  {\"ph\":\"f\",\"bp\":\"e\",\"id\":" << flow_id
+         << ",\"pid\":" << w.world << ",\"tid\":" << lane_of(e)
+         << ",\"ts\":" << e.time_us
+         << ",\"cat\":\"causal\",\"name\":\"sched\"}";
+      ++stats.flows;
+    }
+  }
+  os << "\n]}\n";
+  return stats;
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,37 @@
+#pragma once
+// Chrome trace-event JSON export — any VSTRACE trace (full run or a
+// watchdog flight-recorder ring) rendered for chrome://tracing / Perfetto.
+//
+// Mapping:
+//  * one Chrome "process" per world (pid = trial index), named via
+//    process_name metadata;
+//  * one lane ("thread") per hierarchy level — tid 1+level carries that
+//    level's grow/shrink/deliver records — plus lane 0 for level-less
+//    records (find issue/found, client traffic), named "L<l>" / "finds";
+//  * every record becomes a 1 µs "X" (complete) slice at its virtual time,
+//    named by TraceKind (sends additionally by stats::MsgKind, e.g.
+//    "send:grow"), with seq/cause/target/find/a/b/arg in args;
+//  * the scheduler's causal seq→cause links become flow events: each
+//    record whose cause resolves to an earlier record of the same world
+//    gets an "s"/"f" flow pair, so Perfetto draws the grow/shrink/find
+//    cascades as arrows across lanes.
+//
+// The output is deterministic: pure function of the trace bytes.
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace_io.hpp"
+
+namespace vs::obs {
+
+/// Statistics of one export (test hooks and tool chatter).
+struct ChromeExportStats {
+  std::size_t slices = 0;  // one per TraceEvent
+  std::size_t flows = 0;   // s/f pairs emitted
+};
+
+ChromeExportStats write_chrome_trace(std::ostream& os,
+                                     const std::vector<WorldTrace>& worlds);
+
+}  // namespace vs::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -43,9 +44,39 @@ void Histogram::merge(const Histogram& other) {
   sum_ += other.sum_;
 }
 
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank (1-based), then the bucket containing it. ceil keeps the
+  // top quantiles in the top bucket (p99 of {5, 5000} must land on 5000,
+  // not on the last bound).
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] < rank) {
+      seen += buckets_[i];
+      continue;
+    }
+    // Linear interpolation across the bucket's value span [lo, hi].
+    const std::int64_t lo = i == 0 ? min_ : bounds_[i - 1];
+    const std::int64_t hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(buckets_[i]);
+    const auto v = lo + static_cast<std::int64_t>(
+                            frac * static_cast<double>(hi - lo));
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
 void Histogram::to_json(std::ostream& os) const {
   os << "{\"count\": " << count_ << ", \"sum\": " << sum_
-     << ", \"min\": " << min_ << ", \"max\": " << max_ << ", \"buckets\": [";
+     << ", \"min\": " << min_ << ", \"max\": " << max_
+     << ", \"p50\": " << percentile(0.50) << ", \"p90\": " << percentile(0.90)
+     << ", \"p99\": " << percentile(0.99) << ", \"buckets\": [";
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     if (i > 0) os << ", ";
     os << "{\"le\": ";

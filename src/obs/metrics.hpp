@@ -44,6 +44,12 @@ class Histogram {
     return buckets_;
   }
 
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: walks to the
+  /// bucket holding the q-th recorded value and interpolates linearly
+  /// inside it, clamped to the observed [min, max] (so the estimate of an
+  /// overflow-bucket quantile is max, not +inf). 0 when count() == 0.
+  [[nodiscard]] std::int64_t percentile(double q) const;
+
   void to_json(std::ostream& os) const;
 
  private:

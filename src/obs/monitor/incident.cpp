@@ -1,0 +1,232 @@
+#include "obs/monitor/incident.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "obs/trace_query.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'I', 'N', 'C', 'I', 'D', '1'};
+constexpr char kEndMagic[8] = {'V', 'S', 'I', 'N', 'C', 'E', 'N', 'D'};
+
+/// Strings longer than this are implausible for any field a bundle holds;
+/// treating them as corruption keeps a bit-flipped length from triggering
+/// a huge allocation.
+constexpr std::uint32_t kMaxString = 1u << 24;
+constexpr std::uint64_t kMaxRing = 1u << 28;
+constexpr std::uint32_t kMaxCorruptions = 1u << 20;
+
+template <class T>
+void put(std::ostream& os, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  VS_REQUIRE(is.good(), "truncated incident stream");
+  return v;
+}
+
+void put_str(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_str(std::istream& is) {
+  const auto len = get<std::uint32_t>(is);
+  VS_REQUIRE(len <= kMaxString,
+             "corrupt incident stream: implausible string length " << len);
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  VS_REQUIRE(is.gcount() == static_cast<std::streamsize>(len),
+             "truncated incident stream: string field cut short");
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(WatchMode mode) {
+  switch (mode) {
+    case WatchMode::kOff: return "off";
+    case WatchMode::kCadence: return "cadence";
+    case WatchMode::kEveryChange: return "every-change";
+  }
+  return "?";
+}
+
+void write_incident(std::ostream& os, const IncidentBundle& b) {
+  os.write(kMagic, sizeof kMagic);
+  put<std::uint32_t>(os, kIncidentFormatVersion);
+  put_str(os, b.source);
+  put<std::int32_t>(os, b.target);
+  put_str(os, b.violation.predicate);
+  put_str(os, b.violation.detail);
+  put<std::int64_t>(os, b.violation.time_us);
+  put<std::int32_t>(os, b.violation.cluster);
+  put<std::int32_t>(os, b.violation.level);
+  put<std::uint8_t>(os, static_cast<std::uint8_t>(b.mode));
+  put<std::int64_t>(os, b.cadence_us);
+  put<std::uint64_t>(os, b.ring_capacity);
+  const ScenarioSpec& s = b.scenario;
+  put<std::int32_t>(os, s.side);
+  put<std::int32_t>(os, s.base);
+  put<std::uint8_t>(os, s.lateral_links ? 1 : 0);
+  put<std::uint8_t>(os, s.model_vsa_failures ? 1 : 0);
+  put<std::uint8_t>(os, s.replayable_flag ? 1 : 0);
+  put<std::int32_t>(os, s.clients_per_region);
+  put<std::int32_t>(os, s.start_region);
+  put<std::uint64_t>(os, s.seed);
+  put<std::int32_t>(os, s.steps);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.corruptions.size()));
+  for (const auto& c : s.corruptions) {
+    put<std::int32_t>(os, c.cluster);
+    put<std::int32_t>(os, c.c);
+    put<std::int32_t>(os, c.p);
+    put<std::int32_t>(os, c.nbrptup);
+    put<std::int32_t>(os, c.nbrptdown);
+  }
+  put_str(os, b.config_json);
+  put_str(os, b.metrics_json);
+  put<std::uint64_t>(os, static_cast<std::uint64_t>(b.ring.size()));
+  os.write(reinterpret_cast<const char*>(b.ring.data()),
+           static_cast<std::streamsize>(b.ring.size() * sizeof(TraceEvent)));
+  os.write(kEndMagic, sizeof kEndMagic);
+}
+
+void write_incident_file(const std::string& path, const IncidentBundle& b) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  VS_REQUIRE(os.good(), "cannot open incident file for writing: " << path);
+  write_incident(os, b);
+  VS_REQUIRE(os.good(), "write failed for incident file: " << path);
+}
+
+IncidentBundle read_incident(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  VS_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof magic) == 0,
+             "not an incident file (bad magic; expected VSINCID1)");
+  const auto version = get<std::uint32_t>(is);
+  VS_REQUIRE(version == kIncidentFormatVersion,
+             "unsupported incident format version "
+                 << version << " (this build reads v"
+                 << kIncidentFormatVersion << ")");
+  IncidentBundle b;
+  b.source = get_str(is);
+  b.target = get<std::int32_t>(is);
+  b.violation.predicate = get_str(is);
+  b.violation.detail = get_str(is);
+  b.violation.time_us = get<std::int64_t>(is);
+  b.violation.cluster = get<std::int32_t>(is);
+  b.violation.level = get<std::int32_t>(is);
+  b.mode = static_cast<WatchMode>(get<std::uint8_t>(is));
+  b.cadence_us = get<std::int64_t>(is);
+  b.ring_capacity = get<std::uint64_t>(is);
+  ScenarioSpec& s = b.scenario;
+  s.side = get<std::int32_t>(is);
+  s.base = get<std::int32_t>(is);
+  s.lateral_links = get<std::uint8_t>(is) != 0;
+  s.model_vsa_failures = get<std::uint8_t>(is) != 0;
+  s.replayable_flag = get<std::uint8_t>(is) != 0;
+  s.clients_per_region = get<std::int32_t>(is);
+  s.start_region = get<std::int32_t>(is);
+  s.seed = get<std::uint64_t>(is);
+  s.steps = get<std::int32_t>(is);
+  const auto ncorr = get<std::uint32_t>(is);
+  VS_REQUIRE(ncorr <= kMaxCorruptions,
+             "corrupt incident stream: implausible corruption count "
+                 << ncorr);
+  s.corruptions.resize(ncorr);
+  for (auto& c : s.corruptions) {
+    c.cluster = get<std::int32_t>(is);
+    c.c = get<std::int32_t>(is);
+    c.p = get<std::int32_t>(is);
+    c.nbrptup = get<std::int32_t>(is);
+    c.nbrptdown = get<std::int32_t>(is);
+  }
+  b.config_json = get_str(is);
+  b.metrics_json = get_str(is);
+  const auto nring = get<std::uint64_t>(is);
+  VS_REQUIRE(nring <= kMaxRing,
+             "corrupt incident stream: implausible ring size " << nring);
+  b.ring.resize(nring);
+  const auto ring_bytes =
+      static_cast<std::streamsize>(nring * sizeof(TraceEvent));
+  is.read(reinterpret_cast<char*>(b.ring.data()), ring_bytes);
+  VS_REQUIRE(is.gcount() == ring_bytes,
+             "truncated incident stream: ring declares "
+                 << nring << " events but the file ends early");
+  char end[8] = {};
+  is.read(end, sizeof end);
+  VS_REQUIRE(is.gcount() == static_cast<std::streamsize>(sizeof end) &&
+                 std::memcmp(end, kEndMagic, sizeof end) == 0,
+             "truncated incident stream: missing VSINCEND trailer "
+                 "(file cut short or overwritten mid-write?)");
+  return b;
+}
+
+IncidentBundle read_incident_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  VS_REQUIRE(is.good(), "cannot open incident file: " << path);
+  return read_incident(is);
+}
+
+void print_incident(std::ostream& os, const IncidentBundle& b,
+                    std::size_t ring_tail) {
+  os << "incident: " << b.violation.predicate << "\n"
+     << "  source       " << b.source << "\n"
+     << "  target       " << b.target << "\n"
+     << "  at           " << b.violation.time_us << "us\n";
+  if (b.violation.cluster >= 0) {
+    os << "  cluster      " << b.violation.cluster << " (level "
+       << b.violation.level << ")\n";
+  }
+  os << "  watch mode   " << to_string(b.mode);
+  if (b.mode == WatchMode::kCadence) os << " every " << b.cadence_us << "us";
+  os << "\n  detail:\n";
+  // Indent the (possibly multi-line) diagnostic.
+  std::size_t pos = 0;
+  while (pos < b.violation.detail.size()) {
+    auto nl = b.violation.detail.find('\n', pos);
+    if (nl == std::string::npos) nl = b.violation.detail.size();
+    os << "    " << b.violation.detail.substr(pos, nl - pos) << "\n";
+    pos = nl + 1;
+  }
+  const ScenarioSpec& s = b.scenario;
+  os << "  scenario     ";
+  if (s.side > 0) {
+    os << s.side << "x" << s.side << " base " << s.base
+       << (s.lateral_links ? "" : " no-lateral")
+       << (s.model_vsa_failures ? " vsa-failures" : "") << ", start region "
+       << s.start_region << ", " << s.steps << " walk steps (seed " << s.seed
+       << "), " << s.corruptions.size() << " corruption(s)";
+  } else {
+    os << "(unknown world)";
+  }
+  os << (s.replayable() ? " [replayable]" : " [not replayable]") << "\n";
+  for (const auto& c : s.corruptions) {
+    os << "    corrupt cluster " << c.cluster << ": c=" << c.c
+       << " p=" << c.p << " nbrptup=" << c.nbrptup
+       << " nbrptdown=" << c.nbrptdown << "\n";
+  }
+  if (!b.config_json.empty()) os << "  config       " << b.config_json << "\n";
+  os << "  flight recorder: " << b.ring.size() << " event(s) (capacity "
+     << b.ring_capacity << ")\n";
+  const std::size_t start =
+      b.ring.size() > ring_tail ? b.ring.size() - ring_tail : 0;
+  if (start > 0) os << "    ... " << start << " earlier event(s)\n";
+  for (std::size_t i = start; i < b.ring.size(); ++i) {
+    os << "    " << format_event(b.ring[i]) << "\n";
+  }
+}
+
+}  // namespace vs::obs

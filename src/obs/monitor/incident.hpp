@@ -1,0 +1,131 @@
+#pragma once
+// Incident bundles — the watchdog's self-contained violation artifact.
+//
+// When the live watchdog (obs/monitor/watchdog.hpp) detects an invariant
+// violation, it packages everything needed to understand and *re-run* the
+// failure into one IncidentBundle: the scenario that produced it (world
+// shape, RNG seed, move count, injected corruptions), the violated
+// predicate with the offending cluster/level, a metrics snapshot, and the
+// flight recorder's ring of the last K TraceEvents leading up to the
+// detection. `vinestalk_trace incident` pretty-prints bundles and
+// `--replay` re-executes the scenario deterministically.
+//
+// On-disk layout (native byte order, like VSTRACE1 — a run artifact, not
+// an interchange format):
+//
+//   bytes 0..7   magic "VSINCID1"
+//   u32          format version (kIncidentFormatVersion)
+//   str          source        (u32 length + bytes, no terminator)
+//   i32          target id
+//   violation:   str predicate, str detail, i64 time_us, i32 cluster,
+//                i32 level
+//   u8           watch mode, i64 cadence_us, u64 ring capacity
+//   scenario:    i32 side, i32 base, u8 lateral_links, u8 vsa_failures,
+//                u8 replayable, i32 clients_per_region, i32 start_region,
+//                u64 seed, i32 steps, u32 corruption count,
+//                per corruption: 5 × i32 (cluster, c, p, nbrptup, nbrptdown)
+//   str          config_json
+//   str          metrics_json
+//   ring:        u64 event count + count × obs::TraceEvent (raw 56 bytes)
+//   trailer:     bytes "VSINCEND"
+//
+// Everything in a bundle derives from virtual time and world-local state,
+// so two runs of the same scenario — at any --jobs value — serialize to
+// byte-identical bundles (pinned by tests/test_monitor.cpp).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vs::obs {
+
+inline constexpr std::uint32_t kIncidentFormatVersion = 1;
+
+/// How the watchdog samples the invariants (see watchdog.hpp for the cost
+/// model of each mode).
+enum class WatchMode : std::uint8_t {
+  kOff = 0,          // watchdog never constructed; zero overhead
+  kCadence = 1,      // check at a virtual-time cadence
+  kEveryChange = 2,  // check on every pointer-state change + quiescence
+};
+
+[[nodiscard]] const char* to_string(WatchMode mode);
+
+/// One detected invariant violation. `predicate` is the stable machine
+/// name of the failed check (replay matches on it); `detail` the full
+/// human diagnostic. cluster/level name the offending process when the
+/// check can identify one (-1 otherwise).
+struct Violation {
+  std::string predicate;
+  std::string detail;
+  std::int64_t time_us = 0;
+  std::int32_t cluster = -1;
+  std::int32_t level = -1;
+};
+
+/// A canonical replayable workload: grid world + seeded random walk +
+/// optional injected corruptions. The watchdog embeds the spec it is given
+/// into every incident; replay re-runs it step by step under a fresh
+/// watchdog. Interactive drivers (the CLI) capture their session into one
+/// of these as commands arrive, marking it non-replayable when the session
+/// does something the canonical form cannot express (manual moves, a
+/// second walk).
+struct ScenarioSpec {
+  /// Forced pointer state for one cluster (fed to Tracker::corrupt_state).
+  struct Corruption {
+    std::int32_t cluster = -1;
+    std::int32_t c = -1;
+    std::int32_t p = -1;
+    std::int32_t nbrptup = -1;
+    std::int32_t nbrptdown = -1;
+  };
+
+  std::int32_t side = 0;  // side×side grid; 0 = unknown world
+  std::int32_t base = 3;
+  bool lateral_links = true;
+  bool model_vsa_failures = false;
+  std::int32_t clients_per_region = 1;
+  std::int32_t start_region = -1;
+  std::uint64_t seed = 1;  // random_walk seed
+  std::int32_t steps = 0;  // moves taken before the corruptions
+  std::vector<Corruption> corruptions;
+  /// Cleared by capturing drivers when the session leaves the canonical
+  /// shape; replay refuses (with a diagnostic) rather than diverging.
+  bool replayable_flag = true;
+
+  [[nodiscard]] bool replayable() const {
+    return replayable_flag && side > 0 && base > 1 && start_region >= 0;
+  }
+};
+
+/// The self-contained violation artifact.
+struct IncidentBundle {
+  std::string source;       // who was watching ("watchdog", a bench name)
+  std::int32_t target = -1; // tracked TargetId
+  Violation violation;      // first violation of this predicate
+  WatchMode mode = WatchMode::kCadence;
+  std::int64_t cadence_us = 0;
+  std::uint64_t ring_capacity = 0;
+  ScenarioSpec scenario;
+  std::string config_json;   // world configuration at detection
+  std::string metrics_json;  // MetricsRegistry::to_json snapshot
+  std::vector<TraceEvent> ring;  // flight recorder, oldest first
+};
+
+void write_incident(std::ostream& os, const IncidentBundle& b);
+void write_incident_file(const std::string& path, const IncidentBundle& b);
+
+/// Throws vs::Error on bad magic/version/truncation (same hardening
+/// contract as trace_io: a short or corrupt file fails loudly).
+[[nodiscard]] IncidentBundle read_incident(std::istream& is);
+[[nodiscard]] IncidentBundle read_incident_file(const std::string& path);
+
+/// Human-readable rendering (the `vinestalk_trace incident` view):
+/// violation, scenario, config, metrics, and the tail of the ring.
+void print_incident(std::ostream& os, const IncidentBundle& b,
+                    std::size_t ring_tail = 16);
+
+}  // namespace vs::obs

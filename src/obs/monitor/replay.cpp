@@ -1,0 +1,110 @@
+#include "obs/monitor/replay.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "hier/grid_hierarchy.hpp"
+#include "tracking/network.hpp"
+#include "tracking/snapshot.hpp"
+
+namespace vs::obs {
+
+ScenarioOutcome run_scenario(const ScenarioSpec& s, const WatchdogConfig& cfg) {
+  ScenarioOutcome out;
+  if (!s.replayable()) {
+    out.message =
+        s.replayable_flag
+            ? "scenario is incomplete (no world shape or start region "
+              "recorded) — cannot replay"
+            : "scenario was captured from a session outside the canonical "
+              "walk shape (manual moves?) — cannot replay";
+    return out;
+  }
+  hier::GridHierarchy hierarchy(s.side, s.side, s.base);
+  tracking::NetworkConfig net_cfg;
+  net_cfg.lateral_links = s.lateral_links;
+  net_cfg.model_vsa_failures = s.model_vsa_failures;
+  net_cfg.clients_per_region = s.clients_per_region;
+  tracking::TrackingNetwork net(hierarchy, net_cfg);
+
+  const TargetId target = net.add_evader(RegionId{s.start_region});
+  net.run_to_quiescence();
+
+  Watchdog wd(net, target, cfg, s);
+
+  // The walk must step exactly like tests/bench random_walk: one Rng from
+  // the seed, one uniform_int per step over the current neighbour list.
+  Rng rng{s.seed};
+  RegionId cur{s.start_region};
+  const geo::Tiling& tiling = hierarchy.tiling();
+  for (std::int32_t i = 0; i < s.steps && wd.ok(); ++i) {
+    const auto nbrs = tiling.neighbors(cur);
+    cur = nbrs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+    net.move_and_quiesce(target, cur);
+  }
+
+  for (const ScenarioSpec::Corruption& c : s.corruptions) {
+    tracking::TrackerSnapshot forced;
+    forced.clust = ClusterId{c.cluster};
+    forced.c = ClusterId{c.c};
+    forced.p = ClusterId{c.p};
+    forced.nbrptup = ClusterId{c.nbrptup};
+    forced.nbrptdown = ClusterId{c.nbrptdown};
+    net.tracker(ClusterId{c.cluster}).corrupt_state(target, forced);
+  }
+  if (!s.corruptions.empty()) wd.check_now();
+
+  out.ran = true;
+  out.incidents = wd.incidents();
+  out.violations_seen = wd.violations_seen();
+  std::ostringstream msg;
+  msg << "replayed " << s.steps << "-step walk + " << s.corruptions.size()
+      << " corruption(s): " << out.violations_seen << " violation(s), "
+      << out.incidents.size() << " incident(s)";
+  out.message = msg.str();
+  return out;
+}
+
+ReplayResult replay_incident(const IncidentBundle& bundle) {
+  ReplayResult res;
+  WatchdogConfig cfg;
+  cfg.mode = bundle.mode == WatchMode::kOff ? WatchMode::kCadence
+                                            : bundle.mode;
+  cfg.cadence = sim::Duration::micros(
+      bundle.cadence_us > 0 ? bundle.cadence_us : 10'000);
+  cfg.ring_capacity = static_cast<std::size_t>(bundle.ring_capacity);
+  cfg.source = bundle.source;
+  res.outcome = run_scenario(bundle.scenario, cfg);
+  res.ran = res.outcome.ran;
+  if (!res.ran) {
+    res.message = res.outcome.message;
+    return res;
+  }
+  for (const IncidentBundle& got : res.outcome.incidents) {
+    if (got.violation.predicate != bundle.violation.predicate) continue;
+    res.reproduced = true;
+    res.exact = got.violation.time_us == bundle.violation.time_us &&
+                got.violation.cluster == bundle.violation.cluster &&
+                got.violation.level == bundle.violation.level;
+    std::ostringstream msg;
+    msg << "reproduced " << bundle.violation.predicate << " at "
+        << got.violation.time_us << "us";
+    if (res.exact) {
+      msg << " (exact: same time, cluster " << got.violation.cluster
+          << ", level " << got.violation.level << ")";
+    } else {
+      msg << " (original was at " << bundle.violation.time_us
+          << "us, cluster " << bundle.violation.cluster << ")";
+    }
+    res.message = msg.str();
+    return res;
+  }
+  std::ostringstream msg;
+  msg << "replay did NOT reproduce " << bundle.violation.predicate << " ("
+      << res.outcome.message << ")";
+  res.message = msg.str();
+  return res;
+}
+
+}  // namespace vs::obs

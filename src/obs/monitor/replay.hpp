@@ -1,0 +1,51 @@
+#pragma once
+// Deterministic scenario execution and incident replay.
+//
+// run_scenario rebuilds the world an incident's ScenarioSpec describes —
+// same grid, same config, same walk seed, same injected corruptions —
+// attaches a fresh Watchdog, and re-runs it. Because every source of
+// nondeterminism in the simulator is the scenario seed, the replay
+// produces the same violations at the same virtual times; replay_incident
+// checks that the original incident's predicate fires again and reports
+// how exactly the reproduction matches (time, cluster, level).
+
+#include <string>
+#include <vector>
+
+#include "obs/monitor/incident.hpp"
+#include "obs/monitor/watchdog.hpp"
+
+namespace vs::obs {
+
+struct ScenarioOutcome {
+  /// False when the scenario is not replayable; `message` says why.
+  bool ran = false;
+  std::string message;
+  /// All captured incidents, in detection order (their .violation fields
+  /// are the violations observed).
+  std::vector<IncidentBundle> incidents;
+  /// Total violations seen, including deduplicated ones.
+  std::int64_t violations_seen = 0;
+};
+
+/// Executes `scenario` under a watchdog configured by `cfg`. Stops the
+/// walk early once a violation is captured (the remaining moves cannot
+/// un-detect it and corrupted state may not quiesce cleanly).
+[[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& scenario,
+                                           const WatchdogConfig& cfg);
+
+struct ReplayResult {
+  bool ran = false;
+  /// The original predicate fired again.
+  bool reproduced = false;
+  /// ...at the same virtual time, naming the same cluster/level.
+  bool exact = false;
+  std::string message;
+  ScenarioOutcome outcome;
+};
+
+/// Re-runs `bundle.scenario` under the bundle's own watchdog settings and
+/// compares the outcome against the recorded violation.
+[[nodiscard]] ReplayResult replay_incident(const IncidentBundle& bundle);
+
+}  // namespace vs::obs

@@ -1,0 +1,146 @@
+#pragma once
+// Live invariant watchdog — the spec checks, attached to a running world.
+//
+// The spec module (src/spec) can already judge a TrackingNetwork offline;
+// the Watchdog turns those judges into an online monitor with a bounded
+// flight recorder. It hooks three existing observation points:
+//
+//  * the scheduler's post-step hook — the virtual-clock source driving
+//    cadence checks and quiescence detection (no events are scheduled, so
+//    watching never perturbs quiescence, Theorem 4.5);
+//  * a spec::InvariantMonitor — Lemma 4.1/4.2/4.3 on sends and (in
+//    every-change mode) on each pointer-state change;
+//  * the network's trace recorder, switched to ring mode — a fixed-size
+//    flight recorder of the last K TraceEvents, allocated once.
+//
+// Check tiers, by mode:
+//  * kCadence: every `cadence` of virtual time, run the lemma scan; when
+//    the world is also quiescent, additionally check the consistent-state
+//    predicate (§IV-C) and lookAhead agreement with an atomicMoveSeq
+//    shadow (Theorem 4.8). Cost is O(#clusters) per boundary — amortised
+//    to near-zero against the event work between boundaries.
+//  * kEveryChange: the lemma scan on *every* pointer-state change and the
+//    full tier at every quiescence edge. O(#clusters) per change —
+//    test-sized worlds only.
+//  * kOff: don't construct a Watchdog. The residual cost in the hot path
+//    is the scheduler's null function-pointer test (measured by
+//    bench_micro's watchdog section: ≤ the noise floor).
+//
+// The lookAhead shadow only judges executions inside Theorem 4.8's domain:
+// moves issued at quiescence (atomic moves). The move observer watches for
+// a move injected while events are still pending and permanently disables
+// the shadow comparison for that run — lemma and consistency checks remain
+// active. Teleporting the evader (non-neighbour move) likewise disables it.
+//
+// On violation the watchdog captures an IncidentBundle (one per distinct
+// predicate, capped at max_incidents) and hands it to the sink, if any.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "obs/monitor/incident.hpp"
+#include "sim/time.hpp"
+#include "spec/atomic_spec.hpp"
+#include "spec/invariants.hpp"
+#include "tracking/network.hpp"
+
+namespace vs::obs {
+
+struct WatchdogConfig {
+  WatchMode mode = WatchMode::kCadence;
+  /// Virtual-time interval between checks (kCadence only).
+  sim::Duration cadence = sim::Duration::millis(10);
+  /// Flight-recorder size (last K events). 0 keeps the recorder's current
+  /// storage mode (e.g. a full-trace run that wants monitoring too).
+  std::size_t ring_capacity = 1024;
+  /// Distinct-predicate incident cap; later violations are counted but
+  /// not captured.
+  std::size_t max_incidents = 4;
+  /// Recorded into bundles as the `source` field.
+  std::string source = "watchdog";
+};
+
+class Watchdog {
+ public:
+  using IncidentSink = std::function<void(const IncidentBundle&)>;
+
+  /// Attaches to `net`, watching `target`. `scenario` is embedded into any
+  /// captured incident so it can be replayed; pass {} when the workload
+  /// has no canonical form (incidents are still captured, marked
+  /// non-replayable). The network must be quiescent (fresh or drained).
+  Watchdog(tracking::TrackingNetwork& net, TargetId target,
+           WatchdogConfig config = {}, ScenarioSpec scenario = {});
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Runs the full check tier immediately (lemmas + consistency +
+  /// lookAhead agreement if still in the atomic domain). Drivers call this
+  /// after injecting corruptions or at end of run.
+  void check_now();
+
+  /// Installs the incident observer (called once per captured bundle, at
+  /// detection time).
+  void set_incident_sink(IncidentSink sink) { sink_ = std::move(sink); }
+
+  /// Replaces the scenario embedded into future incidents. Incremental
+  /// capturers (the CLI) call this as the session evolves, so a bundle
+  /// always carries the scenario as of its detection.
+  void set_scenario(ScenarioSpec scenario) { scenario_ = std::move(scenario); }
+
+  [[nodiscard]] const std::vector<IncidentBundle>& incidents() const {
+    return incidents_;
+  }
+  [[nodiscard]] bool ok() const { return violations_seen_ == 0; }
+  /// Total violations observed, including ones deduplicated or dropped by
+  /// the incident cap.
+  [[nodiscard]] std::int64_t violations_seen() const {
+    return violations_seen_;
+  }
+  /// Full check passes executed (cost-model accounting for the benches).
+  [[nodiscard]] std::int64_t checks_run() const { return checks_run_; }
+  /// False once a non-atomic or non-neighbour move put the execution
+  /// outside Theorem 4.8's domain (lookAhead comparison disabled).
+  [[nodiscard]] bool atomic_so_far() const { return atomic_so_far_; }
+
+  [[nodiscard]] const spec::InvariantMonitor& monitor() const {
+    return *monitor_;
+  }
+
+ private:
+  static void post_step_thunk(void* ctx) {
+    static_cast<Watchdog*>(ctx)->post_step();
+  }
+  void post_step();
+  void full_check();
+  void on_move(TargetId t, RegionId from, RegionId to);
+  void on_violation(std::string predicate, std::string detail,
+                    std::int32_t cluster, std::int32_t level);
+
+  tracking::TrackingNetwork* net_;
+  TargetId target_;
+  WatchdogConfig cfg_;
+  ScenarioSpec scenario_;
+  std::unique_ptr<spec::InvariantMonitor> monitor_;
+  spec::AtomicSpec shadow_;
+  bool shadow_live_ = false;   // init() applied
+  bool atomic_so_far_ = true;  // execution still in Theorem 4.8's domain
+  bool in_check_ = false;      // re-entrancy guard (hook → check → hook)
+  sim::TimePoint next_due_ = sim::TimePoint::zero();
+  std::int64_t violations_seen_ = 0;
+  std::int64_t checks_run_ = 0;
+  std::vector<IncidentBundle> incidents_;
+  IncidentSink sink_;
+};
+
+/// Parses a --monitor flag value: "every" → kEveryChange, a positive
+/// integer → kCadence with that many microseconds, "" → kCadence with the
+/// default cadence. Throws vs::Error otherwise.
+[[nodiscard]] WatchdogConfig parse_watch_spec(const std::string& spec);
+
+}  // namespace vs::obs

@@ -23,9 +23,24 @@ void TraceRecorder::new_segment() {
   seg_fill_ = 0;
 }
 
+void TraceRecorder::set_ring_capacity(std::size_t k) {
+  clear();
+  ring_.assign(k, TraceEvent{});
+  ring_next_ = 0;
+  ring_fill_ = 0;
+}
+
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> out;
   out.reserve(size());
+  if (!ring_.empty()) {
+    // Oldest first: when full, the next write slot is also the oldest entry.
+    const std::size_t start = ring_fill_ == ring_.size() ? ring_next_ : 0;
+    for (std::size_t i = 0; i < ring_fill_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     const std::size_t n =
         i + 1 == segments_.size() ? seg_fill_ : kSegmentEvents;
@@ -38,6 +53,8 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 void TraceRecorder::clear() {
   segments_.clear();
   seg_fill_ = 0;
+  ring_next_ = 0;
+  ring_fill_ = 0;
 }
 
 }  // namespace vs::obs

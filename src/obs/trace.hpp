@@ -80,6 +80,14 @@ inline constexpr std::uint8_t kNoMsg = 0xff;
 /// Append-only per-world event log. Single-threaded like the world that
 /// owns it; the trial pool keeps one recorder per trial and merges the
 /// extracted event vectors in trial-index order.
+///
+/// Two storage modes:
+///  * unbounded (default): append-only segment buffers, the full-trace
+///    artifact path;
+///  * ring (set_ring_capacity(K)): a fixed K-event circular buffer holding
+///    the most recent records — the watchdog's always-on flight recorder.
+///    The ring is allocated once, up front; append never allocates again,
+///    so monitoring runs at fixed memory on arbitrarily long executions.
 class TraceRecorder {
  public:
   /// Events per segment: 8192 × 56 B = 448 KiB growth granule.
@@ -88,15 +96,29 @@ class TraceRecorder {
   [[nodiscard]] bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
+  /// Switch to ring mode with room for the last `k` events (k > 0), or
+  /// back to unbounded mode (k = 0). Allocates the whole ring immediately
+  /// and discards anything recorded so far.
+  void set_ring_capacity(std::size_t k);
+  [[nodiscard]] std::size_t ring_capacity() const { return ring_.size(); }
+
   /// Record one event. Callers gate on enabled() (see the record points in
   /// vsa::CGcast); append itself never checks, never fails, and allocates
-  /// only when the current segment is full.
+  /// only when an unbounded recorder's current segment is full (a ring
+  /// recorder never allocates here — old events are overwritten).
   void append(const TraceEvent& e) {
+    if (!ring_.empty()) {
+      ring_[ring_next_] = e;
+      ring_next_ = ring_next_ + 1 == ring_.size() ? 0 : ring_next_ + 1;
+      if (ring_fill_ < ring_.size()) ++ring_fill_;
+      return;
+    }
     if (seg_fill_ == kSegmentEvents || segments_.empty()) new_segment();
     segments_.back()->events[seg_fill_++] = e;
   }
 
   [[nodiscard]] std::size_t size() const {
+    if (!ring_.empty()) return ring_fill_;
     return segments_.empty()
                ? 0
                : (segments_.size() - 1) * kSegmentEvents + seg_fill_;
@@ -108,7 +130,8 @@ class TraceRecorder {
     return segments_.size();
   }
 
-  /// Copy out all events in record order (the offline-reader handoff).
+  /// Copy out all events in record order, oldest first (the offline-reader
+  /// handoff; in ring mode, the surviving suffix of the run).
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   void clear();
@@ -122,6 +145,9 @@ class TraceRecorder {
   bool enabled_ = false;
   std::size_t seg_fill_ = 0;  // fill of segments_.back()
   std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<TraceEvent> ring_;  // non-empty selects ring mode
+  std::size_t ring_next_ = 0;     // next write slot
+  std::size_t ring_fill_ = 0;     // events held (≤ ring_.size())
 };
 
 }  // namespace vs::obs

@@ -12,6 +12,7 @@ namespace vs::obs {
 namespace {
 
 constexpr char kMagic[8] = {'V', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
+constexpr char kEndMagic[8] = {'V', 'S', 'T', 'R', 'E', 'N', 'D', '1'};
 
 template <class T>
 void put(std::ostream& os, T v) {
@@ -33,6 +34,7 @@ void write_trace(std::ostream& os, const std::vector<WorldTrace>& worlds) {
   os.write(kMagic, sizeof kMagic);
   put<std::uint32_t>(os, kTraceFormatVersion);
   put<std::uint32_t>(os, static_cast<std::uint32_t>(worlds.size()));
+  std::uint64_t total = 0;
   for (const WorldTrace& w : worlds) {
     put<std::uint32_t>(os, w.world);
     put<std::uint32_t>(os, 0);  // reserved
@@ -40,7 +42,10 @@ void write_trace(std::ostream& os, const std::vector<WorldTrace>& worlds) {
     os.write(reinterpret_cast<const char*>(w.events.data()),
              static_cast<std::streamsize>(w.events.size() *
                                           sizeof(TraceEvent)));
+    total += w.events.size();
   }
+  put<std::uint64_t>(os, total);
+  os.write(kEndMagic, sizeof kEndMagic);
 }
 
 void write_trace_file(const std::string& path,
@@ -62,21 +67,45 @@ std::vector<WorldTrace> read_trace(std::istream& is) {
              "not a VSTRACE1 trace file");
   const auto version = get<std::uint32_t>(is);
   VS_REQUIRE(version == kTraceFormatVersion,
-             "unsupported trace format version " << version);
+             "unsupported trace format version "
+                 << version << " (this build reads v" << kTraceFormatVersion
+                 << "; re-record the trace)");
   const auto world_count = get<std::uint32_t>(is);
   std::vector<WorldTrace> worlds;
   worlds.reserve(world_count);
+  std::uint64_t total = 0;
   for (std::uint32_t i = 0; i < world_count; ++i) {
     WorldTrace w;
     w.world = get<std::uint32_t>(is);
     (void)get<std::uint32_t>(is);  // reserved
     const auto count = get<std::uint64_t>(is);
+    // An implausible count is header corruption, not a real section — fail
+    // before attempting a multi-gigabyte resize.
+    VS_REQUIRE(count <= (std::uint64_t{1} << 32),
+               "corrupt trace stream: world " << w.world << " claims "
+                                              << count << " events");
     w.events.resize(count);
     is.read(reinterpret_cast<char*>(w.events.data()),
             static_cast<std::streamsize>(count * sizeof(TraceEvent)));
-    VS_REQUIRE(is.good(), "truncated trace stream (world " << w.world << ")");
+    VS_REQUIRE(is.good() && is.gcount() == static_cast<std::streamsize>(
+                                               count * sizeof(TraceEvent)),
+               "truncated trace stream: world " << w.world << " declares "
+                                                << count
+                                                << " events but the file "
+                                                   "ends early");
+    total += count;
     worlds.push_back(std::move(w));
   }
+  const auto declared_total = get<std::uint64_t>(is);
+  char end_magic[8];
+  is.read(end_magic, sizeof end_magic);
+  VS_REQUIRE(is.good() && is.gcount() == sizeof end_magic &&
+                 std::memcmp(end_magic, kEndMagic, sizeof end_magic) == 0,
+             "truncated trace stream: missing VSTREND1 trailer (file cut "
+             "short or not fully written)");
+  VS_REQUIRE(declared_total == total,
+             "corrupt trace stream: trailer declares "
+                 << declared_total << " events, sections hold " << total);
   return worlds;
 }
 

@@ -9,6 +9,13 @@
 //   u32          world count
 //   per world:   u32 world index, u32 reserved(0), u64 event count,
 //                count × TraceEvent (raw 56-byte records)
+//   trailer:     u64 total event count (sum over worlds), bytes "VSTREND1"
+//
+// The trailer (format v2) makes truncation and header corruption
+// detectable: a reader that consumed every declared world must land
+// exactly on a trailer whose count matches what it read, so a short or
+// bit-flipped file fails loudly instead of yielding a silently short
+// trace. vinestalk_trace surfaces these as diagnostics with exit 1.
 //
 // A multi-trial sweep writes one world section per trial, in trial-index
 // order; because every TraceEvent derives from world-local state only, the
@@ -23,7 +30,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersion = 2;
 
 /// One world's (trial's) events, tagged with its trial index.
 struct WorldTrace {

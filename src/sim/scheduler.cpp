@@ -30,6 +30,7 @@ bool Scheduler::step() {
   p.action();
   current_seq_ = saved_seq;
   current_cause_ = saved_cause;
+  if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);
   return true;
 }
 

@@ -61,12 +61,27 @@ class Scheduler {
 
   static constexpr std::uint64_t kDefaultEventBudget = 200'000'000;
 
+  /// Observer called after every fired event (the live watchdog's clock
+  /// source: virtual time only advances through here, so a post-step hook
+  /// sees every cadence boundary and every quiescence edge). A raw
+  /// function pointer plus context keeps the unhooked hot path at a single
+  /// predictable null test — the monitor-off overhead budget. The hook
+  /// must not call run()/step() re-entrantly; scheduling new events from
+  /// it is allowed but breaks quiescence, so observers should only read.
+  using PostStepHook = void (*)(void* ctx);
+  void set_post_step_hook(PostStepHook hook, void* ctx) {
+    post_step_hook_ = hook;
+    post_step_ctx_ = ctx;
+  }
+
  private:
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();
   std::uint64_t events_fired_{0};
   std::uint64_t current_seq_{0};
   std::uint64_t current_cause_{0};
+  PostStepHook post_step_hook_ = nullptr;
+  void* post_step_ctx_ = nullptr;
 };
 
 }  // namespace vs::sim

@@ -23,18 +23,21 @@ InvariantMonitor::InvariantMonitor(tracking::TrackingNetwork& net,
     if (h.are_cluster_neighbors(from, to)) {
       ++lateral_total_;
       const auto count = ++lateral_this_move_[level];
+      if (!live_checks_) return;  // outside the atomic domain: stats only
       if (count > 1) {
         record("Lemma 4.2 violated: " + std::to_string(count) +
-               " lateral grows at level " + std::to_string(level) +
-               " within one move");
+                   " lateral grows at level " + std::to_string(level) +
+                   " within one move",
+               to, level);
       }
       // Lemma 4.3 at send time: the lateral target must be connected via
       // its hierarchy parent.
       const auto ts = net_->tracker(to).state(target_);
       if (ts.p != h.parent(to)) {
         record("Lemma 4.3 violated at send: lateral grow " +
-               std::to_string(from.value()) + " → " +
-               std::to_string(to.value()) + " but target p is not parent");
+                   std::to_string(from.value()) + " → " +
+                   std::to_string(to.value()) + " but target p is not parent",
+               to, level);
       }
     }
   });
@@ -52,25 +55,44 @@ void InvariantMonitor::check_now() {
   const SystemSnapshot snap = net_->snapshot(target_);
   const auto& h = *snap.hier;
 
-  // Lemma 4.1.
+  // Lemma 4.1. Remember one offending front so a detection can name the
+  // cluster/level it fired on.
   std::int64_t grow_fronts = 0;
   std::int64_t shrink_fronts = 0;
+  ClusterId grow_front{};
+  ClusterId shrink_front{};
   for (const auto& t : snap.trackers) {
     if (h.level(t.clust) == h.max_level()) continue;
-    if (t.c.valid() && !t.p.valid()) ++grow_fronts;
-    if (!t.c.valid() && t.p.valid()) ++shrink_fronts;
+    if (t.c.valid() && !t.p.valid()) {
+      ++grow_fronts;
+      grow_front = t.clust;
+    }
+    if (!t.c.valid() && t.p.valid()) {
+      ++shrink_fronts;
+      shrink_front = t.clust;
+    }
   }
   for (const auto& m : snap.in_transit) {
-    if (m.type == MsgType::kGrow) ++grow_fronts;
-    if (m.type == MsgType::kShrink) ++shrink_fronts;
+    if (m.type == MsgType::kGrow) {
+      ++grow_fronts;
+      grow_front = m.to;
+    }
+    if (m.type == MsgType::kShrink) {
+      ++shrink_fronts;
+      shrink_front = m.to;
+    }
   }
   if (grow_fronts > 1) {
     record("Lemma 4.1 violated: " + std::to_string(grow_fronts) +
-           " grow fronts at " + std::to_string(net_->now().count()) + "us");
+               " grow fronts at " + std::to_string(net_->now().count()) + "us",
+           grow_front, grow_front.valid() ? h.level(grow_front) : Level{-1});
   }
   if (shrink_fronts > 1) {
-    record("Lemma 4.1 violated: " + std::to_string(shrink_fronts) +
-           " shrink fronts at " + std::to_string(net_->now().count()) + "us");
+    record(
+        "Lemma 4.1 violated: " + std::to_string(shrink_fronts) +
+            " shrink fronts at " + std::to_string(net_->now().count()) + "us",
+        shrink_front,
+        shrink_front.valid() ? h.level(shrink_front) : Level{-1});
   }
 
   // Lemma 4.3 for in-transit lateral grows.
@@ -81,14 +103,17 @@ void InvariantMonitor::check_now() {
     const auto& ts = snap.at(m.to);
     if (ts.p != h.parent(m.to)) {
       record("Lemma 4.3 violated in transit: lateral grow " +
-             std::to_string(m.from.value()) + " → " +
-             std::to_string(m.to.value()) + " but target p is not parent");
+                 std::to_string(m.from.value()) + " → " +
+                 std::to_string(m.to.value()) + " but target p is not parent",
+             m.to, h.level(m.to));
     }
   }
 }
 
-void InvariantMonitor::record(std::string msg) {
+void InvariantMonitor::record(std::string msg, ClusterId cluster,
+                              Level level) {
   VS_WARN("invariant: " << msg);
+  if (hook_) hook_(msg, cluster, level);
   if (violations_.size() < 64) violations_.push_back(std::move(msg));
 }
 

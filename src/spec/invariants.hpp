@@ -12,6 +12,7 @@
 // executions under the monitor and assert it stays clean.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,6 +24,12 @@ namespace vs::spec {
 
 class InvariantMonitor {
  public:
+  /// Live-violation observer: the message plus the offending cluster and
+  /// its level when the check can name one (invalid/-1 otherwise). The
+  /// obs watchdog uses this to capture incidents at detection time.
+  using ViolationHook =
+      std::function<void(const std::string&, ClusterId, Level)>;
+
   /// Subscribes to the network's send observer and state-change hook.
   /// `check_every_change` additionally re-checks Lemmas 4.1/4.3 on every
   /// pointer-state change (O(#clusters) each — test-sized worlds only).
@@ -35,6 +42,10 @@ class InvariantMonitor {
   /// Runs the Lemma 4.1 and 4.3 checks against the current snapshot.
   void check_now();
 
+  /// Installs the live-violation observer (also fires for violations
+  /// recorded after installation only — install before driving the world).
+  void set_violation_hook(ViolationHook hook) { hook_ = std::move(hook); }
+
   [[nodiscard]] const std::vector<std::string>& violations() const {
     return violations_;
   }
@@ -45,14 +56,27 @@ class InvariantMonitor {
   /// dithering benches' "lateral usage" metric).
   [[nodiscard]] std::int64_t lateral_grows() const { return lateral_total_; }
 
+  /// Lemmas 4.1–4.3 are proven for the atomic execution model (each move
+  /// issued only after the previous one's updates drained). When an
+  /// execution leaves that domain — overlapping moves, as in the
+  /// concurrency benches — mid-flight multi-front states are legal, so the
+  /// send-observer checks must be muted. Statistics (lateral_grows) keep
+  /// accumulating; explicit check_now() calls still run (callers gate
+  /// those themselves — at quiescence the lemma scan is sound for any
+  /// legal execution, since a drained structure has no open fronts).
+  void set_live_checks(bool on) { live_checks_ = on; }
+
  private:
-  void record(std::string msg);
+  void record(std::string msg, ClusterId cluster = ClusterId::invalid(),
+              Level level = -1);
 
   tracking::TrackingNetwork* net_;
   TargetId target_;
   std::map<Level, std::int64_t> lateral_this_move_;
   std::int64_t lateral_total_{0};
+  bool live_checks_ = true;
   std::vector<std::string> violations_;
+  ViolationHook hook_;
 };
 
 }  // namespace vs::spec

@@ -141,10 +141,13 @@ void TrackingNetwork::dispatch(ClusterId dest, const vsa::Message& m) {
 }
 
 TargetId TrackingNetwork::add_evader(RegionId start) {
-  return evaders_.add_evader(start);
+  const TargetId target = evaders_.add_evader(start);
+  if (move_observer_) move_observer_(target, RegionId{}, start);
+  return target;
 }
 
 void TrackingNetwork::move_evader(TargetId target, RegionId to) {
+  if (move_observer_) move_observer_(target, evaders_.region_of(target), to);
   evaders_.move(target, to);
 }
 

@@ -140,6 +140,18 @@ class TrackingNetwork {
   /// Hook invoked on every tracker pointer-state change (monitors).
   void set_state_change_hook(Tracker::StateChangeHook hook);
 
+  /// Observer of evader placement/relocation as seen at the network API:
+  /// (target, from, to); `from` is invalid on initial placement. Called
+  /// before a relocation takes effect (and right after a placement, so
+  /// the new TargetId exists). The obs watchdog uses this to reset
+  /// per-move invariant counters and maintain its atomicMoveSeq shadow.
+  /// Distinct from EvaderModel::set_move_hook, which the client
+  /// population owns.
+  using MoveObserver = std::function<void(TargetId, RegionId, RegionId)>;
+  void set_move_observer(MoveObserver observer) {
+    move_observer_ = std::move(observer);
+  }
+
  private:
   void dispatch(ClusterId dest, const vsa::Message& m);
   void on_found_output(FindId f, TargetId t, RegionId region, ClientId by);
@@ -160,6 +172,7 @@ class TrackingNetwork {
   std::map<FindId, FindResult> finds_;
   FindId::rep_type next_find_{1};
   obs::TraceRecorder trace_;
+  MoveObserver move_observer_;
 };
 
 }  // namespace vs::tracking

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -320,6 +321,109 @@ TEST(Metrics, PoolMergeMatchesSerialFold) {
   EXPECT_EQ(merged.counter("trials"), 6);
   EXPECT_EQ(merged.counter("value"), 0 + 1 + 2 + 3 + 4 + 5);
   EXPECT_EQ(merged.gauge("max_trial"), 5);
+}
+
+TEST(Metrics, HistogramPercentilesAreExactOnUniformFill) {
+  obs::MetricsRegistry m;
+  // Bucket bounds at every integer 1..100: the interpolated estimate of a
+  // quantile over a uniform 1..100 fill is the exact nearest value.
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t i = 1; i <= 100; ++i) bounds.push_back(i);
+  auto& h = m.histogram("latency", bounds);
+  for (std::int64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.50), 50);
+  EXPECT_EQ(h.percentile(0.90), 90);
+  EXPECT_EQ(h.percentile(0.99), 99);
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(1.0), 100);
+
+  std::ostringstream os;
+  h.to_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\": 50"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\": 90"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 99"), std::string::npos) << json;
+}
+
+TEST(Metrics, EmptyHistogramPercentilesAreZero) {
+  const std::vector<std::int64_t> bounds{10, 100};
+  obs::Histogram h{std::span<const std::int64_t>(bounds)};
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(Metrics, PercentileClampsToObservedRangeOnOverflowBucket) {
+  const std::vector<std::int64_t> bounds{10};  // [≤10] and overflow
+  obs::Histogram h{std::span<const std::int64_t>(bounds)};
+  h.record(5);
+  h.record(5000);              // lands in the overflow bucket
+  EXPECT_EQ(h.percentile(0.99), 5000);  // clamped to max, not +inf
+}
+
+// ---------------------------------------------------------------------------
+// trace_io hardening: short and damaged files fail loudly in the library
+// and make the tool exit 1 with a diagnostic.
+
+TEST(TraceIO, TruncatedStreamThrows) {
+  std::ostringstream os;
+  obs::WorldTrace w;
+  w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7),
+              event(obs::TraceKind::kSend, 10, 1, kGrow, 7)};
+  obs::write_trace(os, {w});
+  const std::string bytes = os.str();
+
+  for (const std::size_t keep :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 4}) {
+    std::istringstream is(bytes.substr(0, keep));
+    EXPECT_THROW((void)obs::read_trace(is), vs::Error) << keep;
+  }
+}
+
+TEST(TraceIO, BadMagicThrows) {
+  std::ostringstream os;
+  obs::write_trace(os, {});
+  std::string bytes = os.str();
+  bytes[0] = 'X';
+  std::istringstream is(bytes);
+  EXPECT_THROW((void)obs::read_trace(is), vs::Error);
+}
+
+TEST(TraceTool, TruncatedFileExitsOneWithDiagnostic) {
+  const std::string path = ::testing::TempDir() + "vs_truncated_trace.bin";
+  {
+    std::ostringstream os;
+    obs::WorldTrace w;
+    w.events = {event(obs::TraceKind::kSend, 0, 0, kGrow, 7)};
+    obs::write_trace(os, {w});
+    const std::string bytes = os.str();
+    std::ofstream f(path, std::ios::binary);
+    f.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  int code = 0;
+  const std::string out = run_tool("summary " + path, &code);
+  EXPECT_EQ(code, 1) << out;
+  EXPECT_NE(out.find("truncated"), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(TraceTool, SummaryReportsFindLatencyPercentiles) {
+  const std::string path = ::testing::TempDir() + "vs_latency_trace.bin";
+  obs::WorldTrace w;
+  // Three finds with latencies 10, 20, 30 us.
+  for (std::int64_t f = 0; f < 3; ++f) {
+    w.events.push_back(event(obs::TraceKind::kFindIssued, f * 100, -1,
+                             obs::kNoMsg, 7, f));
+    w.events.push_back(event(obs::TraceKind::kFoundOutput,
+                             f * 100 + 10 * (f + 1), -1, obs::kNoMsg, 7, f));
+  }
+  obs::write_trace_file(path, {w});
+  int code = 1;
+  const std::string out = run_tool("summary " + path, &code);
+  EXPECT_EQ(code, 0) << out;
+  EXPECT_NE(out.find("p50"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99"), std::string::npos) << out;
+  std::remove(path.c_str());
 }
 
 }  // namespace

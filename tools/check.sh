@@ -4,12 +4,16 @@
 # ThreadSanitizer build exercising the concurrency surface (the trial
 # pool, the single-writer log, and the observability merge paths) with
 # more workers than trials need, then a tracing-compiled-out build
-# proving every record point is optional dead code.
+# proving every record point is optional dead code, then a watchdog
+# stage: a monitored quickstart must stay clean, a CLI-seeded corruption
+# must produce an incident bundle that replays to the same violation,
+# and the Chrome export must be valid JSON.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
 #   tools/check.sh --tsan       # stage 2 only
 #   tools/check.sh --no-trace   # stage 3 only
+#   tools/check.sh --monitor    # stage 4 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan), and
 # build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
@@ -39,10 +43,12 @@ run_tsan() {
   echo "== stage 2: ThreadSanitizer =="
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
-    --target test_concurrent test_runner test_obs bench_e2_move_scaling
+    --target test_concurrent test_runner test_obs test_monitor \
+    bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
+  "$root/build-tsan/tests/test_monitor"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -58,11 +64,46 @@ run_notrace() {
   echo "Compiled-out stage clean (record points are dead code)."
 }
 
+run_monitor() {
+  echo "== stage 4: live watchdog end-to-end =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target example_quickstart vinestalk_cli vinestalk_trace
+  # A healthy run under the watchdog must stay violation-free in both modes.
+  VS_MONITOR=every "$root/build-check/examples/example_quickstart" > /dev/null
+  VS_MONITOR=1000 "$root/build-check/examples/example_quickstart" > /dev/null
+  # Seed a corruption through the CLI: the watchdog must catch it, the
+  # bundle must land in --incident-dir, and the bundle must replay to the
+  # same violation (exit 1 from the tool would mean it did not reproduce).
+  local dir
+  dir="$(mktemp -d /tmp/vs_incidents.XXXXXX)"
+  printf 'world 27 3\nevader 20 6\nmonitor 0 every\nwalk 0 5 42\ncorrupt 0 2 2\nquit\n' |
+    "$root/build-check/tools/vinestalk_cli" --incident-dir "$dir" > /dev/null
+  local bundle="$dir/incident_cli_0.vsi"
+  [ -f "$bundle" ] || { echo "FAIL: no incident bundle in $dir" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" incident "$bundle" --replay \
+    > /dev/null
+  # Chrome export of a traced run must be valid JSON with events in it.
+  local trace="$dir/quickstart.vst"
+  VS_TRACE="$trace" "$root/build-check/examples/example_quickstart" > /dev/null
+  "$root/build-check/tools/vinestalk_trace" export "$trace" \
+    --out "$dir/quickstart.json" > /dev/null
+  python3 - "$dir/quickstart.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["traceEvents"], "empty traceEvents"
+EOF
+  rm -rf "$dir"
+  echo "Watchdog stage clean (clean run silent, seeded violation replayed)."
+}
+
 case "$stage" in
-  all) run_plain; run_tsan; run_notrace ;;
+  all) run_plain; run_tsan; run_notrace; run_monitor ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace]" >&2; exit 2 ;;
+  --monitor) run_monitor ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor]" >&2
+     exit 2 ;;
 esac
 echo "check.sh: all stages passed"

@@ -16,6 +16,15 @@
 //   sweep <trials> <steps> <seed>  run <trials> independent walk worlds
 //                              (same side/base) on the --jobs thread pool;
 //                              output is identical for every --jobs value
+//   monitor <target> every|cadence [us]
+//                              attach the live invariant watchdog to an
+//                              evader; violations print immediately and
+//                              (with --incident-dir) write incident
+//                              bundles for vinestalk_trace
+//   corrupt <target> <x> <y>   overwrite the level-0 tracker at a region
+//                              with a rogue grow front (c=self, p=⊥) —
+//                              fault injection for watchdog demos; two
+//                              corrupts make a Lemma 4.1 violation
 //   stats                      work counters so far
 //   trace on|off               toggle structured tracing for this world
 //                              (enable before placing evaders if the trace
@@ -43,6 +52,8 @@
 #include "common/error.hpp"
 #include "ext/stabilizer.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "obs/monitor/incident.hpp"
+#include "obs/monitor/watchdog.hpp"
 #include "obs/trace_io.hpp"
 #include "runner/trial_pool.hpp"
 #include "spec/consistency.hpp"
@@ -57,7 +68,8 @@ using namespace vs;
 
 class Cli {
  public:
-  explicit Cli(int jobs) : jobs_(jobs) {}
+  Cli(int jobs, std::string incident_dir)
+      : jobs_(jobs), incident_dir_(std::move(incident_dir)) {}
 
   int run(std::istream& in, std::ostream& out) {
     std::string line;
@@ -85,11 +97,20 @@ class Cli {
       ss >> side >> base;
       side_ = side;
       base_ = base;
+      watchdog_.reset();  // watches the old world; drop before replacing it
+      stabilizers_.clear();
       hierarchy_ = std::make_unique<hier::GridHierarchy>(side, side, base);
       tracking::NetworkConfig cfg;
       cfg.model_vsa_failures = true;
       cfg.t_restart = sim::Duration::millis(5);
       net_ = std::make_unique<tracking::TrackingNetwork>(*hierarchy_, cfg);
+      // Begin capturing the session as a replayable scenario; commands
+      // outside the canonical world→evader→walk→corrupt shape clear the
+      // replayable flag below.
+      scenario_ = obs::ScenarioSpec{};
+      scenario_.side = side;
+      scenario_.base = base;
+      scenario_.model_vsa_failures = true;
       out << "world " << side << "x" << side << " base " << base << ", MAX "
           << hierarchy_->max_level() << ", " << hierarchy_->num_clusters()
           << " clusters\n";
@@ -97,11 +118,18 @@ class Cli {
     }
     VS_REQUIRE(net_ != nullptr, "run `world <side> <base>` first");
     if (cmd == "evader") {
-      const TargetId t = net_->add_evader(region(ss));
+      const RegionId start = region(ss);
+      const TargetId t = net_->add_evader(start);
       net_->run_to_quiescence();
+      if (scenario_.start_region < 0) {
+        scenario_.start_region = start.value();
+      } else {
+        scenario_.replayable_flag = false;  // >1 evader: not canonical
+      }
       out << "evader " << t.value() << " placed\n";
     } else if (cmd == "move") {
       const TargetId t = target(ss);
+      scenario_.replayable_flag = false;  // manual move: not canonical
       net_->move_evader(t, region(ss));
       net_->run_to_quiescence();
       out << "evader " << t.value() << " now at "
@@ -112,6 +140,13 @@ class Cli {
       int steps = 0;
       std::uint64_t seed = 0;
       ss >> steps >> seed;
+      if (scenario_.steps == 0 && scenario_.corruptions.empty()) {
+        scenario_.steps = steps;  // first walk: the canonical one
+        scenario_.seed = seed;
+      } else {
+        scenario_.replayable_flag = false;
+      }
+      if (watchdog_) watchdog_->set_scenario(scenario_);
       vsa::RandomWalkMover mover(hierarchy_->tiling(), seed);
       RegionId cur = net_->evaders().region_of(t);
       for (int i = 0; i < steps; ++i) {
@@ -136,10 +171,12 @@ class Cli {
       }
     } else if (cmd == "fail") {
       const RegionId u = region(ss);
+      scenario_.replayable_flag = false;  // failures aren't captured
       net_->fail_vsa(u);
       out << "failed VSA at " << hierarchy_->tiling().describe(u) << "\n";
     } else if (cmd == "tick") {
       const TargetId t = target(ss);
+      scenario_.replayable_flag = false;  // repairs aren't captured
       auto& stab = stabilizer(t);
       const int injected = stab.tick_once();
       net_->run_to_quiescence();
@@ -178,6 +215,69 @@ class Cli {
       } else {
         out << "usage: trace on|off|dump <path>\n";
       }
+    } else if (cmd == "monitor") {
+      const TargetId t = target(ss);
+      std::string mode;
+      ss >> mode;
+      obs::WatchdogConfig cfg;
+      cfg.source = "cli";
+      if (mode == "every") {
+        cfg.mode = obs::WatchMode::kEveryChange;
+      } else if (mode == "cadence" || mode.empty()) {
+        std::int64_t us = 0;
+        if (ss >> us) {
+          VS_REQUIRE(us > 0, "cadence must be > 0 microseconds");
+          cfg.cadence = sim::Duration::micros(us);
+        }
+      } else {
+        out << "usage: monitor <target> every|cadence [us]\n";
+        return true;
+      }
+      watchdog_.reset();  // one watchdog at a time; release the old hooks
+      watchdog_ = std::make_unique<obs::Watchdog>(*net_, t, cfg, scenario_);
+      // Capture the stream by address: the sink outlives this dispatch
+      // call (it fires from later walk/corrupt commands).
+      watchdog_->set_incident_sink(
+          [this, os = &out](const obs::IncidentBundle& b) {
+            *os << "VIOLATION " << b.violation.predicate << " at "
+                << b.violation.time_us << "us";
+            if (b.violation.cluster >= 0) {
+              *os << " (cluster " << b.violation.cluster << ", level "
+                  << b.violation.level << ")";
+            }
+            *os << "\n";
+            if (!incident_dir_.empty()) {
+              const std::string path = incident_dir_ + "/incident_cli_" +
+                                       std::to_string(incidents_written_++) +
+                                       ".vsi";
+              obs::write_incident_file(path, b);
+              *os << "incident bundle written to " << path << "\n";
+            }
+          });
+      out << "watchdog on target " << t.value() << " ("
+          << obs::to_string(cfg.mode);
+      if (cfg.mode == obs::WatchMode::kCadence) {
+        out << " every " << cfg.cadence.count() << "us";
+      }
+      out << ")\n";
+    } else if (cmd == "corrupt") {
+      const TargetId t = target(ss);
+      const RegionId u = region(ss);
+      const ClusterId c0 = hierarchy_->cluster_of(u, 0);
+      tracking::TrackerSnapshot forced;
+      forced.clust = c0;
+      forced.c = c0;  // rogue grow front: c≠⊥, p=⊥
+      obs::ScenarioSpec::Corruption corr;
+      corr.cluster = c0.value();
+      corr.c = c0.value();
+      scenario_.corruptions.push_back(corr);
+      // Refresh the watchdog's embedded scenario first so a bundle
+      // captured by this very corruption already includes it.
+      if (watchdog_) watchdog_->set_scenario(scenario_);
+      net_->tracker(c0).corrupt_state(t, forced);
+      if (watchdog_) watchdog_->check_now();
+      out << "corrupted tracker of cluster " << c0.value() << " at "
+          << hierarchy_->tiling().describe(u) << " (c=self, p=bot)\n";
     } else if (cmd == "stats") {
       const auto& c = net_->counters();
       out << "moves: " << c.move_messages() << " messages, " << c.move_work()
@@ -261,10 +361,14 @@ class Cli {
   }
 
   int jobs_;
+  std::string incident_dir_;
+  int incidents_written_ = 0;
   int side_ = 0;
   int base_ = 0;
   std::unique_ptr<hier::GridHierarchy> hierarchy_;
   std::unique_ptr<tracking::TrackingNetwork> net_;
+  std::unique_ptr<obs::Watchdog> watchdog_;  // declared after net_: dies first
+  obs::ScenarioSpec scenario_;
   std::map<TargetId, std::unique_ptr<ext::Stabilizer>> stabilizers_;
 };
 
@@ -272,18 +376,26 @@ class Cli {
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = runner::default_jobs() (hardware concurrency)
+  std::string incident_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--incident-dir" && i + 1 < argc) {
+      incident_dir = argv[++i];
+    } else if (arg.rfind("--incident-dir=", 0) == 0) {
+      incident_dir = arg.substr(15);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: vinestalk_cli [--jobs N] < script\n"
+      std::cout << "usage: vinestalk_cli [--jobs N] [--incident-dir D] "
+                   "< script\n"
                    "commands on stdin; see the header of this source file.\n"
                    "--jobs N sets the sweep command's thread count "
                    "(default: hardware concurrency; sweep output is "
-                   "identical for every N).\n";
+                   "identical for every N).\n"
+                   "--incident-dir D makes the monitor command write "
+                   "incident bundles into D.\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -294,6 +406,6 @@ int main(int argc, char** argv) {
     std::cerr << "--jobs must be >= 1 (0 means auto), got " << jobs << "\n";
     return 2;
   }
-  Cli cli(jobs);
+  Cli cli(jobs, incident_dir);
   return cli.run(std::cin, std::cout);
 }

@@ -1,20 +1,34 @@
-// vinestalk_trace — offline reader for VSTRACE1 trace files.
+// vinestalk_trace — offline reader for VSTRACE1 traces and VSINCID1
+// incident bundles.
 //
 // Commands:
 //   summary <file>              aggregate shape of every world
 //   spans <file> <find-id>      causal span of one find (all worlds holding it)
 //   timeline <file> --level N   records at one hierarchy level
 //   check <file>                replay the trace through the spec invariants
+//   export <file> [--out F]     convert to Chrome trace-event JSON (Perfetto)
+//   incident <file> [--replay] [--dump-ring F]
+//                               pretty-print an incident bundle; --replay
+//                               re-runs its scenario and verifies the
+//                               violation reproduces; --dump-ring writes the
+//                               flight-recorder ring as a VSTRACE1 file
 //
-// Exit status: 0 on success; 1 on usage/IO errors; 2 when `check` finds
-// violations (so scripts can gate on it, see tools/check.sh).
+// Exit status: 0 on success; 1 on usage/IO/corrupt-file errors and on a
+// failed replay; 2 when `check` finds violations (so scripts can gate on
+// it, see tools/check.sh).
 
+#include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/monitor/incident.hpp"
+#include "obs/monitor/replay.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_query.hpp"
 #include "stats/counters.hpp"
@@ -26,13 +40,46 @@ using vs::obs::TraceKind;
 using vs::obs::WorldTrace;
 
 int usage() {
-  std::cerr << "usage: vinestalk_trace <command> <trace-file> [args]\n"
+  std::cerr << "usage: vinestalk_trace <command> <file> [args]\n"
                "  summary <file>             per-world aggregate counts\n"
                "  spans <file> <find-id>     causal span of one find\n"
                "  timeline <file> --level N  records at hierarchy level N\n"
                "  check <file>               replay spec invariants "
-               "(exit 2 on violation)\n";
+               "(exit 2 on violation)\n"
+               "  export <file> [--out F]    Chrome trace-event JSON "
+               "(stdout unless --out)\n"
+               "  incident <file> [--replay] [--dump-ring F]\n"
+               "                             inspect/replay an incident "
+               "bundle\n";
   return 1;
+}
+
+/// Exact find latencies (issued → found, per FindId) with nearest-rank
+/// percentiles — unlike the bucketed metrics histogram, a trace holds the
+/// raw values, so these are exact.
+void print_find_latencies(const WorldTrace& w) {
+  std::map<std::int64_t, std::int64_t> issued;
+  std::vector<std::int64_t> latencies;
+  for (const TraceEvent& e : w.events) {
+    if (static_cast<TraceKind>(e.kind) == TraceKind::kFindIssued) {
+      issued[e.find] = e.time_us;
+    } else if (static_cast<TraceKind>(e.kind) == TraceKind::kFoundOutput) {
+      const auto it = issued.find(e.find);
+      if (it != issued.end()) latencies.push_back(e.time_us - it->second);
+    }
+  }
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  const auto rank = [&](double q) {
+    const auto n = static_cast<double>(latencies.size());
+    auto i = static_cast<std::size_t>(q * (n - 1) + 0.5);
+    if (i >= latencies.size()) i = latencies.size() - 1;
+    return latencies[i];
+  };
+  std::cout << "  find latency us: p50=" << rank(0.5)
+            << " p90=" << rank(0.9) << " p99=" << rank(0.99)
+            << " max=" << latencies.back() << " (" << latencies.size()
+            << " completed)\n";
 }
 
 void print_summary(const WorldTrace& w) {
@@ -44,6 +91,7 @@ void print_summary(const WorldTrace& w) {
   std::cout << "\n  finds: " << s.finds_issued << " issued, "
             << s.finds_completed << " completed; max level " << s.max_level
             << "\n";
+  print_find_latencies(w);
   for (std::size_t k = 0; k < s.by_kind.size(); ++k) {
     if (s.by_kind[k] == 0) continue;
     std::cout << "  " << vs::obs::to_string(static_cast<TraceKind>(k)) << ": "
@@ -102,6 +150,47 @@ int cmd_check(const std::vector<WorldTrace>& worlds) {
   return report.ok() ? 0 : 2;
 }
 
+int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out) {
+  vs::obs::ChromeExportStats stats{};
+  if (out.empty()) {
+    stats = vs::obs::write_chrome_trace(std::cout, worlds);
+  } else {
+    std::ofstream os(out, std::ios::trunc);
+    if (!os.good()) {
+      std::cerr << "vinestalk_trace: cannot open " << out << "\n";
+      return 1;
+    }
+    stats = vs::obs::write_chrome_trace(os, worlds);
+    std::cerr << "wrote " << out << "\n";
+  }
+  std::cerr << stats.slices << " slice(s), " << stats.flows
+            << " flow pair(s) — open in ui.perfetto.dev or "
+               "chrome://tracing\n";
+  return 0;
+}
+
+int cmd_incident(const std::string& path, bool replay,
+                 const std::string& dump_ring) {
+  vs::obs::IncidentBundle bundle;
+  try {
+    bundle = vs::obs::read_incident_file(path);
+  } catch (const vs::Error& e) {
+    std::cerr << "vinestalk_trace: " << e.what() << "\n";
+    return 1;
+  }
+  vs::obs::print_incident(std::cout, bundle);
+  if (!dump_ring.empty()) {
+    vs::obs::write_trace_file(dump_ring,
+                              {WorldTrace{0, bundle.ring}});
+    std::cout << "flight recorder written to " << dump_ring << " ("
+              << bundle.ring.size() << " events)\n";
+  }
+  if (!replay) return 0;
+  const vs::obs::ReplayResult res = vs::obs::replay_incident(bundle);
+  std::cout << "replay: " << res.message << "\n";
+  return res.reproduced ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,15 +198,30 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string path = argv[2];
 
-  std::vector<WorldTrace> worlds;
   try {
-    worlds = vs::obs::read_trace_file(path);
-  } catch (const vs::Error& e) {
-    std::cerr << "vinestalk_trace: " << e.what() << "\n";
-    return 1;
-  }
+    if (command == "incident") {
+      bool replay = false;
+      std::string dump_ring;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--replay") == 0) {
+          replay = true;
+        } else if (std::strcmp(argv[i], "--dump-ring") == 0 && i + 1 < argc) {
+          dump_ring = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_incident(path, replay, dump_ring);
+    }
 
-  try {
+    std::vector<WorldTrace> worlds;
+    try {
+      worlds = vs::obs::read_trace_file(path);
+    } catch (const vs::Error& e) {
+      std::cerr << "vinestalk_trace: " << e.what() << "\n";
+      return 1;
+    }
+
     if (command == "summary") {
       return cmd_summary(worlds);
     }
@@ -137,6 +241,17 @@ int main(int argc, char** argv) {
     }
     if (command == "check") {
       return cmd_check(worlds);
+    }
+    if (command == "export") {
+      std::string out;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_export(worlds, out);
     }
   } catch (const std::exception& e) {
     std::cerr << "vinestalk_trace: " << e.what() << "\n";
