@@ -68,14 +68,19 @@ Watchdog::Watchdog(tracking::TrackingNetwork& net, TargetId target,
       in_check_ = false;
     });
   }
-  net.set_move_observer([this](TargetId t, RegionId from, RegionId to) {
-    on_move(t, from, to);
-  });
+  net.set_move_observer(
+      [this](TargetId t, RegionId from, RegionId to, bool quiescent) {
+        on_move(t, from, to, quiescent);
+      });
   // Flight recorder: take over the recorder only if nobody is already
   // tracing (a full-trace run keeps its unbounded log and still gets its
   // events into incidents — events() works in either mode). With tracing
-  // compiled out the ring stays empty; bundles then carry no events.
+  // compiled out the ring stays empty; bundles then carry no events. The
+  // destructor undoes the take-over, so a later full-trace run on the same
+  // world is not silently capped at the ring size.
   if (cfg_.ring_capacity > 0 && !net.trace().enabled()) {
+    owns_recorder_ = true;
+    prev_ring_capacity_ = net.trace().ring_capacity();
     net.trace().set_ring_capacity(cfg_.ring_capacity);
     net.set_tracing(true);
   }
@@ -119,9 +124,18 @@ Watchdog::~Watchdog() {
   net_->scheduler().set_post_step_hook(nullptr, nullptr);
   net_->set_move_observer({});
   if (cfg_.mode == WatchMode::kEveryChange) net_->set_state_change_hook({});
+  if (owns_recorder_) {
+    // Tracing was off when the constructor took the recorder over (the
+    // take-over condition), so off + the prior capacity is the pre-attach
+    // state. set_ring_capacity(0) returns to unbounded mode.
+    net_->set_tracing(false);
+    net_->trace().set_ring_capacity(prev_ring_capacity_);
+  }
+  // monitor_ (destroyed after this body) detaches its own send observer.
 }
 
-void Watchdog::on_move(TargetId t, RegionId from, RegionId to) {
+void Watchdog::on_move(TargetId t, RegionId from, RegionId to,
+                       bool quiescent_at_issue) {
   if (t != target_) return;
   monitor_->on_move();
   if (!from.valid()) {
@@ -133,7 +147,7 @@ void Watchdog::on_move(TargetId t, RegionId from, RegionId to) {
     return;
   }
   if (!atomic_so_far_ || !shadow_live_) return;
-  if (net_->scheduler().pending() != 0) {
+  if (!quiescent_at_issue) {
     // A move issued before the previous one's updates drained: outside
     // Theorem 4.8's atomic domain from here on. Mid-flight lemma checks
     // stop (multi-front states are now legal); quiescence-edge checks and
@@ -176,6 +190,12 @@ void Watchdog::post_step() {
 }
 
 void Watchdog::check_now() { full_check(); }
+
+void Watchdog::yield_recorder() {
+  if (!owns_recorder_) return;
+  owns_recorder_ = false;
+  net_->trace().set_ring_capacity(prev_ring_capacity_);
+}
 
 void Watchdog::full_check() {
   in_check_ = true;
@@ -256,14 +276,18 @@ WatchdogConfig parse_watch_spec(const std::string& spec) {
     return cfg;
   }
   std::int64_t us = 0;
+  std::size_t consumed = 0;
   try {
-    us = std::stoll(spec);
+    us = std::stoll(spec, &consumed);
   } catch (...) {
-    us = 0;
+    consumed = 0;
   }
-  VS_REQUIRE(us > 0, "bad monitor spec '"
-                         << spec
-                         << "' (want 'every' or a cadence in microseconds)");
+  // The whole spec must parse: stoll alone would accept "50ms" as 50 — a
+  // cadence ~1000x hotter than the user asked for.
+  VS_REQUIRE(consumed == spec.size() && us > 0,
+             "bad monitor spec '"
+                 << spec
+                 << "' (want 'every' or a cadence in microseconds)");
   cfg.cadence = sim::Duration::micros(us);
   return cfg;
 }

@@ -74,6 +74,11 @@ class Watchdog {
   /// non-replayable). The network must be quiescent (fresh or drained).
   Watchdog(tracking::TrackingNetwork& net, TargetId target,
            WatchdogConfig config = {}, ScenarioSpec scenario = {});
+  /// Detaches every hook it installed (post-step, move observer,
+  /// state-change, the monitor's send observer) and, when the constructor
+  /// switched the trace recorder to ring mode, restores the recorder's
+  /// prior mode and enabled flag — a watchdog may be destroyed or replaced
+  /// while the network lives on. The network must not die first.
   ~Watchdog();
 
   Watchdog(const Watchdog&) = delete;
@@ -92,6 +97,14 @@ class Watchdog {
   /// capturers (the CLI) call this as the session evolves, so a bundle
   /// always carries the scenario as of its detection.
   void set_scenario(ScenarioSpec scenario) { scenario_ = std::move(scenario); }
+
+  /// Hands the trace recorder back to the caller: if the constructor had
+  /// switched it to ring mode, returns it to unbounded mode (tracing stays
+  /// enabled) and forgoes the destructor's restore. Drivers call this when
+  /// an explicit full-trace request outranks the bounded flight recorder —
+  /// otherwise the "full" dump silently holds only the last K events.
+  /// Incidents captured afterwards embed the unbounded log instead.
+  void yield_recorder();
 
   [[nodiscard]] const std::vector<IncidentBundle>& incidents() const {
     return incidents_;
@@ -118,7 +131,8 @@ class Watchdog {
   }
   void post_step();
   void full_check();
-  void on_move(TargetId t, RegionId from, RegionId to);
+  void on_move(TargetId t, RegionId from, RegionId to,
+               bool quiescent_at_issue);
   void on_violation(std::string predicate, std::string detail,
                     std::int32_t cluster, std::int32_t level);
 
@@ -131,6 +145,8 @@ class Watchdog {
   bool shadow_live_ = false;   // init() applied
   bool atomic_so_far_ = true;  // execution still in Theorem 4.8's domain
   bool in_check_ = false;      // re-entrancy guard (hook → check → hook)
+  bool owns_recorder_ = false;  // ctor switched the recorder to ring mode
+  std::size_t prev_ring_capacity_ = 0;  // recorder mode to restore
   sim::TimePoint next_due_ = sim::TimePoint::zero();
   std::int64_t violations_seen_ = 0;
   std::int64_t checks_run_ = 0;

@@ -14,9 +14,9 @@ using vsa::MsgType;
 InvariantMonitor::InvariantMonitor(tracking::TrackingNetwork& net,
                                    TargetId target, bool check_every_change)
     : net_(&net), target_(target) {
-  net.cgcast().add_send_observer([this](const Message& m, ClusterId from,
-                                        ClusterId to, Level level,
-                                        std::int64_t /*hops*/) {
+  send_observer_id_ = net.cgcast().add_send_observer(
+      [this](const Message& m, ClusterId from, ClusterId to, Level level,
+             std::int64_t /*hops*/) {
     if (m.target != target_ || m.type != MsgType::kGrow) return;
     if (!from.valid()) return;  // client grow, never lateral
     const auto& h = net_->hierarchy();
@@ -46,7 +46,13 @@ InvariantMonitor::InvariantMonitor(tracking::TrackingNetwork& net,
         [this](ClusterId, TargetId t) {
           if (t == target_) check_now();
         });
+    installed_state_hook_ = true;
   }
+}
+
+InvariantMonitor::~InvariantMonitor() {
+  net_->cgcast().remove_send_observer(send_observer_id_);
+  if (installed_state_hook_) net_->set_state_change_hook({});
 }
 
 void InvariantMonitor::on_move() { lateral_this_move_.clear(); }

@@ -30,11 +30,17 @@ class InvariantMonitor {
   using ViolationHook =
       std::function<void(const std::string&, ClusterId, Level)>;
 
-  /// Subscribes to the network's send observer and state-change hook.
-  /// `check_every_change` additionally re-checks Lemmas 4.1/4.3 on every
-  /// pointer-state change (O(#clusters) each — test-sized worlds only).
+  /// Subscribes to the network's send observer and (with
+  /// `check_every_change`) its state-change hook; `check_every_change`
+  /// re-checks Lemmas 4.1/4.3 on every pointer-state change (O(#clusters)
+  /// each — test-sized worlds only). The destructor detaches both, so a
+  /// monitor may die before the network it watched — but not after it.
   InvariantMonitor(tracking::TrackingNetwork& net, TargetId target,
                    bool check_every_change = true);
+  ~InvariantMonitor();
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
 
   /// Resets the per-move lateral-grow counters; call when a move is issued.
   void on_move();
@@ -72,6 +78,8 @@ class InvariantMonitor {
 
   tracking::TrackingNetwork* net_;
   TargetId target_;
+  vsa::CGcast::ObserverId send_observer_id_{0};
+  bool installed_state_hook_ = false;
   std::map<Level, std::int64_t> lateral_this_move_;
   std::int64_t lateral_total_{0};
   bool live_checks_ = true;

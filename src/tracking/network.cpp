@@ -141,14 +141,25 @@ void TrackingNetwork::dispatch(ClusterId dest, const vsa::Message& m) {
 }
 
 TargetId TrackingNetwork::add_evader(RegionId start) {
+  const bool quiescent = sched_.pending() == 0;
   const TargetId target = evaders_.add_evader(start);
-  if (move_observer_) move_observer_(target, RegionId{}, start);
+  if (move_observer_) move_observer_(target, RegionId{}, start, quiescent);
   return target;
 }
 
 void TrackingNetwork::move_evader(TargetId target, RegionId to) {
-  if (move_observer_) move_observer_(target, evaders_.region_of(target), to);
+  if (!move_observer_) {
+    evaders_.move(target, to);
+    return;
+  }
+  // Capture `from` and the quiescence predicate before the move (it
+  // schedules its own client messages), but notify only after it succeeds
+  // — a rejected move must never reach attached monitors, or their shadow
+  // state diverges from the live structure.
+  const RegionId from = evaders_.region_of(target);
+  const bool quiescent = sched_.pending() == 0;
   evaders_.move(target, to);
+  move_observer_(target, from, to, quiescent);
 }
 
 void TrackingNetwork::move_and_quiesce(TargetId target, RegionId to) {

@@ -141,13 +141,18 @@ class TrackingNetwork {
   void set_state_change_hook(Tracker::StateChangeHook hook);
 
   /// Observer of evader placement/relocation as seen at the network API:
-  /// (target, from, to); `from` is invalid on initial placement. Called
-  /// before a relocation takes effect (and right after a placement, so
-  /// the new TargetId exists). The obs watchdog uses this to reset
+  /// (target, from, to, quiescent_at_issue); `from` is invalid on initial
+  /// placement. Called only after the move/placement succeeded (a throwing
+  /// move — bad region, unknown target — is never observed, so monitors
+  /// can't desync from the live structure). `quiescent_at_issue` is
+  /// whether the scheduler was drained when the move was issued, captured
+  /// *before* the move schedules its own client messages — the atomic-move
+  /// predicate of Theorem 4.8. The obs watchdog uses this to reset
   /// per-move invariant counters and maintain its atomicMoveSeq shadow.
   /// Distinct from EvaderModel::set_move_hook, which the client
   /// population owns.
-  using MoveObserver = std::function<void(TargetId, RegionId, RegionId)>;
+  using MoveObserver =
+      std::function<void(TargetId, RegionId, RegionId, bool)>;
   void set_move_observer(MoveObserver observer) {
     move_observer_ = std::move(observer);
   }

@@ -27,13 +27,19 @@ bool CGcast::lose_message() {
   return true;
 }
 
-void CGcast::add_send_observer(SendObserver obs) {
-  observers_.push_back(std::move(obs));
+CGcast::ObserverId CGcast::add_send_observer(SendObserver obs) {
+  const ObserverId id = next_observer_id_++;
+  observers_.emplace_back(id, std::move(obs));
+  return id;
+}
+
+void CGcast::remove_send_observer(ObserverId id) {
+  std::erase_if(observers_, [id](const auto& e) { return e.first == id; });
 }
 
 void CGcast::notify_observers(const Message& m, ClusterId from, ClusterId to,
                               Level level, std::int64_t hops) {
-  for (const auto& obs : observers_) obs(m, from, to, level, hops);
+  for (const auto& [id, obs] : observers_) obs(m, from, to, level, hops);
 }
 
 void CGcast::record(obs::TraceKind kind, const Message& m, std::int32_t a,

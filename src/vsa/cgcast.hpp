@@ -64,12 +64,23 @@ class CGcast {
   using SendObserver = std::function<void(const Message&, ClusterId from,
                                           ClusterId to, Level level,
                                           std::int64_t hops)>;
+  /// Handle for remove_send_observer (0 is never issued).
+  using ObserverId = std::uint64_t;
 
   void set_tracker_sink(TrackerSink sink) { tracker_sink_ = std::move(sink); }
   void set_client_sink(ClientSink sink) { client_sink_ = std::move(sink); }
   void set_vsa_alive(AliveFn alive) { alive_ = std::move(alive); }
   void set_replicas(ReplicaFn replicas) { replicas_ = std::move(replicas); }
-  void add_send_observer(SendObserver obs);
+  ObserverId add_send_observer(SendObserver obs);
+  /// Detaches a previously added observer. Observers whose owner may die
+  /// before the service (spec monitors, watchdogs) must call this from
+  /// their destructor or every later send dangles. Unknown ids are a
+  /// no-op, so teardown paths may call it unconditionally.
+  void remove_send_observer(ObserverId id);
+  /// Observers currently attached (tests pin detach-on-destruction).
+  [[nodiscard]] std::size_t send_observer_count() const {
+    return observers_.size();
+  }
 
   /// Attach the world's trace recorder (nullptr detaches). The recorder
   /// must outlive the service; CGcast never owns it.
@@ -138,7 +149,8 @@ class CGcast {
   ClientSink client_sink_;
   AliveFn alive_;
   ReplicaFn replicas_;
-  std::vector<SendObserver> observers_;
+  std::vector<std::pair<ObserverId, SendObserver>> observers_;
+  ObserverId next_observer_id_{1};
   obs::TraceRecorder* trace_ = nullptr;
 
   std::map<std::uint64_t, InTransit> in_flight_;  // key: send sequence

@@ -85,5 +85,36 @@ TEST(Cli, WalkCommand) {
   EXPECT_NE(out.find("consistent"), std::string::npos) << out;
 }
 
+TEST(Cli, MonitorReattachSurvivesAndStillDetects) {
+  // `monitor` twice on one world replaces the watchdog; the sends of the
+  // following walk must reach only the live one (the first watchdog's
+  // hooks used to dangle), and a seeded corruption is still caught.
+  const std::string out = run_cli(
+      "world 27 3\n"
+      "evader 13 13\n"
+      "monitor 0 cadence 2000\n"
+      "monitor 0 every\n"
+      "walk 0 6 42\n"
+      "corrupt 0 2 2\n"
+      "quit\n");
+  EXPECT_NE(out.find("watchdog on target 0 (every-change)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("walked 6 steps"), std::string::npos) << out;
+  EXPECT_NE(out.find("VIOLATION"), std::string::npos) << out;
+}
+
+TEST(Cli, MonitorRejectsCadenceWithUnitSuffix) {
+  const std::string out = run_cli(
+      "world 9 3\n"
+      "evader 4 4\n"
+      "monitor 0 cadence 50ms\n"
+      "quit\n");
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("cadence must be a bare count"), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("watchdog on target"), std::string::npos) << out;
+}
+
 }  // namespace
 }  // namespace vstest

@@ -80,6 +80,118 @@ TEST(Watchdog, CleanWalkStaysCleanInBothModes) {
   }
 }
 
+TEST(Watchdog, DestructionDetachesHooksAndRestoresRecorder) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  const std::size_t base_observers = g.net->cgcast().send_observer_count();
+  {
+    obs::Watchdog wd(*g.net, t, every_change_config());
+    EXPECT_EQ(g.net->cgcast().send_observer_count(), base_observers + 1);
+    EXPECT_TRUE(g.net->trace().enabled());
+    EXPECT_GT(g.net->trace().ring_capacity(), 0u);
+  }
+  // Every hook is released (a leftover send observer would call into the
+  // freed monitor on the next send) and the recorder is back to its
+  // pre-attach state: off, unbounded — so a later full-trace run is not
+  // silently capped at the ring size.
+  EXPECT_EQ(g.net->cgcast().send_observer_count(), base_observers);
+  EXPECT_FALSE(g.net->trace().enabled());
+  EXPECT_EQ(g.net->trace().ring_capacity(), 0u);
+
+  // The CLI's `monitor` twice: re-attach to the same world and keep
+  // driving it — sends must reach only the live watchdog.
+  obs::Watchdog wd2(*g.net, t, cadence_config());
+  const auto walk = random_walk(g.hierarchy->tiling(), g.at(13, 13), 8, 0xDE);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  wd2.check_now();
+  EXPECT_TRUE(wd2.ok());
+}
+
+TEST(Watchdog, YieldRecorderUncapsTracingAndSkipsTheRestore) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  {
+    obs::Watchdog wd(*g.net, t, cadence_config());
+    ASSERT_GT(g.net->trace().ring_capacity(), 0u);
+    wd.yield_recorder();  // a full-trace request outranks the ring
+    EXPECT_EQ(g.net->trace().ring_capacity(), 0u);
+    EXPECT_TRUE(g.net->trace().enabled());
+  }
+  // The destructor no longer owns the recorder, so the caller's full
+  // tracing survives the watchdog.
+  EXPECT_TRUE(g.net->trace().enabled());
+  EXPECT_EQ(g.net->trace().ring_capacity(), 0u);
+}
+
+TEST(Watchdog, DoesNotTakeOverAForeignTraceNorRestoreIt) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  g.net->set_tracing(true);  // a full-trace run owns the recorder
+  {
+    obs::Watchdog wd(*g.net, t, cadence_config());
+    EXPECT_EQ(g.net->trace().ring_capacity(), 0u);  // unbounded log kept
+  }
+  EXPECT_TRUE(g.net->trace().enabled());  // and not switched off either
+}
+
+TEST(InvariantMonitor, DetachesOnDestruction) {
+  GridNet g = make_grid(9, 3);
+  const TargetId t = g.net->add_evader(g.at(4, 4));
+  g.net->run_to_quiescence();
+  const std::size_t base_observers = g.net->cgcast().send_observer_count();
+  {
+    spec::InvariantMonitor monitor(*g.net, t);
+    EXPECT_EQ(g.net->cgcast().send_observer_count(), base_observers + 1);
+  }
+  EXPECT_EQ(g.net->cgcast().send_observer_count(), base_observers);
+  const auto walk = random_walk(g.hierarchy->tiling(), g.at(4, 4), 4, 3);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+}
+
+TEST(Watchdog, RejectedMoveLeavesShadowInSync) {
+  GridNet g = make_grid(27, 3);
+  const TargetId t = g.net->add_evader(g.at(13, 13));
+  g.net->run_to_quiescence();
+  obs::Watchdog wd(*g.net, t, cadence_config());
+
+  // A teleport is rejected by the evader model; the observer must not see
+  // it (the shadow applying a move the live structure never made would
+  // later surface as a spurious lookahead-agreement violation).
+  EXPECT_THROW(g.net->move_evader(t, g.at(0, 0)), Error);
+
+  const auto walk = random_walk(g.hierarchy->tiling(), g.at(13, 13), 6, 11);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_and_quiesce(t, walk[i]);
+  }
+  wd.check_now();
+  EXPECT_TRUE(wd.ok()) << wd.monitor().to_string();
+  EXPECT_TRUE(wd.atomic_so_far());
+}
+
+TEST(ParseWatchSpec, AcceptsCanonicalForms) {
+  EXPECT_EQ(obs::parse_watch_spec("").mode, obs::WatchMode::kCadence);
+  EXPECT_EQ(obs::parse_watch_spec("every").mode, obs::WatchMode::kEveryChange);
+  EXPECT_EQ(obs::parse_watch_spec("every-change").mode,
+            obs::WatchMode::kEveryChange);
+  const obs::WatchdogConfig cfg = obs::parse_watch_spec("250");
+  EXPECT_EQ(cfg.mode, obs::WatchMode::kCadence);
+  EXPECT_EQ(cfg.cadence.count(), 250);
+}
+
+TEST(ParseWatchSpec, RejectsGarbageAndTrailingUnits) {
+  // "50ms" must not parse as 50us — a ~1000x hotter watchdog than asked.
+  for (const char* bad : {"50ms", "abc", "-5", "0", "10 ", "1e3"}) {
+    EXPECT_THROW((void)obs::parse_watch_spec(bad), Error) << bad;
+  }
+}
+
 TEST(Watchdog, SingleGrowFrontCorruptViolatesConsistencyAndLookAhead) {
   GridNet g = make_grid(27, 3);
   const TargetId t = g.net->add_evader(g.at(13, 13));

@@ -200,6 +200,10 @@ class Cli {
       if (sub == "on") {
         VS_REQUIRE(obs::kTraceCompiled,
                    "tracing compiled out (rebuild with -DVINESTALK_TRACE=ON)");
+        // An explicit full-trace request outranks an attached watchdog's
+        // bounded flight recorder — otherwise `trace dump` would silently
+        // hold only the ring's last K events.
+        if (watchdog_) watchdog_->yield_recorder();
         net_->set_tracing(true);
         out << "tracing on\n";
       } else if (sub == "off") {
@@ -210,8 +214,12 @@ class Cli {
         ss >> path;
         VS_REQUIRE(!path.empty(), "trace dump needs a path");
         obs::write_trace_file(path, net_->trace());
-        out << "wrote " << net_->trace().size() << " events to " << path
-            << "\n";
+        out << "wrote " << net_->trace().size() << " events to " << path;
+        if (net_->trace().ring_capacity() > 0) {
+          out << " (flight-recorder ring: last "
+              << net_->trace().ring_capacity() << " events at most)";
+        }
+        out << "\n";
       } else {
         out << "usage: trace on|off|dump <path>\n";
       }
@@ -226,7 +234,9 @@ class Cli {
       } else if (mode == "cadence" || mode.empty()) {
         std::int64_t us = 0;
         if (ss >> us) {
-          VS_REQUIRE(us > 0, "cadence must be > 0 microseconds");
+          std::string rest;
+          VS_REQUIRE(us > 0 && !(ss >> rest),
+                     "cadence must be a bare count of microseconds > 0");
           cfg.cadence = sim::Duration::micros(us);
         }
       } else {
