@@ -5,10 +5,17 @@
 // the §VII heartbeat stabilizer: structure consistency after a walk, find
 // success, and the repair traffic spent. Each (loss rate, stabilizer)
 // combination is an independent trial.
+//
+// Loss is driven through a fault::FaultPlan — a single loss window
+// covering the whole run, seeded with the legacy channel-loss seed —
+// embedded in each trial's ScenarioSpec, so incidents captured here
+// replay with the identical loss sequence.
 
 #include <array>
 
 #include "ext/stabilizer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "spec/consistency.hpp"
 
 #include "bench_util.hpp"
@@ -16,6 +23,12 @@
 namespace {
 
 using namespace vsbench;
+
+constexpr std::int64_t kStepUs = 200'000;
+constexpr std::int64_t kSettleUs = 4'000'000;
+constexpr std::int64_t kHeartbeatUs = 400'000;
+// Covers placement, walk, settle, and the post-walk finds.
+constexpr std::int64_t kLossWindowEndUs = 1'000'000'000;
 
 struct Outcome {
   bool consistent;
@@ -27,29 +40,48 @@ struct Outcome {
 
 Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial,
             BenchMonitor* mon = nullptr) {
-  tracking::NetworkConfig cfg;
-  cfg.cgcast.loss_probability = loss;
-  GridNet g = make_grid(27, 3, cfg);
+  GridNet g = make_grid(27, 3);
   const RegionId start = g.at(13, 13);
+
+  fault::FaultPlan plan;
+  plan.seed = 0x10555;  // the legacy CGcastConfig::loss_seed
+  if (loss > 0.0) plan.loss_bursts.push_back({0, kLossWindowEndUs, loss, 0});
+
+  // A windows-only plan arms before the target is placed: the initial
+  // detection traffic runs over the lossy channel too, exactly like the
+  // legacy loss_probability config this bench used to set.
+  std::unique_ptr<fault::FaultInjector> inj;
+  if (!plan.empty()) {
+    inj = std::make_unique<fault::FaultInjector>(*g.net, plan);
+    inj->arm();
+  }
+
   const TargetId t = g.net->add_evader(start);
   g.net->run_to_quiescence();
+
+  obs::ScenarioSpec scenario = walk_scenario(27, 3, start, 80, 0xE12);
+  scenario.step_every_us = kStepUs;
+  scenario.settle_us = kSettleUs;
+  scenario.heartbeat_period_us = stabilize ? kHeartbeatUs : 0;
+  if (!plan.empty()) scenario.fault_plan = plan.to_string();
   // Lossy channels can legitimately strand stale pointers; under --monitor
-  // the bare (unstabilized) lossy trials are expected to report violations.
-  const auto wd = mon != nullptr ? mon->attach(*g.net, t) : nullptr;
+  // the bare (unstabilized) lossy trials are expected to report violations
+  // — now with fault-replayable bundles.
+  const auto wd = mon != nullptr ? mon->attach(*g.net, t, scenario) : nullptr;
 
   std::unique_ptr<ext::Stabilizer> stab;
   if (stabilize) {
     stab = std::make_unique<ext::Stabilizer>(*g.net, t,
-                                             sim::Duration::millis(400));
+                                             sim::Duration::micros(kHeartbeatUs));
     stab->start();
   }
 
   const auto walk = random_walk(g.hierarchy->tiling(), start, 80, 0xE12);
   for (std::size_t i = 1; i < walk.size(); ++i) {
     g.net->move_evader(t, walk[i]);
-    g.net->run_for(sim::Duration::millis(200));
+    g.net->run_for(sim::Duration::micros(kStepUs));
   }
-  g.net->run_for(sim::Duration::millis(4000));
+  g.net->run_for(sim::Duration::micros(kSettleUs));
   if (stab) stab->stop();
   g.net->run_to_quiescence();
 
@@ -58,6 +90,9 @@ Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial,
       vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
   out.lost = g.net->cgcast().lost();
   out.repairs = stab ? stab->repairs() : 0;
+  // Harvest the monitor before the finds: the final check then runs at the
+  // same virtual time as a scenario replay's.
+  if (mon != nullptr) mon->finish(trial, wd.get());
   Rng rng{0x12E};
   out.finds_total = 10;
   for (int i = 0; i < out.finds_total; ++i) {
@@ -70,7 +105,6 @@ Outcome run(double loss, bool stabilize, BenchObs& obs, std::size_t trial,
       ++out.finds_ok;
     }
   }
-  if (mon != nullptr) mon->finish(trial, wd.get());
   obs.record(trial, *g.net);
   return out;
 }

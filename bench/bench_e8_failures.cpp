@@ -1,4 +1,4 @@
-// E8a — §VII robustness: VSA failures/restarts with the heartbeat-style
+// E8a — §VII robustness: VSA failures/restarts with the heartbeat
 // stabilizer.
 //
 // Per failure rate (one independent trial each): random VSAs are failed
@@ -7,10 +7,20 @@
 // The stabilizer ticks periodically. Reported: repair messages injected,
 // message drops, find success after the dust settles, and whether the
 // final state is a consistent tracking structure.
+//
+// All failures are driven through a fault::FaultPlan: the crash schedule
+// is precomputed from the walk, embedded in the trial's ScenarioSpec, and
+// armed via FaultInjector — so any incident the monitor captures here is
+// replayable through `vinestalk_trace incident --replay`, fault sequence
+// included. The plan's recovery directive arms the watchdog's
+// recovery-deadline check: consistent state must return within a bound
+// proportional to the number of failures.
 
 #include <array>
 
 #include "ext/stabilizer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "spec/consistency.hpp"
 
 #include "bench_util.hpp"
@@ -18,12 +28,16 @@
 int main(int argc, char** argv) {
   using namespace vsbench;
   const auto opt = parse_bench_args(argc, argv);
-  banner("E8a: VSA failures + stabilizer (§VII self-stabilization sketch)",
-         "claim: heartbeat-style repair restores a consistent structure\n"
+  banner("E8a: VSA failures + stabilizer (§VII self-stabilization)",
+         "claim: heartbeat repair restores a consistent structure\n"
          "       after arbitrary VSA resets, at cost ∝ damage.\n"
          "world: 27x27 base 3; 80-step walk; t_restart = 4ms.");
 
   constexpr std::array<int, 5> kFailEvery{0, 20, 10, 5, 2};
+  constexpr std::int64_t kStepUs = 200'000;
+  constexpr std::int64_t kSettleUs = 3'000'000;
+  constexpr std::int64_t kHeartbeatUs = 400'000;
+  constexpr std::int64_t kTRestartUs = 4'000;
   stats::Table table({"fail_every_n_steps", "failures", "drops",
                       "repair_msgs", "consistent_at_end", "find_ok"});
   BenchObs obs("e8_failures", kFailEvery.size());
@@ -32,47 +46,84 @@ int main(int argc, char** argv) {
     const int fail_every = kFailEvery[trial];
     tracking::NetworkConfig cfg;
     cfg.model_vsa_failures = true;
-    cfg.t_restart = sim::Duration::millis(4);
+    cfg.t_restart = sim::Duration::micros(kTRestartUs);
     GridNet g = make_grid(27, 3, cfg);
     const RegionId start = g.at(13, 13);
     const TargetId t = g.net->add_evader(start);
     g.net->run_to_quiescence();
-    // Failure injection is not replayable from a ScenarioSpec; attach with
-    // the default (non-replayable) scenario. Violations while VSAs are down
-    // are expected at high failure rates — the monitor documents them.
-    const auto wd = mon.attach(*g.net, t);
 
-    ext::Stabilizer stab(*g.net, t, sim::Duration::millis(400));
-    stab.start();
-
+    // Precompute the crash schedule: every fail_every-th step knocks out
+    // the VSA hosting a random level of the chain above the evader's
+    // position at that step. Times are absolute virtual microseconds,
+    // anchored at the post-placement instant the walk starts from, 1us
+    // after the step's move — the VSA dies just after the evader arrives
+    // (and well before any δ-delayed message lands), like the inline
+    // fail_vsa call this schedule replaces.
+    const std::uint64_t walk_seed = 0x8E + static_cast<std::uint64_t>(fail_every);
+    const auto walk = random_walk(g.hierarchy->tiling(), start, 80, walk_seed);
     Rng rng{0xE8 + static_cast<std::uint64_t>(fail_every)};
-    const auto walk = random_walk(g.hierarchy->tiling(), start, 80,
-                                  0x8E + static_cast<std::uint64_t>(fail_every));
+    const std::int64_t t0 = g.net->now().count();
+    fault::FaultPlan plan;
+    plan.seed = 0xE8 + static_cast<std::uint64_t>(fail_every);
     for (std::size_t i = 1; i < walk.size(); ++i) {
-      g.net->move_evader(t, walk[i]);
       if (fail_every > 0 && static_cast<int>(i) % fail_every == 0) {
-        // Knock out the VSA hosting a random level of the current chain.
         const Level l = static_cast<Level>(
             rng.uniform_int(0, g.hierarchy->max_level() - 1));
-        g.net->fail_vsa(
-            g.hierarchy->head(g.hierarchy->cluster_of(walk[i], l)));
+        const RegionId r =
+            g.hierarchy->head(g.hierarchy->cluster_of(walk[i], l));
+        plan.crashes.push_back(
+            {r.value(), t0 + static_cast<std::int64_t>(i - 1) * kStepUs + 1});
       }
-      g.net->run_for(sim::Duration::millis(200));
+    }
+    // Recovery bound ∝ damage: a fixed base plus a per-failure budget,
+    // sized to land inside the post-walk settle window.
+    plan.recovery = fault::FaultPlan::Recovery{1'000'000, 50'000};
+
+    obs::ScenarioSpec scenario = walk_scenario(27, 3, start, 80, walk_seed);
+    scenario.model_vsa_failures = true;
+    scenario.t_restart_us = kTRestartUs;
+    scenario.step_every_us = kStepUs;
+    scenario.settle_us = kSettleUs;
+    scenario.heartbeat_period_us = kHeartbeatUs;
+    if (!plan.empty()) scenario.fault_plan = plan.to_string();
+    const auto wd = mon.attach(*g.net, t, scenario);
+
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (!plan.empty()) {
+      inj = std::make_unique<fault::FaultInjector>(*g.net, plan);
+      inj->arm();
+      if (wd) {
+        if (const auto deadline = inj->recovery_deadline()) {
+          wd->arm_recovery_deadline(*deadline);
+        }
+      }
+    }
+
+    ext::Stabilizer stab(*g.net, t, sim::Duration::micros(kHeartbeatUs));
+    stab.start();
+
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      g.net->move_evader(t, walk[i]);
+      g.net->run_for(sim::Duration::micros(kStepUs));
     }
     // Settle: several repair periods, then drain.
-    g.net->run_for(sim::Duration::millis(3000));
+    g.net->run_for(sim::Duration::micros(kSettleUs));
     stab.stop();
     g.net->run_to_quiescence();
 
     const bool consistent =
         vs::spec::check_consistent(g.net->snapshot(t), walk.back()).ok();
+    // Harvest the monitor before the trailing find: the final check then
+    // runs at the same virtual time as a scenario replay's, so captured
+    // incidents reproduce exactly.
+    mon.finish(trial, wd.get());
+
     const FindId f = g.net->start_find(g.at(0, 0), t);
     g.net->run_to_quiescence();
     const bool find_ok =
         g.net->find_result(f).done &&
         g.net->find_result(f).found_region == walk.back();
 
-    mon.finish(trial, wd.get());
     obs.record(trial, *g.net);
     return std::vector<stats::Table::Cell>{
         std::int64_t{fail_every}, g.net->directory()->failures(),

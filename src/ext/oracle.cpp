@@ -1,0 +1,214 @@
+#include "ext/oracle.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "vsa/messages.hpp"
+
+namespace vs::ext {
+
+using tracking::SystemSnapshot;
+using vsa::Message;
+using vsa::MsgType;
+
+GlobalViewOracle::GlobalViewOracle(tracking::TrackingNetwork& net,
+                                   TargetId target)
+    : net_(&net), target_(target) {}
+
+int GlobalViewOracle::tick_once() {
+  ++ticks_;
+  const SystemSnapshot snap = net_->snapshot(target_);
+  const hier::ClusterHierarchy& h = *snap.hier;
+
+  // A healthy system with updates still in flight needs no repair — and
+  // poking it could duplicate in-transit messages. Wait for the channel to
+  // clear (the heartbeat analogue: heartbeats are much slower than moves).
+  if (!snap.in_transit.empty()) return 0;
+
+  int injected = 0;
+  auto& cg = net_->cgcast();
+  const auto send = [&](ClusterId from, ClusterId to, MsgType type) {
+    Message m;
+    m.type = type;
+    m.from_cluster = from;
+    m.target = target_;
+    cg.send(from, to, m);
+    ++injected;
+  };
+
+  const RegionId evader_at = net_->evaders().region_of(target_);
+  const ClusterId evader_c0 = h.cluster_of(evader_at, 0);
+
+  // Cycle dissolution: arbitrary corruption (self-stabilization's
+  // adversarial start) can close the p-links into a cycle that looks
+  // locally intact to every member, so no local rule ever fires. The
+  // distributed analogue is the root-anchored heartbeat: cycle members
+  // never hear the root and time out. Detect cycles by walking p-links
+  // and dissolve them by shrinking each member's child link; the ordinary
+  // shrink cascade then retires the members.
+  {
+    std::vector<std::uint8_t> status(snap.trackers.size(), 0);  // 0=unknown
+    constexpr std::uint8_t kOk = 1, kCycle = 2, kVisiting = 3;
+    for (const auto& start : snap.trackers) {
+      if (status[static_cast<std::size_t>(start.clust.value())] != 0) continue;
+      // Walk up, marking the trail.
+      std::vector<ClusterId> trail;
+      ClusterId cur = start.clust;
+      std::uint8_t verdict = kOk;
+      while (true) {
+        auto& st = status[static_cast<std::size_t>(cur.value())];
+        if (st == kVisiting) {
+          verdict = kCycle;  // closed a loop within this walk
+          break;
+        }
+        if (st != 0) {
+          verdict = st;  // join an already-classified chain
+          break;
+        }
+        st = kVisiting;
+        trail.push_back(cur);
+        const ClusterId up = snap.at(cur).p;
+        if (!up.valid()) break;  // root or front: anchored
+        cur = up;
+      }
+      for (const ClusterId c : trail) {
+        status[static_cast<std::size_t>(c.value())] = verdict;
+      }
+    }
+    for (const auto& s : snap.trackers) {
+      if (status[static_cast<std::size_t>(s.clust.value())] != kCycle) {
+        continue;
+      }
+      if (s.c.valid() && s.c != s.clust) {
+        send(s.c, s.clust, MsgType::kShrink);
+      } else if (s.c == s.clust) {
+        // A level-0 self pointer inside a cycle: the client re-detection
+        // shrink (it cannot be the evader's true cluster, whose p-chain
+        // is anchored... unless the cycle captured it — then the refresh
+        // below rebuilds it after the cycle dissolves).
+        Message m;
+        m.type = MsgType::kShrink;
+        m.from_cluster = s.clust;
+        m.target = target_;
+        cg.send_from_client(h.members(s.clust).front(), m);
+        ++injected;
+      }
+    }
+  }
+
+  for (const auto& s : snap.trackers) {
+    const ClusterId x = s.clust;
+    // False detection marker: a level-0 cluster still claims "object
+    // here" although the evader left (its shrink was lost to a VSA
+    // failure). The clients' periodic re-detection re-sends the shrink.
+    if (h.level(x) == 0 && s.c == x && x != evader_c0) {
+      Message m;
+      m.type = MsgType::kShrink;
+      m.from_cluster = x;
+      m.target = target_;
+      cg.send_from_client(h.members(x).front(), m);
+      ++injected;
+      continue;  // let the fragment dissolve before other repairs touch it
+    }
+    // Lost timer: a grow front (c≠⊥, p=⊥) or shrink front (c=⊥, p≠⊥)
+    // below MAX whose timer a VSA reset wiped would otherwise sit
+    // forever. The heartbeat re-fires the expiry outputs; armed timers
+    // are left strictly alone (nudge_timer is a no-op for them).
+    if (h.level(x) != h.max_level() && (s.c.valid() != s.p.valid())) {
+      auto& tracker = net_->tracker(x);
+      if (!tracker.timer_armed(target_)) {
+        tracker.nudge_timer(target_);
+        ++injected;
+      }
+    }
+    // Stale child link: x believes its path child is s.c, but s.c does
+    // not point back. The heartbeat miss manifests as a shrink from that
+    // child — except when the child looks like a reset process that is
+    // about to re-attach right here (it still has a subtree or an armed
+    // timer); shrinking then would needlessly dismantle x's ancestors.
+    if (s.c.valid() && s.c != x && snap.at(s.c).p != x) {
+      const auto& child = snap.at(s.c);
+      const bool reattaching =
+          !child.p.valid() &&
+          (child.c.valid() || net_->tracker(s.c).timer_armed(target_));
+      if (!reattaching) send(s.c, x, MsgType::kShrink);
+    }
+    // Broken parent link: x is attached to s.p, but s.p lost its matching
+    // child pointer. Re-attach by re-sending the grow — but only when x's
+    // own downward link is intact (its child points back, or x is the
+    // evader's level-0 self pointer); dead fragments must dissolve via
+    // the shrink rule instead of hijacking the live path.
+    if (s.p.valid() && s.c.valid() && snap.at(s.p).c != x) {
+      const bool downward_intact =
+          (s.c == x && x == evader_c0) ||
+          (s.c != x && snap.at(s.c).p == x);
+      if (downward_intact) send(x, s.p, MsgType::kGrow);
+    }
+    // Chained lateral links: x hangs laterally off a neighbour that is
+    // itself laterally connected — Lemma 4.3's invariant (lateral targets
+    // are parent-connected) broken by corruption. Unravel from below: the
+    // target drops x (a shrink apparently from x), after which x's
+    // broken-parent repair re-grows through the target's *vertical*
+    // position once it re-attaches properly.
+    if (s.p.valid() && h.are_cluster_neighbors(x, s.p)) {
+      const auto& target_state = snap.at(s.p);
+      const bool target_vertical = target_state.p.valid() &&
+                                   h.level(s.p) != h.max_level() &&
+                                   target_state.p == h.parent(s.p);
+      if (!target_vertical && target_state.c == x) {
+        send(x, s.p, MsgType::kShrink);
+      }
+    }
+    // Missing secondary pointers: a restarted neighbour forgot this
+    // cluster's growPar/growNbr advertisement — re-send it.
+    if (s.p.valid()) {
+      const bool vertical = h.level(x) != h.max_level() &&
+                            s.p == h.parent(x);
+      const bool lateral = h.are_cluster_neighbors(x, s.p);
+      if (vertical || lateral) {
+        const MsgType note = vertical ? MsgType::kGrowPar : MsgType::kGrowNbr;
+        for (const ClusterId nb : h.nbrs(x)) {
+          const auto& n = snap.at(nb);
+          const ClusterId held = vertical ? n.nbrptup : n.nbrptdown;
+          if (held != x) send(x, nb, note);
+        }
+      }
+    }
+    // Stale secondary pointers: the shrinkUpd that a failed VSA never sent.
+    if (s.nbrptup.valid()) {
+      const auto& n = snap.at(s.nbrptup);
+      const bool still_vertical = n.p.valid() &&
+                                  h.level(s.nbrptup) != h.max_level() &&
+                                  n.p == h.parent(s.nbrptup);
+      if (!still_vertical) send(s.nbrptup, x, MsgType::kShrinkUpd);
+    }
+    if (s.nbrptdown.valid()) {
+      const auto& n = snap.at(s.nbrptdown);
+      const bool still_lateral =
+          n.p.valid() && h.are_cluster_neighbors(s.nbrptdown, n.p);
+      if (!still_lateral) send(s.nbrptdown, x, MsgType::kShrinkUpd);
+    }
+  }
+
+  // Detection refresh: the evader's level-0 cluster must carry the self
+  // pointer; if its VSA restarted, the clients' periodic re-detection
+  // re-sends the grow.
+  if (snap.at(evader_c0).c != evader_c0) {
+    Message m;
+    m.type = MsgType::kGrow;
+    m.from_cluster = evader_c0;
+    m.target = target_;
+    cg.send_from_client(evader_at, m);
+    ++injected;
+  }
+
+  if (injected > 0) {
+    VS_DEBUG("oracle injected " << injected << " repair messages at "
+                                << net_->now());
+  }
+  repairs_ += injected;
+  return injected;
+}
+
+}  // namespace vs::ext

@@ -1,0 +1,39 @@
+#pragma once
+// Global-view repair oracle — the differential-testing reference for the
+// distributed §VII stabilizer.
+//
+// This is the original (pre-heartbeat) Stabilizer detection pass: it reads
+// the simulator's global snapshot, decides which repair messages a fully
+// informed observer would inject, and sends them as ordinary protocol
+// traffic. The live protocol (ext::Stabilizer) reaches the same decisions
+// through heartbeat/ack exchanges only; tests drive both against the same
+// seeded damage and require convergence to identical pointer state. The
+// oracle is a test fixture — production code must not use it (it violates
+// the distributed-knowledge discipline by construction).
+
+#include <cstdint>
+
+#include "tracking/network.hpp"
+
+namespace vs::ext {
+
+class GlobalViewOracle {
+ public:
+  GlobalViewOracle(tracking::TrackingNetwork& net, TargetId target);
+
+  /// One omniscient detection/repair pass; returns the number of repair
+  /// messages injected. Skips entirely while move messages are in transit
+  /// (a healthy mid-update structure needs no repair).
+  int tick_once();
+
+  [[nodiscard]] std::int64_t repairs() const { return repairs_; }
+  [[nodiscard]] std::int64_t ticks() const { return ticks_; }
+
+ private:
+  tracking::TrackingNetwork* net_;
+  TargetId target_;
+  std::int64_t repairs_{0};
+  std::int64_t ticks_{0};
+};
+
+}  // namespace vs::ext

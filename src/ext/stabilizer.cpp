@@ -1,11 +1,11 @@
 #include "ext/stabilizer.hpp"
 
 #include "common/log.hpp"
-#include "vsa/messages.hpp"
 
 namespace vs::ext {
 
-using tracking::SystemSnapshot;
+using tracking::TrackerSnapshot;
+using vsa::HbClaim;
 using vsa::Message;
 using vsa::MsgType;
 
@@ -14,7 +14,15 @@ Stabilizer::Stabilizer(tracking::TrackingNetwork& net, TargetId target,
     : net_(&net),
       target_(target),
       period_(period),
-      timer_(net.scheduler(), [this] { on_tick(); }) {}
+      timer_(net.scheduler(), [this] { on_tick(); }),
+      retry_timer_(net.scheduler(), [this] { on_retry(); }),
+      anchor_miss_(net.hierarchy().num_clusters(), 0),
+      downward_ok_(net.hierarchy().num_clusters(), -1) {
+  hb_token_ = net_->add_heartbeat_handler(
+      [this](ClusterId dest, const Message& m) { on_heartbeat(dest, m); });
+}
+
+Stabilizer::~Stabilizer() { net_->remove_heartbeat_handler(hb_token_); }
 
 void Stabilizer::start() {
   running_ = true;
@@ -24,6 +32,8 @@ void Stabilizer::start() {
 void Stabilizer::stop() {
   running_ = false;
   timer_.disarm();
+  retry_timer_.disarm();
+  pending_.clear();
 }
 
 void Stabilizer::on_tick() {
@@ -32,199 +42,316 @@ void Stabilizer::on_tick() {
   if (running_) timer_.arm_after(period_);
 }
 
+bool Stabilizer::reattaching(ClusterId y) const {
+  const TrackerSnapshot s = net_->tracker(y).state(target_);
+  return !s.p.valid() &&
+         (s.c.valid() || net_->tracker(y).timer_armed(target_));
+}
+
+bool Stabilizer::vertically_attached(ClusterId x,
+                                     const TrackerSnapshot& s) const {
+  const auto& h = net_->hierarchy();
+  return s.p.valid() && h.level(x) != h.max_level() && s.p == h.parent(x);
+}
+
 int Stabilizer::tick_once() {
   ++ticks_;
-  const SystemSnapshot snap = net_->snapshot(target_);
-  const hier::ClusterHierarchy& h = *snap.hier;
+  int sync = 0;
+  // A fresh probe round: whatever last round never heard back about gets
+  // re-examined from scratch.
+  pending_.clear();
+  retry_timer_.disarm();
 
-  // A healthy system with updates still in flight needs no repair — and
-  // poking it could duplicate in-transit messages. Wait for the channel to
-  // clear (the heartbeat analogue: heartbeats are much slower than moves).
-  if (!snap.in_transit.empty()) return 0;
-
-  int injected = 0;
-  auto& cg = net_->cgcast();
-  const auto send = [&](ClusterId from, ClusterId to, MsgType type) {
-    Message m;
-    m.type = type;
-    m.from_cluster = from;
-    m.target = target_;
-    cg.send(from, to, m);
-    ++injected;
-  };
-
-  const RegionId evader_at = net_->evaders().region_of(target_);
-  const ClusterId evader_c0 = h.cluster_of(evader_at, 0);
-
-  // Cycle dissolution: arbitrary corruption (self-stabilization's
-  // adversarial start) can close the p-links into a cycle that looks
-  // locally intact to every member, so no local rule ever fires. The
-  // distributed analogue is the root-anchored heartbeat: cycle members
-  // never hear the root and time out. Detect cycles by walking p-links
-  // and dissolve them by shrinking each member's child link; the ordinary
-  // shrink cascade then retires the members.
-  {
-    std::vector<std::uint8_t> status(snap.trackers.size(), 0);  // 0=unknown
-    constexpr std::uint8_t kOk = 1, kCycle = 2, kVisiting = 3;
-    for (const auto& start : snap.trackers) {
-      if (status[static_cast<std::size_t>(start.clust.value())] != 0) continue;
-      // Walk up, marking the trail.
-      std::vector<ClusterId> trail;
-      ClusterId cur = start.clust;
-      std::uint8_t verdict = kOk;
-      while (true) {
-        auto& st = status[static_cast<std::size_t>(cur.value())];
-        if (st == kVisiting) {
-          verdict = kCycle;  // closed a loop within this walk
-          break;
-        }
-        if (st != 0) {
-          verdict = st;  // join an already-classified chain
-          break;
-        }
-        st = kVisiting;
-        trail.push_back(cur);
-        const ClusterId up = snap.at(cur).p;
-        if (!up.valid()) break;  // root or front: anchored
-        cur = up;
-      }
-      for (const ClusterId c : trail) {
-        status[static_cast<std::size_t>(c.value())] = verdict;
-      }
-    }
-    for (const auto& s : snap.trackers) {
-      if (status[static_cast<std::size_t>(s.clust.value())] != kCycle) {
-        continue;
-      }
-      if (s.c.valid() && s.c != s.clust) {
-        send(s.c, s.clust, MsgType::kShrink);
-      } else if (s.c == s.clust) {
-        // A level-0 self pointer inside a cycle: the client re-detection
-        // shrink (it cannot be the evader's true cluster, whose p-chain
-        // is anchored... unless the cycle captured it — then the refresh
-        // below rebuilds it after the cycle dissolves).
-        Message m;
-        m.type = MsgType::kShrink;
-        m.from_cluster = s.clust;
-        m.target = target_;
-        cg.send_from_client(h.members(s.clust).front(), m);
-        ++injected;
-      }
-    }
+  // Client-side re-detection (§IV-A: GPS inputs are periodic). Believing
+  // clients whose level-0 cluster sent no presence query since the last
+  // round conclude its marker was wiped and re-send the detection grow.
+  // The first round only primes the query flags — before any query was
+  // ever issued, silence carries no information.
+  if (primed_) {
+    const int grows = net_->clients().refresh_detection(target_);
+    repairs_ += grows;
+    sync += grows;
   }
+  primed_ = true;
 
-  for (const auto& s : snap.trackers) {
-    const ClusterId x = s.clust;
-    // False detection marker: a level-0 cluster still claims "object
-    // here" although the evader left (its shrink was lost to a VSA
-    // failure). The clients' periodic re-detection re-sends the shrink.
-    if (h.level(x) == 0 && s.c == x && x != evader_c0) {
-      Message m;
-      m.type = MsgType::kShrink;
-      m.from_cluster = x;
-      m.target = target_;
-      cg.send_from_client(h.members(x).front(), m);
-      ++injected;
-      continue;  // let the fragment dissolve before other repairs touch it
+  const auto& h = net_->hierarchy();
+  const auto n = static_cast<ClusterId::rep_type>(h.num_clusters());
+  for (ClusterId::rep_type i = 0; i < n; ++i) {
+    const ClusterId x{i};
+    const auto idx = static_cast<std::size_t>(i);
+    auto& tracker = net_->tracker(x);
+    const TrackerSnapshot s = tracker.state(target_);
+    if (tracker.timer_armed(target_)) {
+      // Mid-transition by the protocol's own book-keeping: not damage.
+      anchor_miss_[idx] = 0;
+      continue;
     }
     // Lost timer: a grow front (c≠⊥, p=⊥) or shrink front (c=⊥, p≠⊥)
-    // below MAX whose timer a VSA reset wiped would otherwise sit
-    // forever. The heartbeat re-fires the expiry outputs; armed timers
-    // are left strictly alone (nudge_timer is a no-op for them).
+    // below MAX whose timer a VSA reset wiped would otherwise sit forever.
+    // Purely local: re-fire the expiry outputs.
     if (h.level(x) != h.max_level() && (s.c.valid() != s.p.valid())) {
-      auto& tracker = net_->tracker(x);
-      if (!tracker.timer_armed(target_)) {
-        tracker.nudge_timer(target_);
-        ++injected;
-      }
+      tracker.nudge_timer(target_);
+      ++repairs_;
+      ++sync;
+      anchor_miss_[idx] = 0;
+      continue;  // state just changed; probe the new shape next round
     }
-    // Stale child link: x believes its path child is s.c, but s.c does
-    // not point back. The heartbeat miss manifests as a shrink from that
-    // child — except when the child looks like a reset process that is
-    // about to re-attach right here (it still has a subtree or an armed
-    // timer); shrinking then would needlessly dismantle x's ancestors.
-    if (s.c.valid() && s.c != x && snap.at(s.c).p != x) {
-      const auto& child = snap.at(s.c);
-      const bool reattaching =
-          !child.p.valid() &&
-          (child.c.valid() || net_->tracker(s.c).timer_armed(target_));
-      if (!reattaching) send(s.c, x, MsgType::kShrink);
-    }
-    // Broken parent link: x is attached to s.p, but s.p lost its matching
-    // child pointer. Re-attach by re-sending the grow — but only when x's
-    // own downward link is intact (its child points back, or x is the
-    // evader's level-0 self pointer); dead fragments must dissolve via
-    // the shrink rule instead of hijacking the live path.
-    if (s.p.valid() && s.c.valid() && snap.at(s.p).c != x) {
-      const bool downward_intact =
-          (s.c == x && x == evader_c0) ||
-          (s.c != x && snap.at(s.c).p == x);
-      if (downward_intact) send(x, s.p, MsgType::kGrow);
-    }
-    // Chained lateral links: x hangs laterally off a neighbour that is
-    // itself laterally connected — Lemma 4.3's invariant (lateral targets
-    // are parent-connected) broken by corruption. Unravel from below: the
-    // target drops x (a shrink apparently from x), after which x's
-    // broken-parent repair re-grows through the target's *vertical*
-    // position once it re-attaches properly.
-    if (s.p.valid() && h.are_cluster_neighbors(x, s.p)) {
-      const auto& target_state = snap.at(s.p);
-      const bool target_vertical = target_state.p.valid() &&
-                                   h.level(s.p) != h.max_level() &&
-                                   target_state.p == h.parent(s.p);
-      if (!target_vertical && target_state.c == x) {
-        send(x, s.p, MsgType::kShrink);
-      }
-    }
-    // Missing secondary pointers: a restarted neighbour forgot this
-    // cluster's growPar/growNbr advertisement — re-send it.
+    // Anchor accounting. Roots (p=⊥) are self-anchored; everyone else
+    // must keep hearing the downward pulse, or it sits in an unanchored
+    // component — a p-cycle, which no local pointer rule can see — and
+    // detaches itself. The synthesized shrink is a local input to x's own
+    // tracker (the co-located stabilizer telling it its subtree is dead);
+    // the ordinary shrink cascade then retires the fragment.
     if (s.p.valid()) {
-      const bool vertical = h.level(x) != h.max_level() &&
-                            s.p == h.parent(x);
-      const bool lateral = h.are_cluster_neighbors(x, s.p);
-      if (vertical || lateral) {
-        const MsgType note = vertical ? MsgType::kGrowPar : MsgType::kGrowNbr;
-        for (const ClusterId nb : h.nbrs(x)) {
-          const auto& n = snap.at(nb);
-          const ClusterId held = vertical ? n.nbrptup : n.nbrptdown;
-          if (held != x) send(x, nb, note);
+      if (++anchor_miss_[idx] > kAnchorMissLimit) {
+        anchor_miss_[idx] = 0;
+        if (s.c.valid()) {
+          Message m;
+          m.type = MsgType::kShrink;
+          m.from_cluster = s.c;
+          m.target = target_;
+          tracker.on_message(m);
+          ++repairs_;
+          ++sync;
+          continue;
         }
       }
+    } else {
+      anchor_miss_[idx] = 0;
     }
-    // Stale secondary pointers: the shrinkUpd that a failed VSA never sent.
-    if (s.nbrptup.valid()) {
-      const auto& n = snap.at(s.nbrptup);
-      const bool still_vertical = n.p.valid() &&
-                                  h.level(s.nbrptup) != h.max_level() &&
-                                  n.p == h.parent(s.nbrptup);
-      if (!still_vertical) send(s.nbrptup, x, MsgType::kShrinkUpd);
-    }
-    if (s.nbrptdown.valid()) {
-      const auto& n = snap.at(s.nbrptdown);
-      const bool still_lateral =
-          n.p.valid() && h.are_cluster_neighbors(s.nbrptdown, n.p);
-      if (!still_lateral) send(s.nbrptdown, x, MsgType::kShrinkUpd);
+    probe_cluster(x);
+  }
+  arm_retry();
+  return sync;
+}
+
+void Stabilizer::probe_cluster(ClusterId x) {
+  const auto& h = net_->hierarchy();
+  const TrackerSnapshot s = net_->tracker(x).state(target_);
+
+  // Anchor origination: every pointer-state root pulses its subtree. A
+  // pulse cannot loop: forwarding requires receipt from one's own p, so a
+  // circulating pulse would need the c-cycle's reversed p-cycle — which
+  // has no root to originate from and no entry point from outside.
+  if (!s.p.valid() && s.c.valid() && s.c != x) {
+    send_probe(x, s.c, HbClaim::kAnchor, /*track=*/false);
+  }
+  if (s.c.valid() && s.c != x) {
+    send_probe(x, s.c, HbClaim::kChild, /*track=*/true);
+  }
+  if (h.level(x) == 0 && s.c == x) {
+    // Detection-marker presence query, broadcast to the region's clients.
+    Message q;
+    q.type = MsgType::kHeartbeat;
+    q.hb_claim = HbClaim::kClientQuery;
+    q.from_cluster = x;
+    q.target = target_;
+    net_->cgcast().broadcast_to_clients(x, q);
+    ++probes_sent_;
+  }
+  if (s.p.valid()) {
+    send_probe(x, s.p, HbClaim::kParent, /*track=*/true);
+    const bool vertical = vertically_attached(x, s);
+    const bool lateral = h.are_cluster_neighbors(x, s.p);
+    if (vertical || lateral) {
+      const HbClaim claim =
+          vertical ? HbClaim::kAdvertUp : HbClaim::kAdvertDown;
+      for (const ClusterId nb : h.nbrs(x)) {
+        send_probe(x, nb, claim, /*track=*/true);
+      }
     }
   }
+  if (s.nbrptup.valid()) {
+    send_probe(x, s.nbrptup, HbClaim::kSecondaryUp, /*track=*/false);
+  }
+  if (s.nbrptdown.valid()) {
+    send_probe(x, s.nbrptdown, HbClaim::kSecondaryDown, /*track=*/false);
+  }
+}
 
-  // Detection refresh: the evader's level-0 cluster must carry the self
-  // pointer; if its VSA restarted, the clients' periodic re-detection
-  // re-sends the grow.
-  if (snap.at(evader_c0).c != evader_c0) {
+void Stabilizer::send_probe(ClusterId from, ClusterId to, HbClaim claim,
+                            bool track) {
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.hb_claim = claim;
+  m.from_cluster = from;
+  m.target = target_;
+  net_->cgcast().send(from, to, m);
+  ++probes_sent_;
+  if (track) pending_.push_back(PendingProbe{from, to, claim, 0});
+}
+
+void Stabilizer::send_ack(ClusterId from, ClusterId to, HbClaim claim,
+                          bool ok, ClusterId pointer) {
+  Message m;
+  m.type = MsgType::kHeartbeatAck;
+  m.hb_claim = claim;
+  m.hb_ok = ok;
+  m.from_cluster = from;
+  m.ack_pointer = pointer;
+  m.target = target_;
+  net_->cgcast().send(from, to, m);
+}
+
+void Stabilizer::send_repair(ClusterId from, ClusterId to, MsgType type) {
+  Message m;
+  m.type = type;
+  m.from_cluster = from;
+  m.target = target_;
+  net_->cgcast().send(from, to, m);
+  ++repairs_;
+}
+
+void Stabilizer::on_heartbeat(ClusterId dest, const Message& m) {
+  if (m.target != target_) return;
+  if (m.type == MsgType::kHeartbeat) {
+    on_probe(dest, m);
+  } else {
+    on_ack(dest, m);
+  }
+}
+
+void Stabilizer::on_probe(ClusterId y, const Message& m) {
+  const auto& h = net_->hierarchy();
+  const ClusterId s = m.from_cluster;  // the prober
+  const TrackerSnapshot sy = net_->tracker(y).state(target_);
+  switch (m.hb_claim) {
+    case HbClaim::kChild: {
+      // s claims its c is y. On a mismatch y cannot attribute to its own
+      // in-progress re-attachment, the failed heartbeat manifests as the
+      // shrink s's stale child link implies.
+      const bool ok = sy.p == s;
+      send_ack(y, s, HbClaim::kChild, ok, sy.p);
+      if (!ok && !reattaching(y)) send_repair(y, s, MsgType::kShrink);
+      break;
+    }
+    case HbClaim::kParent:
+      // s claims its p is y; the ack carries y's own p so s can judge
+      // y's verticality (Lemma 4.3 repair) without reading y's state.
+      send_ack(y, s, HbClaim::kParent, sy.c == s, sy.p);
+      break;
+    case HbClaim::kAdvertUp:
+      send_ack(y, s, HbClaim::kAdvertUp, sy.nbrptup == s, sy.nbrptup);
+      break;
+    case HbClaim::kAdvertDown:
+      send_ack(y, s, HbClaim::kAdvertDown, sy.nbrptdown == s, sy.nbrptdown);
+      break;
+    case HbClaim::kSecondaryUp: {
+      // s holds y in nbrptup, valid only while y is vertically attached;
+      // a stale claim is answered with the shrinkUpd y never sent.
+      if (!vertically_attached(y, sy)) {
+        send_repair(y, s, MsgType::kShrinkUpd);
+      }
+      break;
+    }
+    case HbClaim::kSecondaryDown: {
+      const bool lateral =
+          sy.p.valid() && h.are_cluster_neighbors(y, sy.p);
+      if (!lateral) send_repair(y, s, MsgType::kShrinkUpd);
+      break;
+    }
+    case HbClaim::kAnchor:
+      // Accept only from own parent; forward down the child link.
+      if (sy.p == s) {
+        anchor_miss_[static_cast<std::size_t>(y.value())] = 0;
+        if (sy.c.valid() && sy.c != y) {
+          send_probe(y, sy.c, HbClaim::kAnchor, /*track=*/false);
+        }
+      }
+      break;
+    case HbClaim::kClientQuery:
+    case HbClaim::kNone:
+      break;  // client-directed / malformed: not ours
+  }
+}
+
+void Stabilizer::on_ack(ClusterId x, const Message& m) {
+  const auto& h = net_->hierarchy();
+  const ClusterId y = m.from_cluster;  // the responder
+  std::erase_if(pending_, [&](const PendingProbe& p) {
+    return p.from == x && p.to == y && p.claim == m.hb_claim;
+  });
+  const TrackerSnapshot sx = net_->tracker(x).state(target_);
+  switch (m.hb_claim) {
+    case HbClaim::kChild:
+      // Cache the downward-link verdict; it gates the re-grow rule.
+      if (sx.c == y) {
+        downward_ok_[static_cast<std::size_t>(x.value())] =
+            m.hb_ok ? 1 : 0;
+      }
+      break;
+    case HbClaim::kParent: {
+      if (sx.p != y) break;  // pointer moved on since the probe
+      const bool lateral = h.are_cluster_neighbors(x, y);
+      const bool y_vertical = m.ack_pointer.valid() &&
+                              h.level(y) != h.max_level() &&
+                              m.ack_pointer == h.parent(y);
+      if (lateral && !y_vertical && m.hb_ok) {
+        // Chained lateral link (Lemma 4.3 broken): the confirmed target
+        // is itself laterally hung. Unravel from below — it drops x.
+        send_repair(x, y, MsgType::kShrink);
+      } else if (!m.hb_ok) {
+        // Broken parent link: y lost its matching child pointer.
+        // Re-attach only with an intact downward link (the detection
+        // marker, or a child confirmed to point back) — dead fragments
+        // must dissolve, not hijack the live path.
+        const bool detection = h.level(x) == 0 && sx.c == x;
+        const bool downward_intact =
+            detection ||
+            (sx.c.valid() && sx.c != x &&
+             downward_ok_[static_cast<std::size_t>(x.value())] == 1);
+        if (downward_intact && !net_->tracker(x).timer_armed(target_)) {
+          send_repair(x, y, MsgType::kGrow);
+        }
+      }
+      break;
+    }
+    case HbClaim::kAdvertUp:
+      // A restarted neighbour forgot the advertisement — re-send it, if
+      // the claim is still current.
+      if (!m.hb_ok && vertically_attached(x, sx)) {
+        send_repair(x, y, MsgType::kGrowPar);
+      }
+      break;
+    case HbClaim::kAdvertDown:
+      if (!m.hb_ok && sx.p.valid() &&
+          h.are_cluster_neighbors(x, sx.p)) {
+        send_repair(x, y, MsgType::kGrowNbr);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Stabilizer::arm_retry() {
+  if (pending_.empty()) return;
+  retry_delay_ = sim::Duration::micros(period_.count() / 4);
+  retry_timer_.arm_after(retry_delay_);
+}
+
+void Stabilizer::on_retry() {
+  // Retransmit whatever was never acknowledged (its host VSA may have been
+  // dead — or restarted meanwhile), with exponential backoff; give a probe
+  // up after kMaxRetries until the next tick re-examines the pointer.
+  std::vector<PendingProbe> again;
+  again.reserve(pending_.size());
+  for (PendingProbe& p : pending_) {
+    if (p.attempts >= kMaxRetries) continue;
     Message m;
-    m.type = MsgType::kGrow;
-    m.from_cluster = evader_c0;
+    m.type = MsgType::kHeartbeat;
+    m.hb_claim = p.claim;
+    m.from_cluster = p.from;
     m.target = target_;
-    cg.send_from_client(evader_at, m);
-    ++injected;
+    net_->cgcast().send(p.from, p.to, m);
+    ++probes_sent_;
+    again.push_back(PendingProbe{p.from, p.to, p.claim, p.attempts + 1});
   }
-
-  if (injected > 0) {
-    VS_DEBUG("stabilizer injected " << injected << " repair messages at "
-                                    << net_->now());
+  pending_ = std::move(again);
+  if (!pending_.empty()) {
+    retry_delay_ = retry_delay_ * 2;
+    retry_timer_.arm_after(retry_delay_);
   }
-  repairs_ += injected;
-  return injected;
 }
 
 }  // namespace vs::ext

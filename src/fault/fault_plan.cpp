@@ -1,0 +1,261 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace vs::fault {
+
+namespace {
+
+template <typename... Args>
+[[noreturn]] void plan_error(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  throw Error(os.str());
+}
+
+/// Tokenizer over one directive line: every read names what it expects so
+/// diagnostics stay actionable ("line 4: expected <us> after 'at'").
+class LineReader {
+ public:
+  LineReader(const std::string& line, int lineno)
+      : in_(line), lineno_(lineno) {}
+
+  std::string word(const char* what) {
+    std::string tok;
+    if (!(in_ >> tok)) {
+      plan_error("faultplan line ", lineno_, ": expected ", what);
+    }
+    return tok;
+  }
+
+  void keyword(const char* kw) {
+    const std::string tok = word(kw);
+    if (tok != kw) {
+      plan_error("faultplan line ", lineno_, ": expected '", kw, "', got '",
+                 tok, "'");
+    }
+  }
+
+  std::int64_t i64(const char* what, std::int64_t min) {
+    const std::string tok = word(what);
+    std::int64_t v = 0;
+    std::size_t used = 0;
+    try {
+      v = std::stoll(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size()) {
+      plan_error("faultplan line ", lineno_, ": bad ", what, " '", tok, "'");
+    }
+    if (v < min) {
+      plan_error("faultplan line ", lineno_, ": ", what, " ", v,
+                 " out of range (min ", min, ")");
+    }
+    return v;
+  }
+
+  double rate(const char* what) {
+    const std::string tok = word(what);
+    double v = 0.0;
+    std::size_t used = 0;
+    try {
+      v = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size() || v < 0.0 || v > 1.0) {
+      plan_error("faultplan line ", lineno_, ": ", what, " '", tok,
+                 "' must be a probability in [0, 1]");
+    }
+    return v;
+  }
+
+  void done() {
+    std::string extra;
+    if (in_ >> extra) {
+      plan_error("faultplan line ", lineno_, ": trailing garbage '", extra,
+                 "'");
+    }
+  }
+
+ private:
+  std::istringstream in_;
+  int lineno_;
+};
+
+FaultPlan::Window parse_window(LineReader& r, bool with_advance) {
+  FaultPlan::Window w;
+  r.keyword("from");
+  w.from_us = r.i64("<us>", 0);
+  r.keyword("until");
+  w.until_us = r.i64("<us>", w.from_us);
+  r.keyword("rate");
+  w.rate = r.rate("rate");
+  if (with_advance) {
+    r.keyword("advance");
+    w.advance_us = r.i64("advance <us>", 1);
+  }
+  r.done();
+  return w;
+}
+
+void print_window(std::ostream& os, const char* name,
+                  const FaultPlan::Window& w) {
+  os << name << " from " << w.from_us << " until " << w.until_us << " rate "
+     << w.rate;
+  if (w.advance_us > 0) os << " advance " << w.advance_us;
+  os << "\n";
+}
+
+}  // namespace
+
+std::int64_t FaultPlan::last_fault_us() const {
+  std::int64_t last = 0;
+  for (const Crash& c : crashes) last = std::max(last, c.at_us);
+  for (const Outage& o : outages) last = std::max(last, o.at_us);
+  for (const Depopulate& d : depopulations) last = std::max(last, d.until_us);
+  for (const auto* windows : {&loss_bursts, &duplications, &jitters}) {
+    for (const Window& w : *windows) last = std::max(last, w.until_us);
+  }
+  return last;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "faultplan v" << kFaultPlanVersion << "\n";
+  os << "seed " << seed << "\n";
+  for (const Crash& c : crashes) {
+    os << "crash " << c.region << " at " << c.at_us << "\n";
+  }
+  for (const Outage& o : outages) {
+    os << "outage " << o.center << " radius " << o.radius << " at "
+       << o.at_us << "\n";
+  }
+  for (const Depopulate& d : depopulations) {
+    os << "depopulate " << d.region << " from " << d.from_us << " until "
+       << d.until_us << "\n";
+  }
+  for (const Window& w : loss_bursts) print_window(os, "loss", w);
+  for (const Window& w : duplications) print_window(os, "duplicate", w);
+  for (const Window& w : jitters) print_window(os, "jitter", w);
+  if (recovery.has_value()) {
+    os << "recovery base " << recovery->base_us << " per-fault "
+       << recovery->per_fault_us << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream probe(line);
+    std::string directive;
+    if (!(probe >> directive)) continue;  // blank
+    if (saw_end) {
+      plan_error("faultplan line ", lineno, ": content after 'end'");
+    }
+    if (!saw_header) {
+      LineReader r(line, lineno);
+      r.keyword("faultplan");
+      const std::string ver = r.word("version");
+      if (ver != "v1") {
+        plan_error("faultplan line ", lineno, ": unsupported version '", ver,
+                   "'");
+      }
+      r.done();
+      saw_header = true;
+      continue;
+    }
+    LineReader r(line, lineno);
+    if (directive == "seed") {
+      r.keyword("seed");
+      plan.seed = static_cast<std::uint64_t>(r.i64("seed", 0));
+      r.done();
+    } else if (directive == "crash") {
+      r.keyword("crash");
+      Crash c;
+      c.region = static_cast<std::int32_t>(r.i64("region", 0));
+      r.keyword("at");
+      c.at_us = r.i64("<us>", 0);
+      r.done();
+      plan.crashes.push_back(c);
+    } else if (directive == "outage") {
+      r.keyword("outage");
+      Outage o;
+      o.center = static_cast<std::int32_t>(r.i64("center region", 0));
+      r.keyword("radius");
+      o.radius = static_cast<std::int32_t>(r.i64("radius", 0));
+      r.keyword("at");
+      o.at_us = r.i64("<us>", 0);
+      r.done();
+      plan.outages.push_back(o);
+    } else if (directive == "depopulate") {
+      r.keyword("depopulate");
+      Depopulate d;
+      d.region = static_cast<std::int32_t>(r.i64("region", 0));
+      r.keyword("from");
+      d.from_us = r.i64("<us>", 0);
+      r.keyword("until");
+      d.until_us = r.i64("<us>", d.from_us);
+      r.done();
+      plan.depopulations.push_back(d);
+    } else if (directive == "loss") {
+      r.keyword("loss");
+      plan.loss_bursts.push_back(parse_window(r, /*with_advance=*/false));
+    } else if (directive == "duplicate") {
+      r.keyword("duplicate");
+      plan.duplications.push_back(parse_window(r, /*with_advance=*/false));
+    } else if (directive == "jitter") {
+      r.keyword("jitter");
+      plan.jitters.push_back(parse_window(r, /*with_advance=*/true));
+    } else if (directive == "recovery") {
+      if (plan.recovery.has_value()) {
+        plan_error("faultplan line ", lineno,
+                   ": duplicate 'recovery' directive");
+      }
+      r.keyword("recovery");
+      Recovery rec;
+      r.keyword("base");
+      rec.base_us = r.i64("base <us>", 0);
+      r.keyword("per-fault");
+      rec.per_fault_us = r.i64("per-fault <us>", 0);
+      r.done();
+      plan.recovery = rec;
+    } else if (directive == "end") {
+      r.keyword("end");
+      r.done();
+      saw_end = true;
+    } else {
+      plan_error("faultplan line ", lineno, ": unknown directive '",
+                 directive, "'");
+    }
+  }
+  if (!saw_header) plan_error("faultplan: missing 'faultplan v1' header");
+  if (!saw_end) plan_error("faultplan: missing 'end'");
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) plan_error("cannot open fault plan '", path, "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace vs::fault

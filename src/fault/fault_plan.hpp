@@ -1,0 +1,125 @@
+#pragma once
+// Declarative fault plans — the single description of every failure a run
+// injects.
+//
+// A FaultPlan is a seeded, virtual-time schedule of faults: VSA crashes
+// (with automatic restart via the client-presence rule, §II-C.2),
+// correlated regional outages (a crash of every region within a hop radius
+// of a center), client depopulation windows (a region loses all its
+// clients, so its VSA stays down until they return), and channel-fault
+// windows — loss bursts, duplication, and bounded delivery jitter (early
+// delivery within the δ+e envelope, since the paper's latencies are
+// maxima). FaultInjector (fault_injector.hpp) executes a plan against a
+// TrackingNetwork.
+//
+// Plans are text, round-trippable through parse()/to_string(), so a
+// ScenarioSpec can embed one and an incident captured under faults replays
+// exactly. The format ("faultplan v1") is line-oriented:
+//
+//   faultplan v1
+//   seed <u64>
+//   crash <region> at <us>
+//   outage <region> radius <hops> at <us>
+//   depopulate <region> from <us> until <us>
+//   loss from <us> until <us> rate <p>
+//   duplicate from <us> until <us> rate <p>
+//   jitter from <us> until <us> rate <p> advance <us>
+//   recovery base <us> per-fault <us>
+//   end
+//
+// Times are absolute virtual microseconds from simulation start; windows
+// are half-open [from, until). Blank lines and '#' comments are allowed;
+// anything else — unknown directives, extra tokens on a line, content
+// after `end`, out-of-range rates — is rejected with a diagnostic
+// (parsing is strict; a silently misread plan is worse than none).
+// Region bounds are checked against the world when the plan is armed.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vs::fault {
+
+inline constexpr int kFaultPlanVersion = 1;
+
+struct FaultPlan {
+  /// Fail the VSA at `region` at `at_us` (restarts after t_restart while
+  /// clients are present — the normal §II-C.2 rule).
+  struct Crash {
+    std::int32_t region = -1;
+    std::int64_t at_us = 0;
+    friend bool operator==(const Crash&, const Crash&) = default;
+  };
+  /// Correlated outage: crash every region within `radius` neighbour hops
+  /// of `center` (radius 0 = just the center), all at `at_us`.
+  struct Outage {
+    std::int32_t center = -1;
+    std::int32_t radius = 0;
+    std::int64_t at_us = 0;
+    friend bool operator==(const Outage&, const Outage&) = default;
+  };
+  /// Every client in `region` dies at `from_us` and returns at `until_us`.
+  /// While empty, the region's VSA is failed with no restart clock (no
+  /// emulators). The evader must not enter or leave a depopulated region —
+  /// the tracking spec requires a live witness for those transitions.
+  struct Depopulate {
+    std::int32_t region = -1;
+    std::int64_t from_us = 0;
+    std::int64_t until_us = 0;
+    friend bool operator==(const Depopulate&, const Depopulate&) = default;
+  };
+  /// A channel-fault window [from_us, until_us): each VSA→VSA or
+  /// client→VSA send inside it is affected with probability `rate`.
+  /// `advance_us` (jitter only) bounds how much earlier than the nominal
+  /// worst-case latency an affected message may arrive.
+  struct Window {
+    std::int64_t from_us = 0;
+    std::int64_t until_us = 0;
+    double rate = 0.0;
+    std::int64_t advance_us = 0;
+    friend bool operator==(const Window&, const Window&) = default;
+  };
+  /// Recovery-deadline parameters: after the plan's last fault the
+  /// structure must be consistent again within
+  /// base_us + per_fault_us × (number of crashed regions + depopulations)
+  /// — a bound proportional to the damage. Absent = no deadline asserted.
+  struct Recovery {
+    std::int64_t base_us = 0;
+    std::int64_t per_fault_us = 0;
+    friend bool operator==(const Recovery&, const Recovery&) = default;
+  };
+
+  /// Seed for the channel-fault randomness (the injector owns its Rng;
+  /// it is consumed only for sends inside an active window, so a plan
+  /// with no windows perturbs nothing).
+  std::uint64_t seed = 1;
+  std::vector<Crash> crashes;
+  std::vector<Outage> outages;
+  std::vector<Depopulate> depopulations;
+  std::vector<Window> loss_bursts;
+  std::vector<Window> duplications;
+  std::vector<Window> jitters;
+  std::optional<Recovery> recovery;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && outages.empty() && depopulations.empty() &&
+           loss_bursts.empty() && duplications.empty() && jitters.empty();
+  }
+
+  /// Virtual time of the last scheduled fault: the latest crash/outage
+  /// instant, depopulation end, or channel-window end. 0 for an empty plan.
+  [[nodiscard]] std::int64_t last_fault_us() const;
+
+  /// Canonical text form; parse(to_string()) == *this.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Strict parse; throws vs::Error naming the offending line on any
+  /// malformed input.
+  static FaultPlan parse(const std::string& text);
+  static FaultPlan parse_file(const std::string& path);
+};
+
+}  // namespace vs::fault

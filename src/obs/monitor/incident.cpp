@@ -95,6 +95,11 @@ void write_incident(std::ostream& os, const IncidentBundle& b) {
     put<std::int32_t>(os, c.nbrptup);
     put<std::int32_t>(os, c.nbrptdown);
   }
+  put_str(os, s.fault_plan);
+  put<std::int64_t>(os, s.step_every_us);
+  put<std::int64_t>(os, s.settle_us);
+  put<std::int64_t>(os, s.heartbeat_period_us);
+  put<std::int64_t>(os, s.t_restart_us);
   put_str(os, b.config_json);
   put_str(os, b.metrics_json);
   put<std::uint64_t>(os, static_cast<std::uint64_t>(b.ring.size()));
@@ -116,9 +121,9 @@ IncidentBundle read_incident(std::istream& is) {
   VS_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof magic) == 0,
              "not an incident file (bad magic; expected VSINCID1)");
   const auto version = get<std::uint32_t>(is);
-  VS_REQUIRE(version == kIncidentFormatVersion,
+  VS_REQUIRE(version >= 1 && version <= kIncidentFormatVersion,
              "unsupported incident format version "
-                 << version << " (this build reads v"
+                 << version << " (this build reads v1..v"
                  << kIncidentFormatVersion << ")");
   IncidentBundle b;
   b.source = get_str(is);
@@ -152,6 +157,13 @@ IncidentBundle read_incident(std::istream& is) {
     c.p = get<std::int32_t>(is);
     c.nbrptup = get<std::int32_t>(is);
     c.nbrptdown = get<std::int32_t>(is);
+  }
+  if (version >= 2) {
+    s.fault_plan = get_str(is);
+    s.step_every_us = get<std::int64_t>(is);
+    s.settle_us = get<std::int64_t>(is);
+    s.heartbeat_period_us = get<std::int64_t>(is);
+    s.t_restart_us = get<std::int64_t>(is);
   }
   b.config_json = get_str(is);
   b.metrics_json = get_str(is);
@@ -213,6 +225,23 @@ void print_incident(std::ostream& os, const IncidentBundle& b,
     os << "(unknown world)";
   }
   os << (s.replayable() ? " [replayable]" : " [not replayable]") << "\n";
+  if (s.step_every_us > 0 || s.settle_us > 0 || s.heartbeat_period_us > 0) {
+    os << "    pacing: step " << s.step_every_us << "us, settle "
+       << s.settle_us << "us, heartbeat period " << s.heartbeat_period_us
+       << "us";
+    if (s.t_restart_us > 0) os << ", t_restart " << s.t_restart_us << "us";
+    os << "\n";
+  }
+  if (!s.fault_plan.empty()) {
+    os << "    fault plan:\n";
+    std::size_t fp = 0;
+    while (fp < s.fault_plan.size()) {
+      auto nl = s.fault_plan.find('\n', fp);
+      if (nl == std::string::npos) nl = s.fault_plan.size();
+      os << "      " << s.fault_plan.substr(fp, nl - fp) << "\n";
+      fp = nl + 1;
+    }
+  }
   for (const auto& c : s.corruptions) {
     os << "    corrupt cluster " << c.cluster << ": c=" << c.c
        << " p=" << c.p << " nbrptup=" << c.nbrptup

@@ -24,6 +24,9 @@
 //                u8 replayable, i32 clients_per_region, i32 start_region,
 //                u64 seed, i32 steps, u32 corruption count,
 //                per corruption: 5 × i32 (cluster, c, p, nbrptup, nbrptdown)
+//   v2 scenario: str fault_plan, i64 step_every_us, i64 settle_us,
+//                i64 heartbeat_period_us, i64 t_restart_us (readers accept
+//                v1 files, where these default to empty/zero)
 //   str          config_json
 //   str          metrics_json
 //   ring:        u64 event count + count × obs::TraceEvent (raw 56 bytes)
@@ -42,7 +45,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kIncidentFormatVersion = 1;
+inline constexpr std::uint32_t kIncidentFormatVersion = 2;
 
 /// How the watchdog samples the invariants (see watchdog.hpp for the cost
 /// model of each mode).
@@ -92,6 +95,21 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;  // random_walk seed
   std::int32_t steps = 0;  // moves taken before the corruptions
   std::vector<Corruption> corruptions;
+  /// Fault plan text (fault::FaultPlan::to_string; empty = no faults).
+  /// Replay re-parses and arms it, so incidents captured under injected
+  /// faults reproduce the same fault sequence exactly.
+  std::string fault_plan;
+  /// Walk pacing: 0 = drain between moves (move_and_quiesce, the v1
+  /// behavior); > 0 = advance that much virtual time per step (required
+  /// for fault plans — draining would fast-forward through the windows).
+  std::int64_t step_every_us = 0;
+  /// Virtual time to run after the walk before draining (repair settle).
+  std::int64_t settle_us = 0;
+  /// ext::Stabilizer period; 0 = no stabilizer attached.
+  std::int64_t heartbeat_period_us = 0;
+  /// VSA restart time override (model_vsa_failures worlds); 0 = the
+  /// NetworkConfig default.
+  std::int64_t t_restart_us = 0;
   /// Cleared by capturing drivers when the session leaves the canonical
   /// shape; replay refuses (with a diagnostic) rather than diverging.
   bool replayable_flag = true;

@@ -1,8 +1,14 @@
 #include "obs/monitor/replay.hpp"
 
+#include <memory>
+#include <optional>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "ext/stabilizer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "hier/grid_hierarchy.hpp"
 #include "tracking/network.hpp"
 #include "tracking/snapshot.hpp"
@@ -25,24 +31,88 @@ ScenarioOutcome run_scenario(const ScenarioSpec& s, const WatchdogConfig& cfg) {
   net_cfg.lateral_links = s.lateral_links;
   net_cfg.model_vsa_failures = s.model_vsa_failures;
   net_cfg.clients_per_region = s.clients_per_region;
+  if (s.t_restart_us > 0) {
+    net_cfg.t_restart = sim::Duration::micros(s.t_restart_us);
+  }
   tracking::TrackingNetwork net(hierarchy, net_cfg);
+
+  std::unique_ptr<fault::FaultInjector> inj;
+  bool inj_armed = false;
+  if (!s.fault_plan.empty()) {
+    try {
+      inj = std::make_unique<fault::FaultInjector>(
+          net, fault::FaultPlan::parse(s.fault_plan));
+    } catch (const vs::Error& e) {
+      out.message = std::string("scenario fault plan rejected: ") + e.what();
+      return out;
+    }
+    // A windows-only plan (channel faults, no discrete events) arms before
+    // the target is placed: its windows are pure now()-predicates, so the
+    // initial detection traffic is exposed to them — the capturing drivers
+    // do the same. Plans with discrete events must arm after the placement
+    // drain (their pending timers would otherwise be fast-forwarded
+    // through by run_to_quiescence).
+    const fault::FaultPlan& p = inj->plan();
+    if (p.crashes.empty() && p.outages.empty() && p.depopulations.empty()) {
+      inj->arm();
+      inj_armed = true;
+    }
+  }
 
   const TargetId target = net.add_evader(RegionId{s.start_region});
   net.run_to_quiescence();
 
   Watchdog wd(net, target, cfg, s);
 
+  // Canonical attach order — watchdog, then injector, then stabilizer —
+  // so captured and replayed runs schedule the same events in the same
+  // order (byte-identical bundles at any --jobs value).
+  if (inj && !inj_armed) inj->arm();
+  if (inj) {
+    // Read the deadline only after arm(): outage blast zones resolve there.
+    if (const auto deadline = inj->recovery_deadline()) {
+      wd.arm_recovery_deadline(*deadline);
+    }
+  }
+  std::unique_ptr<ext::Stabilizer> stab;
+  if (s.heartbeat_period_us > 0) {
+    stab = std::make_unique<ext::Stabilizer>(
+        net, target, sim::Duration::micros(s.heartbeat_period_us));
+    stab->start();
+  }
+
   // The walk must step exactly like tests/bench random_walk: one Rng from
   // the seed, one uniform_int per step over the current neighbour list.
+  // Legacy (v1) scenarios stop early once a violation is captured; timed
+  // and fault-plan scenarios must run the full span — the plan's events
+  // are anchored to absolute virtual times and a transiently-damaged
+  // structure is expected to be inconsistent mid-run.
+  const bool legacy = s.fault_plan.empty() && s.step_every_us == 0;
   Rng rng{s.seed};
   RegionId cur{s.start_region};
   const geo::Tiling& tiling = hierarchy.tiling();
-  for (std::int32_t i = 0; i < s.steps && wd.ok(); ++i) {
+  for (std::int32_t i = 0; i < s.steps && (!legacy || wd.ok()); ++i) {
     const auto nbrs = tiling.neighbors(cur);
     cur = nbrs[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(nbrs.size()) - 1))];
-    net.move_and_quiesce(target, cur);
+    if (s.step_every_us > 0) {
+      net.move_evader(target, cur);
+      net.run_for(sim::Duration::micros(s.step_every_us));
+    } else {
+      net.move_and_quiesce(target, cur);
+    }
   }
+
+  // Post-walk settle: virtual time for heartbeat repairs to converge (and
+  // for the recovery deadline to come due) before the final drain.
+  if (s.settle_us > 0) net.run_for(sim::Duration::micros(s.settle_us));
+  if (stab) stab->stop();
+  net.run_to_quiescence();
+
+  // Non-legacy shapes get a full check right after the drain: it judges
+  // the settled structure and evaluates a pending recovery deadline on the
+  // healed state, before any injected corruptions land.
+  if (!legacy) wd.check_now();
 
   for (const ScenarioSpec::Corruption& c : s.corruptions) {
     tracking::TrackerSnapshot forced;
@@ -58,10 +128,16 @@ ScenarioOutcome run_scenario(const ScenarioSpec& s, const WatchdogConfig& cfg) {
   out.ran = true;
   out.incidents = wd.incidents();
   out.violations_seen = wd.violations_seen();
+  out.recovery_armed = inj && inj->recovery_deadline().has_value();
+  out.recovery_met = wd.recovery_deadline_met();
   std::ostringstream msg;
   msg << "replayed " << s.steps << "-step walk + " << s.corruptions.size()
       << " corruption(s): " << out.violations_seen << " violation(s), "
       << out.incidents.size() << " incident(s)";
+  if (out.recovery_armed) {
+    msg << "; recovery deadline "
+        << (out.recovery_met ? "met" : "missed");
+  }
   out.message = msg.str();
   return out;
 }

@@ -26,11 +26,19 @@ struct ScenarioOutcome {
   std::vector<IncidentBundle> incidents;
   /// Total violations seen, including deduplicated ones.
   std::int64_t violations_seen = 0;
+  /// A fault-plan recovery deadline was armed for this run...
+  bool recovery_armed = false;
+  /// ...and the structure was consistent when it was evaluated.
+  bool recovery_met = false;
 };
 
-/// Executes `scenario` under a watchdog configured by `cfg`. Stops the
-/// walk early once a violation is captured (the remaining moves cannot
-/// un-detect it and corrupted state may not quiesce cleanly).
+/// Executes `scenario` under a watchdog configured by `cfg`. Legacy
+/// (drain-between-moves, no fault plan) scenarios stop the walk early once
+/// a violation is captured (the remaining moves cannot un-detect it and
+/// corrupted state may not quiesce cleanly). Timed or fault-plan scenarios
+/// run the full span — fault events are anchored to absolute virtual
+/// times — arming the plan, a stabilizer when heartbeat_period_us > 0, and
+/// the recovery deadline when the plan carries one.
 [[nodiscard]] ScenarioOutcome run_scenario(const ScenarioSpec& scenario,
                                            const WatchdogConfig& cfg);
 

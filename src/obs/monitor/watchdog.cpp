@@ -191,6 +191,12 @@ void Watchdog::post_step() {
 
 void Watchdog::check_now() { full_check(); }
 
+void Watchdog::arm_recovery_deadline(sim::TimePoint deadline) {
+  VS_REQUIRE(!deadline.is_never(), "recovery deadline must be a real instant");
+  recovery_deadline_ = deadline;
+  recovery_met_ = false;
+}
+
 void Watchdog::yield_recorder() {
   if (!owns_recorder_) return;
   owns_recorder_ = false;
@@ -219,6 +225,19 @@ void Watchdog::full_check() {
     const spec::ConsistencyReport rep = spec::check_consistent(snap, where);
     if (!rep.ok()) {
       on_violation("consistent-state", rep.to_string(), -1, -1);
+    }
+    if (!recovery_deadline_.is_never() && net_->now() >= recovery_deadline_) {
+      if (rep.ok()) {
+        recovery_met_ = true;
+      } else {
+        std::ostringstream detail;
+        detail << "consistent state not restored by the recovery deadline "
+               << recovery_deadline_ << " (now " << net_->now()
+               << "); residual damage:\n"
+               << rep.to_string();
+        on_violation("recovery-deadline", detail.str(), -1, -1);
+      }
+      recovery_deadline_ = sim::TimePoint::never();  // evaluated once
     }
   }
   if (atomic_so_far_ && shadow_live_ && quiescent) {

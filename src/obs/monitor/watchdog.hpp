@@ -89,6 +89,23 @@ class Watchdog {
   /// after injecting corruptions or at end of run.
   void check_now();
 
+  /// Arms the §VII recovery-deadline assertion for fault-plan runs: at the
+  /// first *quiescent* full check at or after `deadline` (including an
+  /// explicit check_now at end of run), the consistent-state predicate
+  /// must hold. A miss raises the "recovery-deadline" violation — with the
+  /// usual fault-replayable incident bundle — and either way the deadline
+  /// is evaluated exactly once. Inconsistency observed before the deadline
+  /// is the fault window doing its job and is judged only by the ordinary
+  /// consistent-state predicate.
+  void arm_recovery_deadline(sim::TimePoint deadline);
+  /// True once the armed deadline was evaluated and the structure had
+  /// recovered. False while pending, after a miss, or if never armed.
+  [[nodiscard]] bool recovery_deadline_met() const { return recovery_met_; }
+  /// True while an armed deadline has not been evaluated yet.
+  [[nodiscard]] bool recovery_deadline_pending() const {
+    return !recovery_deadline_.is_never();
+  }
+
   /// Installs the incident observer (called once per captured bundle, at
   /// detection time).
   void set_incident_sink(IncidentSink sink) { sink_ = std::move(sink); }
@@ -148,6 +165,8 @@ class Watchdog {
   bool owns_recorder_ = false;  // ctor switched the recorder to ring mode
   std::size_t prev_ring_capacity_ = 0;  // recorder mode to restore
   sim::TimePoint next_due_ = sim::TimePoint::zero();
+  sim::TimePoint recovery_deadline_ = sim::TimePoint::never();
+  bool recovery_met_ = false;
   std::int64_t violations_seen_ = 0;
   std::int64_t checks_run_ = 0;
   std::vector<IncidentBundle> incidents_;

@@ -20,6 +20,8 @@ std::string_view to_string(MsgKind kind) {
     case MsgKind::kFindAck: return "findAck";
     case MsgKind::kFound: return "found";
     case MsgKind::kClient: return "client";
+    case MsgKind::kHeartbeat: return "heartbeat";
+    case MsgKind::kHeartbeatAck: return "heartbeatAck";
     case MsgKind::kCount: break;
   }
   return "?";
@@ -36,6 +38,10 @@ bool is_move_kind(MsgKind kind) {
     default:
       return false;
   }
+}
+
+bool is_heartbeat_kind(MsgKind kind) {
+  return kind == MsgKind::kHeartbeat || kind == MsgKind::kHeartbeatAck;
 }
 
 WorkCounters::WorkCounters(Level max_level)
@@ -91,7 +97,8 @@ std::int64_t WorkCounters::find_work() const {
   std::int64_t sum = 0;
   for (std::size_t k = 0; k < kKinds; ++k) {
     const auto kind = static_cast<MsgKind>(k);
-    if (!is_move_kind(kind) && kind != MsgKind::kClient) {
+    if (!is_move_kind(kind) && !is_heartbeat_kind(kind) &&
+        kind != MsgKind::kClient) {
       sum += work_by_kind_[k];
     }
   }
@@ -108,11 +115,16 @@ std::int64_t WorkCounters::find_messages() const {
   std::int64_t sum = 0;
   for (std::size_t k = 0; k < kKinds; ++k) {
     const auto kind = static_cast<MsgKind>(k);
-    if (!is_move_kind(kind) && kind != MsgKind::kClient) {
+    if (!is_move_kind(kind) && !is_heartbeat_kind(kind) &&
+        kind != MsgKind::kClient) {
       sum += msgs_by_kind_[k];
     }
   }
   return sum;
+}
+
+std::int64_t WorkCounters::heartbeats() const {
+  return messages(MsgKind::kHeartbeat) + messages(MsgKind::kHeartbeatAck);
 }
 
 void WorkCounters::reset() {
@@ -120,6 +132,8 @@ void WorkCounters::reset() {
   work_by_kind_.fill(0);
   std::fill(msgs_by_level_.begin(), msgs_by_level_.end(), 0);
   std::fill(work_by_level_.begin(), work_by_level_.end(), 0);
+  duplicated_ = 0;
+  jittered_ = 0;
 }
 
 WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
@@ -133,6 +147,8 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
     d.msgs_by_level_[l] = msgs_by_level_[l] - earlier.msgs_by_level_[l];
     d.work_by_level_[l] = work_by_level_[l] - earlier.work_by_level_[l];
   }
+  d.duplicated_ = duplicated_ - earlier.duplicated_;
+  d.jittered_ = jittered_ - earlier.jittered_;
   return d;
 }
 
@@ -143,7 +159,10 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
   os << "{\n";
   os << in << "\"total\": {\"messages\": " << total_messages()
      << ", \"work\": " << total_work() << ", \"move_work\": " << move_work()
-     << ", \"find_work\": " << find_work() << "},\n";
+     << ", \"find_work\": " << find_work()
+     << ", \"heartbeats\": " << heartbeats()
+     << ", \"duplicated\": " << duplicated_
+     << ", \"jittered\": " << jittered_ << "},\n";
   os << in << "\"by_kind\": {";
   bool first = true;
   for (std::size_t k = 0; k < kKinds; ++k) {
@@ -176,6 +195,8 @@ void WorkCounters::accumulate(const WorkCounters& other) {
     msgs_by_level_[l] += other.msgs_by_level_[l];
     work_by_level_[l] += other.work_by_level_[l];
   }
+  duplicated_ += other.duplicated_;
+  jittered_ += other.jittered_;
 }
 
 }  // namespace vs::stats

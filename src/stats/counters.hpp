@@ -27,7 +27,9 @@ enum class MsgKind : std::uint8_t {
   kFindQuery,
   kFindAck,
   kFound,
-  kClient,  // client <-> level-0 VSA traffic
+  kClient,        // client <-> level-0 VSA traffic
+  kHeartbeat,     // §VII stabilizer probe (ext::Stabilizer)
+  kHeartbeatAck,  // probe acknowledgement
   kCount,
 };
 
@@ -36,6 +38,10 @@ enum class MsgKind : std::uint8_t {
 /// True for kinds that belong to tracking-structure maintenance (the
 /// "move work" of Theorem 4.9), false for find-phase kinds (Theorem 5.2).
 [[nodiscard]] bool is_move_kind(MsgKind kind);
+
+/// True for the §VII stabilizer's probe traffic — overlay messages outside
+/// both the Theorem 4.9 move sums and the Theorem 5.2 find sums.
+[[nodiscard]] bool is_heartbeat_kind(MsgKind kind);
 
 class WorkCounters {
  public:
@@ -58,6 +64,16 @@ class WorkCounters {
   [[nodiscard]] std::int64_t find_work() const;
   [[nodiscard]] std::int64_t move_messages() const;
   [[nodiscard]] std::int64_t find_messages() const;
+  /// Stabilizer probe traffic (heartbeat + heartbeatAck messages).
+  [[nodiscard]] std::int64_t heartbeats() const;
+
+  /// Channel-fault accounting (src/fault): a message delivered twice /
+  /// delivered early. Recorded by CGcast when a fault plan's duplication
+  /// or jitter window fires.
+  void note_duplicated() { ++duplicated_; }
+  void note_jittered() { ++jittered_; }
+  [[nodiscard]] std::int64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::int64_t jittered() const { return jittered_; }
 
   void reset();
 
@@ -72,7 +88,8 @@ class WorkCounters {
 
   /// JSON emitter — the single artifact schema every bench and tool uses
   /// (no hand-formatted counter dumps). Shape:
-  ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N},
+  ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N,
+  ///              "heartbeats": N, "duplicated": N, "jittered": N},
   ///    "by_kind": {"grow": {"messages": N, "work": N}, ...},  // non-zero only
   ///    "by_level": [{"level": 0, "messages": N, "work": N}, ...]}
   void to_json(std::ostream& os, int indent = 0) const;
@@ -85,6 +102,8 @@ class WorkCounters {
   std::array<std::int64_t, kKinds> work_by_kind_{};
   std::vector<std::int64_t> msgs_by_level_;
   std::vector<std::int64_t> work_by_level_;
+  std::int64_t duplicated_{0};
+  std::int64_t jittered_{0};
 };
 
 }  // namespace vs::stats

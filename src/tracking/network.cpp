@@ -137,6 +137,14 @@ Tracker& TrackingNetwork::tracker(ClusterId c) {
 }
 
 void TrackingNetwork::dispatch(ClusterId dest, const vsa::Message& m) {
+  if (stats::is_heartbeat_kind(m.type)) {
+    // Index loop (not range-for): a handler's reaction may register or
+    // remove handlers, invalidating iterators.
+    for (std::size_t i = 0; i < heartbeat_handlers_.size(); ++i) {
+      heartbeat_handlers_[i].second(dest, m);
+    }
+    return;
+  }
   tracker(dest).on_message(m);
 }
 
@@ -228,6 +236,9 @@ obs::MetricsRegistry TrackingNetwork::export_metrics() const {
   m.add("cgcast.work_total", counters_.total_work());
   m.add("cgcast.dropped", cgcast_->dropped());
   m.add("cgcast.lost", cgcast_->lost());
+  m.add("cgcast.duplicated", counters_.duplicated());
+  m.add("cgcast.jittered", counters_.jittered());
+  m.add("cgcast.heartbeats", counters_.heartbeats());
   m.add("trace.events", static_cast<std::int64_t>(trace_.size()));
   m.set_gauge("sched.virtual_time_us", sched_.now().count());
   // Find latency in δ units-ish buckets: powers of two of milliseconds.

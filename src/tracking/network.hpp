@@ -157,6 +157,26 @@ class TrackingNetwork {
     move_observer_ = std::move(observer);
   }
 
+  /// Handlers for §VII heartbeat overlay traffic (kHeartbeat /
+  /// kHeartbeatAck). These kinds are not part of the Tracker signature
+  /// (Figure 2), so dispatch routes them here instead of
+  /// Tracker::on_message; with no handler installed a probe is absorbed
+  /// silently, like any message to a process that ignores it. Multiple
+  /// handlers may coexist (one ext::Stabilizer per target); each sees
+  /// every heartbeat and filters by target itself. The returned token
+  /// must be passed to remove_heartbeat_handler before the owner dies.
+  using HeartbeatHandler =
+      std::function<void(ClusterId dest, const vsa::Message&)>;
+  int add_heartbeat_handler(HeartbeatHandler handler) {
+    const int token = next_heartbeat_token_++;
+    heartbeat_handlers_.emplace_back(token, std::move(handler));
+    return token;
+  }
+  void remove_heartbeat_handler(int token) {
+    std::erase_if(heartbeat_handlers_,
+                  [token](const auto& h) { return h.first == token; });
+  }
+
  private:
   void dispatch(ClusterId dest, const vsa::Message& m);
   void on_found_output(FindId f, TargetId t, RegionId region, ClientId by);
@@ -178,6 +198,8 @@ class TrackingNetwork {
   FindId::rep_type next_find_{1};
   obs::TraceRecorder trace_;
   MoveObserver move_observer_;
+  std::vector<std::pair<int, HeartbeatHandler>> heartbeat_handlers_;
+  int next_heartbeat_token_{1};
 };
 
 }  // namespace vs::tracking

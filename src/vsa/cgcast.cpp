@@ -108,12 +108,44 @@ bool CGcast::process_alive(ClusterId to) const {
   return false;
 }
 
+void CGcast::enqueue(ClusterId from, ClusterId to, const Message& m,
+                     sim::Duration delay) {
+  const std::uint64_t key = next_key_++;
+  in_flight_.emplace(key, InTransit{m, from, to, sched_->now() + delay});
+  sched_->schedule_after(delay,
+                         [this, key, to, m] { deliver_to_tracker(key, to, m); });
+}
+
+bool CGcast::apply_channel_faults(const Message& m, sim::Duration& delay,
+                                  bool& duplicate) {
+  if (!channel_faults_) return false;
+  const ChannelDecision d = channel_faults_(m);
+  if (d.drop) {
+    ++lost_;
+    return true;
+  }
+  if (d.advance > sim::Duration::zero()) {
+    // Early delivery only, floored at 1us — never later than the model's
+    // maximum latency, never at-or-before the send instant.
+    const sim::Duration floor = sim::Duration::micros(1);
+    if (delay > floor) {
+      delay = delay - d.advance < floor ? floor : delay - d.advance;
+      counters_->note_jittered();
+    }
+  }
+  if (d.duplicate) {
+    duplicate = true;
+    counters_->note_duplicated();
+  }
+  return false;
+}
+
 void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
   VS_REQUIRE(from.valid() && to.valid() && from != to,
              "bad VSA send " << from << " → " << to);
   const auto& h = *hier_;
   const Level l = h.level(from);
-  const sim::Duration delay = vsa_delay(from, to);
+  sim::Duration delay = vsa_delay(from, to);
   const std::int64_t hops = work_to(from, to);
   counters_->record(m.type, l, hops);
   notify_observers(m, from, to, l, hops);
@@ -121,18 +153,17 @@ void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
     record(obs::TraceKind::kSend, m, from.value(), to.value(), l,
            static_cast<std::int32_t>(hops));
   }
-  if (lose_message()) {  // vanished in flight (fault injection)
+  bool duplicate = false;
+  if (lose_message() ||  // vanished in flight (fault injection)
+      apply_channel_faults(m, delay, duplicate)) {
     if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
       record(obs::TraceKind::kLost, m, from.value(), to.value(), l, 0);
     }
     return;
   }
 
-  const std::uint64_t key = next_key_++;
-  in_flight_.emplace(key,
-                     InTransit{m, from, to, sched_->now() + delay});
-  sched_->schedule_after(delay,
-                         [this, key, to, m] { deliver_to_tracker(key, to, m); });
+  enqueue(from, to, m, delay);
+  if (duplicate) enqueue(from, to, m, delay);
 }
 
 void CGcast::send_from_client(RegionId at, const Message& m) {
@@ -143,19 +174,16 @@ void CGcast::send_from_client(RegionId at, const Message& m) {
   if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
     record(obs::TraceKind::kClientSend, m, at.value(), dest.value(), 0, 1);
   }
-  if (lose_message()) {
+  sim::Duration delay = config_.delta;  // rule (e)
+  bool duplicate = false;
+  if (lose_message() || apply_channel_faults(m, delay, duplicate)) {
     if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
       record(obs::TraceKind::kLost, m, at.value(), dest.value(), 0, 0);
     }
     return;
   }
-  const std::uint64_t key = next_key_++;
-  in_flight_.emplace(
-      key, InTransit{m, ClusterId::invalid(), dest,
-                     sched_->now() + config_.delta});  // rule (e)
-  sched_->schedule_after(config_.delta, [this, key, dest, m] {
-    deliver_to_tracker(key, dest, m);
-  });
+  enqueue(ClusterId::invalid(), dest, m, delay);
+  if (duplicate) enqueue(ClusterId::invalid(), dest, m, delay);
 }
 
 void CGcast::broadcast_to_clients(ClusterId from_level0, const Message& m) {

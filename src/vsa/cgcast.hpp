@@ -67,10 +67,31 @@ class CGcast {
   /// Handle for remove_send_observer (0 is never issued).
   using ObserverId = std::uint64_t;
 
+  /// Per-message channel-fault verdict (src/fault FaultInjector). `drop`
+  /// loses the message at send time; `duplicate` delivers it twice;
+  /// `advance` delivers it that much *earlier* (clamped to a 1us floor) —
+  /// early delivery stays within the δ+e envelope, since the paper's
+  /// latencies are maxima.
+  struct ChannelDecision {
+    bool drop = false;
+    bool duplicate = false;
+    sim::Duration advance = sim::Duration::zero();
+  };
+  /// Channel-fault oracle, consulted once per VSA→VSA or client→VSA send
+  /// while installed (broadcasts to clients are physical-layer local and
+  /// exempt). The oracle owns its randomness; CGcast consumes none for it.
+  using ChannelFaults = std::function<ChannelDecision(const Message&)>;
+
   void set_tracker_sink(TrackerSink sink) { tracker_sink_ = std::move(sink); }
   void set_client_sink(ClientSink sink) { client_sink_ = std::move(sink); }
   void set_vsa_alive(AliveFn alive) { alive_ = std::move(alive); }
   void set_replicas(ReplicaFn replicas) { replicas_ = std::move(replicas); }
+  /// Installs (or, with an empty function, removes) the channel-fault
+  /// oracle. At most one is active; the fault engine owns the slot.
+  void set_channel_faults(ChannelFaults faults) {
+    channel_faults_ = std::move(faults);
+  }
+
   ObserverId add_send_observer(SendObserver obs);
   /// Detaches a previously added observer. Observers whose owner may die
   /// before the service (spec monitors, watchdogs) must call this from
@@ -128,6 +149,14 @@ class CGcast {
 
  private:
   void deliver_to_tracker(std::uint64_t key, ClusterId to, const Message& m);
+  /// Books one in-flight entry and schedules its delivery.
+  void enqueue(ClusterId from, ClusterId to, const Message& m,
+               sim::Duration delay);
+  /// Applies the channel-fault oracle to an outgoing message: updates
+  /// `delay`/`duplicate` and returns true if the message is dropped.
+  [[nodiscard]] bool apply_channel_faults(const Message& m,
+                                          sim::Duration& delay,
+                                          bool& duplicate);
   [[nodiscard]] bool vsa_alive_at(RegionId region) const;
   /// Hop-work of a message to `to`'s process (summed over replicas).
   [[nodiscard]] std::int64_t work_to(ClusterId from, ClusterId to) const;
@@ -149,6 +178,7 @@ class CGcast {
   ClientSink client_sink_;
   AliveFn alive_;
   ReplicaFn replicas_;
+  ChannelFaults channel_faults_;
   std::vector<std::pair<ObserverId, SendObserver>> observers_;
   ObserverId next_observer_id_{1};
   obs::TraceRecorder* trace_ = nullptr;

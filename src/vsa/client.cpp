@@ -71,6 +71,14 @@ void ClientPopulation::move_client(ClientId id, RegionId to) {
   notify_presence(to);
 }
 
+const std::vector<ClientId>& ClientPopulation::clients_in(
+    RegionId region) const {
+  VS_REQUIRE(region.valid() &&
+                 static_cast<std::size_t>(region.value()) < by_region_.size(),
+             "region " << region << " out of range");
+  return by_region_[static_cast<std::size_t>(region.value())];
+}
+
 std::size_t ClientPopulation::alive_clients_in(RegionId region) const {
   std::size_t count = 0;
   for (const ClientId id :
@@ -141,6 +149,35 @@ void ClientPopulation::inject_find(RegionId region, TargetId target,
 }
 
 void ClientPopulation::on_broadcast(RegionId region, const Message& m) {
+  if (m.type == MsgType::kHeartbeat &&
+      m.hb_claim == HbClaim::kClientQuery) {
+    auto& flags = queried_[m.target];
+    if (flags.empty()) flags.assign(by_region_.size(), 0);
+    flags[static_cast<std::size_t>(region.value())] = 1;
+    bool any_believer = false;
+    for (const ClientId id : clients_at(region)) {
+      const Client& c = clients_[static_cast<std::size_t>(id.value())];
+      if (!c.alive) continue;
+      const auto it = c.believes_here.find(m.target);
+      if (it != c.believes_here.end() && it->second) {
+        any_believer = true;
+        break;
+      }
+    }
+    if (any_believer) return;  // marker confirmed, suppress all responses
+    for (const ClientId id : clients_at(region)) {
+      const Client& c = clients_[static_cast<std::size_t>(id.value())];
+      if (!c.alive) continue;
+      // The re-detection shrink: the `left` input's message that the
+      // marker evidently never processed.
+      Message reply;
+      reply.type = MsgType::kShrink;
+      reply.from_cluster = hier_->cluster_of(region, 0);
+      reply.target = m.target;
+      cgcast_->send_from_client(region, reply);
+    }
+    return;
+  }
   if (m.type != MsgType::kFound) return;
   for (const ClientId id : clients_at(region)) {
     Client& c = clients_[static_cast<std::size_t>(id.value())];
@@ -150,6 +187,32 @@ void ClientPopulation::on_broadcast(RegionId region, const Message& m) {
       if (found_output_) found_output_(m.find_id, m.target, region, id);
     }
   }
+}
+
+int ClientPopulation::refresh_detection(TargetId target) {
+  int sent = 0;
+  auto& flags = queried_[target];
+  if (flags.empty()) flags.assign(by_region_.size(), 0);
+  for (std::size_t r = 0; r < by_region_.size(); ++r) {
+    const bool queried = flags[r] != 0;
+    flags[r] = 0;
+    if (queried) continue;
+    const RegionId region{static_cast<RegionId::rep_type>(r)};
+    for (const ClientId id : by_region_[r]) {
+      const Client& c = clients_[static_cast<std::size_t>(id.value())];
+      if (!c.alive) continue;
+      const auto it = c.believes_here.find(target);
+      if (it == c.believes_here.end() || !it->second) continue;
+      // The detection grow again — the silent level-0 cluster lost it.
+      Message m;
+      m.type = MsgType::kGrow;
+      m.from_cluster = hier_->cluster_of(region, 0);
+      m.target = target;
+      cgcast_->send_from_client(region, m);
+      ++sent;
+    }
+  }
+  return sent;
 }
 
 }  // namespace vs::vsa

@@ -49,6 +49,9 @@ class ClientPopulation {
 
   [[nodiscard]] const Client& client(ClientId id) const;
   [[nodiscard]] std::size_t alive_clients_in(RegionId region) const;
+  /// All clients homed at `region`, alive or not (fault injection uses
+  /// this to depopulate a region deterministically).
+  [[nodiscard]] const std::vector<ClientId>& clients_in(RegionId region) const;
 
   /// GPS-service hook: the evader for `target` moved from → to. Issues
   /// `left` inputs at `from` and `move` inputs at `to`; clients react with
@@ -60,8 +63,23 @@ class ClientPopulation {
   /// find message to its level-0 cluster. Requires an alive client there.
   void inject_find(RegionId region, TargetId target, FindId find_id);
 
-  /// C-gcast client sink: a level-0 broadcast arrived at `region`.
+  /// C-gcast client sink: a level-0 broadcast arrived at `region`. Besides
+  /// `found` deliveries, this handles the §VII presence query
+  /// (kHeartbeat/HbClaim::kClientQuery): a level-0 cluster that carries
+  /// the detection marker asks its region's clients to confirm it. If some
+  /// alive client still believes the evader is here the marker is correct
+  /// and everyone stays silent (clients share the physical broadcast
+  /// medium, so response suppression is local knowledge); otherwise every
+  /// alive client answers with the re-detection shrink the marker is
+  /// missing. Receipt of a query also feeds the refresh_detection bookkeeping.
   void on_broadcast(RegionId region, const Message& m);
+
+  /// Client-side periodic re-detection (§IV-A: GPS inputs are periodic):
+  /// believing clients in any region whose level-0 cluster has *not*
+  /// queried them since the previous call re-send their detection grow —
+  /// the silent cluster has lost its marker (VSA reset). Returns the number
+  /// of grow messages sent and consumes the per-region query flags.
+  int refresh_detection(TargetId target);
 
   /// Invoked when a believing client performs the found output.
   using FoundOutput =
@@ -78,6 +96,11 @@ class ClientPopulation {
   std::vector<Client> clients_;
   std::vector<std::vector<ClientId>> by_region_;
   FoundOutput found_output_;
+  /// Per target, per region: did a presence query arrive since the last
+  /// refresh_detection scan for that target? Keyed by target so
+  /// concurrent stabilizers never consume each other's flags.
+  /// (std::uint8_t, not bool: vector<bool> proxies.)
+  std::map<TargetId, std::vector<std::uint8_t>> queried_;
 };
 
 }  // namespace vs::vsa

@@ -2,11 +2,34 @@
 
 namespace vs::vsa {
 
+namespace {
+
+const char* to_string(HbClaim claim) {
+  switch (claim) {
+    case HbClaim::kNone: return "none";
+    case HbClaim::kChild: return "child";
+    case HbClaim::kParent: return "parent";
+    case HbClaim::kAdvertUp: return "advertUp";
+    case HbClaim::kAdvertDown: return "advertDown";
+    case HbClaim::kSecondaryUp: return "secondaryUp";
+    case HbClaim::kSecondaryDown: return "secondaryDown";
+    case HbClaim::kAnchor: return "anchor";
+    case HbClaim::kClientQuery: return "clientQuery";
+  }
+  return "?";
+}
+
+}  // namespace
+
 std::ostream& operator<<(std::ostream& os, const Message& m) {
   os << stats::to_string(m.type) << "(from=" << m.from_cluster
      << ",tgt=" << m.target;
   if (m.find_id.valid()) os << ",find=" << m.find_id;
   if (m.ack_pointer.valid()) os << ",x=" << m.ack_pointer;
+  if (m.hb_claim != HbClaim::kNone) {
+    os << ",hb=" << to_string(m.hb_claim);
+    if (m.type == MsgType::kHeartbeatAck) os << (m.hb_ok ? "/ok" : "/miss");
+  }
   return os << ")";
 }
 

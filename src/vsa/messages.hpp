@@ -16,6 +16,21 @@ namespace vs::vsa {
 /// Wire message kinds; mirrors Figure 2's message set.
 using MsgType = stats::MsgKind;
 
+/// What a §VII heartbeat probe (MsgType::kHeartbeat) asks its receiver to
+/// confirm; the ack echoes the claim with hb_ok = confirmed. kAnchor and
+/// kClientQuery are one-way pulses and carry no ack.
+enum class HbClaim : std::uint8_t {
+  kNone = 0,
+  kChild,          // "my c is you — do you point back with p?"
+  kParent,         // "my p is you — do you point back with c?"
+  kAdvertUp,       // "you should hold me in nbrptup"
+  kAdvertDown,     // "you should hold me in nbrptdown"
+  kSecondaryUp,    // "I hold you in nbrptup — still vertically attached?"
+  kSecondaryDown,  // "I hold you in nbrptdown — still laterally attached?"
+  kAnchor,         // root-anchored liveness pulse, forwarded down c-links
+  kClientQuery,    // level-0 presence probe broadcast to region clients
+};
+
 struct Message {
   MsgType type{MsgType::kGrow};
   /// Figure 2's `cid`: the cluster the message is "from" (for client-sent
@@ -26,8 +41,13 @@ struct Message {
   /// Identity of the find operation (find/findQuery/findAck/found only).
   FindId find_id{};
   /// findAck payload x: a cluster on, or holding a secondary pointer to,
-  /// the tracking path.
+  /// the tracking path. Heartbeat acks reuse it for the responder's own
+  /// pointer of interest (e.g. its p on a kParent ack).
   ClusterId ack_pointer{};
+  /// Heartbeat payload (kHeartbeat/kHeartbeatAck only, kNone otherwise).
+  HbClaim hb_claim{HbClaim::kNone};
+  /// kHeartbeatAck: the probed claim held at the receiver.
+  bool hb_ok = false;
 
   friend std::ostream& operator<<(std::ostream& os, const Message& m);
 };

@@ -7,13 +7,17 @@
 # proving every record point is optional dead code, then a watchdog
 # stage: a monitored quickstart must stay clean, a CLI-seeded corruption
 # must produce an incident bundle that replays to the same violation,
-# and the Chrome export must be valid JSON.
+# and the Chrome export must be valid JSON. A final chaos stage arms a
+# canned FaultPlan through the CLI: the run must meet its recovery
+# deadline with a consistent structure, and an incident captured under
+# the same faults must --replay to the exact same violation.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
 #   tools/check.sh --tsan       # stage 2 only
 #   tools/check.sh --no-trace   # stage 3 only
 #   tools/check.sh --monitor    # stage 4 only (reuses build-check/)
+#   tools/check.sh --chaos      # stage 5 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan), and
 # build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
@@ -43,12 +47,13 @@ run_tsan() {
   echo "== stage 2: ThreadSanitizer =="
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
-    --target test_concurrent test_runner test_obs test_monitor \
+    --target test_concurrent test_runner test_obs test_monitor test_fault \
     bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
   "$root/build-tsan/tests/test_monitor"
+  "$root/build-tsan/tests/test_fault"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -97,13 +102,65 @@ EOF
   echo "Watchdog stage clean (clean run silent, seeded violation replayed)."
 }
 
+run_chaos() {
+  echo "== stage 5: fault-plan chaos end-to-end =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target vinestalk_cli vinestalk_trace
+  local dir
+  dir="$(mktemp -d /tmp/vs_chaos.XXXXXX)"
+  cat > "$dir/chaos.plan" <<'EOF'
+# check.sh canned chaos: two mid-walk VSA crashes and a loss burst, with
+# a damage-proportional recovery deadline the run must meet.
+faultplan v1
+seed 77
+crash 40 at 1000000
+crash 13 at 2000000
+loss from 1500000 until 2500000 rate 0.05
+recovery base 1000000 per-fault 200000
+end
+EOF
+  # Clean recovery: the monitored run must repair within the deadline and
+  # end consistent, with no incident captured.
+  printf 'world 9 3\nevader 4 4\nmonitor 0 cadence\nfault %s\nwalk 0 20 42\ncheck 0\nquit\n' \
+    "$dir/chaos.plan" |
+    "$root/build-check/tools/vinestalk_cli" --incident-dir "$dir" \
+    > "$dir/clean.out"
+  grep -q "recovery deadline met" "$dir/clean.out" || {
+    echo "FAIL: chaos run missed its recovery deadline" >&2
+    cat "$dir/clean.out" >&2; exit 1; }
+  grep -qx "consistent" "$dir/clean.out" || {
+    echo "FAIL: chaos run did not end consistent" >&2
+    cat "$dir/clean.out" >&2; exit 1; }
+  if ls "$dir"/incident_cli_*.vsi > /dev/null 2>&1; then
+    echo "FAIL: clean chaos run captured an incident" >&2; exit 1
+  fi
+  # Same faults plus a seeded corruption: the incident bundle must embed
+  # the fault plan and --replay to the exact same violation.
+  printf 'world 9 3\nevader 4 4\nmonitor 0 cadence\nfault %s\nwalk 0 20 42\ncorrupt 0 1 1\nquit\n' \
+    "$dir/chaos.plan" |
+    "$root/build-check/tools/vinestalk_cli" --incident-dir "$dir" \
+    > "$dir/violation.out"
+  local bundle="$dir/incident_cli_0.vsi"
+  [ -f "$bundle" ] || { echo "FAIL: no chaos incident bundle in $dir" >&2
+    cat "$dir/violation.out" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" incident "$bundle" --replay \
+    > "$dir/replay.out"
+  grep -q "exact" "$dir/replay.out" || {
+    echo "FAIL: chaos incident did not replay exactly" >&2
+    cat "$dir/replay.out" >&2; exit 1; }
+  rm -rf "$dir"
+  echo "Chaos stage clean (deadline met, fault incident replayed exactly)."
+}
+
 case "$stage" in
-  all) run_plain; run_tsan; run_notrace; run_monitor ;;
+  all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
   --monitor) run_monitor ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor]" >&2
+  --chaos) run_chaos ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

@@ -10,6 +10,16 @@
 //   walk <target> <steps> <seed>  random-walk an evader
 //   find <x> <y> <target>      run a find and print the result
 //   fail <x> <y>               fail the VSA at a region (enables failures)
+//   fault <plan-file>          arm a fault::FaultPlan against this world
+//                              (strict parse; regions validated against
+//                              the grid). Plans with discrete faults need
+//                              an evader first; their events fire during
+//                              the next walk, which switches to timed
+//                              stepping with a periodic heartbeat
+//                              stabilizer and a post-walk settle+drain.
+//                              The VS_FAULTS env var names a plan file to
+//                              arm automatically (windows-only plans at
+//                              world creation, others at first evader).
 //   tick <target>              one stabilizer repair pass
 //   show <target>              render the tracking structure
 //   check <target>             consistency verdict for the structure
@@ -46,11 +56,14 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
 #include "ext/stabilizer.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "hier/grid_hierarchy.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
@@ -98,6 +111,7 @@ class Cli {
       side_ = side;
       base_ = base;
       watchdog_.reset();  // watches the old world; drop before replacing it
+      injector_.reset();
       stabilizers_.clear();
       hierarchy_ = std::make_unique<hier::GridHierarchy>(side, side, base);
       tracking::NetworkConfig cfg;
@@ -111,9 +125,24 @@ class Cli {
       scenario_.side = side;
       scenario_.base = base;
       scenario_.model_vsa_failures = true;
+      scenario_.t_restart_us = cfg.t_restart.count();
       out << "world " << side << "x" << side << " base " << base << ", MAX "
           << hierarchy_->max_level() << ", " << hierarchy_->num_clusters()
           << " clusters\n";
+      // VS_FAULTS: arm the named plan automatically. Windows-only plans
+      // arm now (their now()-predicates then cover placement, like a
+      // replay's); plans with discrete events wait for the first evader —
+      // the placement drain would fast-forward through their timers.
+      if (const char* f = std::getenv("VS_FAULTS"); f != nullptr && *f != '\0') {
+        const fault::FaultPlan plan = fault::FaultPlan::parse_file(f);
+        if (plan.crashes.empty() && plan.outages.empty() &&
+            plan.depopulations.empty()) {
+          arm_fault_plan(plan, out);
+        } else {
+          pending_faults_ = plan;
+          out << "fault plan " << f << " staged (arms at first evader)\n";
+        }
+      }
       return true;
     }
     VS_REQUIRE(net_ != nullptr, "run `world <side> <base>` first");
@@ -127,6 +156,11 @@ class Cli {
         scenario_.replayable_flag = false;  // >1 evader: not canonical
       }
       out << "evader " << t.value() << " placed\n";
+      if (pending_faults_.has_value()) {
+        const fault::FaultPlan plan = *pending_faults_;
+        pending_faults_.reset();
+        arm_fault_plan(plan, out);
+      }
     } else if (cmd == "move") {
       const TargetId t = target(ss);
       scenario_.replayable_flag = false;  // manual move: not canonical
@@ -146,16 +180,56 @@ class Cli {
       } else {
         scenario_.replayable_flag = false;
       }
-      if (watchdog_) watchdog_->set_scenario(scenario_);
       vsa::RandomWalkMover mover(hierarchy_->tiling(), seed);
       RegionId cur = net_->evaders().region_of(t);
-      for (int i = 0; i < steps; ++i) {
-        cur = mover.next(cur);
-        net_->move_evader(t, cur);
+      if (injector_) {
+        // Fault-mode walk: the plan's events are anchored to absolute
+        // virtual times, so step in timed slices instead of draining
+        // (run_to_quiescence would fast-forward through them), run a
+        // periodic heartbeat stabilizer, and settle + drain at the end —
+        // the exact shape run_scenario replays.
+        scenario_.step_every_us = kFaultStepUs;
+        scenario_.settle_us = kFaultSettleUs;
+        scenario_.heartbeat_period_us = kFaultHeartbeatUs;
+        if (watchdog_) watchdog_->set_scenario(scenario_);
+        ext::Stabilizer stab(*net_, t,
+                             sim::Duration::micros(kFaultHeartbeatUs));
+        stab.start();
+        for (int i = 0; i < steps; ++i) {
+          cur = mover.next(cur);
+          net_->move_evader(t, cur);
+          net_->run_for(sim::Duration::micros(kFaultStepUs));
+        }
+        net_->run_for(sim::Duration::micros(kFaultSettleUs));
+        stab.stop();
         net_->run_to_quiescence();
+        // Judge the settled structure now (this also evaluates a pending
+        // recovery deadline on the healed state, like a replay's
+        // post-drain check).
+        if (watchdog_) watchdog_->check_now();
+        out << "walked " << steps << " steps to "
+            << hierarchy_->tiling().describe(cur) << " under the fault plan ("
+            << injector_->faults_injected() << "/"
+            << injector_->planned_faults() << " discrete fault(s) fired, "
+            << stab.repairs() << " repair action(s))\n";
+        if (watchdog_ && injector_->recovery_deadline().has_value()) {
+          out << "recovery deadline "
+              << (watchdog_->recovery_deadline_met()
+                      ? "met"
+                      : (watchdog_->recovery_deadline_pending() ? "pending"
+                                                                : "MISSED"))
+              << "\n";
+        }
+      } else {
+        if (watchdog_) watchdog_->set_scenario(scenario_);
+        for (int i = 0; i < steps; ++i) {
+          cur = mover.next(cur);
+          net_->move_evader(t, cur);
+          net_->run_to_quiescence();
+        }
+        out << "walked " << steps << " steps to "
+            << hierarchy_->tiling().describe(cur) << "\n";
       }
-      out << "walked " << steps << " steps to "
-          << hierarchy_->tiling().describe(cur) << "\n";
     } else if (cmd == "find") {
       const RegionId from = region(ss);
       const TargetId t = target(ss);
@@ -171,9 +245,16 @@ class Cli {
       }
     } else if (cmd == "fail") {
       const RegionId u = region(ss);
-      scenario_.replayable_flag = false;  // failures aren't captured
+      scenario_.replayable_flag = false;  // ad-hoc failure: use fault plans
       net_->fail_vsa(u);
       out << "failed VSA at " << hierarchy_->tiling().describe(u) << "\n";
+    } else if (cmd == "fault") {
+      std::string path;
+      ss >> path;
+      VS_REQUIRE(!path.empty(), "fault needs a plan file");
+      std::string rest;
+      VS_REQUIRE(!(ss >> rest), "fault takes exactly one plan file");
+      arm_fault_plan(fault::FaultPlan::parse_file(path), out);
     } else if (cmd == "tick") {
       const TargetId t = target(ss);
       scenario_.replayable_flag = false;  // repairs aren't captured
@@ -245,6 +326,11 @@ class Cli {
       }
       watchdog_.reset();  // one watchdog at a time; release the old hooks
       watchdog_ = std::make_unique<obs::Watchdog>(*net_, t, cfg, scenario_);
+      if (injector_) {
+        if (const auto d = injector_->recovery_deadline()) {
+          watchdog_->arm_recovery_deadline(*d);
+        }
+      }
       // Capture the stream by address: the sink outlives this dispatch
       // call (it fires from later walk/corrupt commands).
       watchdog_->set_incident_sink(
@@ -298,6 +384,49 @@ class Cli {
       out << "unknown command: " << cmd << "\n";
     }
     return true;
+  }
+
+  // Validate + arm a fault plan against the current world and fold it into
+  // the captured scenario. One plan per world; discrete events need an
+  // evader placed first (see the dispatch comment).
+  void arm_fault_plan(const fault::FaultPlan& plan, std::ostream& out) {
+    VS_REQUIRE(net_ != nullptr, "run `world <side> <base>` first");
+    VS_REQUIRE(injector_ == nullptr,
+               "a fault plan is already armed for this world");
+    const bool windows_only = plan.crashes.empty() && plan.outages.empty() &&
+                              plan.depopulations.empty();
+    VS_REQUIRE(windows_only || scenario_.start_region >= 0,
+               "place an evader before arming a plan with discrete faults "
+               "(the placement drain would fast-forward through them)");
+    injector_ = std::make_unique<fault::FaultInjector>(*net_, plan);
+    injector_->arm();
+    // Scenario capture: canonical only when the plan precedes the walk and
+    // its channel windows cannot have covered traffic sent before arming
+    // (a replay arms windows-only plans before placement).
+    if (scenario_.steps != 0) scenario_.replayable_flag = false;
+    const std::int64_t now_us = net_->now().count();
+    for (const auto* windows :
+         {&plan.loss_bursts, &plan.duplications, &plan.jitters}) {
+      for (const fault::FaultPlan::Window& w : *windows) {
+        if (w.from_us < now_us) scenario_.replayable_flag = false;
+      }
+    }
+    scenario_.fault_plan = plan.to_string();
+    if (watchdog_) {
+      if (const auto d = injector_->recovery_deadline()) {
+        watchdog_->arm_recovery_deadline(*d);
+      }
+      watchdog_->set_scenario(scenario_);
+    }
+    out << "fault plan armed: " << injector_->planned_faults()
+        << " discrete fault(s), "
+        << plan.loss_bursts.size() + plan.duplications.size() +
+               plan.jitters.size()
+        << " channel window(s)";
+    if (const auto d = injector_->recovery_deadline()) {
+      out << ", recovery deadline " << *d;
+    }
+    out << "\n";
   }
 
   // Run `trials` independent worlds (same side/base as the current one),
@@ -370,6 +499,11 @@ class Cli {
     return *it->second;
   }
 
+  /// Fault-mode walk pacing (recorded into the captured scenario).
+  static constexpr std::int64_t kFaultStepUs = 200'000;
+  static constexpr std::int64_t kFaultSettleUs = 2'000'000;
+  static constexpr std::int64_t kFaultHeartbeatUs = 400'000;
+
   int jobs_;
   std::string incident_dir_;
   int incidents_written_ = 0;
@@ -378,6 +512,8 @@ class Cli {
   std::unique_ptr<hier::GridHierarchy> hierarchy_;
   std::unique_ptr<tracking::TrackingNetwork> net_;
   std::unique_ptr<obs::Watchdog> watchdog_;  // declared after net_: dies first
+  std::unique_ptr<fault::FaultInjector> injector_;  // ditto
+  std::optional<fault::FaultPlan> pending_faults_;  // VS_FAULTS, pre-evader
   obs::ScenarioSpec scenario_;
   std::map<TargetId, std::unique_ptr<ext::Stabilizer>> stabilizers_;
 };
