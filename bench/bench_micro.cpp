@@ -6,10 +6,16 @@
 // BENCH_sched.json (see write_sched_json below) capturing the scheduler
 // hot path's events/sec, heap-allocations per event, and the trial-pool's
 // per-thread scaling — the perf trajectory future PRs regress against.
+// A second artifact, BENCH_audit.json (see write_audit_json), records the
+// cost auditor's trajectory: measured/bound ratios for the E1 move-cost
+// and E3 find-cost shapes plus the ledger's overhead in its three states
+// (detached / attached-but-disabled / enabled).
 //
 //   bench_micro                      # full google-benchmark suite + JSON
 //   bench_micro --sched-json-only    # skip the suite, just write the JSON
 //   bench_micro --sched-json=FILE    # choose the JSON path
+//   bench_micro --audit-json[=FILE]  # additionally write BENCH_audit.json
+//   bench_micro --audit-json-only    # skip everything else, just audit JSON
 
 #include <benchmark/benchmark.h>
 
@@ -19,8 +25,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/ledger/auditor.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
+#include "tracking/config.hpp"
 
 namespace {
 
@@ -57,7 +66,7 @@ std::uint64_t run_chains(std::uint64_t total_events) {
 // The same chain with a record point in the event body — the exact gate
 // pattern the protocol layers use (see vsa::CGcast::record). With the
 // recorder disabled this measures the pointer-test-plus-bool-load cost of
-// an idle record point; enabled, the full 56-byte append; compiled out
+// an idle record point; enabled, the full 64-byte append; compiled out
 // (-DVINESTALK_TRACE=OFF), the gate is dead code and the numbers must
 // match the plain chain. The extra pointer keeps the capture at 32 bytes,
 // still inside EventAction's inline buffer.
@@ -80,7 +89,9 @@ struct TracedChain {
           .level = -1,
           .kind = static_cast<std::uint8_t>(obs::TraceKind::kTimerFire),
           .msg = obs::kNoMsg,
-          .extra = 0});
+          .extra = 0,
+          .op = obs::kBackgroundOp,
+          .pad0 = 0});
     }
     if (--left > 0) {
       sched.schedule_after(
@@ -474,11 +485,166 @@ bool write_sched_json(const std::string& path) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_audit.json: the cost auditor's trajectory — measured/bound ratios
+// for the paper's two headline cost shapes, plus the ledger's overhead in
+// its three states on the same walk.
+
+vs::obs::AuditConfig audit_config(const GridNet& g) {
+  const vs::vsa::CGcastConfig& cg = g.net->config().cgcast;
+  return vs::obs::AuditConfig{
+      .slack = 2.0,
+      .delta_plus_e = cg.delta + cg.e,
+      .timers = vs::tracking::TimerPolicy::paper_default(*g.hierarchy, cg)};
+}
+
+// One 200-step E1-shape walk (243x243 base 3, the Theorem 4.9 grid
+// corollary world) with a live ledger; returns the audited report.
+vs::obs::AuditReport run_e1_audit(vs::obs::OpLedger& ledger) {
+  GridNet g = make_grid(243, 3);
+  ledger.set_enabled(true);
+  g.net->set_op_ledger(&ledger);
+  const RegionId start = g.at(121, 121);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xE1);
+  RegionId cur = start;
+  for (int i = 0; i < 200; ++i) {
+    cur = mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+  const vs::obs::BoundAuditor auditor(*g.hierarchy, audit_config(g));
+  const vs::obs::AuditReport report = auditor.audit(ledger);
+  g.net->set_op_ledger(nullptr);
+  return report;
+}
+
+// One E3-shape find (fresh quiesced 243x243 world, find issued distance d
+// from the centred evader); returns the per-find audit row.
+vs::obs::FindAudit run_e3_audit(int d) {
+  GridNet g = make_grid(243, 3);
+  vs::obs::OpLedger ledger;
+  ledger.set_enabled(true);
+  g.net->set_op_ledger(&ledger);
+  const TargetId t = g.net->add_evader(g.at(121, 121));
+  g.net->run_to_quiescence();
+  g.net->start_find(g.at(121 + d, 121), t);
+  g.net->run_to_quiescence();
+  const vs::obs::BoundAuditor auditor(*g.hierarchy, audit_config(g));
+  const vs::obs::AuditReport report = auditor.audit(ledger);
+  g.net->set_op_ledger(nullptr);
+  return report.finds.empty() ? vs::obs::FindAudit{} : report.finds.front();
+}
+
+// Ledger-overhead walk (the BM_MoveAndQuiesce shape, 81x81, 200 steps).
+// sel 0: no ledger attached (the pre-ledger hot path); sel 1: attached
+// but disabled (one bool test per C-gcast send); sel 2: enabled (map
+// upsert per send). With tracing compiled out sel 2 degrades to sel 1 —
+// the "compiled-out" column of the acceptance gate is this same binary
+// built with -DVINESTALK_TRACE=OFF, where set_enabled is forced false.
+double run_ledger_walk(int sel, int steps = 200) {
+  GridNet g = make_grid(81, 3);
+  vs::obs::OpLedger ledger;
+  if (sel >= 1) {
+    ledger.set_enabled(sel == 2);
+    g.net->set_op_ledger(&ledger);
+  }
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xB7);
+  RegionId cur = start;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    cur = mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+  return seconds_since(t0);
+}
+
+bool write_audit_json(const std::string& path) {
+  vs::obs::OpLedger e1_ledger;
+  const vs::obs::AuditReport e1 = run_e1_audit(e1_ledger);
+
+  constexpr int kFindDistances[] = {1, 4, 16, 64, 120};
+  std::vector<vs::obs::FindAudit> finds;
+  for (const int d : kFindDistances) finds.push_back(run_e3_audit(d));
+
+  double off = 1e100, disabled = 1e100, enabled = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    off = std::min(off, run_ledger_walk(0));
+    disabled = std::min(disabled, run_ledger_walk(1));
+    enabled = std::min(enabled, run_ledger_walk(2));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"cost_auditor\",\n");
+  std::fprintf(f, "  \"trace_compiled\": %s,\n",
+               vs::obs::kTraceCompiled ? "true" : "false");
+  std::fprintf(f, "  \"slack\": 2.0,\n");
+  std::fprintf(f, "  \"e1_move\": {\n");
+  std::fprintf(f, "    \"world\": \"243x243 base 3\",\n");
+  std::fprintf(f, "    \"steps\": %lld,\n",
+               static_cast<long long>(e1.move.steps));
+  std::fprintf(f, "    \"distance\": %lld,\n",
+               static_cast<long long>(e1.move.distance));
+  std::fprintf(f, "    \"work\": %lld,\n",
+               static_cast<long long>(e1.move.work));
+  std::fprintf(f, "    \"work_bound_per_step\": %.3f,\n",
+               e1.move.work_bound_per_step);
+  std::fprintf(f, "    \"work_ratio\": %.4f,\n", e1.move.work_ratio);
+  std::fprintf(f, "    \"time_bound_per_step_us\": %.3f,\n",
+               e1.move.time_bound_per_step_us);
+  std::fprintf(f, "    \"time_ratio\": %.4f,\n", e1.move.time_ratio);
+  std::fprintf(f, "    \"attributed_fraction\": %.4f,\n",
+               e1.attributed_fraction());
+  std::fprintf(f, "    \"within_slack\": %s\n",
+               e1.ok() ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"e3_finds\": [\n");
+  for (std::size_t i = 0; i < finds.size(); ++i) {
+    const vs::obs::FindAudit& fd = finds[i];
+    std::fprintf(f,
+                 "    {\"d\": %lld, \"work\": %lld, \"work_bound\": %.3f, "
+                 "\"work_ratio\": %.4f, \"latency_us\": %lld, "
+                 "\"time_bound_us\": %.3f, \"time_ratio\": %.4f}%s\n",
+                 static_cast<long long>(fd.distance),
+                 static_cast<long long>(fd.work), fd.work_bound,
+                 fd.work_ratio, static_cast<long long>(fd.latency_us),
+                 fd.time_bound_us, fd.time_ratio,
+                 i + 1 < finds.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"ledger_overhead\": {\n");
+  std::fprintf(f, "    \"walk\": \"81x81 base 3, 200 move+quiesce steps\",\n");
+  std::fprintf(f, "    \"detached_seconds\": %.6f,\n", off);
+  std::fprintf(f, "    \"disabled_seconds\": %.6f,\n", disabled);
+  std::fprintf(f, "    \"disabled_slowdown_vs_detached\": %.3f,\n",
+               disabled / off);
+  std::fprintf(f, "    \"enabled_seconds\": %.6f,\n", enabled);
+  std::fprintf(f, "    \"enabled_slowdown_vs_detached\": %.3f\n",
+               enabled / off);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json_only = false;
+  bool audit_only = false;
   std::string json_path = "BENCH_sched.json";
+  std::string audit_path;
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -486,11 +652,18 @@ int main(int argc, char** argv) {
       json_only = true;
     } else if (arg.rfind("--sched-json=", 0) == 0) {
       json_path = arg.substr(13);
+    } else if (arg == "--audit-json-only") {
+      audit_only = true;
+      if (audit_path.empty()) audit_path = "BENCH_audit.json";
+    } else if (arg == "--audit-json") {
+      audit_path = "BENCH_audit.json";
+    } else if (arg.rfind("--audit-json=", 0) == 0) {
+      audit_path = arg.substr(13);
     } else {
       bench_args.push_back(argv[i]);
     }
   }
-  if (!json_only) {
+  if (!json_only && !audit_only) {
     int bench_argc = static_cast<int>(bench_args.size());
     benchmark::Initialize(&bench_argc, bench_args.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,
@@ -500,5 +673,8 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
-  return write_sched_json(json_path) ? 0 : 1;
+  bool ok = true;
+  if (!audit_only) ok = write_sched_json(json_path) && ok;
+  if (!audit_path.empty()) ok = write_audit_json(audit_path) && ok;
+  return ok ? 0 : 1;
 }

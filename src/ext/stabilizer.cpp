@@ -42,6 +42,28 @@ void Stabilizer::on_tick() {
   if (running_) timer_.arm_after(period_);
 }
 
+obs::OpId Stabilizer::tick_hb_op() const {
+  return obs::kTraceCompiled
+             ? obs::make_op(obs::OpClass::kHeartbeat,
+                            static_cast<std::uint64_t>(ticks_))
+             : obs::kBackgroundOp;
+}
+
+obs::OpId Stabilizer::tick_repair_op() const {
+  return obs::kTraceCompiled
+             ? obs::make_op(obs::OpClass::kRepair,
+                            static_cast<std::uint64_t>(ticks_))
+             : obs::kBackgroundOp;
+}
+
+obs::OpId Stabilizer::repair_op_from(obs::OpId source) const {
+  if (!obs::kTraceCompiled) return obs::kBackgroundOp;
+  if (obs::op_class(source) == obs::OpClass::kHeartbeat) {
+    return obs::make_op(obs::OpClass::kRepair, obs::op_index(source));
+  }
+  return tick_repair_op();
+}
+
 bool Stabilizer::reattaching(ClusterId y) const {
   const TrackerSnapshot s = net_->tracker(y).state(target_);
   return !s.p.valid() &&
@@ -68,7 +90,8 @@ int Stabilizer::tick_once() {
   // The first round only primes the query flags — before any query was
   // ever issued, silence carries no information.
   if (primed_) {
-    const int grows = net_->clients().refresh_detection(target_);
+    const int grows =
+        net_->clients().refresh_detection(target_, tick_repair_op());
     repairs_ += grows;
     sync += grows;
   }
@@ -90,7 +113,7 @@ int Stabilizer::tick_once() {
     // below MAX whose timer a VSA reset wiped would otherwise sit forever.
     // Purely local: re-fire the expiry outputs.
     if (h.level(x) != h.max_level() && (s.c.valid() != s.p.valid())) {
-      tracker.nudge_timer(target_);
+      tracker.nudge_timer(target_, tick_repair_op());
       ++repairs_;
       ++sync;
       anchor_miss_[idx] = 0;
@@ -110,6 +133,7 @@ int Stabilizer::tick_once() {
           m.type = MsgType::kShrink;
           m.from_cluster = s.c;
           m.target = target_;
+          m.op = tick_repair_op();
           tracker.on_message(m);
           ++repairs_;
           ++sync;
@@ -128,16 +152,17 @@ int Stabilizer::tick_once() {
 void Stabilizer::probe_cluster(ClusterId x) {
   const auto& h = net_->hierarchy();
   const TrackerSnapshot s = net_->tracker(x).state(target_);
+  const obs::OpId hb = tick_hb_op();
 
   // Anchor origination: every pointer-state root pulses its subtree. A
   // pulse cannot loop: forwarding requires receipt from one's own p, so a
   // circulating pulse would need the c-cycle's reversed p-cycle — which
   // has no root to originate from and no entry point from outside.
   if (!s.p.valid() && s.c.valid() && s.c != x) {
-    send_probe(x, s.c, HbClaim::kAnchor, /*track=*/false);
+    send_probe(x, s.c, HbClaim::kAnchor, /*track=*/false, hb);
   }
   if (s.c.valid() && s.c != x) {
-    send_probe(x, s.c, HbClaim::kChild, /*track=*/true);
+    send_probe(x, s.c, HbClaim::kChild, /*track=*/true, hb);
   }
   if (h.level(x) == 0 && s.c == x) {
     // Detection-marker presence query, broadcast to the region's clients.
@@ -146,43 +171,45 @@ void Stabilizer::probe_cluster(ClusterId x) {
     q.hb_claim = HbClaim::kClientQuery;
     q.from_cluster = x;
     q.target = target_;
+    q.op = hb;
     net_->cgcast().broadcast_to_clients(x, q);
     ++probes_sent_;
   }
   if (s.p.valid()) {
-    send_probe(x, s.p, HbClaim::kParent, /*track=*/true);
+    send_probe(x, s.p, HbClaim::kParent, /*track=*/true, hb);
     const bool vertical = vertically_attached(x, s);
     const bool lateral = h.are_cluster_neighbors(x, s.p);
     if (vertical || lateral) {
       const HbClaim claim =
           vertical ? HbClaim::kAdvertUp : HbClaim::kAdvertDown;
       for (const ClusterId nb : h.nbrs(x)) {
-        send_probe(x, nb, claim, /*track=*/true);
+        send_probe(x, nb, claim, /*track=*/true, hb);
       }
     }
   }
   if (s.nbrptup.valid()) {
-    send_probe(x, s.nbrptup, HbClaim::kSecondaryUp, /*track=*/false);
+    send_probe(x, s.nbrptup, HbClaim::kSecondaryUp, /*track=*/false, hb);
   }
   if (s.nbrptdown.valid()) {
-    send_probe(x, s.nbrptdown, HbClaim::kSecondaryDown, /*track=*/false);
+    send_probe(x, s.nbrptdown, HbClaim::kSecondaryDown, /*track=*/false, hb);
   }
 }
 
 void Stabilizer::send_probe(ClusterId from, ClusterId to, HbClaim claim,
-                            bool track) {
+                            bool track, obs::OpId op) {
   Message m;
   m.type = MsgType::kHeartbeat;
   m.hb_claim = claim;
   m.from_cluster = from;
   m.target = target_;
+  m.op = op;
   net_->cgcast().send(from, to, m);
   ++probes_sent_;
   if (track) pending_.push_back(PendingProbe{from, to, claim, 0});
 }
 
 void Stabilizer::send_ack(ClusterId from, ClusterId to, HbClaim claim,
-                          bool ok, ClusterId pointer) {
+                          bool ok, ClusterId pointer, obs::OpId op) {
   Message m;
   m.type = MsgType::kHeartbeatAck;
   m.hb_claim = claim;
@@ -190,14 +217,17 @@ void Stabilizer::send_ack(ClusterId from, ClusterId to, HbClaim claim,
   m.from_cluster = from;
   m.ack_pointer = pointer;
   m.target = target_;
+  m.op = op;
   net_->cgcast().send(from, to, m);
 }
 
-void Stabilizer::send_repair(ClusterId from, ClusterId to, MsgType type) {
+void Stabilizer::send_repair(ClusterId from, ClusterId to, MsgType type,
+                             obs::OpId op) {
   Message m;
   m.type = type;
   m.from_cluster = from;
   m.target = target_;
+  m.op = op;
   net_->cgcast().send(from, to, m);
   ++repairs_;
 }
@@ -215,39 +245,44 @@ void Stabilizer::on_probe(ClusterId y, const Message& m) {
   const auto& h = net_->hierarchy();
   const ClusterId s = m.from_cluster;  // the prober
   const TrackerSnapshot sy = net_->tracker(y).state(target_);
+  // Acks and anchor forwards stay in the probing round's heartbeat op;
+  // repairs the probe uncovers move to the round's repair op.
+  const obs::OpId hb = m.op;
+  const obs::OpId rep = repair_op_from(m.op);
   switch (m.hb_claim) {
     case HbClaim::kChild: {
       // s claims its c is y. On a mismatch y cannot attribute to its own
       // in-progress re-attachment, the failed heartbeat manifests as the
       // shrink s's stale child link implies.
       const bool ok = sy.p == s;
-      send_ack(y, s, HbClaim::kChild, ok, sy.p);
-      if (!ok && !reattaching(y)) send_repair(y, s, MsgType::kShrink);
+      send_ack(y, s, HbClaim::kChild, ok, sy.p, hb);
+      if (!ok && !reattaching(y)) send_repair(y, s, MsgType::kShrink, rep);
       break;
     }
     case HbClaim::kParent:
       // s claims its p is y; the ack carries y's own p so s can judge
       // y's verticality (Lemma 4.3 repair) without reading y's state.
-      send_ack(y, s, HbClaim::kParent, sy.c == s, sy.p);
+      send_ack(y, s, HbClaim::kParent, sy.c == s, sy.p, hb);
       break;
     case HbClaim::kAdvertUp:
-      send_ack(y, s, HbClaim::kAdvertUp, sy.nbrptup == s, sy.nbrptup);
+      send_ack(y, s, HbClaim::kAdvertUp, sy.nbrptup == s, sy.nbrptup, hb);
       break;
     case HbClaim::kAdvertDown:
-      send_ack(y, s, HbClaim::kAdvertDown, sy.nbrptdown == s, sy.nbrptdown);
+      send_ack(y, s, HbClaim::kAdvertDown, sy.nbrptdown == s, sy.nbrptdown,
+               hb);
       break;
     case HbClaim::kSecondaryUp: {
       // s holds y in nbrptup, valid only while y is vertically attached;
       // a stale claim is answered with the shrinkUpd y never sent.
       if (!vertically_attached(y, sy)) {
-        send_repair(y, s, MsgType::kShrinkUpd);
+        send_repair(y, s, MsgType::kShrinkUpd, rep);
       }
       break;
     }
     case HbClaim::kSecondaryDown: {
       const bool lateral =
           sy.p.valid() && h.are_cluster_neighbors(y, sy.p);
-      if (!lateral) send_repair(y, s, MsgType::kShrinkUpd);
+      if (!lateral) send_repair(y, s, MsgType::kShrinkUpd, rep);
       break;
     }
     case HbClaim::kAnchor:
@@ -255,7 +290,7 @@ void Stabilizer::on_probe(ClusterId y, const Message& m) {
       if (sy.p == s) {
         anchor_miss_[static_cast<std::size_t>(y.value())] = 0;
         if (sy.c.valid() && sy.c != y) {
-          send_probe(y, sy.c, HbClaim::kAnchor, /*track=*/false);
+          send_probe(y, sy.c, HbClaim::kAnchor, /*track=*/false, hb);
         }
       }
       break;
@@ -271,6 +306,7 @@ void Stabilizer::on_ack(ClusterId x, const Message& m) {
   std::erase_if(pending_, [&](const PendingProbe& p) {
     return p.from == x && p.to == y && p.claim == m.hb_claim;
   });
+  const obs::OpId rep = repair_op_from(m.op);
   const TrackerSnapshot sx = net_->tracker(x).state(target_);
   switch (m.hb_claim) {
     case HbClaim::kChild:
@@ -289,7 +325,7 @@ void Stabilizer::on_ack(ClusterId x, const Message& m) {
       if (lateral && !y_vertical && m.hb_ok) {
         // Chained lateral link (Lemma 4.3 broken): the confirmed target
         // is itself laterally hung. Unravel from below — it drops x.
-        send_repair(x, y, MsgType::kShrink);
+        send_repair(x, y, MsgType::kShrink, rep);
       } else if (!m.hb_ok) {
         // Broken parent link: y lost its matching child pointer.
         // Re-attach only with an intact downward link (the detection
@@ -301,7 +337,7 @@ void Stabilizer::on_ack(ClusterId x, const Message& m) {
             (sx.c.valid() && sx.c != x &&
              downward_ok_[static_cast<std::size_t>(x.value())] == 1);
         if (downward_intact && !net_->tracker(x).timer_armed(target_)) {
-          send_repair(x, y, MsgType::kGrow);
+          send_repair(x, y, MsgType::kGrow, rep);
         }
       }
       break;
@@ -310,13 +346,13 @@ void Stabilizer::on_ack(ClusterId x, const Message& m) {
       // A restarted neighbour forgot the advertisement — re-send it, if
       // the claim is still current.
       if (!m.hb_ok && vertically_attached(x, sx)) {
-        send_repair(x, y, MsgType::kGrowPar);
+        send_repair(x, y, MsgType::kGrowPar, rep);
       }
       break;
     case HbClaim::kAdvertDown:
       if (!m.hb_ok && sx.p.valid() &&
           h.are_cluster_neighbors(x, sx.p)) {
-        send_repair(x, y, MsgType::kGrowNbr);
+        send_repair(x, y, MsgType::kGrowNbr, rep);
       }
       break;
     default:
@@ -343,6 +379,7 @@ void Stabilizer::on_retry() {
     m.hb_claim = p.claim;
     m.from_cluster = p.from;
     m.target = target_;
+    m.op = tick_hb_op();  // retries stay in the round that issued them
     net_->cgcast().send(p.from, p.to, m);
     ++probes_sent_;
     again.push_back(PendingProbe{p.from, p.to, p.claim, p.attempts + 1});

@@ -106,11 +106,21 @@ class Stabilizer {
   void on_probe(ClusterId dest, const vsa::Message& m);
   void on_ack(ClusterId dest, const vsa::Message& m);
   void probe_cluster(ClusterId x);
+  /// Cost attribution: probe/ack traffic is charged to the heartbeat op of
+  /// the probing tick (acks/forwards inherit the probe's op); repairs are
+  /// charged to the matching repair op — same tick index, kRepair class —
+  /// so a round's probing and the damage it uncovers stay distinguishable.
   void send_probe(ClusterId from, ClusterId to, vsa::HbClaim claim,
-                  bool track);
+                  bool track, obs::OpId op);
   void send_ack(ClusterId from, ClusterId to, vsa::HbClaim claim, bool ok,
-                ClusterId pointer);
-  void send_repair(ClusterId from, ClusterId to, vsa::MsgType type);
+                ClusterId pointer, obs::OpId op);
+  void send_repair(ClusterId from, ClusterId to, vsa::MsgType type,
+                   obs::OpId op);
+  /// Heartbeat op of the current tick / repair op derived from a received
+  /// probe-or-ack's op (falling back to the current tick's repair op).
+  [[nodiscard]] obs::OpId tick_hb_op() const;
+  [[nodiscard]] obs::OpId tick_repair_op() const;
+  [[nodiscard]] obs::OpId repair_op_from(obs::OpId source) const;
   void on_retry();
   void arm_retry();
   /// Local predicate: is `y` a reset process mid-re-attachment (subtree or

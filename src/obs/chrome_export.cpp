@@ -6,6 +6,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/op.hpp"
 #include "stats/counters.hpp"
 
 namespace vs::obs {
@@ -41,8 +42,17 @@ void emit_slice(std::ostream& os, bool& first, std::uint32_t pid,
      << "\"seq\":" << e.seq << ",\"cause\":" << e.cause
      << ",\"target\":" << e.target << ",\"find\":" << e.find
      << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"arg\":" << e.arg
-     << ",\"extra\":" << e.extra << "}}";
+     << ",\"extra\":" << e.extra << ",\"op\":\"" << op_name(OpId{e.op})
+     << "\"}}";
   first = false;
+}
+
+// C-gcast cost records (the same three kinds the OpLedger charges): a kSend
+// carries its hop count in arg; client hops and broadcasts cost 1.
+bool is_cost_event(const TraceEvent& e) {
+  const auto k = static_cast<TraceKind>(e.kind);
+  return k == TraceKind::kSend || k == TraceKind::kClientSend ||
+         k == TraceKind::kBroadcast;
 }
 
 }  // namespace
@@ -72,9 +82,25 @@ ChromeExportStats write_chrome_trace(std::ostream& os,
     for (const TraceEvent& e : w.events) {
       if (e.seq != 0) context_start.try_emplace(e.seq, &e);
     }
+    // Cumulative per-level cost counters ("C" events): Perfetto renders one
+    // counter track per (pid, name), so each level gets a "L<l> cost" track
+    // with msgs + hop-work series. Same level convention as the OpLedger:
+    // client/broadcast hops (level < 0) charge to level 0.
+    std::map<int, std::pair<std::int64_t, std::int64_t>> level_cost;
     for (const TraceEvent& e : w.events) {
       emit_slice(os, first, w.world, e);
       ++stats.slices;
+      if (is_cost_event(e)) {
+        const int level = e.level < 0 ? 0 : e.level;
+        auto& [msgs, work] = level_cost[level];
+        ++msgs;
+        work += e.arg;
+        os << ",\n  {\"ph\":\"C\",\"pid\":" << w.world << ",\"ts\":"
+           << e.time_us << ",\"name\":\"L" << level
+           << " cost\",\"args\":{\"msgs\":" << msgs << ",\"work\":" << work
+           << "}}";
+        ++stats.counters;
+      }
       if (e.cause == 0 || e.cause == e.seq) continue;
       const auto it = context_start.find(e.cause);
       if (it == context_start.end() || it->second == &e) continue;

@@ -10,7 +10,11 @@
 //    records (find issue/found, client traffic), named "L<l>" / "finds";
 //  * every record becomes a 1 µs "X" (complete) slice at its virtual time,
 //    named by TraceKind (sends additionally by stats::MsgKind, e.g.
-//    "send:grow"), with seq/cause/target/find/a/b/arg in args;
+//    "send:grow"), with seq/cause/target/find/a/b/arg and the owning
+//    logical operation ("op", e.g. "move#3") in args;
+//  * C-gcast cost records additionally feed per-level counter tracks
+//    ("L<l> cost", one per world): cumulative message count and hop-work,
+//    rendered by Perfetto as stacked counter series;
 //  * the scheduler's causal seq→cause links become flow events: each
 //    record whose cause resolves to an earlier record of the same world
 //    gets an "s"/"f" flow pair, so Perfetto draws the grow/shrink/find
@@ -27,8 +31,9 @@ namespace vs::obs {
 
 /// Statistics of one export (test hooks and tool chatter).
 struct ChromeExportStats {
-  std::size_t slices = 0;  // one per TraceEvent
-  std::size_t flows = 0;   // s/f pairs emitted
+  std::size_t slices = 0;    // one per TraceEvent
+  std::size_t flows = 0;     // s/f pairs emitted
+  std::size_t counters = 0;  // per-level cost counter samples
 };
 
 ChromeExportStats write_chrome_trace(std::ostream& os,

@@ -1,0 +1,155 @@
+#pragma once
+// BoundAuditor — judges a cost ledger against the paper's theorem bounds.
+//
+// The OpLedger says what each operation cost; the auditor says whether
+// that cost is *allowed*. Two judgements, matching the two cost theorems:
+//
+//  * Theorem 4.9 (moves) is amortised, so the auditor sums every positive-
+//    distance move op — work charged, busy time (first→last charge) — and
+//    compares the totals against slack × Σdistance × the per-step bound
+//    sums evaluated for the actual hierarchy and the *canonical* timer
+//    policy. Placements (distance 0) are attributed but excluded from
+//    both sides. A run driven with inflated timers still satisfies
+//    inequality (1), so the protocol behaves — but its per-step time
+//    blows past what the paper promises, which is exactly the regression
+//    the auditor exists to catch.
+//  * Theorem 5.2 (finds) is per-operation: each completed find's work
+//    (search + trace phase ops) and latency are compared against
+//    slack × the bound evaluated at its measured issue-time distance d.
+//    The work side includes the same O(1) delivery allowance the bound
+//    tests use (injection hop + found broadcast to the ω(0) ring), which
+//    the theorem's sum omits.
+//
+// Violations carry stable predicate names — "theorem-4.9-move-work",
+// "theorem-4.9-move-time", "theorem-5.2-find-work",
+// "theorem-5.2-find-time" — so watchdog incidents deduplicate and replay
+// verification can match them.
+//
+// attribute_trace() rebuilds the same ledger offline from a recorded
+// trace: cost events (send/clientSend/broadcast) are charged to their
+// stamped op; events the stamp can't reach are resolved through the
+// scheduler's cause DAG (cause → op of the event that scheduled it);
+// what remains is background. On a live-traced run the rebuilt ledger is
+// byte-identical to the live one — the conservation property
+// tests/test_audit.cpp pins.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hier/hierarchy.hpp"
+#include "obs/ledger/ledger.hpp"
+#include "obs/trace_io.hpp"
+#include "sim/time.hpp"
+#include "tracking/config.hpp"
+
+namespace vs::obs {
+
+struct AuditConfig {
+  /// Allowed measured/bound factor before a violation is raised. The
+  /// bounds are worst-case sums, so healthy runs sit well below 1.0;
+  /// slack absorbs the constant factors the O(·) hides.
+  double slack = 2.0;
+  /// Latency constant δ+e of the judged run.
+  sim::Duration delta_plus_e = sim::Duration::zero();
+  /// Canonical timer policy the time bounds are evaluated with — the
+  /// paper-default policy (κ = 1), *not* the possibly-scaled policy the
+  /// run used.
+  tracking::TimerPolicy timers;
+};
+
+struct AuditViolation {
+  std::string predicate;  // stable name, see header comment
+  std::string detail;     // human-readable measured-vs-bound sentence
+  std::int64_t index = -1;  // find index; -1 for the amortised move sums
+  double measured = 0.0;
+  double bound = 0.0;  // the slack-free theorem value
+  double ratio = 0.0;  // measured / bound
+};
+
+/// Amortised Theorem 4.9 account over every positive-distance move op.
+struct MoveAudit {
+  std::int64_t steps = 0;     // move ops with distance > 0
+  std::int64_t distance = 0;  // Σ walk distance
+  std::int64_t msgs = 0;
+  std::int64_t work = 0;     // Σ hop-work charged to those ops
+  std::int64_t busy_us = 0;  // Σ (last − first charge instant)
+  double work_bound_per_step = 0.0;
+  double time_bound_per_step_us = 0.0;
+  double work_ratio = 0.0;  // (work/distance) / work_bound_per_step
+  double time_ratio = 0.0;  // (busy_us/distance) / time_bound_per_step_us
+};
+
+/// Per-find Theorem 5.2 account (search + trace phases combined).
+struct FindAudit {
+  std::uint32_t find = 0;
+  std::int64_t distance = -1;
+  std::int64_t msgs = 0;
+  std::int64_t work = 0;
+  std::int64_t latency_us = -1;  // -1: never completed (not judged)
+  double work_bound = 0.0;
+  double time_bound_us = 0.0;
+  double work_ratio = 0.0;
+  double time_ratio = 0.0;
+};
+
+struct AuditReport {
+  MoveAudit move;
+  std::vector<FindAudit> finds;
+  std::vector<AuditViolation> violations;
+  // Attribution/conservation summary over the whole ledger.
+  std::int64_t total_msgs = 0;
+  std::int64_t total_work = 0;
+  std::int64_t background_msgs = 0;
+  std::int64_t background_work = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  /// Fraction of messages charged to a real operation (1.0 = everything
+  /// attributed; background only).
+  [[nodiscard]] double attributed_fraction() const {
+    return total_msgs == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(background_msgs) /
+                           static_cast<double>(total_msgs);
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+class BoundAuditor {
+ public:
+  BoundAuditor(const hier::ClusterHierarchy& hierarchy, AuditConfig config);
+
+  /// Evaluates the ledger. Deterministic: same ledger, same report.
+  [[nodiscard]] AuditReport audit(const OpLedger& ledger) const;
+
+  [[nodiscard]] const AuditConfig& config() const { return cfg_; }
+
+ private:
+  const hier::ClusterHierarchy* hier_;
+  AuditConfig cfg_;
+  double move_work_per_step_;
+  double move_time_per_step_us_;
+  double find_delivery_;  // O(1) work term the theorem sum omits
+};
+
+/// Offline reconstruction of a ledger from one world's trace (see header
+/// comment). Resolution tallies let the audit command report how much of
+/// the trace the stamp reached directly vs. via the cause DAG.
+struct TraceAttribution {
+  OpLedger ledger;
+  std::int64_t cost_events = 0;  // send/clientSend/broadcast records
+  std::int64_t direct = 0;       // op field stamped on the event
+  std::int64_t via_cause = 0;    // recovered through the cause DAG
+  std::int64_t background = 0;   // neither — charged to background
+};
+
+[[nodiscard]] TraceAttribution attribute_trace(const WorldTrace& world);
+
+/// Renders the offline audit (attribution table, conservation check,
+/// per-class and worst-offender tables, measured/bound ratios) as the
+/// `vinestalk_trace audit` command prints it.
+void print_audit(std::ostream& os, const TraceAttribution& attribution,
+                 const AuditReport& report);
+
+}  // namespace vs::obs

@@ -53,6 +53,23 @@ std::string get_str(std::istream& is) {
   return s;
 }
 
+/// Ring record layout of bundle versions 1–2 (pre-OpId TraceEvent).
+struct LegacyEvent56 {
+  std::int64_t time_us;
+  std::uint64_t seq;
+  std::uint64_t cause;
+  std::int64_t find;
+  std::int32_t a;
+  std::int32_t b;
+  std::int32_t target;
+  std::int32_t arg;
+  std::int16_t level;
+  std::uint8_t kind;
+  std::uint8_t msg;
+  std::int32_t extra;
+};
+static_assert(sizeof(LegacyEvent56) == 56);
+
 }  // namespace
 
 const char* to_string(WatchMode mode) {
@@ -100,6 +117,9 @@ void write_incident(std::ostream& os, const IncidentBundle& b) {
   put<std::int64_t>(os, s.settle_us);
   put<std::int64_t>(os, s.heartbeat_period_us);
   put<std::int64_t>(os, s.t_restart_us);
+  put<double>(os, s.timer_scale);
+  put<std::uint8_t>(os, b.audit ? 1 : 0);
+  put<double>(os, b.audit_slack);
   put_str(os, b.config_json);
   put_str(os, b.metrics_json);
   put<std::uint64_t>(os, static_cast<std::uint64_t>(b.ring.size()));
@@ -165,15 +185,43 @@ IncidentBundle read_incident(std::istream& is) {
     s.heartbeat_period_us = get<std::int64_t>(is);
     s.t_restart_us = get<std::int64_t>(is);
   }
+  if (version >= 3) {
+    s.timer_scale = get<double>(is);
+    b.audit = get<std::uint8_t>(is) != 0;
+    b.audit_slack = get<double>(is);
+  }
   b.config_json = get_str(is);
   b.metrics_json = get_str(is);
   const auto nring = get<std::uint64_t>(is);
   VS_REQUIRE(nring <= kMaxRing,
              "corrupt incident stream: implausible ring size " << nring);
   b.ring.resize(nring);
-  const auto ring_bytes =
-      static_cast<std::streamsize>(nring * sizeof(TraceEvent));
-  is.read(reinterpret_cast<char*>(b.ring.data()), ring_bytes);
+  const std::size_t record_size =
+      version >= 3 ? sizeof(TraceEvent) : sizeof(LegacyEvent56);
+  const auto ring_bytes = static_cast<std::streamsize>(nring * record_size);
+  if (version >= 3) {
+    is.read(reinterpret_cast<char*>(b.ring.data()), ring_bytes);
+  } else {
+    std::vector<LegacyEvent56> legacy(nring);
+    is.read(reinterpret_cast<char*>(legacy.data()), ring_bytes);
+    for (std::size_t i = 0; i < nring; ++i) {
+      const LegacyEvent56& l = legacy[i];
+      b.ring[i] = TraceEvent{.time_us = l.time_us,
+                             .seq = l.seq,
+                             .cause = l.cause,
+                             .find = l.find,
+                             .a = l.a,
+                             .b = l.b,
+                             .target = l.target,
+                             .arg = l.arg,
+                             .level = l.level,
+                             .kind = l.kind,
+                             .msg = l.msg,
+                             .extra = l.extra,
+                             .op = 0,
+                             .pad0 = 0};
+    }
+  }
   VS_REQUIRE(is.gcount() == ring_bytes,
              "truncated incident stream: ring declares "
                  << nring << " events but the file ends early");
@@ -231,6 +279,12 @@ void print_incident(std::ostream& os, const IncidentBundle& b,
        << "us";
     if (s.t_restart_us > 0) os << ", t_restart " << s.t_restart_us << "us";
     os << "\n";
+  }
+  if (s.timer_scale != 1.0) {
+    os << "    timer scale: " << s.timer_scale << "x paper-default\n";
+  }
+  if (b.audit) {
+    os << "    auditor: on (slack " << b.audit_slack << "x)\n";
   }
   if (!s.fault_plan.empty()) {
     os << "    fault plan:\n";

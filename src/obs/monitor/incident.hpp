@@ -27,9 +27,13 @@
 //   v2 scenario: str fault_plan, i64 step_every_us, i64 settle_us,
 //                i64 heartbeat_period_us, i64 t_restart_us (readers accept
 //                v1 files, where these default to empty/zero)
+//   v3 fields:   f64 timer_scale, u8 audit, f64 audit_slack (readers
+//                accept v1/v2 files, defaulting to 1.0 / off / 2.0)
 //   str          config_json
 //   str          metrics_json
-//   ring:        u64 event count + count × obs::TraceEvent (raw 56 bytes)
+//   ring:        u64 event count + count × obs::TraceEvent (raw 64 bytes;
+//                v1/v2 rings hold the legacy 56-byte records and are
+//                widened with op = 0 on read)
 //   trailer:     bytes "VSINCEND"
 //
 // Everything in a bundle derives from virtual time and world-local state,
@@ -45,7 +49,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kIncidentFormatVersion = 2;
+inline constexpr std::uint32_t kIncidentFormatVersion = 3;
 
 /// How the watchdog samples the invariants (see watchdog.hpp for the cost
 /// model of each mode).
@@ -110,6 +114,12 @@ struct ScenarioSpec {
   /// VSA restart time override (model_vsa_failures worlds); 0 = the
   /// NetworkConfig default.
   std::int64_t t_restart_us = 0;
+  /// Uniform timer-policy scale κ: the run armed κ × the paper-default
+  /// grow/shrink timers (κ ≥ 1 keeps inequality (1) valid, so the
+  /// structure stays correct — only slower). The bound auditor judges
+  /// against the *canonical* κ = 1 policy, so κ > 1 is the seeded way to
+  /// produce a replayable over-bound incident.
+  double timer_scale = 1.0;
   /// Cleared by capturing drivers when the session leaves the canonical
   /// shape; replay refuses (with a diagnostic) rather than diverging.
   bool replayable_flag = true;
@@ -127,6 +137,11 @@ struct IncidentBundle {
   WatchMode mode = WatchMode::kCadence;
   std::int64_t cadence_us = 0;
   std::uint64_t ring_capacity = 0;
+  /// Whether the capturing watchdog ran the theorem-bound auditor, and at
+  /// what slack factor — replay restores both so audit incidents (e.g.
+  /// "theorem-4.9-move-time") reproduce.
+  bool audit = false;
+  double audit_slack = 2.0;
   ScenarioSpec scenario;
   std::string config_json;   // world configuration at detection
   std::string metrics_json;  // MetricsRegistry::to_json snapshot

@@ -1,5 +1,6 @@
 #include "obs/monitor/watchdog.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -115,12 +116,30 @@ Watchdog::Watchdog(tracking::TrackingNetwork& net, TargetId target,
     atomic_so_far_ = false;  // attached mid-flight: unknown move history
     monitor_->set_live_checks(false);
   }
+  // Live bound auditing: own a ledger, hand it to the network, judge it
+  // at quiescent full checks. The auditor always judges against the
+  // *canonical* paper-default timer policy — a run driven with scaled
+  // timers (ScenarioSpec::timer_scale) still obeys inequality (1), but
+  // its cost must answer to what the paper promises.
+  if (cfg_.audit && kTraceCompiled) {
+    ledger_.set_enabled(true);
+    auditor_ = std::make_unique<BoundAuditor>(
+        net.hierarchy(),
+        AuditConfig{
+            .slack = cfg_.audit_slack,
+            .delta_plus_e = net.config().cgcast.delta + net.config().cgcast.e,
+            .timers = tracking::TimerPolicy::paper_default(net.hierarchy(),
+                                                           net.config().cgcast),
+        });
+    net.set_op_ledger(&ledger_);
+  }
   next_due_ = net.now() + cfg_.cadence;
   net.scheduler().set_post_step_hook(&Watchdog::post_step_thunk, this);
 }
 
 Watchdog::~Watchdog() {
   if (net_ == nullptr) return;
+  if (auditor_ != nullptr) net_->set_op_ledger(nullptr);
   net_->scheduler().set_post_step_hook(nullptr, nullptr);
   net_->set_move_observer({});
   if (cfg_.mode == WatchMode::kEveryChange) net_->set_state_change_hook({});
@@ -240,6 +259,7 @@ void Watchdog::full_check() {
       recovery_deadline_ = sim::TimePoint::never();  // evaluated once
     }
   }
+  if (quiescent && auditor_ != nullptr) audit_check();
   if (atomic_so_far_ && shadow_live_ && quiescent) {
     try {
       const spec::IdealState ideal =
@@ -257,6 +277,26 @@ void Watchdog::full_check() {
     }
   }
   in_check_ = false;
+}
+
+AuditReport Watchdog::audit_now() const {
+  VS_REQUIRE(auditor_ != nullptr,
+             "audit_now requires a watchdog with cfg.audit (and tracing "
+             "compiled in)");
+  return auditor_->audit(ledger_);
+}
+
+void Watchdog::audit_check() {
+  const AuditReport report = auditor_->audit(ledger_);
+  for (const AuditViolation& v : report.violations) {
+    const std::string key = v.predicate + "#" + std::to_string(v.index);
+    if (std::find(audit_reported_.begin(), audit_reported_.end(), key) !=
+        audit_reported_.end()) {
+      continue;  // already raised for this operation
+    }
+    audit_reported_.push_back(key);
+    on_violation(v.predicate, v.detail, -1, -1);
+  }
 }
 
 void Watchdog::on_violation(std::string predicate, std::string detail,
@@ -277,6 +317,8 @@ void Watchdog::on_violation(std::string predicate, std::string detail,
   b.mode = cfg_.mode;
   b.cadence_us = cfg_.cadence.count();
   b.ring_capacity = cfg_.ring_capacity;
+  b.audit = cfg_.audit;
+  b.audit_slack = cfg_.audit_slack;
   b.scenario = scenario_;
   b.config_json = describe_config(*net_);
   std::ostringstream metrics;

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "obs/ledger/auditor.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/monitor/incident.hpp"
 #include "sim/time.hpp"
 #include "spec/atomic_spec.hpp"
@@ -62,6 +64,14 @@ struct WatchdogConfig {
   std::size_t max_incidents = 4;
   /// Recorded into bundles as the `source` field.
   std::string source = "watchdog";
+  /// Live theorem-bound auditing: attach an OpLedger to the network and,
+  /// at every quiescent full check, judge completed operations against
+  /// the Theorem 4.9 / 5.2 bounds (BoundAuditor). An over-bound operation
+  /// raises a standard incident under its theorem predicate. No-op when
+  /// tracing is compiled out (the ledger never enables).
+  bool audit = false;
+  /// Allowed measured/bound factor before an audit violation fires.
+  double audit_slack = 2.0;
 };
 
 class Watchdog {
@@ -142,12 +152,20 @@ class Watchdog {
     return *monitor_;
   }
 
+  /// The live cost ledger (cfg.audit only; empty otherwise).
+  [[nodiscard]] const OpLedger& ledger() const { return ledger_; }
+  /// True when cfg.audit was honoured (tracing compiled in).
+  [[nodiscard]] bool auditing() const { return auditor_ != nullptr; }
+  /// Evaluates the live ledger now (requires auditing()).
+  [[nodiscard]] AuditReport audit_now() const;
+
  private:
   static void post_step_thunk(void* ctx) {
     static_cast<Watchdog*>(ctx)->post_step();
   }
   void post_step();
   void full_check();
+  void audit_check();
   void on_move(TargetId t, RegionId from, RegionId to,
                bool quiescent_at_issue);
   void on_violation(std::string predicate, std::string detail,
@@ -171,6 +189,12 @@ class Watchdog {
   std::int64_t checks_run_ = 0;
   std::vector<IncidentBundle> incidents_;
   IncidentSink sink_;
+  OpLedger ledger_;  // attached to the network while auditing
+  std::unique_ptr<BoundAuditor> auditor_;
+  /// Audit violations already reported ("predicate#index"), so a
+  /// persistent over-bound operation raises one violation, not one per
+  /// quiescent check.
+  std::vector<std::string> audit_reported_;
 };
 
 /// Parses a --monitor flag value: "every" → kEveryChange, a positive

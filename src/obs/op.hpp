@@ -1,0 +1,86 @@
+#pragma once
+// Logical-operation identity — the key of the per-operation cost ledger.
+//
+// Every message and traced event is charged to exactly one *operation*:
+// a move step (the grow/shrink cascade one evader relocation triggers), a
+// find — split into its search phase (climb + neighbour queries) and its
+// trace phase (descending the tracking path to the target) — a heartbeat
+// round, a stabilizer repair, or the explicit background bucket (OpId 0).
+//
+// An OpId is a packed 32-bit value: the top 3 bits carry the OpClass and
+// the low 29 bits an index that is *structurally derivable* at every
+// process without coordination — move steps use the network's move
+// counter, find phases use the FindId value, heartbeat/repair ops use the
+// stabilizer's tick number. Derivability is what lets a Tracker switch a
+// find from search to trace purely locally, and what keeps ledgers
+// byte-identical across --jobs: no central allocator, no races.
+//
+// The id travels in vsa::Message (stamped by CGcast's ambient op or by the
+// sender) and in TraceEvent::op, so both the live ledger (send observers)
+// and the offline `vinestalk_trace audit` replay attribute the same costs
+// to the same operations.
+
+#include <cstdint>
+#include <string>
+
+namespace vs::obs {
+
+/// Packed operation id; 0 is the background bucket.
+using OpId = std::uint32_t;
+
+inline constexpr OpId kBackgroundOp = 0;
+
+enum class OpClass : std::uint32_t {
+  kBackground = 0,  // unattributed / infrastructure
+  kMove = 1,        // one evader move step's grow/shrink cascade
+  kFindSearch = 2,  // find f: climb + neighbour-query phase
+  kFindTrace = 3,   // find f: descend-the-path phase (incl. found fanout)
+  kHeartbeat = 4,   // one stabilizer probe round (probes + acks)
+  kRepair = 5,      // repair traffic a probe round triggered
+};
+
+inline constexpr std::uint32_t kOpClassBits = 3;
+inline constexpr std::uint32_t kOpIndexBits = 32 - kOpClassBits;
+inline constexpr std::uint32_t kOpIndexMask = (1u << kOpIndexBits) - 1;
+
+[[nodiscard]] constexpr OpId make_op(OpClass cls, std::uint64_t index) {
+  return (static_cast<std::uint32_t>(cls) << kOpIndexBits) |
+         (static_cast<std::uint32_t>(index) & kOpIndexMask);
+}
+
+[[nodiscard]] constexpr OpClass op_class(OpId op) {
+  return static_cast<OpClass>(op >> kOpIndexBits);
+}
+
+[[nodiscard]] constexpr std::uint32_t op_index(OpId op) {
+  return op & kOpIndexMask;
+}
+
+[[nodiscard]] constexpr const char* op_class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::kBackground: return "background";
+    case OpClass::kMove: return "move";
+    case OpClass::kFindSearch: return "find/search";
+    case OpClass::kFindTrace: return "find/trace";
+    case OpClass::kHeartbeat: return "hb";
+    case OpClass::kRepair: return "repair";
+  }
+  return "?";
+}
+
+/// Human name, e.g. "move#3", "find#2/search", "hb#5", "background".
+[[nodiscard]] inline std::string op_name(OpId op) {
+  if (op == kBackgroundOp) return "background";
+  const std::uint32_t i = op_index(op);
+  switch (op_class(op)) {
+    case OpClass::kMove: return "move#" + std::to_string(i);
+    case OpClass::kFindSearch: return "find#" + std::to_string(i) + "/search";
+    case OpClass::kFindTrace: return "find#" + std::to_string(i) + "/trace";
+    case OpClass::kHeartbeat: return "hb#" + std::to_string(i);
+    case OpClass::kRepair: return "repair#" + std::to_string(i);
+    case OpClass::kBackground: break;
+  }
+  return "background";
+}
+
+}  // namespace vs::obs

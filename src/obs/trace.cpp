@@ -14,6 +14,7 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::kFindTimeout: return "findTimeout";
     case TraceKind::kFindIssued: return "findIssued";
     case TraceKind::kFoundOutput: return "foundOutput";
+    case TraceKind::kMoveIssued: return "moveIssued";
   }
   return "?";
 }

@@ -3,7 +3,7 @@
 //
 // Producers append compact binary TraceEvent records to a per-world
 // TraceRecorder (append-only segment buffers; the amortised cost is one
-// 56-byte store per record, never a per-event allocation). Readers — the
+// 64-byte store per record, never a per-event allocation). Readers — the
 // vinestalk_trace tool and the obs::trace_query helpers — reconstruct
 // causal spans offline. The split follows varnish's trackrdrd shape:
 // recording is deliberately dumb and cheap, all interpretation happens
@@ -49,8 +49,10 @@ enum class TraceKind : std::uint8_t {
   kLost,         // channel-fault loss at send time: a/b as kSend
   kTimerFire,    // grow/shrink timer expiry: a=cluster, arg=0 none/1 grow/2 shrink
   kFindTimeout,  // nbrtimeout expiry for a find: a=cluster
-  kFindIssued,   // find injected: a=origin region
+  kFindIssued,   // find injected: a=origin region, arg=distance to evader
   kFoundOutput,  // believing client performed the found output: a=region
+  kMoveIssued,   // evader placed/moved: a=from region (-1 on placement),
+                 // b=to region, arg=walk distance (0 on placement)
 };
 
 [[nodiscard]] std::string_view to_string(TraceKind kind);
@@ -71,8 +73,10 @@ struct TraceEvent {
   std::uint8_t kind;      // TraceKind
   std::uint8_t msg;       // stats::MsgKind for message records, 0xff else
   std::int32_t extra;     // findAck pointer x, else 0
+  std::uint32_t op;       // obs::OpId this event is charged to (0 = background)
+  std::uint32_t pad0;     // explicit padding, always 0
 };
-static_assert(sizeof(TraceEvent) == 56, "no implicit padding allowed");
+static_assert(sizeof(TraceEvent) == 64, "no implicit padding allowed");
 static_assert(std::is_trivially_copyable_v<TraceEvent>);
 
 inline constexpr std::uint8_t kNoMsg = 0xff;
@@ -90,7 +94,7 @@ inline constexpr std::uint8_t kNoMsg = 0xff;
 ///    so monitoring runs at fixed memory on arbitrarily long executions.
 class TraceRecorder {
  public:
-  /// Events per segment: 8192 × 56 B = 448 KiB growth granule.
+  /// Events per segment: 8192 × 64 B = 512 KiB growth granule.
   static constexpr std::size_t kSegmentEvents = 8192;
 
   [[nodiscard]] bool enabled() const { return enabled_; }

@@ -14,6 +14,41 @@ namespace {
 constexpr char kMagic[8] = {'V', 'S', 'T', 'R', 'A', 'C', 'E', '1'};
 constexpr char kEndMagic[8] = {'V', 'S', 'T', 'R', 'E', 'N', 'D', '1'};
 
+/// On-disk record layout of format v2 (pre-OpId, 56 bytes). Field order
+/// matches today's TraceEvent prefix exactly.
+struct LegacyEvent56 {
+  std::int64_t time_us;
+  std::uint64_t seq;
+  std::uint64_t cause;
+  std::int64_t find;
+  std::int32_t a;
+  std::int32_t b;
+  std::int32_t target;
+  std::int32_t arg;
+  std::int16_t level;
+  std::uint8_t kind;
+  std::uint8_t msg;
+  std::int32_t extra;
+};
+static_assert(sizeof(LegacyEvent56) == 56);
+
+TraceEvent widen(const LegacyEvent56& l) {
+  return TraceEvent{.time_us = l.time_us,
+                    .seq = l.seq,
+                    .cause = l.cause,
+                    .find = l.find,
+                    .a = l.a,
+                    .b = l.b,
+                    .target = l.target,
+                    .arg = l.arg,
+                    .level = l.level,
+                    .kind = l.kind,
+                    .msg = l.msg,
+                    .extra = l.extra,
+                    .op = 0,
+                    .pad0 = 0};
+}
+
 template <class T>
 void put(std::ostream& os, T v) {
   static_assert(std::is_trivially_copyable_v<T>);
@@ -66,10 +101,12 @@ std::vector<WorldTrace> read_trace(std::istream& is) {
   VS_REQUIRE(is.good() && std::memcmp(magic, kMagic, sizeof magic) == 0,
              "not a VSTRACE1 trace file");
   const auto version = get<std::uint32_t>(is);
-  VS_REQUIRE(version == kTraceFormatVersion,
+  VS_REQUIRE(version == 2 || version == kTraceFormatVersion,
              "unsupported trace format version "
-                 << version << " (this build reads v" << kTraceFormatVersion
+                 << version << " (this build reads v2–v" << kTraceFormatVersion
                  << "; re-record the trace)");
+  const std::size_t record_size =
+      version >= 3 ? sizeof(TraceEvent) : sizeof(LegacyEvent56);
   const auto world_count = get<std::uint32_t>(is);
   std::vector<WorldTrace> worlds;
   worlds.reserve(world_count);
@@ -85,10 +122,17 @@ std::vector<WorldTrace> read_trace(std::istream& is) {
                "corrupt trace stream: world " << w.world << " claims "
                                               << count << " events");
     w.events.resize(count);
-    is.read(reinterpret_cast<char*>(w.events.data()),
-            static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+    if (version >= 3) {
+      is.read(reinterpret_cast<char*>(w.events.data()),
+              static_cast<std::streamsize>(count * record_size));
+    } else {
+      std::vector<LegacyEvent56> legacy(count);
+      is.read(reinterpret_cast<char*>(legacy.data()),
+              static_cast<std::streamsize>(count * record_size));
+      for (std::size_t j = 0; j < count; ++j) w.events[j] = widen(legacy[j]);
+    }
     VS_REQUIRE(is.good() && is.gcount() == static_cast<std::streamsize>(
-                                               count * sizeof(TraceEvent)),
+                                               count * record_size),
                "truncated trace stream: world " << w.world << " declares "
                                                 << count
                                                 << " events but the file "

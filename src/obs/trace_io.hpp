@@ -8,8 +8,14 @@
 //   u32          format version (kTraceFormatVersion)
 //   u32          world count
 //   per world:   u32 world index, u32 reserved(0), u64 event count,
-//                count × TraceEvent (raw 56-byte records)
+//                count × TraceEvent (raw 64-byte records)
 //   trailer:     u64 total event count (sum over worlds), bytes "VSTREND1"
+//
+// Version history: v2 recorded 56-byte events (no op field); v3 appends
+// the 32-bit OpId plus explicit padding. The reader still accepts v2
+// traces, widening each record with op = 0 (background), so pre-ledger
+// artifacts remain auditable — they just attribute everything to
+// background.
 //
 // The trailer (format v2) makes truncation and header corruption
 // detectable: a reader that consumed every declared world must land
@@ -30,7 +36,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kTraceFormatVersion = 2;
+inline constexpr std::uint32_t kTraceFormatVersion = 3;
 
 /// One world's (trial's) events, tagged with its trial index.
 struct WorldTrace {

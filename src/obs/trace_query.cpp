@@ -272,6 +272,9 @@ std::string format_event(const TraceEvent& e) {
     case TraceKind::kFoundOutput:
       os << " region " << e.a;
       break;
+    case TraceKind::kMoveIssued:
+      os << " region " << e.a << " → " << e.b << " d=" << e.arg;
+      break;
   }
   if (e.target >= 0) os << " target=" << e.target;
   if (e.find >= 0) os << " find=" << e.find;

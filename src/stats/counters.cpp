@@ -47,7 +47,9 @@ bool is_heartbeat_kind(MsgKind kind) {
 WorkCounters::WorkCounters(Level max_level)
     : max_level_(max_level),
       msgs_by_level_(static_cast<std::size_t>(max_level) + 1, 0),
-      work_by_level_(static_cast<std::size_t>(max_level) + 1, 0) {
+      work_by_level_(static_cast<std::size_t>(max_level) + 1, 0),
+      msgs_by_level_kind_(static_cast<std::size_t>(max_level) + 1),
+      work_by_level_kind_(static_cast<std::size_t>(max_level) + 1) {
   VS_REQUIRE(max_level >= 0, "negative max level");
 }
 
@@ -60,6 +62,52 @@ void WorkCounters::record(MsgKind kind, Level level, std::int64_t hops) {
   work_by_kind_[k] += hops;
   ++msgs_by_level_[static_cast<std::size_t>(level)];
   work_by_level_[static_cast<std::size_t>(level)] += hops;
+  ++msgs_by_level_kind_[static_cast<std::size_t>(level)][k];
+  work_by_level_kind_[static_cast<std::size_t>(level)][k] += hops;
+}
+
+namespace {
+
+// Shared shape of the four per-level class accessors: fold one level's
+// kind row through a kind predicate.
+template <class Pred>
+std::int64_t level_class_sum(const std::array<std::int64_t,
+                                              static_cast<std::size_t>(
+                                                  MsgKind::kCount)>& row,
+                             Pred&& pred) {
+  std::int64_t sum = 0;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    if (pred(static_cast<MsgKind>(k))) sum += row[k];
+  }
+  return sum;
+}
+
+bool is_find_kind(MsgKind kind) {
+  return !is_move_kind(kind) && !is_heartbeat_kind(kind) &&
+         kind != MsgKind::kClient;
+}
+
+}  // namespace
+
+std::int64_t WorkCounters::move_messages_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return level_class_sum(msgs_by_level_kind_[static_cast<std::size_t>(level)],
+                         is_move_kind);
+}
+std::int64_t WorkCounters::move_work_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return level_class_sum(work_by_level_kind_[static_cast<std::size_t>(level)],
+                         is_move_kind);
+}
+std::int64_t WorkCounters::find_messages_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return level_class_sum(msgs_by_level_kind_[static_cast<std::size_t>(level)],
+                         is_find_kind);
+}
+std::int64_t WorkCounters::find_work_at_level(Level level) const {
+  VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
+  return level_class_sum(work_by_level_kind_[static_cast<std::size_t>(level)],
+                         is_find_kind);
 }
 
 std::int64_t WorkCounters::messages(MsgKind kind) const {
@@ -132,6 +180,8 @@ void WorkCounters::reset() {
   work_by_kind_.fill(0);
   std::fill(msgs_by_level_.begin(), msgs_by_level_.end(), 0);
   std::fill(work_by_level_.begin(), work_by_level_.end(), 0);
+  for (auto& row : msgs_by_level_kind_) row.fill(0);
+  for (auto& row : work_by_level_kind_) row.fill(0);
   duplicated_ = 0;
   jittered_ = 0;
 }
@@ -146,6 +196,12 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
   for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
     d.msgs_by_level_[l] = msgs_by_level_[l] - earlier.msgs_by_level_[l];
     d.work_by_level_[l] = work_by_level_[l] - earlier.work_by_level_[l];
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      d.msgs_by_level_kind_[l][k] =
+          msgs_by_level_kind_[l][k] - earlier.msgs_by_level_kind_[l][k];
+      d.work_by_level_kind_[l][k] =
+          work_by_level_kind_[l][k] - earlier.work_by_level_kind_[l][k];
+    }
   }
   d.duplicated_ = duplicated_ - earlier.duplicated_;
   d.jittered_ = jittered_ - earlier.jittered_;
@@ -177,10 +233,15 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
   os << (first ? "" : "\n" + in) << "},\n";
   os << in << "\"by_level\": [";
   for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
+    const auto level = static_cast<Level>(l);
     if (l != 0) os << ",";
     os << "\n"
        << in2 << "{\"level\": " << l << ", \"messages\": " << msgs_by_level_[l]
-       << ", \"work\": " << work_by_level_[l] << "}";
+       << ", \"work\": " << work_by_level_[l]
+       << ", \"move_messages\": " << move_messages_at_level(level)
+       << ", \"move_work\": " << move_work_at_level(level)
+       << ", \"find_messages\": " << find_messages_at_level(level)
+       << ", \"find_work\": " << find_work_at_level(level) << "}";
   }
   os << "\n" << in << "]\n" << pad << "}";
 }
@@ -194,6 +255,10 @@ void WorkCounters::accumulate(const WorkCounters& other) {
   for (std::size_t l = 0; l < msgs_by_level_.size(); ++l) {
     msgs_by_level_[l] += other.msgs_by_level_[l];
     work_by_level_[l] += other.work_by_level_[l];
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      msgs_by_level_kind_[l][k] += other.msgs_by_level_kind_[l][k];
+      work_by_level_kind_[l][k] += other.work_by_level_kind_[l][k];
+    }
   }
   duplicated_ += other.duplicated_;
   jittered_ += other.jittered_;

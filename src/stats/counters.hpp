@@ -55,6 +55,13 @@ class WorkCounters {
   [[nodiscard]] std::int64_t work(MsgKind kind) const;
   [[nodiscard]] std::int64_t messages_at_level(Level level) const;
   [[nodiscard]] std::int64_t work_at_level(Level level) const;
+  /// Per-level totals restricted to move-maintenance / find kinds — the
+  /// per-level terms of the Theorem 4.9 / 5.2 sums, so a bench artifact
+  /// alone suffices to recompute audit ratios level by level.
+  [[nodiscard]] std::int64_t move_messages_at_level(Level level) const;
+  [[nodiscard]] std::int64_t move_work_at_level(Level level) const;
+  [[nodiscard]] std::int64_t find_messages_at_level(Level level) const;
+  [[nodiscard]] std::int64_t find_work_at_level(Level level) const;
 
   /// Totals across kinds.
   [[nodiscard]] std::int64_t total_messages() const;
@@ -91,7 +98,9 @@ class WorkCounters {
   ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N,
   ///              "heartbeats": N, "duplicated": N, "jittered": N},
   ///    "by_kind": {"grow": {"messages": N, "work": N}, ...},  // non-zero only
-  ///    "by_level": [{"level": 0, "messages": N, "work": N}, ...]}
+  ///    "by_level": [{"level": 0, "messages": N, "work": N,
+  ///                  "move_messages": N, "move_work": N,
+  ///                  "find_messages": N, "find_work": N}, ...]}
   void to_json(std::ostream& os, int indent = 0) const;
 
  private:
@@ -102,6 +111,9 @@ class WorkCounters {
   std::array<std::int64_t, kKinds> work_by_kind_{};
   std::vector<std::int64_t> msgs_by_level_;
   std::vector<std::int64_t> work_by_level_;
+  // Full level × kind matrix backing the per-level class accessors.
+  std::vector<std::array<std::int64_t, kKinds>> msgs_by_level_kind_;
+  std::vector<std::array<std::int64_t, kKinds>> work_by_level_kind_;
   std::int64_t duplicated_{0};
   std::int64_t jittered_{0};
 };

@@ -1,8 +1,19 @@
 #include "tracking/config.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace vs::tracking {
+
+namespace {
+
+sim::Duration scaled(sim::Duration d, double k) {
+  return sim::Duration::micros(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(d.count()) * k)));
+}
+
+}  // namespace
 
 TimerPolicy TimerPolicy::paper_default(const hier::ClusterHierarchy& h,
                                        const vsa::CGcastConfig& cg) {
@@ -10,6 +21,21 @@ TimerPolicy TimerPolicy::paper_default(const hier::ClusterHierarchy& h,
   TimerPolicy policy;
   policy.grow = [de](Level) { return de; };
   policy.shrink = [de, &h](Level l) { return de + de * (h.n(l) + 1); };
+  return policy;
+}
+
+TimerPolicy scaled_paper_default(const hier::ClusterHierarchy& h,
+                                 const vsa::CGcastConfig& cg, double scale) {
+  VS_REQUIRE(scale >= 1.0,
+             "timer scale must be >= 1 or inequality (1) may break");
+  TimerPolicy base = TimerPolicy::paper_default(h, cg);
+  TimerPolicy policy;
+  // Like paper_default, the returned policy references `h` (through the
+  // wrapped base shrink) and must not outlive it.
+  policy.grow = [g = base.grow, scale](Level l) { return scaled(g(l), scale); };
+  policy.shrink = [s = base.shrink, scale](Level l) {
+    return scaled(s(l), scale);
+  };
   return policy;
 }
 

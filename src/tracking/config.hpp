@@ -32,6 +32,16 @@ struct TimerPolicy {
                                    const vsa::CGcastConfig& cg);
 };
 
+/// κ × the paper-default policy. Scaling g(l) and s(l) together by κ ≥ 1
+/// multiplies inequality (1)'s left side by κ, so the policy stays valid —
+/// but every update cascade slows by κ, blowing the run past the κ = 1
+/// Theorem 4.9 time bound the cost auditor judges against. Drivers use
+/// this (via ScenarioSpec::timer_scale) to seed replayable over-bound
+/// incidents.
+[[nodiscard]] TimerPolicy scaled_paper_default(const hier::ClusterHierarchy& h,
+                                               const vsa::CGcastConfig& cg,
+                                               double scale);
+
 /// Throws vs::Error if the policy violates inequality (1) (or is
 /// non-positive) for the given hierarchy and latency constants.
 void validate_timer_policy(const TimerPolicy& policy,

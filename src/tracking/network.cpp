@@ -130,6 +130,20 @@ TrackingNetwork::TrackingNetwork(const hier::ClusterHierarchy& hierarchy,
 
 TrackingNetwork::~TrackingNetwork() { clear_log_clock(this); }
 
+void TrackingNetwork::set_op_ledger(obs::OpLedger* ledger) {
+  if (ledger_observer_ != 0) {
+    cgcast_->remove_send_observer(ledger_observer_);
+    ledger_observer_ = 0;
+  }
+  ledger_ = ledger;
+  if (ledger_ == nullptr) return;
+  ledger_observer_ = cgcast_->add_send_observer(
+      [this](const vsa::Message& m, ClusterId, ClusterId, Level level,
+             std::int64_t hops) {
+        ledger_->note_send(m.op, level, hops, sched_.now().count());
+      });
+}
+
 Tracker& TrackingNetwork::tracker(ClusterId c) {
   VS_REQUIRE(c.valid() && static_cast<std::size_t>(c.value()) < trackers_.size(),
              "cluster " << c << " out of range");
@@ -148,26 +162,77 @@ void TrackingNetwork::dispatch(ClusterId dest, const vsa::Message& m) {
   tracker(dest).on_message(m);
 }
 
+namespace {
+
+// Clears the C-gcast ambient op on scope exit, so a throwing move never
+// leaves later background traffic stamped with a stale operation.
+struct AmbientOpScope {
+  vsa::CGcast* cg;
+  AmbientOpScope(vsa::CGcast& c, obs::OpId op) : cg(&c) {
+    cg->set_ambient_op(op);
+  }
+  ~AmbientOpScope() { cg->set_ambient_op(obs::kBackgroundOp); }
+  AmbientOpScope(const AmbientOpScope&) = delete;
+  AmbientOpScope& operator=(const AmbientOpScope&) = delete;
+};
+
+}  // namespace
+
+void TrackingNetwork::record_move(TargetId target, RegionId from, RegionId to,
+                                  std::int64_t distance, obs::OpId op) {
+  if (ledger_ != nullptr) {
+    ledger_->begin_move(obs::op_index(op), distance, sched_.now().count());
+  }
+  if (!obs::kTraceCompiled || !trace_.enabled()) return;
+  trace_.append(obs::TraceEvent{
+      .time_us = sched_.now().count(),
+      .seq = sched_.current_seq(),
+      .cause = sched_.current_cause(),
+      .find = -1,
+      .a = from.valid() ? from.value() : -1,
+      .b = to.value(),
+      .target = target.valid() ? target.value() : -1,
+      .arg = static_cast<std::int32_t>(distance),
+      .level = -1,
+      .kind = static_cast<std::uint8_t>(obs::TraceKind::kMoveIssued),
+      .msg = obs::kNoMsg,
+      .extra = 0,
+      .op = op,
+      .pad0 = 0,
+  });
+}
+
 TargetId TrackingNetwork::add_evader(RegionId start) {
   const bool quiescent = sched_.pending() == 0;
-  const TargetId target = evaders_.add_evader(start);
+  // Placement is move step 0 of the walk for cost attribution: a
+  // distance-0 move op (charged, but excluded from the Theorem 4.9 sums).
+  const obs::OpId op = obs::make_op(obs::OpClass::kMove, move_count_++);
+  TargetId target;
+  {
+    AmbientOpScope ambient(*cgcast_, op);
+    target = evaders_.add_evader(start);
+  }
+  // Recorded after the fact so the event carries the target id; placement
+  // never throws once add_evader returned.
+  record_move(target, RegionId{}, start, 0, op);
   if (move_observer_) move_observer_(target, RegionId{}, start, quiescent);
   return target;
 }
 
 void TrackingNetwork::move_evader(TargetId target, RegionId to) {
-  if (!move_observer_) {
-    evaders_.move(target, to);
-    return;
-  }
   // Capture `from` and the quiescence predicate before the move (it
   // schedules its own client messages), but notify only after it succeeds
   // — a rejected move must never reach attached monitors, or their shadow
   // state diverges from the live structure.
   const RegionId from = evaders_.region_of(target);
   const bool quiescent = sched_.pending() == 0;
-  evaders_.move(target, to);
-  move_observer_(target, from, to, quiescent);
+  const obs::OpId op = obs::make_op(obs::OpClass::kMove, move_count_++);
+  record_move(target, from, to, hier_->tiling().distance(from, to), op);
+  {
+    AmbientOpScope ambient(*cgcast_, op);
+    evaders_.move(target, to);
+  }
+  if (move_observer_) move_observer_(target, from, to, quiescent);
 }
 
 void TrackingNetwork::move_and_quiesce(TargetId target, RegionId to) {
@@ -176,7 +241,8 @@ void TrackingNetwork::move_and_quiesce(TargetId target, RegionId to) {
 }
 
 void TrackingNetwork::record(obs::TraceKind kind, FindId f, TargetId t,
-                             RegionId region) {
+                             RegionId region, obs::OpId op,
+                             std::int32_t arg) {
   trace_.append(obs::TraceEvent{
       .time_us = sched_.now().count(),
       .seq = sched_.current_seq(),
@@ -185,26 +251,41 @@ void TrackingNetwork::record(obs::TraceKind kind, FindId f, TargetId t,
       .a = region.valid() ? region.value() : -1,
       .b = -1,
       .target = t.valid() ? t.value() : -1,
-      .arg = 0,
+      .arg = arg,
       .level = -1,
       .kind = static_cast<std::uint8_t>(kind),
       .msg = obs::kNoMsg,
       .extra = 0,
+      .op = op,
+      .pad0 = 0,
   });
 }
 
 FindId TrackingNetwork::start_find(RegionId from, TargetId target) {
   const FindId f{next_find_++};
+  const obs::OpId op = obs::make_op(
+      obs::OpClass::kFindSearch, static_cast<std::uint32_t>(f.value()));
   FindResult r;
   r.id = f;
   r.target = target;
   r.origin = from;
   r.issued = sched_.now();
+  r.op = op;
+  // The `d` the Theorem 5.2 bounds apply at: origin→evader distance when
+  // the find is issued.
+  r.distance = hier_->tiling().distance(from, evaders_.region_of(target));
   finds_.emplace(f, r);
-  if (obs::kTraceCompiled && trace_.enabled()) {
-    record(obs::TraceKind::kFindIssued, f, target, from);
+  if (ledger_ != nullptr) {
+    ledger_->begin_find(obs::op_index(op), sched_.now().count());
   }
-  clients_->inject_find(from, target, f);
+  if (obs::kTraceCompiled && trace_.enabled()) {
+    record(obs::TraceKind::kFindIssued, f, target, from, op,
+           static_cast<std::int32_t>(r.distance));
+  }
+  {
+    AmbientOpScope ambient(*cgcast_, op);
+    clients_->inject_find(from, target, f);
+  }
   return f;
 }
 
@@ -223,8 +304,14 @@ void TrackingNetwork::on_found_output(FindId f, TargetId t, RegionId region,
   it->second.done = true;
   it->second.found_region = region;
   it->second.completed = sched_.now();
+  if (ledger_ != nullptr) {
+    ledger_->complete_find(static_cast<std::uint32_t>(f.value()),
+                           it->second.distance, sched_.now().count());
+  }
   if (obs::kTraceCompiled && trace_.enabled()) {
-    record(obs::TraceKind::kFoundOutput, f, t, region);
+    record(obs::TraceKind::kFoundOutput, f, t, region,
+           obs::make_op(obs::OpClass::kFindTrace,
+                        static_cast<std::uint32_t>(f.value())));
   }
 }
 

@@ -18,7 +18,9 @@
 
 #include "common/ids.hpp"
 #include "hier/hierarchy.hpp"
+#include "obs/ledger/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/op.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/counters.hpp"
@@ -69,6 +71,13 @@ struct FindResult {
   /// (-1 if the path was met before any query round). Theorem 5.2: at most
   /// the minimum l with d ≤ q(l) in the atomic case.
   Level max_search_level = -1;
+  /// Cost-ledger identity: the find's search-phase OpId (the trace phase
+  /// shares the index under OpClass::kFindTrace).
+  obs::OpId op = obs::kBackgroundOp;
+  /// Origin→evader region distance at issue time — the `d` the Theorem 5.2
+  /// bounds are evaluated at (callers compute the measured/bound ratio via
+  /// spec::find_work_bound(h, distance); tracking cannot link spec).
+  std::int64_t distance = 0;
 
   [[nodiscard]] sim::Duration latency() const { return completed - issued; }
 };
@@ -101,6 +110,16 @@ class TrackingNetwork {
   [[nodiscard]] obs::TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const obs::TraceRecorder& trace() const { return trace_; }
   void set_tracing(bool on) { trace_.set_enabled(on); }
+
+  /// Attach (or with nullptr detach) a per-operation cost ledger. While
+  /// attached and enabled, every accepted send is charged to its message's
+  /// OpId and move/find boundaries record their metadata. The ledger must
+  /// outlive the attachment; the network never owns it.
+  void set_op_ledger(obs::OpLedger* ledger);
+  [[nodiscard]] obs::OpLedger* op_ledger() { return ledger_; }
+
+  /// Move steps taken so far (placements included); the move-op index.
+  [[nodiscard]] std::uint32_t move_count() const { return move_count_; }
 
   /// Deterministic run metrics (events fired, message/work totals, drops,
   /// find outcomes and latency histogram), rebuilt from live state on each
@@ -180,7 +199,10 @@ class TrackingNetwork {
  private:
   void dispatch(ClusterId dest, const vsa::Message& m);
   void on_found_output(FindId f, TargetId t, RegionId region, ClientId by);
-  void record(obs::TraceKind kind, FindId f, TargetId t, RegionId region);
+  void record(obs::TraceKind kind, FindId f, TargetId t, RegionId region,
+              obs::OpId op, std::int32_t arg = 0);
+  void record_move(TargetId target, RegionId from, RegionId to,
+                   std::int64_t distance, obs::OpId op);
 
   const hier::ClusterHierarchy* hier_;
   NetworkConfig config_;
@@ -197,6 +219,9 @@ class TrackingNetwork {
   std::map<FindId, FindResult> finds_;
   FindId::rep_type next_find_{1};
   obs::TraceRecorder trace_;
+  obs::OpLedger* ledger_ = nullptr;
+  vsa::CGcast::ObserverId ledger_observer_ = 0;
+  std::uint32_t move_count_ = 0;
   MoveObserver move_observer_;
   std::vector<std::pair<int, HeartbeatHandler>> heartbeat_handlers_;
   int next_heartbeat_token_{1};

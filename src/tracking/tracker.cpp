@@ -8,6 +8,20 @@ namespace vs::tracking {
 using vsa::Message;
 using vsa::MsgType;
 
+namespace {
+
+/// Save/restore of the tracker's current-op slot for one handler scope.
+struct OpScope {
+  obs::OpId* slot;
+  obs::OpId prev;
+  OpScope(obs::OpId* s, obs::OpId v) : slot(s), prev(*s) { *s = v; }
+  ~OpScope() { *slot = prev; }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+};
+
+}  // namespace
+
 Tracker::Tracker(sim::Scheduler& sched,
                  const hier::ClusterHierarchy& hierarchy, vsa::CGcast& cgcast,
                  const TrackerConfig& config, ClusterId clust)
@@ -71,8 +85,13 @@ bool Tracker::timer_armed(TargetId target) const {
   return it != targets_.end() && it->second.timer->armed();
 }
 
-void Tracker::nudge_timer(TargetId target) {
+void Tracker::nudge_timer(TargetId target, obs::OpId op) {
   if (timer_armed(target)) return;
+  // The armed-op is gone with the lost timer; charge the re-evaluated
+  // expiry (and its cascade) to the repair op driving the nudge.
+  if (obs::kTraceCompiled && op != obs::kBackgroundOp) {
+    target_state(target).op = op;
+  }
   on_timer(target);
 }
 
@@ -100,6 +119,7 @@ void Tracker::send(ClusterId to, MsgType type, TargetId target, FindId find,
   m.target = target;
   m.find_id = find;
   m.ack_pointer = ack_pointer;
+  m.op = current_op_;
   cgcast_->send(clust_, to, m);
 }
 
@@ -108,6 +128,13 @@ void Tracker::notify_state_change(TargetId t) {
 }
 
 void Tracker::on_message(const Message& m) {
+  // Delivered work runs under the op the message carries; replies and
+  // follow-on sends inherit it through send()'s stamp.
+  OpScope scope(&current_op_, m.op);
+  dispatch(m);
+}
+
+void Tracker::dispatch(const Message& m) {
   switch (m.type) {
     case MsgType::kGrow: on_grow(m); return;
     case MsgType::kGrowPar: on_grow_par(m); return;
@@ -131,6 +158,7 @@ void Tracker::on_grow(const Message& m) {
   PerTarget& s = target_state(m.target);
   if (!s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level()) {
     s.timer->arm_after(config_->timers.grow(lvl_));
+    s.op = current_op_;
   }
   s.c = m.from_cluster;
   notify_state_change(m.target);
@@ -163,6 +191,7 @@ void Tracker::on_shrink(const Message& m) {
   s.c = ClusterId::invalid();
   if (lvl_ != hier_->max_level()) {
     s.timer->arm_after(config_->timers.shrink(lvl_));
+    s.op = current_op_;
   }
   notify_state_change(m.target);
 }
@@ -202,11 +231,15 @@ void Tracker::record(obs::TraceKind kind, TargetId target, FindId find,
       .kind = static_cast<std::uint8_t>(kind),
       .msg = obs::kNoMsg,
       .extra = 0,
+      .op = current_op_,
+      .pad0 = 0,
   });
 }
 
 void Tracker::on_timer(TargetId t) {
   PerTarget& s = target_state(t);
+  // The expiry's cascade belongs to the operation that armed the timer.
+  OpScope scope(&current_op_, s.op);
   if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
     const std::int32_t branch =
         s.c.valid() && !s.p.valid() && lvl_ != hier_->max_level() ? 1
@@ -265,6 +298,18 @@ void Tracker::try_advance_find(FindId f) {
   PerFind& pf = find_state(f);
   if (!pf.finding) return;
   PerTarget& ts = target_state(pf.target);
+
+  // Phase classification by the enabled action, not by the inherited op:
+  // a valid c means the find is on the tracking path (trace phase — the
+  // Theorem 5.2 "descend" leg); c = ⊥ means it is still searching. The
+  // find's index is its FindId, so both phases are derivable anywhere.
+  const obs::OpId phase_op =
+      !obs::kTraceCompiled
+          ? obs::kBackgroundOp
+          : obs::make_op(ts.c.valid() ? obs::OpClass::kFindTrace
+                                      : obs::OpClass::kFindSearch,
+                         static_cast<std::uint64_t>(f.value()));
+  OpScope scope(&current_op_, phase_op);
 
   if (ts.c == clust_) {
     // Output cTOBsend(⟨found, clust⟩, clust): the object is here (level-0
@@ -341,6 +386,12 @@ void Tracker::on_find_ack(const Message& m) {
 void Tracker::on_nbrtimeout(FindId f) {
   PerFind& pf = find_state(f);
   if (!pf.finding) return;
+  // A timed-out query escalates — still the find's search phase.
+  OpScope scope(&current_op_,
+                obs::kTraceCompiled
+                    ? obs::make_op(obs::OpClass::kFindSearch,
+                                   static_cast<std::uint64_t>(f.value()))
+                    : obs::kBackgroundOp);
   if (obs::kTraceCompiled && trace_ != nullptr && trace_->enabled()) {
     record(obs::TraceKind::kFindTimeout, pf.target, f, 0);
   }
@@ -380,6 +431,7 @@ void Tracker::emit_found(FindId f, TargetId t) {
   m.from_cluster = clust_;
   m.target = t;
   m.find_id = f;
+  m.op = current_op_;
   cgcast_->broadcast_to_clients(clust_, m);
   // Figure 2 also queues ⟨j, found⟩ for every neighbour cluster; receiving
   // trackers relay to their own regions' clients so clients "in that and

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "obs/op.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
@@ -71,7 +72,8 @@ class Tracker {
   /// Heartbeat repair hook (ext::Stabilizer): re-evaluates the timer-expiry
   /// outputs when the timer was lost to a VSA reset. No-op while the timer
   /// is armed — firing a pending shrink early would break inequality (1).
-  void nudge_timer(TargetId target);
+  /// `op` charges the repair traffic to the stabilizer's repair operation.
+  void nudge_timer(TargetId target, obs::OpId op = obs::kBackgroundOp);
   /// Targets with any non-⊥ pointer or an armed timer.
   [[nodiscard]] std::vector<TargetId> active_targets() const;
   /// True if the tracker currently holds `find` in its search phase.
@@ -93,6 +95,9 @@ class Tracker {
     ClusterId nbrptup{};
     ClusterId nbrptdown{};
     std::unique_ptr<sim::Timer> timer;  // shared grow/shrink timer
+    /// Operation that armed the timer: the cascade a timer expiry emits is
+    /// still part of the move step whose grow/shrink armed it.
+    obs::OpId op = obs::kBackgroundOp;
   };
   struct PerFind {
     bool finding = false;
@@ -108,6 +113,9 @@ class Tracker {
 
   PerTarget& target_state(TargetId t);
   PerFind& find_state(FindId f);
+
+  /// on_message body: dispatch under the incoming message's op.
+  void dispatch(const vsa::Message& m);
 
   // Figure 2 handlers.
   void on_grow(const vsa::Message& m);
@@ -151,6 +159,10 @@ class Tracker {
   std::map<FindId, PerFind> finds_;
   StateChangeHook state_hook_;
   obs::TraceRecorder* trace_ = nullptr;
+  /// Operation the currently-executing handler is charged to; every send()
+  /// stamps it onto the outgoing message. Saved/restored per handler so
+  /// nesting (advance_finds_of inside a grow) keeps each action's op.
+  obs::OpId current_op_ = obs::kBackgroundOp;
 };
 
 }  // namespace vs::tracking

@@ -57,6 +57,8 @@ void CGcast::record(obs::TraceKind kind, const Message& m, std::int32_t a,
       .kind = static_cast<std::uint8_t>(kind),
       .msg = static_cast<std::uint8_t>(m.type),
       .extra = m.ack_pointer.valid() ? m.ack_pointer.value() : 0,
+      .op = m.op,
+      .pad0 = 0,
   });
 }
 
@@ -141,6 +143,13 @@ bool CGcast::apply_channel_faults(const Message& m, sim::Duration& delay,
 }
 
 void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
+  if (obs::kTraceCompiled && ambient_op_ != obs::kBackgroundOp &&
+      m.op == obs::kBackgroundOp) {
+    Message tagged = m;
+    tagged.op = ambient_op_;
+    send(from, to, tagged);
+    return;
+  }
   VS_REQUIRE(from.valid() && to.valid() && from != to,
              "bad VSA send " << from << " → " << to);
   const auto& h = *hier_;
@@ -167,6 +176,13 @@ void CGcast::send(ClusterId from, ClusterId to, const Message& m) {
 }
 
 void CGcast::send_from_client(RegionId at, const Message& m) {
+  if (obs::kTraceCompiled && ambient_op_ != obs::kBackgroundOp &&
+      m.op == obs::kBackgroundOp) {
+    Message tagged = m;
+    tagged.op = ambient_op_;
+    send_from_client(at, tagged);
+    return;
+  }
   const auto& h = *hier_;
   const ClusterId dest = h.cluster_of(at, 0);
   counters_->record(m.type, 0, 1);
@@ -187,6 +203,13 @@ void CGcast::send_from_client(RegionId at, const Message& m) {
 }
 
 void CGcast::broadcast_to_clients(ClusterId from_level0, const Message& m) {
+  if (obs::kTraceCompiled && ambient_op_ != obs::kBackgroundOp &&
+      m.op == obs::kBackgroundOp) {
+    Message tagged = m;
+    tagged.op = ambient_op_;
+    broadcast_to_clients(from_level0, tagged);
+    return;
+  }
   const auto& h = *hier_;
   VS_REQUIRE(h.level(from_level0) == 0, "client broadcast from non-level-0");
   const RegionId region = h.members(from_level0).front();

@@ -107,6 +107,16 @@ class CGcast {
   /// must outlive the service; CGcast never owns it.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Ambient operation for cost attribution: while set (non-zero), every
+  /// message sent without an explicit op is stamped with it before
+  /// counters, observers, and trace records see the send. Drivers bracket
+  /// operation roots (a move's grow/shrink injection, a find injection)
+  /// with set/clear; everything deeper inherits the op through message
+  /// propagation in the Tracker. Compiled out with tracing: when
+  /// kTraceCompiled is false the stamp never happens and every op stays 0.
+  void set_ambient_op(obs::OpId op) { ambient_op_ = op; }
+  [[nodiscard]] obs::OpId ambient_op() const { return ambient_op_; }
+
   /// cTOBsend from the process of cluster `from` to the process of cluster
   /// `to`. `to` must be the parent, a child, a neighbour, or within two
   /// neighbour hops (neighbour-of-neighbour / child-of-neighbour) of
@@ -182,6 +192,7 @@ class CGcast {
   std::vector<std::pair<ObserverId, SendObserver>> observers_;
   ObserverId next_observer_id_{1};
   obs::TraceRecorder* trace_ = nullptr;
+  obs::OpId ambient_op_ = obs::kBackgroundOp;
 
   std::map<std::uint64_t, InTransit> in_flight_;  // key: send sequence
   std::uint64_t next_key_{1};

@@ -174,6 +174,7 @@ void ClientPopulation::on_broadcast(RegionId region, const Message& m) {
       reply.type = MsgType::kShrink;
       reply.from_cluster = hier_->cluster_of(region, 0);
       reply.target = m.target;
+      reply.op = m.op;  // charged to the querying heartbeat/repair op
       cgcast_->send_from_client(region, reply);
     }
     return;
@@ -189,7 +190,7 @@ void ClientPopulation::on_broadcast(RegionId region, const Message& m) {
   }
 }
 
-int ClientPopulation::refresh_detection(TargetId target) {
+int ClientPopulation::refresh_detection(TargetId target, obs::OpId op) {
   int sent = 0;
   auto& flags = queried_[target];
   if (flags.empty()) flags.assign(by_region_.size(), 0);
@@ -208,6 +209,7 @@ int ClientPopulation::refresh_detection(TargetId target) {
       m.type = MsgType::kGrow;
       m.from_cluster = hier_->cluster_of(region, 0);
       m.target = target;
+      m.op = op;
       cgcast_->send_from_client(region, m);
       ++sent;
     }

@@ -78,8 +78,9 @@ class ClientPopulation {
   /// believing clients in any region whose level-0 cluster has *not*
   /// queried them since the previous call re-send their detection grow —
   /// the silent cluster has lost its marker (VSA reset). Returns the number
-  /// of grow messages sent and consumes the per-region query flags.
-  int refresh_detection(TargetId target);
+  /// of grow messages sent and consumes the per-region query flags. `op`
+  /// charges the re-detection grows to the stabilizer's repair operation.
+  int refresh_detection(TargetId target, obs::OpId op = obs::kBackgroundOp);
 
   /// Invoked when a believing client performs the found output.
   using FoundOutput =

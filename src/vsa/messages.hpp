@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "common/ids.hpp"
+#include "obs/op.hpp"
 #include "stats/counters.hpp"
 
 namespace vs::vsa {
@@ -48,6 +49,10 @@ struct Message {
   HbClaim hb_claim{HbClaim::kNone};
   /// kHeartbeatAck: the probed claim held at the receiver.
   bool hb_ok = false;
+  /// Logical operation this message is charged to (0 = background). Set
+  /// by the sender or stamped by CGcast's ambient op; replies propagate
+  /// the incoming message's op so cascades stay attributed end to end.
+  obs::OpId op = obs::kBackgroundOp;
 
   friend std::ostream& operator<<(std::ostream& os, const Message& m);
 };

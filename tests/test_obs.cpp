@@ -131,7 +131,9 @@ obs::TraceEvent event(obs::TraceKind kind, std::int64_t time_us,
                          .level = level,
                          .kind = static_cast<std::uint8_t>(kind),
                          .msg = msg,
-                         .extra = 0};
+                         .extra = 0,
+                         .op = obs::kBackgroundOp,
+                         .pad0 = 0};
 }
 
 constexpr std::uint8_t kGrow =

@@ -7,10 +7,15 @@
 # proving every record point is optional dead code, then a watchdog
 # stage: a monitored quickstart must stay clean, a CLI-seeded corruption
 # must produce an incident bundle that replays to the same violation,
-# and the Chrome export must be valid JSON. A final chaos stage arms a
+# and the Chrome export must be valid JSON. A chaos stage arms a
 # canned FaultPlan through the CLI: the run must meet its recovery
 # deadline with a consistent structure, and an incident captured under
-# the same faults must --replay to the exact same violation.
+# the same faults must --replay to the exact same violation. A final
+# audit stage runs the per-operation cost auditor end to end: a traced
+# quickstart must attribute 100% of its cost events and sit inside the
+# Theorem 4.9/5.2 slack, and a traced chaos-plan run must bill its
+# heartbeat and repair traffic to stabilizer operations with nothing
+# leaking into background.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -18,6 +23,7 @@
 #   tools/check.sh --no-trace   # stage 3 only
 #   tools/check.sh --monitor    # stage 4 only (reuses build-check/)
 #   tools/check.sh --chaos      # stage 5 only (reuses build-check/)
+#   tools/check.sh --audit      # stage 6 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan), and
 # build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
@@ -48,12 +54,13 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    bench_e2_move_scaling
+    test_audit bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
   "$root/build-tsan/tests/test_monitor"
   "$root/build-tsan/tests/test_fault"
+  "$root/build-tsan/tests/test_audit"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -62,9 +69,12 @@ run_notrace() {
   echo "== stage 3: tracing compiled out (-DVINESTALK_TRACE=OFF) =="
   cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
   cmake --build "$root/build-notrace" -j "$jobs" \
-    --target test_obs test_sim example_quickstart
+    --target test_obs test_sim test_audit example_quickstart
   "$root/build-notrace/tests/test_obs"
   "$root/build-notrace/tests/test_sim"
+  # The op-ledger API must compile to no-ops: the trace-dependent audit
+  # tests skip themselves, the disabled-ledger pin still runs.
+  "$root/build-notrace/tests/test_audit"
   "$root/build-notrace/examples/example_quickstart" > /dev/null
   echo "Compiled-out stage clean (record points are dead code)."
 }
@@ -153,14 +163,67 @@ EOF
   echo "Chaos stage clean (deadline met, fault incident replayed exactly)."
 }
 
+run_audit() {
+  echo "== stage 6: per-operation cost audit end-to-end =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target example_quickstart vinestalk_cli vinestalk_trace
+  local dir
+  dir="$(mktemp -d /tmp/vs_audit.XXXXXX)"
+  # A traced quickstart must attribute every cost event to an operation
+  # and sit inside the Theorem 4.9/5.2 slack (exit 2 past it).
+  VS_TRACE="$dir/quickstart.vst" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  "$root/build-check/tools/vinestalk_trace" audit "$dir/quickstart.vst" \
+    --side 27 --base 3 > "$dir/quickstart.audit"
+  grep -q "attributed    100.000%" "$dir/quickstart.audit" || {
+    echo "FAIL: quickstart audit not fully attributed" >&2
+    cat "$dir/quickstart.audit" >&2; exit 1; }
+  grep -q "conservation:   OK" "$dir/quickstart.audit" || {
+    echo "FAIL: quickstart audit conservation violated" >&2
+    cat "$dir/quickstart.audit" >&2; exit 1; }
+  grep -q "all operations within slack" "$dir/quickstart.audit" || {
+    echo "FAIL: quickstart audit outside slack" >&2
+    cat "$dir/quickstart.audit" >&2; exit 1; }
+  # A traced chaos-plan run must bill its stabilizer traffic to heartbeat
+  # and repair operations — nothing may leak into background.
+  cat > "$dir/chaos.plan" <<'EOF'
+faultplan v1
+seed 77
+crash 40 at 1000000
+crash 13 at 2000000
+loss from 1500000 until 2500000 rate 0.05
+recovery base 1000000 per-fault 200000
+end
+EOF
+  printf 'world 9 3\ntrace on\nevader 4 4\nfault %s\nwalk 0 20 42\ncheck 0\ntrace dump %s\naudit %s\nquit\n' \
+    "$dir/chaos.plan" "$dir/chaos.vst" "$dir/chaos.vst" |
+    "$root/build-check/tools/vinestalk_cli" > "$dir/chaos.audit"
+  grep -q "attributed    100.000%" "$dir/chaos.audit" || {
+    echo "FAIL: chaos audit not fully attributed" >&2
+    cat "$dir/chaos.audit" >&2; exit 1; }
+  grep -q "background    0$" "$dir/chaos.audit" || {
+    echo "FAIL: chaos audit leaked cost into background ops" >&2
+    cat "$dir/chaos.audit" >&2; exit 1; }
+  grep -q "^  hb " "$dir/chaos.audit" || {
+    echo "FAIL: chaos audit shows no heartbeat operations" >&2
+    cat "$dir/chaos.audit" >&2; exit 1; }
+  grep -q "^  repair " "$dir/chaos.audit" || {
+    echo "FAIL: chaos audit shows no repair operations" >&2
+    cat "$dir/chaos.audit" >&2; exit 1; }
+  rm -rf "$dir"
+  echo "Audit stage clean (100% attributed, hb/repair billed, in slack)."
+}
+
 case "$stage" in
-  all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos ;;
+  all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
   --monitor) run_monitor ;;
   --chaos) run_chaos ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos]" >&2
+  --audit) run_audit ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

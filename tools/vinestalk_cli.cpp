@@ -8,7 +8,10 @@
 //   evader <x> <y>             place a new evader (prints its target id)
 //   move <target> <x> <y>      relocate an evader (neighbouring region)
 //   walk <target> <steps> <seed>  random-walk an evader
-//   find <x> <y> <target>      run a find and print the result
+//   find <x> <y> <target>      run a find and print the result, including
+//                              the find's logical operation id and its
+//                              measured work against the Theorem 5.2 bound
+//                              at the issue-time distance
 //   fail <x> <y>               fail the VSA at a region (enables failures)
 //   fault <plan-file>          arm a fault::FaultPlan against this world
 //                              (strict parse; regions validated against
@@ -35,6 +38,10 @@
 //                              with a rogue grow front (c=self, p=⊥) —
 //                              fault injection for watchdog demos; two
 //                              corrupts make a Lemma 4.1 violation
+//   audit <trace-file>         alias for `vinestalk_trace audit` judged
+//                              against this world's shape: rebuild the
+//                              per-operation cost ledger from the file and
+//                              check the Theorem 4.9/5.2 bounds
 //   stats                      work counters so far
 //   trace on|off               toggle structured tracing for this world
 //                              (enable before placing evaders if the trace
@@ -53,6 +60,7 @@
 //   printf 'world 27 3\nevader 20 6\nfind 0 26 0\nstats\n' | vinestalk_cli
 
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -65,9 +73,12 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "hier/grid_hierarchy.hpp"
+#include "obs/ledger/auditor.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
+#include "obs/op.hpp"
 #include "obs/trace_io.hpp"
+#include "spec/bounds.hpp"
 #include "runner/trial_pool.hpp"
 #include "spec/consistency.hpp"
 #include "spec/inspect.hpp"
@@ -240,6 +251,19 @@ class Cli {
         out << "found at " << hierarchy_->tiling().describe(r.found_region)
             << " in " << r.latency() << " (" << r.work << " hop-work, "
             << r.messages << " messages)\n";
+        // Judge the find against Theorem 5.2 at its issue-time distance —
+        // the same work bound (plus the client delivery allowance) the
+        // cost auditor applies.
+        const double bound =
+            spec::find_work_bound(*hierarchy_,
+                                  static_cast<int>(r.distance)) +
+            2.0 + 2.0 * static_cast<double>(hierarchy_->omega(0));
+        const auto flags = out.flags();
+        out << "  op " << obs::op_name(r.op) << " d=" << r.distance
+            << ": work " << r.work << " vs Theorem 5.2 bound " << std::fixed
+            << std::setprecision(3) << bound << " (ratio "
+            << static_cast<double>(r.work) / bound << ")\n";
+        out.flags(flags);
       } else {
         out << "find did not complete\n";
       }
@@ -374,6 +398,23 @@ class Cli {
       if (watchdog_) watchdog_->check_now();
       out << "corrupted tracker of cluster " << c0.value() << " at "
           << hierarchy_->tiling().describe(u) << " (c=self, p=bot)\n";
+    } else if (cmd == "audit") {
+      std::string path;
+      ss >> path;
+      VS_REQUIRE(!path.empty(), "audit needs a trace file");
+      const auto worlds = obs::read_trace_file(path);
+      const vsa::CGcastConfig& cg = net_->config().cgcast;
+      const obs::BoundAuditor auditor(
+          *hierarchy_,
+          obs::AuditConfig{
+              .slack = 2.0,
+              .delta_plus_e = cg.delta + cg.e,
+              .timers = tracking::TimerPolicy::paper_default(*hierarchy_, cg)});
+      for (const auto& w : worlds) {
+        out << "world " << w.world << ":\n";
+        const obs::TraceAttribution attr = obs::attribute_trace(w);
+        obs::print_audit(out, attr, auditor.audit(attr.ledger));
+      }
     } else if (cmd == "stats") {
       const auto& c = net_->counters();
       out << "moves: " << c.move_messages() << " messages, " << c.move_work()

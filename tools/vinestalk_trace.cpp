@@ -6,6 +6,11 @@
 //   spans <file> <find-id>      causal span of one find (all worlds holding it)
 //   timeline <file> --level N   records at one hierarchy level
 //   check <file>                replay the trace through the spec invariants
+//   audit <file> [--side N --base B] [--slack S]
+//                               rebuild the per-operation cost ledger from
+//                               the trace (attribution + conservation) and,
+//                               given the world shape, judge every operation
+//                               against the Theorem 4.9 / 5.2 bounds
 //   export <file> [--out F]     convert to Chrome trace-event JSON (Perfetto)
 //   incident <file> [--replay] [--dump-ring F]
 //                               pretty-print an incident bundle; --replay
@@ -22,16 +27,20 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "hier/grid_hierarchy.hpp"
 #include "obs/chrome_export.hpp"
+#include "obs/ledger/auditor.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/replay.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_query.hpp"
 #include "stats/counters.hpp"
+#include "tracking/config.hpp"
 
 namespace {
 
@@ -46,6 +55,9 @@ int usage() {
                "  timeline <file> --level N  records at hierarchy level N\n"
                "  check <file>               replay spec invariants "
                "(exit 2 on violation)\n"
+               "  audit <file> [--side N --base B] [--slack S]\n"
+               "                             per-operation cost ledger + "
+               "theorem-bound audit\n"
                "  export <file> [--out F]    Chrome trace-event JSON "
                "(stdout unless --out)\n"
                "  incident <file> [--replay] [--dump-ring F]\n"
@@ -103,6 +115,24 @@ void print_summary(const WorldTrace& w) {
                      static_cast<vs::stats::MsgKind>(m))
               << "]: " << s.sends_by_msg[m] << "\n";
   }
+  // Per-level message/hop-work breakdown from the C-gcast cost records —
+  // the same ledger charging rule (client/broadcast hops land on level 0),
+  // so `summary` output alone matches the audit's level columns.
+  std::map<int, std::pair<std::int64_t, std::int64_t>> cost;
+  for (const TraceEvent& e : w.events) {
+    const auto k = static_cast<TraceKind>(e.kind);
+    if (k != TraceKind::kSend && k != TraceKind::kClientSend &&
+        k != TraceKind::kBroadcast) {
+      continue;
+    }
+    auto& [msgs, work] = cost[e.level < 0 ? 0 : e.level];
+    ++msgs;
+    work += e.arg;
+  }
+  for (const auto& [level, mw] : cost) {
+    std::cout << "  cost[L" << level << "]: " << mw.first << " messages, "
+              << mw.second << " hop-work\n";
+  }
 }
 
 int cmd_summary(const std::vector<WorldTrace>& worlds) {
@@ -150,6 +180,42 @@ int cmd_check(const std::vector<WorldTrace>& worlds) {
   return report.ok() ? 0 : 2;
 }
 
+int cmd_audit(const std::vector<WorldTrace>& worlds, int side, int base,
+              double slack) {
+  // The bound audit needs the world shape to evaluate the theorem sums;
+  // the cost constants are the defaults every CLI/example run uses.
+  std::optional<vs::hier::GridHierarchy> hierarchy;
+  std::optional<vs::obs::BoundAuditor> auditor;
+  if (side > 0 && base > 0) {
+    hierarchy.emplace(side, side, base);
+    const vs::vsa::CGcastConfig cg;
+    auditor.emplace(
+        *hierarchy,
+        vs::obs::AuditConfig{
+            .slack = slack,
+            .delta_plus_e = cg.delta + cg.e,
+            .timers =
+                vs::tracking::TimerPolicy::paper_default(*hierarchy, cg)});
+  }
+  int rc = 0;
+  for (const auto& w : worlds) {
+    std::cout << "world " << w.world << ":\n";
+    const vs::obs::TraceAttribution attr = vs::obs::attribute_trace(w);
+    if (auditor) {
+      const vs::obs::AuditReport report = auditor->audit(attr.ledger);
+      vs::obs::print_audit(std::cout, attr, report);
+      if (!report.ok()) rc = 2;
+    } else {
+      std::cout << "attribution: " << attr.cost_events << " cost events ("
+                << attr.direct << " direct, " << attr.via_cause
+                << " via cause DAG, " << attr.background << " background)\n"
+                << "pass --side/--base to judge against the theorem bounds\n"
+                << attr.ledger.to_json() << "\n";
+    }
+  }
+  return rc;
+}
+
 int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out) {
   vs::obs::ChromeExportStats stats{};
   if (out.empty()) {
@@ -164,7 +230,8 @@ int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out) {
     std::cerr << "wrote " << out << "\n";
   }
   std::cerr << stats.slices << " slice(s), " << stats.flows
-            << " flow pair(s) — open in ui.perfetto.dev or "
+            << " flow pair(s), " << stats.counters
+            << " cost counter sample(s) — open in ui.perfetto.dev or "
                "chrome://tracing\n";
   return 0;
 }
@@ -241,6 +308,23 @@ int main(int argc, char** argv) {
     }
     if (command == "check") {
       return cmd_check(worlds);
+    }
+    if (command == "audit") {
+      int side = 0;
+      int base = 0;
+      double slack = 2.0;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--side") == 0 && i + 1 < argc) {
+          side = std::stoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--base") == 0 && i + 1 < argc) {
+          base = std::stoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
+          slack = std::stod(argv[++i]);
+        } else {
+          return usage();
+        }
+      }
+      return cmd_audit(worlds, side, base, slack);
     }
     if (command == "export") {
       std::string out;
