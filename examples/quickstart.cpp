@@ -13,6 +13,10 @@
 // Set VS_MONITOR=every or VS_MONITOR=<cadence-us> to run the whole thing
 // under the live invariant watchdog; any violation makes the exit status
 // nonzero.
+// Set VS_SHARDS=<n> to run the world on n region shards (conservative
+// PDES). Output, trace and exit status are byte-identical to the serial
+// run at every shard count — that is the scheduler's core guarantee —
+// so this knob deliberately prints nothing.
 
 #include <cstdlib>
 #include <iostream>
@@ -28,6 +32,7 @@ int main() {
   using namespace vs;
   const char* trace_path = std::getenv("VS_TRACE");
   const char* monitor_spec = std::getenv("VS_MONITOR");
+  const char* shards_spec = std::getenv("VS_SHARDS");
 
   // A 27x27 world of unit regions, clustered into a base-3 grid hierarchy
   // (levels 0..3, one top-level cluster).
@@ -39,6 +44,9 @@ int main() {
   // The tracking network wires up one VSA per region, one Tracker per
   // cluster, the C-gcast service, and one client per region.
   tracking::TrackingNetwork net(hierarchy, tracking::NetworkConfig{});
+  if (shards_spec != nullptr && std::atoi(shards_spec) > 1) {
+    net.set_shards(std::atoi(shards_spec));
+  }
   if (trace_path != nullptr) net.set_tracing(true);
 
   // Drop the evader at (20, 6). Clients there broadcast the detection; the

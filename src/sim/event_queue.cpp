@@ -1,13 +1,21 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace vs::sim {
 
 EventId EventQueue::push(TimePoint when, Action action, std::uint64_t cause) {
+  return push_with_seq(when, std::move(action), next_seq_++, cause, -1);
+}
+
+EventId EventQueue::push_with_seq(TimePoint when, Action action,
+                                  std::uint64_t seq, std::uint64_t cause,
+                                  std::int32_t lane) {
   VS_REQUIRE(!when.is_never(), "cannot schedule an event at ∞");
   VS_REQUIRE(static_cast<bool>(action), "empty event action");
-  const std::uint64_t seq = next_seq_++;
+  VS_REQUIRE(seq != 0, "sequence number 0 is reserved for 'no event'");
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -20,17 +28,24 @@ EventId EventQueue::push(TimePoint when, Action action, std::uint64_t cause) {
   s.action = std::move(action);
   s.seq = seq;
   s.cause = cause;
-  heap_.push(Entry{when, seq, slot});
+  s.alias = 0;
+  heap_.push_back(Entry{when, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_count_;
-  return EventId{seq, slot};
+  return EventId{seq, slot, lane};
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid() || id.slot_ >= slots_.size()) return false;
   Slot& s = slots_[id.slot_];
-  if (s.seq != id.seq_) return false;  // already fired or cancelled
+  // A renumbered event's slot keeps its original temp id as the alias so
+  // handles taken out during the window still match here.
+  if (s.seq != id.seq_ && !(s.alias != 0 && s.alias == id.seq_)) {
+    return false;  // already fired or cancelled
+  }
   s.action.reset();
   s.seq = 0;
+  s.alias = 0;
   free_slots_.push_back(id.slot_);
   --live_count_;
   return true;
@@ -39,8 +54,10 @@ bool EventQueue::cancel(EventId id) {
 void EventQueue::skim() const {
   // A heap entry whose slot generation moved on is a tombstone: the event
   // was cancelled (and its slot possibly reused by a later event).
-  while (!heap_.empty() && slots_[heap_.top().slot].seq != heap_.top().seq) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         slots_[heap_.front().slot].seq != heap_.front().seq) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -52,7 +69,13 @@ bool EventQueue::empty() const {
 TimePoint EventQueue::next_time() const {
   skim();
   VS_REQUIRE(!heap_.empty(), "next_time on empty queue");
-  return heap_.top().when;
+  return heap_.front().when;
+}
+
+EventQueue::Head EventQueue::head() const {
+  skim();
+  VS_REQUIRE(!heap_.empty(), "head on empty queue");
+  return Head{heap_.front().when, heap_.front().seq};
 }
 
 EventQueue::Action EventQueue::pop(TimePoint& when) {
@@ -64,11 +87,13 @@ EventQueue::Action EventQueue::pop(TimePoint& when) {
 EventQueue::Popped EventQueue::pop() {
   skim();
   VS_REQUIRE(!heap_.empty(), "pop on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry top = heap_.back();
+  heap_.pop_back();
   Slot& s = slots_[top.slot];
   Popped p{std::move(s.action), top.when, top.seq, s.cause};
   s.seq = 0;
+  s.alias = 0;
   free_slots_.push_back(top.slot);
   --live_count_;
   return p;

@@ -1,0 +1,76 @@
+#pragma once
+// Per-shard execution context for region-sharded parallel simulation.
+//
+// A LaneCtx is one shard's slice of the scheduler: its own EventQueue, its
+// own virtual clock, and — during a parallel window — the bookkeeping the
+// barrier replays to reconstruct the serial world's sequence numbers
+// (children, staged cross-lane sends, the temp counter). The scheduler's
+// public entry points (now, schedule_after, …) consult the thread-local
+// binding below, so Trackers and C-gcast run unmodified inside a lane.
+//
+// Two binding modes:
+//  * serial (parallel = false): the shard executor's serial interleaving —
+//    one thread fires the globally earliest event across all queues.
+//    Scheduling from a bound handler lands in the *owning lane's* queue
+//    with a real (global-counter) sequence number; clocks and causality
+//    read the scheduler's main state. Semantically identical to the
+//    unsharded scheduler, just partitioned storage.
+//  * parallel (parallel = true): inside a conservative window. Scheduling
+//    hands out per-lane temp sequence numbers (event_queue.hpp), records
+//    each call in `children` for the barrier's replay-merge, and stages
+//    cross-lane sends instead of touching another lane's queue.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace vs::sim {
+
+/// One cross-lane send staged during a parallel window; committed into the
+/// destination lane's queue at the barrier with its merged real sequence
+/// number. `when` is always >= the window cut (C-gcast's VSA→VSA delays
+/// are all >= the lookahead), which is what makes staging safe.
+struct StagedCrossEvent {
+  std::uint64_t temp_seq = 0;
+  std::uint64_t cause = 0;  // temp or real seq of the scheduling event
+  std::int32_t dest = -1;
+  TimePoint when = TimePoint::zero();
+  EventAction action;
+};
+
+struct LaneCtx {
+  EventQueue queue;
+  /// Lane-local clock: time of the lane's last fired window event. Only
+  /// meaningful while the lane is bound in parallel mode (serial mode uses
+  /// the scheduler's main clock); monotone per lane.
+  TimePoint now = TimePoint::zero();
+  std::uint64_t current_seq = 0;
+  std::uint64_t current_cause = 0;
+  std::int32_t index = 0;
+  /// Temp-id source for this lane's window-scheduled events. Monotone over
+  /// the lane's whole lifetime — never reset — so temp ids (and the cancel
+  /// aliases derived from them) are never reused.
+  std::uint64_t next_temp = 1;
+  /// Temp seqs handed out by the window's fired events, in creation order.
+  /// The barrier replays this (per fired event, via the Fired ranges) to
+  /// assign real sequence numbers exactly as the serial run would have.
+  std::vector<std::uint64_t> children;
+  std::vector<StagedCrossEvent> staged;
+};
+
+/// The lane the calling thread is currently executing for, plus the mode.
+/// Null lane = unbound (driver code, legacy worlds).
+struct LaneBinding {
+  LaneCtx* lane = nullptr;
+  bool parallel = false;
+};
+
+inline thread_local LaneBinding g_lane_binding{};
+
+[[nodiscard]] inline bool in_parallel_lane() {
+  return g_lane_binding.parallel;
+}
+
+}  // namespace vs::sim

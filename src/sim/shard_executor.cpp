@@ -1,0 +1,379 @@
+#include "sim/shard_executor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vs::sim {
+
+ShardExecutor::ShardExecutor(Scheduler& sched, int lanes, Duration lookahead,
+                             Level max_level)
+    : sched_(&sched), lookahead_(lookahead) {
+  VS_REQUIRE(lanes >= 1, "need at least one lane, got " << lanes);
+  VS_REQUIRE(lookahead > Duration::zero(),
+             "conservative lookahead must be positive, got " << lookahead);
+  lanes_.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    auto ln = std::make_unique<Lane>(max_level);
+    ln->ctx.index = i;
+    lanes_.push_back(std::move(ln));
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  {
+    std::lock_guard lk(mu_);
+    quit_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+EventQueue& ShardExecutor::lane_queue(std::int32_t lane) {
+  VS_DCHECK(lane >= 0 && lane < lanes(), "lane index out of range");
+  return lanes_[static_cast<std::size_t>(lane)]->ctx.queue;
+}
+
+std::size_t ShardExecutor::lane_pending() const {
+  std::size_t n = 0;
+  for (const auto& lp : lanes_) n += lp->ctx.queue.size();
+  return n;
+}
+
+std::uint64_t ShardExecutor::run(std::uint64_t max_events,
+                                 TimePoint deadline) {
+  if (gate_ && gate_()) return run_parallel(max_events, deadline);
+  return run_serial(max_events, deadline);
+}
+
+int ShardExecutor::scan_earliest(EventQueue::Head& out) const {
+  int best = kNoLane;
+  if (!sched_->queue_.empty()) {
+    out = sched_->queue_.head();
+    best = kGlobal;
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    const EventQueue& q = lanes_[i]->ctx.queue;
+    if (q.empty()) continue;
+    const EventQueue::Head h = q.head();
+    if (best == kNoLane || h.when < out.when ||
+        (h.when == out.when && h.seq < out.seq)) {
+      out = h;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void ShardExecutor::fire_from(int lane) {
+  if (lane == kGlobal) {
+    sched_->fire_main(sched_->queue_.pop(), nullptr);
+    return;
+  }
+  Lane& ln = *lanes_[static_cast<std::size_t>(lane)];
+  sched_->fire_main(ln.ctx.queue.pop(), &ln.ctx);
+}
+
+bool ShardExecutor::step_serial() {
+  EventQueue::Head h{};
+  const int lane = scan_earliest(h);
+  if (lane == kNoLane) return false;
+  fire_from(lane);
+  if (counters_ != nullptr) ++counters_->pdes().serial_events;
+  return true;
+}
+
+void ShardExecutor::check_budget(std::uint64_t fired,
+                                 std::uint64_t max_events, bool bounded,
+                                 TimePoint deadline) const {
+  if (bounded) {
+    VS_REQUIRE(fired <= max_events,
+               "event budget exhausted before deadline " << deadline);
+  } else {
+    VS_REQUIRE(fired <= max_events,
+               "event budget exhausted (" << max_events
+                                          << " events) — model not quiescing?");
+  }
+}
+
+std::uint64_t ShardExecutor::run_serial(std::uint64_t max_events,
+                                        TimePoint deadline) {
+  const bool bounded = !deadline.is_never();
+  std::uint64_t fired = 0;
+  for (;;) {
+    EventQueue::Head h{};
+    const int lane = scan_earliest(h);
+    if (lane == kNoLane) break;
+    if (bounded && h.when > deadline) break;
+    fire_from(lane);
+    if (counters_ != nullptr) ++counters_->pdes().serial_events;
+    ++fired;
+    check_budget(fired, max_events, bounded, deadline);
+  }
+  return fired;
+}
+
+std::uint64_t ShardExecutor::run_parallel(std::uint64_t max_events,
+                                          TimePoint deadline) {
+  const bool bounded = !deadline.is_never();
+  std::uint64_t fired = 0;
+  for (;;) {
+    EventQueue::Head h{};
+    const int lane = scan_earliest(h);
+    if (lane == kNoLane) break;
+    if (bounded && h.when > deadline) break;
+    if (lane == kGlobal) {
+      // Global-queue events (driver-context schedules: client injections,
+      // bench drivers) are serial sync points between windows.
+      sched_->fire_main(sched_->queue_.pop(), nullptr);
+      ++fired;
+      if (counters_ != nullptr) {
+        ++counters_->pdes().global_syncs;
+        ++counters_->pdes().serial_events;
+      }
+      check_budget(fired, max_events, bounded, deadline);
+      continue;
+    }
+    // Conservative cut: the earliest lane head plus the lookahead — no
+    // lane can receive a cross-shard event before that — capped by the
+    // global head (must interleave serially) and the caller's deadline.
+    // Events with (when, seq) lexicographically below the cut fire.
+    TimePoint cut_t = h.when + lookahead_;
+    std::uint64_t cut_s = 0;
+    if (!sched_->queue_.empty()) {
+      const EventQueue::Head g = sched_->queue_.head();
+      if (g.when < cut_t) {
+        cut_t = g.when;
+        cut_s = g.seq;
+      }
+    }
+    if (bounded) {
+      const TimePoint cap = deadline + Duration::micros(1);
+      if (cap < cut_t) {
+        cut_t = cap;
+        cut_s = 0;
+      }
+    }
+    // The cut strictly exceeds the earliest lane head in (when, seq)
+    // order (lookahead > 0; the global/deadline caps only apply past it),
+    // so every window fires at least one event — no stall loop.
+    launch_window(cut_t, cut_s);
+    await_window();
+    for (auto& lp : lanes_) {
+      if (lp->error) {
+        std::exception_ptr e = lp->error;
+        lp->error = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+    fired += merge_and_commit();
+    check_budget(fired, max_events, bounded, deadline);
+  }
+  return fired;
+}
+
+void ShardExecutor::start_workers() {
+  if (!workers_.empty() || lanes_.size() <= 1) return;
+  workers_.reserve(lanes_.size() - 1);
+  for (int i = 1; i < lanes(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ShardExecutor::launch_window(TimePoint cut_time, std::uint64_t cut_seq) {
+  start_workers();
+  {
+    std::lock_guard lk(mu_);
+    cut_time_ = cut_time;
+    cut_seq_ = cut_seq;
+    running_ = static_cast<int>(lanes_.size()) - 1;
+    ++window_gen_;
+  }
+  cv_start_.notify_all();
+  run_lane_window(*lanes_[0]);  // the driver thread doubles as lane 0
+}
+
+void ShardExecutor::await_window() {
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+}
+
+void ShardExecutor::worker_main(int lane) {
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    {
+      std::unique_lock lk(mu_);
+      cv_start_.wait(lk, [&] { return quit_ || window_gen_ != seen_gen; });
+      if (quit_) return;
+      seen_gen = window_gen_;
+    }
+    run_lane_window(*lanes_[static_cast<std::size_t>(lane)]);
+    {
+      std::lock_guard lk(mu_);
+      --running_;
+      if (running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardExecutor::run_lane_window(Lane& ln) {
+  LaneCtx& ctx = ln.ctx;
+  const TimePoint cut_t = cut_time_;
+  const std::uint64_t cut_s = cut_seq_;
+  ln.temp_base = ctx.next_temp;
+  ln.fired.clear();
+  ln.merge_pos = 0;
+  ln.trace_buf.clear();
+  ctx.children.clear();
+  ln.had_pending = !ctx.queue.empty();
+  // Bind the lane and the thread-local observability redirects: every
+  // record the lane's events produce lands in lane-local buffers the
+  // barrier folds back deterministically.
+  g_lane_binding = LaneBinding{&ctx, true};
+  if (counters_ != nullptr) {
+    stats::WorkCounters::set_thread_redirect(counters_, &ln.counters);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceRecorder::set_thread_redirect(trace_, &ln.trace_buf);
+  }
+  if (ledger_ != nullptr) {
+    obs::OpLedger::set_thread_redirect(ledger_, &ln.ledger);
+  }
+  if (lane_bind_) lane_bind_(ctx.index);
+  try {
+    while (!ctx.queue.empty()) {
+      const EventQueue::Head h = ctx.queue.head();
+      if (h.when > cut_t || (h.when == cut_t && h.seq >= cut_s)) break;
+      EventQueue::Popped p = ctx.queue.pop();
+      ctx.now = p.when;
+      ctx.current_seq = p.seq;
+      ctx.current_cause = p.cause;
+      Fired f{};
+      f.when = p.when;
+      f.seq = p.seq;
+      f.cause = p.cause;
+      f.trace_begin = static_cast<std::uint32_t>(ln.trace_buf.size());
+      f.child_begin = static_cast<std::uint32_t>(ctx.children.size());
+      p.action();
+      f.trace_end = static_cast<std::uint32_t>(ln.trace_buf.size());
+      f.child_end = static_cast<std::uint32_t>(ctx.children.size());
+      ln.fired.push_back(f);
+      ctx.current_seq = 0;
+      ctx.current_cause = 0;
+    }
+  } catch (...) {
+    ln.error = std::current_exception();
+  }
+  if (lane_unbind_) lane_unbind_(ctx.index);
+  if (ledger_ != nullptr) obs::OpLedger::set_thread_redirect(nullptr, nullptr);
+  if (trace_ != nullptr) {
+    obs::TraceRecorder::set_thread_redirect(nullptr, nullptr);
+  }
+  if (counters_ != nullptr) {
+    stats::WorkCounters::set_thread_redirect(nullptr, nullptr);
+  }
+  g_lane_binding = LaneBinding{};
+}
+
+std::uint64_t ShardExecutor::resolve(std::uint64_t seq) const {
+  if (!is_temp_seq(seq)) return seq;
+  const Lane& src = *lanes_[static_cast<std::size_t>(temp_seq_lane(seq))];
+  const std::uint64_t real = src.real_of[static_cast<std::size_t>(
+      temp_seq_counter(seq) - src.temp_base)];
+  VS_DCHECK(real != 0, "unresolved temp sequence number");
+  return real;
+}
+
+std::uint64_t ShardExecutor::merge_and_commit() {
+  // The replay-merge. Lane logs are already (when, seq)-sorted (each lane
+  // fired in order), so a K-way merge visits fired events in exactly the
+  // serial firing order; handing each merged event's children the next
+  // real sequence numbers reproduces the serial counter bit-for-bit. A
+  // log head's own seq is always resolvable: if it is a temp, its parent
+  // fired earlier in the same lane's log and has already been merged.
+  for (auto& lp : lanes_) {
+    lp->real_of.assign(
+        static_cast<std::size_t>(lp->ctx.next_temp - lp->temp_base), 0);
+  }
+  std::uint64_t merged = 0;
+  TimePoint last_when = TimePoint::zero();
+  const bool trace_on = trace_ != nullptr;
+  for (;;) {
+    Lane* best = nullptr;
+    TimePoint best_when = TimePoint::zero();
+    std::uint64_t best_seq = 0;
+    for (auto& lp : lanes_) {
+      if (lp->merge_pos >= lp->fired.size()) continue;
+      const Fired& f = lp->fired[lp->merge_pos];
+      const std::uint64_t rs = resolve(f.seq);
+      if (best == nullptr || f.when < best_when ||
+          (f.when == best_when && rs < best_seq)) {
+        best = lp.get();
+        best_when = f.when;
+        best_seq = rs;
+      }
+    }
+    if (best == nullptr) break;
+    const Fired& f = best->fired[best->merge_pos++];
+    for (std::uint32_t c = f.child_begin; c < f.child_end; ++c) {
+      const std::uint64_t temp = best->ctx.children[c];
+      best->real_of[static_cast<std::size_t>(temp_seq_counter(temp) -
+                                             best->temp_base)] =
+          sched_->next_seq_++;
+    }
+    if (trace_on) {
+      const std::uint64_t rc = resolve(f.cause);
+      for (std::uint32_t t = f.trace_begin; t < f.trace_end; ++t) {
+        obs::TraceEvent e = best->trace_buf[t];
+        e.seq = best_seq;
+        e.cause = rc;
+        trace_->append(e);
+      }
+    }
+    last_when = f.when;
+    ++merged;
+  }
+  // Commit staged cross-lane sends into their destination queues with
+  // merged identities, rewrite still-pending window-created events to
+  // their real seqs (monotone, so heap order is preserved), then fold
+  // lane-local accounting into the world objects in lane order.
+  for (auto& lp : lanes_) {
+    for (StagedCrossEvent& s : lp->ctx.staged) {
+      Lane& dest = *lanes_[static_cast<std::size_t>(s.dest)];
+      dest.ctx.queue.push_with_seq(s.when, std::move(s.action),
+                                   resolve(s.temp_seq), resolve(s.cause),
+                                   s.dest);
+      if (counters_ != nullptr) ++counters_->pdes().cross_shard_events;
+    }
+    lp->ctx.staged.clear();
+  }
+  for (auto& lp : lanes_) {
+    lp->ctx.queue.renumber([this](std::uint64_t t) { return resolve(t); });
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& ln = *lanes_[i];
+    if (counters_ != nullptr) {
+      counters_->accumulate(ln.counters);
+      ln.counters.reset();
+    }
+    if (ledger_ != nullptr) ledger_->merge_ops_from(ln.ledger);
+    if (lane_fold_) lane_fold_(static_cast<int>(i));
+  }
+  if (counters_ != nullptr) {
+    stats::PdesCounters& p = counters_->pdes();
+    ++p.windows;
+    p.window_events += static_cast<std::int64_t>(merged);
+    std::size_t critical = 0;
+    for (const auto& lp : lanes_) {
+      critical = std::max(critical, lp->fired.size());
+      if (lp->had_pending && lp->fired.empty()) ++p.horizon_stalls;
+    }
+    p.critical_path_events += static_cast<std::int64_t>(critical);
+  }
+  sched_->events_fired_ += merged;
+  if (merged != 0 && last_when > sched_->now_) sched_->now_ = last_when;
+  if (barrier_hook_) barrier_hook_(sched_->now_);
+  return merged;
+}
+
+}  // namespace vs::sim

@@ -1,0 +1,191 @@
+#pragma once
+// ShardExecutor — region-sharded intra-world parallel execution.
+//
+// The paper's C-gcast delay constants give every VSA→VSA message a latency
+// of at least (δ + e) (the per-level multipliers (a)–(c) only grow it, and
+// n(0) = 1 region-hops is the minimum). That floor is a classic
+// Chandy–Misra lookahead: if every shard has processed all its events up
+// to time T, no shard can receive a new cross-shard event before T + (δ+e).
+// The executor exploits it with a conservative *window barrier*:
+//
+//   1. cut = min over lane queue heads of (head.when + lookahead), capped
+//      by the global queue's head (a serial sync point) and the caller's
+//      deadline;
+//   2. every lane fires its events with (when, seq) < cut in parallel, one
+//      thread per lane, scheduling with per-lane temp sequence numbers and
+//      staging cross-lane sends;
+//   3. the barrier replays the lanes' fired logs in (when, seq) merge
+//      order, handing out real sequence numbers to each fired event's
+//      children exactly as the serial run's counter would have, then
+//      commits staged sends, renumbers pending events, flushes per-lane
+//      trace buffers in merged order, and folds lane-local accounting into
+//      the world's objects in lane order.
+//
+// Because the replay assigns identical sequence numbers and the fold order
+// is fixed, the merged trace, counters, ledger, and metrics are
+// byte-identical to the serial run at every shard count — the property
+// tests/test_shard.cpp pins.
+//
+// Worlds whose configuration couldn't tolerate interleaving (monitors
+// reading cross-lane state each step, fault injection, stabilizers) are
+// routed by the parallel gate to a *serial* path: one thread fires the
+// globally earliest event across all queues — exact legacy semantics over
+// partitioned storage.
+//
+// Layering note: sim/ otherwise sits below obs/ and stats/; this one
+// translation unit is the sanctioned exception, because the barrier is
+// precisely the place where lane-local observability state rejoins the
+// world. The dependencies run through narrow bind_* pointers and stay
+// nullable.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+#include "common/ids.hpp"
+#include "obs/ledger/ledger.hpp"
+#include "obs/trace.hpp"
+#include "sim/lane.hpp"
+#include "sim/scheduler.hpp"
+#include "stats/counters.hpp"
+
+namespace vs::sim {
+
+class ShardExecutor {
+ public:
+  /// `lookahead` is the conservative horizon — the minimum cross-shard
+  /// delivery delay, (δ + e) for the paper's C-gcast. `max_level` sizes
+  /// the per-lane counter shapes (must match the world's WorkCounters).
+  ShardExecutor(Scheduler& sched, int lanes, Duration lookahead,
+                Level max_level);
+  ~ShardExecutor();
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  [[nodiscard]] int lanes() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  [[nodiscard]] EventQueue& lane_queue(std::int32_t lane);
+  /// Live events across all lane queues (the scheduler adds its global
+  /// queue on top for pending()).
+  [[nodiscard]] std::size_t lane_pending() const;
+
+  /// World-level sinks the barrier folds lane-local state into. All
+  /// nullable; bind before the first sharded run touching each subsystem.
+  void bind_counters(stats::WorkCounters* counters) { counters_ = counters; }
+  void bind_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  void bind_ledger(obs::OpLedger* ledger) { ledger_ = ledger; }
+
+  /// Parallel-eligibility gate, consulted once per run(): when it returns
+  /// false (or none is set) the run takes the serial path. The network
+  /// wires world conditions through this (post-step monitors, fault
+  /// injection, stabilizers, directories — anything that must observe a
+  /// single global interleaving).
+  void set_parallel_gate(std::function<bool()> gate) {
+    gate_ = std::move(gate);
+  }
+
+  /// Per-lane extension hooks for owner state the executor doesn't know
+  /// about (the network's per-find accumulators): `bind(lane)` runs on the
+  /// lane's thread as its window slice starts, `unbind(lane)` as it ends,
+  /// and `fold(lane)` on the driver thread at the barrier, in lane order.
+  void set_lane_hooks(std::function<void(int)> bind,
+                      std::function<void(int)> unbind,
+                      std::function<void(int)> fold) {
+    lane_bind_ = std::move(bind);
+    lane_unbind_ = std::move(unbind);
+    lane_fold_ = std::move(fold);
+  }
+
+  /// Runs on the driver thread after each barrier commit with the
+  /// committed world clock (C-gcast prunes delivered in-flight rows here).
+  void set_barrier_hook(std::function<void(TimePoint)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  // ---- Scheduler delegation (Scheduler::run/run_until/step/pending) ----
+
+  /// Run to quiescence or `deadline` (never() = unbounded). Throws the
+  /// scheduler's budget error past `max_events`.
+  std::uint64_t run(std::uint64_t max_events, TimePoint deadline);
+
+  /// Fire the single globally earliest event (always serial — the
+  /// watchdog's step path). Returns false if nothing is pending.
+  bool step_serial();
+
+ private:
+  /// One fired window event, with the ranges of trace records and child
+  /// temp ids it produced — the barrier's replay unit.
+  struct Fired {
+    TimePoint when;
+    std::uint64_t seq;    // temp (created this window) or real
+    std::uint64_t cause;  // temp or real
+    std::uint32_t trace_begin, trace_end;  // range in Lane::trace_buf
+    std::uint32_t child_begin, child_end;  // range in LaneCtx::children
+  };
+
+  struct Lane {
+    explicit Lane(Level max_level) : counters(max_level) {}
+    LaneCtx ctx;
+    std::vector<obs::TraceEvent> trace_buf;
+    stats::WorkCounters counters;
+    obs::OpLedger ledger;
+    std::vector<Fired> fired;
+    std::uint64_t temp_base = 0;  // ctx.next_temp at window start
+    /// temp counter − temp_base → merged real seq (0 = not yet assigned).
+    std::vector<std::uint64_t> real_of;
+    std::size_t merge_pos = 0;
+    bool had_pending = false;  // queue non-empty at window start
+    std::exception_ptr error;
+  };
+
+  static constexpr int kNoLane = -2;  // scan result: all queues empty
+  static constexpr int kGlobal = -1;
+
+  std::uint64_t run_parallel(std::uint64_t max_events, TimePoint deadline);
+  std::uint64_t run_serial(std::uint64_t max_events, TimePoint deadline);
+  /// Earliest (when, seq) across global + lane queues; returns the owning
+  /// lane index, kGlobal, or kNoLane.
+  int scan_earliest(EventQueue::Head& out) const;
+  void fire_from(int lane);  // pop + fire_main from that queue
+  void run_lane_window(Lane& ln);
+  std::uint64_t merge_and_commit();
+  [[nodiscard]] std::uint64_t resolve(std::uint64_t seq) const;
+  void start_workers();
+  void launch_window(TimePoint cut_time, std::uint64_t cut_seq);
+  void await_window();
+  void worker_main(int lane);
+  void check_budget(std::uint64_t fired, std::uint64_t max_events,
+                    bool bounded, TimePoint deadline) const;
+
+  Scheduler* sched_;
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // stable LaneCtx addresses
+
+  stats::WorkCounters* counters_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::OpLedger* ledger_ = nullptr;
+  std::function<bool()> gate_;
+  std::function<void(int)> lane_bind_, lane_unbind_, lane_fold_;
+  std::function<void(TimePoint)> barrier_hook_;
+
+  // Generation barrier for the worker pool (mutex + condvars; every lane
+  // handoff is sequenced through mu_, which is what keeps TSan quiet).
+  // Lane 0 always runs on the driver thread; workers cover lanes 1..K-1
+  // and are started lazily at the first parallel window.
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t window_gen_ = 0;
+  int running_ = 0;
+  bool quit_ = false;
+  TimePoint cut_time_ = TimePoint::zero();
+  std::uint64_t cut_seq_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vs::sim

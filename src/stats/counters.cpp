@@ -54,6 +54,10 @@ WorkCounters::WorkCounters(Level max_level)
 }
 
 void WorkCounters::record(MsgKind kind, Level level, std::int64_t hops) {
+  if (tls_redirect_from_ == this && tls_redirect_to_ != nullptr) {
+    tls_redirect_to_->record(kind, level, hops);
+    return;
+  }
   VS_REQUIRE(kind != MsgKind::kCount, "bad kind");
   VS_REQUIRE(level >= 0 && level <= max_level_, "level out of range");
   VS_REQUIRE(hops >= 0, "negative hop count");
@@ -184,6 +188,7 @@ void WorkCounters::reset() {
   for (auto& row : work_by_level_kind_) row.fill(0);
   duplicated_ = 0;
   jittered_ = 0;
+  pdes_ = PdesCounters{};
 }
 
 WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
@@ -205,6 +210,16 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
   }
   d.duplicated_ = duplicated_ - earlier.duplicated_;
   d.jittered_ = jittered_ - earlier.jittered_;
+  d.pdes_.windows = pdes_.windows - earlier.pdes_.windows;
+  d.pdes_.window_events = pdes_.window_events - earlier.pdes_.window_events;
+  d.pdes_.serial_events = pdes_.serial_events - earlier.pdes_.serial_events;
+  d.pdes_.cross_shard_events =
+      pdes_.cross_shard_events - earlier.pdes_.cross_shard_events;
+  d.pdes_.horizon_stalls =
+      pdes_.horizon_stalls - earlier.pdes_.horizon_stalls;
+  d.pdes_.global_syncs = pdes_.global_syncs - earlier.pdes_.global_syncs;
+  d.pdes_.critical_path_events =
+      pdes_.critical_path_events - earlier.pdes_.critical_path_events;
   return d;
 }
 
@@ -243,7 +258,19 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
        << ", \"find_messages\": " << find_messages_at_level(level)
        << ", \"find_work\": " << find_work_at_level(level) << "}";
   }
-  os << "\n" << in << "]\n" << pad << "}";
+  os << "\n" << in << "]";
+  if (pdes_.windows != 0) {
+    os << ",\n"
+       << in << "\"pdes\": {\"windows\": " << pdes_.windows
+       << ", \"window_events\": " << pdes_.window_events
+       << ", \"serial_events\": " << pdes_.serial_events
+       << ", \"cross_shard_events\": " << pdes_.cross_shard_events
+       << ", \"horizon_stalls\": " << pdes_.horizon_stalls
+       << ", \"global_syncs\": " << pdes_.global_syncs
+       << ", \"critical_path_events\": " << pdes_.critical_path_events
+       << "}";
+  }
+  os << "\n" << pad << "}";
 }
 
 void WorkCounters::accumulate(const WorkCounters& other) {
@@ -262,6 +289,13 @@ void WorkCounters::accumulate(const WorkCounters& other) {
   }
   duplicated_ += other.duplicated_;
   jittered_ += other.jittered_;
+  pdes_.windows += other.pdes_.windows;
+  pdes_.window_events += other.pdes_.window_events;
+  pdes_.serial_events += other.pdes_.serial_events;
+  pdes_.cross_shard_events += other.pdes_.cross_shard_events;
+  pdes_.horizon_stalls += other.pdes_.horizon_stalls;
+  pdes_.global_syncs += other.pdes_.global_syncs;
+  pdes_.critical_path_events += other.pdes_.critical_path_events;
 }
 
 }  // namespace vs::stats

@@ -43,6 +43,23 @@ enum class MsgKind : std::uint8_t {
 /// both the Theorem 4.9 move sums and the Theorem 5.2 find sums.
 [[nodiscard]] bool is_heartbeat_kind(MsgKind kind);
 
+/// Diagnostics of the sharded executor (sim/shard_executor.hpp): window
+/// and event census of the conservative parallel schedule. Zero — and
+/// absent from to_json — unless a parallel window ever committed, so
+/// sharded-but-serial and legacy runs stay byte-identical.
+struct PdesCounters {
+  std::int64_t windows = 0;        // parallel windows committed
+  std::int64_t window_events = 0;  // events fired inside windows
+  std::int64_t serial_events = 0;  // events fired on the serial path
+  std::int64_t cross_shard_events = 0;  // staged sends committed
+  std::int64_t horizon_stalls = 0;  // lane had work but none below the cut
+  std::int64_t global_syncs = 0;    // global-queue serial sync points
+  /// Max per-lane events over each window, summed — the schedule's
+  /// critical path; window_events / critical_path_events is the
+  /// partition-balance speedup bound on ideal hardware.
+  std::int64_t critical_path_events = 0;
+};
+
 class WorkCounters {
  public:
   explicit WorkCounters(Level max_level);
@@ -50,6 +67,16 @@ class WorkCounters {
   /// Record one message of `kind` sent at hierarchy level `level` that
   /// travels `hops` region-hops.
   void record(MsgKind kind, Level level, std::int64_t hops);
+
+  /// Redirect this thread's record() calls on `from` to `to` — the shard
+  /// executor's parallel-window binding, so lane threads account into
+  /// lane-local counters the barrier folds back deterministically.
+  /// (note_duplicated/note_jittered stay unredirected: channel faults make
+  /// a world ineligible for parallel windows.) Pass nulls to clear.
+  static void set_thread_redirect(const WorkCounters* from, WorkCounters* to) {
+    tls_redirect_from_ = from;
+    tls_redirect_to_ = to;
+  }
 
   [[nodiscard]] std::int64_t messages(MsgKind kind) const;
   [[nodiscard]] std::int64_t work(MsgKind kind) const;
@@ -93,6 +120,11 @@ class WorkCounters {
 
   [[nodiscard]] Level max_level() const { return max_level_; }
 
+  /// Sharded-executor diagnostics (see PdesCounters). Mutated directly by
+  /// the executor's barrier; folded by accumulate/delta_since.
+  [[nodiscard]] PdesCounters& pdes() { return pdes_; }
+  [[nodiscard]] const PdesCounters& pdes() const { return pdes_; }
+
   /// JSON emitter — the single artifact schema every bench and tool uses
   /// (no hand-formatted counter dumps). Shape:
   ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N,
@@ -100,7 +132,8 @@ class WorkCounters {
   ///    "by_kind": {"grow": {"messages": N, "work": N}, ...},  // non-zero only
   ///    "by_level": [{"level": 0, "messages": N, "work": N,
   ///                  "move_messages": N, "move_work": N,
-  ///                  "find_messages": N, "find_work": N}, ...]}
+  ///                  "find_messages": N, "find_work": N}, ...],
+  ///    "pdes": {...}}  // only when parallel windows committed (windows>0)
   void to_json(std::ostream& os, int indent = 0) const;
 
  private:
@@ -116,6 +149,10 @@ class WorkCounters {
   std::vector<std::array<std::int64_t, kKinds>> work_by_level_kind_;
   std::int64_t duplicated_{0};
   std::int64_t jittered_{0};
+  PdesCounters pdes_{};
+
+  inline static thread_local const WorkCounters* tls_redirect_from_ = nullptr;
+  inline static thread_local WorkCounters* tls_redirect_to_ = nullptr;
 };
 
 }  // namespace vs::stats

@@ -1,0 +1,34 @@
+#include "vsa/shard_map.hpp"
+
+#include "common/error.hpp"
+
+namespace vs::vsa {
+
+ShardMap::ShardMap(const hier::ClusterHierarchy& hierarchy, int lanes)
+    : lanes_(lanes) {
+  const auto num_regions = hierarchy.tiling().num_regions();
+  VS_REQUIRE(lanes >= 1, "need at least one lane, got " << lanes);
+  VS_REQUIRE(static_cast<std::size_t>(lanes) <= num_regions,
+             "more lanes (" << lanes << ") than regions (" << num_regions
+                            << ")");
+  lane_by_cluster_.resize(hierarchy.num_clusters());
+  for (std::size_t c = 0; c < lane_by_cluster_.size(); ++c) {
+    const RegionId head =
+        hierarchy.head(ClusterId{static_cast<std::int32_t>(c)});
+    lane_by_cluster_[c] = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(head.value()) * lanes /
+        static_cast<std::int64_t>(num_regions));
+  }
+  lane_by_region_.resize(num_regions);
+  for (std::size_t u = 0; u < num_regions; ++u) {
+    const RegionId region{static_cast<std::int32_t>(u)};
+    const ClusterId c0 = hierarchy.cluster_of(region, 0);
+    lane_by_region_[u] = lane_of_cluster(c0);
+    // Level-0 clusters are singletons, so a region and its level-0
+    // cluster head coincide — the colocation invariant by construction.
+    VS_DCHECK(hierarchy.head(c0) == region,
+              "level-0 cluster head differs from its region");
+  }
+}
+
+}  // namespace vs::vsa

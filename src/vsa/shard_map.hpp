@@ -1,0 +1,54 @@
+#pragma once
+// ShardMap — deterministic partition of the cluster hierarchy into lanes.
+//
+// The sharded executor (sim/shard_executor.hpp) needs every cluster — and
+// every region's client population — assigned to exactly one lane, with
+// two properties:
+//  * seed-independence: the partition is a pure function of the hierarchy
+//    geometry, so the same world sharded the same way always maps the same
+//    (the determinism tests compare traces across shard counts, not the
+//    partition itself, but a drifting partition would churn the perf
+//    numbers for no reason);
+//  * client/level-0 colocation: a region's clients share a lane with the
+//    region's level-0 cluster, because rules (d)/(e) — client↔VSA traffic —
+//    run *below* the conservative lookahead (delay δ and δ+e) and are only
+//    safe because they never cross a lane.
+//
+// The partition is contiguous region-id bands: lane(c) =
+// head(c)·K / num_regions. Region ids are row-major on the grid tilings,
+// so bands are horizontal strips — cheap, balanced for uniformly spread
+// walkers, and every cluster subtree at every level lands with its head.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hier/hierarchy.hpp"
+
+namespace vs::vsa {
+
+class ShardMap {
+ public:
+  /// Requires 1 <= lanes <= num_regions.
+  ShardMap(const hier::ClusterHierarchy& hierarchy, int lanes);
+
+  [[nodiscard]] int lanes() const { return lanes_; }
+
+  /// Lane hosting cluster `c`'s process (its head's band).
+  [[nodiscard]] std::int32_t lane_of_cluster(ClusterId c) const {
+    return lane_by_cluster_[static_cast<std::size_t>(c.value())];
+  }
+
+  /// Lane hosting region `u`'s clients — always the lane of u's level-0
+  /// cluster (the colocation invariant rule (d)/(e) safety rests on).
+  [[nodiscard]] std::int32_t lane_of_region(RegionId u) const {
+    return lane_by_region_[static_cast<std::size_t>(u.value())];
+  }
+
+ private:
+  int lanes_;
+  std::vector<std::int32_t> lane_by_cluster_;
+  std::vector<std::int32_t> lane_by_region_;
+};
+
+}  // namespace vs::vsa

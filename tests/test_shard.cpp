@@ -1,0 +1,340 @@
+// Region-sharded parallel execution (sim/shard_executor.hpp): the merged
+// outputs — trace, ledger, metrics, find results, pointer state — must be
+// byte-identical to the unsharded world at every shard count, parallel
+// windows must make progress on cross-shard traffic (no deadlock, no stall
+// loop), and the partition itself must be a pure function of the geometry.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/ledger/ledger.hpp"
+#include "obs/monitor/incident.hpp"
+#include "obs/monitor/watchdog.hpp"
+#include "runner/trial_pool.hpp"
+#include "sim/event_queue.hpp"
+#include "util.hpp"
+#include "vsa/shard_map.hpp"
+
+namespace vstest {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Partition.
+
+TEST(ShardMap, PartitionIsDeterministicAndColocated) {
+  hier::GridHierarchy h1(27, 27, 3);
+  hier::GridHierarchy h2(27, 27, 3);
+  const vsa::ShardMap m1(h1, 4);
+  const vsa::ShardMap m2(h2, 4);
+  ASSERT_EQ(m1.lanes(), 4);
+  for (std::size_t c = 0; c < h1.num_clusters(); ++c) {
+    const ClusterId id{static_cast<ClusterId::rep_type>(c)};
+    // Geometry-keyed: two identically built hierarchies partition alike.
+    EXPECT_EQ(m1.lane_of_cluster(id), m2.lane_of_cluster(id));
+    EXPECT_GE(m1.lane_of_cluster(id), 0);
+    EXPECT_LT(m1.lane_of_cluster(id), 4);
+  }
+  std::vector<int> population(4, 0);
+  for (std::size_t u = 0; u < h1.tiling().num_regions(); ++u) {
+    const RegionId r{static_cast<RegionId::rep_type>(u)};
+    // Colocation: a region's clients share its level-0 cluster's lane.
+    EXPECT_EQ(m1.lane_of_region(r),
+              m1.lane_of_cluster(h1.cluster_of(r, 0)));
+    ++population[static_cast<std::size_t>(m1.lane_of_region(r))];
+  }
+  for (const int p : population) EXPECT_GT(p, 0);  // no empty lane
+}
+
+TEST(ShardMap, RejectsMoreLanesThanRegions) {
+  hier::GridHierarchy h(3, 3, 3);
+  EXPECT_THROW((void)vsa::ShardMap(h, 10), Error);
+  EXPECT_THROW((void)vsa::ShardMap(h, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: the property everything else rests on. One scenario
+// function, parameterised only by the shard count (0 = legacy world that
+// never called set_shards), full observability attached.
+
+struct ShardRun {
+  std::vector<obs::TraceEvent> trace;
+  std::string ledger_json;
+  std::string metrics_json;
+  std::vector<tracking::TrackerSnapshot> trackers;
+  std::int64_t virtual_time_us = 0;
+  std::int64_t total_messages = 0;
+  std::int64_t total_work = 0;
+  std::uint64_t events_fired = 0;
+  RegionId found_region{};
+  std::int64_t find_messages = 0;
+  std::int64_t find_work = 0;
+  std::int64_t pdes_windows = 0;
+  std::int64_t pdes_cross = 0;
+};
+
+ShardRun traced_walk(int shards) {
+  GridNet g = make_grid(27, 3);
+  if (shards > 0) g.net->set_shards(shards);
+  obs::OpLedger ledger;
+  ledger.set_enabled(true);
+  g.net->set_op_ledger(&ledger);
+  g.net->set_tracing(true);
+
+  const RegionId start = g.at(13, 13);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 40, 0x5AAD);
+  FindId last{};
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    if (i % 5 == 0) last = g.net->start_find(g.at(0, 26), t);
+    g.net->run_to_quiescence();
+  }
+  // A bounded-run tail too: run_until must commit the same clock.
+  g.net->move_evader(t, g.hierarchy->tiling().neighbors(walk.back()).front());
+  g.net->run_for(sim::Duration::micros(1'500));
+  g.net->run_to_quiescence();
+
+  ShardRun out;
+  out.trace = g.net->trace().events();
+  out.ledger_json = ledger.to_json();
+  std::ostringstream ms;
+  g.net->export_metrics().to_json(ms);
+  out.metrics_json = ms.str();
+  out.trackers = g.net->snapshot(t).trackers;
+  out.virtual_time_us = g.net->now().count();
+  out.total_messages = g.net->counters().total_messages();
+  out.total_work = g.net->counters().total_work();
+  out.events_fired = g.net->scheduler().events_fired();
+  const auto& fr = g.net->find_result(last);
+  out.found_region = fr.found_region;
+  out.find_messages = fr.messages;
+  out.find_work = fr.work;
+  out.pdes_windows = g.net->counters().pdes().windows;
+  out.pdes_cross = g.net->counters().pdes().cross_shard_events;
+  return out;
+}
+
+void expect_identical(const ShardRun& a, const ShardRun& b, int shards) {
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << "shards=" << shards;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(&a.trace[i], &b.trace[i],
+                             sizeof(obs::TraceEvent)))
+        << "trace event " << i << " differs at shards=" << shards;
+  }
+  EXPECT_EQ(a.ledger_json, b.ledger_json) << "shards=" << shards;
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "shards=" << shards;
+  EXPECT_EQ(a.virtual_time_us, b.virtual_time_us) << "shards=" << shards;
+  EXPECT_EQ(a.total_messages, b.total_messages) << "shards=" << shards;
+  EXPECT_EQ(a.total_work, b.total_work) << "shards=" << shards;
+  EXPECT_EQ(a.events_fired, b.events_fired) << "shards=" << shards;
+  EXPECT_EQ(a.found_region, b.found_region) << "shards=" << shards;
+  EXPECT_EQ(a.find_messages, b.find_messages) << "shards=" << shards;
+  EXPECT_EQ(a.find_work, b.find_work) << "shards=" << shards;
+  ASSERT_EQ(a.trackers.size(), b.trackers.size());
+  for (std::size_t i = 0; i < a.trackers.size(); ++i) {
+    EXPECT_EQ(a.trackers[i].c, b.trackers[i].c) << "cluster " << i;
+    EXPECT_EQ(a.trackers[i].p, b.trackers[i].p) << "cluster " << i;
+    EXPECT_EQ(a.trackers[i].nbrptup, b.trackers[i].nbrptup) << i;
+    EXPECT_EQ(a.trackers[i].nbrptdown, b.trackers[i].nbrptdown) << i;
+  }
+}
+
+TEST(Shard, TracedWalkIsByteIdenticalAtEveryShardCount) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  const ShardRun serial = traced_walk(0);
+  ASSERT_GT(serial.trace.size(), 0u);
+  for (const int shards : {1, 2, 4, 8}) {
+    const ShardRun sharded = traced_walk(shards);
+    expect_identical(serial, sharded, shards);
+    if (shards > 1) {
+      // The run really went through parallel windows and crossed lanes —
+      // identity must not be the trivial consequence of never sharding.
+      EXPECT_GT(sharded.pdes_windows, 0) << "shards=" << shards;
+      EXPECT_GT(sharded.pdes_cross, 0) << "shards=" << shards;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: channel faults force the eligibility gate to the serial path,
+// which must still be byte-identical over partitioned queues — and the
+// incident capture machinery (watchdog post-step hook, also ineligible)
+// must produce byte-identical bundles.
+
+struct ChaosRun {
+  std::vector<obs::TraceEvent> trace;
+  std::string incidents;
+  std::int64_t lost = 0;
+  std::int64_t virtual_time_us = 0;
+};
+
+ChaosRun chaos_walk(int shards) {
+  GridNet g = make_grid(9, 3);
+  if (shards > 0) g.net->set_shards(shards);
+  g.net->set_tracing(true);
+  fault::FaultPlan p;
+  p.seed = 0xC0FFEE;
+  p.loss_bursts.push_back({0, 100'000'000, 0.1, 0});
+  p.duplications.push_back({0, 100'000'000, 0.1, 0});
+  p.jitters.push_back({0, 100'000'000, 0.2, 200});
+  fault::FaultInjector inj(*g.net, p);
+  inj.arm();
+
+  const RegionId start = g.at(4, 4);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  obs::WatchdogConfig wcfg;
+  wcfg.mode = obs::WatchMode::kCadence;
+  wcfg.cadence = sim::Duration::micros(10'000);
+  wcfg.source = "test";
+  obs::Watchdog wd(*g.net, t, wcfg);
+  const auto walk = random_walk(g.hierarchy->tiling(), start, 20, 0xFA);
+  for (std::size_t i = 1; i < walk.size(); ++i) {
+    g.net->move_evader(t, walk[i]);
+    g.net->run_for(sim::Duration::micros(50'000));
+  }
+  g.net->run_to_quiescence();
+
+  ChaosRun out;
+  out.trace = g.net->trace().events();
+  std::ostringstream is;
+  for (const auto& b : wd.incidents()) obs::write_incident(is, b);
+  out.incidents = is.str();
+  out.lost = g.net->cgcast().lost();
+  out.virtual_time_us = g.net->now().count();
+  return out;
+}
+
+TEST(Shard, ChaosRunFallsBackSeriallyAndStaysByteIdentical) {
+  if (!obs::kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  const ChaosRun serial = chaos_walk(0);
+  EXPECT_GT(serial.lost, 0);  // the faults actually bit
+  for (const int shards : {2, 4}) {
+    const ChaosRun sharded = chaos_walk(shards);
+    ASSERT_EQ(serial.trace.size(), sharded.trace.size()) << shards;
+    for (std::size_t i = 0; i < serial.trace.size(); ++i) {
+      ASSERT_EQ(0, std::memcmp(&serial.trace[i], &sharded.trace[i],
+                               sizeof(obs::TraceEvent)))
+          << "trace event " << i << " differs at shards=" << shards;
+    }
+    EXPECT_EQ(serial.incidents, sharded.incidents) << shards;
+    EXPECT_EQ(serial.lost, sharded.lost) << shards;
+    EXPECT_EQ(serial.virtual_time_us, sharded.virtual_time_us) << shards;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: sustained cross-band traffic (finds issued from the far band,
+// answers travelling back) must drain to quiescence under parallel windows
+// — the window cut always admits at least the earliest pending event, so
+// lanes can never starve each other into a stall loop.
+
+TEST(Shard, CrossBandPingPongDrainsWithoutDeadlock) {
+  GridNet g = make_grid(27, 3);
+  g.net->set_shards(4);
+  const TargetId t = g.net->add_evader(g.at(13, 2));   // lane-0 band
+  g.net->run_to_quiescence();
+  for (int round = 0; round < 12; ++round) {
+    g.net->start_find(g.at(13, 26), t);  // opposite band every round
+    g.net->move_evader(t, g.at(13, round % 2 == 0 ? 3 : 2));
+    g.net->run_to_quiescence();
+  }
+  EXPECT_EQ(g.net->scheduler().pending(), 0u);
+  EXPECT_GT(g.net->counters().pdes().windows, 0);
+  EXPECT_GT(g.net->counters().pdes().cross_shard_events, 0);
+  EXPECT_EQ(g.net->counters().pdes().serial_events +
+                g.net->counters().pdes().window_events,
+            static_cast<std::int64_t>(g.net->scheduler().events_fired()));
+}
+
+// ---------------------------------------------------------------------------
+// Counter surfacing: the "pdes" block appears in WorkCounters::to_json only
+// once a window has committed, keeping unsharded artifacts byte-stable.
+
+TEST(Shard, PdesBlockAppearsOnlyWhenWindowsRan) {
+  GridNet legacy = make_grid(9, 3);
+  const TargetId t0 = legacy.net->add_evader(legacy.at(4, 4));
+  legacy.net->move_and_quiesce(t0, legacy.at(4, 5));
+  std::ostringstream a;
+  legacy.net->counters().to_json(a);
+  EXPECT_EQ(a.str().find("\"pdes\""), std::string::npos);
+
+  GridNet sharded = make_grid(9, 3);
+  sharded.net->set_shards(3);
+  const TargetId t1 = sharded.net->add_evader(sharded.at(4, 4));
+  sharded.net->move_and_quiesce(t1, sharded.at(4, 5));
+  std::ostringstream b;
+  sharded.net->counters().to_json(b);
+  EXPECT_NE(b.str().find("\"pdes\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// API contract.
+
+TEST(Shard, SetShardsValidatesItsWindow) {
+  GridNet g = make_grid(9, 3);
+  EXPECT_THROW(g.net->set_shards(0), Error);
+  g.net->set_shards(500);              // clamped to the 81 regions
+  EXPECT_EQ(g.net->shards(), 81);
+  EXPECT_THROW(g.net->set_shards(2), Error);  // once only
+
+  GridNet late = make_grid(9, 3);
+  (void)late.net->add_evader(late.at(4, 4));  // events now pending
+  EXPECT_THROW(late.net->set_shards(2), Error);
+}
+
+TEST(Shard, MonitoredWorldsReportIneligible) {
+  GridNet g = make_grid(9, 3);
+  g.net->set_shards(2);
+  EXPECT_TRUE(g.net->parallel_eligible());
+  g.net->set_state_change_hook([](ClusterId, TargetId) {});
+  EXPECT_FALSE(g.net->parallel_eligible());
+  g.net->set_state_change_hook(nullptr);
+  EXPECT_TRUE(g.net->parallel_eligible());
+}
+
+// ---------------------------------------------------------------------------
+// Thread budget: trial-level and intra-world parallelism share the machine.
+
+TEST(Runner, ClampJobsForShardsKeepsTheProductBounded) {
+  EXPECT_EQ(runner::clamp_jobs_for_shards(6, 1), 6);  // unsharded: untouched
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const int hw = hw_raw == 0 ? 1 : static_cast<int>(hw_raw);
+  for (const int shards : {2, 4, 8}) {
+    for (const int jobs : {1, 2, 8, 64}) {
+      const int clamped = runner::clamp_jobs_for_shards(jobs, shards);
+      EXPECT_GE(clamped, 1);
+      EXPECT_LE(clamped, jobs);
+      if (clamped > 1) {
+        EXPECT_LE(clamped * shards, hw);
+      }
+    }
+  }
+  EXPECT_THROW((void)runner::clamp_jobs_for_shards(-1, 2), Error);
+  EXPECT_THROW((void)runner::clamp_jobs_for_shards(2, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Temp sequence numbers (sim/event_queue.hpp): the lane/counter packing the
+// replay-merge relies on.
+
+TEST(Shard, TempSeqPackingRoundTrips) {
+  using namespace vs::sim;
+  EXPECT_FALSE(is_temp_seq(0));
+  EXPECT_FALSE(is_temp_seq(std::uint64_t{1} << 62));
+  const std::uint64_t s = make_temp_seq(5, 123);
+  EXPECT_TRUE(is_temp_seq(s));
+  EXPECT_EQ(temp_seq_lane(s), 5);
+  EXPECT_EQ(temp_seq_counter(s), 123u);
+  // Real seqs sort below every temp seq, so merged (when, seq) comparisons
+  // during a window stay well-ordered.
+  EXPECT_LT(std::uint64_t{1} << 62, make_temp_seq(0, 1));
+}
+
+}  // namespace
+}  // namespace vstest

@@ -15,7 +15,9 @@
 # quickstart must attribute 100% of its cost events and sit inside the
 # Theorem 4.9/5.2 slack, and a traced chaos-plan run must bill its
 # heartbeat and repair traffic to stabilizer operations with nothing
-# leaking into background.
+# leaking into background. A final shard stage pins the PDES guarantee:
+# a sharded quickstart (VS_SHARDS ∈ {2,4,8}) must produce stdout and a
+# VSTRACE1 trace byte-identical to the serial run's.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -24,6 +26,7 @@
 #   tools/check.sh --monitor    # stage 4 only (reuses build-check/)
 #   tools/check.sh --chaos      # stage 5 only (reuses build-check/)
 #   tools/check.sh --audit      # stage 6 only (reuses build-check/)
+#   tools/check.sh --shard      # stage 7 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan), and
 # build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
@@ -54,13 +57,14 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    test_audit bench_e2_move_scaling
+    test_audit test_shard bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
   "$root/build-tsan/tests/test_monitor"
   "$root/build-tsan/tests/test_fault"
   "$root/build-tsan/tests/test_audit"
+  "$root/build-tsan/tests/test_shard"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -215,15 +219,46 @@ EOF
   echo "Audit stage clean (100% attributed, hb/repair billed, in slack)."
 }
 
+run_shard() {
+  echo "== stage 7: region-sharded PDES byte-identity =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target example_quickstart vinestalk_trace
+  local dir
+  dir="$(mktemp -d /tmp/vs_shard.XXXXXX)"
+  # Traced pass (per-run trace files, compared raw) and an untraced pass
+  # (stdout compared raw — the traced run prints its own trace path, which
+  # legitimately differs per run).
+  VS_TRACE="$dir/serial.vst" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  "$root/build-check/examples/example_quickstart" > "$dir/serial.out"
+  for n in 2 4 8; do
+    VS_TRACE="$dir/shard$n.vst" VS_SHARDS="$n" \
+      "$root/build-check/examples/example_quickstart" > /dev/null
+    cmp "$dir/serial.vst" "$dir/shard$n.vst" || {
+      echo "FAIL: trace differs from serial at VS_SHARDS=$n" >&2; exit 1; }
+    VS_SHARDS="$n" \
+      "$root/build-check/examples/example_quickstart" > "$dir/shard$n.out"
+    diff "$dir/serial.out" "$dir/shard$n.out" || {
+      echo "FAIL: stdout differs from serial at VS_SHARDS=$n" >&2; exit 1; }
+  done
+  # The shared trace must also still replay clean against the spec.
+  "$root/build-check/tools/vinestalk_trace" check "$dir/serial.vst"
+  rm -rf "$dir"
+  echo "Shard stage clean (traces and stdout byte-identical at 2/4/8 shards)."
+}
+
 case "$stage" in
-  all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit ;;
+  all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit
+       run_shard ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
   --monitor) run_monitor ;;
   --chaos) run_chaos ;;
   --audit) run_audit ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit]" >&2
+  --shard|--shards) run_shard ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

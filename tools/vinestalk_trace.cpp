@@ -2,7 +2,14 @@
 // incident bundles.
 //
 // Commands:
-//   summary <file>              aggregate shape of every world
+//   summary <file> [--counters J]
+//                               aggregate shape of every world; --counters
+//                               also reports the PDES shard/null-message/
+//                               horizon-stall overhead from a WorkCounters
+//                               JSON artifact (bench --obs-json) — traces
+//                               are byte-identical at every shard count, so
+//                               scheduler overhead lives in the counters,
+//                               not the events
 //   spans <file> <find-id>      causal span of one find (all worlds holding it)
 //   timeline <file> --level N   records at one hierarchy level
 //   check <file>                replay the trace through the spec invariants
@@ -26,6 +33,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <string>
@@ -50,7 +58,11 @@ using vs::obs::WorldTrace;
 
 int usage() {
   std::cerr << "usage: vinestalk_trace <command> <file> [args]\n"
-               "  summary <file>             per-world aggregate counts\n"
+               "  summary <file> [--counters J]\n"
+               "                             per-world aggregate counts; "
+               "--counters adds the\n"
+               "                             PDES overhead block from a "
+               "WorkCounters JSON file\n"
                "  spans <file> <find-id>     causal span of one find\n"
                "  timeline <file> --level N  records at hierarchy level N\n"
                "  check <file>               replay spec invariants "
@@ -135,9 +147,50 @@ void print_summary(const WorldTrace& w) {
   }
 }
 
-int cmd_summary(const std::vector<WorldTrace>& worlds) {
+/// Report the PDES overhead counters from a WorkCounters JSON artifact
+/// (bench --obs-json / vinestalk_cli --obs-json). Sharded and serial runs
+/// produce byte-identical traces — that is the tentpole guarantee — so the
+/// scheduler's own overhead (windows, cross-shard null-message traffic,
+/// horizon stalls) is only visible in the counters, never in the events.
+/// WorkCounters::to_json emits the block as a single-line object keyed
+/// "pdes"; we scan for those objects rather than pull in a JSON parser.
+int print_pdes_counters(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "vinestalk_trace: cannot open counters file: " << path
+              << "\n";
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string key = "\"pdes\"";
+  std::size_t pos = 0;
+  int blocks = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    const std::size_t open = text.find('{', pos + key.size());
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : text.find('}', open);
+    if (close == std::string::npos) break;  // truncated file; stop scanning
+    ++blocks;
+    std::cout << "  pdes[" << blocks << "]: "
+              << text.substr(open, close - open + 1) << "\n";
+    pos = close;
+  }
+  if (blocks == 0) {
+    std::cout << "  pdes: none (serial run — counters carry a \"pdes\" "
+                 "block only when shard windows ran)\n";
+  }
+  return 0;
+}
+
+int cmd_summary(const std::vector<WorldTrace>& worlds,
+                const std::string& counters_path) {
   std::cout << worlds.size() << " world(s)\n";
   for (const auto& w : worlds) print_summary(w);
+  if (!counters_path.empty()) {
+    std::cout << "pdes overhead (" << counters_path << "):\n";
+    return print_pdes_counters(counters_path);
+  }
   return 0;
 }
 
@@ -290,7 +343,15 @@ int main(int argc, char** argv) {
     }
 
     if (command == "summary") {
-      return cmd_summary(worlds);
+      std::string counters;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--counters") == 0 && i + 1 < argc) {
+          counters = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_summary(worlds, counters);
     }
     if (command == "spans") {
       if (argc < 4) return usage();
