@@ -142,7 +142,10 @@ class EventQueue {
   /// `resolve` must be monotone over this queue's temps at equal times
   /// (the merge hands out real seqs in lane creation order, and fresh
   /// reals exceed every pending real), so heap order is preserved and no
-  /// re-heapify is needed.
+  /// re-heapify is needed. The barrier must call this BEFORE committing
+  /// staged cross-lane sends: a staged entry carries a fresh real already,
+  /// so pushing it first would heapify it against temp values this rewrite
+  /// then shrinks in place, breaking the invariant.
   template <class Fn>
   void renumber(Fn&& resolve) {
     for (Entry& e : heap_) {

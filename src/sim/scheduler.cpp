@@ -60,9 +60,12 @@ void Scheduler::schedule_cross(std::int32_t dest_lane, Duration delay,
       return;
     }
     // Cross-lane: staged for the barrier. The conservative-window safety
-    // argument needs the arrival to land at or past the cut.
-    VS_DCHECK(exec_ == nullptr || delay >= exec_->lookahead(),
-              "cross-shard send below the lookahead horizon");
+    // argument needs the arrival to land at or past the cut — a
+    // below-horizon send would be staged past events it should precede,
+    // silently reordering causality, so this stays checked in release.
+    VS_REQUIRE(exec_ == nullptr || delay >= exec_->lookahead(),
+               "cross-shard send below the lookahead horizon: "
+                   << delay << " < " << exec_->lookahead());
     l.staged.push_back(StagedCrossEvent{temp, l.current_seq, dest_lane,
                                         l.now + delay, std::move(action)});
     return;
@@ -78,6 +81,16 @@ void Scheduler::schedule_cross(std::int32_t dest_lane, Duration delay,
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
+  const LaneBinding& b = g_lane_binding;
+  if (b.parallel) {
+    // Inside a parallel window only the firing lane's own queue may be
+    // mutated: cancelling a global-queue event (lane -1) or another
+    // lane's event would race its owning thread.
+    VS_REQUIRE(id.lane() == b.lane->index,
+               "parallel-window cancel crossing lanes: event owned by lane "
+                   << id.lane() << ", firing lane is " << b.lane->index);
+    return b.lane->queue.cancel(id);
+  }
   if (id.lane() >= 0 && exec_ != nullptr) {
     return exec_->lane_queue(id.lane()).cancel(id);
   }

@@ -42,8 +42,16 @@ std::size_t ShardExecutor::lane_pending() const {
 
 std::uint64_t ShardExecutor::run(std::uint64_t max_events,
                                  TimePoint deadline) {
+  check_poisoned();
   if (gate_ && gate_()) return run_parallel(max_events, deadline);
   return run_serial(max_events, deadline);
+}
+
+void ShardExecutor::check_poisoned() const {
+  VS_REQUIRE(!poisoned_,
+             "executor poisoned: an exception escaped a parallel window, "
+             "leaving lane queues with unmerged window state — the world "
+             "cannot be run further");
 }
 
 int ShardExecutor::scan_earliest(EventQueue::Head& out) const {
@@ -75,6 +83,7 @@ void ShardExecutor::fire_from(int lane) {
 }
 
 bool ShardExecutor::step_serial() {
+  check_poisoned();
   EventQueue::Head h{};
   const int lane = scan_earliest(h);
   if (lane == kNoLane) return false;
@@ -148,8 +157,13 @@ std::uint64_t ShardExecutor::run_parallel(std::uint64_t max_events,
       }
     }
     if (bounded) {
+      // Lexicographic min: when the cut already sits at deadline + 1us
+      // (e.g. the global head is exactly there with a positive seq), the
+      // cut's seq must still drop to 0 so no lane event at that instant
+      // fires — run_until's contract is "nothing with when > deadline",
+      // matching the serial path exactly.
       const TimePoint cap = deadline + Duration::micros(1);
-      if (cap < cut_t) {
+      if (cap < cut_t || (cap == cut_t && cut_s > 0)) {
         cut_t = cap;
         cut_s = 0;
       }
@@ -163,6 +177,11 @@ std::uint64_t ShardExecutor::run_parallel(std::uint64_t max_events,
       if (lp->error) {
         std::exception_ptr e = lp->error;
         lp->error = nullptr;
+        // The window's side effects were never merged: lane queues hold
+        // unresolved temp seqs and other lanes' staged sends are still
+        // pending. The world cannot be run further — poison the executor
+        // so reuse fails fast instead of firing corrupted orderings.
+        poisoned_ = true;
         std::rethrow_exception(e);
       }
     }
@@ -333,10 +352,21 @@ std::uint64_t ShardExecutor::merge_and_commit() {
     last_when = f.when;
     ++merged;
   }
-  // Commit staged cross-lane sends into their destination queues with
-  // merged identities, rewrite still-pending window-created events to
-  // their real seqs (monotone, so heap order is preserved), then fold
-  // lane-local accounting into the world objects in lane order.
+  // Rewrite still-pending window-created events to their real seqs FIRST
+  // (resolve is monotone over each queue's temps at equal times, and the
+  // fresh reals exceed every pre-window real, so the in-place rewrite
+  // preserves heap order), THEN commit staged cross-lane sends: their
+  // push_heap now compares real seqs against real seqs, so a staged send
+  // and a window-created local event colliding at the same microsecond
+  // land in merged-sequence order. (Committing before renumber would
+  // position the staged entry against huge temp values that renumber
+  // later shrinks in place — a heap-invariant violation whenever a temp
+  // resolves below the staged entry's seq at the same timestamp.)
+  // Finally fold lane-local accounting into the world objects in lane
+  // order.
+  for (auto& lp : lanes_) {
+    lp->ctx.queue.renumber([this](std::uint64_t t) { return resolve(t); });
+  }
   for (auto& lp : lanes_) {
     for (StagedCrossEvent& s : lp->ctx.staged) {
       Lane& dest = *lanes_[static_cast<std::size_t>(s.dest)];
@@ -346,9 +376,6 @@ std::uint64_t ShardExecutor::merge_and_commit() {
       if (counters_ != nullptr) ++counters_->pdes().cross_shard_events;
     }
     lp->ctx.staged.clear();
-  }
-  for (auto& lp : lanes_) {
-    lp->ctx.queue.renumber([this](std::uint64_t t) { return resolve(t); });
   }
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     Lane& ln = *lanes_[i];

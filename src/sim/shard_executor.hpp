@@ -17,7 +17,8 @@
 //   3. the barrier replays the lanes' fired logs in (when, seq) merge
 //      order, handing out real sequence numbers to each fired event's
 //      children exactly as the serial run's counter would have, then
-//      commits staged sends, renumbers pending events, flushes per-lane
+//      renumbers pending events, commits staged sends (in that order, so
+//      staged entries heapify against real seqs only), flushes per-lane
 //      trace buffers in merged order, and folds lane-local accounting into
 //      the world's objects in lane order.
 //
@@ -111,7 +112,10 @@ class ShardExecutor {
   // ---- Scheduler delegation (Scheduler::run/run_until/step/pending) ----
 
   /// Run to quiescence or `deadline` (never() = unbounded). Throws the
-  /// scheduler's budget error past `max_events`.
+  /// scheduler's budget error past `max_events`. If an exception escapes
+  /// a parallel window (a lane action threw), the window's side effects
+  /// are never merged and the executor is poisoned: every later run/step
+  /// throws rather than firing corrupted orderings.
   std::uint64_t run(std::uint64_t max_events, TimePoint deadline);
 
   /// Fire the single globally earliest event (always serial — the
@@ -162,10 +166,14 @@ class ShardExecutor {
   void worker_main(int lane);
   void check_budget(std::uint64_t fired, std::uint64_t max_events,
                     bool bounded, TimePoint deadline) const;
+  void check_poisoned() const;
 
   Scheduler* sched_;
   Duration lookahead_;
   std::vector<std::unique_ptr<Lane>> lanes_;  // stable LaneCtx addresses
+  /// Set when an exception escapes a parallel window (unmerged temp state
+  /// left in the lane queues); run/step refuse to fire anything after.
+  bool poisoned_ = false;
 
   stats::WorkCounters* counters_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;

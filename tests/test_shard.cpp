@@ -8,6 +8,8 @@
 
 #include <cstring>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -16,6 +18,9 @@
 #include "obs/monitor/watchdog.hpp"
 #include "runner/trial_pool.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/shard_executor.hpp"
+#include "stats/counters.hpp"
 #include "util.hpp"
 #include "vsa/shard_map.hpp"
 
@@ -317,6 +322,144 @@ TEST(Runner, ClampJobsForShardsKeepsTheProductBounded) {
   }
   EXPECT_THROW((void)runner::clamp_jobs_for_shards(-1, 2), Error);
   EXPECT_THROW((void)runner::clamp_jobs_for_shards(2, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Barrier commit order (sim/shard_executor.cpp): a window-created local
+// event and a staged cross-shard send colliding at the same microsecond
+// must fire in merged-sequence order — the serial order. Regression:
+// committing staged sends before renumber() heapified the staged entry
+// (a fresh real seq) against huge temp values that renumber then shrank
+// in place, breaking the heap invariant and firing the collision out of
+// serial order.
+
+TEST(Shard, StagedSendAndWindowChildCollidingAtOneInstantKeepSerialOrder) {
+  // Lane 1's creator fires at t=10 and schedules a local child at t=40 (a
+  // window temp); lane 0's creator fires at t=20 and cross-sends to lane 1
+  // arriving at t=40. Both creators fire inside one window (cut = 10us
+  // head + 15us lookahead = 25us), so the barrier must order the two
+  // children at t=40 by merged seqs: the t=10 creator merges first, so its
+  // child holds the smaller real seq and fires first. Only the children
+  // log — the creators run on different lanes' threads.
+  auto run_scenario = [](sim::Scheduler& sched,
+                         std::vector<std::string>& order) {
+    sched.schedule_cross(1, sim::Duration::micros(10), [&sched, &order] {
+      sched.schedule_after(sim::Duration::micros(30),
+                           [&order] { order.push_back("local-child"); });
+    });
+    sched.schedule_cross(0, sim::Duration::micros(20), [&sched, &order] {
+      sched.schedule_cross(1, sim::Duration::micros(20),
+                           [&order] { order.push_back("cross-child"); });
+    });
+    sched.run(1'000);
+  };
+
+  std::vector<std::string> serial_order;
+  {
+    sim::Scheduler sched;
+    run_scenario(sched, serial_order);
+  }
+  EXPECT_EQ(serial_order,
+            (std::vector<std::string>{"local-child", "cross-child"}));
+
+  std::vector<std::string> parallel_order;
+  stats::WorkCounters counters{3};
+  {
+    sim::Scheduler sched;
+    sim::ShardExecutor exec(sched, 2, sim::Duration::micros(15), 3);
+    exec.bind_counters(&counters);
+    exec.set_parallel_gate([] { return true; });
+    sched.attach_executor(&exec);
+    run_scenario(sched, parallel_order);
+  }
+  EXPECT_EQ(parallel_order, serial_order);
+  // The collision really went through a window barrier and a staged send.
+  EXPECT_GT(counters.pdes().windows, 0);
+  EXPECT_GT(counters.pdes().cross_shard_events, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline boundary: run_until through the executor must match serial
+// run_until exactly — nothing with when > deadline ever fires, even when
+// the global queue's head sits at deadline+1us with a larger seq than a
+// lane event at the same instant (regression: the deadline cap used a
+// strict <, keeping the global head's seq in the cut and admitting
+// smaller-seq lane events past the deadline).
+
+TEST(Shard, RunUntilNeverFiresPastDeadlineEvenAtGlobalHeadInstant) {
+  std::vector<std::string> fired;
+  sim::Scheduler sched;
+  sim::ShardExecutor exec(sched, 2, sim::Duration::micros(15), 3);
+  exec.set_parallel_gate([] { return true; });
+  sched.attach_executor(&exec);
+  sched.schedule_cross(0, sim::Duration::micros(90),
+                       [&fired] { fired.push_back("in-window"); });
+  sched.schedule_cross(1, sim::Duration::micros(101), [&fired] {
+    fired.push_back("lane-past-deadline");
+  });
+  sched.schedule_at(sim::TimePoint::zero() + sim::Duration::micros(101),
+                    [&fired] { fired.push_back("global-past-deadline"); });
+  sched.run_until(sim::TimePoint::zero() + sim::Duration::micros(100));
+  EXPECT_EQ(fired, (std::vector<std::string>{"in-window"}));
+  EXPECT_EQ(sched.now(),
+            sim::TimePoint::zero() + sim::Duration::micros(100));
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.run(1'000);  // the held-back events drain afterwards, in seq order
+  EXPECT_EQ(fired,
+            (std::vector<std::string>{"in-window", "lane-past-deadline",
+                                      "global-past-deadline"}));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-window cancel routing: a handler may cancel only events its own
+// lane owns; cancelling across lanes (or a global-queue event) would race
+// the owning thread, so it throws — and the exception escaping run()
+// poisons the executor (the window was never merged).
+
+TEST(Shard, OwnLaneCancelInsideParallelWindowWorks) {
+  sim::Scheduler sched;
+  sim::ShardExecutor exec(sched, 2, sim::Duration::micros(10), 3);
+  exec.set_parallel_gate([] { return true; });
+  sched.attach_executor(&exec);
+  bool victim_fired = false;
+  sched.schedule_cross(0, sim::Duration::micros(5), [&] {
+    const sim::EventId victim = sched.schedule_after(
+        sim::Duration::micros(50), [&] { victim_fired = true; });
+    EXPECT_TRUE(sched.cancel(victim));
+  });
+  sched.run(1'000);
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Shard, CrossLaneCancelInParallelWindowThrowsAndPoisons) {
+  sim::Scheduler sched;
+  sim::ShardExecutor exec(sched, 2, sim::Duration::micros(10), 3);
+  exec.set_parallel_gate([] { return true; });
+  sched.attach_executor(&exec);
+  const sim::EventId global_ev = sched.schedule_at(
+      sim::TimePoint::zero() + sim::Duration::micros(1'000), [] {});
+  sched.schedule_cross(0, sim::Duration::micros(5),
+                       [&sched, global_ev] { sched.cancel(global_ev); });
+  EXPECT_THROW(sched.run(1'000), Error);
+  EXPECT_THROW(sched.run(1'000), Error);    // poisoned: no reuse
+  EXPECT_THROW((void)sched.step(), Error);  // nor stepping
+}
+
+// ---------------------------------------------------------------------------
+// Lookahead horizon: a cross-shard send below the conservative horizon
+// breaks the whole safety argument, so it must be rejected in release
+// builds too (VS_REQUIRE, not just a debug check).
+
+TEST(Shard, BelowLookaheadCrossSendIsRejected) {
+  sim::Scheduler sched;
+  sim::ShardExecutor exec(sched, 2, sim::Duration::micros(10), 3);
+  exec.set_parallel_gate([] { return true; });
+  sched.attach_executor(&exec);
+  sched.schedule_cross(0, sim::Duration::micros(5), [&sched] {
+    sched.schedule_cross(1, sim::Duration::micros(2), [] {});
+  });
+  EXPECT_THROW(sched.run(1'000), Error);
 }
 
 // ---------------------------------------------------------------------------
