@@ -291,6 +291,68 @@ WatchedWalkResult run_watched_walk(int sel, int steps = 400) {
   return out;
 }
 
+// One trial of the telemetry-overhead workload: the same walk shape rerun
+// with the sampler in each of its runtime states — detached (sel 0),
+// constructed-but-never-enabled (sel 1: the compiled-in idle cost, which
+// must be nothing at all since an unenabled sampler arms no boundary
+// hook), and enabled at a 1000us virtual-time cadence streaming VSTELEM1
+// to a scratch file (sel 2). The compiled-out tier is this same bench
+// under -DVINESTALK_TRACE=OFF, where enable() is a no-op and all three
+// columns must coincide.
+struct TelemeteredWalkResult {
+  double seconds = 0;
+  std::size_t samples = 0;
+  std::uint64_t events = 0;
+};
+
+TelemeteredWalkResult run_telemetered_walk(int sel, int steps = 400) {
+  GridNet g = make_grid(81, 3);
+  const RegionId start = g.at(40, 40);
+  const TargetId t = g.net->add_evader(start);
+  g.net->run_to_quiescence();
+  const std::string scratch = "bench_micro_telemetry.scratch";
+  std::unique_ptr<obs::TelemetrySampler> sampler;
+  if (sel > 0) {
+    obs::TelemetryConfig cfg;
+    cfg.cadence = sim::Duration::micros(1000);
+    if (sel == 2) cfg.stream_path = scratch;
+    sampler = std::make_unique<obs::TelemetrySampler>(*g.net, cfg);
+    if (sel == 2) sampler->enable();
+  }
+  vsa::RandomWalkMover mover(g.hierarchy->tiling(), 0xB7);
+  RegionId cur = start;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < steps; ++i) {
+    cur = mover.next(cur);
+    g.net->move_evader(t, cur);
+    g.net->run_to_quiescence();
+  }
+  TelemeteredWalkResult out;
+  out.seconds = seconds_since(t0);
+  out.events = g.net->scheduler().events_fired();
+  if (sampler) {
+    sampler->finish();
+    out.samples = sampler->samples_taken();
+  }
+  if (sel == 2) std::remove(scratch.c_str());
+  return out;
+}
+
+void BM_MoveAndQuiesceTelemetered(benchmark::State& state) {
+  // Arg: 0 = no sampler, 1 = attached-but-disabled, 2 = enabled @ 1000us.
+  const int sel = static_cast<int>(state.range(0));
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    const TelemeteredWalkResult r = run_telemetered_walk(sel, 100);
+    samples = r.samples;
+    benchmark::DoNotOptimize(r.events);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.counters["telemetry_samples"] =
+      benchmark::Counter(static_cast<double>(samples));
+}
+BENCHMARK(BM_MoveAndQuiesceTelemetered)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_MoveAndQuiesceWatched(benchmark::State& state) {
   // Arg: 0 = off, 1 = cadence 1000us, 2 = every-change.
   const int sel = static_cast<int>(state.range(0));
@@ -445,6 +507,22 @@ bool write_sched_json(const std::string& path) {
     }
   }
 
+  // Telemetry-sampler overhead on the same walk, best of three per state:
+  // detached, attached-but-disabled (the compiled-in idle cost), and
+  // enabled at a 1000us virtual-time cadence streaming to a scratch file.
+  // The disabled column is the "costs nothing when off" acceptance gate;
+  // with the trace layer compiled out all three must sit within noise.
+  TelemeteredWalkResult tel_off, tel_disabled, tel_on;
+  tel_off.seconds = tel_disabled.seconds = tel_on.seconds = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int sel = 0; sel < 3; ++sel) {
+      const TelemeteredWalkResult r = run_telemetered_walk(sel);
+      TelemeteredWalkResult& best_r =
+          sel == 0 ? tel_off : (sel == 1 ? tel_disabled : tel_on);
+      if (r.seconds < best_r.seconds) best_r = r;
+    }
+  }
+
   // Trial-pool scaling: the same 8-world sweep at 1, 2, 4 threads.
   std::vector<ScalingPoint> scaling;
   for (const int jobs : {1, 2, 4}) {
@@ -523,6 +601,20 @@ bool write_sched_json(const std::string& path) {
                static_cast<long long>(walk_off.violations +
                                       walk_cadence.violations +
                                       walk_every.violations));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"telemetry\": {\n");
+  std::fprintf(f, "    \"compiled\": %s,\n",
+               vs::obs::kTraceCompiled ? "true" : "false");
+  std::fprintf(f, "    \"walk_steps\": 400,\n");
+  std::fprintf(f, "    \"cadence_us\": 1000,\n");
+  std::fprintf(f, "    \"off_seconds\": %.6f,\n", tel_off.seconds);
+  std::fprintf(f, "    \"disabled_seconds\": %.6f,\n", tel_disabled.seconds);
+  std::fprintf(f, "    \"disabled_slowdown_vs_off\": %.3f,\n",
+               tel_disabled.seconds / tel_off.seconds);
+  std::fprintf(f, "    \"enabled_seconds\": %.6f,\n", tel_on.seconds);
+  std::fprintf(f, "    \"enabled_slowdown_vs_off\": %.3f,\n",
+               tel_on.seconds / tel_off.seconds);
+  std::fprintf(f, "    \"enabled_samples\": %zu\n", tel_on.samples);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"scaling\": [\n");
   const double base = scaling.front().seconds;

@@ -10,6 +10,7 @@
 // its own thread, and results merge deterministically in trial-index
 // order — the printed tables are byte-identical for every --jobs value.
 
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "runner/trial_pool.hpp"
 #include "stats/table.hpp"
 #include "tracking/network.hpp"
@@ -35,6 +37,10 @@ using namespace vs;
 struct GridNet {
   std::unique_ptr<hier::GridHierarchy> hierarchy;
   std::unique_ptr<tracking::TrackingNetwork> net;
+  /// --telemetry sampler, if this world won the first-world race.
+  /// Declared after `net` so it is destroyed first (it disarms the
+  /// scheduler hook and writes the stream trailer in its destructor).
+  std::unique_ptr<obs::TelemetrySampler> telemetry;
 
   [[nodiscard]] RegionId at(int x, int y) const {
     return hierarchy->grid().region_at(x, y);
@@ -53,12 +59,36 @@ inline void apply_shards(tracking::TrackingNetwork& net) {
   if (g_bench_shards > 1) net.set_shards(g_bench_shards);
 }
 
+/// --telemetry wiring: one world per bench run streams VSTELEM1 samples.
+/// parse_bench_args forces --jobs 1 when --telemetry is set, so "the first
+/// world constructed" is a deterministic choice (trial 0); the atomic flag
+/// is belt-and-braces for benches that construct worlds outside the pool.
+inline std::string g_bench_telemetry_path;
+inline std::int64_t g_bench_telemetry_cadence_us = 10'000;
+inline std::atomic<bool> g_bench_telemetry_claimed{false};
+
+/// Attach the --telemetry sampler to `net` if telemetry is requested and
+/// no earlier world claimed it. Call immediately after construction
+/// (before the world schedules anything). Null in the common case.
+inline std::unique_ptr<obs::TelemetrySampler> attach_telemetry(
+    tracking::TrackingNetwork& net) {
+  if (g_bench_telemetry_path.empty()) return nullptr;
+  if (g_bench_telemetry_claimed.exchange(true)) return nullptr;
+  obs::TelemetryConfig cfg;
+  cfg.cadence = sim::Duration::micros(g_bench_telemetry_cadence_us);
+  cfg.stream_path = g_bench_telemetry_path;
+  auto sampler = std::make_unique<obs::TelemetrySampler>(net, cfg);
+  sampler->enable();
+  return sampler;
+}
+
 inline GridNet make_grid(int side, int base,
                          tracking::NetworkConfig cfg = {}) {
   GridNet g;
   g.hierarchy = std::make_unique<hier::GridHierarchy>(side, side, base);
   g.net = std::make_unique<tracking::TrackingNetwork>(*g.hierarchy, cfg);
   apply_shards(*g.net);
+  g.telemetry = attach_telemetry(*g.net);
   return g;
 }
 
@@ -94,6 +124,10 @@ struct BenchOptions {
   /// --incident-dir=DIR: where captured incident bundles land (requires
   /// --monitor). Empty = report only, don't write bundles.
   std::string incident_dir;
+  /// --telemetry=FILE: stream VSTELEM1 samples from the bench's first
+  /// world (forces --jobs 1 so that choice is deterministic). Empty = off.
+  std::string telemetry;
+  std::int64_t telemetry_cadence_us = 10'000;
 };
 
 inline BenchOptions parse_bench_args(int argc, char** argv) {
@@ -127,6 +161,14 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
       opt.incident_dir = argv[++i];
     } else if (arg.rfind("--incident-dir=", 0) == 0) {
       opt.incident_dir = arg.substr(15);
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      opt.telemetry = argv[++i];
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opt.telemetry = arg.substr(12);
+    } else if (arg == "--telemetry-cadence-us" && i + 1 < argc) {
+      opt.telemetry_cadence_us = std::atoll(argv[++i]);
+    } else if (arg.rfind("--telemetry-cadence-us=", 0) == 0) {
+      opt.telemetry_cadence_us = std::atoll(arg.c_str() + 23);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--jobs N] [--shards N] [--obs-json FILE] "
@@ -145,7 +187,12 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
                    "checks on each state change); nonzero exit on "
                    "violations\n"
                    "  --incident-dir DIR  write captured incident bundles "
-                   "(*.vsi) into DIR for vinestalk_trace incident\n";
+                   "(*.vsi) into DIR for vinestalk_trace incident\n"
+                   "  --telemetry FILE  stream VSTELEM1 time-series samples "
+                   "from the first world (forces --jobs 1; tail with "
+                   "vinestalk_top, inspect with vinestalk_trace telemetry)\n"
+                   "  --telemetry-cadence-us N  virtual-time sampling "
+                   "cadence (default 10000)\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << arg << " (try --help)\n";
@@ -161,7 +208,21 @@ inline BenchOptions parse_bench_args(int argc, char** argv) {
     std::cerr << "--shards must be >= 1, got " << opt.shards << "\n";
     std::exit(2);
   }
+  if (!opt.telemetry.empty()) {
+    if (opt.telemetry_cadence_us <= 0) {
+      std::cerr << "--telemetry-cadence-us must be > 0, got "
+                << opt.telemetry_cadence_us << "\n";
+      std::exit(2);
+    }
+    if (opt.jobs != 1) {
+      std::cerr << "note: --telemetry forces --jobs 1 (the streamed world "
+                   "must be a deterministic choice)\n";
+      opt.jobs = 1;
+    }
+  }
   g_bench_shards = opt.shards;
+  g_bench_telemetry_path = opt.telemetry;
+  g_bench_telemetry_cadence_us = opt.telemetry_cadence_us;
   return opt;
 }
 

@@ -17,6 +17,12 @@
 // PDES). Output, trace and exit status are byte-identical to the serial
 // run at every shard count — that is the scheduler's core guarantee —
 // so this knob deliberately prints nothing.
+// Set VS_TELEMETRY=<path> to stream VSTELEM1 time-series samples (one per
+// virtual millisecond) while the run executes: tail with vinestalk_top,
+// or dump with vinestalk_trace telemetry <path> --csv. The stream too is
+// byte-identical at every VS_SHARDS value. VS_PROMETHEUS=<path>
+// additionally rewrites a Prometheus text-exposition snapshot at every
+// sample (requires VS_TELEMETRY).
 
 #include <cstdlib>
 #include <iostream>
@@ -24,6 +30,7 @@
 
 #include "hier/grid_hierarchy.hpp"
 #include "obs/monitor/watchdog.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "spec/consistency.hpp"
 #include "tracking/network.hpp"
@@ -33,6 +40,8 @@ int main() {
   const char* trace_path = std::getenv("VS_TRACE");
   const char* monitor_spec = std::getenv("VS_MONITOR");
   const char* shards_spec = std::getenv("VS_SHARDS");
+  const char* telemetry_path = std::getenv("VS_TELEMETRY");
+  const char* prometheus_path = std::getenv("VS_PROMETHEUS");
 
   // A 27x27 world of unit regions, clustered into a base-3 grid hierarchy
   // (levels 0..3, one top-level cluster).
@@ -48,6 +57,15 @@ int main() {
     net.set_shards(std::atoi(shards_spec));
   }
   if (trace_path != nullptr) net.set_tracing(true);
+  std::unique_ptr<obs::TelemetrySampler> telemetry;
+  if (telemetry_path != nullptr) {
+    obs::TelemetryConfig tcfg;
+    tcfg.cadence = sim::Duration::millis(1);
+    tcfg.stream_path = telemetry_path;
+    if (prometheus_path != nullptr) tcfg.prometheus_path = prometheus_path;
+    telemetry = std::make_unique<obs::TelemetrySampler>(net, tcfg);
+    telemetry->enable();
+  }
 
   // Drop the evader at (20, 6). Clients there broadcast the detection; the
   // tracking path grows from the region's level-0 cluster to the root.
@@ -99,6 +117,11 @@ int main() {
     obs::write_trace_file(trace_path, net.trace());
     std::cout << "trace: " << net.trace().size() << " events → " << trace_path
               << " (find id " << find.value() << ")\n";
+  }
+  if (telemetry != nullptr) {
+    telemetry->finish();
+    std::cout << "telemetry: " << telemetry->samples_taken() << " samples → "
+              << telemetry_path << "\n";
   }
   if (watchdog != nullptr) {
     watchdog->check_now();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <sstream>
@@ -31,6 +32,21 @@ BoundAuditor::BoundAuditor(const hier::ClusterHierarchy& hierarchy,
       find_delivery_(2.0 + 2.0 * static_cast<double>(hierarchy.omega(0))) {}
 
 AuditReport BoundAuditor::audit(const OpLedger& ledger) const {
+  return audit_window(ledger, std::numeric_limits<std::int64_t>::max(),
+                      sim::Duration::zero());
+}
+
+AuditReport BoundAuditor::audit_window(const OpLedger& ledger,
+                                       std::int64_t now_us,
+                                       sim::Duration window) const {
+  // Half-open trailing window (lo, hi]; the degenerate window covers the
+  // whole ledger and reproduces the legacy audit() exactly.
+  const bool windowed = window > sim::Duration::zero();
+  const std::int64_t lo =
+      windowed ? now_us - window.count()
+               : std::numeric_limits<std::int64_t>::min();
+  const std::int64_t hi =
+      windowed ? now_us : std::numeric_limits<std::int64_t>::max();
   AuditReport r;
   r.total_msgs = ledger.total_msgs();
   r.total_work = ledger.total_work();
@@ -43,6 +59,7 @@ AuditReport BoundAuditor::audit(const OpLedger& ledger) const {
   r.move.time_bound_per_step_us = move_time_per_step_us_;
   for (const auto& [index, meta] : ledger.moves()) {
     if (meta.distance <= 0) continue;  // placement: attributed, not judged
+    if (meta.issued_us <= lo || meta.issued_us > hi) continue;
     ++r.move.steps;
     r.move.distance += meta.distance;
     const auto it = ledger.ops().find(make_op(OpClass::kMove, index));
@@ -80,6 +97,11 @@ AuditReport BoundAuditor::audit(const OpLedger& ledger) const {
 
   // --- Theorem 5.2: judge each completed find at its measured d. ---
   for (const auto& [index, meta] : ledger.finds()) {
+    if (windowed &&
+        (meta.completed_us < 0 || meta.completed_us <= lo ||
+         meta.completed_us > hi)) {
+      continue;
+    }
     FindAudit f;
     f.find = index;
     f.distance = meta.distance;

@@ -123,6 +123,18 @@ class BoundAuditor {
   /// Evaluates the ledger. Deterministic: same ledger, same report.
   [[nodiscard]] AuditReport audit(const OpLedger& ledger) const;
 
+  /// Sliding-window judgement: the same theorem tests restricted to the
+  /// trailing window (now − window, now]. Move ops whose issue instant
+  /// falls inside the window feed the amortised Theorem 4.9 sums; finds
+  /// *completed* inside it are judged per Theorem 5.2 (incomplete finds
+  /// are excluded — they are judged by the window their completion lands
+  /// in). `window` <= 0 degenerates to the whole-ledger audit. This is
+  /// what turns the auditor from a teardown check into a live one: a
+  /// hot window trips the moment it closes, not at end of run.
+  [[nodiscard]] AuditReport audit_window(const OpLedger& ledger,
+                                         std::int64_t now_us,
+                                         sim::Duration window) const;
+
   [[nodiscard]] const AuditConfig& config() const { return cfg_; }
 
  private:

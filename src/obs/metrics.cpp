@@ -90,9 +90,25 @@ void Histogram::to_json(std::ostream& os) const {
   os << "]}";
 }
 
+void MetricsRegistry::check_name_free(std::string_view name,
+                                      std::string_view wanted) const {
+  // One name, one type. A counter and a gauge sharing a name would merge
+  // under different semantics (sum vs max) depending on which map a reader
+  // consults — fail at registration, not at export.
+  const bool c = counters_.find(name) != counters_.end();
+  const bool g = gauges_.find(name) != gauges_.end();
+  const bool h = histograms_.find(name) != histograms_.end();
+  VS_REQUIRE((!c || wanted == "counter") && (!g || wanted == "gauge") &&
+                 (!h || wanted == "histogram"),
+             "metric \"" << name << "\" already registered as a "
+                         << (c ? "counter" : g ? "gauge" : "histogram")
+                         << ", cannot re-register as a " << wanted);
+}
+
 void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    check_name_free(name, "counter");
     counters_.emplace(std::string(name), delta);
   } else {
     it->second += delta;
@@ -102,6 +118,7 @@ void MetricsRegistry::add(std::string_view name, std::int64_t delta) {
 void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    check_name_free(name, "gauge");
     gauges_.emplace(std::string(name), value);
   } else {
     it->second = value;
@@ -112,6 +129,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const std::int64_t> bounds) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    check_name_free(name, "histogram");
     it = histograms_.emplace(std::string(name), Histogram(bounds)).first;
   } else {
     VS_REQUIRE(std::equal(bounds.begin(), bounds.end(),
@@ -142,6 +160,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, v] : other.gauges_) {
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
+      check_name_free(name, "gauge");
       gauges_.emplace(name, v);
     } else {
       it->second = std::max(it->second, v);
@@ -150,6 +169,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
+      check_name_free(name, "histogram");
       histograms_.emplace(name, h);
     } else {
       it->second.merge(h);

@@ -63,7 +63,10 @@ class Histogram {
 
 class MetricsRegistry {
  public:
-  /// Add `delta` to a counter (created at 0 on first use).
+  /// Add `delta` to a counter (created at 0 on first use). Registering a
+  /// name that already exists as a different metric type fails fast (it
+  /// used to silently alias — two series under one name with divergent
+  /// merge semantics).
   void add(std::string_view name, std::int64_t delta = 1);
   /// Set a gauge (merge keeps the maximum across trials).
   void set_gauge(std::string_view name, std::int64_t value);
@@ -79,6 +82,21 @@ class MetricsRegistry {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
 
+  /// Exporter iteration, sorted by name (stable output order) — what the
+  /// Prometheus renderer walks.
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>&
+  gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
   /// Fold another registry in (the TrialPool join step — call in
   /// trial-index order for deterministic artifacts).
   void merge(const MetricsRegistry& other);
@@ -86,6 +104,10 @@ class MetricsRegistry {
   void to_json(std::ostream& os, int indent = 0) const;
 
  private:
+  /// Fails unless `name` is absent from the two maps of other types
+  /// (`wanted` names the type being registered, for the error message).
+  void check_name_free(std::string_view name, std::string_view wanted) const;
+
   std::map<std::string, std::int64_t, std::less<>> counters_;
   std::map<std::string, std::int64_t, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

@@ -120,6 +120,7 @@ void write_incident(std::ostream& os, const IncidentBundle& b) {
   put<double>(os, s.timer_scale);
   put<std::uint8_t>(os, b.audit ? 1 : 0);
   put<double>(os, b.audit_slack);
+  put<std::int64_t>(os, b.audit_window_us);
   put_str(os, b.config_json);
   put_str(os, b.metrics_json);
   put<std::uint64_t>(os, static_cast<std::uint64_t>(b.ring.size()));
@@ -189,6 +190,9 @@ IncidentBundle read_incident(std::istream& is) {
     s.timer_scale = get<double>(is);
     b.audit = get<std::uint8_t>(is) != 0;
     b.audit_slack = get<double>(is);
+  }
+  if (version >= 4) {
+    b.audit_window_us = get<std::int64_t>(is);
   }
   b.config_json = get_str(is);
   b.metrics_json = get_str(is);
@@ -284,7 +288,11 @@ void print_incident(std::ostream& os, const IncidentBundle& b,
     os << "    timer scale: " << s.timer_scale << "x paper-default\n";
   }
   if (b.audit) {
-    os << "    auditor: on (slack " << b.audit_slack << "x)\n";
+    os << "    auditor: on (slack " << b.audit_slack << "x";
+    if (b.audit_window_us > 0) {
+      os << ", sliding window " << b.audit_window_us << "us";
+    }
+    os << ")\n";
   }
   if (!s.fault_plan.empty()) {
     os << "    fault plan:\n";

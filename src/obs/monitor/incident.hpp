@@ -29,6 +29,8 @@
 //                v1 files, where these default to empty/zero)
 //   v3 fields:   f64 timer_scale, u8 audit, f64 audit_slack (readers
 //                accept v1/v2 files, defaulting to 1.0 / off / 2.0)
+//   v4 field:    i64 audit_window_us (readers accept v1–v3 files, where
+//                it defaults to 0 = whole-ledger audit)
 //   str          config_json
 //   str          metrics_json
 //   ring:        u64 event count + count × obs::TraceEvent (raw 64 bytes;
@@ -49,7 +51,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kIncidentFormatVersion = 3;
+inline constexpr std::uint32_t kIncidentFormatVersion = 4;
 
 /// How the watchdog samples the invariants (see watchdog.hpp for the cost
 /// model of each mode).
@@ -142,6 +144,9 @@ struct IncidentBundle {
   /// "theorem-4.9-move-time") reproduce.
   bool audit = false;
   double audit_slack = 2.0;
+  /// Trailing-window length the sliding-window audit ran at (0 =
+  /// whole-ledger audit at quiescent checks — the pre-v4 behaviour).
+  std::int64_t audit_window_us = 0;
   ScenarioSpec scenario;
   std::string config_json;   // world configuration at detection
   std::string metrics_json;  // MetricsRegistry::to_json snapshot

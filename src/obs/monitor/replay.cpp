@@ -164,6 +164,7 @@ ReplayResult replay_incident(const IncidentBundle& bundle) {
   cfg.source = bundle.source;
   cfg.audit = bundle.audit;
   cfg.audit_slack = bundle.audit_slack;
+  cfg.audit_window = sim::Duration::micros(bundle.audit_window_us);
   res.outcome = run_scenario(bundle.scenario, cfg);
   res.ran = res.outcome.ran;
   if (!res.ran) {

@@ -259,7 +259,14 @@ void Watchdog::full_check() {
       recovery_deadline_ = sim::TimePoint::never();  // evaluated once
     }
   }
-  if (quiescent && auditor_ != nullptr) audit_check();
+  // Whole-ledger audits only make sense quiescent (open operations would
+  // be judged on partial cost); a sliding window judges only completed
+  // history, so it runs at every check — that is what makes an over-bound
+  // window fire mid-run instead of at teardown.
+  if (auditor_ != nullptr &&
+      (quiescent || cfg_.audit_window > sim::Duration::zero())) {
+    audit_check();
+  }
   if (atomic_so_far_ && shadow_live_ && quiescent) {
     try {
       const spec::IdealState ideal =
@@ -287,7 +294,8 @@ AuditReport Watchdog::audit_now() const {
 }
 
 void Watchdog::audit_check() {
-  const AuditReport report = auditor_->audit(ledger_);
+  const AuditReport report = auditor_->audit_window(
+      ledger_, net_->now().count(), cfg_.audit_window);
   for (const AuditViolation& v : report.violations) {
     const std::string key = v.predicate + "#" + std::to_string(v.index);
     if (std::find(audit_reported_.begin(), audit_reported_.end(), key) !=
@@ -319,6 +327,7 @@ void Watchdog::on_violation(std::string predicate, std::string detail,
   b.ring_capacity = cfg_.ring_capacity;
   b.audit = cfg_.audit;
   b.audit_slack = cfg_.audit_slack;
+  b.audit_window_us = cfg_.audit_window.count();
   b.scenario = scenario_;
   b.config_json = describe_config(*net_);
   std::ostringstream metrics;

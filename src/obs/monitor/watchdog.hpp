@@ -72,6 +72,12 @@ struct WatchdogConfig {
   bool audit = false;
   /// Allowed measured/bound factor before an audit violation fires.
   double audit_slack = 2.0;
+  /// Sliding-window auditing: when positive, the auditor judges the
+  /// trailing `audit_window` of ledger history at *every* cadence check —
+  /// an over-bound window raises its incident mid-run, the moment the
+  /// window exceeds slack. Zero keeps the whole-ledger audit at quiescent
+  /// full checks only (the legacy teardown-style behaviour).
+  sim::Duration audit_window = sim::Duration::zero();
 };
 
 class Watchdog {

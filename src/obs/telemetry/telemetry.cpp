@@ -1,0 +1,177 @@
+#include "obs/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <span>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry/prometheus.hpp"
+#include "obs/trace.hpp"
+#include "stats/counters.hpp"
+#include "tracking/network.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+// Same bucket layout as TrackingNetwork::export_metrics so the stream's
+// percentiles and the Prometheus histogram describe one distribution.
+constexpr std::int64_t kLatencyBounds[] = {
+    1'000,   2'000,   4'000,   8'000,    16'000, 32'000,
+    64'000,  128'000, 256'000, 512'000,  1'024'000};
+
+std::int64_t milli_ratio(double r) {
+  return static_cast<std::int64_t>(r * 1000.0);
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(tracking::TrackingNetwork& net,
+                                   TelemetryConfig config)
+    : net_(&net), cfg_(std::move(config)) {
+  VS_REQUIRE(cfg_.cadence > sim::Duration::zero(),
+             "telemetry cadence must be positive, got " << cfg_.cadence);
+  header_.version = kTelemetryFormatVersion;
+  header_.flags = cfg_.lane_stats ? kTelemetryFlagLanes : 0;
+  header_.cadence_us = cfg_.cadence.count();
+  header_.lanes =
+      cfg_.lane_stats ? static_cast<std::uint32_t>(net_->shards()) : 0;
+  header_.max_level =
+      static_cast<std::uint32_t>(net_->counters().max_level());
+  header_.series = header_.expected_series();
+}
+
+TelemetrySampler::~TelemetrySampler() { finish(); }
+
+void TelemetrySampler::enable() {
+  if (!kTraceCompiled) return;  // compiled out: stays fully dead
+  if (enabled_) return;
+  enabled_ = true;
+  // First boundary: the next cadence multiple strictly after now — sample
+  // k covers the state after every event with when < k × cadence.
+  const std::int64_t c = cfg_.cadence.count();
+  const std::int64_t k = net_->now().count() / c + 1;
+  next_due_ = sim::TimePoint(k * c);
+  if (!cfg_.stream_path.empty()) {
+    writer_.emplace(cfg_.stream_path, header_);
+  }
+  net_->scheduler().set_boundary_hook(&TelemetrySampler::hook_thunk, this,
+                                      next_due_);
+}
+
+void TelemetrySampler::finish() {
+  if (!enabled_) return;
+  enabled_ = false;
+  net_->scheduler().set_boundary_hook(nullptr, nullptr,
+                                      sim::TimePoint::never());
+  if (writer_.has_value()) {
+    writer_->finish();
+    writer_.reset();
+  }
+}
+
+sim::TimePoint TelemetrySampler::hook_thunk(void* ctx, sim::TimePoint upto) {
+  return static_cast<TelemetrySampler*>(ctx)->on_boundary(upto);
+}
+
+sim::TimePoint TelemetrySampler::on_boundary(sim::TimePoint upto) {
+  while (next_due_ <= upto) {
+    take_sample(next_due_.count());
+    next_due_ = next_due_ + cfg_.cadence;
+  }
+  return next_due_;
+}
+
+void TelemetrySampler::take_sample(std::int64_t t_us) {
+  const stats::WorkCounters& wc = net_->counters();
+  TelemetrySample s;
+  s.t_us = t_us;
+  s.values.assign(header_.series, 0);
+
+  s.values[kTsEventsFired] =
+      static_cast<std::int64_t>(net_->scheduler().events_fired());
+  s.values[kTsMsgsTotal] = wc.total_messages();
+  s.values[kTsWorkTotal] = wc.total_work();
+  s.values[kTsMoveMsgs] = wc.move_messages();
+  s.values[kTsMoveWork] = wc.move_work();
+  s.values[kTsFindMsgs] = wc.find_messages();
+  s.values[kTsFindWork] = wc.find_work();
+  s.values[kTsHeartbeats] = wc.heartbeats();
+  s.values[kTsDuplicated] = wc.duplicated();
+  s.values[kTsJittered] = wc.jittered();
+
+  Histogram latency{std::span<const std::int64_t>(kLatencyBounds)};
+  for (const auto& [id, fr] : net_->finds()) {
+    ++s.values[kTsFindsIssued];
+    if (!fr.done) continue;
+    ++s.values[kTsFindsCompleted];
+    latency.record(fr.latency().count());
+  }
+  s.values[kTsFindLatencyP50] = latency.percentile(0.50);
+  s.values[kTsFindLatencyP90] = latency.percentile(0.90);
+  s.values[kTsFindLatencyP99] = latency.percentile(0.99);
+  s.values[kTsTraceEvents] = static_cast<std::int64_t>(net_->trace().size());
+
+  if (const OpLedger* ledger = net_->op_ledger(); ledger != nullptr) {
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      const OpCost total = ledger->class_total(static_cast<OpClass>(c));
+      s.values[kTsLedgerBase + 2 * c] = total.msgs;
+      s.values[kTsLedgerBase + 2 * c + 1] = total.work;
+    }
+  }
+
+  if (auditor_ != nullptr && audit_ledger_ != nullptr &&
+      cfg_.audit_window > sim::Duration::zero()) {
+    const AuditReport r =
+        auditor_->audit_window(*audit_ledger_, t_us, cfg_.audit_window);
+    double fw = 0.0, ft = 0.0;
+    for (const FindAudit& f : r.finds) {
+      fw = std::max(fw, f.work_ratio);
+      ft = std::max(ft, f.time_ratio);
+    }
+    s.values[kTsAuditBase + 0] = milli_ratio(r.move.work_ratio);
+    s.values[kTsAuditBase + 1] = milli_ratio(r.move.time_ratio);
+    s.values[kTsAuditBase + 2] = milli_ratio(fw);
+    s.values[kTsAuditBase + 3] = milli_ratio(ft);
+  }
+
+  std::size_t at = kTsFixedCount;
+  for (Level l = 0; l <= wc.max_level(); ++l) {
+    s.values[at++] = wc.move_messages_at_level(l);
+    s.values[at++] = wc.move_work_at_level(l);
+    s.values[at++] = wc.find_messages_at_level(l);
+    s.values[at++] = wc.find_work_at_level(l);
+  }
+  if (header_.has_lanes()) {
+    const stats::PdesCounters& p = wc.pdes();
+    s.values[at++] = p.windows;
+    s.values[at++] = p.window_events;
+    s.values[at++] = p.critical_path_events;
+    for (std::uint32_t i = 0; i < header_.lanes; ++i) {
+      if (i < p.lanes.size()) {
+        s.values[at + 0] = p.lanes[i].events;
+        s.values[at + 1] = p.lanes[i].stalls;
+        s.values[at + 2] = p.lanes[i].cross_sends;
+        s.values[at + 3] = p.lanes[i].busy_windows;
+      }
+      at += 4;
+    }
+  }
+  VS_DCHECK(at == s.values.size(), "telemetry layout mismatch");
+
+  if (writer_.has_value()) writer_->append(s);
+  if (!cfg_.prometheus_path.empty()) {
+    std::ofstream os(cfg_.prometheus_path, std::ios::trunc);
+    VS_REQUIRE(os.good(),
+               "cannot write prometheus snapshot " << cfg_.prometheus_path);
+    MetricsRegistry reg = net_->export_metrics();
+    registry_to_prometheus(os, reg, "vinestalk");
+    sample_to_prometheus(os, header_, s, "vinestalk");
+  }
+  ring_.push_back(std::move(s));
+  while (ring_.size() > cfg_.ring_capacity) ring_.pop_front();
+  ++samples_;
+}
+
+}  // namespace vs::obs

@@ -1,0 +1,159 @@
+#pragma once
+// VSTELEM1 — the compact binary time-series telemetry stream.
+//
+// A telemetry file is a header, a run of delta-encoded samples, and a
+// trailer:
+//
+//   "VSTELEM1"            8-byte magic
+//   u32 version           kTelemetryFormatVersion
+//   u32 flags             bit 0: per-lane PDES section present
+//   i64 cadence_us        virtual-time sampling cadence
+//   u32 lanes             lane count the per-lane section is sized for
+//   u32 max_level         hierarchy depth of the per-level section
+//   u32 series            values per sample (consistency check; the
+//                         layout itself is fixed by version + flags)
+//   --- per sample ---
+//   u8  0xA5              sample marker
+//   varint t_us           boundary time, delta vs the previous sample
+//   varint × series       values, each delta vs the previous sample
+//   --- trailer ---
+//   u8  0x5A              trailer marker
+//   u64 sample count
+//   "VSTELEND"            8-byte end magic
+//
+// Varints are ZigZag + LEB128 (protobuf-style), so near-constant series
+// cost one byte per sample. Integers are native-endian like every other
+// vinestalk artifact (same-machine write/read).
+//
+// The writer flushes after every sample, which is what makes the file
+// *tailable*: vinestalk_top re-reads it while the producing run is still
+// going and renders whatever prefix has landed. Two read modes match:
+// strict (trailer required — artifact verification) and tail (tolerant
+// of a truncated final record — live dashboards).
+//
+// Determinism doctrine: every series derives from virtual time and
+// world-local state sampled at cadence boundaries where sharded execution
+// exposes the exact serial prefix (see Scheduler::set_boundary_hook), so
+// a stream without the lane section is byte-identical at any --jobs and
+// any --shards. The per-lane section (flag bit 0) is schedule
+// diagnostics — it varies with --shards by construction, which is why it
+// is off by default and carried in a flag rather than always present.
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vs::obs {
+
+inline constexpr std::uint32_t kTelemetryFormatVersion = 1;
+inline constexpr std::uint32_t kTelemetryFlagLanes = 1u << 0;
+
+/// Offsets of the fixed scalar series inside TelemetrySample::values.
+/// After the fixed block: 4 per-level series ((max_level+1) ×
+/// {move_msgs, move_work, find_msgs, find_work}), then — only with
+/// kTelemetryFlagLanes — 3 window scalars {windows, window_events,
+/// critical_path_events} and 4 per-lane series (lanes ×
+/// {events, stalls, cross_sends, busy_windows}).
+enum TelemetrySeries : std::size_t {
+  kTsEventsFired = 0,
+  kTsMsgsTotal,
+  kTsWorkTotal,
+  kTsMoveMsgs,
+  kTsMoveWork,
+  kTsFindMsgs,
+  kTsFindWork,
+  kTsHeartbeats,
+  kTsDuplicated,
+  kTsJittered,
+  kTsFindsIssued,
+  kTsFindsCompleted,
+  kTsFindLatencyP50,
+  kTsFindLatencyP90,
+  kTsFindLatencyP99,
+  kTsTraceEvents,
+  /// 6 op classes (obs::OpClass order) × {msgs, work}; zero when no
+  /// ledger is attached.
+  kTsLedgerBase,
+  /// Trailing-window audit ratios ×1000 (move work, move time, max find
+  /// work, max find time); zero when no auditor is attached.
+  kTsAuditBase = kTsLedgerBase + 12,
+  kTsFixedCount = kTsAuditBase + 4,
+};
+
+struct TelemetryHeader {
+  std::uint32_t version = kTelemetryFormatVersion;
+  std::uint32_t flags = 0;
+  std::int64_t cadence_us = 0;
+  std::uint32_t lanes = 0;
+  std::uint32_t max_level = 0;
+  std::uint32_t series = 0;
+
+  [[nodiscard]] bool has_lanes() const {
+    return (flags & kTelemetryFlagLanes) != 0;
+  }
+  /// Values per sample implied by version + flags (must equal `series`).
+  [[nodiscard]] std::uint32_t expected_series() const {
+    std::uint32_t n =
+        kTsFixedCount + 4 * (max_level + 1);
+    if (has_lanes()) n += 3 + 4 * lanes;
+    return n;
+  }
+};
+
+/// One decoded sample: cumulative values as of boundary time t_us.
+struct TelemetrySample {
+  std::int64_t t_us = 0;
+  std::vector<std::int64_t> values;
+};
+
+/// Stable column names for the header's layout, in values order — the
+/// CSV header row and the Prometheus metric names derive from these.
+[[nodiscard]] std::vector<std::string> telemetry_series_names(
+    const TelemetryHeader& header);
+
+/// Streaming writer: header on construction, one flushed record per
+/// append, trailer on finish(). Append order is sample order; values
+/// must match header.series.
+class TelemetryWriter {
+ public:
+  TelemetryWriter(const std::string& path, const TelemetryHeader& header);
+  ~TelemetryWriter();
+  TelemetryWriter(const TelemetryWriter&) = delete;
+  TelemetryWriter& operator=(const TelemetryWriter&) = delete;
+
+  void append(const TelemetrySample& sample);
+  /// Write the trailer and close (idempotent).
+  void finish();
+
+  [[nodiscard]] std::uint64_t samples_written() const { return count_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  TelemetryHeader header_;
+  std::vector<std::int64_t> prev_;
+  std::int64_t prev_t_ = 0;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+};
+
+struct TelemetryFile {
+  TelemetryHeader header;
+  std::vector<TelemetrySample> samples;
+  /// True when the trailer was present and consistent.
+  bool complete = false;
+};
+
+/// Read a VSTELEM1 file. strict=true (artifact verification) throws on
+/// any malformation including a missing trailer; strict=false (tail
+/// mode) returns every fully decoded sample and stops quietly at a
+/// truncated record — the live-dashboard read.
+[[nodiscard]] TelemetryFile read_telemetry_file(const std::string& path,
+                                                bool strict = true);
+
+/// Render the decoded stream as CSV (t_us + one column per series).
+void telemetry_to_csv(std::ostream& os, const TelemetryFile& file);
+
+}  // namespace vs::obs

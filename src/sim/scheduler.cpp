@@ -104,8 +104,21 @@ void Scheduler::attach_executor(ShardExecutor* exec) {
   if (exec_ != nullptr) next_seq_ = queue_.next_seq();
 }
 
+void Scheduler::flush_boundaries(TimePoint upto) {
+  // The hook emits every due boundary <= upto in one call and returns the
+  // next due strictly past it (or never() to disarm) — one call per
+  // crossing, however many boundaries the gap spans.
+  const TimePoint next = boundary_hook_(boundary_ctx_, upto);
+  VS_DCHECK(next > upto, "boundary hook did not advance past upto");
+  boundary_due_ = next;
+}
+
 void Scheduler::fire_main(EventQueue::Popped p, LaneCtx* serial_lane) {
   VS_DCHECK(p.when >= now_, "event queue time went backwards");
+  // Pre-fire boundary check: the event about to fire is the earliest
+  // pending one, so state right now is "everything with when < p.when has
+  // fired" — the exact sample prefix for any boundary <= p.when.
+  if (p.when >= boundary_due_) flush_boundaries(p.when);
   now_ = p.when;
   ++events_fired_;
   const std::uint64_t saved_seq = current_seq_;
@@ -126,6 +139,7 @@ bool Scheduler::step() {
   if (queue_.empty()) return false;
   EventQueue::Popped p = queue_.pop();
   VS_DCHECK(p.when >= now_, "event queue time went backwards");
+  if (p.when >= boundary_due_) flush_boundaries(p.when);
   now_ = p.when;
   ++events_fired_;
   // Save/restore so a nested run() inside an action (rare, but legal in
@@ -158,6 +172,7 @@ std::uint64_t Scheduler::run_until(TimePoint deadline,
   if (exec_ != nullptr) {
     const std::uint64_t fired = exec_->run(max_events, deadline);
     if (now_ < deadline) now_ = deadline;
+    if (now_ >= boundary_due_) flush_boundaries(now_);
     return fired;
   }
   std::uint64_t fired = 0;
@@ -168,6 +183,10 @@ std::uint64_t Scheduler::run_until(TimePoint deadline,
                "event budget exhausted before deadline " << deadline);
   }
   if (now_ < deadline) now_ = deadline;
+  // Exit flush: boundaries between the last fired event and the deadline
+  // are due now — no event will ever fire below them (same in both
+  // execution modes, which is what keeps the sample streams identical).
+  if (now_ >= boundary_due_) flush_boundaries(now_);
   return fired;
 }
 

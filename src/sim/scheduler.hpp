@@ -110,6 +110,28 @@ class Scheduler {
     return post_step_hook_ != nullptr;
   }
 
+  /// Telemetry boundary hook (obs::TelemetrySampler). Unlike the post-step
+  /// hook — which observes every event and therefore forces sharded worlds
+  /// onto the serial path — the boundary hook only fires when virtual time
+  /// is about to cross a pre-announced boundary, so it stays compatible
+  /// with parallel windows: the executor caps each window's cut at the due
+  /// boundary and flushes it between windows, where the committed state is
+  /// exactly the serial prefix. The hook is called with the time being
+  /// crossed (`upto`) and must return the next due boundary (never() to
+  /// stop). Contract: when the hook runs, every event with when < B has
+  /// fired and no event with when >= B has, for every boundary B <= upto
+  /// it emits — identical in serial and sharded execution. The unhooked
+  /// hot-path cost is one integer compare (boundary_due_ stays never()).
+  using BoundaryHook = TimePoint (*)(void* ctx, TimePoint upto);
+  void set_boundary_hook(BoundaryHook hook, void* ctx, TimePoint first_due) {
+    boundary_hook_ = hook;
+    boundary_ctx_ = ctx;
+    boundary_due_ = hook != nullptr ? first_due : TimePoint::never();
+  }
+  [[nodiscard]] bool has_boundary_hook() const {
+    return boundary_hook_ != nullptr;
+  }
+
   /// Attach (nullptr: detach) the shard executor that takes over
   /// run/step/pending. The executor must outlive the attachment; the
   /// global sequence counter picks up where the queue's internal one left
@@ -126,6 +148,11 @@ class Scheduler {
   /// owning lane's queue.
   void fire_main(EventQueue::Popped p, LaneCtx* serial_lane);
 
+  /// Emit every due boundary <= `upto` through the hook and advance
+  /// boundary_due_ to the hook's returned next-due. Out of line: the
+  /// inlined call sites only pay the compare.
+  void flush_boundaries(TimePoint upto);
+
   EventQueue queue_;
   TimePoint now_ = TimePoint::zero();
   std::uint64_t events_fired_{0};
@@ -136,6 +163,11 @@ class Scheduler {
   std::uint64_t next_seq_{1};
   PostStepHook post_step_hook_ = nullptr;
   void* post_step_ctx_ = nullptr;
+  BoundaryHook boundary_hook_ = nullptr;
+  void* boundary_ctx_ = nullptr;
+  /// Next telemetry boundary; never() when no hook is armed, so the
+  /// per-event test `when >= boundary_due_` is false on the unhooked path.
+  TimePoint boundary_due_ = TimePoint::never();
   ShardExecutor* exec_ = nullptr;
 };
 

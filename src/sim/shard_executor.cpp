@@ -143,6 +143,10 @@ std::uint64_t ShardExecutor::run_parallel(std::uint64_t max_events,
       check_budget(fired, max_events, bounded, deadline);
       continue;
     }
+    // Telemetry boundary: h is the globally earliest pending event, so
+    // everything with when < h.when has fired and committed — the state
+    // visible here is the exact serial prefix for any boundary <= h.when.
+    if (h.when >= sched_->boundary_due_) sched_->flush_boundaries(h.when);
     // Conservative cut: the earliest lane head plus the lookahead — no
     // lane can receive a cross-shard event before that — capped by the
     // global head (must interleave serially) and the caller's deadline.
@@ -165,6 +169,18 @@ std::uint64_t ShardExecutor::run_parallel(std::uint64_t max_events,
       const TimePoint cap = deadline + Duration::micros(1);
       if (cap < cut_t || (cap == cut_t && cut_s > 0)) {
         cut_t = cap;
+        cut_s = 0;
+      }
+    }
+    {
+      // Cap the window at the next telemetry boundary so only events with
+      // when < boundary fire before the next flush — the flush above then
+      // observes exactly the serial sample prefix. The boundary strictly
+      // exceeds h.when (just flushed past it), so the window still fires
+      // at least one event and cannot stall.
+      const TimePoint bd = sched_->boundary_due_;
+      if (bd < cut_t || (bd == cut_t && cut_s > 0)) {
+        cut_t = bd;
         cut_s = 0;
       }
     }
@@ -367,15 +383,23 @@ std::uint64_t ShardExecutor::merge_and_commit() {
   for (auto& lp : lanes_) {
     lp->ctx.queue.renumber([this](std::uint64_t t) { return resolve(t); });
   }
-  for (auto& lp : lanes_) {
-    for (StagedCrossEvent& s : lp->ctx.staged) {
+  if (counters_ != nullptr &&
+      counters_->pdes().lanes.size() < lanes_.size()) {
+    counters_->pdes().lanes.resize(lanes_.size());
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lp = *lanes_[i];
+    for (StagedCrossEvent& s : lp.ctx.staged) {
       Lane& dest = *lanes_[static_cast<std::size_t>(s.dest)];
       dest.ctx.queue.push_with_seq(s.when, std::move(s.action),
                                    resolve(s.temp_seq), resolve(s.cause),
                                    s.dest);
-      if (counters_ != nullptr) ++counters_->pdes().cross_shard_events;
+      if (counters_ != nullptr) {
+        ++counters_->pdes().cross_shard_events;
+        ++counters_->pdes().lanes[i].cross_sends;
+      }
     }
-    lp->ctx.staged.clear();
+    lp.ctx.staged.clear();
   }
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     Lane& ln = *lanes_[i];
@@ -391,9 +415,16 @@ std::uint64_t ShardExecutor::merge_and_commit() {
     ++p.windows;
     p.window_events += static_cast<std::int64_t>(merged);
     std::size_t critical = 0;
-    for (const auto& lp : lanes_) {
-      critical = std::max(critical, lp->fired.size());
-      if (lp->had_pending && lp->fired.empty()) ++p.horizon_stalls;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      const Lane& ln = *lanes_[i];
+      critical = std::max(critical, ln.fired.size());
+      stats::PdesLaneStats& ls = p.lanes[i];
+      ls.events += static_cast<std::int64_t>(ln.fired.size());
+      if (!ln.fired.empty()) ++ls.busy_windows;
+      if (ln.had_pending && ln.fired.empty()) {
+        ++p.horizon_stalls;
+        ++ls.stalls;
+      }
     }
     p.critical_path_events += static_cast<std::int64_t>(critical);
   }

@@ -220,6 +220,14 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
   d.pdes_.global_syncs = pdes_.global_syncs - earlier.pdes_.global_syncs;
   d.pdes_.critical_path_events =
       pdes_.critical_path_events - earlier.pdes_.critical_path_events;
+  d.pdes_.lanes = pdes_.lanes;
+  for (std::size_t i = 0;
+       i < d.pdes_.lanes.size() && i < earlier.pdes_.lanes.size(); ++i) {
+    d.pdes_.lanes[i].events -= earlier.pdes_.lanes[i].events;
+    d.pdes_.lanes[i].stalls -= earlier.pdes_.lanes[i].stalls;
+    d.pdes_.lanes[i].cross_sends -= earlier.pdes_.lanes[i].cross_sends;
+    d.pdes_.lanes[i].busy_windows -= earlier.pdes_.lanes[i].busy_windows;
+  }
   return d;
 }
 
@@ -267,8 +275,19 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
        << ", \"cross_shard_events\": " << pdes_.cross_shard_events
        << ", \"horizon_stalls\": " << pdes_.horizon_stalls
        << ", \"global_syncs\": " << pdes_.global_syncs
-       << ", \"critical_path_events\": " << pdes_.critical_path_events
-       << "}";
+       << ", \"critical_path_events\": " << pdes_.critical_path_events;
+    if (!pdes_.lanes.empty()) {
+      os << ", \"lanes\": [";
+      for (std::size_t i = 0; i < pdes_.lanes.size(); ++i) {
+        const PdesLaneStats& ln = pdes_.lanes[i];
+        if (i != 0) os << ", ";
+        os << "{\"events\": " << ln.events << ", \"stalls\": " << ln.stalls
+           << ", \"cross_sends\": " << ln.cross_sends
+           << ", \"busy_windows\": " << ln.busy_windows << "}";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "\n" << pad << "}";
 }
@@ -296,6 +315,15 @@ void WorkCounters::accumulate(const WorkCounters& other) {
   pdes_.horizon_stalls += other.pdes_.horizon_stalls;
   pdes_.global_syncs += other.pdes_.global_syncs;
   pdes_.critical_path_events += other.pdes_.critical_path_events;
+  if (pdes_.lanes.size() < other.pdes_.lanes.size()) {
+    pdes_.lanes.resize(other.pdes_.lanes.size());
+  }
+  for (std::size_t i = 0; i < other.pdes_.lanes.size(); ++i) {
+    pdes_.lanes[i].events += other.pdes_.lanes[i].events;
+    pdes_.lanes[i].stalls += other.pdes_.lanes[i].stalls;
+    pdes_.lanes[i].cross_sends += other.pdes_.lanes[i].cross_sends;
+    pdes_.lanes[i].busy_windows += other.pdes_.lanes[i].busy_windows;
+  }
 }
 
 }  // namespace vs::stats

@@ -43,6 +43,19 @@ enum class MsgKind : std::uint8_t {
 /// both the Theorem 4.9 move sums and the Theorem 5.2 find sums.
 [[nodiscard]] bool is_heartbeat_kind(MsgKind kind);
 
+/// Per-shard-lane slice of the executor's window census — the raw series
+/// behind lane occupancy, cross-shard traffic split, critical-path share,
+/// and the imbalance ratio the telemetry dashboard renders. Like the rest
+/// of PdesCounters these are schedule diagnostics, not model state: they
+/// vary with --shards by construction and are exempt from the
+/// byte-identity doctrine (and from the default telemetry stream).
+struct PdesLaneStats {
+  std::int64_t events = 0;        // window events fired by this lane
+  std::int64_t stalls = 0;        // windows: lane had work, none below cut
+  std::int64_t cross_sends = 0;   // staged cross-shard sends originating here
+  std::int64_t busy_windows = 0;  // windows where the lane fired >= 1 event
+};
+
 /// Diagnostics of the sharded executor (sim/shard_executor.hpp): window
 /// and event census of the conservative parallel schedule. Zero — and
 /// absent from to_json — unless a parallel window ever committed, so
@@ -58,6 +71,9 @@ struct PdesCounters {
   /// critical path; window_events / critical_path_events is the
   /// partition-balance speedup bound on ideal hardware.
   std::int64_t critical_path_events = 0;
+  /// Per-lane breakdown (index = lane). Sized by the executor at its first
+  /// committed window; empty in serial/legacy runs.
+  std::vector<PdesLaneStats> lanes;
 };
 
 class WorkCounters {

@@ -137,6 +137,11 @@ class TrackingNetwork {
   // Finds.
   FindId start_find(RegionId from, TargetId target);
   [[nodiscard]] const FindResult& find_result(FindId f) const;
+  /// Every find issued so far, by id — the census the telemetry sampler
+  /// reads (issued/completed counts, latency distribution).
+  [[nodiscard]] const std::map<FindId, FindResult>& finds() const {
+    return finds_;
+  }
 
   // Execution.
   std::uint64_t run_to_quiescence();

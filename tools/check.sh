@@ -15,9 +15,13 @@
 # quickstart must attribute 100% of its cost events and sit inside the
 # Theorem 4.9/5.2 slack, and a traced chaos-plan run must bill its
 # heartbeat and repair traffic to stabilizer operations with nothing
-# leaking into background. A final shard stage pins the PDES guarantee:
+# leaking into background. A shard stage pins the PDES guarantee:
 # a sharded quickstart (VS_SHARDS ∈ {2,4,8}) must produce stdout and a
-# VSTRACE1 trace byte-identical to the serial run's.
+# VSTRACE1 trace byte-identical to the serial run's. A final telemetry
+# stage pins the time-series layer: a telemetered quickstart's VSTELEM1
+# stream must be byte-identical serial vs sharded, a chaos-plan CLI run
+# must show its heartbeat/repair traffic in the telemetry summary, and
+# the Prometheus snapshot must parse as text exposition format.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -27,6 +31,7 @@
 #   tools/check.sh --chaos      # stage 5 only (reuses build-check/)
 #   tools/check.sh --audit      # stage 6 only (reuses build-check/)
 #   tools/check.sh --shard      # stage 7 only (reuses build-check/)
+#   tools/check.sh --telemetry  # stage 8 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan), and
 # build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
@@ -57,7 +62,7 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    test_audit test_shard bench_e2_move_scaling
+    test_audit test_shard test_telemetry bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
@@ -65,6 +70,7 @@ run_tsan() {
   "$root/build-tsan/tests/test_fault"
   "$root/build-tsan/tests/test_audit"
   "$root/build-tsan/tests/test_shard"
+  "$root/build-tsan/tests/test_telemetry"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -73,12 +79,15 @@ run_notrace() {
   echo "== stage 3: tracing compiled out (-DVINESTALK_TRACE=OFF) =="
   cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
   cmake --build "$root/build-notrace" -j "$jobs" \
-    --target test_obs test_sim test_audit example_quickstart
+    --target test_obs test_sim test_audit test_telemetry example_quickstart
   "$root/build-notrace/tests/test_obs"
   "$root/build-notrace/tests/test_sim"
   # The op-ledger API must compile to no-ops: the trace-dependent audit
   # tests skip themselves, the disabled-ledger pin still runs.
   "$root/build-notrace/tests/test_audit"
+  # Same for the telemetry sampler: enable() must be a no-op, streaming
+  # tests skip themselves, the disabled-holds-nothing pin still runs.
+  "$root/build-notrace/tests/test_telemetry"
   "$root/build-notrace/examples/example_quickstart" > /dev/null
   echo "Compiled-out stage clean (record points are dead code)."
 }
@@ -248,9 +257,76 @@ run_shard() {
   echo "Shard stage clean (traces and stdout byte-identical at 2/4/8 shards)."
 }
 
+run_telemetry() {
+  echo "== stage 8: time-series telemetry end-to-end =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target example_quickstart vinestalk_cli vinestalk_trace vinestalk_top
+  local dir
+  dir="$(mktemp -d /tmp/vs_telemetry.XXXXXX)"
+  # The VSTELEM1 stream must be byte-identical serial vs sharded — the
+  # sampler's boundary-hook cut is part of the determinism contract.
+  VS_TELEMETRY="$dir/serial.vstelem" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  for n in 2 4 8; do
+    VS_TELEMETRY="$dir/shard$n.vstelem" VS_SHARDS="$n" \
+      "$root/build-check/examples/example_quickstart" > /dev/null
+    cmp "$dir/serial.vstelem" "$dir/shard$n.vstelem" || {
+      echo "FAIL: telemetry differs from serial at VS_SHARDS=$n" >&2
+      exit 1; }
+  done
+  # Both viewers must read the finished stream.
+  "$root/build-check/tools/vinestalk_trace" telemetry "$dir/serial.vstelem" \
+    > /dev/null
+  "$root/build-check/tools/vinestalk_top" "$dir/serial.vstelem" --once \
+    > /dev/null
+  # A telemetered chaos-plan run must show its stabilizer traffic —
+  # heartbeat and repair ledger series — in the telemetry summary.
+  cat > "$dir/chaos.plan" <<'EOF'
+faultplan v1
+seed 77
+crash 40 at 1000000
+crash 13 at 2000000
+loss from 1500000 until 2500000 rate 0.05
+recovery base 1000000 per-fault 200000
+end
+EOF
+  printf 'world 9 3\ntelemetry %s 10000\nevader 4 4\nfault %s\nwalk 0 20 42\ncheck 0\ntelemetry off\nquit\n' \
+    "$dir/chaos.vstelem" "$dir/chaos.plan" |
+    "$root/build-check/tools/vinestalk_cli" > /dev/null
+  "$root/build-check/tools/vinestalk_trace" telemetry "$dir/chaos.vstelem" \
+    > "$dir/chaos.summary"
+  grep -Eq "ledger_hb_msgs: [1-9]" "$dir/chaos.summary" || {
+    echo "FAIL: chaos telemetry shows no heartbeat traffic" >&2
+    cat "$dir/chaos.summary" >&2; exit 1; }
+  grep -Eq "ledger_repair_msgs: [1-9]" "$dir/chaos.summary" || {
+    echo "FAIL: chaos telemetry shows no repair traffic" >&2
+    cat "$dir/chaos.summary" >&2; exit 1; }
+  # The Prometheus snapshot must parse as text exposition format.
+  VS_TELEMETRY="$dir/prom.vstelem" VS_PROMETHEUS="$dir/prom.txt" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  python3 - "$dir/prom.txt" <<'EOF'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "empty Prometheus snapshot"
+metric = re.compile(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?$')
+names = set()
+for ln in lines:
+    if not ln or ln.startswith("#"):
+        continue
+    assert metric.match(ln), f"bad exposition line: {ln!r}"
+    names.add(ln.split("{")[0].split(" ")[0])
+assert any(n.startswith("vinestalk_telemetry_") for n in names), names
+assert any(n.endswith("_bucket") for n in names), "no histogram series"
+EOF
+  rm -rf "$dir"
+  echo "Telemetry stage clean (stream shard-identical, hb/repair visible," \
+       "Prometheus valid)."
+}
+
 case "$stage" in
   all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit
-       run_shard ;;
+       run_shard; run_telemetry ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
@@ -258,7 +334,8 @@ case "$stage" in
   --chaos) run_chaos ;;
   --audit) run_audit ;;
   --shard|--shards) run_shard ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard]" >&2
+  --telemetry) run_telemetry ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

@@ -49,6 +49,12 @@
 //                              mid-run traces start mid-protocol)
 //   trace dump <path>          write recorded events as a VSTRACE1 file
 //                              (read it back with vinestalk_trace)
+//   telemetry <path> [us]      stream VSTELEM1 time-series samples of this
+//                              world to <path> on a virtual-time cadence
+//                              (default 10000us); watch live with
+//                              `vinestalk_top <path>`, summarize with
+//                              `vinestalk_trace telemetry <path>`
+//   telemetry off              finish the stream (writes the trailer)
 //   quit
 //
 // The binary takes `--jobs N` (default: hardware concurrency) for the
@@ -79,6 +85,7 @@
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
 #include "obs/op.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "spec/bounds.hpp"
 #include "runner/trial_pool.hpp"
@@ -124,6 +131,7 @@ class Cli {
       side_ = side;
       base_ = base;
       watchdog_.reset();  // watches the old world; drop before replacing it
+      telemetry_.reset();  // ditto — finishes its stream before the world dies
       injector_.reset();
       stabilizers_.clear();
       hierarchy_ = std::make_unique<hier::GridHierarchy>(side, side, base);
@@ -131,6 +139,7 @@ class Cli {
       cfg.model_vsa_failures = true;
       cfg.t_restart = sim::Duration::millis(5);
       net_ = std::make_unique<tracking::TrackingNetwork>(*hierarchy_, cfg);
+      cli_ledger_.reset();  // the old world's; the new one attaches fresh
       // CLI worlds model VSA failures, so sharded runs take the serial
       // path over partitioned queues — same output, exercised storage.
       if (shards_ > 1) net_->set_shards(shards_);
@@ -332,6 +341,44 @@ class Cli {
         out << "\n";
       } else {
         out << "usage: trace on|off|dump <path>\n";
+      }
+    } else if (cmd == "telemetry") {
+      std::string sub;
+      ss >> sub;
+      if (sub == "off") {
+        VS_REQUIRE(telemetry_ != nullptr, "no telemetry sampler is running");
+        telemetry_->finish();
+        out << "telemetry off after " << telemetry_->samples_taken()
+            << " sample(s)\n";
+        telemetry_.reset();
+      } else if (!sub.empty()) {
+        VS_REQUIRE(obs::kTraceCompiled,
+                   "telemetry compiled out (rebuild with -DVINESTALK_TRACE=ON)");
+        VS_REQUIRE(telemetry_ == nullptr,
+                   "a telemetry sampler is already running (telemetry off "
+                   "first)");
+        // Per-class ledger series need a live ledger; attach one if the
+        // world has none (observation only — the run is unperturbed).
+        if (net_->op_ledger() == nullptr) {
+          cli_ledger_ = std::make_unique<obs::OpLedger>();
+          cli_ledger_->set_enabled(true);
+          net_->set_op_ledger(cli_ledger_.get());
+        }
+        obs::TelemetryConfig cfg;
+        cfg.stream_path = sub;
+        std::int64_t us = 0;
+        if (ss >> us) {
+          std::string rest;
+          VS_REQUIRE(us > 0 && !(ss >> rest),
+                     "cadence must be a bare count of microseconds > 0");
+          cfg.cadence = sim::Duration::micros(us);
+        }
+        telemetry_ = std::make_unique<obs::TelemetrySampler>(*net_, cfg);
+        telemetry_->enable();
+        out << "telemetry streaming to " << sub << " every "
+            << cfg.cadence.count() << "us\n";
+      } else {
+        out << "usage: telemetry <path> [cadence-us] | telemetry off\n";
       }
     } else if (cmd == "monitor") {
       const TargetId t = target(ss);
@@ -559,8 +606,10 @@ class Cli {
   int side_ = 0;
   int base_ = 0;
   std::unique_ptr<hier::GridHierarchy> hierarchy_;
+  std::unique_ptr<obs::OpLedger> cli_ledger_;  // before net_: outlives it
   std::unique_ptr<tracking::TrackingNetwork> net_;
   std::unique_ptr<obs::Watchdog> watchdog_;  // declared after net_: dies first
+  std::unique_ptr<obs::TelemetrySampler> telemetry_;  // ditto
   std::unique_ptr<fault::FaultInjector> injector_;  // ditto
   std::optional<fault::FaultPlan> pending_faults_;  // VS_FAULTS, pre-evader
   obs::ScenarioSpec scenario_;

@@ -1,0 +1,179 @@
+// vinestalk_top — live terminal dashboard over a VSTELEM1 telemetry
+// stream.
+//
+//   vinestalk_top <file> [--once] [--interval-ms N]
+//
+// Tails the stream a running world writes (obs::TelemetrySampler flushes
+// one record per cadence boundary, so the file is always a valid prefix),
+// re-rendering until the trailer lands: event/message/find rates from the
+// last two samples, find-latency percentiles, sliding-window bound-ratio
+// gauges (Theorem 4.9 / 5.2, ×1000 with the 1.0× bound marked), and —
+// when the stream carries the per-lane section — one utilization bar per
+// PDES shard lane.
+//
+// --once reads the file a single time and renders one frame with no
+// escape codes and no wall-clock dependence: same file in, same bytes
+// out — the golden-test and scripting mode. Live mode redraws with a
+// home+clear escape at --interval-ms (default 500).
+//
+// Exit status: 0 (stream summarized; live mode exits when the trailer
+// arrives), 1 on usage or a file that is not a telemetry stream.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/telemetry/telemetry_io.hpp"
+
+namespace {
+
+using vs::obs::TelemetryFile;
+using vs::obs::TelemetrySample;
+
+int usage() {
+  std::cerr << "usage: vinestalk_top <telemetry-file> [--once] "
+               "[--interval-ms N]\n";
+  return 1;
+}
+
+/// `width` cells, `frac` of them filled — clamped, so an over-bound gauge
+/// pegs at full rather than overflowing the frame.
+std::string bar(double frac, int width) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const int fill = static_cast<int>(frac * width + 0.5);
+  std::string out = "[";
+  for (int i = 0; i < width; ++i) out.push_back(i < fill ? '#' : '.');
+  out.push_back(']');
+  return out;
+}
+
+std::string fmt_rate(double v) {
+  std::ostringstream os;
+  if (v >= 1e6) {
+    os << static_cast<std::int64_t>(v / 1e3) << "k";
+  } else {
+    os << static_cast<std::int64_t>(v);
+  }
+  return os.str();
+}
+
+void render(std::ostream& os, const std::string& path,
+            const TelemetryFile& f) {
+  using vs::obs::TelemetrySeries;
+  os << "vinestalk_top — " << path << "  (" << f.samples.size()
+     << " sample(s), " << (f.complete ? "complete" : "live") << ", cadence "
+     << f.header.cadence_us << "us)\n";
+  if (f.samples.empty()) {
+    os << "  waiting for the first cadence boundary...\n";
+    return;
+  }
+  const TelemetrySample& last = f.samples.back();
+  const TelemetrySample& prev =
+      f.samples.size() >= 2 ? f.samples[f.samples.size() - 2] : last;
+  const double dt_s =
+      static_cast<double>(last.t_us - prev.t_us) / 1e6;
+  const auto rate = [&](std::size_t i) {
+    if (dt_s <= 0) return 0.0;
+    return static_cast<double>(last.values[i] - prev.values[i]) / dt_s;
+  };
+  const auto v = [&](std::size_t i) { return last.values[i]; };
+
+  os << "  t = " << last.t_us << "us\n";
+  os << "  rates/s: events " << fmt_rate(rate(vs::obs::kTsEventsFired))
+     << "  msgs " << fmt_rate(rate(vs::obs::kTsMsgsTotal)) << "  work "
+     << fmt_rate(rate(vs::obs::kTsWorkTotal)) << "  finds "
+     << fmt_rate(rate(vs::obs::kTsFindsCompleted)) << "  heartbeats "
+     << fmt_rate(rate(vs::obs::kTsHeartbeats)) << "\n";
+  os << "  finds: " << v(vs::obs::kTsFindsIssued) << " issued, "
+     << v(vs::obs::kTsFindsCompleted) << " completed; latency us p50="
+     << v(vs::obs::kTsFindLatencyP50) << " p90="
+     << v(vs::obs::kTsFindLatencyP90) << " p99="
+     << v(vs::obs::kTsFindLatencyP99) << "\n";
+
+  // Bound gauges: milli-ratios, full scale = 2× the bound (so the 1.0×
+  // bound sits mid-bar). All four zero means no auditor was attached.
+  const std::int64_t mw = v(vs::obs::kTsAuditBase + 0);
+  const std::int64_t mt = v(vs::obs::kTsAuditBase + 1);
+  const std::int64_t fw = v(vs::obs::kTsAuditBase + 2);
+  const std::int64_t ft = v(vs::obs::kTsAuditBase + 3);
+  if (mw == 0 && mt == 0 && fw == 0 && ft == 0) {
+    os << "  bounds: (no sliding-window auditor attached)\n";
+  } else {
+    const auto gauge = [&](const char* name, std::int64_t milli) {
+      os << "    " << name << " "
+         << bar(static_cast<double>(milli) / 2000.0, 20) << " "
+         << milli << "m" << (milli > 1000 ? "  OVER" : "") << "\n";
+    };
+    const std::int64_t worst = std::max({mw, mt, fw, ft});
+    os << "  bounds (x1000, window audit): "
+       << (worst > 1000 ? "OVER BOUND" : "within bounds") << "\n";
+    gauge("move work (Thm 4.9)", mw);
+    gauge("move time (Thm 4.9)", mt);
+    gauge("find work (Thm 5.2)", fw);
+    gauge("find time (Thm 5.2)", ft);
+  }
+
+  if (f.header.has_lanes()) {
+    const std::size_t base =
+        vs::obs::kTsFixedCount + 4 * (f.header.max_level + 1);
+    const std::int64_t windows = v(base + 0);
+    const std::int64_t window_events = v(base + 1);
+    os << "  pdes: " << windows << " window(s), " << window_events
+       << " window event(s), critical path " << v(base + 2) << "\n";
+    for (std::uint32_t i = 0; i < f.header.lanes; ++i) {
+      const std::size_t lb = base + 3 + 4 * i;
+      const std::int64_t events = v(lb + 0);
+      const std::int64_t busy = v(lb + 3);
+      const double util =
+          windows > 0
+              ? static_cast<double>(busy) / static_cast<double>(windows)
+              : 0.0;
+      os << "    lane " << i << " " << bar(util, 20) << " " << events
+         << " ev, " << v(lb + 1) << " stall(s), " << v(lb + 2)
+         << " cross\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string path = argv[1];
+  bool once = false;
+  int interval_ms = 500;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::stoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  try {
+    for (;;) {
+      const TelemetryFile f =
+          vs::obs::read_telemetry_file(path, /*strict=*/false);
+      if (once) {
+        render(std::cout, path, f);
+        return 0;
+      }
+      // Home + clear-to-end redraw (not full clear: no flicker).
+      std::cout << "\x1b[H\x1b[J";
+      render(std::cout, path, f);
+      std::cout.flush();
+      if (f.complete) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const vs::Error& e) {
+    std::cerr << "vinestalk_top: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -24,6 +24,9 @@
 //                               re-runs its scenario and verifies the
 //                               violation reproduces; --dump-ring writes the
 //                               flight-recorder ring as a VSTRACE1 file
+//   telemetry <file> [--csv]    summarize a VSTELEM1 time-series stream
+//                               (cadence, series, rates over the run);
+//                               --csv dumps every sample as CSV to stdout
 //
 // Exit status: 0 on success; 1 on usage/IO/corrupt-file errors and on a
 // failed replay; 2 when `check` finds violations (so scripts can gate on
@@ -45,6 +48,7 @@
 #include "obs/ledger/auditor.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/replay.hpp"
+#include "obs/telemetry/telemetry_io.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_query.hpp"
 #include "stats/counters.hpp"
@@ -74,7 +78,9 @@ int usage() {
                "(stdout unless --out)\n"
                "  incident <file> [--replay] [--dump-ring F]\n"
                "                             inspect/replay an incident "
-               "bundle\n";
+               "bundle\n"
+               "  telemetry <file> [--csv]   summarize a VSTELEM1 telemetry "
+               "stream (--csv dumps samples)\n";
   return 1;
 }
 
@@ -289,6 +295,53 @@ int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out) {
   return 0;
 }
 
+int cmd_telemetry(const std::string& path, bool csv) {
+  vs::obs::TelemetryFile file;
+  try {
+    // Tail mode: a stream from a run that is still going (or died) is
+    // still worth summarizing; completeness is reported either way.
+    file = vs::obs::read_telemetry_file(path, /*strict=*/false);
+  } catch (const vs::Error& e) {
+    std::cerr << "vinestalk_trace: " << e.what() << "\n";
+    return 1;
+  }
+  if (csv) {
+    vs::obs::telemetry_to_csv(std::cout, file);
+    return 0;
+  }
+  const vs::obs::TelemetryHeader& h = file.header;
+  std::cout << "VSTELEM1 stream: " << file.samples.size() << " sample(s), "
+            << (file.complete ? "complete" : "unterminated (tail read)")
+            << "\n  cadence " << h.cadence_us << "us, " << h.series
+            << " series, max level " << h.max_level;
+  if (h.has_lanes()) std::cout << ", " << h.lanes << " pdes lane(s)";
+  std::cout << "\n";
+  if (file.samples.empty()) return 0;
+  const vs::obs::TelemetrySample& first = file.samples.front();
+  const vs::obs::TelemetrySample& last = file.samples.back();
+  std::cout << "  t = [" << first.t_us << "us, " << last.t_us << "us]\n";
+  const std::vector<std::string> names = vs::obs::telemetry_series_names(h);
+  const double span_s =
+      static_cast<double>(last.t_us - first.t_us) / 1e6;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::int64_t v = last.values[i];
+    if (v == 0) continue;  // keep the summary to series that moved
+    std::cout << "  " << names[i] << ": " << v;
+    const std::int64_t delta = v - first.values[i];
+    // Rates only make sense for counters, not for the _us quantile and
+    // milli-ratio gauges.
+    const bool gauge = names[i].ends_with("_us") ||
+                       names[i].ends_with("_milli");
+    if (!gauge && span_s > 0 && delta > 0) {
+      std::cout << " (" << static_cast<std::int64_t>(
+                               static_cast<double>(delta) / span_s)
+                << "/s over the stream)";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 int cmd_incident(const std::string& path, bool replay,
                  const std::string& dump_ring) {
   vs::obs::IncidentBundle bundle;
@@ -332,6 +385,17 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_incident(path, replay, dump_ring);
+    }
+    if (command == "telemetry") {
+      bool csv = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+          csv = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_telemetry(path, csv);
     }
 
     std::vector<WorldTrace> worlds;
