@@ -23,13 +23,22 @@
 // byte-identical at every VS_SHARDS value. VS_PROMETHEUS=<path>
 // additionally rewrites a Prometheus text-exposition snapshot at every
 // sample (requires VS_TELEMETRY).
+// Set VS_PROFILE=<path> to record a wall-clock CPU profile of the run:
+// <path> gets the binary VSPROF1 sidecar and <path>.json its JSON twin
+// (vinestalk_trace flame <path> renders a flamegraph). Profile values are
+// nondeterministic by nature, so — like VS_SHARDS — this knob prints
+// nothing and changes no deterministic artifact: trace, telemetry,
+// incidents, and stdout are byte-identical with and without it.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "hier/grid_hierarchy.hpp"
 #include "obs/monitor/watchdog.hpp"
+#include "obs/profile/profile_io.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/telemetry/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "spec/consistency.hpp"
@@ -42,6 +51,7 @@ int main() {
   const char* shards_spec = std::getenv("VS_SHARDS");
   const char* telemetry_path = std::getenv("VS_TELEMETRY");
   const char* prometheus_path = std::getenv("VS_PROMETHEUS");
+  const char* profile_path = std::getenv("VS_PROFILE");
 
   // A 27x27 world of unit regions, clustered into a base-3 grid hierarchy
   // (levels 0..3, one top-level cluster).
@@ -57,6 +67,12 @@ int main() {
     net.set_shards(std::atoi(shards_spec));
   }
   if (trace_path != nullptr) net.set_tracing(true);
+  std::unique_ptr<obs::Profiler> profiler;
+  if (profile_path != nullptr) {
+    profiler = std::make_unique<obs::Profiler>();
+    net.set_profiler(profiler.get());
+    profiler->enable();
+  }
   std::unique_ptr<obs::TelemetrySampler> telemetry;
   if (telemetry_path != nullptr) {
     obs::TelemetryConfig tcfg;
@@ -122,6 +138,18 @@ int main() {
     telemetry->finish();
     std::cout << "telemetry: " << telemetry->samples_taken() << " samples → "
               << telemetry_path << "\n";
+  }
+  if (profiler != nullptr) {
+    profiler->disable();
+    // Pair the CPU time with the run's virtual cost. No OpLedger is
+    // attached here: doing so implicitly would change the telemetry
+    // stream's ledger series, breaking VS_PROFILE's no-observable-effect
+    // contract.
+    const obs::ProfileReport rep = profiler->report(
+        net.counters().total_work(), net.counters().total_messages());
+    obs::write_profile_file(profile_path, rep);
+    std::ofstream js(std::string(profile_path) + ".json");
+    obs::profile_to_json(js, rep);
   }
   if (watchdog != nullptr) {
     watchdog->check_now();

@@ -1,0 +1,148 @@
+#include "common/machine_env.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace vs {
+
+namespace {
+
+// Compiler identity and the flags it was handed, resolved at compile time
+// (VS_BUILD_TYPE / VS_CXX_FLAGS come from src/common/CMakeLists.txt).
+#if defined(__clang__)
+constexpr const char* kCompiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc " __VERSION__;
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+#ifndef VS_BUILD_TYPE
+#define VS_BUILD_TYPE "unknown"
+#endif
+#ifndef VS_CXX_FLAGS
+#define VS_CXX_FLAGS ""
+#endif
+
+std::string first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!in.good() || !std::getline(in, line)) return {};
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r' ||
+                           line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto key = line.find("model name");
+    if (key != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+// HEAD commit of the enclosing repo: walk up from the CWD (benches run
+// from the build tree) until a .git/HEAD appears, then chase one level of
+// symbolic ref. Loose refs cover the usual checkout; a packed-only ref
+// degrades to "unknown", which the consumers all tolerate.
+std::string git_head_sha() {
+  std::string prefix;
+  for (int depth = 0; depth < 6; ++depth) {
+    const std::string head = first_line(prefix + ".git/HEAD");
+    if (!head.empty()) {
+      if (head.rfind("ref: ", 0) == 0) {
+        const std::string sha = first_line(prefix + ".git/" + head.substr(5));
+        return sha.empty() ? "unknown" : sha;
+      }
+      return head;
+    }
+    prefix += "../";
+  }
+  return "unknown";
+}
+
+std::string utc_now() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop controls
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MachineEnv::fingerprint() const {
+  std::ostringstream os;
+  os << cpu_model << "|" << cores << "|" << compiler << "|" << build_type
+     << "|" << cxx_flags;
+  return os.str();
+}
+
+MachineEnv collect_machine_env() {
+  MachineEnv env;
+  env.cpu_model = cpu_model_name();
+  env.cores = std::thread::hardware_concurrency();
+  env.governor =
+      first_line("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (env.governor.empty()) env.governor = "unknown";
+  env.compiler = kCompiler;
+  env.build_type = VS_BUILD_TYPE;
+  env.cxx_flags = VS_CXX_FLAGS;
+  env.git_sha = git_head_sha();
+  env.timestamp_utc = utc_now();
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0 && host[0] != '\0') {
+    env.hostname = host;
+  } else {
+    env.hostname = "unknown";
+  }
+  return env;
+}
+
+std::string machine_env_json(const MachineEnv& env, int indent) {
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string close(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "{\n";
+  os << in << "\"cpu_model\": \"" << json_escape(env.cpu_model) << "\",\n";
+  os << in << "\"cores\": " << env.cores << ",\n";
+  os << in << "\"governor\": \"" << json_escape(env.governor) << "\",\n";
+  os << in << "\"compiler\": \"" << json_escape(env.compiler) << "\",\n";
+  os << in << "\"build_type\": \"" << json_escape(env.build_type) << "\",\n";
+  os << in << "\"cxx_flags\": \"" << json_escape(env.cxx_flags) << "\",\n";
+  os << in << "\"git_sha\": \"" << json_escape(env.git_sha) << "\",\n";
+  os << in << "\"timestamp_utc\": \"" << json_escape(env.timestamp_utc)
+     << "\",\n";
+  os << in << "\"hostname\": \"" << json_escape(env.hostname) << "\"\n";
+  os << close << "}";
+  return os.str();
+}
+
+}  // namespace vs

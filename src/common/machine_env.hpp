@@ -1,0 +1,44 @@
+#pragma once
+// Machine/build metadata stamp for perf artifacts.
+//
+// Every BENCH number is meaningless without the box and build it was
+// measured on — BENCH_sched.json's serial events/sec drifted 16.0M→12.7M
+// across PRs before anyone could tell a regression from a machine change.
+// collect_machine_env() gathers the identifying facts once per process
+// (CPU model from /proc/cpuinfo, core count, cpufreq governor, compiler
+// and flags baked in at build time, git SHA found by walking up from the
+// CWD, a UTC timestamp), and machine_env_json renders them as the JSON
+// object the BENCH emitters and vinestalk_bench embed verbatim.
+//
+// The fingerprint() subset (CPU model + cores + compiler + build flags)
+// is what the perf-trajectory gate compares: numbers from different
+// fingerprints are not comparable, so the gate warns instead of failing.
+
+#include <string>
+
+namespace vs {
+
+struct MachineEnv {
+  std::string cpu_model;    // /proc/cpuinfo "model name" (or "unknown")
+  unsigned cores = 0;       // std::thread::hardware_concurrency()
+  std::string governor;     // cpu0 cpufreq scaling_governor (or "unknown")
+  std::string compiler;     // e.g. "gcc 13.2.0", baked in at compile time
+  std::string build_type;   // CMAKE_BUILD_TYPE
+  std::string cxx_flags;    // the build-type's compile flags
+  std::string git_sha;      // HEAD commit, walking up from CWD ("unknown")
+  std::string timestamp_utc;  // ISO-8601 Z, collection time
+  std::string hostname;
+
+  /// The comparability key: perf numbers from two runs are only
+  /// commensurate when their fingerprints match.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+[[nodiscard]] MachineEnv collect_machine_env();
+
+/// The env as a JSON object. The opening brace is unindented (it follows
+/// a `"machine": ` key); member lines are indented `indent + 2` spaces and
+/// the closing brace `indent`, so the object nests cleanly at any depth.
+[[nodiscard]] std::string machine_env_json(const MachineEnv& env, int indent);
+
+}  // namespace vs

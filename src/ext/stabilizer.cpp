@@ -38,6 +38,7 @@ void Stabilizer::stop() {
 
 void Stabilizer::on_tick() {
   if (!running_) return;
+  const obs::ProfScope prof(net_->profiler(), obs::ProfDomain::kStabilizer);
   tick_once();
   if (running_) timer_.arm_after(period_);
 }
@@ -234,6 +235,7 @@ void Stabilizer::send_repair(ClusterId from, ClusterId to, MsgType type,
 
 void Stabilizer::on_heartbeat(ClusterId dest, const Message& m) {
   if (m.target != target_) return;
+  const obs::ProfScope prof(net_->profiler(), obs::ProfDomain::kStabilizer);
   if (m.type == MsgType::kHeartbeat) {
     on_probe(dest, m);
   } else {
@@ -367,6 +369,7 @@ void Stabilizer::arm_retry() {
 }
 
 void Stabilizer::on_retry() {
+  const obs::ProfScope prof(net_->profiler(), obs::ProfDomain::kStabilizer);
   // Retransmit whatever was never acknowledged (its host VSA may have been
   // dead — or restarted meanwhile), with exponential backoff; give a probe
   // up after kMaxRetries until the next tick re-examines the pointer.

@@ -158,8 +158,14 @@ vsa::CGcast::ChannelDecision FaultInjector::decide(const vsa::Message&) {
 }
 
 void FaultInjector::schedule(std::int64_t at_us, std::function<void()> action) {
-  auto timer =
-      std::make_unique<sim::Timer>(net_->scheduler(), std::move(action));
+  // Directive execution runs under a kFault scope so chaos-run profiles
+  // separate injected-fault handling from the protocol's own cost.
+  auto timer = std::make_unique<sim::Timer>(
+      net_->scheduler(), [this, action = std::move(action)] {
+        const obs::ProfScope prof(net_->profiler(),
+                                  obs::ProfDomain::kFault);
+        action();
+      });
   timer->arm(std::max(net_->now(), sim::TimePoint{at_us}));
   events_.push_back(std::move(timer));
 }

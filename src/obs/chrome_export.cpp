@@ -58,7 +58,8 @@ bool is_cost_event(const TraceEvent& e) {
 }  // namespace
 
 ChromeExportStats write_chrome_trace(std::ostream& os,
-                                     const std::vector<WorldTrace>& worlds) {
+                                     const std::vector<WorldTrace>& worlds,
+                                     const ProfileReport* profile) {
   ChromeExportStats stats;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -116,6 +117,25 @@ ChromeExportStats write_chrome_trace(std::ostream& os,
          << ",\"ts\":" << e.time_us
          << ",\"cat\":\"causal\",\"name\":\"sched\"}";
       ++stats.flows;
+    }
+  }
+  if (profile != nullptr && !profile->snapshots.empty()) {
+    // A sidecar profile merges as its own "process": one counter track of
+    // cumulative per-subsystem CPU self-ns, sampled at the profiler's
+    // virtual-time snapshots — Perfetto lines it up under the trace.
+    std::uint32_t pid = 0;
+    for (const WorldTrace& w : worlds) pid = std::max(pid, w.world + 1);
+    emit_meta(os, first, pid, 0, "process_name", "cpu profile");
+    for (const ProfileSnapshotRow& row : profile->snapshots) {
+      os << ",\n  {\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":" << row.t_us
+         << ",\"name\":\"cpu self ns\",\"args\":{";
+      for (std::size_t d = 0; d < kProfDomains; ++d) {
+        os << (d == 0 ? "\"" : ",\"")
+           << to_string(static_cast<ProfDomain>(d))
+           << "\":" << row.domain_self_ns[d];
+      }
+      os << "}}";
+      ++stats.counters;
     }
   }
   os << "\n]}\n";

@@ -18,13 +18,18 @@
 //  * the scheduler's causal seq→cause links become flow events: each
 //    record whose cause resolves to an earlier record of the same world
 //    gets an "s"/"f" flow pair, so Perfetto draws the grow/shrink/find
-//    cascades as arrows across lanes.
+//    cascades as arrows across lanes;
+//  * optionally, a VSPROF1 profile report's virtual-time snapshots become
+//    a separate "cpu profile" process with one counter track of cumulative
+//    per-subsystem self-ns — CPU cost lined up under the virtual timeline.
 //
-// The output is deterministic: pure function of the trace bytes.
+// The output is deterministic — a pure function of the trace bytes — except
+// for the optional profile process, whose values are wall-clock.
 
 #include <iosfwd>
 #include <vector>
 
+#include "obs/profile/profiler.hpp"
 #include "obs/trace_io.hpp"
 
 namespace vs::obs {
@@ -33,10 +38,11 @@ namespace vs::obs {
 struct ChromeExportStats {
   std::size_t slices = 0;    // one per TraceEvent
   std::size_t flows = 0;     // s/f pairs emitted
-  std::size_t counters = 0;  // per-level cost counter samples
+  std::size_t counters = 0;  // cost + profile counter samples
 };
 
 ChromeExportStats write_chrome_trace(std::ostream& os,
-                                     const std::vector<WorldTrace>& worlds);
+                                     const std::vector<WorldTrace>& worlds,
+                                     const ProfileReport* profile = nullptr);
 
 }  // namespace vs::obs

@@ -15,6 +15,14 @@ Histogram::Histogram(std::span<const std::int64_t> bounds)
              "histogram bounds must be ascending");
 }
 
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
 void Histogram::record(std::int64_t value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];

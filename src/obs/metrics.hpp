@@ -31,6 +31,9 @@ class Histogram {
   void record(std::int64_t value);
   /// Requires identical bucket bounds.
   void merge(const Histogram& other);
+  /// Zero every tally, keeping the bucket layout — lets a periodic
+  /// sampler reuse one histogram instead of reallocating per sample.
+  void reset();
 
   [[nodiscard]] std::int64_t count() const { return count_; }
   [[nodiscard]] std::int64_t sum() const { return sum_; }

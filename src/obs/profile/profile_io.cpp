@@ -1,0 +1,280 @@
+#include "obs/profile/profile_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'P', 'R', 'O', 'F', '1', '\0'};
+constexpr char kEndMagic[8] = {'V', 'S', 'P', 'R', 'F', 'E', 'N', 'D'};
+// A profiled run produces at most a few dozen distinct paths/ops and one
+// snapshot per ~4096 events; anything past these caps is a corrupt file.
+constexpr std::uint32_t kMaxRows = 1u << 20;
+
+template <class T>
+void put(std::string& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const char*>(&v);
+  buf.append(p, sizeof(T));
+}
+
+template <class T>
+void get(const char*& p, const char* end, T& v, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  VS_REQUIRE(static_cast<std::size_t>(end - p) >= sizeof(T),
+             "truncated profile sidecar " << path);
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+}
+
+std::string domain_label(std::size_t d) {
+  return std::string(to_string(static_cast<ProfDomain>(d)));
+}
+
+}  // namespace
+
+void write_profile_file(const std::string& path,
+                        const ProfileReport& report) {
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  put(buf, kProfileFormatVersion);
+  put(buf, static_cast<std::uint32_t>(kProfDomains));
+  put(buf, static_cast<std::uint32_t>(kProfMsgKinds));
+  put(buf, static_cast<std::uint32_t>(kProfOpClasses));
+  put(buf, report.total_ns);
+  put(buf, report.wall_ns);
+  put(buf, report.scopes);
+  put(buf, report.total_work);
+  put(buf, report.total_msgs);
+  for (std::size_t d = 0; d < kProfDomains; ++d) {
+    put(buf, report.domain_self_ns[d]);
+  }
+  put(buf, static_cast<std::uint32_t>(report.paths.size()));
+  for (const ProfilePathStat& s : report.paths) {
+    put(buf, s.path);
+    put(buf, s.self_ns);
+    put(buf, s.count);
+  }
+  for (std::size_t k = 0; k < kProfMsgKinds; ++k) {
+    put(buf, report.msgs[k].ns);
+    put(buf, report.msgs[k].count);
+  }
+  put(buf, static_cast<std::uint32_t>(report.ops.size()));
+  for (const ProfileOpStat& s : report.ops) {
+    put(buf, s.op);
+    put(buf, s.ns);
+    put(buf, s.count);
+    put(buf, s.work);
+    put(buf, s.msgs);
+  }
+  put(buf, static_cast<std::uint32_t>(report.snapshots.size()));
+  for (const ProfileSnapshotRow& row : report.snapshots) {
+    put(buf, row.t_us);
+    for (std::size_t d = 0; d < kProfDomains; ++d) {
+      put(buf, row.domain_self_ns[d]);
+    }
+  }
+  buf.append(kEndMagic, sizeof(kEndMagic));
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  VS_REQUIRE(os.good(), "cannot write profile sidecar " << path);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  VS_REQUIRE(os.good(), "short write on profile sidecar " << path);
+}
+
+ProfileReport read_profile_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  VS_REQUIRE(in.good(), "cannot open profile sidecar " << path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const char* p = data.data();
+  const char* end = p + data.size();
+  VS_REQUIRE(static_cast<std::size_t>(end - p) >= sizeof(kMagic) &&
+                 std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
+             "not a VSPROF1 profile sidecar: " << path);
+  p += sizeof(kMagic);
+  std::uint32_t version = 0, domains = 0, kinds = 0, classes = 0;
+  get(p, end, version, path);
+  VS_REQUIRE(version == kProfileFormatVersion,
+             "unsupported profile format version " << version);
+  get(p, end, domains, path);
+  get(p, end, kinds, path);
+  get(p, end, classes, path);
+  VS_REQUIRE(domains == kProfDomains && kinds == kProfMsgKinds &&
+                 classes == kProfOpClasses,
+             "profile sidecar " << path
+                                << " was written by an incompatible build");
+  ProfileReport r;
+  get(p, end, r.total_ns, path);
+  get(p, end, r.wall_ns, path);
+  get(p, end, r.scopes, path);
+  get(p, end, r.total_work, path);
+  get(p, end, r.total_msgs, path);
+  for (std::size_t d = 0; d < kProfDomains; ++d) {
+    get(p, end, r.domain_self_ns[d], path);
+  }
+  std::uint32_t n = 0;
+  get(p, end, n, path);
+  VS_REQUIRE(n <= kMaxRows, "implausible path count in " << path);
+  r.paths.resize(n);
+  for (ProfilePathStat& s : r.paths) {
+    get(p, end, s.path, path);
+    get(p, end, s.self_ns, path);
+    get(p, end, s.count, path);
+  }
+  for (std::size_t k = 0; k < kProfMsgKinds; ++k) {
+    get(p, end, r.msgs[k].ns, path);
+    get(p, end, r.msgs[k].count, path);
+  }
+  get(p, end, n, path);
+  VS_REQUIRE(n <= kMaxRows, "implausible op count in " << path);
+  r.ops.resize(n);
+  for (ProfileOpStat& s : r.ops) {
+    get(p, end, s.op, path);
+    get(p, end, s.ns, path);
+    get(p, end, s.count, path);
+    get(p, end, s.work, path);
+    get(p, end, s.msgs, path);
+  }
+  for (const ProfileOpStat& s : r.ops) {
+    auto& c = r.classes[static_cast<std::size_t>(op_class(s.op))];
+    c.ns += s.ns;
+    c.count += s.count;
+    c.work += s.work;
+    c.msgs += s.msgs;
+  }
+  get(p, end, n, path);
+  VS_REQUIRE(n <= kMaxRows, "implausible snapshot count in " << path);
+  r.snapshots.resize(n);
+  for (ProfileSnapshotRow& row : r.snapshots) {
+    get(p, end, row.t_us, path);
+    for (std::size_t d = 0; d < kProfDomains; ++d) {
+      get(p, end, row.domain_self_ns[d], path);
+    }
+  }
+  VS_REQUIRE(static_cast<std::size_t>(end - p) == sizeof(kEndMagic) &&
+                 std::memcmp(p, kEndMagic, sizeof(kEndMagic)) == 0,
+             "profile sidecar " << path << " has no end marker");
+  return r;
+}
+
+void profile_to_json(std::ostream& os, const ProfileReport& r) {
+  os << "{\n";
+  os << "  \"format\": \"VSPROF1\",\n";
+  os << "  \"total_ns\": " << r.total_ns << ",\n";
+  os << "  \"wall_ns\": " << r.wall_ns << ",\n";
+  os << "  \"scopes\": " << r.scopes << ",\n";
+  os << "  \"total_work\": " << r.total_work << ",\n";
+  os << "  \"total_msgs\": " << r.total_msgs << ",\n";
+  os << "  \"ns_per_work\": " << std::fixed << std::setprecision(2)
+     << r.ns_per_work() << ",\n";
+  os << "  \"domains\": {";
+  for (std::size_t d = 0; d < kProfDomains; ++d) {
+    os << (d == 0 ? "" : ", ") << "\"" << domain_label(d)
+       << "\": " << r.domain_self_ns[d];
+  }
+  os << "},\n";
+  os << "  \"paths\": [";
+  for (std::size_t i = 0; i < r.paths.size(); ++i) {
+    const ProfilePathStat& s = r.paths[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"stack\": \"";
+    const auto doms = prof_path_domains(s.path);
+    for (std::size_t j = 0; j < doms.size(); ++j) {
+      os << (j == 0 ? "" : ";") << to_string(doms[j]);
+    }
+    os << "\", \"self_ns\": " << s.self_ns << ", \"count\": " << s.count
+       << "}";
+  }
+  os << (r.paths.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"msg_kinds\": {";
+  bool first = true;
+  for (std::size_t k = 0; k < kProfMsgKinds; ++k) {
+    if (r.msgs[k].count == 0) continue;
+    os << (first ? "" : ", ") << "\""
+       << stats::to_string(static_cast<stats::MsgKind>(k))
+       << "\": {\"ns\": " << r.msgs[k].ns << ", \"count\": " << r.msgs[k].count
+       << "}";
+    first = false;
+  }
+  os << "},\n";
+  os << "  \"op_classes\": {";
+  first = true;
+  for (std::size_t c = 0; c < kProfOpClasses; ++c) {
+    const ProfileClassStat& s = r.classes[c];
+    if (s.count == 0) continue;
+    os << (first ? "" : ", ") << "\""
+       << op_class_name(static_cast<OpClass>(c)) << "\": {\"ns\": " << s.ns
+       << ", \"count\": " << s.count << ", \"work\": " << s.work
+       << ", \"msgs\": " << s.msgs << "}";
+    first = false;
+  }
+  os << "},\n";
+  os << "  \"ops\": [";
+  for (std::size_t i = 0; i < r.ops.size(); ++i) {
+    const ProfileOpStat& s = r.ops[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"op\": \"" << op_name(s.op)
+       << "\", \"ns\": " << s.ns << ", \"count\": " << s.count
+       << ", \"work\": " << s.work << ", \"msgs\": " << s.msgs << "}";
+  }
+  os << (r.ops.empty() ? "" : "\n  ") << "],\n";
+  os << "  \"snapshots\": [";
+  for (std::size_t i = 0; i < r.snapshots.size(); ++i) {
+    const ProfileSnapshotRow& row = r.snapshots[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"t_us\": " << row.t_us;
+    for (std::size_t d = 0; d < kProfDomains; ++d) {
+      if (row.domain_self_ns[d] == 0) continue;
+      os << ", \"" << domain_label(d) << "\": " << row.domain_self_ns[d];
+    }
+    os << "}";
+  }
+  os << (r.snapshots.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  os.unsetf(std::ios::fixed);
+}
+
+void profile_to_folded(std::ostream& os, const ProfileReport& r) {
+  for (const ProfilePathStat& s : r.paths) {
+    if (s.count == 0) continue;
+    const auto doms = prof_path_domains(s.path);
+    for (std::size_t j = 0; j < doms.size(); ++j) {
+      os << (j == 0 ? "" : ";") << to_string(doms[j]);
+    }
+    os << " " << s.self_ns << "\n";
+  }
+}
+
+void profile_to_prometheus(std::ostream& os, const ProfileReport& r,
+                           const std::string& prefix) {
+  os << "# TYPE " << prefix << "_profile_self_ns gauge\n";
+  for (std::size_t d = 0; d < kProfDomains; ++d) {
+    os << prefix << "_profile_self_ns{domain=\"" << domain_label(d)
+       << "\"} " << r.domain_self_ns[d] << "\n";
+  }
+  os << "# TYPE " << prefix << "_profile_total_ns gauge\n";
+  os << prefix << "_profile_total_ns " << r.total_ns << "\n";
+  os << "# TYPE " << prefix << "_profile_ns_per_work gauge\n";
+  os << prefix << "_profile_ns_per_work " << std::fixed
+     << std::setprecision(2) << r.ns_per_work() << "\n";
+  os.unsetf(std::ios::fixed);
+  os << "# TYPE " << prefix << "_profile_op_class_ns gauge\n";
+  for (std::size_t c = 0; c < kProfOpClasses; ++c) {
+    const ProfileClassStat& s = r.classes[c];
+    if (s.count == 0) continue;
+    std::string label(op_class_name(static_cast<OpClass>(c)));
+    for (char& ch : label) {
+      if (ch == '/') ch = '_';
+    }
+    os << prefix << "_profile_op_class_ns{class=\"" << label << "\"} "
+       << s.ns << "\n";
+  }
+}
+
+}  // namespace vs::obs

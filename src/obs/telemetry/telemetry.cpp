@@ -6,6 +6,8 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile/profile_io.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/telemetry/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "stats/counters.hpp"
@@ -29,7 +31,9 @@ std::int64_t milli_ratio(double r) {
 
 TelemetrySampler::TelemetrySampler(tracking::TrackingNetwork& net,
                                    TelemetryConfig config)
-    : net_(&net), cfg_(std::move(config)) {
+    : net_(&net),
+      cfg_(std::move(config)),
+      latency_(std::span<const std::int64_t>(kLatencyBounds)) {
   VS_REQUIRE(cfg_.cadence > sim::Duration::zero(),
              "telemetry cadence must be positive, got " << cfg_.cadence);
   header_.version = kTelemetryFormatVersion;
@@ -76,16 +80,52 @@ sim::TimePoint TelemetrySampler::hook_thunk(void* ctx, sim::TimePoint upto) {
 }
 
 sim::TimePoint TelemetrySampler::on_boundary(sim::TimePoint upto) {
+  const ProfScope prof(net_->profiler(), ProfDomain::kTelemetry);
+  bool sampled = false;
   while (next_due_ <= upto) {
     take_sample(next_due_.count());
     next_due_ = next_due_ + cfg_.cadence;
+    sampled = true;
+  }
+  if (sampled) {
+    // Per-crossing I/O: one stream flush (every buffered record is whole,
+    // so the tailed file stays a valid prefix) and one Prometheus rewrite
+    // from the newest sample — a 1ms cadence no longer pays a flush
+    // syscall and a full registry export per sample.
+    if (writer_.has_value()) writer_->flush();
+    if (!cfg_.prometheus_path.empty() && !ring_.empty()) {
+      std::ofstream os(cfg_.prometheus_path, std::ios::trunc);
+      VS_REQUIRE(os.good(),
+                 "cannot write prometheus snapshot " << cfg_.prometheus_path);
+      MetricsRegistry reg = net_->export_metrics();
+      registry_to_prometheus(os, reg, "vinestalk");
+      sample_to_prometheus(os, header_, ring_.back(), "vinestalk");
+      if (Profiler* p = net_->profiler(); p != nullptr && p->enabled()) {
+        // Live CPU gauges ride along when a profiler is attached. They
+        // are nondeterministic — which is fine here: the Prometheus
+        // snapshot is a live-scrape surface, not one of the
+        // byte-identity-guaranteed artifacts.
+        profile_to_prometheus(
+            os,
+            p->report(net_->counters().total_work(),
+                      net_->counters().total_messages()),
+            "vinestalk");
+      }
+    }
   }
   return next_due_;
 }
 
 void TelemetrySampler::take_sample(std::int64_t t_us) {
   const stats::WorkCounters& wc = net_->counters();
+  // Recycle the oldest ring slot once the ring is full: assigning into a
+  // right-sized values vector allocates nothing, so steady-state sampling
+  // is allocation-free.
   TelemetrySample s;
+  if (ring_.size() >= cfg_.ring_capacity && !ring_.empty()) {
+    s = std::move(ring_.front());
+    ring_.pop_front();
+  }
   s.t_us = t_us;
   s.values.assign(header_.series, 0);
 
@@ -101,16 +141,16 @@ void TelemetrySampler::take_sample(std::int64_t t_us) {
   s.values[kTsDuplicated] = wc.duplicated();
   s.values[kTsJittered] = wc.jittered();
 
-  Histogram latency{std::span<const std::int64_t>(kLatencyBounds)};
+  latency_.reset();
   for (const auto& [id, fr] : net_->finds()) {
     ++s.values[kTsFindsIssued];
     if (!fr.done) continue;
     ++s.values[kTsFindsCompleted];
-    latency.record(fr.latency().count());
+    latency_.record(fr.latency().count());
   }
-  s.values[kTsFindLatencyP50] = latency.percentile(0.50);
-  s.values[kTsFindLatencyP90] = latency.percentile(0.90);
-  s.values[kTsFindLatencyP99] = latency.percentile(0.99);
+  s.values[kTsFindLatencyP50] = latency_.percentile(0.50);
+  s.values[kTsFindLatencyP90] = latency_.percentile(0.90);
+  s.values[kTsFindLatencyP99] = latency_.percentile(0.99);
   s.values[kTsTraceEvents] = static_cast<std::int64_t>(net_->trace().size());
 
   if (const OpLedger* ledger = net_->op_ledger(); ledger != nullptr) {
@@ -161,14 +201,6 @@ void TelemetrySampler::take_sample(std::int64_t t_us) {
   VS_DCHECK(at == s.values.size(), "telemetry layout mismatch");
 
   if (writer_.has_value()) writer_->append(s);
-  if (!cfg_.prometheus_path.empty()) {
-    std::ofstream os(cfg_.prometheus_path, std::ios::trunc);
-    VS_REQUIRE(os.good(),
-               "cannot write prometheus snapshot " << cfg_.prometheus_path);
-    MetricsRegistry reg = net_->export_metrics();
-    registry_to_prometheus(os, reg, "vinestalk");
-    sample_to_prometheus(os, header_, s, "vinestalk");
-  }
   ring_.push_back(std::move(s));
   while (ring_.size() > cfg_.ring_capacity) ring_.pop_front();
   ++samples_;

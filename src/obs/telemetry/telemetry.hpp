@@ -35,9 +35,13 @@
 //
 // Samples land in a bounded in-memory ring (exactly the last
 // ring_capacity samples — live introspection) and, when stream_path is
-// set, in a VSTELEM1 file flushed per sample so `vinestalk_top` can tail
-// it mid-run. When prometheus_path is set, each sample also rewrites a
-// Prometheus text-exposition snapshot (obs/telemetry/prometheus.hpp).
+// set, in a VSTELEM1 file flushed once per boundary crossing so
+// `vinestalk_top` can tail it mid-run. When prometheus_path is set, each
+// boundary crossing also rewrites a Prometheus text-exposition snapshot
+// (obs/telemetry/prometheus.hpp) from its latest sample. Per-sample
+// allocations are recycled (ring slots, the latency histogram, the
+// writer's encode scratch): the enabled path's cost is dominated by
+// reading the counters, not by memory or I/O churn.
 
 #include <cstdint>
 #include <deque>
@@ -46,6 +50,7 @@
 #include <string>
 
 #include "obs/ledger/auditor.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry/telemetry_io.hpp"
 #include "sim/time.hpp"
 
@@ -121,6 +126,7 @@ class TelemetrySampler {
   std::deque<TelemetrySample> ring_;
   std::uint64_t samples_ = 0;
   std::optional<TelemetryWriter> writer_;
+  Histogram latency_;  // reused per sample (reset, not reallocated)
   const OpLedger* audit_ledger_ = nullptr;
   const BoundAuditor* auditor_ = nullptr;
 };

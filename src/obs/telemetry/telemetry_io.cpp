@@ -141,20 +141,21 @@ void TelemetryWriter::append(const TelemetrySample& sample) {
              "telemetry sample has " << sample.values.size()
                                      << " values, layout wants "
                                      << prev_.size());
-  std::string buf;
-  buf.push_back(static_cast<char>(kSampleMarker));
-  put_varint(buf, sample.t_us - prev_t_);
+  buf_.clear();
+  buf_.push_back(static_cast<char>(kSampleMarker));
+  put_varint(buf_, sample.t_us - prev_t_);
   for (std::size_t i = 0; i < prev_.size(); ++i) {
-    put_varint(buf, sample.values[i] - prev_[i]);
+    put_varint(buf_, sample.values[i] - prev_[i]);
   }
   prev_t_ = sample.t_us;
   prev_ = sample.values;
   ++count_;
-  // One write + flush per sample keeps the file a valid tailable prefix
-  // at every instant a reader might poll it.
-  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  out_.flush();
+  // Records always enter the stream whole, so any flushed prefix is a
+  // valid tailable file; flushing is the caller's per-boundary decision.
+  out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
 }
+
+void TelemetryWriter::flush() { out_.flush(); }
 
 void TelemetryWriter::finish() {
   if (finished_) return;

@@ -25,9 +25,12 @@
 // cost one byte per sample. Integers are native-endian like every other
 // vinestalk artifact (same-machine write/read).
 //
-// The writer flushes after every sample, which is what makes the file
-// *tailable*: vinestalk_top re-reads it while the producing run is still
-// going and renders whatever prefix has landed. Two read modes match:
+// Records enter the stream whole and the sampler flush()es at every
+// cadence boundary, which is what makes the file *tailable*:
+// vinestalk_top re-reads it while the producing run is still going and
+// renders whatever prefix has landed. (append() itself leaves the bytes
+// in the stream buffer — flushing per sample made the flush syscall the
+// dominant enabled-path cost.) Two read modes match:
 // strict (trailer required — artifact verification) and tail (tolerant
 // of a truncated final record — live dashboards).
 //
@@ -113,9 +116,10 @@ struct TelemetrySample {
 [[nodiscard]] std::vector<std::string> telemetry_series_names(
     const TelemetryHeader& header);
 
-/// Streaming writer: header on construction, one flushed record per
-/// append, trailer on finish(). Append order is sample order; values
-/// must match header.series.
+/// Streaming writer: header on construction, one whole record per
+/// append (call flush() to make the prefix visible to tail readers),
+/// trailer on finish(). Append order is sample order; values must
+/// match header.series.
 class TelemetryWriter {
  public:
   TelemetryWriter(const std::string& path, const TelemetryHeader& header);
@@ -124,6 +128,10 @@ class TelemetryWriter {
   TelemetryWriter& operator=(const TelemetryWriter&) = delete;
 
   void append(const TelemetrySample& sample);
+  /// Flush buffered records to disk, leaving the file a valid tailable
+  /// prefix. The sampler calls this once per boundary crossing rather
+  /// than per sample — the flush syscall dominated the enabled-path cost.
+  void flush();
   /// Write the trailer and close (idempotent).
   void finish();
 
@@ -134,6 +142,7 @@ class TelemetryWriter {
   std::ofstream out_;
   TelemetryHeader header_;
   std::vector<std::int64_t> prev_;
+  std::string buf_;  // reused per-append encode scratch
   std::int64_t prev_t_ = 0;
   std::uint64_t count_ = 0;
   bool finished_ = false;

@@ -127,7 +127,9 @@ void Scheduler::fire_main(EventQueue::Popped p, LaneCtx* serial_lane) {
   current_seq_ = p.seq;
   current_cause_ = p.cause;
   g_lane_binding = LaneBinding{serial_lane, false};
+  probe(kProbeFireBegin, p.when.count());
   p.action();
+  probe(kProbeFireEnd, p.when.count());
   g_lane_binding = saved_bind;
   current_seq_ = saved_seq;
   current_cause_ = saved_cause;
@@ -137,7 +139,9 @@ void Scheduler::fire_main(EventQueue::Popped p, LaneCtx* serial_lane) {
 bool Scheduler::step() {
   if (exec_ != nullptr) return exec_->step_serial();
   if (queue_.empty()) return false;
+  probe(kProbeQueuePopBegin, 0);
   EventQueue::Popped p = queue_.pop();
+  probe(kProbeQueuePopEnd, 0);
   VS_DCHECK(p.when >= now_, "event queue time went backwards");
   if (p.when >= boundary_due_) flush_boundaries(p.when);
   now_ = p.when;
@@ -148,7 +152,9 @@ bool Scheduler::step() {
   const std::uint64_t saved_cause = current_cause_;
   current_seq_ = p.seq;
   current_cause_ = p.cause;
+  probe(kProbeFireBegin, p.when.count());
   p.action();
+  probe(kProbeFireEnd, p.when.count());
   current_seq_ = saved_seq;
   current_cause_ = saved_cause;
   if (post_step_hook_ != nullptr) post_step_hook_(post_step_ctx_);

@@ -20,6 +20,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/lane.hpp"
+#include "sim/profile_probe.hpp"
 #include "sim/time.hpp"
 
 namespace vs::sim {
@@ -132,6 +133,22 @@ class Scheduler {
     return boundary_hook_ != nullptr;
   }
 
+  /// Wall-clock profiler probe (obs::Profiler::probe_thunk wired by
+  /// TrackingNetwork::set_profiler). Phases pair around the event-queue
+  /// pop and the fired action. `enabled` is the profiler's runtime gate —
+  /// read here so enable()/disable() never re-arm the scheduler. Unset:
+  /// one null test per phase site; compiled out (-DVINESTALK_PROFILE=OFF):
+  /// the sites are `if constexpr` dead code.
+  void set_profile_probe([[maybe_unused]] ProfileProbe fn,
+                         [[maybe_unused]] void* ctx,
+                         [[maybe_unused]] const bool* enabled) {
+    if constexpr (kProfileProbeCompiled) {
+      probe_ = fn;
+      probe_ctx_ = ctx;
+      probe_enabled_ = enabled;
+    }
+  }
+
   /// Attach (nullptr: detach) the shard executor that takes over
   /// run/step/pending. The executor must outlive the attachment; the
   /// global sequence counter picks up where the queue's internal one left
@@ -141,6 +158,16 @@ class Scheduler {
 
  private:
   friend class ShardExecutor;
+
+  /// Emit one profile-probe phase; dead code when profiling is compiled
+  /// out, a null test when no probe is set, plus one bool load when the
+  /// attached profiler is disabled.
+  void probe([[maybe_unused]] int phase,
+             [[maybe_unused]] std::int64_t t_us) const {
+    if constexpr (kProfileProbeCompiled) {
+      if (probe_ != nullptr && *probe_enabled_) probe_(probe_ctx_, phase, t_us);
+    }
+  }
 
   /// Fire one already-popped event on the driver thread, with the world
   /// clock and causality registers. `serial_lane` (nullable) is bound in
@@ -168,6 +195,9 @@ class Scheduler {
   /// Next telemetry boundary; never() when no hook is armed, so the
   /// per-event test `when >= boundary_due_` is false on the unhooked path.
   TimePoint boundary_due_ = TimePoint::never();
+  ProfileProbe probe_ = nullptr;
+  void* probe_ctx_ = nullptr;
+  const bool* probe_enabled_ = nullptr;
   ShardExecutor* exec_ = nullptr;
 };
 

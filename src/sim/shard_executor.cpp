@@ -75,11 +75,17 @@ int ShardExecutor::scan_earliest(EventQueue::Head& out) const {
 
 void ShardExecutor::fire_from(int lane) {
   if (lane == kGlobal) {
-    sched_->fire_main(sched_->queue_.pop(), nullptr);
+    sched_->probe(kProbeQueuePopBegin, 0);
+    EventQueue::Popped p = sched_->queue_.pop();
+    sched_->probe(kProbeQueuePopEnd, 0);
+    sched_->fire_main(std::move(p), nullptr);
     return;
   }
   Lane& ln = *lanes_[static_cast<std::size_t>(lane)];
-  sched_->fire_main(ln.ctx.queue.pop(), &ln.ctx);
+  sched_->probe(kProbeQueuePopBegin, 0);
+  EventQueue::Popped p = ln.ctx.queue.pop();
+  sched_->probe(kProbeQueuePopEnd, 0);
+  sched_->fire_main(std::move(p), &ln.ctx);
 }
 
 bool ShardExecutor::step_serial() {
@@ -274,6 +280,14 @@ void ShardExecutor::run_lane_window(Lane& ln) {
   if (ledger_ != nullptr) {
     obs::OpLedger::set_thread_redirect(ledger_, &ln.ledger);
   }
+  // Lane threads never reach the scheduler's probe (windows fire inline,
+  // not through fire_main), so the lane's wall-clock scopes are opened
+  // here: one kWindow root for the slice, one kFire child per event.
+  const bool prof_on = prof_ != nullptr && prof_->enabled();
+  if (prof_on) {
+    obs::Profiler::set_thread_redirect(prof_, &ln.prof);
+    obs::Profiler::begin_scope(ln.prof, obs::ProfDomain::kWindow);
+  }
   if (lane_bind_) lane_bind_(ctx.index);
   try {
     while (!ctx.queue.empty()) {
@@ -289,7 +303,9 @@ void ShardExecutor::run_lane_window(Lane& ln) {
       f.cause = p.cause;
       f.trace_begin = static_cast<std::uint32_t>(ln.trace_buf.size());
       f.child_begin = static_cast<std::uint32_t>(ctx.children.size());
+      if (prof_on) obs::Profiler::begin_scope(ln.prof, obs::ProfDomain::kFire);
       p.action();
+      if (prof_on) obs::Profiler::end_scope(ln.prof);
       f.trace_end = static_cast<std::uint32_t>(ln.trace_buf.size());
       f.child_end = static_cast<std::uint32_t>(ctx.children.size());
       ln.fired.push_back(f);
@@ -300,6 +316,13 @@ void ShardExecutor::run_lane_window(Lane& ln) {
     ln.error = std::current_exception();
   }
   if (lane_unbind_) lane_unbind_(ctx.index);
+  if (prof_on) {
+    // Drain the window frame — and, on the exception path, whatever scope
+    // the throw left open above it (the world is poisoned either way; the
+    // sidecar just keeps its conservation invariant).
+    while (!ln.prof.stack.empty()) obs::Profiler::end_scope(ln.prof);
+    obs::Profiler::set_thread_redirect(nullptr, nullptr);
+  }
   if (ledger_ != nullptr) obs::OpLedger::set_thread_redirect(nullptr, nullptr);
   if (trace_ != nullptr) {
     obs::TraceRecorder::set_thread_redirect(nullptr, nullptr);
@@ -326,6 +349,10 @@ std::uint64_t ShardExecutor::merge_and_commit() {
   // real sequence numbers reproduces the serial counter bit-for-bit. A
   // log head's own seq is always resolvable: if it is a temp, its parent
   // fired earlier in the same lane's log and has already been merged.
+  const bool prof_on = prof_ != nullptr && prof_->enabled();
+  if (prof_on) {
+    obs::Profiler::begin_scope(prof_->buf(), obs::ProfDomain::kBarrier);
+  }
   for (auto& lp : lanes_) {
     lp->real_of.assign(
         static_cast<std::size_t>(lp->ctx.next_temp - lp->temp_base), 0);
@@ -408,6 +435,7 @@ std::uint64_t ShardExecutor::merge_and_commit() {
       ln.counters.reset();
     }
     if (ledger_ != nullptr) ledger_->merge_ops_from(ln.ledger);
+    if (prof_on) prof_->merge_lane(ln.prof);
     if (lane_fold_) lane_fold_(static_cast<int>(i));
   }
   if (counters_ != nullptr) {
@@ -431,6 +459,12 @@ std::uint64_t ShardExecutor::merge_and_commit() {
   sched_->events_fired_ += merged;
   if (merged != 0 && last_when > sched_->now_) sched_->now_ = last_when;
   if (barrier_hook_) barrier_hook_(sched_->now_);
+  if (prof_on) {
+    obs::Profiler::end_scope(prof_->buf());
+    // Every barrier commit is a snapshot point: sharded runs get a
+    // virtual-time series even though their fires bypass the probe.
+    prof_->snapshot_now(sched_->now_.count());
+  }
   return merged;
 }
 

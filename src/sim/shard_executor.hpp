@@ -51,6 +51,7 @@
 
 #include "common/ids.hpp"
 #include "obs/ledger/ledger.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/lane.hpp"
 #include "sim/scheduler.hpp"
@@ -81,6 +82,11 @@ class ShardExecutor {
   void bind_counters(stats::WorkCounters* counters) { counters_ = counters; }
   void bind_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   void bind_ledger(obs::OpLedger* ledger) { ledger_ = ledger; }
+  /// Wall-clock profiler: lane threads accumulate into lane-local ProfBufs
+  /// (kWindow root scopes) through the same redirect idiom as the trace,
+  /// and the barrier folds them into the main buffer — sums only, so the
+  /// nondeterministic values merge without any replay ordering.
+  void bind_profiler(obs::Profiler* prof) { prof_ = prof; }
 
   /// Parallel-eligibility gate, consulted once per run(): when it returns
   /// false (or none is set) the run takes the serial path. The network
@@ -139,6 +145,7 @@ class ShardExecutor {
     std::vector<obs::TraceEvent> trace_buf;
     stats::WorkCounters counters;
     obs::OpLedger ledger;
+    obs::ProfBuf prof;
     std::vector<Fired> fired;
     std::uint64_t temp_base = 0;  // ctx.next_temp at window start
     /// temp counter − temp_base → merged real seq (0 = not yet assigned).
@@ -178,6 +185,7 @@ class ShardExecutor {
   stats::WorkCounters* counters_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   obs::OpLedger* ledger_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   std::function<bool()> gate_;
   std::function<void(int)> lane_bind_, lane_unbind_, lane_fold_;
   std::function<void(TimePoint)> barrier_hook_;

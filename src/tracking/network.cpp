@@ -165,6 +165,7 @@ void TrackingNetwork::set_shards(int n) {
   exec_->bind_counters(&counters_);
   exec_->bind_trace(&trace_);
   if (ledger_ != nullptr) exec_->bind_ledger(ledger_);
+  if (prof_ != nullptr) exec_->bind_profiler(prof_);
   exec_->set_parallel_gate([this] { return parallel_eligible(); });
   lane_find_acc_.assign(static_cast<std::size_t>(n), {});
   exec_->set_lane_hooks(
@@ -216,6 +217,16 @@ void TrackingNetwork::set_op_ledger(obs::OpLedger* ledger) {
              std::int64_t hops) {
         ledger_->note_send(m.op, level, hops, sched_.now().count());
       });
+}
+
+void TrackingNetwork::set_profiler(obs::Profiler* prof) {
+  prof_ = prof;
+  sched_.set_profile_probe(
+      prof != nullptr ? &obs::Profiler::probe_thunk : nullptr, prof,
+      prof != nullptr ? prof->enabled_flag() : nullptr);
+  cgcast_->set_profiler(prof);
+  for (const auto& tr : trackers_) tr->set_profiler(prof);
+  if (exec_ != nullptr) exec_->bind_profiler(prof);
 }
 
 Tracker& TrackingNetwork::tracker(ClusterId c) {

@@ -120,6 +120,15 @@ class TrackingNetwork {
   void set_op_ledger(obs::OpLedger* ledger);
   [[nodiscard]] obs::OpLedger* op_ledger() { return ledger_; }
 
+  /// Attach (or with nullptr detach) a wall-clock CPU profiler. Wires the
+  /// scheduler's probe, C-gcast's deliver scope, every Tracker's handler
+  /// scopes, and the shard executor's lane binding (now or when set_shards
+  /// later installs one). The profiler must outlive the attachment and is
+  /// never owned. Profile output is nondeterministic sidecar data only —
+  /// attaching and enabling one never changes any deterministic artifact.
+  void set_profiler(obs::Profiler* prof);
+  [[nodiscard]] obs::Profiler* profiler() { return prof_; }
+
   /// Move steps taken so far (placements included); the move-op index.
   [[nodiscard]] std::uint32_t move_count() const { return move_count_; }
 
@@ -265,6 +274,7 @@ class TrackingNetwork {
   bool state_hook_installed_ = false;
   obs::TraceRecorder trace_;
   obs::OpLedger* ledger_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   vsa::CGcast::ObserverId ledger_observer_ = 0;
   std::uint32_t move_count_ = 0;
   MoveObserver move_observer_;

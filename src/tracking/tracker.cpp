@@ -134,7 +134,25 @@ void Tracker::on_message(const Message& m) {
   dispatch(m);
 }
 
+namespace {
+/// Figure 2 handler family a message's CPU time is attributed to.
+constexpr obs::ProfDomain profile_domain(MsgType t) {
+  switch (t) {
+    case MsgType::kGrow:
+    case MsgType::kGrowPar:
+    case MsgType::kGrowNbr:
+      return obs::ProfDomain::kTrackerGrow;
+    case MsgType::kShrink:
+    case MsgType::kShrinkUpd:
+      return obs::ProfDomain::kTrackerShrink;
+    default:
+      return obs::ProfDomain::kTrackerFind;
+  }
+}
+}  // namespace
+
 void Tracker::dispatch(const Message& m) {
+  const obs::ProfScope prof(prof_, profile_domain(m.type));
   switch (m.type) {
     case MsgType::kGrow: on_grow(m); return;
     case MsgType::kGrowPar: on_grow_par(m); return;
@@ -237,6 +255,7 @@ void Tracker::record(obs::TraceKind kind, TargetId target, FindId find,
 }
 
 void Tracker::on_timer(TargetId t) {
+  const obs::ProfScope prof(prof_, obs::ProfDomain::kTrackerTimer);
   PerTarget& s = target_state(t);
   // The expiry's cascade belongs to the operation that armed the timer.
   OpScope scope(&current_op_, s.op);
@@ -384,6 +403,7 @@ void Tracker::on_find_ack(const Message& m) {
 
 // nbrtimeout expiry: no neighbour answered in time — escalate.
 void Tracker::on_nbrtimeout(FindId f) {
+  const obs::ProfScope prof(prof_, obs::ProfDomain::kTrackerFind);
   PerFind& pf = find_state(f);
   if (!pf.finding) return;
   // A timed-out query escalates — still the find's search phase.

@@ -27,6 +27,7 @@
 
 #include "common/ids.hpp"
 #include "obs/op.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/timer.hpp"
@@ -87,6 +88,12 @@ class Tracker {
   /// Records the local, non-message actions — timer expiries and find
   /// timeouts — that message records alone cannot reconstruct.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
+
+  /// Attach the world's wall-clock profiler (nullptr detaches); not owned.
+  /// Handlers run under per-family scopes (grow/shrink/find/timer) nested
+  /// inside C-gcast's kDeliver, so the flamegraph splits delivery time by
+  /// the Figure 2 handler that consumed it.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
 
  private:
   struct PerTarget {
@@ -159,6 +166,7 @@ class Tracker {
   std::map<FindId, PerFind> finds_;
   StateChangeHook state_hook_;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   /// Operation the currently-executing handler is charged to; every send()
   /// stamps it onto the outgoing message. Saved/restored per handler so
   /// nesting (advance_finds_of inside a grow) keeps each action's op.

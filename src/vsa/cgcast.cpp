@@ -294,6 +294,16 @@ void CGcast::deliver_common(ClusterId from, ClusterId to, const Message& m) {
            to.value(), hier_->level(to), 0);
   }
   VS_REQUIRE(static_cast<bool>(tracker_sink_), "no tracker sink installed");
+  if (obs::kProfileCompiled && prof_ != nullptr && prof_->enabled()) {
+    // Inclusive handler time, charged to the message's kind and op — the
+    // per-message bridge between CPU ns and the ledger's virtual cost.
+    obs::ProfBuf& pb = prof_->buf();
+    obs::Profiler::begin_scope(pb, obs::ProfDomain::kDeliver);
+    tracker_sink_(to, m);
+    const std::uint64_t ns = obs::Profiler::end_scope(pb);
+    obs::Profiler::charge_msg(pb, m.type, m.op, ns);
+    return;
+  }
   tracker_sink_(to, m);
 }
 

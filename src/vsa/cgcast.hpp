@@ -24,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "hier/hierarchy.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/counters.hpp"
@@ -129,6 +130,12 @@ class CGcast {
   /// must outlive the service; CGcast never owns it.
   void set_trace_recorder(obs::TraceRecorder* trace) { trace_ = trace; }
 
+  /// Attach the world's wall-clock profiler (nullptr detaches). The
+  /// deliver path wraps the tracker-sink handoff in a kDeliver scope and
+  /// charges the inclusive handling time to the message's kind and op —
+  /// the bridge from CPU ns to the ledger's virtual-cost rows.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
   /// Ambient operation for cost attribution: while set (non-zero), every
   /// message sent without an explicit op is stamped with it before
   /// counters, observers, and trace records see the send. Drivers bracket
@@ -222,6 +229,7 @@ class CGcast {
   std::vector<std::pair<ObserverId, SendObserver>> observers_;
   ObserverId next_observer_id_{1};
   obs::TraceRecorder* trace_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
   obs::OpId ambient_op_ = obs::kBackgroundOp;
   const ShardMap* shard_map_ = nullptr;
 

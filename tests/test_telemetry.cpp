@@ -169,7 +169,10 @@ TEST(Telemetry, TailReadToleratesUnfinishedStreamStrictDoesNot) {
   s.t_us = 2000;
   s.values[obs::kTsEventsFired] = 11;
   writer.append(s);
-  // No trailer yet: exactly what a live producer mid-run looks like.
+  // No trailer yet: exactly what a live producer mid-run looks like
+  // after its per-boundary flush (append alone may sit in the stream
+  // buffer — the sampler flushes at every cadence boundary).
+  writer.flush();
   EXPECT_THROW((void)obs::read_telemetry_file(path, /*strict=*/true),
                vs::Error);
   const obs::TelemetryFile tail =

@@ -21,7 +21,14 @@
 # stage pins the time-series layer: a telemetered quickstart's VSTELEM1
 # stream must be byte-identical serial vs sharded, a chaos-plan CLI run
 # must show its heartbeat/repair traffic in the telemetry summary, and
-# the Prometheus snapshot must parse as text exposition format.
+# the Prometheus snapshot must parse as text exposition format. A perf
+# stage pins the CPU profiler: a profiled quickstart must write a
+# VSPROF1 sidecar whose flamegraph folds cleanly, every deterministic
+# artifact must stay byte-identical with profiling on vs off at 1/2/4/8
+# shards, and the vinestalk_bench trajectory gate must append a
+# machine-stamped history row and pass against the committed baseline.
+# A no-profile stage (-DVINESTALK_PROFILE=OFF) proves every probe is
+# optional dead code.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -32,10 +39,13 @@
 #   tools/check.sh --audit      # stage 6 only (reuses build-check/)
 #   tools/check.sh --shard      # stage 7 only (reuses build-check/)
 #   tools/check.sh --telemetry  # stage 8 only (reuses build-check/)
+#   tools/check.sh --perf       # stage 9 only (reuses build-check/)
+#   tools/check.sh --no-profile # stage 10 only
 #
-# Build trees: build-check/ (plain), build-tsan/ (TSan), and
-# build-notrace/ (-DVINESTALK_TRACE=OFF); all separate from the default
-# build/ so this never dirties a dev tree.
+# Build trees: build-check/ (plain), build-tsan/ (TSan),
+# build-notrace/ (-DVINESTALK_TRACE=OFF), and build-noprof/
+# (-DVINESTALK_PROFILE=OFF); all separate from the default build/ so
+# this never dirties a dev tree.
 
 set -euo pipefail
 
@@ -62,7 +72,7 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    test_audit test_shard test_telemetry bench_e2_move_scaling
+    test_audit test_shard test_telemetry test_profile bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
@@ -71,6 +81,7 @@ run_tsan() {
   "$root/build-tsan/tests/test_audit"
   "$root/build-tsan/tests/test_shard"
   "$root/build-tsan/tests/test_telemetry"
+  "$root/build-tsan/tests/test_profile"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -79,7 +90,8 @@ run_notrace() {
   echo "== stage 3: tracing compiled out (-DVINESTALK_TRACE=OFF) =="
   cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
   cmake --build "$root/build-notrace" -j "$jobs" \
-    --target test_obs test_sim test_audit test_telemetry example_quickstart
+    --target test_obs test_sim test_audit test_telemetry test_profile \
+    example_quickstart
   "$root/build-notrace/tests/test_obs"
   "$root/build-notrace/tests/test_sim"
   # The op-ledger API must compile to no-ops: the trace-dependent audit
@@ -88,6 +100,9 @@ run_notrace() {
   # Same for the telemetry sampler: enable() must be a no-op, streaming
   # tests skip themselves, the disabled-holds-nothing pin still runs.
   "$root/build-notrace/tests/test_telemetry"
+  # The profiler's byte-identity pin needs the trace; it skips itself,
+  # the pure-report and renderer tests still run.
+  "$root/build-notrace/tests/test_profile"
   "$root/build-notrace/examples/example_quickstart" > /dev/null
   echo "Compiled-out stage clean (record points are dead code)."
 }
@@ -324,9 +339,78 @@ EOF
        "Prometheus valid)."
 }
 
+run_perf() {
+  echo "== stage 9: CPU profiler + perf-trajectory gate =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target example_quickstart vinestalk_trace vinestalk_top vinestalk_bench
+  local dir
+  dir="$(mktemp -d /tmp/vs_perf.XXXXXX)"
+  # A profiled quickstart must drop a VSPROF1 sidecar (plus its JSON twin)
+  # that folds into a well-formed flamegraph: `domain[;domain] <ns>` lines.
+  VS_PROFILE="$dir/q.vsprof" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  [ -s "$dir/q.vsprof" ] || { echo "FAIL: no profile sidecar" >&2; exit 1; }
+  [ -s "$dir/q.vsprof.json" ] || {
+    echo "FAIL: no profile JSON twin" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" flame "$dir/q.vsprof" \
+    > "$dir/q.folded"
+  grep -Eq '^[a-z_]+(;[a-z_]+)* [0-9]+$' "$dir/q.folded" || {
+    echo "FAIL: flamegraph fold is malformed" >&2
+    cat "$dir/q.folded" >&2; exit 1; }
+  # The profiler must never touch a deterministic artifact: stdout, the
+  # VSTRACE1 trace, and the VSTELEM1 stream stay byte-identical with
+  # profiling on vs off at every shard count. (Stdout is compared from
+  # untraced runs — a traced run prints its own trace path, which
+  # legitimately differs per run.)
+  "$root/build-check/examples/example_quickstart" > "$dir/base.out"
+  VS_TRACE="$dir/base.vst" VS_TELEMETRY="$dir/base.vstelem" \
+    "$root/build-check/examples/example_quickstart" > /dev/null
+  for n in 1 2 4 8; do
+    VS_PROFILE="$dir/p$n.vsprof" VS_SHARDS="$n" \
+      "$root/build-check/examples/example_quickstart" > "$dir/p$n.out"
+    diff "$dir/base.out" "$dir/p$n.out" || {
+      echo "FAIL: profiling changed stdout at VS_SHARDS=$n" >&2; exit 1; }
+    VS_PROFILE="$dir/pt$n.vsprof" VS_SHARDS="$n" \
+      VS_TRACE="$dir/p$n.vst" VS_TELEMETRY="$dir/p$n.vstelem" \
+      "$root/build-check/examples/example_quickstart" > /dev/null
+    cmp "$dir/base.vst" "$dir/p$n.vst" || {
+      echo "FAIL: profiling changed the trace at VS_SHARDS=$n" >&2; exit 1; }
+    cmp "$dir/base.vstelem" "$dir/p$n.vstelem" || {
+      echo "FAIL: profiling changed telemetry at VS_SHARDS=$n" >&2; exit 1; }
+  done
+  # The trajectory gate must append a machine-stamped history row and pass
+  # against the committed baseline (a foreign machine fingerprint makes the
+  # gate advisory, which still exits 0 — that is the intended behavior).
+  "$root/build-check/tools/vinestalk_bench" --quick \
+    --history="$dir/history.jsonl" \
+    --baseline="$root/docs/perf/BENCH_baseline.json" --check
+  grep -q '"cpu_model"' "$dir/history.jsonl" || {
+    echo "FAIL: history row carries no machine stamp" >&2; exit 1; }
+  rm -rf "$dir"
+  echo "Perf stage clean (sidecar folds, artifacts profile-invariant," \
+       "gate passed)."
+}
+
+run_noprof() {
+  echo "== stage 10: profiling compiled out (-DVINESTALK_PROFILE=OFF) =="
+  cmake -B "$root/build-noprof" -S "$root" -DVINESTALK_PROFILE=OFF \
+    > /dev/null
+  cmake --build "$root/build-noprof" -j "$jobs" \
+    --target test_profile example_quickstart
+  # Every probe must be optional dead code: the enabled-path tests skip
+  # themselves, the disabled pin and the renderers still run.
+  "$root/build-noprof/tests/test_profile"
+  # VS_PROFILE on a compiled-out binary must be ignored, not an error.
+  VS_PROFILE=/tmp/vs_noprof_ignored.vsprof \
+    "$root/build-noprof/examples/example_quickstart" > /dev/null
+  rm -f /tmp/vs_noprof_ignored.vsprof /tmp/vs_noprof_ignored.vsprof.json
+  echo "No-profile stage clean (probes are dead code, VS_PROFILE ignored)."
+}
+
 case "$stage" in
   all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit
-       run_shard; run_telemetry ;;
+       run_shard; run_telemetry; run_perf; run_noprof ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
@@ -335,7 +419,9 @@ case "$stage" in
   --audit) run_audit ;;
   --shard|--shards) run_shard ;;
   --telemetry) run_telemetry ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry]" >&2
+  --perf) run_perf ;;
+  --no-profile) run_noprof ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry|--perf|--no-profile]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

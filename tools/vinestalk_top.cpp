@@ -1,7 +1,7 @@
 // vinestalk_top — live terminal dashboard over a VSTELEM1 telemetry
 // stream.
 //
-//   vinestalk_top <file> [--once] [--interval-ms N]
+//   vinestalk_top <file> [--once] [--interval-ms N] [--profile P]
 //
 // Tails the stream a running world writes (obs::TelemetrySampler flushes
 // one record per cadence boundary, so the file is always a valid prefix),
@@ -10,6 +10,12 @@
 // gauges (Theorem 4.9 / 5.2, ×1000 with the 1.0× bound marked), and —
 // when the stream carries the per-lane section — one utilization bar per
 // PDES shard lane.
+//
+// --profile <sidecar> adds a CPU panel from a VSPROF1 profile sidecar:
+// the CPU-efficiency gauge (ns of real CPU per unit of Theorem-4.9
+// hop-work) and one self-time share bar per subsystem. The sidecar is
+// written atomically at run end, so in live mode the panel appears once
+// the profiled run finishes; until then the frame says so.
 //
 // --once reads the file a single time and renders one frame with no
 // escape codes and no wall-clock dependence: same file in, same bytes
@@ -22,6 +28,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -29,6 +36,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/profile/profile_io.hpp"
+#include "obs/profile/profiler.hpp"
 #include "obs/telemetry/telemetry_io.hpp"
 
 namespace {
@@ -38,7 +47,7 @@ using vs::obs::TelemetrySample;
 
 int usage() {
   std::cerr << "usage: vinestalk_top <telemetry-file> [--once] "
-               "[--interval-ms N]\n";
+               "[--interval-ms N] [--profile <vsprof-sidecar>]\n";
   return 1;
 }
 
@@ -61,6 +70,28 @@ std::string fmt_rate(double v) {
     os << static_cast<std::int64_t>(v);
   }
   return os.str();
+}
+
+void render_lanes(std::ostream& os, const TelemetryFile& f) {
+  const auto v = [&](std::size_t i) { return f.samples.back().values[i]; };
+  const std::size_t base =
+      vs::obs::kTsFixedCount + 4 * (f.header.max_level + 1);
+  const std::int64_t windows = v(base + 0);
+  const std::int64_t window_events = v(base + 1);
+  os << "  pdes: " << windows << " window(s), " << window_events
+     << " window event(s), critical path " << v(base + 2) << "\n";
+  for (std::uint32_t i = 0; i < f.header.lanes; ++i) {
+    const std::size_t lb = base + 3 + 4 * i;
+    const std::int64_t events = v(lb + 0);
+    const std::int64_t busy = v(lb + 3);
+    const double util =
+        windows > 0
+            ? static_cast<double>(busy) / static_cast<double>(windows)
+            : 0.0;
+    os << "    lane " << i << " " << bar(util, 20) << " " << events
+       << " ev, " << v(lb + 1) << " stall(s), " << v(lb + 2)
+       << " cross\n";
+  }
 }
 
 void render(std::ostream& os, const std::string& path,
@@ -120,24 +151,49 @@ void render(std::ostream& os, const std::string& path,
   }
 
   if (f.header.has_lanes()) {
-    const std::size_t base =
-        vs::obs::kTsFixedCount + 4 * (f.header.max_level + 1);
-    const std::int64_t windows = v(base + 0);
-    const std::int64_t window_events = v(base + 1);
-    os << "  pdes: " << windows << " window(s), " << window_events
-       << " window event(s), critical path " << v(base + 2) << "\n";
-    for (std::uint32_t i = 0; i < f.header.lanes; ++i) {
-      const std::size_t lb = base + 3 + 4 * i;
-      const std::int64_t events = v(lb + 0);
-      const std::int64_t busy = v(lb + 3);
-      const double util =
-          windows > 0
-              ? static_cast<double>(busy) / static_cast<double>(windows)
-              : 0.0;
-      os << "    lane " << i << " " << bar(util, 20) << " " << events
-         << " ev, " << v(lb + 1) << " stall(s), " << v(lb + 2)
-         << " cross\n";
-    }
+    render_lanes(os, f);
+  }
+}
+
+/// CPU panel from a VSPROF1 sidecar: efficiency gauge plus one
+/// self-time share bar per subsystem with recorded time. Integer math
+/// only (milli-percent, whole microseconds), so the frame is a pure
+/// function of the sidecar bytes — the golden test pins it.
+void render_profile(std::ostream& os, const vs::obs::ProfileReport& rep) {
+  os << "  cpu (profile): " << rep.total_ns / 1000 << "us self over "
+     << rep.scopes << " scope(s), wall " << rep.wall_ns / 1000 << "us\n";
+  if (rep.total_work > 0) {
+    // Milli-ns per work, printed as a fixed-point ns/work figure.
+    const std::uint64_t mnpw =
+        rep.total_ns * 1000 / static_cast<std::uint64_t>(rep.total_work);
+    os << "    efficiency " << mnpw / 1000 << "." << std::setw(3)
+       << std::setfill('0') << mnpw % 1000 << std::setfill(' ')
+       << " ns/work  (" << rep.total_work << " hop-work, " << rep.total_msgs
+       << " msg(s))\n";
+  } else {
+    os << "    efficiency n/a (no paired hop-work)\n";
+  }
+  if (rep.total_ns == 0) return;
+  for (std::size_t d = 0; d < vs::obs::kProfDomains; ++d) {
+    const std::uint64_t self = rep.domain_self_ns[d];
+    if (self == 0) continue;
+    const std::uint64_t milli = self * 1000 / rep.total_ns;
+    os << "    " << std::left << std::setw(14)
+       << vs::obs::to_string(static_cast<vs::obs::ProfDomain>(d))
+       << std::right << " "
+       << bar(static_cast<double>(milli) / 1000.0, 20) << " " << std::setw(3)
+       << milli / 10 << "." << milli % 10 << "%  " << self / 1000 << "us\n";
+  }
+}
+
+/// Append the CPU panel for `profile_path` to the frame: the sidecar is
+/// written atomically at run end, so "not there yet" is a live-mode state,
+/// not an error.
+void render_profile_panel(std::ostream& os, const std::string& profile_path) {
+  try {
+    render_profile(os, vs::obs::read_profile_file(profile_path));
+  } catch (const vs::Error&) {
+    os << "  cpu (profile): waiting for sidecar " << profile_path << "...\n";
   }
 }
 
@@ -148,11 +204,14 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   bool once = false;
   int interval_ms = 500;
+  std::string profile_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
       interval_ms = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else {
       return usage();
     }
@@ -163,11 +222,17 @@ int main(int argc, char** argv) {
           vs::obs::read_telemetry_file(path, /*strict=*/false);
       if (once) {
         render(std::cout, path, f);
+        if (!profile_path.empty()) {
+          render_profile_panel(std::cout, profile_path);
+        }
         return 0;
       }
       // Home + clear-to-end redraw (not full clear: no flicker).
       std::cout << "\x1b[H\x1b[J";
       render(std::cout, path, f);
+      if (!profile_path.empty()) {
+        render_profile_panel(std::cout, profile_path);
+      }
       std::cout.flush();
       if (f.complete) return 0;
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));

@@ -48,6 +48,7 @@
 #include "obs/ledger/auditor.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/replay.hpp"
+#include "obs/profile/profile_io.hpp"
 #include "obs/telemetry/telemetry_io.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_query.hpp"
@@ -74,8 +75,13 @@ int usage() {
                "  audit <file> [--side N --base B] [--slack S]\n"
                "                             per-operation cost ledger + "
                "theorem-bound audit\n"
-               "  export <file> [--out F]    Chrome trace-event JSON "
-               "(stdout unless --out)\n"
+               "  export <file> [--out F] [--profile P]\n"
+               "                             Chrome trace-event JSON "
+               "(stdout unless --out);\n"
+               "                             --profile merges a VSPROF1 "
+               "sidecar as CPU counter tracks\n"
+               "  flame <profile> [--out F]  folded flamegraph stacks from "
+               "a VSPROF1 sidecar\n"
                "  incident <file> [--replay] [--dump-ring F]\n"
                "                             inspect/replay an incident "
                "bundle\n"
@@ -275,17 +281,43 @@ int cmd_audit(const std::vector<WorldTrace>& worlds, int side, int base,
   return rc;
 }
 
-int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out) {
-  vs::obs::ChromeExportStats stats{};
+int cmd_flame(const std::string& path, const std::string& out) {
+  const vs::obs::ProfileReport report = vs::obs::read_profile_file(path);
   if (out.empty()) {
-    stats = vs::obs::write_chrome_trace(std::cout, worlds);
+    vs::obs::profile_to_folded(std::cout, report);
   } else {
     std::ofstream os(out, std::ios::trunc);
     if (!os.good()) {
       std::cerr << "vinestalk_trace: cannot open " << out << "\n";
       return 1;
     }
-    stats = vs::obs::write_chrome_trace(os, worlds);
+    vs::obs::profile_to_folded(os, report);
+    std::cerr << "wrote " << out << "\n";
+  }
+  std::cerr << report.paths.size() << " stack(s), "
+            << report.total_ns / 1000 << " us total self time — feed to "
+               "flamegraph.pl or speedscope\n";
+  return 0;
+}
+
+int cmd_export(const std::vector<WorldTrace>& worlds, const std::string& out,
+               const std::string& profile_path) {
+  vs::obs::ChromeExportStats stats{};
+  std::optional<vs::obs::ProfileReport> profile;
+  if (!profile_path.empty()) {
+    profile = vs::obs::read_profile_file(profile_path);
+  }
+  const vs::obs::ProfileReport* prof =
+      profile.has_value() ? &*profile : nullptr;
+  if (out.empty()) {
+    stats = vs::obs::write_chrome_trace(std::cout, worlds, prof);
+  } else {
+    std::ofstream os(out, std::ios::trunc);
+    if (!os.good()) {
+      std::cerr << "vinestalk_trace: cannot open " << out << "\n";
+      return 1;
+    }
+    stats = vs::obs::write_chrome_trace(os, worlds, prof);
     std::cerr << "wrote " << out << "\n";
   }
   std::cerr << stats.slices << " slice(s), " << stats.flows
@@ -397,6 +429,17 @@ int main(int argc, char** argv) {
       }
       return cmd_telemetry(path, csv);
     }
+    if (command == "flame") {
+      std::string out;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_flame(path, out);
+    }
 
     std::vector<WorldTrace> worlds;
     try {
@@ -453,14 +496,17 @@ int main(int argc, char** argv) {
     }
     if (command == "export") {
       std::string out;
+      std::string profile;
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
           out = argv[++i];
+        } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+          profile = argv[++i];
         } else {
           return usage();
         }
       }
-      return cmd_export(worlds, out);
+      return cmd_export(worlds, out, profile);
     }
   } catch (const std::exception& e) {
     std::cerr << "vinestalk_trace: " << e.what() << "\n";
