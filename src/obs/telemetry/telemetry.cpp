@@ -176,6 +176,16 @@ void TelemetrySampler::take_sample(std::int64_t t_us) {
     s.values[kTsAuditBase + 3] = milli_ratio(ft);
   }
 
+  const stats::IngestCounters& ing = wc.ingest();
+  s.values[kTsIngestBase + 0] = ing.ingested;
+  s.values[kTsIngestBase + 1] = ing.applied;
+  s.values[kTsIngestBase + 2] = ing.suppressed;
+  s.values[kTsIngestBase + 3] = ing.dropped;
+  s.values[kTsIngestBase + 4] = ing.shed_tier_entries[0];
+  s.values[kTsIngestBase + 5] = ing.shed_tier_entries[1];
+  s.values[kTsIngestBase + 6] = ing.shed_tier_entries[2];
+  s.values[kTsIngestBase + 7] = ing.queue_depth_peak;
+
   std::size_t at = kTsFixedCount;
   for (Level l = 0; l <= wc.max_level(); ++l) {
     s.values[at++] = wc.move_messages_at_level(l);

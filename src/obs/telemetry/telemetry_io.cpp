@@ -87,6 +87,16 @@ std::vector<std::string> telemetry_series_names(
   names.push_back("audit_move_time_ratio_milli");
   names.push_back("audit_find_work_ratio_milli");
   names.push_back("audit_find_time_ratio_milli");
+  if (header.version >= 2) {
+    names.emplace_back("ingest_ingested");
+    names.emplace_back("ingest_applied");
+    names.emplace_back("ingest_suppressed");
+    names.emplace_back("ingest_dropped");
+    names.emplace_back("ingest_shed_tier1_entries");
+    names.emplace_back("ingest_shed_tier2_entries");
+    names.emplace_back("ingest_shed_tier3_entries");
+    names.emplace_back("ingest_queue_depth_peak");
+  }
   for (std::uint32_t l = 0; l <= header.max_level; ++l) {
     const std::string lvl = "level" + std::to_string(l);
     names.push_back(lvl + "_move_msgs");
@@ -187,7 +197,7 @@ TelemetryFile read_telemetry_file(const std::string& path, bool strict) {
                  get(p, end, h.cadence_us) && get(p, end, h.lanes) &&
                  get(p, end, h.max_level) && get(p, end, h.series),
              "truncated telemetry header in " << path);
-  VS_REQUIRE(h.version == kTelemetryFormatVersion,
+  VS_REQUIRE(h.version >= 1 && h.version <= kTelemetryFormatVersion,
              "unsupported telemetry format version " << h.version);
   VS_REQUIRE(h.series == h.expected_series() && h.series <= kMaxSeries,
              "telemetry header series count " << h.series
@@ -247,6 +257,18 @@ TelemetryFile read_telemetry_file(const std::string& path, bool strict) {
                              << path);
   }
   f.complete = saw_trailer;
+  if (h.version < 2) {
+    // v1 stream: widen every sample with zeros where v2 added the ingest
+    // block, and re-label the header, so callers only ever see the current
+    // layout (the trace v2→v3 reader idiom).
+    for (TelemetrySample& s : f.samples) {
+      s.values.insert(
+          s.values.begin() + static_cast<std::ptrdiff_t>(kTsIngestBase),
+          kTsIngestSeriesCount, 0);
+    }
+    h.version = kTelemetryFormatVersion;
+    h.series += kTsIngestSeriesCount;
+  }
   return f;
 }
 

@@ -50,8 +50,14 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kTelemetryFormatVersion = 1;
+/// v1: the PR-7 layout. v2 appends the ingest-daemon block (8 series) to
+/// the fixed scalars; the reader accepts v1 files by widening each sample
+/// with zeros there, so callers only ever see the current layout (the same
+/// forward-compatibility idiom as the VSTRACE1 v2→v3 reader).
+inline constexpr std::uint32_t kTelemetryFormatVersion = 2;
 inline constexpr std::uint32_t kTelemetryFlagLanes = 1u << 0;
+/// Series count of the v2 ingest block (kTsIngestBase..kTsFixedCount).
+inline constexpr std::uint32_t kTsIngestSeriesCount = 8;
 
 /// Offsets of the fixed scalar series inside TelemetrySample::values.
 /// After the fixed block: 4 per-level series ((max_level+1) ×
@@ -82,7 +88,12 @@ enum TelemetrySeries : std::size_t {
   /// Trailing-window audit ratios ×1000 (move work, move time, max find
   /// work, max find time); zero when no auditor is attached.
   kTsAuditBase = kTsLedgerBase + 12,
-  kTsFixedCount = kTsAuditBase + 4,
+  /// Ingest-daemon block (v2; kTsIngestSeriesCount series): ingested,
+  /// applied, suppressed, dropped, shed_tier1/2/3_entries,
+  /// queue_depth_peak — stats::IngestCounters order. Zero outside
+  /// vinestalk_served runs.
+  kTsIngestBase = kTsAuditBase + 4,
+  kTsFixedCount = kTsIngestBase + kTsIngestSeriesCount,
 };
 
 struct TelemetryHeader {
@@ -100,6 +111,7 @@ struct TelemetryHeader {
   [[nodiscard]] std::uint32_t expected_series() const {
     std::uint32_t n =
         kTsFixedCount + 4 * (max_level + 1);
+    if (version < 2) n -= kTsIngestSeriesCount;  // v1 predates ingest block
     if (has_lanes()) n += 3 + 4 * lanes;
     return n;
   }

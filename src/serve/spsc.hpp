@@ -1,0 +1,61 @@
+#pragma once
+// Bounded single-producer/single-consumer ring — the daemon's ingest
+// queues. One reader thread pushes (the single producer for every queue),
+// the driver thread pops at round boundaries (the single consumer), so a
+// lock-free ring with one atomic index per side suffices. A full ring
+// refuses the push — backpressure is explicit and the caller accounts the
+// drop; memory is bounded by construction.
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vs::serve {
+
+template <class T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : buf_(capacity + 1) {
+    VS_REQUIRE(capacity > 0, "SPSC queue capacity must be > 0");
+  }
+
+  /// Producer side. False when the ring is full (the item is NOT queued).
+  bool push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) % buf_.size();
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    buf_[tail] = v;
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = buf_[head];
+    head_.store((head + 1) % buf_.size(), std::memory_order_release);
+    return true;
+  }
+
+  /// Occupancy as seen from either side; exact for the calling side's own
+  /// interleaving, momentarily stale for the other — good enough for
+  /// watermarks.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : buf_.size() - head + tail;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size() - 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace vs::serve

@@ -1,5 +1,6 @@
 #include "stats/counters.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <ostream>
 #include <string>
@@ -189,6 +190,7 @@ void WorkCounters::reset() {
   duplicated_ = 0;
   jittered_ = 0;
   pdes_ = PdesCounters{};
+  ingest_ = IngestCounters{};
 }
 
 WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
@@ -228,6 +230,18 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
     d.pdes_.lanes[i].cross_sends -= earlier.pdes_.lanes[i].cross_sends;
     d.pdes_.lanes[i].busy_windows -= earlier.pdes_.lanes[i].busy_windows;
   }
+  d.ingest_.ingested = ingest_.ingested - earlier.ingest_.ingested;
+  d.ingest_.applied = ingest_.applied - earlier.ingest_.applied;
+  d.ingest_.suppressed = ingest_.suppressed - earlier.ingest_.suppressed;
+  d.ingest_.dropped = ingest_.dropped - earlier.ingest_.dropped;
+  d.ingest_.wire_errors = ingest_.wire_errors - earlier.ingest_.wire_errors;
+  for (std::size_t i = 0; i < 3; ++i) {
+    d.ingest_.shed_tier_entries[i] =
+        ingest_.shed_tier_entries[i] - earlier.ingest_.shed_tier_entries[i];
+  }
+  // The peak is a gauge, not a counter: a window's high-water mark is the
+  // later instant's, never a difference.
+  d.ingest_.queue_depth_peak = ingest_.queue_depth_peak;
   return d;
 }
 
@@ -289,6 +303,17 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
     }
     os << "}";
   }
+  if (ingest_.any()) {
+    os << ",\n"
+       << in << "\"ingest\": {\"ingested\": " << ingest_.ingested
+       << ", \"applied\": " << ingest_.applied
+       << ", \"suppressed\": " << ingest_.suppressed
+       << ", \"dropped\": " << ingest_.dropped
+       << ", \"wire_errors\": " << ingest_.wire_errors
+       << ", \"shed_tier_entries\": [" << ingest_.shed_tier_entries[0] << ", "
+       << ingest_.shed_tier_entries[1] << ", " << ingest_.shed_tier_entries[2]
+       << "], \"queue_depth_peak\": " << ingest_.queue_depth_peak << "}";
+  }
   os << "\n" << pad << "}";
 }
 
@@ -324,6 +349,16 @@ void WorkCounters::accumulate(const WorkCounters& other) {
     pdes_.lanes[i].cross_sends += other.pdes_.lanes[i].cross_sends;
     pdes_.lanes[i].busy_windows += other.pdes_.lanes[i].busy_windows;
   }
+  ingest_.ingested += other.ingest_.ingested;
+  ingest_.applied += other.ingest_.applied;
+  ingest_.suppressed += other.ingest_.suppressed;
+  ingest_.dropped += other.ingest_.dropped;
+  ingest_.wire_errors += other.ingest_.wire_errors;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ingest_.shed_tier_entries[i] += other.ingest_.shed_tier_entries[i];
+  }
+  ingest_.queue_depth_peak =
+      std::max(ingest_.queue_depth_peak, other.ingest_.queue_depth_peak);
 }
 
 }  // namespace vs::stats

@@ -76,6 +76,40 @@ struct PdesCounters {
   std::vector<PdesLaneStats> lanes;
 };
 
+/// Accounting of the streaming-ingest daemon (src/serve): wire frames in,
+/// world mutations out, and the shed-ladder bookkeeping in between. The
+/// conservation identity the daemon pins at shutdown — every valid update
+/// frame read off the wire is accounted exactly once:
+///
+///   ingested == applied + suppressed + dropped
+///
+/// `suppressed` is semantic shedding (tier-1 coalesce, tier-2 dead-band);
+/// `dropped` is lossy shedding (queue overflow, tier-3 admission reject).
+/// `wire_errors` counts malformed frames the strict reader refused — those
+/// never become ingested, so they sit outside the identity. Zero — and
+/// absent from to_json — unless the serve path ran, so simulator-only
+/// artifacts stay byte-identical. `queue_depth_peak` is the high-water
+/// mark over all region queues; in live mode it depends on reader/driver
+/// thread timing (like PdesLaneStats it is exempt from the byte-identity
+/// doctrine), in replay mode it is deterministic.
+struct IngestCounters {
+  std::int64_t ingested = 0;     // valid update frames accepted off the wire
+  std::int64_t applied = 0;      // updates that mutated the world
+  std::int64_t suppressed = 0;   // shed semantically (coalesce / dead-band)
+  std::int64_t dropped = 0;      // shed lossily (queue full, tier-3 reject)
+  std::int64_t wire_errors = 0;  // malformed frames the strict reader refused
+  /// Rounds in which the degradation ladder ran at tier >= 1/2/3.
+  std::array<std::int64_t, 3> shed_tier_entries{};
+  std::int64_t queue_depth_peak = 0;  // high-water mark across region queues
+
+  [[nodiscard]] bool any() const {
+    return ingested != 0 || applied != 0 || suppressed != 0 || dropped != 0 ||
+           wire_errors != 0 || shed_tier_entries[0] != 0 ||
+           shed_tier_entries[1] != 0 || shed_tier_entries[2] != 0 ||
+           queue_depth_peak != 0;
+  }
+};
+
 class WorkCounters {
  public:
   explicit WorkCounters(Level max_level);
@@ -141,6 +175,12 @@ class WorkCounters {
   [[nodiscard]] PdesCounters& pdes() { return pdes_; }
   [[nodiscard]] const PdesCounters& pdes() const { return pdes_; }
 
+  /// Ingest-daemon accounting (see IngestCounters). Mutated directly by
+  /// serve::IngestServer at round boundaries (driver thread only); folded
+  /// by accumulate/delta_since.
+  [[nodiscard]] IngestCounters& ingest() { return ingest_; }
+  [[nodiscard]] const IngestCounters& ingest() const { return ingest_; }
+
   /// JSON emitter — the single artifact schema every bench and tool uses
   /// (no hand-formatted counter dumps). Shape:
   ///   {"total": {"messages": N, "work": N, "move_work": N, "find_work": N,
@@ -149,7 +189,8 @@ class WorkCounters {
   ///    "by_level": [{"level": 0, "messages": N, "work": N,
   ///                  "move_messages": N, "move_work": N,
   ///                  "find_messages": N, "find_work": N}, ...],
-  ///    "pdes": {...}}  // only when parallel windows committed (windows>0)
+  ///    "pdes": {...},  // only when parallel windows committed (windows>0)
+  ///    "ingest": {...}}  // only when the serve path ran (ingest().any())
   void to_json(std::ostream& os, int indent = 0) const;
 
  private:
@@ -166,6 +207,7 @@ class WorkCounters {
   std::int64_t duplicated_{0};
   std::int64_t jittered_{0};
   PdesCounters pdes_{};
+  IngestCounters ingest_{};
 
   inline static thread_local const WorkCounters* tls_redirect_from_ = nullptr;
   inline static thread_local WorkCounters* tls_redirect_to_ = nullptr;

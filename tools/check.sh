@@ -28,7 +28,11 @@
 # shards, and the vinestalk_bench trajectory gate must append a
 # machine-stamped history row and pass against the committed baseline.
 # A no-profile stage (-DVINESTALK_PROFILE=OFF) proves every probe is
-# optional dead code.
+# optional dead code. A serve stage drives the vinestalk_served ingest
+# daemon: a 2×-capacity load burst under a chaos fault plan must finish
+# incident-free with the conservation identity intact and the shed
+# ladder visible in the Prometheus snapshot, and its VSINGEST1 capture
+# must replay to a byte-identical world trace at 1/2/4 shards.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -41,6 +45,7 @@
 #   tools/check.sh --telemetry  # stage 8 only (reuses build-check/)
 #   tools/check.sh --perf       # stage 9 only (reuses build-check/)
 #   tools/check.sh --no-profile # stage 10 only
+#   tools/check.sh --serve      # stage 11 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan),
 # build-notrace/ (-DVINESTALK_TRACE=OFF), and build-noprof/
@@ -72,7 +77,8 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    test_audit test_shard test_telemetry test_profile bench_e2_move_scaling
+    test_audit test_shard test_telemetry test_profile test_serve \
+    bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
   "$root/build-tsan/tests/test_obs"
@@ -82,6 +88,8 @@ run_tsan() {
   "$root/build-tsan/tests/test_shard"
   "$root/build-tsan/tests/test_telemetry"
   "$root/build-tsan/tests/test_profile"
+  # The ingest daemon's reader/driver handshake and SPSC rings under TSan.
+  "$root/build-tsan/tests/test_serve"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -91,7 +99,7 @@ run_notrace() {
   cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
   cmake --build "$root/build-notrace" -j "$jobs" \
     --target test_obs test_sim test_audit test_telemetry test_profile \
-    example_quickstart
+    test_serve example_quickstart
   "$root/build-notrace/tests/test_obs"
   "$root/build-notrace/tests/test_sim"
   # The op-ledger API must compile to no-ops: the trace-dependent audit
@@ -103,6 +111,9 @@ run_notrace() {
   # The profiler's byte-identity pin needs the trace; it skips itself,
   # the pure-report and renderer tests still run.
   "$root/build-notrace/tests/test_profile"
+  # And the serve daemon: the trace-gated byte-identity tests skip
+  # themselves, the wire-format/ladder/conservation pins still run.
+  "$root/build-notrace/tests/test_serve"
   "$root/build-notrace/examples/example_quickstart" > /dev/null
   echo "Compiled-out stage clean (record points are dead code)."
 }
@@ -408,9 +419,84 @@ run_noprof() {
   echo "No-profile stage clean (probes are dead code, VS_PROFILE ignored)."
 }
 
+run_serve() {
+  echo "== stage 11: streaming ingest daemon end-to-end =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target vinestalk_served vinestalk_top
+  local dir
+  dir="$(mktemp -d /tmp/vs_serve.XXXXXX)"
+  cat > "$dir/chaos.plan" <<'EOF'
+# check.sh serve chaos: a loss window and a jitter window across the
+# load burst — retransmission keeps the structure consistent, so the
+# monitored run must stay incident-free.
+faultplan v1
+seed 77
+loss from 2000 until 20000 rate 0.05
+jitter from 5000 until 25000 rate 0.2 advance 500
+recovery base 1000000 per-fault 200000
+end
+EOF
+  # A 2×-capacity load burst under chaos: the ladder must reach tier 3,
+  # the conservation identity must hold exactly, and the watchdog must
+  # see zero violations — graceful degradation, not collapse.
+  "$root/build-check/tools/vinestalk_served" \
+    --side 27 --base 3 --objects 4 --queues 4 --queue-capacity 64 \
+    --load 32 --overdrive 2 --seed 42 --find-every 8 --monitor \
+    --fault-plan "$dir/chaos.plan" --incident-dir "$dir" \
+    --telemetry "$dir/serve.vstelem" --prometheus "$dir/prom.txt" \
+    > "$dir/load.out"
+  grep -q "max tier 3" "$dir/load.out" || {
+    echo "FAIL: overload run never reached tier 3" >&2
+    cat "$dir/load.out" >&2; exit 1; }
+  grep -q "conservation OK" "$dir/load.out" || {
+    echo "FAIL: ingest conservation identity violated" >&2
+    cat "$dir/load.out" >&2; exit 1; }
+  grep -q "watchdog: 0 violation(s)" "$dir/load.out" || {
+    echo "FAIL: overload run tripped the watchdog" >&2
+    cat "$dir/load.out" >&2; exit 1; }
+  if ls "$dir"/incident_served_*.vsi > /dev/null 2>&1; then
+    echo "FAIL: overload run captured an incident bundle" >&2; exit 1
+  fi
+  # The queue/drop series must surface in the Prometheus snapshot and the
+  # dashboard must render the ingest panel from the finished stream.
+  grep -q "^vinestalk_telemetry_ingest_ingested " "$dir/prom.txt" || {
+    echo "FAIL: no ingest series in the Prometheus snapshot" >&2
+    cat "$dir/prom.txt" >&2; exit 1; }
+  grep -q "^vinestalk_telemetry_ingest_dropped " "$dir/prom.txt" || {
+    echo "FAIL: no drop series in the Prometheus snapshot" >&2; exit 1; }
+  grep -q "^vinestalk_telemetry_ingest_queue_depth_peak " "$dir/prom.txt" || {
+    echo "FAIL: no queue-depth series in the Prometheus snapshot" >&2
+    exit 1; }
+  "$root/build-check/tools/vinestalk_top" "$dir/serve.vstelem" --once \
+    > "$dir/top.out"
+  grep -q "ingest:" "$dir/top.out" || {
+    echo "FAIL: vinestalk_top renders no ingest panel" >&2
+    cat "$dir/top.out" >&2; exit 1; }
+  # Determinism: a captured live session must replay to a byte-identical
+  # world trace at 1, 2 and 4 shards (fault plans stay off here — channel
+  # faults are orthogonal to the capture/replay contract).
+  "$root/build-check/tools/vinestalk_served" \
+    --side 27 --base 3 --objects 4 --queues 4 --queue-capacity 64 \
+    --load 24 --overdrive 2 --seed 42 --find-every 8 \
+    --capture "$dir/session.vsingest" --trace "$dir/live.vst" > /dev/null
+  for n in 1 2 4; do
+    "$root/build-check/tools/vinestalk_served" \
+      --side 27 --base 3 --objects 4 --queues 4 --queue-capacity 64 \
+      --shards "$n" --replay "$dir/session.vsingest" \
+      --trace "$dir/replay$n.vst" > /dev/null
+    cmp "$dir/live.vst" "$dir/replay$n.vst" || {
+      echo "FAIL: replay trace differs from live at --shards $n" >&2
+      exit 1; }
+  done
+  rm -rf "$dir"
+  echo "Serve stage clean (overload incident-free, identity exact," \
+       "capture replays byte-identically at 1/2/4 shards)."
+}
+
 case "$stage" in
   all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit
-       run_shard; run_telemetry; run_perf; run_noprof ;;
+       run_shard; run_telemetry; run_perf; run_noprof; run_serve ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
@@ -421,7 +507,8 @@ case "$stage" in
   --telemetry) run_telemetry ;;
   --perf) run_perf ;;
   --no-profile) run_noprof ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry|--perf|--no-profile]" >&2
+  --serve) run_serve ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry|--perf|--no-profile|--serve]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

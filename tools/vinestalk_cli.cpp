@@ -11,7 +11,14 @@
 //   find <x> <y> <target>      run a find and print the result, including
 //                              the find's logical operation id and its
 //                              measured work against the Theorem 5.2 bound
-//                              at the issue-time distance
+//                              at the issue-time distance. With
+//                              --deadline-us N [--attempts N]
+//                              [--backoff-us N] the find runs the serve
+//                              daemon's deadline-bounded RPC path instead:
+//                              each attempt gets N us of virtual time, a
+//                              miss backs off exponentially and retries,
+//                              and a fully missed find prints a
+//                              retry-after hint
 //   fail <x> <y>               fail the VSA at a region (enables failures)
 //   fault <plan-file>          arm a fault::FaultPlan against this world
 //                              (strict parse; regions validated against
@@ -89,6 +96,7 @@
 #include "obs/trace_io.hpp"
 #include "spec/bounds.hpp"
 #include "runner/trial_pool.hpp"
+#include "serve/server.hpp"
 #include "spec/consistency.hpp"
 #include "spec/inspect.hpp"
 #include "stats/table.hpp"
@@ -258,8 +266,45 @@ class Cli {
     } else if (cmd == "find") {
       const RegionId from = region(ss);
       const TargetId t = target(ss);
-      const FindId f = net_->start_find(from, t);
-      net_->run_to_quiescence();
+      // Optional deadline mode: `find <x> <y> <t> --deadline-us N
+      // [--attempts N] [--backoff-us N]` runs the daemon's exact
+      // deadline/retry RPC path (serve::find_with_deadline) instead of
+      // draining to quiescence.
+      std::int64_t deadline_us = 0, backoff_us = 1000;
+      int attempts = 4;
+      std::string tok;
+      while (ss >> tok) {
+        if (tok == "--deadline-us") {
+          VS_REQUIRE(static_cast<bool>(ss >> deadline_us) && deadline_us > 0,
+                     "--deadline-us needs a count of microseconds > 0");
+        } else if (tok == "--attempts") {
+          VS_REQUIRE(static_cast<bool>(ss >> attempts) && attempts >= 1,
+                     "--attempts needs a count >= 1");
+        } else if (tok == "--backoff-us") {
+          VS_REQUIRE(static_cast<bool>(ss >> backoff_us) && backoff_us > 0,
+                     "--backoff-us needs a count of microseconds > 0");
+        } else {
+          VS_REQUIRE(false, "unknown find option " << tok);
+        }
+      }
+      FindId f{};
+      if (deadline_us > 0) {
+        scenario_.replayable_flag = false;  // deadline pacing isn't captured
+        const serve::FindOutcome o = serve::find_with_deadline(
+            *net_, from, t, sim::Duration::micros(deadline_us), attempts,
+            sim::Duration::micros(backoff_us));
+        if (!o.done) {
+          out << "find missed a " << deadline_us << "us deadline "
+              << o.attempts << " time(s); retry after " << o.retry_after
+              << "\n";
+          return true;
+        }
+        out << "find met its deadline on attempt " << o.attempts << "\n";
+        f = o.id;
+      } else {
+        f = net_->start_find(from, t);
+        net_->run_to_quiescence();
+      }
       const auto& r = net_->find_result(f);
       if (r.done) {
         out << "found at " << hierarchy_->tiling().describe(r.found_region)

@@ -127,6 +127,27 @@ void render(std::ostream& os, const std::string& path,
      << v(vs::obs::kTsFindLatencyP90) << " p99="
      << v(vs::obs::kTsFindLatencyP99) << "\n";
 
+  // Ingest panel — the serve daemon's conservation identity and ladder
+  // census. Hidden when the stream carries no ingest traffic (sim-only
+  // runs and v1 streams have all-zero ingest series).
+  const std::int64_t ingested = v(vs::obs::kTsIngestBase + 0);
+  if (ingested > 0) {
+    const std::int64_t applied = v(vs::obs::kTsIngestBase + 1);
+    const std::int64_t suppressed = v(vs::obs::kTsIngestBase + 2);
+    const std::int64_t dropped = v(vs::obs::kTsIngestBase + 3);
+    os << "  ingest: " << ingested << " ingested = " << applied
+       << " applied + " << suppressed << " suppressed + " << dropped
+       << " dropped"
+       << (ingested == applied + suppressed + dropped
+               ? ""
+               : "  CONSERVATION BROKEN")
+       << "  (" << fmt_rate(rate(vs::obs::kTsIngestBase)) << "/s)\n";
+    os << "    shed tiers: t1 " << v(vs::obs::kTsIngestBase + 4) << " t2 "
+       << v(vs::obs::kTsIngestBase + 5) << " t3 "
+       << v(vs::obs::kTsIngestBase + 6) << "; queue depth peak "
+       << v(vs::obs::kTsIngestBase + 7) << "\n";
+  }
+
   // Bound gauges: milli-ratios, full scale = 2× the bound (so the 1.0×
   // bound sits mid-bar). All four zero means no auditor was attached.
   const std::int64_t mw = v(vs::obs::kTsAuditBase + 0);
