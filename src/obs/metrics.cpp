@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -13,6 +14,25 @@ Histogram::Histogram(std::span<const std::int64_t> bounds)
       buckets_(bounds.size() + 1, 0) {
   VS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
              "histogram bounds must be ascending");
+}
+
+Histogram Histogram::from_parts(std::vector<std::int64_t> bounds,
+                                std::vector<std::int64_t> buckets,
+                                std::int64_t count, std::int64_t sum,
+                                std::int64_t min, std::int64_t max) {
+  VS_REQUIRE(buckets.size() == bounds.size() + 1,
+             "histogram parts mismatch: " << buckets.size() << " buckets for "
+                                          << bounds.size() << " bounds");
+  VS_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
+             "histogram bounds must be ascending");
+  Histogram h;
+  h.bounds_ = std::move(bounds);
+  h.buckets_ = std::move(buckets);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
 }
 
 void Histogram::reset() {
@@ -34,6 +54,20 @@ void Histogram::record(std::int64_t value) {
   }
   ++count_;
   sum_ += value;
+}
+
+std::vector<std::int64_t> log2_bounds(std::int64_t lo, std::int64_t hi) {
+  VS_REQUIRE(lo > 0 && lo <= hi, "log2_bounds requires 0 < lo <= hi");
+  std::vector<std::int64_t> bounds;
+  std::int64_t b = lo;
+  for (;;) {
+    bounds.push_back(b);
+    if (b >= hi) break;
+    VS_REQUIRE(b <= (std::numeric_limits<std::int64_t>::max)() / 2,
+               "log2_bounds overflow");
+    b *= 2;
+  }
+  return bounds;
 }
 
 void Histogram::merge(const Histogram& other) {

@@ -28,6 +28,14 @@ class Histogram {
   Histogram() = default;
   explicit Histogram(std::span<const std::int64_t> bounds);
 
+  /// Reconstruct from serialized parts (the VSSLO1 sidecar reader).
+  /// Requires buckets.size() == bounds.size() + 1 and consistent tallies.
+  [[nodiscard]] static Histogram from_parts(std::vector<std::int64_t> bounds,
+                                            std::vector<std::int64_t> buckets,
+                                            std::int64_t count,
+                                            std::int64_t sum, std::int64_t min,
+                                            std::int64_t max);
+
   void record(std::int64_t value);
   /// Requires identical bucket bounds.
   void merge(const Histogram& other);
@@ -63,6 +71,13 @@ class Histogram {
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
 };
+
+/// Power-of-two ("log-bucketed") histogram bounds: lo, 2·lo, 4·lo, ...
+/// up to the first bound >= hi. Constant relative resolution across the
+/// whole range — the right layout for latencies, where p50 and p99 can sit
+/// orders of magnitude apart. Requires 0 < lo <= hi.
+[[nodiscard]] std::vector<std::int64_t> log2_bounds(std::int64_t lo,
+                                                    std::int64_t hi);
 
 class MetricsRegistry {
  public:

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "common/error.hpp"
+#include "obs/op.hpp"
 #include "obs/trace_query.hpp"
 
 namespace vs::obs {
@@ -22,6 +23,7 @@ constexpr char kEndMagic[8] = {'V', 'S', 'I', 'N', 'C', 'E', 'N', 'D'};
 constexpr std::uint32_t kMaxString = 1u << 24;
 constexpr std::uint64_t kMaxRing = 1u << 28;
 constexpr std::uint32_t kMaxCorruptions = 1u << 20;
+constexpr std::uint32_t kMaxExemplars = 1u << 20;
 
 template <class T>
 void put(std::ostream& os, T v) {
@@ -121,6 +123,16 @@ void write_incident(std::ostream& os, const IncidentBundle& b) {
   put<std::uint8_t>(os, b.audit ? 1 : 0);
   put<double>(os, b.audit_slack);
   put<std::int64_t>(os, b.audit_window_us);
+  put_str(os, s.slo_spec);
+  put_str(os, b.slo_state_json);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(b.slo_exemplars.size()));
+  for (const SloExemplar& e : b.slo_exemplars) {
+    put<std::uint8_t>(os, e.cls);
+    put<std::uint32_t>(os, e.op);
+    put<std::int64_t>(os, e.t_us);
+    put<std::int64_t>(os, e.latency_ns);
+    put<std::int64_t>(os, e.distance);
+  }
   put_str(os, b.config_json);
   put_str(os, b.metrics_json);
   put<std::uint64_t>(os, static_cast<std::uint64_t>(b.ring.size()));
@@ -193,6 +205,21 @@ IncidentBundle read_incident(std::istream& is) {
   }
   if (version >= 4) {
     b.audit_window_us = get<std::int64_t>(is);
+  }
+  if (version >= 5) {
+    s.slo_spec = get_str(is);
+    b.slo_state_json = get_str(is);
+    const auto nex = get<std::uint32_t>(is);
+    VS_REQUIRE(nex <= kMaxExemplars,
+               "corrupt incident stream: implausible exemplar count " << nex);
+    b.slo_exemplars.resize(nex);
+    for (SloExemplar& e : b.slo_exemplars) {
+      e.cls = get<std::uint8_t>(is);
+      e.op = get<std::uint32_t>(is);
+      e.t_us = get<std::int64_t>(is);
+      e.latency_ns = get<std::int64_t>(is);
+      e.distance = get<std::int64_t>(is);
+    }
   }
   b.config_json = get_str(is);
   b.metrics_json = get_str(is);
@@ -308,6 +335,29 @@ void print_incident(std::ostream& os, const IncidentBundle& b,
     os << "    corrupt cluster " << c.cluster << ": c=" << c.c
        << " p=" << c.p << " nbrptup=" << c.nbrptup
        << " nbrptdown=" << c.nbrptdown << "\n";
+  }
+  if (!s.slo_spec.empty()) {
+    os << "  slo spec:\n";
+    std::size_t sp = 0;
+    while (sp < s.slo_spec.size()) {
+      auto nl = s.slo_spec.find('\n', sp);
+      if (nl == std::string::npos) nl = s.slo_spec.size();
+      os << "    " << s.slo_spec.substr(sp, nl - sp) << "\n";
+      sp = nl + 1;
+    }
+  }
+  if (!b.slo_state_json.empty()) {
+    os << "  slo windows  " << b.slo_state_json << "\n";
+  }
+  if (!b.slo_exemplars.empty()) {
+    os << "  slo exemplars (slowest first):\n";
+    for (const SloExemplar& e : b.slo_exemplars) {
+      os << "    t=" << e.t_us << "us " << e.latency_ns << "ns";
+      if (e.op != 0) {
+        os << " " << op_name(e.op) << " d=" << e.distance;
+      }
+      os << "\n";
+    }
   }
   if (!b.config_json.empty()) os << "  config       " << b.config_json << "\n";
   os << "  flight recorder: " << b.ring.size() << " event(s) (capacity "

@@ -31,6 +31,12 @@
 //                accept v1/v2 files, defaulting to 1.0 / off / 2.0)
 //   v4 field:    i64 audit_window_us (readers accept v1–v3 files, where
 //                it defaults to 0 = whole-ledger audit)
+//   v5 fields:   str scenario.slo_spec (the `slo v1` objective text the
+//                run was armed with), str slo_state_json (per-objective
+//                burn-window state at fire time), u32 exemplar count +
+//                per exemplar: u8 class, u32 op, i64 t_us, i64 latency_ns,
+//                i64 distance (readers accept v1–v4 files, defaulting to
+//                empty — no SLO monitor was attached)
 //   str          config_json
 //   str          metrics_json
 //   ring:        u64 event count + count × obs::TraceEvent (raw 64 bytes;
@@ -51,7 +57,7 @@
 
 namespace vs::obs {
 
-inline constexpr std::uint32_t kIncidentFormatVersion = 4;
+inline constexpr std::uint32_t kIncidentFormatVersion = 5;
 
 /// How the watchdog samples the invariants (see watchdog.hpp for the cost
 /// model of each mode).
@@ -122,6 +128,10 @@ struct ScenarioSpec {
   /// against the *canonical* κ = 1 policy, so κ > 1 is the seeded way to
   /// produce a replayable over-bound incident.
   double timer_scale = 1.0;
+  /// SLO objective text (`slo v1` format, obs::SloSpec::to_string) the run
+  /// was armed with; empty = no SLO monitor. Carried so an incident names
+  /// the service-level contract it was judged against.
+  std::string slo_spec;
   /// Cleared by capturing drivers when the session leaves the canonical
   /// shape; replay refuses (with a diagnostic) rather than diverging.
   bool replayable_flag = true;
@@ -129,6 +139,18 @@ struct ScenarioSpec {
   [[nodiscard]] bool replayable() const {
     return replayable_flag && side > 0 && base > 1 && start_region >= 0;
   }
+};
+
+/// A latency exemplar: one concrete slow request behind a burn-rate
+/// alert, linking the span to the OpId of the operation that served it —
+/// `vinestalk_trace spans <trace> <find-id>` (the find id is the op
+/// index) pretty-prints the causal chain behind the p99 outlier.
+struct SloExemplar {
+  std::uint8_t cls = 0;          // obs::SloClass
+  std::uint32_t op = 0;          // OpId (0 for update/round spans)
+  std::int64_t t_us = 0;         // virtual time at span close
+  std::int64_t latency_ns = 0;   // wall-clock span duration
+  std::int64_t distance = 0;     // find distance d (Theorem 5.2); else 0
 };
 
 /// The self-contained violation artifact.
@@ -150,6 +172,11 @@ struct IncidentBundle {
   ScenarioSpec scenario;
   std::string config_json;   // world configuration at detection
   std::string metrics_json;  // MetricsRegistry::to_json snapshot
+  /// Burn-window state per objective at fire time (obs::SloMonitor JSON;
+  /// empty when the incident is not SLO-sourced).
+  std::string slo_state_json;
+  /// Worst-latency exemplars behind the alert, slowest first.
+  std::vector<SloExemplar> slo_exemplars;
   std::vector<TraceEvent> ring;  // flight recorder, oldest first
 };
 

@@ -1,0 +1,347 @@
+#include "obs/slo/slo_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace vs::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'S', 'S', 'L', 'O', '1', '\0', '\0'};
+constexpr char kEndMagic[8] = {'V', 'S', 'S', 'L', 'O', 'E', 'N', 'D'};
+// A report holds a handful of histograms and at most a few dozen
+// objectives/exemplars; larger counts mean a corrupt file.
+constexpr std::uint32_t kMaxRows = 1u << 16;
+constexpr std::uint32_t kMaxString = 1u << 24;
+
+template <class T>
+void put(std::string& buf, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const char*>(&v);
+  buf.append(p, sizeof(T));
+}
+
+template <class T>
+void get(const char*& p, const char* end, T& v, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  VS_REQUIRE(static_cast<std::size_t>(end - p) >= sizeof(T),
+             "truncated slo sidecar " << path);
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+}
+
+void put_str(std::string& buf, const std::string& s) {
+  put(buf, static_cast<std::uint32_t>(s.size()));
+  buf.append(s);
+}
+
+std::string get_str(const char*& p, const char* end, const std::string& path) {
+  std::uint32_t len = 0;
+  get(p, end, len, path);
+  VS_REQUIRE(len <= kMaxString, "corrupt slo sidecar " << path
+                                    << ": implausible string length " << len);
+  VS_REQUIRE(static_cast<std::size_t>(end - p) >= len,
+             "truncated slo sidecar " << path);
+  std::string s(p, len);
+  p += len;
+  return s;
+}
+
+void put_hist(std::string& buf, const Histogram& h) {
+  put(buf, static_cast<std::uint32_t>(h.bounds().size()));
+  for (std::int64_t b : h.bounds()) put(buf, b);
+  for (std::int64_t c : h.buckets()) put(buf, c);
+  put(buf, h.count());
+  put(buf, h.sum());
+  put(buf, h.min());
+  put(buf, h.max());
+}
+
+Histogram get_hist(const char*& p, const char* end, const std::string& path) {
+  std::uint32_t n = 0;
+  get(p, end, n, path);
+  VS_REQUIRE(n <= kMaxRows, "corrupt slo sidecar " << path
+                                << ": implausible bound count " << n);
+  std::vector<std::int64_t> bounds(n);
+  for (auto& b : bounds) get(p, end, b, path);
+  std::vector<std::int64_t> buckets(n + 1);
+  for (auto& c : buckets) get(p, end, c, path);
+  std::int64_t count = 0, sum = 0, min = 0, max = 0;
+  get(p, end, count, path);
+  get(p, end, sum, path);
+  get(p, end, min, path);
+  get(p, end, max, path);
+  return Histogram::from_parts(std::move(bounds), std::move(buckets), count,
+                               sum, min, max);
+}
+
+void json_hist(std::ostream& os, const Histogram& h) {
+  os << "{\"count\": " << h.count() << ", \"sum\": " << h.sum()
+     << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+     << ", \"p50\": " << h.percentile(0.50) << ", \"p90\": "
+     << h.percentile(0.90) << ", \"p99\": " << h.percentile(0.99)
+     << ", \"p999\": " << h.percentile(0.999) << "}";
+}
+
+/// The spec's objective name, quoted for a Prometheus label value.
+std::string label_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_slo_file(const std::string& path, const SloReport& rep) {
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  put(buf, kSloFormatVersion);
+  put_str(buf, rep.spec_text);
+  put(buf, static_cast<std::uint8_t>(rep.wall_clock ? 1 : 0));
+  put(buf, rep.end_t_us);
+  for (const SloReport::ClassStats& c : rep.classes) {
+    put(buf, c.requests);
+    put(buf, c.errors);
+    put_hist(buf, c.latency);
+  }
+  put_hist(buf, rep.find_ns_per_d);
+  put(buf, static_cast<std::uint32_t>(rep.find_bands.size()));
+  for (const auto& [band, hist] : rep.find_bands) {
+    put(buf, band);
+    put_hist(buf, hist);
+  }
+  put(buf, static_cast<std::uint32_t>(rep.objectives.size()));
+  for (const SloObjectiveState& o : rep.objectives) {
+    put_str(buf, o.name);
+    put(buf, o.short_req);
+    put(buf, o.short_bad);
+    put(buf, o.long_req);
+    put(buf, o.long_bad);
+    put(buf, o.burn_short_centi);
+    put(buf, o.burn_long_centi);
+    put(buf, o.measured_ns);
+    put(buf, o.target_ns);
+    put(buf, static_cast<std::uint8_t>(o.fired ? 1 : 0));
+  }
+  put(buf, static_cast<std::uint32_t>(rep.exemplars.size()));
+  for (const SloExemplar& e : rep.exemplars) {
+    put(buf, e.cls);
+    put(buf, e.op);
+    put(buf, e.t_us);
+    put(buf, e.latency_ns);
+    put(buf, e.distance);
+  }
+  buf.append(kEndMagic, sizeof(kEndMagic));
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  VS_REQUIRE(os.good(), "cannot open slo sidecar for writing: " << path);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  VS_REQUIRE(os.good(), "write failed for slo sidecar: " << path);
+}
+
+SloReport read_slo_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  VS_REQUIRE(is.good(), "cannot open slo sidecar: " << path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  const std::string bytes = ss.str();
+  const char* p = bytes.data();
+  const char* end = p + bytes.size();
+  VS_REQUIRE(bytes.size() >= sizeof(kMagic) &&
+                 std::memcmp(p, kMagic, sizeof(kMagic)) == 0,
+             "not an slo sidecar (bad magic; expected VSSLO1): " << path);
+  p += sizeof(kMagic);
+  std::uint32_t version = 0;
+  get(p, end, version, path);
+  VS_REQUIRE(version == kSloFormatVersion,
+             "unsupported slo sidecar version " << version);
+  SloReport rep;
+  rep.spec_text = get_str(p, end, path);
+  std::uint8_t wall = 0;
+  get(p, end, wall, path);
+  rep.wall_clock = wall != 0;
+  get(p, end, rep.end_t_us, path);
+  for (SloReport::ClassStats& c : rep.classes) {
+    get(p, end, c.requests, path);
+    get(p, end, c.errors, path);
+    c.latency = get_hist(p, end, path);
+  }
+  rep.find_ns_per_d = get_hist(p, end, path);
+  std::uint32_t nbands = 0;
+  get(p, end, nbands, path);
+  VS_REQUIRE(nbands <= kMaxRows, "corrupt slo sidecar " << path);
+  rep.find_bands.resize(nbands);
+  for (auto& [band, hist] : rep.find_bands) {
+    get(p, end, band, path);
+    hist = get_hist(p, end, path);
+  }
+  std::uint32_t nobj = 0;
+  get(p, end, nobj, path);
+  VS_REQUIRE(nobj <= kMaxRows, "corrupt slo sidecar " << path);
+  rep.objectives.resize(nobj);
+  for (SloObjectiveState& o : rep.objectives) {
+    o.name = get_str(p, end, path);
+    get(p, end, o.short_req, path);
+    get(p, end, o.short_bad, path);
+    get(p, end, o.long_req, path);
+    get(p, end, o.long_bad, path);
+    get(p, end, o.burn_short_centi, path);
+    get(p, end, o.burn_long_centi, path);
+    get(p, end, o.measured_ns, path);
+    get(p, end, o.target_ns, path);
+    std::uint8_t fired = 0;
+    get(p, end, fired, path);
+    o.fired = fired != 0;
+  }
+  std::uint32_t nex = 0;
+  get(p, end, nex, path);
+  VS_REQUIRE(nex <= kMaxRows, "corrupt slo sidecar " << path);
+  rep.exemplars.resize(nex);
+  for (SloExemplar& e : rep.exemplars) {
+    get(p, end, e.cls, path);
+    get(p, end, e.op, path);
+    get(p, end, e.t_us, path);
+    get(p, end, e.latency_ns, path);
+    get(p, end, e.distance, path);
+  }
+  VS_REQUIRE(static_cast<std::size_t>(end - p) >= sizeof(kEndMagic) &&
+                 std::memcmp(p, kEndMagic, sizeof(kEndMagic)) == 0,
+             "truncated slo sidecar: missing VSSLOEND trailer: " << path);
+  return rep;
+}
+
+void slo_to_json(std::ostream& os, const SloReport& rep) {
+  os << "{\n  \"spec\": \"" << label_escape(rep.spec_text) << "\",\n"
+     << "  \"clock\": \"" << (rep.wall_clock ? "wall" : "virtual") << "\",\n"
+     << "  \"t_us\": " << rep.end_t_us << ",\n  \"classes\": {";
+  for (std::size_t c = 0; c < kSloClasses; ++c) {
+    if (c > 0) os << ",";
+    const SloReport::ClassStats& st = rep.classes[c];
+    os << "\n    \"" << to_string(static_cast<SloClass>(c))
+       << "\": {\"requests\": " << st.requests << ", \"errors\": " << st.errors
+       << ", \"latency_ns\": ";
+    json_hist(os, st.latency);
+    os << "}";
+  }
+  os << "\n  },\n  \"find_ns_per_d\": ";
+  json_hist(os, rep.find_ns_per_d);
+  os << ",\n  \"find_bands\": [";
+  for (std::size_t i = 0; i < rep.find_bands.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"band\": \"" << slo_band_label(rep.find_bands[i].first)
+       << "\", \"latency_ns\": ";
+    json_hist(os, rep.find_bands[i].second);
+    os << "}";
+  }
+  os << "],\n  \"objectives\": [";
+  for (std::size_t i = 0; i < rep.objectives.size(); ++i) {
+    const SloObjectiveState& o = rep.objectives[i];
+    if (i > 0) os << ", ";
+    os << "{\"name\": \"" << label_escape(o.name)
+       << "\", \"measured_ns\": " << o.measured_ns
+       << ", \"target_ns\": " << o.target_ns
+       << ", \"burn_short_centi\": " << o.burn_short_centi
+       << ", \"burn_long_centi\": " << o.burn_long_centi
+       << ", \"budget_remaining_milli\": " << rep.budget_remaining_milli(i)
+       << ", \"fired\": " << (o.fired ? "true" : "false") << "}";
+  }
+  os << "],\n  \"exemplars\": [";
+  for (std::size_t i = 0; i < rep.exemplars.size(); ++i) {
+    const SloExemplar& e = rep.exemplars[i];
+    if (i > 0) os << ", ";
+    os << "{\"class\": \"" << to_string(static_cast<SloClass>(e.cls))
+       << "\", \"op\": \"" << op_name(e.op) << "\", \"t_us\": " << e.t_us
+       << ", \"latency_ns\": " << e.latency_ns
+       << ", \"distance\": " << e.distance << "}";
+  }
+  os << "]\n}\n";
+}
+
+void slo_to_prometheus(std::ostream& os, const SloReport& rep,
+                       const std::string& prefix) {
+  os << "# TYPE " << prefix << "_slo_requests_total counter\n";
+  for (std::size_t c = 0; c < kSloClasses; ++c) {
+    os << prefix << "_slo_requests_total{class=\""
+       << to_string(static_cast<SloClass>(c))
+       << "\"} " << rep.classes[c].requests << "\n";
+  }
+  os << "# TYPE " << prefix << "_slo_errors_total counter\n";
+  for (std::size_t c = 0; c < kSloClasses; ++c) {
+    os << prefix << "_slo_errors_total{class=\""
+       << to_string(static_cast<SloClass>(c))
+       << "\"} " << rep.classes[c].errors << "\n";
+  }
+  os << "# TYPE " << prefix << "_slo_latency_ns gauge\n";
+  for (std::size_t c = 0; c < kSloClasses; ++c) {
+    const Histogram& h = rep.classes[c].latency;
+    if (h.count() == 0) continue;
+    const char* name = to_string(static_cast<SloClass>(c));
+    os << prefix << "_slo_latency_ns{class=\"" << name
+       << "\",quantile=\"0.5\"} " << h.percentile(0.50) << "\n";
+    os << prefix << "_slo_latency_ns{class=\"" << name
+       << "\",quantile=\"0.99\"} " << h.percentile(0.99) << "\n";
+  }
+  if (rep.find_ns_per_d.count() > 0) {
+    os << "# TYPE " << prefix << "_slo_find_ns_per_d gauge\n";
+    os << prefix << "_slo_find_ns_per_d{quantile=\"0.99\"} "
+       << rep.find_ns_per_d.percentile(0.99) << "\n";
+  }
+  if (!rep.objectives.empty()) {
+    os << "# TYPE " << prefix << "_slo_burn_rate_centi gauge\n";
+    for (const SloObjectiveState& o : rep.objectives) {
+      os << prefix << "_slo_burn_rate_centi{objective=\""
+         << label_escape(o.name) << "\",window=\"short\"} "
+         << o.burn_short_centi << "\n";
+      os << prefix << "_slo_burn_rate_centi{objective=\""
+         << label_escape(o.name) << "\",window=\"long\"} "
+         << o.burn_long_centi << "\n";
+    }
+    os << "# TYPE " << prefix << "_slo_error_budget_remaining_milli gauge\n";
+    for (std::size_t i = 0; i < rep.objectives.size(); ++i) {
+      os << prefix << "_slo_error_budget_remaining_milli{objective=\""
+         << label_escape(rep.objectives[i].name) << "\"} "
+         << rep.budget_remaining_milli(i) << "\n";
+    }
+    os << "# TYPE " << prefix << "_slo_objective_fired gauge\n";
+    for (const SloObjectiveState& o : rep.objectives) {
+      os << prefix << "_slo_objective_fired{objective=\""
+         << label_escape(o.name) << "\"} " << (o.fired ? 1 : 0) << "\n";
+    }
+  }
+}
+
+void slo_to_csv(std::ostream& os, const SloReport& rep) {
+  os << "series,le_ns,count\n";
+  const auto rows = [&os](const std::string& series, const Histogram& h) {
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      os << series << ",";
+      if (i < h.bounds().size()) {
+        os << h.bounds()[i];
+      } else {
+        os << "+inf";
+      }
+      os << "," << h.buckets()[i] << "\n";
+    }
+  };
+  for (std::size_t c = 0; c < kSloClasses; ++c) {
+    if (rep.classes[c].latency.count() == 0) continue;
+    rows(to_string(static_cast<SloClass>(c)), rep.classes[c].latency);
+  }
+  if (rep.find_ns_per_d.count() > 0) rows("find_ns_per_d", rep.find_ns_per_d);
+  for (const auto& [band, hist] : rep.find_bands) {
+    rows("find:" + slo_band_label(band), hist);
+  }
+}
+
+}  // namespace vs::obs

@@ -8,6 +8,8 @@
 #include "obs/metrics.hpp"
 #include "obs/profile/profile_io.hpp"
 #include "obs/profile/profiler.hpp"
+#include "obs/slo/slo.hpp"
+#include "obs/slo/slo_io.hpp"
 #include "obs/telemetry/prometheus.hpp"
 #include "obs/trace.hpp"
 #include "stats/counters.hpp"
@@ -111,6 +113,12 @@ sim::TimePoint TelemetrySampler::on_boundary(sim::TimePoint upto) {
                       net_->counters().total_messages()),
             "vinestalk");
       }
+      if (slo_ != nullptr) {
+        // SLO gauges ride along the same way: the Prometheus snapshot is
+        // a live-scrape surface, exempt from the byte-identity doctrine
+        // the VSSLO1 sidecar's quarantine protects.
+        slo_to_prometheus(os, slo_->report(), "vinestalk");
+      }
     }
   }
   return next_due_;
@@ -185,6 +193,12 @@ void TelemetrySampler::take_sample(std::int64_t t_us) {
   s.values[kTsIngestBase + 5] = ing.shed_tier_entries[1];
   s.values[kTsIngestBase + 6] = ing.shed_tier_entries[2];
   s.values[kTsIngestBase + 7] = ing.queue_depth_peak;
+  s.values[kTsServeBase + 0] = ing.wire_errors;
+  s.values[kTsServeBase + 1] = ing.retry_after_us;
+  s.values[kTsServeBase + 2] = ing.rpc_finds_issued;
+  s.values[kTsServeBase + 3] = ing.rpc_finds_done;
+  s.values[kTsServeBase + 4] = ing.rpc_deadline_misses;
+  s.values[kTsServeBase + 5] = ing.rpc_find_attempts;
 
   std::size_t at = kTsFixedCount;
   for (Level l = 0; l <= wc.max_level(); ++l) {

@@ -60,6 +60,8 @@ class TrackingNetwork;
 
 namespace vs::obs {
 
+class SloMonitor;
+
 struct TelemetryConfig {
   /// Virtual-time sampling cadence (boundaries at k × cadence).
   sim::Duration cadence = sim::Duration::millis(10);
@@ -100,6 +102,13 @@ class TelemetrySampler {
     auditor_ = auditor;
   }
 
+  /// Ride the SLO monitor's gauges along in the Prometheus snapshot
+  /// (vinestalk_slo_* families). Like the profiler ride-along, this is a
+  /// live-scrape surface only — the deterministic VSTELEM1 stream never
+  /// sees SLO data. The monitor must outlive the sampler (or disable
+  /// first); null unbinds.
+  void bind_slo(const SloMonitor* slo) { slo_ = slo; }
+
   /// Write the stream trailer and disarm the hook (idempotent). Call
   /// before tearing the network down if the sampler outlives it.
   void finish();
@@ -129,6 +138,7 @@ class TelemetrySampler {
   Histogram latency_;  // reused per sample (reset, not reallocated)
   const OpLedger* audit_ledger_ = nullptr;
   const BoundAuditor* auditor_ = nullptr;
+  const SloMonitor* slo_ = nullptr;
 };
 
 }  // namespace vs::obs

@@ -97,6 +97,14 @@ std::vector<std::string> telemetry_series_names(
     names.emplace_back("ingest_shed_tier3_entries");
     names.emplace_back("ingest_queue_depth_peak");
   }
+  if (header.version >= 3) {
+    names.emplace_back("ingest_wire_errors");
+    names.emplace_back("ingest_retry_after_us");
+    names.emplace_back("ingest_rpc_finds_issued");
+    names.emplace_back("ingest_rpc_finds_done");
+    names.emplace_back("ingest_rpc_deadline_misses");
+    names.emplace_back("ingest_rpc_find_attempts");
+  }
   for (std::uint32_t l = 0; l <= header.max_level; ++l) {
     const std::string lvl = "level" + std::to_string(l);
     names.push_back(lvl + "_move_msgs");
@@ -257,17 +265,31 @@ TelemetryFile read_telemetry_file(const std::string& path, bool strict) {
                              << path);
   }
   f.complete = saw_trailer;
-  if (h.version < 2) {
-    // v1 stream: widen every sample with zeros where v2 added the ingest
-    // block, and re-label the header, so callers only ever see the current
-    // layout (the trace v2→v3 reader idiom).
+  if (h.version < kTelemetryFormatVersion) {
+    // Older stream: widen every sample with zeros where newer versions
+    // added blocks, and re-label the header, so callers only ever see the
+    // current layout (the trace v2→v3 reader idiom). The serve block sits
+    // directly after the ingest block, so inserting at kTsServeBase first
+    // keeps the earlier offsets valid for the second insert.
+    std::uint32_t widened = 0;
     for (TelemetrySample& s : f.samples) {
-      s.values.insert(
-          s.values.begin() + static_cast<std::ptrdiff_t>(kTsIngestBase),
-          kTsIngestSeriesCount, 0);
+      if (h.version < 3) {
+        const std::size_t serve_at =
+            h.version < 2 ? kTsServeBase - kTsIngestSeriesCount : kTsServeBase;
+        s.values.insert(
+            s.values.begin() + static_cast<std::ptrdiff_t>(serve_at),
+            kTsServeSeriesCount, 0);
+      }
+      if (h.version < 2) {
+        s.values.insert(
+            s.values.begin() + static_cast<std::ptrdiff_t>(kTsIngestBase),
+            kTsIngestSeriesCount, 0);
+      }
     }
+    if (h.version < 3) widened += kTsServeSeriesCount;
+    if (h.version < 2) widened += kTsIngestSeriesCount;
     h.version = kTelemetryFormatVersion;
-    h.series += kTsIngestSeriesCount;
+    h.series += widened;
   }
   return f;
 }

@@ -51,13 +51,16 @@
 namespace vs::obs {
 
 /// v1: the PR-7 layout. v2 appends the ingest-daemon block (8 series) to
-/// the fixed scalars; the reader accepts v1 files by widening each sample
-/// with zeros there, so callers only ever see the current layout (the same
-/// forward-compatibility idiom as the VSTRACE1 v2→v3 reader).
-inline constexpr std::uint32_t kTelemetryFormatVersion = 2;
+/// the fixed scalars; v3 appends the serve-RPC block (6 series) after it.
+/// The reader accepts older files by widening each sample with zeros at
+/// the missing blocks, so callers only ever see the current layout (the
+/// same forward-compatibility idiom as the VSTRACE1 v2→v3 reader).
+inline constexpr std::uint32_t kTelemetryFormatVersion = 3;
 inline constexpr std::uint32_t kTelemetryFlagLanes = 1u << 0;
-/// Series count of the v2 ingest block (kTsIngestBase..kTsFixedCount).
+/// Series count of the v2 ingest block (kTsIngestBase..kTsServeBase).
 inline constexpr std::uint32_t kTsIngestSeriesCount = 8;
+/// Series count of the v3 serve-RPC block (kTsServeBase..kTsFixedCount).
+inline constexpr std::uint32_t kTsServeSeriesCount = 6;
 
 /// Offsets of the fixed scalar series inside TelemetrySample::values.
 /// After the fixed block: 4 per-level series ((max_level+1) ×
@@ -93,7 +96,12 @@ enum TelemetrySeries : std::size_t {
   /// queue_depth_peak — stats::IngestCounters order. Zero outside
   /// vinestalk_served runs.
   kTsIngestBase = kTsAuditBase + 4,
-  kTsFixedCount = kTsIngestBase + kTsIngestSeriesCount,
+  /// Serve-RPC block (v3; kTsServeSeriesCount series): wire_errors,
+  /// retry_after_us (gauge), rpc_finds_issued, rpc_finds_done,
+  /// rpc_deadline_misses, rpc_find_attempts — the rest of
+  /// stats::IngestCounters. Zero outside vinestalk_served runs.
+  kTsServeBase = kTsIngestBase + kTsIngestSeriesCount,
+  kTsFixedCount = kTsServeBase + kTsServeSeriesCount,
 };
 
 struct TelemetryHeader {
@@ -112,6 +120,7 @@ struct TelemetryHeader {
     std::uint32_t n =
         kTsFixedCount + 4 * (max_level + 1);
     if (version < 2) n -= kTsIngestSeriesCount;  // v1 predates ingest block
+    if (version < 3) n -= kTsServeSeriesCount;   // v2 predates serve block
     if (has_lanes()) n += 3 + 4 * lanes;
     return n;
   }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/slo/slo.hpp"
 
 namespace vs::serve {
 
@@ -25,6 +26,9 @@ IngestServer::IngestServer(tracking::TrackingNetwork& net,
         std::make_unique<SpscQueue<Pending>>(cfg_.queue_capacity));
   }
   if (!cfg_.capture_path.empty()) capture_.emplace(cfg_.capture_path);
+  // A deterministic config-derived gauge, surfaced via VSTELEM1/Prometheus
+  // alongside the conservation counters.
+  net_->counters().ingest().retry_after_us = retry_after().count();
 }
 
 IngestServer::~IngestServer() {
@@ -57,6 +61,9 @@ IngestServer::Admit IngestServer::offer(const UpdateFrame& update) {
   Pending p;
   p.update = update;
   p.region = hier_->grid().region_at(update.x, update.y);
+  // SLO update span opens at admission (reader thread reads the clock;
+  // the monitor itself is only touched by the driver at resolution).
+  if (slo_ != nullptr) p.admit_ns = obs::SloMonitor::now_ns();
   if (!queues_[queue_of(p.region)]->push(p)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return Admit::kRejectedFull;
@@ -64,8 +71,12 @@ IngestServer::Admit IngestServer::offer(const UpdateFrame& update) {
   return Admit::kQueued;
 }
 
+void IngestServer::set_slo(obs::SloMonitor* slo) { slo_ = slo; }
+
 RoundReport IngestServer::run_round() {
   VS_REQUIRE(!finished_, "ingest server already finished");
+  const std::uint64_t round_t0 =
+      slo_ != nullptr ? obs::SloMonitor::now_ns() : 0;
   batch_.clear();
   std::int64_t depth_peak = 0;
   for (auto& q : queues_) {
@@ -83,6 +94,7 @@ RoundReport IngestServer::run_round() {
   const RoundReport rep = process_batch(batch_, depth_peak, upto);
   fold_reader_counters();
   net_->run_until(upto);
+  if (slo_ != nullptr) slo_->close_round(round_t0, upto.count());
   return rep;
 }
 
@@ -103,8 +115,31 @@ FindOutcome IngestServer::find(RegionId from, std::uint64_t object,
     frame.find.deadline_us = deadline.count();
     capture_->append(frame);
   }
-  return find_with_deadline(*net_, from, objects_[object], deadline,
-                            cfg_.find_attempts, cfg_.find_backoff);
+  return run_find(from, object, deadline);
+}
+
+FindOutcome IngestServer::run_find(RegionId from, std::uint64_t object,
+                                   sim::Duration deadline) {
+  const std::uint64_t t0 = slo_ != nullptr ? obs::SloMonitor::now_ns() : 0;
+  const FindOutcome o =
+      find_with_deadline(*net_, from, objects_[object], deadline,
+                         cfg_.find_attempts, cfg_.find_backoff);
+  // Deterministic RPC accounting (deadline misses derive from virtual
+  // time), shared verbatim between the live path and replay so a replayed
+  // world's counters equal the live run's.
+  stats::IngestCounters& ing = net_->counters().ingest();
+  ++ing.rpc_finds_issued;
+  ing.rpc_find_attempts += o.attempts;
+  if (o.done) {
+    ++ing.rpc_finds_done;
+  } else {
+    ++ing.rpc_deadline_misses;
+  }
+  if (slo_ != nullptr) {
+    const tracking::FindResult& fr = net_->find_result(o.id);
+    slo_->close_find(t0, net_->now().count(), fr.op, fr.distance, !o.done);
+  }
+  return o;
 }
 
 void IngestServer::finish() {
@@ -151,9 +186,8 @@ void IngestServer::replay_file(const std::string& path) {
           hier_->grid().region_at(frame.find.x, frame.find.y);
       // Re-capture verbatim so a capture-of-a-replay equals the original.
       if (capture_.has_value()) capture_->append(frame);
-      (void)find_with_deadline(*net_, from, objects_[frame.find.object],
-                               sim::Duration(frame.find.deadline_us),
-                               cfg_.find_attempts, cfg_.find_backoff);
+      (void)run_find(from, frame.find.object,
+                     sim::Duration(frame.find.deadline_us));
       continue;
     }
     const sim::TimePoint upto(frame.round.upto_us);
@@ -235,11 +269,20 @@ RoundReport IngestServer::process_batch(const std::vector<Pending>& batch,
       if (last[batch[i].object()] != i) keep[i] = 0;
     }
   }
+  // An update span closes when the frame is *resolved* — applied or
+  // suppressed, both at this round boundary. Dropped frames never carried a
+  // span; they reach the monitor as RED errors via fold_reader_counters.
+  const auto resolve_span = [&](const Pending& p) {
+    if (slo_ != nullptr && p.admit_ns != 0) {
+      slo_->close_update(p.admit_ns, upto.count());
+    }
+  };
   const geo::Tiling& tiling = hier_->tiling();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Pending& p = batch[i];
     if (keep[i] == 0) {
       ++rep.suppressed;
+      resolve_span(p);
       continue;
     }
     // Tier 2: dead-band — a fix within dead_band hops of the object's live
@@ -248,11 +291,13 @@ RoundReport IngestServer::process_batch(const std::vector<Pending>& batch,
       const RegionId cur = net_->evaders().region_of(objects_[p.object()]);
       if (tiling.distance(cur, p.region) <= cfg_.dead_band) {
         ++rep.suppressed;
+        resolve_span(p);
         continue;
       }
     }
     apply_update(p);
     ++rep.applied;
+    resolve_span(p);
   }
   ing.applied += rep.applied;
   ing.suppressed += rep.suppressed;
@@ -290,9 +335,15 @@ void IngestServer::fold_reader_counters() {
   // identity on both sides at once.
   ing.ingested += d - folded_dropped_;
   ing.dropped += d - folded_dropped_;
-  folded_dropped_ = d;
   const std::int64_t w = wire_errors_.load(std::memory_order_acquire);
   ing.wire_errors += w - folded_wire_errors_;
+  if (slo_ != nullptr) {
+    // RED errors for the update class: requests that failed before a span
+    // could resolve (tier-3/overflow drops, malformed frames).
+    slo_->note_errors(obs::SloClass::kUpdate, net_->now().count(),
+                      (d - folded_dropped_) + (w - folded_wire_errors_));
+  }
+  folded_dropped_ = d;
   folded_wire_errors_ = w;
 }
 

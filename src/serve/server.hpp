@@ -52,6 +52,10 @@
 #include "sim/time.hpp"
 #include "tracking/network.hpp"
 
+namespace vs::obs {
+class SloMonitor;
+}
+
 namespace vs::serve {
 
 struct ServeConfig {
@@ -154,10 +158,21 @@ class IngestServer {
   /// Ladder tier of the most recent round.
   [[nodiscard]] int current_tier() const { return tier_; }
 
+  /// Attach request-level SLO monitoring (null = off, the default). Spans
+  /// open at offer()-admission / find issue and close at round resolution
+  /// / RPC return; the monitor's data stays in its VSSLO1 sidecar, so
+  /// every deterministic artifact is byte-identical with or without one.
+  /// The monitor must outlive the server; attach before ingestion starts.
+  void set_slo(obs::SloMonitor* slo);
+
  private:
   struct Pending {
     UpdateFrame update;  // the wire frame, verbatim (capture re-emits it)
     RegionId region{};   // resolved target region
+    /// Wall clock at offer()-admission (SLO update span open); 0 when no
+    /// monitor is attached or the frame came from a replayed capture.
+    /// Never serialized — captures hold only the wire frame.
+    std::uint64_t admit_ns = 0;
     [[nodiscard]] std::uint64_t object() const { return update.object; }
   };
 
@@ -176,10 +191,15 @@ class IngestServer {
   /// Fold reader-side atomics into the world's WorkCounters (driver only).
   void fold_reader_counters();
   void apply_update(const Pending& p);
+  /// The shared find body (live + replay): deadline RPC, deterministic
+  /// rpc_* counter accounting, SLO find span.
+  FindOutcome run_find(RegionId from, std::uint64_t object,
+                       sim::Duration deadline);
 
   tracking::TrackingNetwork* net_;
   const hier::GridHierarchy* hier_;
   ServeConfig cfg_;
+  obs::SloMonitor* slo_ = nullptr;
   std::vector<std::unique_ptr<SpscQueue<Pending>>> queues_;
   std::vector<TargetId> objects_;
   std::optional<IngestWriter> capture_;

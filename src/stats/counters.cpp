@@ -239,9 +239,19 @@ WorkCounters WorkCounters::delta_since(const WorkCounters& earlier) const {
     d.ingest_.shed_tier_entries[i] =
         ingest_.shed_tier_entries[i] - earlier.ingest_.shed_tier_entries[i];
   }
+  d.ingest_.rpc_finds_issued =
+      ingest_.rpc_finds_issued - earlier.ingest_.rpc_finds_issued;
+  d.ingest_.rpc_finds_done =
+      ingest_.rpc_finds_done - earlier.ingest_.rpc_finds_done;
+  d.ingest_.rpc_deadline_misses =
+      ingest_.rpc_deadline_misses - earlier.ingest_.rpc_deadline_misses;
+  d.ingest_.rpc_find_attempts =
+      ingest_.rpc_find_attempts - earlier.ingest_.rpc_find_attempts;
   // The peak is a gauge, not a counter: a window's high-water mark is the
-  // later instant's, never a difference.
+  // later instant's, never a difference. Likewise the retry-after hint is
+  // a config constant, not a rate.
   d.ingest_.queue_depth_peak = ingest_.queue_depth_peak;
+  d.ingest_.retry_after_us = ingest_.retry_after_us;
   return d;
 }
 
@@ -312,7 +322,12 @@ void WorkCounters::to_json(std::ostream& os, int indent) const {
        << ", \"wire_errors\": " << ingest_.wire_errors
        << ", \"shed_tier_entries\": [" << ingest_.shed_tier_entries[0] << ", "
        << ingest_.shed_tier_entries[1] << ", " << ingest_.shed_tier_entries[2]
-       << "], \"queue_depth_peak\": " << ingest_.queue_depth_peak << "}";
+       << "], \"queue_depth_peak\": " << ingest_.queue_depth_peak
+       << ", \"rpc_finds_issued\": " << ingest_.rpc_finds_issued
+       << ", \"rpc_finds_done\": " << ingest_.rpc_finds_done
+       << ", \"rpc_deadline_misses\": " << ingest_.rpc_deadline_misses
+       << ", \"rpc_find_attempts\": " << ingest_.rpc_find_attempts
+       << ", \"retry_after_us\": " << ingest_.retry_after_us << "}";
   }
   os << "\n" << pad << "}";
 }
@@ -357,8 +372,14 @@ void WorkCounters::accumulate(const WorkCounters& other) {
   for (std::size_t i = 0; i < 3; ++i) {
     ingest_.shed_tier_entries[i] += other.ingest_.shed_tier_entries[i];
   }
+  ingest_.rpc_finds_issued += other.ingest_.rpc_finds_issued;
+  ingest_.rpc_finds_done += other.ingest_.rpc_finds_done;
+  ingest_.rpc_deadline_misses += other.ingest_.rpc_deadline_misses;
+  ingest_.rpc_find_attempts += other.ingest_.rpc_find_attempts;
   ingest_.queue_depth_peak =
       std::max(ingest_.queue_depth_peak, other.ingest_.queue_depth_peak);
+  ingest_.retry_after_us =
+      std::max(ingest_.retry_after_us, other.ingest_.retry_after_us);
 }
 
 }  // namespace vs::stats

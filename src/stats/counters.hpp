@@ -102,11 +102,25 @@ struct IngestCounters {
   std::array<std::int64_t, 3> shed_tier_entries{};
   std::int64_t queue_depth_peak = 0;  // high-water mark across region queues
 
+  // Find-RPC accounting (IngestServer::find and its replay twin). All four
+  // derive from virtual time only — deadline misses are deterministic — so
+  // they are safe for byte-identity artifacts like VSTELEM1 v3.
+  std::int64_t rpc_finds_issued = 0;
+  std::int64_t rpc_finds_done = 0;
+  std::int64_t rpc_deadline_misses = 0;
+  std::int64_t rpc_find_attempts = 0;
+  /// The tier-3 retry-after hint in microseconds — a config-derived gauge
+  /// (2× the round), set when an IngestServer attaches. Excluded from
+  /// any() so an idle server does not change counter JSON.
+  std::int64_t retry_after_us = 0;
+
   [[nodiscard]] bool any() const {
     return ingested != 0 || applied != 0 || suppressed != 0 || dropped != 0 ||
            wire_errors != 0 || shed_tier_entries[0] != 0 ||
            shed_tier_entries[1] != 0 || shed_tier_entries[2] != 0 ||
-           queue_depth_peak != 0;
+           queue_depth_peak != 0 || rpc_finds_issued != 0 ||
+           rpc_finds_done != 0 || rpc_deadline_misses != 0 ||
+           rpc_find_attempts != 0;
   }
 };
 

@@ -362,6 +362,87 @@ TEST(Metrics, PercentileClampsToObservedRangeOnOverflowBucket) {
   EXPECT_EQ(h.percentile(0.99), 5000);  // clamped to max, not +inf
 }
 
+// Log-bucketed histograms are the SLO monitor's latency currency: merge is
+// the TrialPool / sidecar fold, percentile the alert threshold, from_parts
+// the VSSLO1 reader. All three have to agree bucket-for-bucket.
+
+TEST(Metrics, Log2BoundsDoubleFromLoToHi) {
+  const std::vector<std::int64_t> b = obs::log2_bounds(1'000, 8'000);
+  EXPECT_EQ(b, (std::vector<std::int64_t>{1'000, 2'000, 4'000, 8'000}));
+  // hi between bounds: the ladder runs to the first bound >= hi.
+  EXPECT_EQ(obs::log2_bounds(1, 5).back(), 8);
+  EXPECT_EQ(obs::log2_bounds(7, 7), (std::vector<std::int64_t>{7}));
+}
+
+TEST(Metrics, LogBucketMergeSumsBucketsAndTallies) {
+  const std::vector<std::int64_t> bounds = obs::log2_bounds(1, 1024);
+  obs::Histogram a{std::span<const std::int64_t>(bounds)};
+  obs::Histogram b{std::span<const std::int64_t>(bounds)};
+  for (const std::int64_t v : {1, 3, 700}) a.record(v);
+  for (const std::int64_t v : {2, 3, 5'000}) b.record(v);  // 5000 overflows
+
+  obs::Histogram ab = a;
+  ab.merge(b);
+  obs::Histogram ba = b;
+  ba.merge(a);
+  // Commutative merge: trial-index order is a determinism convention, not
+  // a correctness requirement.
+  EXPECT_EQ(ab.buckets(), ba.buckets());
+  EXPECT_EQ(ab.count(), 6);
+  EXPECT_EQ(ab.sum(), 1 + 3 + 700 + 2 + 3 + 5'000);
+  EXPECT_EQ(ab.min(), 1);
+  EXPECT_EQ(ab.max(), 5'000);
+  EXPECT_EQ(ab.buckets().back(), 1) << "the overflow sample";
+  std::int64_t total = 0;
+  for (const std::int64_t c : ab.buckets()) total += c;
+  EXPECT_EQ(total, ab.count()) << "every sample lands in exactly one bucket";
+
+  // Merging an empty histogram is the identity, in both directions.
+  obs::Histogram empty{std::span<const std::int64_t>(bounds)};
+  obs::Histogram ab2 = ab;
+  ab2.merge(empty);
+  EXPECT_EQ(ab2.buckets(), ab.buckets());
+  EXPECT_EQ(ab2.min(), ab.min());
+  empty.merge(ab);
+  EXPECT_EQ(empty.buckets(), ab.buckets());
+  EXPECT_EQ(empty.count(), ab.count());
+}
+
+TEST(Metrics, LogBucketPercentileAtBucketEdges) {
+  const std::vector<std::int64_t> bounds = obs::log2_bounds(1, 8);
+  obs::Histogram h{std::span<const std::int64_t>(bounds)};
+  // One sample exactly on every bound: 1, 2, 4, 8.
+  for (const std::int64_t v : bounds) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 1) << "q=0 is the observed minimum";
+  EXPECT_EQ(h.percentile(1.0), 8) << "q=1 is the observed maximum";
+  EXPECT_EQ(h.percentile(0.25), 1) << "the first quarter sits in bucket 0";
+  // A single-sample histogram answers every quantile with that sample.
+  obs::Histogram one{std::span<const std::int64_t>(bounds)};
+  one.record(4);
+  EXPECT_EQ(one.percentile(0.0), 4);
+  EXPECT_EQ(one.percentile(0.5), 4);
+  EXPECT_EQ(one.percentile(0.999), 4);
+}
+
+TEST(Metrics, HistogramFromPartsRoundTrips) {
+  const std::vector<std::int64_t> bounds = obs::log2_bounds(1'000, 1 << 20);
+  obs::Histogram h{std::span<const std::int64_t>(bounds)};
+  for (const std::int64_t v : {1'500, 3'000, 3'000, 900'000}) h.record(v);
+  const obs::Histogram back = obs::Histogram::from_parts(
+      h.bounds(), h.buckets(), h.count(), h.sum(), h.min(), h.max());
+  EXPECT_EQ(back.bounds(), h.bounds());
+  EXPECT_EQ(back.buckets(), h.buckets());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum(), h.sum());
+  EXPECT_EQ(back.percentile(0.5), h.percentile(0.5));
+  EXPECT_EQ(back.percentile(0.99), h.percentile(0.99));
+  // A reconstructed histogram keeps recording and merging like the
+  // original — the sidecar reader's output is a first-class histogram.
+  obs::Histogram grown = back;
+  grown.merge(h);
+  EXPECT_EQ(grown.count(), 2 * h.count());
+}
+
 // ---------------------------------------------------------------------------
 // trace_io hardening: short and damaged files fail loudly in the library
 // and make the tool exit 1 with a diagnostic.

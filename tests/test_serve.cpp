@@ -561,8 +561,9 @@ TEST(ServeTelemetry, SeriesNamesIncludeIngestBlock) {
   EXPECT_EQ(names[obs::kTsIngestBase + 7], "ingest_queue_depth_peak");
 }
 
-// A handcrafted v1 stream (the PR-7 layout, no ingest block) must widen
-// to the v2 layout with zeroed ingest series — the VSTRACE1 v2→v3 idiom.
+// A handcrafted v1 stream (the PR-7 layout, no ingest and no serve
+// block) must widen to the current layout with both blocks zeroed —
+// the VSTRACE1 v2→v3 idiom.
 TEST(ServeTelemetry, V1StreamWidensWithZeroedIngestSeries) {
   std::string bytes = "VSTELEM1";
   const auto put32 = [&](std::uint32_t v) {
@@ -581,8 +582,10 @@ TEST(ServeTelemetry, V1StreamWidensWithZeroedIngestSeries) {
     } while (u != 0);
   };
   const std::uint32_t max_level = 1;
-  const std::uint32_t v1_series =
-      obs::kTsFixedCount - obs::kTsIngestSeriesCount + 4 * (max_level + 1);
+  const std::uint32_t v1_series = obs::kTsFixedCount -
+                                  obs::kTsIngestSeriesCount -
+                                  obs::kTsServeSeriesCount +
+                                  4 * (max_level + 1);
   put32(1);  // version: the pre-ingest layout
   put32(0);  // flags
   put64(10'000);  // cadence_us
@@ -602,12 +605,16 @@ TEST(ServeTelemetry, V1StreamWidensWithZeroedIngestSeries) {
   spit(path, bytes);
   const obs::TelemetryFile f = obs::read_telemetry_file(path, true);
   EXPECT_EQ(f.header.version, obs::kTelemetryFormatVersion);
-  EXPECT_EQ(f.header.series, v1_series + obs::kTsIngestSeriesCount);
+  EXPECT_EQ(f.header.series, v1_series + obs::kTsIngestSeriesCount +
+                                 obs::kTsServeSeriesCount);
   ASSERT_EQ(f.samples.size(), 1u);
   const obs::TelemetrySample& s = f.samples[0];
   ASSERT_EQ(s.values.size(), f.header.series);
   for (std::uint32_t i = 0; i < obs::kTsIngestSeriesCount; ++i) {
     EXPECT_EQ(s.values[obs::kTsIngestBase + i], 0) << "ingest series " << i;
+  }
+  for (std::uint32_t i = 0; i < obs::kTsServeSeriesCount; ++i) {
+    EXPECT_EQ(s.values[obs::kTsServeBase + i], 0) << "serve series " << i;
   }
   // The pre-ingest prefix and the per-level suffix keep their values.
   EXPECT_EQ(s.values[obs::kTsAuditBase + 3], obs::kTsAuditBase + 3);

@@ -32,7 +32,13 @@
 # daemon: a 2×-capacity load burst under a chaos fault plan must finish
 # incident-free with the conservation identity intact and the shed
 # ladder visible in the Prometheus snapshot, and its VSINGEST1 capture
-# must replay to a byte-identical world trace at 1/2/4 shards.
+# must replay to a byte-identical world trace at 1/2/4 shards. An SLO
+# stage pins request-level observability: arming a spec must leave
+# every deterministic artifact (stdout, trace, telemetry, capture)
+# byte-identical to the unarmed run at 1/2/4 shards, a tight find-p99
+# objective under 2× overdrive chaos must fire a burn-rate incident
+# mid-run, and that incident's exemplar OpId must resolve to real span
+# events in the trace that survive a capture replay byte-identically.
 #
 #   tools/check.sh              # all stages
 #   tools/check.sh --plain      # stage 1 only
@@ -46,6 +52,7 @@
 #   tools/check.sh --perf       # stage 9 only (reuses build-check/)
 #   tools/check.sh --no-profile # stage 10 only
 #   tools/check.sh --serve      # stage 11 only (reuses build-check/)
+#   tools/check.sh --slo        # stage 12 only (reuses build-check/)
 #
 # Build trees: build-check/ (plain), build-tsan/ (TSan),
 # build-notrace/ (-DVINESTALK_TRACE=OFF), and build-noprof/
@@ -77,7 +84,7 @@ run_tsan() {
   cmake -B "$root/build-tsan" -S "$root" -DVINESTALK_SANITIZE=thread > /dev/null
   cmake --build "$root/build-tsan" -j "$jobs" \
     --target test_concurrent test_runner test_obs test_monitor test_fault \
-    test_audit test_shard test_telemetry test_profile test_serve \
+    test_audit test_shard test_telemetry test_profile test_serve test_slo \
     bench_e2_move_scaling
   "$root/build-tsan/tests/test_concurrent"
   "$root/build-tsan/tests/test_runner"
@@ -90,6 +97,8 @@ run_tsan() {
   "$root/build-tsan/tests/test_profile"
   # The ingest daemon's reader/driver handshake and SPSC rings under TSan.
   "$root/build-tsan/tests/test_serve"
+  # SLO spans close on the driver thread while RPC finds run concurrently.
+  "$root/build-tsan/tests/test_slo"
   "$root/build-tsan/bench/bench_e2_move_scaling" --jobs 4 > /dev/null
   echo "TSan stage clean (zero reports would have aborted the run)."
 }
@@ -99,7 +108,7 @@ run_notrace() {
   cmake -B "$root/build-notrace" -S "$root" -DVINESTALK_TRACE=OFF > /dev/null
   cmake --build "$root/build-notrace" -j "$jobs" \
     --target test_obs test_sim test_audit test_telemetry test_profile \
-    test_serve example_quickstart
+    test_serve test_slo example_quickstart
   "$root/build-notrace/tests/test_obs"
   "$root/build-notrace/tests/test_sim"
   # The op-ledger API must compile to no-ops: the trace-dependent audit
@@ -114,6 +123,9 @@ run_notrace() {
   # And the serve daemon: the trace-gated byte-identity tests skip
   # themselves, the wire-format/ladder/conservation pins still run.
   "$root/build-notrace/tests/test_serve"
+  # The SLO layer has no trace dependency for spec/monitor/sidecar logic;
+  # only the daemon byte-identity and exemplar-replay tests skip.
+  "$root/build-notrace/tests/test_slo"
   "$root/build-notrace/examples/example_quickstart" > /dev/null
   echo "Compiled-out stage clean (record points are dead code)."
 }
@@ -393,11 +405,18 @@ run_perf() {
   # The trajectory gate must append a machine-stamped history row and pass
   # against the committed baseline (a foreign machine fingerprint makes the
   # gate advisory, which still exits 0 — that is the intended behavior).
-  "$root/build-check/tools/vinestalk_bench" --quick \
+  # (cd: the bench drops its BENCH_serve.json artifact in the CWD.)
+  (cd "$dir" && "$root/build-check/tools/vinestalk_bench" --quick \
     --history="$dir/history.jsonl" \
-    --baseline="$root/docs/perf/BENCH_baseline.json" --check
+    --baseline="$root/docs/perf/BENCH_baseline.json" --check)
   grep -q '"cpu_model"' "$dir/history.jsonl" || {
     echo "FAIL: history row carries no machine stamp" >&2; exit 1; }
+  grep -q '"serve_updates_per_sec"' "$dir/history.jsonl" || {
+    echo "FAIL: history row carries no daemon serving metrics" >&2
+    exit 1; }
+  grep -q '"serve_find_p99_us"' "$dir/BENCH_serve.json" || {
+    echo "FAIL: bench wrote no BENCH_serve.json daemon artifact" >&2
+    exit 1; }
   rm -rf "$dir"
   echo "Perf stage clean (sidecar folds, artifacts profile-invariant," \
        "gate passed)."
@@ -494,9 +513,163 @@ EOF
        "capture replays byte-identically at 1/2/4 shards)."
 }
 
+run_slo() {
+  echo "== stage 12: request-level SLO observability =="
+  cmake -B "$root/build-check" -S "$root" -DVINESTALK_TRACE=ON > /dev/null
+  cmake --build "$root/build-check" -j "$jobs" \
+    --target vinestalk_served vinestalk_trace vinestalk_top
+  local dir
+  dir="$(mktemp -d /tmp/vs_slo.XXXXXX)"
+  cat > "$dir/loose.slo" <<'EOF'
+slo v1
+objective find p99 <= 500000000ns
+availability >= 99.900
+window short 300000000us long 3600000000us
+burn fast 14.40 slow 6.00
+clock virtual
+end
+EOF
+  cat > "$dir/tight.slo" <<'EOF'
+slo v1
+objective find p99 <= 1ns
+window short 300000000us long 3600000000us
+burn fast 1.00 slow 1.00
+clock virtual
+end
+EOF
+  local args=(--side 27 --base 3 --objects 4 --queues 4 --queue-capacity 64
+              --load 24 --overdrive 2 --seed 42 --find-every 8)
+  # Quarantine doctrine: arming an SLO spec must not move a single byte in
+  # any deterministic artifact — stdout, VSTRACE1, VSTELEM1, VSINGEST1 —
+  # at any shard count. All SLO chatter rides stderr and the sidecar.
+  for n in 1 2 4; do
+    # The stdout banner names the shard count, so the unarmed baseline is
+    # taken per shard; the binary artifacts are shard-invariant anyway
+    # (stage 7/11 territory) — here only armed-vs-unarmed is on trial.
+    "$root/build-check/tools/vinestalk_served" "${args[@]}" --shards "$n" \
+      --trace "$dir/off$n.vst" --telemetry "$dir/off$n.vstelem" \
+      --capture "$dir/off$n.vsingest" > "$dir/off$n.out" 2> /dev/null
+    "$root/build-check/tools/vinestalk_served" "${args[@]}" --shards "$n" \
+      --trace "$dir/on$n.vst" --telemetry "$dir/on$n.vstelem" \
+      --capture "$dir/on$n.vsingest" \
+      --slo "$dir/loose.slo" --slo-out "$dir/on$n.vsslo" \
+      --prometheus "$dir/on$n.prom" > "$dir/on$n.out" 2> /dev/null
+    diff "$dir/off$n.out" "$dir/on$n.out" || {
+      echo "FAIL: SLO monitoring changed stdout at --shards $n" >&2
+      exit 1; }
+    cmp "$dir/off$n.vst" "$dir/on$n.vst" || {
+      echo "FAIL: SLO monitoring changed the trace at --shards $n" >&2
+      exit 1; }
+    cmp "$dir/off$n.vstelem" "$dir/on$n.vstelem" || {
+      echo "FAIL: SLO monitoring changed telemetry at --shards $n" >&2
+      exit 1; }
+    cmp "$dir/off$n.vsingest" "$dir/on$n.vsingest" || {
+      echo "FAIL: SLO monitoring changed the capture at --shards $n" >&2
+      exit 1; }
+  done
+  # The sidecar + JSON twin carry the report; both renderers must read it,
+  # and the top panel must join it with the telemetry stream. The serve
+  # block (wire errors, retry-after) and the SLO gauges must surface in
+  # the Prometheus snapshot.
+  [ -s "$dir/on1.vsslo" ] || { echo "FAIL: no SLO sidecar" >&2; exit 1; }
+  [ -s "$dir/on1.vsslo.json" ] || {
+    echo "FAIL: no SLO JSON twin" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" slo "$dir/on1.vsslo" \
+    > "$dir/slo.summary"
+  grep -q "VSSLO1 report:" "$dir/slo.summary" || {
+    echo "FAIL: vinestalk_trace cannot summarize the sidecar" >&2
+    cat "$dir/slo.summary" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" slo "$dir/on1.vsslo" --csv \
+    > "$dir/slo.csv"
+  head -1 "$dir/slo.csv" | grep -q "^series,le_ns,count$" || {
+    echo "FAIL: SLO CSV header malformed" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_top" "$dir/on1.vstelem" --once \
+    --slo "$dir/on1.vsslo" > "$dir/top.out"
+  grep -q "slo (virtual windows" "$dir/top.out" || {
+    echo "FAIL: vinestalk_top renders no SLO panel" >&2
+    cat "$dir/top.out" >&2; exit 1; }
+  grep -q "wire errors" "$dir/top.out" || {
+    echo "FAIL: vinestalk_top ingest line shows no wire-error tally" >&2
+    cat "$dir/top.out" >&2; exit 1; }
+  grep -q "^vinestalk_slo_requests_total" "$dir/on1.prom" || {
+    echo "FAIL: no SLO series in the Prometheus snapshot" >&2
+    cat "$dir/on1.prom" >&2; exit 1; }
+  grep -q "^vinestalk_telemetry_ingest_wire_errors " "$dir/on1.prom" || {
+    echo "FAIL: no wire-error series in the Prometheus snapshot" >&2
+    exit 1; }
+  grep -q "^vinestalk_telemetry_ingest_retry_after_us " "$dir/on1.prom" || {
+    echo "FAIL: no retry-after series in the Prometheus snapshot" >&2
+    exit 1; }
+  # A tight find-p99 objective under 2× overdrive chaos must burn through
+  # its budget and fire a replayable incident mid-run — and the burn alert
+  # must not disturb the run's own health checks.
+  cat > "$dir/chaos.plan" <<'EOF'
+faultplan v1
+seed 77
+loss from 2000 until 20000 rate 0.05
+jitter from 5000 until 25000 rate 0.2 advance 500
+recovery base 1000000 per-fault 200000
+end
+EOF
+  "$root/build-check/tools/vinestalk_served" "${args[@]}" --monitor \
+    --fault-plan "$dir/chaos.plan" --incident-dir "$dir" \
+    --slo "$dir/tight.slo" > "$dir/burn.out" 2> "$dir/burn.err"
+  grep -q "SLO BURN" "$dir/burn.err" || {
+    echo "FAIL: tight objective under overdrive never fired" >&2
+    cat "$dir/burn.err" >&2; exit 1; }
+  grep -q "conservation OK" "$dir/burn.out" || {
+    echo "FAIL: SLO burn run broke the conservation identity" >&2
+    cat "$dir/burn.out" >&2; exit 1; }
+  [ -f "$dir/incident_slo_0.vsi" ] || {
+    echo "FAIL: no SLO incident bundle in $dir" >&2; exit 1; }
+  rm -f "$dir"/incident_slo_*.vsi
+  # Exemplar → OpId → trace: fire the same objective on a captured,
+  # fault-free run; the incident's slowest find exemplar must name an
+  # OpId whose span events exist in the live trace, and a 2-shard replay
+  # of the capture must reproduce that trace (and those spans) exactly.
+  "$root/build-check/tools/vinestalk_served" "${args[@]}" \
+    --incident-dir "$dir" --slo "$dir/tight.slo" \
+    --trace "$dir/live.vst" --capture "$dir/session.vsingest" \
+    > /dev/null 2> /dev/null
+  [ -f "$dir/incident_slo_0.vsi" ] || {
+    echo "FAIL: no SLO incident bundle from the captured run" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" incident \
+    "$dir/incident_slo_0.vsi" > "$dir/incident.out"
+  grep -q "slo exemplars" "$dir/incident.out" || {
+    echo "FAIL: incident bundle carries no SLO exemplars" >&2
+    cat "$dir/incident.out" >&2; exit 1; }
+  local find_id
+  find_id="$(grep -oE 'find#[0-9]+' "$dir/incident.out" | head -1 |
+             cut -d# -f2 || true)"
+  [ -n "$find_id" ] || {
+    echo "FAIL: no find exemplar OpId in the incident" >&2
+    cat "$dir/incident.out" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_trace" spans "$dir/live.vst" \
+    "$find_id" > "$dir/spans.live"
+  grep -q "not present" "$dir/spans.live" && {
+    echo "FAIL: exemplar find #$find_id absent from the live trace" >&2
+    cat "$dir/spans.live" >&2; exit 1; }
+  "$root/build-check/tools/vinestalk_served" \
+    --side 27 --base 3 --objects 4 --queues 4 --queue-capacity 64 \
+    --shards 2 --replay "$dir/session.vsingest" \
+    --trace "$dir/replay.vst" > /dev/null
+  cmp "$dir/live.vst" "$dir/replay.vst" || {
+    echo "FAIL: replay trace differs from live (SLO-armed) run" >&2
+    exit 1; }
+  "$root/build-check/tools/vinestalk_trace" spans "$dir/replay.vst" \
+    "$find_id" > "$dir/spans.replay"
+  diff "$dir/spans.live" "$dir/spans.replay" || {
+    echo "FAIL: exemplar spans differ between live and replay" >&2
+    exit 1; }
+  rm -rf "$dir"
+  echo "SLO stage clean (artifacts identical armed vs not at 1/2/4" \
+       "shards, burn incident fired, exemplar replayed byte-identically)."
+}
+
 case "$stage" in
   all) run_plain; run_tsan; run_notrace; run_monitor; run_chaos; run_audit
-       run_shard; run_telemetry; run_perf; run_noprof; run_serve ;;
+       run_shard; run_telemetry; run_perf; run_noprof; run_serve
+       run_slo ;;
   --plain) run_plain ;;
   --tsan) run_tsan ;;
   --no-trace) run_notrace ;;
@@ -508,7 +681,8 @@ case "$stage" in
   --perf) run_perf ;;
   --no-profile) run_noprof ;;
   --serve) run_serve ;;
-  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry|--perf|--no-profile|--serve]" >&2
+  --slo) run_slo ;;
+  *) echo "usage: tools/check.sh [--plain|--tsan|--no-trace|--monitor|--chaos|--audit|--shard|--telemetry|--perf|--no-profile|--serve|--slo]" >&2
      exit 2 ;;
 esac
 echo "check.sh: all stages passed"

@@ -62,6 +62,13 @@
 //                              `vinestalk_top <path>`, summarize with
 //                              `vinestalk_trace telemetry <path>`
 //   telemetry off              finish the stream (writes the trailer)
+//   slo <spec-file>            arm request-level SLO monitoring (`slo v1`
+//                              spec) on this session: deadline-mode finds
+//                              get latency spans, and the spec text is
+//                              embedded in any incident bundles the
+//                              watchdog writes (ScenarioSpec.slo_spec)
+//   slo report                 print the monitor's per-objective burn
+//                              windows and find percentiles
 //   quit
 //
 // The binary takes `--jobs N` (default: hardware concurrency) for the
@@ -75,8 +82,10 @@
 //   printf 'world 27 3\nevader 20 6\nfind 0 26 0\nstats\n' | vinestalk_cli
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <optional>
@@ -92,6 +101,7 @@
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
 #include "obs/op.hpp"
+#include "obs/slo/slo.hpp"
 #include "obs/telemetry/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "spec/bounds.hpp"
@@ -290,9 +300,16 @@ class Cli {
       FindId f{};
       if (deadline_us > 0) {
         scenario_.replayable_flag = false;  // deadline pacing isn't captured
+        const std::uint64_t t0 =
+            slo_ != nullptr ? obs::SloMonitor::now_ns() : 0;
         const serve::FindOutcome o = serve::find_with_deadline(
             *net_, from, t, sim::Duration::micros(deadline_us), attempts,
             sim::Duration::micros(backoff_us));
+        if (slo_ != nullptr) {
+          const tracking::FindResult& fr = net_->find_result(o.id);
+          slo_->close_find(t0, net_->now().count(), fr.op, fr.distance,
+                           !o.done);
+        }
         if (!o.done) {
           out << "find missed a " << deadline_us << "us deadline "
               << o.attempts << " time(s); retry after " << o.retry_after
@@ -424,6 +441,41 @@ class Cli {
             << cfg.cadence.count() << "us\n";
       } else {
         out << "usage: telemetry <path> [cadence-us] | telemetry off\n";
+      }
+    } else if (cmd == "slo") {
+      std::string sub;
+      ss >> sub;
+      if (sub == "report") {
+        VS_REQUIRE(slo_ != nullptr, "no SLO monitor armed (slo <spec-file>)");
+        slo_->evaluate(net_->now().count());
+        const obs::SloReport rep = slo_->report();
+        const auto& finds =
+            rep.classes[static_cast<std::size_t>(obs::SloClass::kFind)];
+        out << "slo: " << finds.requests << " find(s), " << finds.errors
+            << " error(s); latency us p50="
+            << finds.latency.percentile(0.50) / 1000
+            << " p99=" << finds.latency.percentile(0.99) / 1000 << "\n";
+        for (std::size_t i = 0; i < rep.objectives.size(); ++i) {
+          const obs::SloObjectiveState& o = rep.objectives[i];
+          out << "  " << o.name << ": burn short " << o.burn_short_centi
+              << "c long " << o.burn_long_centi << "c, budget "
+              << rep.budget_remaining_milli(i) << "m left"
+              << (o.fired ? " [FIRED]" : "") << "\n";
+        }
+      } else if (!sub.empty()) {
+        std::ifstream sin(sub);
+        VS_REQUIRE(sin.good(), "cannot open SLO spec " << sub);
+        const std::string text((std::istreambuf_iterator<char>(sin)),
+                               std::istreambuf_iterator<char>());
+        slo_ = std::make_unique<obs::SloMonitor>(obs::SloSpec::parse(text));
+        // The spec rides in the scenario so any incident the watchdog
+        // writes carries the objectives the run was judged against.
+        scenario_.slo_spec = slo_->spec().to_string();
+        if (watchdog_) watchdog_->set_scenario(scenario_);
+        out << "slo armed: " << slo_->spec().objectives.size()
+            << " objective(s)\n";
+      } else {
+        out << "usage: slo <spec-file> | slo report\n";
       }
     } else if (cmd == "monitor") {
       const TargetId t = target(ss);
@@ -655,6 +707,7 @@ class Cli {
   std::unique_ptr<tracking::TrackingNetwork> net_;
   std::unique_ptr<obs::Watchdog> watchdog_;  // declared after net_: dies first
   std::unique_ptr<obs::TelemetrySampler> telemetry_;  // ditto
+  std::unique_ptr<obs::SloMonitor> slo_;
   std::unique_ptr<fault::FaultInjector> injector_;  // ditto
   std::optional<fault::FaultPlan> pending_faults_;  // VS_FAULTS, pre-evader
   obs::ScenarioSpec scenario_;

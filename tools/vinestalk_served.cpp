@@ -53,16 +53,28 @@
 //                        VSTELEM1 stream (+ Prometheus snapshot) with the
 //                        ingest series
 //   --trace <path>       dump the world's VSTRACE1 trace at exit
+//   --slo <spec-file>    arm request-level SLO monitoring with the given
+//                        `slo v1` spec (env fallback: VS_SLO=). Burn-rate
+//                        incidents land in --incident-dir as
+//                        incident_slo_N.vsi and print to stderr; every
+//                        deterministic artifact (trace, telemetry, capture,
+//                        stdout) stays byte-identical SLO on vs off.
+//   --slo-out <path>     VSSLO1 sidecar (+ <path>.json twin) written at
+//                        exit (env fallback: VS_SLO_OUT=; requires --slo)
 //
 // Exit status: 0 on a clean run; 1 on a wire-format error, a watchdog
 // violation, or a broken conservation identity
 // (ingested == applied + suppressed + dropped — checked every run).
+// A fired SLO burn-rate alert never changes the exit status: alerting is
+// observability, not a verdict on the run.
 
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -77,6 +89,8 @@
 #include "hier/grid_hierarchy.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/watchdog.hpp"
+#include "obs/slo/slo.hpp"
+#include "obs/slo/slo_io.hpp"
 #include "obs/telemetry/telemetry.hpp"
 #include "obs/trace_io.hpp"
 #include "serve/ingest_io.hpp"
@@ -109,6 +123,8 @@ struct Options {
   std::int64_t telemetry_us = 10'000;
   std::string prometheus_path;
   std::string trace_path;
+  std::string slo_spec_path;
+  std::string slo_out_path;
 };
 
 /// splitmix64 — tiny deterministic PRNG for the load generator.
@@ -333,6 +349,10 @@ int main(int argc, char** argv) {
         opt.prometheus_path = val();
       } else if (arg == "--trace") {
         opt.trace_path = val();
+      } else if (arg == "--slo") {
+        opt.slo_spec_path = val();
+      } else if (arg == "--slo-out") {
+        opt.slo_out_path = val();
       } else if (arg == "--help" || arg == "-h") {
         return usage();
       } else {
@@ -341,6 +361,23 @@ int main(int argc, char** argv) {
     } catch (const Error& e) {
       return usage(e.what());
     }
+  }
+  // Env fallbacks so a wrapping harness can arm SLO monitoring without
+  // touching the command line (quickstart: VS_SLO=slo.txt vinestalk_served
+  // ...).
+  if (opt.slo_spec_path.empty()) {
+    if (const char* e = std::getenv("VS_SLO"); e != nullptr && *e != '\0') {
+      opt.slo_spec_path = e;
+    }
+  }
+  if (opt.slo_out_path.empty()) {
+    if (const char* e = std::getenv("VS_SLO_OUT");
+        e != nullptr && *e != '\0') {
+      opt.slo_out_path = e;
+    }
+  }
+  if (!opt.slo_out_path.empty() && opt.slo_spec_path.empty()) {
+    return usage("--slo-out needs --slo (or VS_SLO=) to arm a monitor");
   }
   const int modes = (opt.load_rounds >= 0 ? 1 : 0) +
                     (opt.from_stdin ? 1 : 0) +
@@ -373,6 +410,39 @@ int main(int argc, char** argv) {
       srv.add_object(hierarchy.grid().region_at(c, c));
     }
 
+    // Request-level SLO monitoring. All of its wall-clock data is
+    // quarantined in the VSSLO1 sidecar / JSON twin / Prometheus snapshot
+    // and the incident_slo_* bundles, so arming it leaves every
+    // deterministic artifact byte-identical.
+    std::optional<obs::SloMonitor> slo;
+    int slo_incidents = 0;
+    if (!opt.slo_spec_path.empty()) {
+      std::ifstream sin(opt.slo_spec_path);
+      VS_REQUIRE(sin.good(), "cannot open SLO spec " << opt.slo_spec_path);
+      const std::string spec_text((std::istreambuf_iterator<char>(sin)),
+                                  std::istreambuf_iterator<char>());
+      slo.emplace(obs::SloSpec::parse(spec_text));
+      obs::ScenarioSpec scen;
+      scen.side = opt.side;
+      scen.base = opt.base;
+      scen.model_vsa_failures = true;
+      scen.seed = opt.seed;
+      scen.t_restart_us = 5'000;
+      slo->set_scenario(std::move(scen));
+      slo->set_incident_sink([&](const obs::IncidentBundle& b) {
+        std::cerr << "SLO BURN " << b.violation.predicate << " at "
+                  << b.violation.time_us << "us\n";
+        if (!opt.incident_dir.empty()) {
+          const std::string path = opt.incident_dir + "/incident_slo_" +
+                                   std::to_string(slo_incidents) + ".vsi";
+          obs::write_incident_file(path, b);
+          std::cerr << "slo incident bundle written to " << path << "\n";
+        }
+        ++slo_incidents;
+      });
+      srv.set_slo(&*slo);
+    }
+
     // Observability: telemetry sampler (VSTELEM1 ingest series +
     // Prometheus), watchdog supervision, chaos plan, heartbeat stabilizer.
     std::optional<obs::TelemetrySampler> telemetry;
@@ -384,6 +454,7 @@ int main(int argc, char** argv) {
       tcfg.prometheus_path = opt.prometheus_path;
       tcfg.cadence = sim::Duration::micros(opt.telemetry_us);
       telemetry.emplace(net, tcfg);
+      if (slo.has_value()) telemetry->bind_slo(&*slo);
       telemetry->enable();
     }
     std::optional<obs::Watchdog> watchdog;
@@ -492,6 +563,22 @@ int main(int argc, char** argv) {
     if (telemetry.has_value()) telemetry->finish();
     if (!opt.trace_path.empty()) {
       obs::write_trace_file(opt.trace_path, net.trace());
+    }
+    if (slo.has_value()) {
+      slo->evaluate(net.now().count());
+      if (!opt.slo_out_path.empty()) {
+        const obs::SloReport rep = slo->report();
+        obs::write_slo_file(opt.slo_out_path, rep);
+        std::ofstream js(opt.slo_out_path + ".json", std::ios::trunc);
+        VS_REQUIRE(js.good(),
+                   "cannot write SLO JSON twin " << opt.slo_out_path
+                                                 << ".json");
+        obs::slo_to_json(js, rep);
+        // stderr, like the incident notices: stdout is one of the
+        // byte-identity artifacts and must not vary with --slo.
+        std::cerr << "slo sidecar written to " << opt.slo_out_path << " (+ "
+                  << opt.slo_out_path << ".json)\n";
+      }
     }
 
     // Summary + verdicts. The conservation identity is judged on every

@@ -17,6 +17,13 @@
 // written atomically at run end, so in live mode the panel appears once
 // the profiled run finishes; until then the frame says so.
 //
+// --slo <sidecar> adds an SLO panel from a VSSLO1 sidecar: per-class RED
+// lines (requests / errors / latency p50+p99), one burn-rate gauge per
+// objective with the remaining error budget, and the slowest-request
+// exemplar ticker with OpIds (feed a find exemplar's id to
+// `vinestalk_trace spans` for the causal chain). Same atomic-sidecar
+// semantics as --profile.
+//
 // --once reads the file a single time and renders one frame with no
 // escape codes and no wall-clock dependence: same file in, same bytes
 // out — the golden-test and scripting mode. Live mode redraws with a
@@ -36,8 +43,11 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/op.hpp"
 #include "obs/profile/profile_io.hpp"
 #include "obs/profile/profiler.hpp"
+#include "obs/slo/slo.hpp"
+#include "obs/slo/slo_io.hpp"
 #include "obs/telemetry/telemetry_io.hpp"
 
 namespace {
@@ -47,7 +57,8 @@ using vs::obs::TelemetrySample;
 
 int usage() {
   std::cerr << "usage: vinestalk_top <telemetry-file> [--once] "
-               "[--interval-ms N] [--profile <vsprof-sidecar>]\n";
+               "[--interval-ms N] [--profile <vsprof-sidecar>] "
+               "[--slo <vsslo-sidecar>]\n";
   return 1;
 }
 
@@ -146,6 +157,20 @@ void render(std::ostream& os, const std::string& path,
        << v(vs::obs::kTsIngestBase + 5) << " t3 "
        << v(vs::obs::kTsIngestBase + 6) << "; queue depth peak "
        << v(vs::obs::kTsIngestBase + 7) << "\n";
+    // Serve-RPC block (v3; older streams widen to zeros): reader-side
+    // wire errors ride the conservation story — frames that never became
+    // updates — and the tier-3 retry-after hint is the backpressure
+    // clients are being asked to honor.
+    os << "    wire errors " << v(vs::obs::kTsServeBase + 0)
+       << "; tier-3 retry-after " << v(vs::obs::kTsServeBase + 1)
+       << "us\n";
+    const std::int64_t rpc_issued = v(vs::obs::kTsServeBase + 2);
+    if (rpc_issued > 0) {
+      os << "    find rpcs: " << rpc_issued << " issued, "
+         << v(vs::obs::kTsServeBase + 3) << " done, "
+         << v(vs::obs::kTsServeBase + 4) << " deadline miss(es), "
+         << v(vs::obs::kTsServeBase + 5) << " attempt(s)\n";
+    }
   }
 
   // Bound gauges: milli-ratios, full scale = 2× the bound (so the 1.0×
@@ -218,6 +243,61 @@ void render_profile_panel(std::ostream& os, const std::string& profile_path) {
   }
 }
 
+/// SLO panel from a VSSLO1 sidecar. Integer math only (whole microseconds,
+/// milli budget, centi burn), so the frame is a pure function of the
+/// sidecar bytes — the golden test pins it.
+void render_slo(std::ostream& os, const vs::obs::SloReport& rep) {
+  os << "  slo (" << (rep.wall_clock ? "wall" : "virtual")
+     << " windows, t = " << rep.end_t_us << "us):\n";
+  for (std::size_t c = 0; c < vs::obs::kSloClasses; ++c) {
+    const auto& cs = rep.classes[c];
+    if (cs.requests == 0 && cs.errors == 0) continue;
+    os << "    " << std::left << std::setw(6)
+       << vs::obs::to_string(static_cast<vs::obs::SloClass>(c)) << std::right
+       << " " << cs.requests << " req, " << cs.errors << " err; latency us"
+       << " p50=" << cs.latency.percentile(0.50) / 1000
+       << " p99=" << cs.latency.percentile(0.99) / 1000 << "\n";
+  }
+  if (rep.find_ns_per_d.count() > 0) {
+    os << "    find ns/d p99 = " << rep.find_ns_per_d.percentile(0.99)
+       << "\n";
+  }
+  for (std::size_t i = 0; i < rep.objectives.size(); ++i) {
+    const vs::obs::SloObjectiveState& o = rep.objectives[i];
+    const std::int64_t budget = rep.budget_remaining_milli(i);
+    // Gauge shows the burn in the long window; full scale = the slow
+    // threshold x2, so the page-worthy line sits mid-bar.
+    os << "    " << o.name << "\n      burn "
+       << bar(static_cast<double>(o.burn_long_centi) / 1200.0, 20) << " "
+       << "short " << o.burn_short_centi / 100 << "."
+       << std::setw(2) << std::setfill('0') << o.burn_short_centi % 100
+       << std::setfill(' ') << "x long " << o.burn_long_centi / 100 << "."
+       << std::setw(2) << std::setfill('0') << o.burn_long_centi % 100
+       << std::setfill(' ') << "x; budget " << budget / 10 << "."
+       << budget % 10 << "% left" << (o.fired ? "  FIRED" : "") << "\n";
+  }
+  if (!rep.exemplars.empty()) {
+    os << "    slowest:";
+    for (const vs::obs::SloExemplar& e : rep.exemplars) {
+      os << " "
+         << vs::obs::to_string(static_cast<vs::obs::SloClass>(e.cls)) << "/"
+         << e.latency_ns / 1000 << "us";
+      if (e.op != 0) os << "(" << vs::obs::op_name(e.op) << ")";
+    }
+    os << "\n";
+  }
+}
+
+/// Append the SLO panel for `slo_path` to the frame — same atomic-sidecar
+/// "not there yet" semantics as the profile panel.
+void render_slo_panel(std::ostream& os, const std::string& slo_path) {
+  try {
+    render_slo(os, vs::obs::read_slo_file(slo_path));
+  } catch (const vs::Error&) {
+    os << "  slo: waiting for sidecar " << slo_path << "...\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +306,7 @@ int main(int argc, char** argv) {
   bool once = false;
   int interval_ms = 500;
   std::string profile_path;
+  std::string slo_path;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
@@ -233,6 +314,8 @@ int main(int argc, char** argv) {
       interval_ms = std::stoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slo") == 0 && i + 1 < argc) {
+      slo_path = argv[++i];
     } else {
       return usage();
     }
@@ -246,6 +329,9 @@ int main(int argc, char** argv) {
         if (!profile_path.empty()) {
           render_profile_panel(std::cout, profile_path);
         }
+        if (!slo_path.empty()) {
+          render_slo_panel(std::cout, slo_path);
+        }
         return 0;
       }
       // Home + clear-to-end redraw (not full clear: no flicker).
@@ -253,6 +339,9 @@ int main(int argc, char** argv) {
       render(std::cout, path, f);
       if (!profile_path.empty()) {
         render_profile_panel(std::cout, profile_path);
+      }
+      if (!slo_path.empty()) {
+        render_slo_panel(std::cout, slo_path);
       }
       std::cout.flush();
       if (f.complete) return 0;

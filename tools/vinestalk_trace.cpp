@@ -27,6 +27,10 @@
 //   telemetry <file> [--csv]    summarize a VSTELEM1 time-series stream
 //                               (cadence, series, rates over the run);
 //                               --csv dumps every sample as CSV to stdout
+//   slo <file> [--csv]          summarize a VSSLO1 SLO report sidecar
+//                               (spec, RED per class, burn windows,
+//                               exemplars); --csv dumps the latency
+//                               histogram buckets
 //
 // Exit status: 0 on success; 1 on usage/IO/corrupt-file errors and on a
 // failed replay; 2 when `check` finds violations (so scripts can gate on
@@ -39,6 +43,7 @@
 #include <iterator>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -48,7 +53,10 @@
 #include "obs/ledger/auditor.hpp"
 #include "obs/monitor/incident.hpp"
 #include "obs/monitor/replay.hpp"
+#include "obs/op.hpp"
 #include "obs/profile/profile_io.hpp"
+#include "obs/slo/slo.hpp"
+#include "obs/slo/slo_io.hpp"
 #include "obs/telemetry/telemetry_io.hpp"
 #include "obs/trace_io.hpp"
 #include "obs/trace_query.hpp"
@@ -86,7 +94,9 @@ int usage() {
                "                             inspect/replay an incident "
                "bundle\n"
                "  telemetry <file> [--csv]   summarize a VSTELEM1 telemetry "
-               "stream (--csv dumps samples)\n";
+               "stream (--csv dumps samples)\n"
+               "  slo <file> [--csv]         summarize a VSSLO1 report "
+               "sidecar (--csv dumps latency buckets)\n";
   return 1;
 }
 
@@ -374,6 +384,67 @@ int cmd_telemetry(const std::string& path, bool csv) {
   return 0;
 }
 
+int cmd_slo(const std::string& path, bool csv) {
+  vs::obs::SloReport rep;
+  try {
+    rep = vs::obs::read_slo_file(path);
+  } catch (const vs::Error& e) {
+    std::cerr << "vinestalk_trace: " << e.what() << "\n";
+    return 1;
+  }
+  if (csv) {
+    vs::obs::slo_to_csv(std::cout, rep);
+    return 0;
+  }
+  std::cout << "VSSLO1 report: " << (rep.wall_clock ? "wall" : "virtual")
+            << " windows, t = " << rep.end_t_us << "us\n";
+  std::cout << "spec:\n";
+  std::istringstream spec(rep.spec_text);
+  for (std::string line; std::getline(spec, line);) {
+    std::cout << "  " << line << "\n";
+  }
+  for (std::size_t c = 0; c < vs::obs::kSloClasses; ++c) {
+    const auto& cs = rep.classes[c];
+    if (cs.requests == 0 && cs.errors == 0) continue;
+    std::cout << "  " << vs::obs::to_string(static_cast<vs::obs::SloClass>(c))
+              << ": " << cs.requests << " request(s), " << cs.errors
+              << " error(s); latency us p50="
+              << cs.latency.percentile(0.50) / 1000
+              << " p99=" << cs.latency.percentile(0.99) / 1000
+              << " max=" << cs.latency.max() / 1000 << "\n";
+  }
+  if (rep.find_ns_per_d.count() > 0) {
+    std::cout << "  find ns/d: p50=" << rep.find_ns_per_d.percentile(0.50)
+              << " p99=" << rep.find_ns_per_d.percentile(0.99) << "\n";
+  }
+  for (const auto& [band, hist] : rep.find_bands) {
+    std::cout << "  find " << vs::obs::slo_band_label(band) << ": "
+              << hist.count() << " find(s), p99 us "
+              << hist.percentile(0.99) / 1000 << "\n";
+  }
+  for (std::size_t i = 0; i < rep.objectives.size(); ++i) {
+    const vs::obs::SloObjectiveState& o = rep.objectives[i];
+    const std::int64_t budget = rep.budget_remaining_milli(i);
+    std::cout << "  objective " << o.name << ": burn short "
+              << o.burn_short_centi << "c long " << o.burn_long_centi
+              << "c, budget " << budget << "m left"
+              << (o.fired ? " [FIRED]" : "") << "\n";
+  }
+  if (!rep.exemplars.empty()) {
+    std::cout << "  exemplars (slowest first):\n";
+    for (const vs::obs::SloExemplar& e : rep.exemplars) {
+      std::cout << "    "
+                << vs::obs::to_string(static_cast<vs::obs::SloClass>(e.cls))
+                << " " << e.latency_ns << "ns at " << e.t_us << "us";
+      if (e.op != 0) {
+        std::cout << " op " << vs::obs::op_name(e.op) << " d=" << e.distance;
+      }
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_incident(const std::string& path, bool replay,
                  const std::string& dump_ring) {
   vs::obs::IncidentBundle bundle;
@@ -439,6 +510,17 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_flame(path, out);
+    }
+    if (command == "slo") {
+      bool csv = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0) {
+          csv = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_slo(path, csv);
     }
 
     std::vector<WorldTrace> worlds;
